@@ -1,0 +1,75 @@
+"""Shared session-scoped sweeps for the figure/table benchmarks.
+
+The expensive comparisons (suite x methods x devices) run once per pytest
+session and are reused by every benchmark file.  Each benchmark writes
+its reproduction table under ``results/`` and prints it, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates every row/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import run_comparison, results_path
+from repro.matrices import highlight_suite, representative_suite, synthetic_collection
+
+#: Collection size used by scatter-style figures (the paper uses all 2893
+#: SuiteSparse matrices; we use a 120-matrix synthetic stand-in).
+COLLECTION_SIZE = 120
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    results_path(f"{name}.md").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def suite_entries():
+    return representative_suite() + highlight_suite()
+
+
+@pytest.fixture(scope="session")
+def suite_fp64(suite_entries):
+    """FP64 sweep over the 21 representative + 6 highlight matrices."""
+    return run_comparison(suite_entries, device="A100", dtype=np.float64,
+                          keep_matrices=True)
+
+
+@pytest.fixture(scope="session")
+def collection_fp64():
+    """FP64 sweep over the synthetic collection (A100)."""
+    return run_comparison(synthetic_collection(COLLECTION_SIZE),
+                          device="A100", dtype=np.float64,
+                          keep_matrices=True)
+
+
+@pytest.fixture(scope="session")
+def suite_fp16_a100(suite_entries):
+    return run_comparison(suite_entries, device="A100", dtype=np.float16,
+                          methods=("cuSPARSE-CSR", "DASP"))
+
+
+@pytest.fixture(scope="session")
+def suite_fp16_h800(suite_entries):
+    return run_comparison(suite_entries, device="H800", dtype=np.float16,
+                          methods=("cuSPARSE-CSR", "DASP"))
+
+
+@pytest.fixture(scope="session")
+def bench_matrix():
+    """A mid-size matrix the pytest-benchmark timers exercise."""
+    from repro.matrices import suite_by_name
+
+    return suite_by_name("cant").matrix()
+
+
+@pytest.fixture(scope="session")
+def bench_vector(bench_matrix):
+    rng = np.random.default_rng(3)
+    return rng.uniform(-1, 1, bench_matrix.shape[1])

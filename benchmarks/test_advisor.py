@@ -1,0 +1,32 @@
+"""Advisor benchmark — structural method selection vs exhaustive sweeps.
+
+Ties into the paper's related work on format selection: a transparent
+rule-based selector (``repro.analysis.advisor``) is scored against the
+cost model's exhaustive best on the synthetic collection.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import advisor_accuracy, recommend
+from repro.bench import markdown_table
+
+
+def test_advisor(benchmark, collection_fp64):
+    res = collection_fp64
+    top1 = advisor_accuracy(res, top_k=1)
+    top2 = advisor_accuracy(res, top_k=2)
+    top3 = advisor_accuracy(res, top_k=3)
+    emit("advisor", markdown_table(
+        ("metric", "value"),
+        [("top-1 hit rate", f"{top1:.0%}"),
+         ("top-2 hit rate", f"{top2:.0%}"),
+         ("top-3 hit rate", f"{top3:.0%}"),
+         ("matrices", len(res.matrices))]))
+
+    # chance levels are 1/6, 2/6, 3/6; the advisor must beat them clearly
+    assert top1 > 0.35
+    assert top2 > 0.55
+    assert top3 > 0.65
+    assert top1 <= top2 <= top3
+
+    sample = next(iter(res.matrices.values()))
+    benchmark(recommend, sample)

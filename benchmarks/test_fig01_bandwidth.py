@@ -1,0 +1,68 @@
+"""Figure 1 — bandwidth throughput of CSR5 / cuSPARSE / DASP vs peaks.
+
+The paper plots effective bandwidth (useful CSR bytes / time) for the
+202 largest SuiteSparse matrices (>= 1e7 nnz) against the A100's
+theoretical (1555 GB/s) and measured-Triad peaks.  We use the largest
+quartile of the synthetic collection (sizes are scaled down ~20x with the
+matrices).  Expected shape: DASP's bandwidth distribution sits above both
+baselines and approaches (without exceeding) the Triad line.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import bandwidth_points, peak_lines
+from repro.bench import markdown_table, run_comparison, save_csv, results_path
+from repro.core import DASPMatrix, dasp_spmv
+from repro.matrices import fem_blocked, grid2d, power_law, quantum_chem
+from repro.matrices.collection import CollectionEntry
+
+#: Large matrices standing in for the paper's >= 1e7-nnz filter (scaled
+#: ~5x down; big enough to saturate the modeled bandwidth ramp).
+LARGE_ENTRIES = [
+    CollectionEntry("large_fem_1", "fem", lambda: g_fem(45000, 55, 1)),
+    CollectionEntry("large_fem_2", "fem", lambda: g_fem(30000, 90, 2)),
+    CollectionEntry("large_qchem", "quantum", lambda: quantum_chem(24000, 85, seed=3)),
+    CollectionEntry("large_grid", "grid", lambda: grid2d(700, 700, seed=4)),
+    CollectionEntry("large_power", "power_law",
+                    lambda: power_law(300000, 8, alpha=1.7, seed=5)),
+    CollectionEntry("large_fem_3", "fem", lambda: g_fem(60000, 40, 6)),
+]
+
+
+def g_fem(m, mean, seed):
+    return fem_blocked(m, mean, seed=seed)
+
+
+def test_fig01_bandwidth(benchmark, collection_fp64, bench_matrix, bench_vector):
+    res = run_comparison(LARGE_ENTRIES, device="A100",
+                         methods=("CSR5", "cuSPARSE-CSR", "DASP"),
+                         keep_matrices=True)
+    times = res.times
+    points = bandwidth_points(times, res.matrices,
+                              methods=("CSR5", "cuSPARSE-CSR", "DASP"))
+    peaks = peak_lines("A100")
+
+    by_method = {}
+    for p in points:
+        by_method.setdefault(p.method, []).append(p.gbs)
+    rows = [(m, len(v), f"{np.mean(v):.0f}", f"{np.median(v):.0f}",
+             f"{np.max(v):.0f}") for m, v in by_method.items()]
+    table = markdown_table(("method", "matrices", "mean GB/s",
+                            "median GB/s", "max GB/s"), rows)
+    table += (f"\n\ntheoretical peak: {peaks['theoretical']:.0f} GB/s, "
+              f"measured Triad: {peaks['triad']:.0f} GB/s")
+    emit("fig01_bandwidth", table)
+    save_csv(results_path("fig01_bandwidth.csv"),
+             ("matrix", "method", "nnz", "gbs"),
+             [(p.matrix, p.method, p.nnz, p.gbs) for p in points])
+
+    # Shape assertions (paper: DASP closest to the Triad peak).
+    assert np.mean(by_method["DASP"]) > np.mean(by_method["CSR5"])
+    assert np.mean(by_method["DASP"]) > np.mean(by_method["cuSPARSE-CSR"])
+    assert max(by_method["DASP"]) <= peaks["triad"] * 1.02
+    # DASP's best matrices approach the Triad line
+    assert max(by_method["DASP"]) > 0.5 * peaks["triad"]
+
+    dasp = DASPMatrix.from_csr(bench_matrix)
+    benchmark(dasp_spmv, dasp, bench_vector)

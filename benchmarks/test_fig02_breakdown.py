@@ -1,0 +1,50 @@
+"""Figure 2 — execution-time breakdown of the standard CSR SpMV.
+
+The paper attributes CSR SpMV time to RANDOM ACCESS (25.1% average),
+COMPUTE (21.1%) and MISCELLANEOUS (53.8%) over all 2893 matrices.  We
+regenerate the distribution over the synthetic collection and check the
+averages land in the same bands — in particular the paper's headline
+observation that COMPUTE is a significant share (the motivation for
+using MMA units at all).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import PAPER_AVERAGES, breakdown_averages, csr_breakdown
+from repro.baselines import CSRScalarMethod
+from repro.bench import markdown_table, paper_vs_measured
+
+
+def test_fig02_breakdown(benchmark, collection_fp64, bench_matrix, bench_vector):
+    rows = [csr_breakdown(csr, "A100", matrix_name=name)
+            for name, csr in collection_fp64.matrices.items()]
+    avg = breakdown_averages(rows)
+
+    table = paper_vs_measured([
+        ("RANDOM ACCESS share", f"{PAPER_AVERAGES['random_access']:.1%}",
+         f"{avg['random_access']:.1%}", "band"),
+        ("COMPUTE share", f"{PAPER_AVERAGES['compute']:.1%}",
+         f"{avg['compute']:.1%}", "band"),
+        ("MISCELLANEOUS share", f"{PAPER_AVERAGES['misc']:.1%}",
+         f"{avg['misc']:.1%}", "band"),
+    ])
+    sample = markdown_table(
+        ("matrix", "nnz", "random access", "compute", "misc"),
+        [(r.matrix, r.nnz, f"{r.random_access:.2f}", f"{r.compute:.2f}",
+          f"{r.misc:.2f}") for r in rows[:12]])
+    emit("fig02_breakdown", table + "\n\nsample rows:\n" + sample)
+
+    # Shape: compute is a substantial share (the paper's whole point),
+    # misc dominates, and every row's shares sum to 1.
+    assert 0.10 <= avg["compute"] <= 0.35
+    assert 0.08 <= avg["random_access"] <= 0.40
+    assert avg["misc"] > avg["compute"]
+    for r in rows:
+        assert r.random_access + r.compute + r.misc == 1.0 or \
+            abs(r.random_access + r.compute + r.misc - 1.0) < 1e-9
+
+    method = CSRScalarMethod()
+    plan = method.prepare(bench_matrix)
+    y = benchmark(method.run, plan, bench_vector)
+    assert np.allclose(y, bench_matrix.matvec(bench_vector))

@@ -1,0 +1,65 @@
+"""Figure 9 — FP16 performance and speedups vs cuSPARSE (A100 + H800).
+
+The paper reports DASP FP16 geomean speedups of 1.70x (A100) and 1.75x
+(H800) over cuSPARSE-CSR, winning 2578 and 2576 of 2893 matrices, with
+the best case on 'bibd_20_10' (all long rows).  Only cuSPARSE-CSR
+supports FP16 among the baselines (Table 1), which the runner enforces.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import speedup_summary
+from repro.bench import paper_vs_measured, results_path, save_csv
+from repro.core import DASPMatrix, dasp_spmv
+from repro.precision import cast_matrix_fp16
+
+
+def test_fig09_fp16(benchmark, suite_fp16_a100, suite_fp16_h800,
+                    bench_matrix):
+    rows = []
+    summaries = {}
+    for dev, res, paper_geo, paper_wins in (
+            ("A100", suite_fp16_a100, 1.70, 2578 / 2893),
+            ("H800", suite_fp16_h800, 1.75, 2576 / 2893)):
+        s = speedup_summary(res.times["DASP"], res.times["cuSPARSE-CSR"],
+                            "cuSPARSE-CSR")
+        summaries[dev] = (res, s)
+        rows.append((f"{dev} geomean speedup", f"{paper_geo:.2f}x",
+                     f"{s.geomean:.2f}x", "yes" if s.geomean > 1 else "NO"))
+        rows.append((f"{dev} win rate", f"{paper_wins:.0%}",
+                     f"{s.win_rate:.0%}", "yes" if s.win_rate > 0.5 else "NO"))
+        rows.append((f"{dev} max speedup", "26x/66x", f"{s.maximum:.2f}x", "-"))
+    emit("fig09_fp16", paper_vs_measured(rows))
+
+    for dev, (res, s) in summaries.items():
+        save_csv(results_path(f"fig09_fp16_{dev.lower()}.csv"),
+                 ("matrix", "nnz", "cusparse_s", "dasp_s", "speedup"),
+                 [(n, res.nnz[n], res.times["cuSPARSE-CSR"][n],
+                   res.times["DASP"][n],
+                   res.times["cuSPARSE-CSR"][n] / res.times["DASP"][n])
+                  for n in res.times["DASP"]])
+
+    # --- shape assertions -------------------------------------------
+    for dev, (res, s) in summaries.items():
+        assert s.geomean > 1.2, dev
+        assert s.win_rate > 0.75, dev
+        # only the two FP16-capable methods ran
+        assert set(res.times) == {"cuSPARSE-CSR", "DASP"}
+    # best speedup on the all-long-rows matrix family (paper: bibd_20_10)
+    res_a, s_a = summaries["A100"]
+    speedups = {n: res_a.times["cuSPARSE-CSR"][n] / res_a.times["DASP"][n]
+                for n in res_a.times["DASP"]}
+    best = max(speedups, key=speedups.get)
+    assert speedups["bibd_20_10"] > np.median(list(speedups.values())), \
+        f"bibd_20_10 should be a strong FP16 case (best was {best})"
+    # H800's higher bandwidth gives faster absolute DASP times
+    res_h, _ = summaries["H800"]
+    faster = sum(res_h.times["DASP"][n] < res_a.times["DASP"][n]
+                 for n in res_a.times["DASP"])
+    assert faster > len(res_a.times["DASP"]) * 0.8
+
+    half = cast_matrix_fp16(bench_matrix)
+    dasp = DASPMatrix.from_csr(half)
+    x16 = np.random.default_rng(0).uniform(-1, 1, half.shape[1]).astype(np.float16)
+    benchmark(dasp_spmv, dasp, x16)

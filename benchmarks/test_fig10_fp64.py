@@ -1,0 +1,76 @@
+"""Figure 10 + Section 4.2 headline — FP64 comparison of six methods (A100).
+
+The paper reports DASP geomean speedups of 1.46x / 2.09x / 3.29x / 2.08x
+/ 1.52x over CSR5 / TileSpMV / LSRB-CSR / cuSPARSE-BSR / cuSPARSE-CSR,
+winning on 2403 / 2579 / 2251 / 2340 / 2344 of 2893 matrices.  We
+regenerate the performance scatter and the five speedup series over the
+synthetic collection, asserting the *shape*: DASP wins the majority
+everywhere, all geomeans exceed 1, and LSRB-CSR is the weakest baseline.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import speedup_summary
+from repro.bench import markdown_table, paper_vs_measured, results_path, save_csv
+from repro.core import DASPMethod
+
+PAPER_GEOMEANS = {
+    "CSR5": 1.46,
+    "TileSpMV": 2.09,
+    "LSRB-CSR": 3.29,
+    "cuSPARSE-BSR": 2.08,
+    "cuSPARSE-CSR": 1.52,
+}
+PAPER_WIN_RATES = {
+    "CSR5": 2403 / 2893,
+    "TileSpMV": 2579 / 2893,
+    "LSRB-CSR": 2251 / 2893,
+    "cuSPARSE-BSR": 2340 / 2893,
+    "cuSPARSE-CSR": 2344 / 2893,
+}
+
+
+def test_fig10_fp64(benchmark, collection_fp64, bench_matrix, bench_vector):
+    res = collection_fp64
+    dasp_times = res.times["DASP"]
+    summaries = {
+        base: speedup_summary(dasp_times, res.times[base], base)
+        for base in PAPER_GEOMEANS
+    }
+
+    rows = []
+    for base, s in summaries.items():
+        rows.append((f"geomean speedup vs {base}",
+                     f"{PAPER_GEOMEANS[base]:.2f}x", f"{s.geomean:.2f}x",
+                     "yes" if s.geomean > 1.0 else "NO"))
+        rows.append((f"win rate vs {base}",
+                     f"{PAPER_WIN_RATES[base]:.0%}", f"{s.win_rate:.0%}",
+                     "yes" if s.win_rate > 0.5 else "NO"))
+        rows.append((f"max speedup vs {base}", "-", f"{s.maximum:.2f}x", "-"))
+    emit("fig10_fp64", paper_vs_measured(rows))
+
+    # Persist the full scatter (GFlops per matrix per method).
+    methods = list(res.times)
+    scatter = [(name, res.nnz[name],
+                *(2.0 * res.nnz[name] / res.times[m][name] / 1e9
+                  for m in methods))
+               for name in dasp_times]
+    save_csv(results_path("fig10_fp64.csv"),
+             ("matrix", "nnz", *methods), scatter)
+
+    # --- shape assertions -------------------------------------------
+    for base, s in summaries.items():
+        assert s.geomean > 1.0, f"DASP must beat {base} on geomean"
+        assert s.win_rate > 0.6, f"DASP must win the majority vs {base}"
+        # magnitudes within a reasonable band of the paper's numbers
+        assert 0.5 * PAPER_GEOMEANS[base] < s.geomean < 2.5 * PAPER_GEOMEANS[base]
+    # LSRB-CSR is the weakest of the CSR-like baselines (paper ordering)
+    assert summaries["LSRB-CSR"].geomean > summaries["CSR5"].geomean
+    assert summaries["LSRB-CSR"].geomean > summaries["cuSPARSE-CSR"].geomean
+    # the structured-format baselines lose big on their worst cases
+    assert summaries["cuSPARSE-BSR"].maximum > 3.0
+
+    method = DASPMethod()
+    plan = method.prepare(bench_matrix)
+    benchmark(method.run, plan, bench_vector)

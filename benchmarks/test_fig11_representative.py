@@ -1,0 +1,76 @@
+"""Figure 11 — per-matrix comparison on the 21 representative matrices.
+
+Regenerates the FP64 (A100) and FP16 (A100/H800) bar data for Table 2's
+matrices and checks the paper's qualitative claims: short-row-dominated
+matrices (mc2depi, webbase-1M, ASIC_680k) beat every baseline, the
+medium-row FEM group performs strongly, and specific speedup pairs cited
+in Section 4.3 hold directionally.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.bench import markdown_table, results_path, save_csv
+from repro.core import DASPMethod
+from repro.matrices import representative_suite
+
+REPRESENTATIVE = {e.name for e in representative_suite()}
+
+
+def test_fig11_representative(benchmark, suite_fp64, suite_fp16_a100,
+                              suite_fp16_h800, bench_matrix, bench_vector):
+    res = suite_fp64
+    methods = list(res.times)
+    rows = []
+    for name in sorted(REPRESENTATIVE):
+        gflops = [2.0 * res.nnz[name] / res.times[m][name] / 1e9
+                  for m in methods]
+        best = methods[int(np.argmax(gflops))]
+        rows.append((name, *(f"{g:.1f}" for g in gflops), best))
+    table = markdown_table(("matrix", *methods, "best"), rows)
+    emit("fig11_representative_fp64", table)
+
+    fp16_rows = []
+    for name in sorted(REPRESENTATIVE):
+        a = suite_fp16_a100.times["cuSPARSE-CSR"][name] / suite_fp16_a100.times["DASP"][name]
+        h = suite_fp16_h800.times["cuSPARSE-CSR"][name] / suite_fp16_h800.times["DASP"][name]
+        fp16_rows.append((name, f"{a:.2f}x", f"{h:.2f}x"))
+    emit("fig11_representative_fp16",
+         markdown_table(("matrix", "A100 speedup vs cuSPARSE",
+                         "H800 speedup vs cuSPARSE"), fp16_rows))
+    save_csv(results_path("fig11_representative.csv"),
+             ("matrix", *[f"{m}_s" for m in methods]),
+             [(n, *(res.times[m][n] for m in methods))
+              for n in sorted(REPRESENTATIVE)])
+
+    # --- shape assertions (Section 4.3 claims) ------------------------
+    def speedup(name, base):
+        return res.times[base][name] / res.times["DASP"][name]
+
+    # short-row matrices "completely outperform the comparison methods"
+    for name in ("mc2depi", "webbase-1M", "ASIC_680k"):
+        for base in ("CSR5", "TileSpMV", "LSRB-CSR", "cuSPARSE-BSR",
+                     "cuSPARSE-CSR"):
+            assert speedup(name, base) > 1.0, (name, base)
+
+    # medium-row FEM matrices beat the general-purpose baselines
+    for name in ("rma10", "cant", "cop20k_A", "consph", "shipsec1", "pwtk"):
+        assert speedup(name, "CSR5") > 1.0, name
+        assert speedup(name, "cuSPARSE-CSR") > 1.0, name
+
+    # DASP is best on the large majority of the 21 matrices
+    wins = sum(1 for name in REPRESENTATIVE
+               if min(res.times[m][name] for m in methods)
+               == res.times["DASP"][name])
+    assert wins >= 0.7 * len(REPRESENTATIVE)
+
+    # mixed-category matrices do not suffer (circuit5M, dc2 beat CSR5).
+    # The paper's 66.89x dc2-vs-BSR blowup needs the full-scale 114k-nnz
+    # dense rows; at ~1/6 scale we assert the direction only (the BSR
+    # fill-in catastrophe itself is asserted in fig10's max speedup).
+    assert speedup("circuit5M", "CSR5") > 1.0
+    assert speedup("dc2", "cuSPARSE-BSR") > 1.0
+
+    method = DASPMethod()
+    plan = method.prepare(bench_matrix)
+    benchmark(method.run, plan, bench_vector)

@@ -1,0 +1,53 @@
+"""Figure 12 — row / nonzero shares per DASP category (21 matrices).
+
+Checks the classification shapes the paper highlights: mc2depi is all
+short rows, FEM matrices all medium, quantum-chemistry matrices carry a
+large long-row nonzero share despite few long rows, and cop20k_A's empty
+rows are visible.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench import markdown_table, results_path, save_csv
+from repro.core import DASPMatrix
+from repro.matrices import category_ratios, representative_suite
+
+
+def test_fig12_categories(benchmark, suite_fp64):
+    entries = representative_suite()
+    ratios = {}
+    rows = []
+    for e in entries:
+        csr = suite_fp64.matrices[e.name]
+        c = category_ratios(csr)
+        ratios[e.name] = c
+        rows.append((e.name,
+                     f"{c.row_long:.2f}", f"{c.row_medium:.2f}",
+                     f"{c.row_short:.2f}", f"{c.row_empty:.2f}",
+                     f"{c.nnz_long:.2f}", f"{c.nnz_medium:.2f}",
+                     f"{c.nnz_short:.2f}"))
+    table = markdown_table(
+        ("matrix", "rows long", "rows medium", "rows short", "rows empty",
+         "nnz long", "nnz medium", "nnz short"), rows)
+    emit("fig12_categories", table)
+    save_csv(results_path("fig12_categories.csv"),
+             ("matrix", "row_long", "row_medium", "row_short", "row_empty",
+              "nnz_long", "nnz_medium", "nnz_short"),
+             [(n, c.row_long, c.row_medium, c.row_short, c.row_empty,
+               c.nnz_long, c.nnz_medium, c.nnz_short)
+              for n, c in ratios.items()])
+
+    # --- Figure 12's qualitative shapes --------------------------------
+    assert ratios["mc2depi"].row_short > 0.99          # all short
+    assert ratios["webbase-1M"].row_short > 0.7        # short dominated
+    for name in ("pwtk", "cant", "consph", "shipsec1", "rma10", "pdb1HYS"):
+        assert ratios[name].row_medium > 0.95, name    # all medium
+    for name in ("Si41Ge41H72", "Ga41As41H72", "mip1"):
+        # few long rows but a visible long-row nonzero share
+        assert ratios[name].nnz_long > 2 * ratios[name].row_long, name
+    assert ratios["cop20k_A"].row_empty > 0.1          # the empty rows
+
+    # classification inside DASPMatrix must agree with the ratios
+    csr = suite_fp64.matrices["dc2"]
+    dasp = benchmark(DASPMatrix.from_csr, csr)
+    counts = dasp.classification.counts()
+    assert counts["short"] / csr.shape[0] == ratios["dc2"].row_short

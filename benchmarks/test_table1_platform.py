@@ -1,0 +1,38 @@
+"""Table 1 — experimental platforms and evaluated algorithms.
+
+Regenerates the platform/method summary of the paper's Table 1 from the
+simulated device specs and the method registry, and times one DASP SpMV
+as the representative kernel.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.baselines import PAPER_METHODS, paper_methods
+from repro.bench import markdown_table
+from repro.core import DASPMatrix, dasp_spmv
+from repro.gpu import A100, H800
+
+
+def test_table1_platform(benchmark, bench_matrix, bench_vector):
+    rows = []
+    for dev in (A100, H800):
+        rows.append((dev.name, dev.arch,
+                     f"{dev.fp64_tensor_tflops} TFlops FP64-TC",
+                     f"{dev.fp16_tensor_tflops} TFlops FP16-TC",
+                     f"{dev.mem_bw_gbs} GB/s"))
+    table = markdown_table(
+        ("device", "arch", "FP64 tensor", "FP16 tensor", "bandwidth"), rows)
+    table += "\n\nAlgorithms: " + ", ".join(PAPER_METHODS)
+    emit("table1_platform", table)
+
+    # Table 1 invariants from the paper.
+    assert A100.fp64_tensor_tflops == 19.5
+    assert A100.fp16_tensor_tflops == 312.0
+    assert H800.fp16_tensor_tflops == 756.0
+    assert A100.mem_bw_gbs == 1555.0 and H800.mem_bw_gbs == 2048.0
+    assert len(paper_methods()) == 6
+
+    dasp = DASPMatrix.from_csr(bench_matrix)
+    y = benchmark(dasp_spmv, dasp, bench_vector)
+    assert np.allclose(y, bench_matrix.matvec(bench_vector), rtol=1e-9)

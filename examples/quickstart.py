@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: convert a sparse matrix to the DASP layout and multiply.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CSRMatrix, DASPMatrix, dasp_spmv
+from repro.core import DASPMethod
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Build a sparse matrix any way you like; CSR is the entry format.
+    # Here: a 2000x2000 matrix with a mix of row lengths so all three
+    # DASP categories (long / medium / short) are exercised.
+    m = n = 2000
+    lens = np.where(rng.random(m) < 0.02, rng.integers(300, 600, m),
+                    rng.integers(0, 30, m))
+    rows = np.repeat(np.arange(m), lens)
+    cols = rng.integers(0, n, rows.size)
+    vals = rng.standard_normal(rows.size)
+    from repro.formats import COOMatrix
+
+    A = COOMatrix((m, n), rows, cols, vals).to_csr()
+    print(f"input matrix: {A.shape[0]}x{A.shape[1]}, nnz={A.nnz}")
+
+    # 1. Preprocess: CSR -> DASP layout (the paper's Section 3.2).
+    dasp = DASPMatrix.from_csr(A)
+    print(dasp.summary())
+
+    # 2. SpMV (Section 3.3's kernels, vectorized engine).
+    x = rng.standard_normal(n)
+    y = dasp_spmv(dasp, x)
+
+    # 3. Verify against the reference CSR product.
+    y_ref = A.matvec(x)
+    err = np.max(np.abs(y - y_ref)) / np.max(np.abs(y_ref))
+    print(f"max relative error vs CSR reference: {err:.2e}")
+    assert err < 1e-12
+
+    # 4. Ask the cost model what this SpMV would cost on an A100.
+    meas = DASPMethod().measure(A, "A100", matrix_name="quickstart")
+    print(f"modeled A100 time: {meas.time_s * 1e6:.1f} us "
+          f"({meas.gflops:.1f} GFlops)")
+    parts = meas.parts.fractions()
+    print("  breakdown: "
+          + ", ".join(f"{k}={v:.0%}" for k, v in parts.items()))
+
+    # 5. The lane-accurate engine (Algorithms 2-5 verbatim) agrees:
+    small = A.row_slice(np.arange(200))
+    dasp_small = DASPMatrix.from_csr(small)
+    y_warp = dasp_spmv(dasp_small, x, engine="warp")
+    y_vec = dasp_spmv(dasp_small, x)
+    assert np.allclose(y_warp, y_vec, rtol=1e-12)
+    print("lane-accurate warp engine matches the vectorized engine.")
+
+
+if __name__ == "__main__":
+    main()

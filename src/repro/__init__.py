@@ -1,0 +1,57 @@
+"""repro — a from-scratch reproduction of DASP (SC '23).
+
+DASP accelerates general sparse matrix-vector multiplication by
+reorganizing the matrix into a layout dense matrix-multiply-accumulate
+(MMA / tensor-core) units can consume.  This package implements the DASP
+data structure and kernels, every baseline the paper compares against,
+and the substrates the evaluation needs (sparse formats, a lane-accurate
+GPU warp/MMA simulator with an analytic cost model, and a synthetic
+SuiteSparse-like matrix collection).
+
+Quickstart::
+
+    import numpy as np
+    from repro import CSRMatrix, DASPMatrix, dasp_spmv
+
+    A = CSRMatrix.from_dense(np.eye(8))
+    y = dasp_spmv(DASPMatrix.from_csr(A), np.ones(8))
+
+See README.md / DESIGN.md / EXPERIMENTS.md for the full map.
+"""
+
+from . import analysis, baselines, bench, core, formats, gpu, matrices, precision, solvers
+from ._util import ReproError, ValidationError, geomean
+from .core import DASPMatrix, DASPMethod, dasp_spmm, dasp_spmv
+from .formats import BSRMatrix, COOMatrix, CSRMatrix, ELLMatrix, to_csr
+from .gpu import A100, H800, DeviceSpec, get_device
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "BSRMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "DASPMatrix",
+    "DASPMethod",
+    "DeviceSpec",
+    "ELLMatrix",
+    "H800",
+    "ReproError",
+    "ValidationError",
+    "__version__",
+    "analysis",
+    "baselines",
+    "bench",
+    "core",
+    "dasp_spmm",
+    "dasp_spmv",
+    "formats",
+    "geomean",
+    "get_device",
+    "gpu",
+    "matrices",
+    "precision",
+    "solvers",
+    "to_csr",
+]

@@ -1,0 +1,123 @@
+"""Shared low-level helpers used across the :mod:`repro` package.
+
+Everything in here is intentionally tiny and dependency-free (NumPy only):
+argument validation, index-dtype normalization, and a couple of numeric
+helpers (geometric mean, prefix sums) that several subsystems share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Index dtype used for column indices throughout the package.  GPUs use
+#: 32-bit indices for bandwidth reasons; we mirror that so byte accounting
+#: in the cost model matches the paper's data structures.
+INDEX_DTYPE = np.int32
+
+#: Pointer dtype (row pointers, group pointers).  ``int64`` so that huge
+#: synthetic matrices never overflow offsets.
+PTR_DTYPE = np.int64
+
+#: Floating dtypes accepted for matrix values.
+VALUE_DTYPES = (np.float16, np.float32, np.float64)
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError):
+    """A matrix/data-structure failed an internal consistency check."""
+
+
+def check(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition*."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def as_value_array(values, dtype=None) -> np.ndarray:
+    """Return *values* as a contiguous 1-D floating array.
+
+    ``dtype=None`` keeps an existing floating dtype and promotes anything
+    else to ``float64``.
+    """
+    arr = np.ascontiguousarray(values)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False).reshape(-1)
+    if arr.dtype not in VALUE_DTYPES:
+        arr = arr.astype(np.float64)
+    return arr.reshape(-1)
+
+
+def as_index_array(indices, *, name: str = "indices") -> np.ndarray:
+    """Return *indices* as a contiguous 1-D :data:`INDEX_DTYPE` array."""
+    arr = np.ascontiguousarray(indices)
+    if arr.dtype.kind not in "iu":
+        check(
+            arr.size == 0 or np.all(arr == np.floor(arr)),
+            f"{name} must be integral",
+        )
+    return arr.astype(INDEX_DTYPE, copy=False).reshape(-1)
+
+
+def as_ptr_array(ptr, *, name: str = "indptr") -> np.ndarray:
+    """Return *ptr* as a contiguous 1-D :data:`PTR_DTYPE` array."""
+    arr = np.ascontiguousarray(ptr).astype(PTR_DTYPE, copy=False).reshape(-1)
+    check(arr.size >= 1, f"{name} must have at least one entry")
+    return arr
+
+
+def validate_shape(shape) -> tuple[int, int]:
+    """Normalize and validate a 2-tuple matrix shape."""
+    check(len(shape) == 2, "shape must be a pair (rows, cols)")
+    m, n = int(shape[0]), int(shape[1])
+    check(m >= 0 and n >= 0, "shape entries must be non-negative")
+    return m, n
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's averaging choice).
+
+    Returns ``nan`` for an empty input and raises for non-positive values
+    (a speedup of zero would make the geomean meaningless).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    check(bool(np.all(arr > 0)), "geomean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def lengths_to_ptr(lengths: Sequence[int]) -> np.ndarray:
+    """Exclusive prefix sum turning per-row lengths into a pointer array."""
+    lengths = np.asarray(lengths, dtype=PTR_DTYPE)
+    ptr = np.zeros(lengths.size + 1, dtype=PTR_DTYPE)
+    np.cumsum(lengths, out=ptr[1:])
+    return ptr
+
+
+def ptr_to_lengths(ptr: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`lengths_to_ptr`."""
+    ptr = np.asarray(ptr)
+    return np.diff(ptr)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    check(b > 0, "ceil_div divisor must be positive")
+    return -(-int(a) // int(b))
+
+
+def round_up(a: int, multiple: int) -> int:
+    """Round *a* up to the nearest multiple of *multiple*."""
+    return ceil_div(a, multiple) * multiple
+
+
+def default_rng(seed) -> np.random.Generator:
+    """Normalize ``seed`` (int, Generator or None) into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

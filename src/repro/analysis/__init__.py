@@ -1,0 +1,43 @@
+"""Analysis utilities: breakdown (Fig 2), bandwidth (Fig 1), metrics,
+roofline, and cross-method numerical accuracy."""
+
+from .accuracy import (
+    AccuracyRow,
+    compare_method_accuracy,
+    exact_spmv,
+    summation_error_bound,
+)
+from .advisor import Recommendation, advisor_accuracy, matrix_features, recommend
+from .bandwidth import BandwidthPoint, bandwidth_points, peak_lines
+from .breakdown import (
+    PAPER_AVERAGES,
+    BreakdownRow,
+    breakdown_averages,
+    csr_breakdown,
+)
+from .metrics import SpeedupSummary, gflops_table, speedup_summary
+from .roofline import RooflinePoint, roofline, spmv_intensity
+
+__all__ = [
+    "AccuracyRow",
+    "BandwidthPoint",
+    "BreakdownRow",
+    "PAPER_AVERAGES",
+    "Recommendation",
+    "RooflinePoint",
+    "SpeedupSummary",
+    "advisor_accuracy",
+    "bandwidth_points",
+    "breakdown_averages",
+    "compare_method_accuracy",
+    "csr_breakdown",
+    "exact_spmv",
+    "gflops_table",
+    "matrix_features",
+    "peak_lines",
+    "recommend",
+    "roofline",
+    "speedup_summary",
+    "spmv_intensity",
+    "summation_error_bound",
+]

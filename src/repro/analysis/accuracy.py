@@ -1,0 +1,65 @@
+"""Cross-method numerical-accuracy analysis.
+
+Different SpMV methods sum each row's products in different orders (CSR
+sequentially, CSR5 per tile, DASP per MMA block then across blocks), so
+their floating-point results differ at the rounding level.  This module
+quantifies those differences against a high-precision reference — useful
+both as a correctness diagnostic and to document that DASP's blocked
+summation is no less accurate than sequential CSR (pairwise-style block
+sums typically carry *smaller* error constants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.registry import paper_methods
+from ..precision import relative_l2_error
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """Error of one method against the extended-precision reference."""
+
+    method: str
+    rel_l2: float
+    max_abs: float
+
+
+def exact_spmv(csr, x: np.ndarray) -> np.ndarray:
+    """Reference product in extended precision (float128 where available,
+    else Kahan-compensated float64)."""
+    longdouble = np.longdouble
+    vals = csr.data.astype(longdouble)
+    xs = np.asarray(x, dtype=np.float64).astype(longdouble)
+    products = vals * xs[csr.indices.astype(np.int64)]
+    y = np.zeros(csr.shape[0], dtype=longdouble)
+    lens = csr.row_lengths()
+    rows = np.repeat(np.arange(csr.shape[0], dtype=np.int64), lens)
+    np.add.at(y, rows, products)
+    return y.astype(np.float64)
+
+
+def compare_method_accuracy(csr, x: np.ndarray, *, methods=None) -> list[AccuracyRow]:
+    """Run every (dtype-compatible) method and report rounding error."""
+    reference = exact_spmv(csr, x)
+    rows = []
+    for method in (methods or paper_methods()):
+        if not method.supports(csr.data.dtype):
+            continue
+        y = np.asarray(method.run(method.prepare(csr), x), dtype=np.float64)
+        rows.append(AccuracyRow(
+            method=method.name,
+            rel_l2=relative_l2_error(y, reference),
+            max_abs=float(np.max(np.abs(y - reference))) if y.size else 0.0,
+        ))
+    return rows
+
+
+def summation_error_bound(row_length: int, *, eps: float = 2 ** -53) -> float:
+    """First-order worst-case relative error of sequentially summing
+    ``row_length`` products: ``(n + 1) * eps`` (Higham).  Blockwise sums
+    replace ``n`` with roughly ``n / b + b`` for block size ``b``."""
+    return (row_length + 1) * eps

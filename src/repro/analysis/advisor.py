@@ -1,0 +1,114 @@
+"""Rule-based SpMV method advisor.
+
+The paper's related-work section surveys machine-learned format
+selection (SMAT, WISE, AlphaSparse, ...).  This module implements the
+transparent rule-based end of that spectrum: predict a good method from
+cheap structural statistics, without running anything.  The benchmark
+``benchmarks/test_advisor.py`` scores the advisor against exhaustive
+cost-model sweeps.
+
+The rules mirror the intuitions the paper itself uses in Section 4.3:
+
+* strongly blocked + medium rows  -> BSR is competitive, DASP safe;
+* extreme skew / scattered        -> balanced methods (DASP, merge CSR);
+* everything FP16                 -> only DASP / cuSPARSE-CSR exist;
+* tiny matrices                   -> fewest-launch method wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..matrices.stats import blockiness, category_ratios, row_length_stats
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Advisor output: a ranked method list plus the features used."""
+
+    ranking: tuple[str, ...]
+    features: dict
+
+    @property
+    def best(self) -> str:
+        return self.ranking[0]
+
+
+def matrix_features(csr) -> dict:
+    """Cheap structural features driving the recommendation."""
+    stats = row_length_stats(csr)
+    cats = category_ratios(csr)
+    return {
+        "nnz": stats.nnz,
+        "rows": stats.rows,
+        "mean_len": stats.mean_len,
+        "gini": stats.gini,
+        # 4x4 tiles at 50% occupancy: catches FEM-style 3x3 dof blocks
+        # regardless of alignment with the 8x4 MMA grid
+        "blockiness": blockiness(csr, block_rows=4, block_cols=4,
+                                 threshold=0.5),
+        "row_short": cats.row_short,
+        "row_medium": cats.row_medium,
+        "nnz_long": cats.nnz_long,
+    }
+
+
+def recommend(csr, *, dtype=None) -> Recommendation:
+    """Rank the six methods for a matrix by structural rules."""
+    dtype = np.dtype(dtype or csr.data.dtype)
+    f = matrix_features(csr)
+
+    if dtype == np.float16:
+        # Table 1: only two methods support half precision.
+        return Recommendation(("DASP", "cuSPARSE-CSR"), f)
+
+    scores = {
+        "DASP": 1.0,          # the generalist: start ahead
+        "CSR5": 0.6,
+        "cuSPARSE-CSR": 0.6,
+        "cuSPARSE-BSR": 0.0,
+        "TileSpMV": 0.1,
+        "LSRB-CSR": -0.5,
+    }
+    # Blocked FEM-style structure rewards block formats.
+    if f["blockiness"] > 0.5 and f["row_medium"] > 0.8:
+        scores["cuSPARSE-BSR"] += 0.9
+        scores["TileSpMV"] += 0.5
+    elif f["blockiness"] < 0.1:
+        scores["cuSPARSE-BSR"] -= 1.0
+        scores["TileSpMV"] -= 0.4
+    # Skew punishes anything without explicit balancing.
+    if f["gini"] > 0.6 or f["nnz_long"] > 0.2:
+        scores["cuSPARSE-BSR"] -= 0.3
+        scores["TileSpMV"] -= 0.3
+        scores["DASP"] += 0.2      # the long-rows category absorbs skew
+    # Short-row-dominated matrices: DASP's piecing is the point.
+    if f["row_short"] > 0.8:
+        scores["DASP"] += 0.3
+        scores["CSR5"] -= 0.1
+    # Tiny problems: launch overhead dominates; merge CSR launches least.
+    if f["nnz"] < 5_000:
+        scores["cuSPARSE-CSR"] += 0.4
+        scores["CSR5"] -= 0.1
+    ranking = tuple(sorted(scores, key=scores.get, reverse=True))
+    return Recommendation(ranking, f)
+
+
+def advisor_accuracy(results, *, top_k: int = 2) -> float:
+    """Score the advisor against a finished sweep.
+
+    ``results`` is a :class:`~repro.bench.runner.ComparisonResult` with
+    ``keep_matrices=True``.  Returns the fraction of matrices whose
+    model-fastest method appears in the advisor's top ``k``.
+    """
+    hits = 0
+    total = 0
+    for name, csr in results.matrices.items():
+        best = min(results.times, key=lambda m: results.times[m][name])
+        rec = recommend(csr)
+        total += 1
+        if best in rec.ranking[:top_k]:
+            hits += 1
+    return hits / total if total else float("nan")

@@ -1,0 +1,52 @@
+"""Bandwidth-throughput analysis (paper Figure 1).
+
+Figure 1 plots, for the largest SuiteSparse matrices, the effective
+bandwidth (useful CSR bytes / SpMV time) of CSR5, cuSPARSE and DASP
+against the theoretical (1555 GB/s) and measured-Triad peaks of the
+A100.  The paper's point: baselines sit well below Triad peak because
+COMPUTE/bookkeeping time is exposed; DASP closes most of the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.cost_model import effective_bandwidth_gbs
+from ..gpu.device import get_device
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One (matrix, method) point of the Figure 1 scatter."""
+
+    matrix: str
+    method: str
+    nnz: int
+    gbs: float
+
+
+def bandwidth_points(times: dict[str, dict[str, float]], matrices: dict,
+                     *, methods=("CSR5", "cuSPARSE-CSR", "DASP")) -> list[BandwidthPoint]:
+    """Build Figure 1's scatter points.
+
+    ``times`` maps method -> {matrix name -> seconds}; ``matrices`` maps
+    matrix name -> CSR matrix.
+    """
+    points = []
+    for method in methods:
+        per_matrix = times.get(method, {})
+        for name, secs in per_matrix.items():
+            csr = matrices[name]
+            points.append(BandwidthPoint(
+                matrix=name, method=method, nnz=csr.nnz,
+                gbs=effective_bandwidth_gbs(csr, secs)))
+    return points
+
+
+def peak_lines(device) -> dict[str, float]:
+    """The two dashed reference lines of Figure 1 (GB/s)."""
+    device = get_device(device)
+    return {
+        "theoretical": device.mem_bw_gbs,
+        "triad": device.mem_bw_gbs * device.triad_efficiency,
+    }

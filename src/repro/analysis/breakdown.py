@@ -1,0 +1,54 @@
+"""Execution-time breakdown of the standard CSR SpMV (paper Figure 2).
+
+The paper instruments a plain CSR kernel and attributes time to RANDOM
+ACCESS (gathering x), COMPUTE (the inner products) and MISCELLANEOUS
+(row pointer / y traffic and fixed overheads), reporting averages of
+25.1% / 21.1% / 53.8% over all 2893 SuiteSparse matrices.  Here the same
+three shares fall out of the cost model's :class:`TimeParts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.csr_scalar import CSRScalarMethod
+from ..gpu.cost_model import estimate_time
+from ..gpu.device import get_device
+
+#: The averages the paper reports in Section 2.1.
+PAPER_AVERAGES = {"random_access": 0.251, "compute": 0.211, "misc": 0.538}
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One matrix's breakdown shares."""
+
+    matrix: str
+    nnz: int
+    random_access: float
+    compute: float
+    misc: float
+
+
+def csr_breakdown(csr, device, *, matrix_name: str = "?") -> BreakdownRow:
+    """Figure 2 shares for one matrix under the standard CSR kernel."""
+    device = get_device(device)
+    method = CSRScalarMethod()
+    ev = method.events(method.prepare(csr), device)
+    dtype_bits = np.dtype(csr.data.dtype).itemsize * 8
+    parts = estimate_time(ev, device, dtype_bits=dtype_bits).fractions()
+    return BreakdownRow(matrix_name, csr.nnz, parts["random_access"],
+                        parts["compute"], parts["misc"])
+
+
+def breakdown_averages(rows: list[BreakdownRow]) -> dict[str, float]:
+    """Collection-wide average shares (the paper's headline numbers)."""
+    if not rows:
+        return {"random_access": 0.0, "compute": 0.0, "misc": 0.0}
+    return {
+        "random_access": float(np.mean([r.random_access for r in rows])),
+        "compute": float(np.mean([r.compute for r in rows])),
+        "misc": float(np.mean([r.misc for r in rows])),
+    }

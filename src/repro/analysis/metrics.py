@@ -1,0 +1,74 @@
+"""Speedup / win-count / geomean metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import geomean
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """DASP-vs-baseline summary over a matrix set (Section 4.2's numbers).
+
+    ``geomean``/``maximum`` are speedups of the reference method over the
+    baseline; ``wins`` counts matrices where the reference is faster;
+    ``total`` is the number of matrices compared.
+    """
+
+    baseline: str
+    geomean: float
+    maximum: float
+    minimum: float
+    wins: int
+    total: int
+
+    @property
+    def win_rate(self) -> float:
+        return self.wins / self.total if self.total else float("nan")
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"vs {self.baseline}: geomean {self.geomean:.2f}x "
+                f"(max {self.maximum:.2f}x), faster on {self.wins}/{self.total}")
+
+
+def speedup_summary(reference_times: dict, baseline_times: dict,
+                    baseline_name: str) -> SpeedupSummary:
+    """Summarize speedups of a reference method over one baseline.
+
+    Both arguments map matrix name -> seconds; only matrices present in
+    both (with positive, finite times) are compared.
+    """
+    speedups = []
+    for name, t_ref in reference_times.items():
+        t_base = baseline_times.get(name)
+        if t_base is None or not np.isfinite(t_base) or not np.isfinite(t_ref):
+            continue
+        if t_ref <= 0 or t_base <= 0:
+            continue
+        speedups.append(t_base / t_ref)
+    if not speedups:
+        return SpeedupSummary(baseline_name, float("nan"), float("nan"),
+                              float("nan"), 0, 0)
+    arr = np.asarray(speedups)
+    return SpeedupSummary(
+        baseline=baseline_name,
+        geomean=geomean(arr),
+        maximum=float(arr.max()),
+        minimum=float(arr.min()),
+        wins=int(np.count_nonzero(arr > 1.0)),
+        total=int(arr.size),
+    )
+
+
+def gflops_table(times: dict[str, dict[str, float]], nnz: dict[str, int]):
+    """Convert {method: {matrix: seconds}} into {method: {matrix: gflops}}."""
+    return {
+        method: {
+            name: (2.0 * nnz[name] / t / 1e9 if t > 0 else float("nan"))
+            for name, t in per_matrix.items()
+        }
+        for method, per_matrix in times.items()
+    }

@@ -1,0 +1,48 @@
+"""Simple roofline helper: where does SpMV sit on a device's roofline?
+
+Not a paper figure, but a useful sanity tool: SpMV's arithmetic
+intensity (~2 flops per 12-20 bytes) pins it deep in the memory-bound
+region, which is why the paper frames Figure 1 in bandwidth terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import get_device
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Achievable performance for a kernel of the given intensity."""
+
+    intensity: float       # flops per DRAM byte
+    attainable_gflops: float
+    bound: str             # "memory" or "compute"
+
+
+def roofline(device, intensity: float, *, dtype_bits: int = 64,
+             use_tensor: bool = False) -> RooflinePoint:
+    """Attainable GFlops for an arithmetic intensity on *device*."""
+    device = get_device(device)
+    peak = (device.tensor_flops(dtype_bits) if use_tensor
+            else device.cuda_flops(dtype_bits)) / 1e9
+    mem = device.measured_bw / 1e9 * intensity
+    if mem < peak:
+        return RooflinePoint(intensity, mem, "memory")
+    return RooflinePoint(intensity, peak, "compute")
+
+
+def spmv_intensity(csr, *, cached_x: bool = True) -> float:
+    """Arithmetic intensity of CSR SpMV on a matrix (flops per byte).
+
+    With ``cached_x`` the x vector is charged once (perfect reuse);
+    without, every gather goes to DRAM — the two ends of Figure 1's
+    achievable range.
+    """
+    vb = csr.data.dtype.itemsize
+    m, n = csr.shape
+    flops = 2.0 * csr.nnz
+    bytes_moved = csr.nnz * (vb + 4) + (m + 1) * 8 + m * vb
+    bytes_moved += n * vb if cached_x else csr.nnz * vb
+    return flops / bytes_moved

@@ -1,0 +1,43 @@
+"""Baseline SpMV methods the paper compares against, built from scratch:
+
+* :class:`CSR5Method` — Liu & Vinter's CSR5 (tile-transposed segmented sum)
+* :class:`TileSpMVMethod` — Niu et al.'s 2-D tiling with per-tile formats
+* :class:`LSRBMethod` — LSRB-CSR segment descriptors + atomics
+* :class:`BSRMethod` — cuSPARSE ``?bsrmv`` stand-in (best of 2x2/4x4/8x8)
+* :class:`MergeCSRMethod` — cuSPARSE CSR stand-in (merge-path balanced)
+* :class:`CSRScalarMethod` / :class:`CSRVectorMethod` — classic kernels
+"""
+
+from .bsr_spmv import BSRMethod, BSRPlan, CANDIDATE_BLOCKS
+from .csr5 import CSR5Method, CSR5Plan, build_csr5
+from .csr_scalar import CSRScalarMethod
+from .csr_vector import CSRVectorMethod
+from .lsrb import LSRBMethod, LSRBPlan, build_lsrb
+from .merge_csr import MergeCSRMethod, MergePlan, merge_path_partition
+from .registry import PAPER_METHODS, all_method_names, make_method, paper_methods
+from .tilespmv import TILE, TilePlan, TileSpMVMethod, build_tiles
+
+__all__ = [
+    "BSRMethod",
+    "BSRPlan",
+    "CANDIDATE_BLOCKS",
+    "CSR5Method",
+    "CSR5Plan",
+    "CSRScalarMethod",
+    "CSRVectorMethod",
+    "LSRBMethod",
+    "LSRBPlan",
+    "MergeCSRMethod",
+    "MergePlan",
+    "PAPER_METHODS",
+    "TILE",
+    "TilePlan",
+    "TileSpMVMethod",
+    "all_method_names",
+    "build_csr5",
+    "build_lsrb",
+    "build_tiles",
+    "make_method",
+    "merge_path_partition",
+    "paper_methods",
+]

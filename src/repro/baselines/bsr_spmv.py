@@ -1,0 +1,121 @@
+"""BSR SpMV — the cuSPARSE ``cusparse?bsrmv`` stand-in.
+
+The paper converts each matrix to BSR at block sizes 2x2, 4x4 and 8x8 and
+reports the best of the three.  On genuinely blocked matrices (FEM) the
+fill-in is small and blocks amortize index storage; on scattered matrices
+the fill-in explodes — the paper's 283.92x worst case ('lp_osa_60') is
+pure fill-in cost, and this model reproduces it because fill-in is
+*measured* from the real conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats import BSRMatrix
+from ..gpu.cost_model import estimate_time
+from ..gpu.device import WARP_SIZE, DeviceSpec, get_device
+from ..gpu.events import KernelEvents, PreprocessEvents
+from ..gpu.kernel import SpMVMethod
+from ..gpu.memory import x_traffic_bytes
+
+#: Block sizes the paper sweeps.
+CANDIDATE_BLOCKS = ((2, 2), (4, 4), (8, 8))
+
+
+@dataclass
+class BSRPlan:
+    """Best-of-three BSR conversion."""
+
+    csr: object
+    bsr: BSRMatrix
+    tried: dict  # blocksize -> modeled seconds
+
+    @property
+    def fill_ratio(self) -> float:
+        return self.bsr.fill_ratio(self.csr.nnz)
+
+
+class BSRMethod(SpMVMethod):
+    """cuSPARSE-BSR: convert at 2x2/4x4/8x8, keep the fastest."""
+
+    name = "cuSPARSE-BSR"
+    supported_dtypes = (np.float64, np.float32)  # no FP16 (paper Table 1)
+
+    def __init__(self, *, candidates=CANDIDATE_BLOCKS, device="A100") -> None:
+        self.candidates = candidates
+        #: Device used for the best-of-three selection (the paper selects
+        #: by measured time on the evaluation GPU).
+        self.selection_device = get_device(device)
+
+    def prepare(self, csr) -> BSRPlan:
+        tried = {}
+        best = None
+        dtype_bits = np.dtype(csr.data.dtype).itemsize * 8
+        for bs in self.candidates:
+            bsr = BSRMatrix.from_csr(csr, bs)
+            ev = self._events_for(csr, bsr, self.selection_device)
+            t = estimate_time(ev, self.selection_device, dtype_bits=dtype_bits).total
+            tried[bs] = t
+            if best is None or t < tried[best[0]]:
+                best = (bs, bsr)
+        return BSRPlan(csr, best[1], tried)
+
+    def run(self, plan: BSRPlan, x: np.ndarray) -> np.ndarray:
+        return plan.bsr.matvec(x)
+
+    def _events_for(self, csr, bsr: BSRMatrix, device: DeviceSpec) -> KernelEvents:
+        vb = csr.data.dtype.itemsize
+        m = csr.shape[0]
+        r, c = bsr.blocksize
+        stored = bsr.stored_values
+        blocks_per_brow = np.diff(bsr.indptr).astype(np.float64)
+        serial = (float(blocks_per_brow.max()) * r * c / WARP_SIZE
+                  if blocks_per_brow.size else 0.0)
+        # 2x2 FP64 blocks are 32-byte islands gathered from scattered
+        # addresses; sector waste shrinks as blocks grow.
+        mem_eff = {2: 0.62, 4: 0.82, 8: 0.95}.get(r, 0.9)
+        return KernelEvents(
+            bytes_val=stored * vb,
+            bytes_idx=bsr.nblocks * 4,
+            bytes_ptr=(bsr.indptr.size) * 8,
+            bytes_x=x_traffic_bytes(csr, vb, device),
+            bytes_y=m * vb,
+            flops_cuda=2.0 * stored,  # fill-in zeros are multiplied too
+            # per-block pointer/index arithmetic stalls the warp briefly
+            extra_instr=bsr.nblocks * 4.0 * WARP_SIZE,
+            imbalance=1.0,
+            mem_efficiency=mem_eff,
+            serial_iters=serial,
+            kernel_launches=1,
+            threads=max(int(bsr.indptr.size - 1), 1) * WARP_SIZE,
+        )
+
+    def events(self, plan: BSRPlan, device: DeviceSpec) -> KernelEvents:
+        return self._events_for(plan.csr, plan.bsr, device)
+
+    def preprocess_events(self, plan: BSRPlan) -> PreprocessEvents:
+        """csr2bsr for all three candidates: analysis + fill passes.
+
+        Selecting the best of 2x2/4x4/8x8 (the paper's procedure) costs
+        three full conversions; each involves device analysis/fill passes
+        plus host-side staging and a timing run's orchestration.
+        """
+        csr = plan.csr
+        vb = csr.data.dtype.itemsize
+        device_moved = 0.0
+        host_moved = 0.0
+        for _bs in self.candidates:
+            # nnzb analysis pass + conversion writing the filled blocks.
+            device_moved += csr.nnz * (vb + 4) * 2.0
+            host_moved += csr.nnz * (vb + 4)
+        device_moved += plan.bsr.stored_values * vb * 2.0
+        host_moved += plan.bsr.stored_values * vb * 2.0
+        return PreprocessEvents(
+            device_bytes=device_moved,
+            host_bytes=host_moved,
+            kernel_launches=10 * len(self.candidates),
+            allocations=3 * len(self.candidates),
+        )

@@ -1,0 +1,62 @@
+"""CSR-scalar SpMV: one thread per row (Algorithm 1 of the paper).
+
+This is the "standard CSR SpMV" whose cost breakdown the paper measures
+in Figure 2.  Its weakness is warp divergence: a warp of 32 consecutive
+rows runs as long as its *longest* row, so skewed matrices (wiki-Talk,
+circuit nets) leave most lanes idle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import WARP_SIZE, DeviceSpec
+from ..gpu.events import KernelEvents, PreprocessEvents
+from ..gpu.kernel import SpMVMethod
+from ..gpu.memory import x_traffic_bytes
+
+
+class CSRScalarMethod(SpMVMethod):
+    """One CUDA thread per row over the unmodified CSR arrays."""
+
+    name = "CSR-scalar"
+
+    def prepare(self, csr):
+        """CSR needs no conversion — the plan is the matrix itself."""
+        return csr
+
+    def run(self, csr, x: np.ndarray) -> np.ndarray:
+        return csr.matvec(x)
+
+    def events(self, csr, device: DeviceSpec) -> KernelEvents:
+        vb = csr.data.dtype.itemsize
+        m = csr.shape[0]
+        lens = csr.row_lengths().astype(np.float64)
+        # Warp cost = 32 lanes x the longest row in the warp (divergence
+        # inflates issued work); the single longest row is additionally a
+        # serial critical path for its owning thread.
+        pad = (-m) % WARP_SIZE
+        per_warp = np.concatenate([lens, np.zeros(pad)]).reshape(-1, WARP_SIZE)
+        warp_work = per_warp.max(axis=1) * WARP_SIZE
+        divergence = float(warp_work.sum() / max(lens.sum(), 1.0))
+        imb = max(divergence, 1.0)
+        return KernelEvents(
+            bytes_val=csr.nnz * vb,
+            bytes_idx=csr.nnz * 4,
+            bytes_ptr=(m + 1) * 8,
+            bytes_x=x_traffic_bytes(csr, vb, device),
+            bytes_y=m * vb,
+            flops_cuda=2.0 * csr.nnz,
+            extra_instr=m * 4,
+            imbalance=imb,
+            # one thread per row strides through its row: adjacent lanes
+            # read far-apart addresses, so coalescing is poor
+            mem_efficiency=0.55,
+            serial_iters=float(lens.max()) if lens.size else 0.0,
+            kernel_launches=1,
+            threads=m,
+        )
+
+    def preprocess_events(self, csr) -> PreprocessEvents:
+        """No conversion at all."""
+        return PreprocessEvents()

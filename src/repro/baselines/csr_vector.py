@@ -1,0 +1,56 @@
+"""CSR-vector SpMV: one warp per row.
+
+The classic fix for CSR-scalar's divergence on long rows — but it wastes
+31 of 32 lanes on rows shorter than a warp, so it loses badly on
+short-row matrices.  Included as a supporting baseline (it is the
+building block TileSpMV and cuSPARSE use internally for dense rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import WARP_SIZE, DeviceSpec
+from ..gpu.events import KernelEvents, PreprocessEvents
+from ..gpu.kernel import SpMVMethod
+from ..gpu.memory import x_traffic_bytes
+
+
+class CSRVectorMethod(SpMVMethod):
+    """One warp per row over the unmodified CSR arrays."""
+
+    name = "CSR-vector"
+
+    def prepare(self, csr):
+        return csr
+
+    def run(self, csr, x: np.ndarray) -> np.ndarray:
+        return csr.matvec(x)
+
+    def events(self, csr, device: DeviceSpec) -> KernelEvents:
+        vb = csr.data.dtype.itemsize
+        m = csr.shape[0]
+        lens = csr.row_lengths().astype(np.float64)
+        # A warp spends ceil(len/32) lockstep iterations on its row; lanes
+        # beyond the row length idle.
+        warp_iters = np.ceil(lens / WARP_SIZE)
+        warp_iters[lens == 0] = 1.0
+        waste = float(warp_iters.sum() * WARP_SIZE / max(lens.sum(), 1.0))
+        imb = max(waste, 1.0)
+        return KernelEvents(
+            bytes_val=csr.nnz * vb,
+            bytes_idx=csr.nnz * 4,
+            bytes_ptr=(m + 1) * 8,
+            bytes_x=x_traffic_bytes(csr, vb, device),
+            bytes_y=m * vb,
+            flops_cuda=2.0 * csr.nnz,
+            shfl_count=m * 5,  # per-row butterfly reduction
+            extra_instr=m * 4,
+            imbalance=imb,
+            serial_iters=float(warp_iters.max()) if lens.size else 0.0,
+            kernel_launches=1,
+            threads=m * WARP_SIZE,
+        )
+
+    def preprocess_events(self, csr) -> PreprocessEvents:
+        return PreprocessEvents()

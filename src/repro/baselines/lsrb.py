@@ -1,0 +1,139 @@
+"""LSRB-CSR (Liu et al., ICPADS'15) — low-storage row-block baseline.
+
+LSRB-CSR splits the nonzeros into fixed-size *segments* and stores, per
+segment, a compact descriptor of which rows it touches; every CUDA block
+reduces its segment locally and commits row results with global atomics
+at segment boundaries.  Storage overhead is low (its design goal), but
+the fixed segmentation makes it pay atomics on every row that spans a
+segment and per-segment bookkeeping on matrices with many short rows —
+which is why the paper measures it as the slowest of the five baselines
+(DASP is 3.29x faster on geomean, up to 90.59x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+from ..gpu.device import WARP_SIZE, DeviceSpec
+from ..gpu.events import KernelEvents, PreprocessEvents
+from ..gpu.kernel import SpMVMethod
+from ..gpu.memory import x_traffic_bytes
+
+#: Nonzeros per segment (one thread block's share).
+DEFAULT_SEGMENT = 256
+
+
+@dataclass
+class LSRBPlan:
+    """Segment descriptors over the unmodified CSR payload.
+
+    ``seg_first_row`` is the row containing each segment's first nonzero;
+    ``seg_rows`` counts distinct rows the segment touches (descriptor
+    width); ``boundary_rows`` counts rows split across segments (each
+    costs one global atomic per extra segment).
+    """
+
+    csr: object
+    segment: int
+    seg_first_row: np.ndarray
+    seg_rows: np.ndarray
+    boundary_atomics: int
+
+    @property
+    def nsegments(self) -> int:
+        return int(self.seg_first_row.size)
+
+
+def build_lsrb(csr, *, segment: int = DEFAULT_SEGMENT) -> LSRBPlan:
+    """Build the segment descriptors."""
+    check(segment > 0, "segment must be positive")
+    nnz = csr.nnz
+    nseg = -(-nnz // segment) if nnz else 0
+    seg_starts = np.arange(nseg, dtype=np.int64) * segment
+    seg_ends = np.minimum(seg_starts + segment, nnz)
+    first_row = np.searchsorted(csr.indptr, seg_starts, side="right") - 1
+    last_row = np.searchsorted(csr.indptr, seg_ends - 1, side="right") - 1
+    seg_rows = (last_row - first_row + 1) if nseg else np.zeros(0, np.int64)
+    # A row spanning k segments needs k-1 atomic merges; equivalently each
+    # segment whose first nonzero does not start a row pays one atomic.
+    row_start_aligned = csr.indptr[np.clip(first_row, 0, csr.shape[0] - 1)] == seg_starts if nseg \
+        else np.zeros(0, bool)
+    boundary_atomics = int(nseg - np.count_nonzero(row_start_aligned)) if nseg else 0
+    return LSRBPlan(csr, segment, first_row, np.asarray(seg_rows), boundary_atomics)
+
+
+class LSRBMethod(SpMVMethod):
+    """LSRB-CSR wrapped in the common method interface."""
+
+    name = "LSRB-CSR"
+    supported_dtypes = (np.float64, np.float32)  # no FP16 (paper Table 1)
+
+    def __init__(self, *, segment: int = DEFAULT_SEGMENT) -> None:
+        self.segment = segment
+
+    def prepare(self, csr) -> LSRBPlan:
+        return build_lsrb(csr, segment=self.segment)
+
+    def run(self, plan: LSRBPlan, x: np.ndarray) -> np.ndarray:
+        """Per-segment local reduction + atomic commits (functionally a
+        segmented sum over row starts and segment starts)."""
+        csr = plan.csr
+        x = np.asarray(x)
+        check(x.shape == (csr.shape[1],), "x has wrong length")
+        acc = np.result_type(csr.data, x, np.float32)
+        m = csr.shape[0]
+        y = np.zeros(m, dtype=acc)
+        if csr.nnz == 0:
+            return y
+        products = csr.data.astype(acc) * x[csr.indices.astype(np.int64)].astype(acc)
+        seg_starts = np.arange(plan.nsegments, dtype=np.int64) * plan.segment
+        bounds = np.unique(np.concatenate([csr.indptr[:-1], seg_starts]))
+        bounds = bounds[bounds < products.size]
+        seg = np.add.reduceat(products, bounds)
+        owner = np.searchsorted(csr.indptr, bounds, side="right") - 1
+        np.add.at(y, np.clip(owner, 0, m - 1), seg)
+        return y
+
+    def events(self, plan: LSRBPlan, device: DeviceSpec) -> KernelEvents:
+        csr = plan.csr
+        vb = csr.data.dtype.itemsize
+        m = csr.shape[0]
+        nseg = plan.nsegments
+        # Every row result is committed with an atomic (the descriptor
+        # does not distinguish exclusive rows), plus the boundary merges.
+        atomics = float(plan.seg_rows.sum() + plan.boundary_atomics)
+        # Per-segment descriptor decode is branch-heavy.
+        per_seg_instr = 64.0
+        # Segments hold equal nnz, so there is no across-segment skew;
+        # the critical path is one segment's serial flag decode.
+        max_rows = float(plan.seg_rows.max()) if plan.nsegments else 0.0
+        serial = plan.segment / 8.0 + max_rows
+        return KernelEvents(
+            bytes_val=csr.nnz * vb,
+            bytes_idx=csr.nnz * 4,
+            bytes_ptr=(m + 1) * 8 + nseg * 8,  # row ptr + segment descriptors
+            bytes_x=x_traffic_bytes(csr, vb, device),
+            bytes_y=m * vb + atomics * vb,
+            flops_cuda=2.0 * csr.nnz,
+            atomic_count=atomics,
+            extra_instr=nseg * per_seg_instr + csr.nnz * 0.5,
+            imbalance=1.0,
+            # segment-major decode with per-element flag tests and atomic
+            # commits: far from streaming-coalesced access
+            mem_efficiency=0.22,
+            serial_iters=serial,
+            kernel_launches=1,
+            threads=nseg * WARP_SIZE,
+        )
+
+    def preprocess_events(self, plan: LSRBPlan) -> PreprocessEvents:
+        """Descriptor build: one device scan over the row pointer."""
+        csr = plan.csr
+        return PreprocessEvents(
+            device_bytes=(csr.shape[0] + 1) * 8.0 + plan.nsegments * 16.0,
+            kernel_launches=4,
+            allocations=2,
+        )

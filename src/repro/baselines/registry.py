@@ -1,0 +1,52 @@
+"""Registry of all SpMV methods (the paper's Table 1 line-up + extras)."""
+
+from __future__ import annotations
+
+from ..core.method import DASPMethod
+from ..gpu.kernel import SpMVMethod
+from .bsr_spmv import BSRMethod
+from .csr5 import CSR5Method
+from .csr_scalar import CSRScalarMethod
+from .csr_vector import CSRVectorMethod
+from .lsrb import LSRBMethod
+from .merge_csr import MergeCSRMethod
+
+#: The six methods of the paper's evaluation (Table 1), by display name.
+PAPER_METHODS = (
+    "CSR5",
+    "TileSpMV",
+    "LSRB-CSR",
+    "cuSPARSE-BSR",
+    "cuSPARSE-CSR",
+    "DASP",
+)
+
+
+def make_method(name: str) -> SpMVMethod:
+    """Instantiate a method by display name."""
+    from .tilespmv import TileSpMVMethod
+
+    factories = {
+        "DASP": DASPMethod,
+        "CSR5": CSR5Method,
+        "TileSpMV": TileSpMVMethod,
+        "LSRB-CSR": LSRBMethod,
+        "cuSPARSE-BSR": BSRMethod,
+        "cuSPARSE-CSR": MergeCSRMethod,
+        "CSR-scalar": CSRScalarMethod,
+        "CSR-vector": CSRVectorMethod,
+    }
+    if name not in factories:
+        raise KeyError(f"unknown method {name!r}; have {sorted(factories)}")
+    return factories[name]()
+
+
+def paper_methods() -> list[SpMVMethod]:
+    """Fresh instances of the six Table 1 methods."""
+    return [make_method(n) for n in PAPER_METHODS]
+
+
+def all_method_names() -> list[str]:
+    """Every registered method name."""
+    return ["DASP", "CSR5", "TileSpMV", "LSRB-CSR", "cuSPARSE-BSR",
+            "cuSPARSE-CSR", "CSR-scalar", "CSR-vector"]

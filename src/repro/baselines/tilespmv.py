@@ -1,0 +1,240 @@
+"""TileSpMV (Niu et al., IPDPS'21) — 2-D tiled SpMV baseline.
+
+The matrix is cut into ``16 x 16`` tiles; non-empty tiles are indexed by
+a CSR-of-tiles structure and each tile is stored in whichever of several
+formats fits its population best (we implement the four that dominate in
+practice: dense, dense-row, ELL, and COO).  Wins on matrices with block
+substructure; loses when nonzeros scatter (kron, wiki-Talk) because tile
+metadata and near-empty tiles dominate — exactly the behaviour the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+from ..gpu.device import WARP_SIZE, DeviceSpec
+from ..gpu.events import KernelEvents, PreprocessEvents
+from ..gpu.kernel import SpMVMethod
+from ..gpu.memory import x_traffic_bytes
+
+#: Tile edge used by the original implementation.
+TILE = 16
+
+#: Per-tile formats.
+FMT_DENSE = 0
+FMT_DENSE_ROW = 1
+FMT_ELL = 2
+FMT_COO = 3
+
+
+@dataclass
+class TilePlan:
+    """CSR-of-tiles with per-tile format tags.
+
+    ``tile_row``/``tile_col`` give each non-empty tile's block position;
+    entries are grouped by tile in ``order`` (a permutation of the CSR
+    entry order), with ``tile_entry_ptr`` delimiting tiles.
+    """
+
+    csr: object
+    tile_row: np.ndarray
+    tile_col: np.ndarray
+    tile_fmt: np.ndarray
+    tile_entry_ptr: np.ndarray
+    order: np.ndarray
+    local_r: np.ndarray
+    local_c: np.ndarray
+
+    @property
+    def ntiles(self) -> int:
+        return int(self.tile_row.size)
+
+    def tile_counts(self) -> np.ndarray:
+        return np.diff(self.tile_entry_ptr)
+
+    def format_histogram(self) -> dict[int, int]:
+        """Number of tiles per format tag."""
+        return {f: int(np.count_nonzero(self.tile_fmt == f))
+                for f in (FMT_DENSE, FMT_DENSE_ROW, FMT_ELL, FMT_COO)}
+
+
+def build_tiles(csr) -> TilePlan:
+    """Tile the matrix and pick a per-tile storage format."""
+    nnz = csr.nnz
+    rows = np.repeat(np.arange(csr.shape[0], dtype=np.int64), csr.row_lengths())
+    cols = csr.indices.astype(np.int64)
+    trow, tcol = rows // TILE, cols // TILE
+    nb_cols = csr.shape[1] // TILE + 1
+    keys = trow * nb_cols + tcol
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    uniq_mask = np.empty(nnz, dtype=bool)
+    if nnz:
+        uniq_mask[0] = True
+        np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=uniq_mask[1:])
+    bounds = np.nonzero(uniq_mask)[0] if nnz else np.zeros(0, np.int64)
+    tile_entry_ptr = np.concatenate([bounds, [nnz]]).astype(np.int64)
+    uniq_keys = keys_sorted[uniq_mask] if nnz else keys_sorted
+    tile_row = (uniq_keys // nb_cols).astype(np.int64)
+    tile_col = (uniq_keys % nb_cols).astype(np.int64)
+
+    counts = np.diff(tile_entry_ptr)
+    local_r = (rows[order] % TILE).astype(np.int8)
+    local_c = (cols[order] % TILE).astype(np.int8)
+
+    # Format selection by tile population (thresholds follow the original
+    # paper's heuristics in spirit):
+    #   >= 50% full          -> dense
+    #   rows nearly full     -> dense-row
+    #   balanced row lengths -> ELL
+    #   otherwise            -> COO
+    tile_fmt = np.full(tile_row.size, FMT_COO, dtype=np.int8)
+    tile_fmt[counts >= TILE * TILE // 2] = FMT_DENSE
+    # Row balance per tile: max row population vs mean.
+    ell_like = np.zeros(tile_row.size, dtype=bool)
+    if nnz:
+        tile_of_entry = np.cumsum(uniq_mask) - 1
+        row_keys = tile_of_entry * TILE + local_r
+        per_row = np.bincount(row_keys, minlength=tile_row.size * TILE).reshape(-1, TILE)
+        row_max = per_row.max(axis=1)
+        occupied_rows = (per_row > 0).sum(axis=1)
+        mean_pop = counts / np.maximum(occupied_rows, 1)
+        ell_like = (row_max <= 2 * mean_pop) & (counts >= 4)
+        dense_row = (occupied_rows <= 2) & (counts >= TILE)
+        tile_fmt[ell_like & (tile_fmt == FMT_COO)] = FMT_ELL
+        tile_fmt[dense_row] = FMT_DENSE_ROW
+        tile_fmt[counts >= TILE * TILE // 2] = FMT_DENSE
+    return TilePlan(csr, tile_row, tile_col, tile_fmt, tile_entry_ptr,
+                    order, local_r, local_c)
+
+
+class TileSpMVMethod(SpMVMethod):
+    """TileSpMV wrapped in the common method interface."""
+
+    name = "TileSpMV"
+    supported_dtypes = (np.float64, np.float32)  # no FP16 (paper Table 1)
+
+    def prepare(self, csr) -> TilePlan:
+        return build_tiles(csr)
+
+    def run(self, plan: TilePlan, x: np.ndarray) -> np.ndarray:
+        """Per-tile SpMV with per-format micro-kernels.
+
+        Dense tiles run as batched 16x16 GEMV over gathered x strips
+        (what the device's dense micro-kernel does); the sparse formats
+        (ELL / dense-row / COO) share the scatter kernel — their device
+        difference is access pattern, not arithmetic.
+        """
+        csr = plan.csr
+        x = np.asarray(x)
+        check(x.shape == (csr.shape[1],), "x has wrong length")
+        acc = np.result_type(csr.data, x, np.float32)
+        m, n = csr.shape
+        y = np.zeros(m, dtype=acc)
+        if csr.nnz == 0:
+            return y
+        vals = csr.data[plan.order].astype(acc)
+        tile_of_entry = np.repeat(np.arange(plan.ntiles), plan.tile_counts())
+
+        dense_tiles = np.nonzero(plan.tile_fmt == FMT_DENSE)[0]
+        is_dense_entry = np.isin(tile_of_entry, dense_tiles)
+
+        # --- dense micro-kernel: batched 16x16 GEMV --------------------
+        if dense_tiles.size:
+            nt_d = dense_tiles.size
+            tiles = np.zeros((nt_d, TILE, TILE), dtype=acc)
+            slot = np.searchsorted(dense_tiles, tile_of_entry[is_dense_entry])
+            tiles[slot, plan.local_r[is_dense_entry],
+                  plan.local_c[is_dense_entry]] = vals[is_dense_entry]
+            # gather each dense tile's x strip (zero-pad the matrix edge)
+            xp = np.zeros(((n // TILE + 2) * TILE,), dtype=acc)
+            xp[:n] = x
+            starts = plan.tile_col[dense_tiles] * TILE
+            x_strips = xp[starts[:, None] + np.arange(TILE)]
+            partial = np.einsum("trc,tc->tr", tiles, x_strips)
+            y_pad = np.zeros(((m // TILE + 2) * TILE,), dtype=acc)
+            np.add.at(y_pad.reshape(-1, TILE),
+                      plan.tile_row[dense_tiles], partial)
+            y += y_pad[:m]
+
+        # --- sparse micro-kernels (ELL / dense-row / COO): scatter -----
+        sparse_entries = ~is_dense_entry
+        if sparse_entries.any():
+            rows = (plan.tile_row[tile_of_entry[sparse_entries]] * TILE
+                    + plan.local_r[sparse_entries])
+            cols = (plan.tile_col[tile_of_entry[sparse_entries]] * TILE
+                    + plan.local_c[sparse_entries])
+            prod = vals[sparse_entries] * x[cols.astype(np.int64)].astype(acc)
+            np.add.at(y, rows.astype(np.int64), prod)
+        return y
+
+    def events(self, plan: TilePlan, device: DeviceSpec) -> KernelEvents:
+        csr = plan.csr
+        vb = csr.data.dtype.itemsize
+        m = csr.shape[0]
+        nt = plan.ntiles
+        counts = plan.tile_counts().astype(np.float64)
+        fmt = plan.tile_fmt
+
+        # Stored bytes per tile depend on the chosen format.  ELL tiles
+        # pad every occupied row to the tile's max row population.
+        ell_slots = counts.copy()
+        ell_tiles = np.nonzero(fmt == FMT_ELL)[0]
+        if ell_tiles.size and csr.nnz:
+            tile_of_entry = np.repeat(np.arange(nt), plan.tile_counts())
+            row_keys = tile_of_entry * TILE + plan.local_r
+            per_row = np.bincount(row_keys, minlength=nt * TILE).reshape(-1, TILE)
+            row_max = per_row.max(axis=1)
+            occupied = (per_row > 0).sum(axis=1)
+            ell_slots[ell_tiles] = (row_max * occupied)[ell_tiles]
+        stored_slots = np.where(
+            fmt == FMT_DENSE, TILE * TILE,
+            np.where(fmt == FMT_DENSE_ROW, 2 * TILE, ell_slots))
+        val_bytes = float((stored_slots * vb).sum())
+        idx_bytes = float(np.where(fmt == FMT_COO, counts * 2, counts * 1).sum())
+        # Tile metadata: tile ptr/col (CSR-of-tiles), format tags, bitmaps.
+        meta_bytes = nt * (4 + 2 + 1 + 8) + (m // TILE + 1) * 4
+
+        # A warp handles one tile-row strip; the heaviest strip is a
+        # serial critical path (tiles are processed one after another).
+        strip_work = np.bincount(plan.tile_row, weights=np.maximum(counts, 8),
+                                 minlength=m // TILE + 1)
+        serial = float(strip_work.max()) / WARP_SIZE if strip_work.size else 0.0
+        return KernelEvents(
+            bytes_val=val_bytes,
+            bytes_idx=idx_bytes,
+            bytes_ptr=meta_bytes,
+            bytes_x=x_traffic_bytes(csr, vb, device),
+            bytes_y=m * vb,
+            flops_cuda=2.0 * float(stored_slots.sum()),
+            shfl_count=nt * 4,
+            # per-tile dispatch (format switch, bounds, pointer chasing)
+            # stalls all 32 lanes for ~40 cycles -> thread-level cost
+            extra_instr=nt * 40.0 * WARP_SIZE,
+            imbalance=1.0,
+            # per-tile format dispatch interleaves small reads of mixed
+            # structures; near-coalesced but not a pure stream
+            mem_efficiency=0.75,
+            serial_iters=serial,
+            kernel_launches=2,
+            threads=nt * WARP_SIZE // 2,
+        )
+
+    def preprocess_events(self, plan: TilePlan) -> PreprocessEvents:
+        """Host-side tiling: count pass, format-selection pass, packing."""
+        csr = plan.csr
+        vb = csr.data.dtype.itemsize
+        host = csr.nnz * (vb + 4) * 3.0      # count, classify, pack passes
+        host += plan.ntiles * 64.0           # per-tile format selection work
+        host += plan.ntiles * (vb + 4) * 4.0
+        return PreprocessEvents(
+            device_bytes=plan.ntiles * 16.0,
+            host_bytes=host,
+            sort_keys=float(csr.nnz),  # entries sorted into tile order
+            kernel_launches=6,
+            allocations=8,
+        )

@@ -1,0 +1,23 @@
+"""Benchmark harness: sweep runner, reporting helpers, and
+programmatic per-figure experiment builders."""
+
+from . import experiments
+from .report import (
+    RESULTS_DIR,
+    markdown_table,
+    paper_vs_measured,
+    results_path,
+    save_csv,
+)
+from .runner import ComparisonResult, run_comparison
+
+__all__ = [
+    "ComparisonResult",
+    "experiments",
+    "RESULTS_DIR",
+    "markdown_table",
+    "paper_vs_measured",
+    "results_path",
+    "run_comparison",
+    "save_csv",
+]

@@ -1,0 +1,223 @@
+"""Programmatic experiment builders — one function per paper artifact.
+
+The ``benchmarks/`` pytest files are thin wrappers around these: each
+function runs (or consumes) a sweep and returns a structured result a
+user can inspect, plot, or re-aggregate.  Keeping them in the library
+means a downstream user can regenerate any figure from a notebook:
+
+    from repro.bench import experiments as ex
+    fig10 = ex.figure10()
+    print(fig10.summaries["CSR5"].geomean)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis import (
+    SpeedupSummary,
+    BandwidthPoint,
+    bandwidth_points,
+    breakdown_averages,
+    csr_breakdown,
+    peak_lines,
+    speedup_summary,
+)
+from ..core import DASPMatrix, mma_utilization, spmm_events
+from ..gpu import estimate_time, get_device
+from ..matrices import (
+    category_ratios,
+    fem_blocked,
+    grid2d,
+    highlight_suite,
+    power_law,
+    quantum_chem,
+    representative_suite,
+    synthetic_collection,
+)
+from ..matrices.collection import CollectionEntry
+from .runner import ComparisonResult, run_comparison
+
+#: The §4.2 headline numbers (FP64, A100) for side-by-side reporting.
+PAPER_FP64_GEOMEANS = {
+    "CSR5": 1.46,
+    "TileSpMV": 2.09,
+    "LSRB-CSR": 3.29,
+    "cuSPARSE-BSR": 2.08,
+    "cuSPARSE-CSR": 1.52,
+}
+
+#: The Figure 9 headline numbers.
+PAPER_FP16_GEOMEANS = {"A100": 1.70, "H800": 1.75}
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Result:
+    points: list  # BandwidthPoint
+    peaks: dict[str, float]
+    result: ComparisonResult
+
+    def mean_gbs(self, method: str) -> float:
+        vals = [p.gbs for p in self.points if p.method == method]
+        return float(np.mean(vals)) if vals else float("nan")
+
+
+def _large_entries():
+    return [
+        CollectionEntry("large_fem_1", "fem",
+                        lambda: fem_blocked(45000, 55, seed=1)),
+        CollectionEntry("large_fem_2", "fem",
+                        lambda: fem_blocked(30000, 90, seed=2)),
+        CollectionEntry("large_qchem", "quantum",
+                        lambda: quantum_chem(24000, 85, seed=3)),
+        CollectionEntry("large_grid", "grid",
+                        lambda: grid2d(700, 700, seed=4)),
+        CollectionEntry("large_power", "power_law",
+                        lambda: power_law(300000, 8, alpha=1.7, seed=5)),
+        CollectionEntry("large_fem_3", "fem",
+                        lambda: fem_blocked(60000, 40, seed=6)),
+    ]
+
+
+def figure1(*, device="A100",
+            methods=("CSR5", "cuSPARSE-CSR", "DASP")) -> Figure1Result:
+    """Bandwidth of CSR5 / cuSPARSE / DASP on large matrices vs peaks."""
+    res = run_comparison(_large_entries(), device=device, methods=methods,
+                         keep_matrices=True)
+    points = bandwidth_points(res.times, res.matrices, methods=methods)
+    return Figure1Result(points=points, peaks=peak_lines(device), result=res)
+
+
+# ----------------------------------------------------------------------
+# Figure 2
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure2Result:
+    rows: list  # BreakdownRow
+    averages: dict[str, float]
+
+
+def figure2(*, device="A100", collection=None,
+            collection_size: int = 120) -> Figure2Result:
+    """CSR SpMV time breakdown over a collection."""
+    if collection is None:
+        res = run_comparison(synthetic_collection(collection_size),
+                             device=device, methods=("CSR-scalar",),
+                             keep_matrices=True)
+        collection = res.matrices
+    rows = [csr_breakdown(m, device, matrix_name=n)
+            for n, m in collection.items()]
+    return Figure2Result(rows=rows, averages=breakdown_averages(rows))
+
+
+# ----------------------------------------------------------------------
+# Figures 9 / 10 (speedup sweeps)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpeedupResult:
+    result: ComparisonResult
+    summaries: dict[str, SpeedupSummary]
+
+    def speedups(self, base: str) -> dict[str, float]:
+        dasp = self.result.times["DASP"]
+        return {n: self.result.times[base][n] / dasp[n] for n in dasp}
+
+
+def figure10(*, device="A100", collection_size: int = 120,
+             entries=None) -> SpeedupResult:
+    """FP64 six-method comparison; returns per-baseline summaries."""
+    entries = entries if entries is not None else synthetic_collection(collection_size)
+    res = run_comparison(entries, device=device, dtype=np.float64,
+                         keep_matrices=True)
+    summaries = {
+        base: speedup_summary(res.times["DASP"], res.times[base], base)
+        for base in res.times if base != "DASP"
+    }
+    return SpeedupResult(result=res, summaries=summaries)
+
+
+def figure9(*, device="A100", entries=None) -> SpeedupResult:
+    """FP16 DASP-vs-cuSPARSE comparison on one device."""
+    entries = entries if entries is not None else (
+        representative_suite() + highlight_suite())
+    res = run_comparison(entries, device=device, dtype=np.float16,
+                         methods=("cuSPARSE-CSR", "DASP"))
+    summaries = {"cuSPARSE-CSR": speedup_summary(
+        res.times["DASP"], res.times["cuSPARSE-CSR"], "cuSPARSE-CSR")}
+    return SpeedupResult(result=res, summaries=summaries)
+
+
+# ----------------------------------------------------------------------
+# Figure 12
+# ----------------------------------------------------------------------
+
+
+def figure12(entries=None) -> dict[str, object]:
+    """Category ratios for the representative matrices."""
+    entries = entries if entries is not None else representative_suite()
+    return {e.name: category_ratios(e.matrix()) for e in entries}
+
+
+# ----------------------------------------------------------------------
+# Figure 13
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure13Result:
+    result: ComparisonResult
+    sizes: list[int]
+    methods: tuple
+
+    def series(self, method: str) -> list[float]:
+        names = sorted(self.result.nnz, key=self.result.nnz.get)
+        return [self.result.preprocess[method][n] for n in names]
+
+
+def figure13(*, device="A100",
+             sizes=(2_000, 6_000, 20_000, 60_000, 200_000, 600_000),
+             methods=("CSR5", "TileSpMV", "cuSPARSE-BSR", "DASP")) -> Figure13Result:
+    """Preprocessing cost sweep over matrix sizes."""
+    entries = []
+    for i, nnz in enumerate(sizes):
+        m = max(64, nnz // 30)
+        entries.append(CollectionEntry(
+            f"fem_{nnz}", "fem", (lambda mm=m, s=i: fem_blocked(mm, 30, seed=s))))
+    res = run_comparison(entries, device=device, methods=methods)
+    return Figure13Result(result=res, sizes=[res.nnz[n] for n in
+                                             sorted(res.nnz, key=res.nnz.get)],
+                          methods=methods)
+
+
+# ----------------------------------------------------------------------
+# SpMM extension
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpMMResult:
+    ks: list[int]
+    utilization: dict[int, float]
+    modeled_s: dict[int, float]
+
+
+def spmm_scaling(csr, *, device="A100", ks=(1, 2, 4, 8, 16)) -> SpMMResult:
+    """MMA utilization and modeled time vs number of right-hand sides."""
+    device = get_device(device)
+    dasp = DASPMatrix.from_csr(csr)
+    util, times = {}, {}
+    for k in ks:
+        util[k] = mma_utilization(dasp, k)
+        times[k] = estimate_time(spmm_events(dasp, device, k), device).total
+    return SpMMResult(ks=list(ks), utilization=util, modeled_s=times)

@@ -1,0 +1,54 @@
+"""Result formatting: markdown tables, CSV dumps, paper-vs-measured rows."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def save_csv(path, headers: Sequence[str], rows: Iterable[Sequence]) -> Path:
+    """Write rows to CSV, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def paper_vs_measured(rows: Iterable[tuple[str, str, str, str]]) -> str:
+    """Format (quantity, paper value, measured value, verdict) rows —
+    the EXPERIMENTS.md record format."""
+    return markdown_table(("quantity", "paper", "measured (model)", "shape holds?"),
+                          rows)
+
+
+#: Directory benchmark outputs are written to (repo-root relative).
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+
+def results_path(name: str) -> Path:
+    """Path under the shared results directory."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR / name

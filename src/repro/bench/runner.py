@@ -1,0 +1,123 @@
+"""Experiment runner: sweep (matrices x methods x device x precision).
+
+Every figure/table benchmark drives this runner; it measures modeled
+device time for each method on each matrix (optionally also verifying
+functional correctness against the CSR reference) and returns a
+:class:`ComparisonResult` the reporting helpers can turn into the
+paper's tables and series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import check, default_rng
+from ..baselines.registry import PAPER_METHODS, make_method
+from ..gpu.cost_model import estimate_preprocess_time
+from ..gpu.device import get_device
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of one sweep.
+
+    Attributes
+    ----------
+    device / dtype:
+        Where and at which precision the sweep ran.
+    times:
+        method -> {matrix -> modeled seconds}.
+    preprocess:
+        method -> {matrix -> modeled preprocessing seconds}.
+    wall_prepare:
+        method -> {matrix -> wall-clock seconds of this implementation's
+        ``prepare`` call} (real measurements, used by pytest-benchmark
+        style reporting).
+    nnz / shape:
+        matrix -> size metadata.
+    matrices:
+        matrix -> CSR object (only when ``keep_matrices=True``).
+    errors:
+        matrix -> max |y - y_ref| over methods (when correctness checked).
+    """
+
+    device: str
+    dtype: str
+    times: dict = field(default_factory=dict)
+    preprocess: dict = field(default_factory=dict)
+    wall_prepare: dict = field(default_factory=dict)
+    nnz: dict = field(default_factory=dict)
+    shape: dict = field(default_factory=dict)
+    matrices: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
+
+    def gflops(self, method: str) -> dict[str, float]:
+        """Per-matrix GFlops for one method."""
+        return {name: 2.0 * self.nnz[name] / t / 1e9
+                for name, t in self.times.get(method, {}).items() if t > 0}
+
+    def methods(self) -> list[str]:
+        return list(self.times)
+
+
+def run_comparison(entries, *, device="A100", dtype=np.float64,
+                   methods=PAPER_METHODS, check_correctness: bool = False,
+                   keep_matrices: bool = False, seed: int = 7,
+                   rtol: float = 1e-6) -> ComparisonResult:
+    """Sweep the given suite/collection entries across methods.
+
+    ``entries`` is an iterable of objects with ``.name`` and ``.matrix()``
+    (both :class:`~repro.matrices.suite.SuiteEntry` and
+    :class:`~repro.matrices.collection.CollectionEntry` qualify).
+    Methods that do not support ``dtype`` are skipped (mirroring the
+    paper: only cuSPARSE-CSR and DASP run FP16).
+    """
+    device = get_device(device)
+    dtype = np.dtype(dtype)
+    rng = default_rng(seed)
+    result = ComparisonResult(device=device.name, dtype=str(dtype))
+
+    method_objs = [make_method(name) for name in methods]
+    method_objs = [m for m in method_objs if m.supports(dtype)]
+    for m in method_objs:
+        result.times[m.name] = {}
+        result.preprocess[m.name] = {}
+        result.wall_prepare[m.name] = {}
+
+    for entry in entries:
+        csr = entry.matrix().astype(dtype)
+        name = entry.name
+        result.nnz[name] = csr.nnz
+        result.shape[name] = csr.shape
+        if keep_matrices:
+            result.matrices[name] = csr
+        x = rng.uniform(-1.0, 1.0, size=csr.shape[1]).astype(dtype)
+        y_ref = csr.matvec(x) if check_correctness else None
+        worst = 0.0
+        for method in method_objs:
+            t0 = time.perf_counter()
+            plan = method.prepare(csr)
+            wall = time.perf_counter() - t0
+            ev = method.events(plan, device)
+            from ..gpu.cost_model import estimate_time
+
+            parts = estimate_time(ev, device, dtype_bits=dtype.itemsize * 8)
+            result.times[method.name][name] = parts.total
+            result.preprocess[method.name][name] = estimate_preprocess_time(
+                method.preprocess_events(plan), device)
+            result.wall_prepare[method.name][name] = wall
+            if check_correctness:
+                y = method.run(plan, x)
+                scale = np.max(np.abs(y_ref)) or 1.0
+                err = float(np.max(np.abs(
+                    np.asarray(y, dtype=np.float64)
+                    - np.asarray(y_ref, dtype=np.float64)))) / scale
+                check(err <= rtol,
+                      f"{method.name} wrong on {name}: rel err {err:.2e}")
+                worst = max(worst, err)
+        if check_correctness:
+            result.errors[name] = worst
+    return result

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the named matrices (Table 2 suite + highlight set).
+``analyze MATRIX``
+    Structure statistics, DASP category breakdown and a modeled
+    all-methods comparison for a named matrix or a ``.mtx`` file.
+``spmv MATRIX``
+    Run a DASP SpMV (functionally) and report the modeled device time.
+``bench``
+    Sweep a small synthetic collection and print DASP-vs-baseline
+    speedup summaries (a miniature Figure 10).
+``convert``
+    Convert between MatrixMarket ``.mtx`` and compressed ``.npz``
+    matrix files (either direction, by extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import speedup_summary
+from .baselines import PAPER_METHODS, paper_methods
+from .bench import markdown_table, run_comparison
+from .core import DASPMatrix, DASPMethod, dasp_spmv
+from .formats import read_matrix_market, write_matrix_market
+from .matrices import (
+    category_ratios,
+    highlight_suite,
+    representative_suite,
+    row_length_stats,
+    suite_by_name,
+    synthetic_collection,
+)
+
+
+def _load_matrix(spec: str):
+    """Resolve a matrix spec: a ``.mtx`` path or a named suite matrix."""
+    path = Path(spec)
+    if path.suffix == ".mtx" or path.exists():
+        return read_matrix_market(str(path)).to_csr()
+    return suite_by_name(spec).matrix()
+
+
+def cmd_list(_args) -> int:
+    rows = [(e.name, e.family, f"{e.paper_shape[0]}x{e.paper_shape[1]}",
+             f"{e.paper_nnz:,}", "Table 2")
+            for e in representative_suite()]
+    rows += [(e.name, e.family, f"{e.paper_shape[0]}x{e.paper_shape[1]}",
+              f"{e.paper_nnz:,}", "highlight")
+             for e in highlight_suite()]
+    print(markdown_table(("name", "family", "paper size", "paper nnz",
+                          "set"), rows))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    csr = _load_matrix(args.matrix).astype(np.dtype(args.dtype))
+    stats = row_length_stats(csr)
+    print(f"{args.matrix}: {csr.shape[0]}x{csr.shape[1]}, nnz={csr.nnz:,}")
+    print(f"row lengths: min={stats.min_len} mean={stats.mean_len:.1f} "
+          f"max={stats.max_len} gini={stats.gini:.2f} "
+          f"empty={stats.empty_rows}")
+    c = category_ratios(csr)
+    print(markdown_table(
+        ("category", "rows", "nnz"),
+        [("long", f"{c.row_long:.1%}", f"{c.nnz_long:.1%}"),
+         ("medium", f"{c.row_medium:.1%}", f"{c.nnz_medium:.1%}"),
+         ("short", f"{c.row_short:.1%}", f"{c.nnz_short:.1%}"),
+         ("empty", f"{c.row_empty:.1%}", "-")]))
+    print(DASPMatrix.from_csr(csr).summary())
+    rows = []
+    for method in paper_methods():
+        if not method.supports(csr.data.dtype):
+            rows.append((method.name, "-", "unsupported dtype"))
+            continue
+        meas = method.measure(csr, args.device, matrix_name=args.matrix)
+        rows.append((method.name, f"{meas.time_s * 1e6:.1f}",
+                     f"{meas.gflops:.1f}"))
+    print(markdown_table((f"method ({args.device})", "modeled us",
+                          "GFlops"), rows))
+    return 0
+
+
+def cmd_spmv(args) -> int:
+    csr = _load_matrix(args.matrix).astype(np.dtype(args.dtype))
+    rng = np.random.default_rng(args.seed)
+    x = rng.uniform(-1, 1, csr.shape[1]).astype(csr.data.dtype)
+    dasp = DASPMatrix.from_csr(csr)
+    y = dasp_spmv(dasp, x)
+    ref = csr.matvec(x)
+    err = float(np.max(np.abs(np.asarray(y, np.float64)
+                              - np.asarray(ref, np.float64))))
+    meas = DASPMethod().measure(csr, args.device, matrix_name=args.matrix)
+    print(f"y checksum: {float(np.sum(y)):.6e}   max abs err vs CSR: {err:.2e}")
+    print(f"modeled {args.device} time: {meas.time_s * 1e6:.1f} us "
+          f"({meas.gflops:.1f} GFlops)")
+    return 0 if err < 1e-2 else 1
+
+
+def cmd_convert(args) -> int:
+    from .matrices.io import load_csr, save_csr
+
+    src, dst = Path(args.source), Path(args.dest)
+    if src.suffix == ".mtx":
+        csr = read_matrix_market(str(src)).to_csr()
+    elif src.suffix == ".npz":
+        csr = load_csr(src)
+    else:
+        print(f"unsupported input {src.suffix!r} (use .mtx or .npz)",
+              file=sys.stderr)
+        return 2
+    if dst.suffix == ".mtx":
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        write_matrix_market(csr, dst)
+    elif dst.suffix == ".npz":
+        save_csr(dst, csr, name=src.stem)
+    else:
+        print(f"unsupported output {dst.suffix!r} (use .mtx or .npz)",
+              file=sys.stderr)
+        return 2
+    print(f"{src} -> {dst}: {csr.shape[0]}x{csr.shape[1]}, nnz={csr.nnz:,}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    entries = synthetic_collection(args.count, seed=args.seed)
+    res = run_comparison(entries, device=args.device,
+                         dtype=np.dtype(args.dtype))
+    dasp = res.times.get("DASP", {})
+    if not dasp:
+        print("DASP does not support this dtype", file=sys.stderr)
+        return 1
+    for base in res.times:
+        if base == "DASP":
+            continue
+        print(speedup_summary(dasp, res.times[base], base))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DASP (SC'23) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list named matrices").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("analyze", help="analyze a matrix")
+    p.add_argument("matrix", help="named matrix or .mtx file")
+    p.add_argument("--device", default="A100", choices=("A100", "H800"))
+    p.add_argument("--dtype", default="float64",
+                   choices=("float64", "float32", "float16"))
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("spmv", help="run one DASP SpMV")
+    p.add_argument("matrix")
+    p.add_argument("--device", default="A100", choices=("A100", "H800"))
+    p.add_argument("--dtype", default="float64",
+                   choices=("float64", "float32", "float16"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_spmv)
+
+    p = sub.add_parser("convert", help="convert .mtx <-> .npz")
+    p.add_argument("source")
+    p.add_argument("dest")
+    p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser("bench", help="mini Figure 10 sweep")
+    p.add_argument("--count", type=int, default=20)
+    p.add_argument("--device", default="A100", choices=("A100", "H800"))
+    p.add_argument("--dtype", default="float64",
+                   choices=("float64", "float16"))
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

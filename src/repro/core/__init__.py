@@ -1,0 +1,65 @@
+"""DASP core — the paper's contribution.
+
+Public entry points:
+
+* :class:`DASPMatrix` / :meth:`DASPMatrix.from_csr` — the MMA-friendly
+  data structure (Section 3.2).
+* :func:`dasp_spmv` — the SpMV kernels (Section 3.3), with a vectorized
+  engine and a lane-accurate ``engine="warp"`` validation engine.
+* :class:`DASPMethod` — the method wrapped for benchmarking against the
+  baselines.
+"""
+
+from .autotune import (
+    MAX_LEN_CANDIDATES,
+    THRESHOLD_CANDIDATES,
+    TuneResult,
+    tune_max_len,
+    tune_threshold,
+)
+from .classify import DEFAULT_MAX_LEN, SHORT_LEN, RowClassification, classify_rows
+from .format import DASPMatrix
+from .long_rows import LongRowsPlan, build_long_rows, run_long_rows
+from .medium_rows import (
+    DEFAULT_THRESHOLD,
+    MediumRowsPlan,
+    build_medium_rows,
+    loop_num_for,
+    run_medium_rows,
+)
+from .method import DASPMethod
+from .preprocess import dasp_preprocess_events, timed_preprocess
+from .short_rows import ShortRowsPlan, build_short_rows, run_short_rows
+from .spmm import dasp_spmm, mma_utilization, spmm_events
+from .spmv import dasp_spmv
+
+__all__ = [
+    "DASPMatrix",
+    "DASPMethod",
+    "DEFAULT_MAX_LEN",
+    "DEFAULT_THRESHOLD",
+    "LongRowsPlan",
+    "MAX_LEN_CANDIDATES",
+    "MediumRowsPlan",
+    "RowClassification",
+    "SHORT_LEN",
+    "ShortRowsPlan",
+    "THRESHOLD_CANDIDATES",
+    "TuneResult",
+    "build_long_rows",
+    "build_medium_rows",
+    "build_short_rows",
+    "classify_rows",
+    "dasp_preprocess_events",
+    "dasp_spmm",
+    "dasp_spmv",
+    "loop_num_for",
+    "mma_utilization",
+    "run_long_rows",
+    "run_medium_rows",
+    "run_short_rows",
+    "spmm_events",
+    "timed_preprocess",
+    "tune_max_len",
+    "tune_threshold",
+]

@@ -1,0 +1,47 @@
+"""Shared gather/packing helpers for the DASP planners."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import PTR_DTYPE, check
+
+
+def exclusive_cumsum(counts: np.ndarray) -> np.ndarray:
+    """``[0, c0, c0+c1, ...]`` of length ``len(counts) + 1``."""
+    out = np.zeros(counts.size + 1, dtype=PTR_DTYPE)
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def gather_rows_padded(csr, rows: np.ndarray, padded_lens: np.ndarray):
+    """Gather selected rows into a flat zero-padded layout.
+
+    Row ``rows[i]`` contributes exactly ``padded_lens[i]`` consecutive
+    slots: its nonzeros first (CSR order), then explicit zeros with column
+    index 0 — the paper's padding convention (``longCid`` sets padded
+    columns to 0, whose x value is multiplied by a zero value).
+
+    Returns ``(val, cid, valid)`` flat arrays of length
+    ``padded_lens.sum()``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    padded_lens = np.asarray(padded_lens, dtype=np.int64)
+    check(rows.size == padded_lens.size, "rows/padded_lens length mismatch")
+    lens = csr.row_lengths()[rows] if rows.size else np.zeros(0, dtype=np.int64)
+    check(bool(np.all(padded_lens >= lens)), "padded length below row length")
+    total = int(padded_lens.sum())
+    val = np.zeros(total, dtype=csr.data.dtype)
+    cid = np.zeros(total, dtype=np.int32)
+    valid = np.zeros(total, dtype=bool)
+    if total == 0:
+        return val, cid, valid
+    owner = np.repeat(np.arange(rows.size, dtype=np.int64), padded_lens)
+    starts = exclusive_cumsum(padded_lens)
+    slot = np.arange(total, dtype=np.int64) - starts[owner]
+    valid = slot < lens[owner]
+    src = csr.indptr[rows][owner] + slot
+    src_safe = np.minimum(src, max(csr.nnz - 1, 0))
+    val[valid] = csr.data[src_safe[valid]]
+    cid[valid] = csr.indices[src_safe[valid]]
+    return val, cid, valid

@@ -1,0 +1,95 @@
+"""Row classification — Section 3.2 of the paper.
+
+Rows are grouped by nonzero count ``Row_len`` into:
+
+* **long**:   ``Row_len > MAX_LEN`` (default 256)
+* **medium**: ``4 < Row_len <= MAX_LEN``
+* **short**:  ``1 <= Row_len <= 4``
+* **empty**:  ``Row_len == 0`` — tracked separately and skipped entirely
+  (the paper notes cop20k_A's 21349 empty rows in Section 4.3).
+
+Medium rows are returned *stably sorted by descending length*, which is
+the order the medium-row planner packs them in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+
+#: The paper's default boundary between medium and long rows; "just right
+#: for the workload of a thread block" (4 warps x 2 blocks x 32 elements).
+DEFAULT_MAX_LEN = 256
+
+#: Short/medium boundary: one MMA_K-wide slice.
+SHORT_LEN = 4
+
+
+@dataclass(frozen=True)
+class RowClassification:
+    """Outcome of the row-length analysis.
+
+    All arrays hold *original* row indices.  ``short[k]`` (k in 1..4)
+    lists rows with exactly ``k`` nonzeros, in ascending row order;
+    ``medium`` is stably sorted by descending row length.
+    """
+
+    max_len: int
+    long: np.ndarray
+    medium: np.ndarray
+    short: dict[int, np.ndarray]
+    empty: np.ndarray
+
+    @property
+    def n_long(self) -> int:
+        return int(self.long.size)
+
+    @property
+    def n_medium(self) -> int:
+        return int(self.medium.size)
+
+    @property
+    def n_short(self) -> int:
+        return int(sum(v.size for v in self.short.values()))
+
+    @property
+    def n_empty(self) -> int:
+        return int(self.empty.size)
+
+    def counts(self) -> dict[str, int]:
+        """Row counts per category (Figure 12a's numerator)."""
+        return {
+            "long": self.n_long,
+            "medium": self.n_medium,
+            "short": self.n_short,
+            "empty": self.n_empty,
+        }
+
+
+def classify_rows(csr, *, max_len: int = DEFAULT_MAX_LEN) -> RowClassification:
+    """Classify every row of *csr* per the paper's three categories."""
+    check(max_len > SHORT_LEN, "max_len must exceed the short-row bound (4)")
+    lens = csr.row_lengths()
+    idx = np.arange(lens.size, dtype=np.int64)
+
+    long_rows = idx[lens > max_len]
+    empty_rows = idx[lens == 0]
+
+    med_mask = (lens > SHORT_LEN) & (lens <= max_len)
+    med_idx = idx[med_mask]
+    # Stable descending sort by length (paper Section 3.2): stable sort on
+    # the negated lengths keeps original order among equal lengths.
+    order = np.argsort(-lens[med_idx], kind="stable")
+    medium_rows = med_idx[order]
+
+    short = {k: idx[lens == k] for k in (1, 2, 3, 4)}
+    return RowClassification(
+        max_len=int(max_len),
+        long=long_rows,
+        medium=medium_rows,
+        short=short,
+        empty=empty_rows,
+    )

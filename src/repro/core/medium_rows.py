@@ -1,0 +1,256 @@
+"""Medium-rows planner and kernel — Section 3.3.2 / Algorithm 3.
+
+Medium rows (``4 < Row_len <= MAX_LEN``) are stably sorted by descending
+length, grouped into *row-blocks* of ``MMA_M`` consecutive sorted rows,
+and each row-block's leading ``MMA_M x MMA_K`` chunks become zero-padded
+**regular** MMA blocks while chunk occupancy exceeds ``threshold`` (0.75
+in the paper).  The per-row tails past the last regular chunk form the
+**irregular** part, processed one thread per row on CUDA cores.
+
+``LOOP_NUM`` (row-blocks per warp) follows the paper's rule exactly:
+1 below 59990 medium rows, 2 below 400000, else 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+from ..gpu.device import WARP_SIZE
+from ..gpu.events import KernelEvents
+from ..gpu.mma import MmaShape, MmaUnit
+from ._pack import exclusive_cumsum
+
+#: The paper's chunk-occupancy threshold for forming a regular block.
+DEFAULT_THRESHOLD = 0.75
+
+
+def loop_num_for(row_medium: int) -> int:
+    """The paper's LOOP_NUM rule (Section 3.3.2)."""
+    if row_medium < 59990:
+        return 1
+    if row_medium < 400000:
+        return 2
+    return 4
+
+
+@dataclass
+class MediumRowsPlan:
+    """Packed data for the medium-rows category.
+
+    Attributes
+    ----------
+    row_idx:
+        Original row indices in packed (descending-length) order.
+    rowblock_ptr:
+        ``rowblockPtr``: element offset of each row-block's regular part
+        (multiples of ``MMA_M * MMA_K``).
+    reg_val / reg_cid:
+        Regular part, intra-block row-major, zero padded.
+    irreg_ptr / irreg_val / irreg_cid:
+        Irregular per-row tails in CSR-like layout over packed rows.
+    loop_num:
+        Row-blocks per warp.
+    """
+
+    row_idx: np.ndarray
+    rowblock_ptr: np.ndarray
+    reg_val: np.ndarray
+    reg_cid: np.ndarray
+    irreg_ptr: np.ndarray
+    irreg_val: np.ndarray
+    irreg_cid: np.ndarray
+    shape: MmaShape
+    threshold: float
+    loop_num: int
+    orig_nnz: int
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.row_idx.size)
+
+    @property
+    def n_rowblocks(self) -> int:
+        return int(self.rowblock_ptr.size - 1)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total regular MMA blocks."""
+        return int(self.rowblock_ptr[-1]) // self.shape.a_elements
+
+    @property
+    def reg_nnz(self) -> int:
+        """Stored regular elements, padding included."""
+        return int(self.reg_val.size)
+
+    @property
+    def irreg_nnz(self) -> int:
+        return int(self.irreg_val.size)
+
+    @property
+    def padding_ratio(self) -> float:
+        stored = self.reg_nnz + self.irreg_nnz
+        return stored / self.orig_nnz if self.orig_nnz else 1.0
+
+
+def build_medium_rows(csr, rows_sorted: np.ndarray, shape: MmaShape, *,
+                      threshold: float = DEFAULT_THRESHOLD) -> MediumRowsPlan:
+    """Pack medium rows (already sorted by descending length)."""
+    check(0 < threshold <= 1, "threshold must be in (0, 1]")
+    rows_sorted = np.asarray(rows_sorted, dtype=np.int64)
+    M, K = shape.m, shape.k
+    n_med = rows_sorted.size
+    lens_all = csr.row_lengths()
+    lens = lens_all[rows_sorted] if n_med else np.zeros(0, dtype=np.int64)
+    nb = -(-n_med // M) if n_med else 0
+
+    # Pad row-length table to (nb, M); padded virtual rows have length 0.
+    L = np.zeros((nb, M), dtype=np.int64)
+    if n_med:
+        L.reshape(-1)[:n_med] = lens
+
+    # Number of regular chunks per row-block: chunk k is regular while its
+    # occupancy exceeds threshold * M * K.  Occupancy is non-increasing in
+    # k (rows sorted descending), so the regular chunks form a prefix.
+    occ_needed = threshold * M * K
+    max_chunks = int(-(-L.max() // K)) if nb else 0
+    K_b = np.zeros(nb, dtype=np.int64)
+    alive = np.ones(nb, dtype=bool)
+    for k in range(max_chunks):
+        occ = np.clip(L - K * k, 0, K).sum(axis=1)
+        alive &= occ > occ_needed
+        if not alive.any():
+            break
+        K_b += alive
+
+    reg_elems = K_b * M * K
+    rowblock_ptr = exclusive_cumsum(reg_elems)
+    total_reg = int(rowblock_ptr[-1])
+
+    reg_val = np.zeros(total_reg, dtype=csr.data.dtype)
+    reg_cid = np.zeros(total_reg, dtype=np.int32)
+    if total_reg:
+        owner_b = np.repeat(np.arange(nb, dtype=np.int64), reg_elems)
+        t = np.arange(total_reg, dtype=np.int64) - rowblock_ptr[owner_b]
+        chunk = t // (M * K)
+        r_in_b = (t % (M * K)) // K
+        j = t % K
+        packed_row = owner_b * M + r_in_b
+        pos = chunk * K + j
+        valid = (packed_row < n_med)
+        row_len = np.where(valid, L.reshape(-1)[np.minimum(packed_row, nb * M - 1)], 0)
+        valid &= pos < row_len
+        src_row = rows_sorted[np.minimum(packed_row, max(n_med - 1, 0))]
+        src = csr.indptr[src_row] + pos
+        src_safe = np.minimum(src, max(csr.nnz - 1, 0))
+        reg_val[valid] = csr.data[src_safe[valid]]
+        reg_cid[valid] = csr.indices[src_safe[valid]]
+
+    # Irregular tails: elements past chunk K_b of each packed row.
+    reg_cols = (K_b * K)  # per row-block, regular columns covered per row
+    per_row_reg = np.repeat(reg_cols, M)[:n_med] if n_med else np.zeros(0, dtype=np.int64)
+    tail = np.maximum(lens - per_row_reg, 0)
+    irreg_ptr = exclusive_cumsum(tail)
+    total_irr = int(irreg_ptr[-1])
+    irreg_val = np.zeros(total_irr, dtype=csr.data.dtype)
+    irreg_cid = np.zeros(total_irr, dtype=np.int32)
+    if total_irr:
+        owner = np.repeat(np.arange(n_med, dtype=np.int64), tail)
+        slot = np.arange(total_irr, dtype=np.int64) - irreg_ptr[owner]
+        src = csr.indptr[rows_sorted[owner]] + per_row_reg[owner] + slot
+        irreg_val[:] = csr.data[src]
+        irreg_cid[:] = csr.indices[src]
+
+    return MediumRowsPlan(
+        row_idx=rows_sorted,
+        rowblock_ptr=rowblock_ptr,
+        reg_val=reg_val,
+        reg_cid=reg_cid,
+        irreg_ptr=irreg_ptr,
+        irreg_val=irreg_val,
+        irreg_cid=irreg_cid,
+        shape=shape,
+        threshold=threshold,
+        loop_num=loop_num_for(n_med),
+        orig_nnz=int(lens.sum()),
+    )
+
+
+def run_medium_rows(plan: MediumRowsPlan, x: np.ndarray, *,
+                    unit: MmaUnit | None = None) -> np.ndarray:
+    """Vectorized medium-rows kernel: per-row sums in packed order."""
+    unit = unit or MmaUnit(plan.shape)
+    s = unit.shape
+    n_med = plan.n_rows
+    if n_med == 0:
+        return np.zeros(0, dtype=s.acc_dtype)
+    M, K = s.m, s.k
+    nb = plan.n_rowblocks
+    x = np.asarray(x)
+
+    acc = np.zeros((nb, M), dtype=s.acc_dtype)
+    if plan.reg_nnz:
+        a_blocks = plan.reg_val.reshape(-1, M, K)
+        x_blocks = x[plan.reg_cid.astype(np.int64)].reshape(-1, M, K)
+        diag = unit.block_row_dots(a_blocks, x_blocks)  # (n_blocks, M)
+        blocks_per_rb = np.diff(plan.rowblock_ptr) // (M * K)
+        owner = np.repeat(np.arange(nb, dtype=np.int64), blocks_per_rb)
+        np.add.at(acc, owner, diag)
+
+    res = acc.reshape(-1)[:n_med].copy()
+
+    if plan.irreg_nnz:
+        prod = (
+            plan.irreg_val.astype(s.in_dtype, copy=False).astype(s.acc_dtype)
+            * x[plan.irreg_cid.astype(np.int64)].astype(s.in_dtype, copy=False).astype(s.acc_dtype)
+        )
+        padded = np.concatenate([prod, np.zeros(1, dtype=s.acc_dtype)])
+        starts = np.minimum(plan.irreg_ptr[:-1], prod.size)
+        sums = np.add.reduceat(padded, starts).astype(s.acc_dtype, copy=False)
+        sums[np.diff(plan.irreg_ptr) == 0] = 0
+        res += sums
+    return res
+
+
+def medium_rows_events(plan: MediumRowsPlan, device, *, x_bytes: float) -> KernelEvents:
+    """Device events for the medium-rows kernel."""
+    if plan.n_rows == 0:
+        return KernelEvents(kernel_launches=0)
+    s = plan.shape
+    vb = s.in_dtype.itemsize
+    ab = s.acc_dtype.itemsize
+    nb = plan.n_rowblocks
+    n_blocks = plan.n_blocks
+
+    # Sorting makes warps of similar cost; the critical path is the
+    # heaviest warp: its regular block iterations plus the longest
+    # irregular tail any of its lanes walks serially.
+    tails = np.diff(plan.irreg_ptr)
+    lanes = plan.loop_num * s.m
+    n_warps = -(-nb // plan.loop_num)
+    reg_per_rb = np.diff(plan.rowblock_ptr).astype(np.float64)
+    pad_rb = (-nb) % plan.loop_num
+    reg_warp = np.concatenate([reg_per_rb, np.zeros(pad_rb)]).reshape(n_warps, plan.loop_num).sum(axis=1)
+    pad_rows = n_warps * lanes - plan.n_rows
+    tails_pad = np.concatenate([tails, np.zeros(pad_rows, dtype=tails.dtype)])
+    tail_warp = tails_pad.reshape(n_warps, lanes).max(axis=1)
+    serial = float((reg_warp / WARP_SIZE + tail_warp).max()) if n_warps else 0.0
+
+    return KernelEvents(
+        bytes_val=plan.reg_nnz * vb + plan.irreg_nnz * vb,
+        bytes_idx=plan.reg_nnz * 4 + plan.irreg_nnz * 4,
+        bytes_ptr=(nb + 1) * 8 + (plan.n_rows + 1) * 8,
+        bytes_x=x_bytes,
+        bytes_y=plan.n_rows * ab + plan.n_rows * 8,
+        flops_mma=n_blocks * s.flops,
+        flops_cuda=2.0 * plan.irreg_nnz,
+        mma_count=n_blocks,
+        shfl_count=nb * 2,
+        extra_instr=n_warps * WARP_SIZE * 3,
+        imbalance=1.0,
+        serial_iters=serial,
+        kernel_launches=1,
+        threads=n_warps * WARP_SIZE,
+    )

@@ -1,0 +1,44 @@
+"""DASP preprocessing cost accounting (Figure 13) and timing helpers.
+
+The paper's preprocessing (CSR -> DASP layout) runs on the host: row
+classification, the stable sort of medium rows, and the packing passes,
+followed by one upload of the packed arrays.  ``dasp_preprocess_events``
+reports that work so the cost model can place DASP on Figure 13's
+preprocessing-vs-nnz plot; ``timed_preprocess`` also measures the real
+wall-clock of *this* implementation for the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..gpu.events import PreprocessEvents
+from .format import DASPMatrix
+
+
+def dasp_preprocess_events(dasp: DASPMatrix) -> PreprocessEvents:
+    """Host/device work performed by :meth:`DASPMatrix.from_csr`."""
+    vb = dasp.dtype.itemsize
+    m = dasp.shape[0]
+    nnz = dasp.nnz
+    stored = dasp.stored_elements
+    entry_bytes = vb + 4  # value + column index
+    host = 0.0
+    host += (m + 1) * 8 * 2          # read RowPtr, write classification
+    host += nnz * entry_bytes        # read the CSR payload once
+    host += stored * entry_bytes     # write the packed arrays
+    host += stored * entry_bytes     # upload (pinned copy to device)
+    return PreprocessEvents(
+        device_bytes=0.0,
+        host_bytes=host,
+        sort_keys=float(dasp.classification.n_medium),
+        kernel_launches=0,
+        allocations=4,
+    )
+
+
+def timed_preprocess(csr, **from_csr_kwargs) -> tuple[DASPMatrix, float]:
+    """Build a :class:`DASPMatrix` and return it with wall-clock seconds."""
+    t0 = time.perf_counter()
+    dasp = DASPMatrix.from_csr(csr, **from_csr_kwargs)
+    return dasp, time.perf_counter() - t0

@@ -1,0 +1,215 @@
+"""DASP SpMM — multiplying by several vectors at once (extension).
+
+The paper notes that in SpMV only the *diagonal* of each ``A @ B``
+product is meaningful: 1/8 of the MMA unit's output is used.  With a
+block of ``k`` right-hand sides (SpMM, ``Y = A @ X``), the same DASP
+layout fills the B operand with one x-vector per column, so one
+``m8n8k4`` instruction produces 8 meaningful results per row slice —
+at ``k = MMA_N = 8`` the MMA units run at full utilization while the
+matrix is streamed **once** for all right-hand sides.
+
+This module generalizes the three category kernels to 2-D ``X`` and
+provides the matching event model; ``benchmarks/test_spmm_extension.py``
+quantifies the utilization gain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check
+from ..gpu.device import WARP_SIZE
+from ..gpu.events import KernelEvents
+from ..gpu.kernel import SpMVMethod
+from ..gpu.memory import x_traffic_bytes
+from ..gpu.mma import MmaUnit
+from .format import DASPMatrix
+
+
+def dasp_spmm(matrix, X: np.ndarray, *, cast_output: bool = False) -> np.ndarray:
+    """Compute ``Y = A @ X`` for a dense block of right-hand sides.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`DASPMatrix` (or CSR, converted on the fly).
+    X:
+        Dense ``(n, k)`` input block.
+    cast_output:
+        Cast ``Y`` back to the matrix dtype (otherwise the accumulator
+        dtype, FP32 for FP16 inputs).
+    """
+    dasp = matrix if isinstance(matrix, DASPMatrix) else DASPMatrix.from_csr(matrix)
+    X = np.asarray(X)
+    check(X.ndim == 2 and X.shape[0] == dasp.shape[1],
+          f"X must be ({dasp.shape[1]}, k)")
+    s = dasp.mma_shape
+    k = X.shape[1]
+    Y = np.zeros((dasp.shape[0], k), dtype=s.acc_dtype)
+    unit = MmaUnit(s)
+
+    lp = dasp.long_plan
+    if lp.n_rows:
+        Y[lp.row_idx] = _long_spmm(lp, X, unit)
+    mp = dasp.medium_plan
+    if mp.n_rows:
+        Y[mp.row_idx] = _medium_spmm(mp, X, unit)
+    sp = dasp.short_plan
+    if sp.n_rows:
+        rows, vals = _short_spmm(sp, X, unit)
+        Y[rows] = vals
+    if cast_output:
+        return Y.astype(dasp.dtype)
+    return Y
+
+
+def _block_dots_2d(unit: MmaUnit, val: np.ndarray, cid: np.ndarray,
+                   X: np.ndarray, cols=slice(None)) -> np.ndarray:
+    """Per-(block, row, rhs) dot products with MMA precision semantics.
+
+    Returns ``(nblocks, MMA_M, k)``.  One MMA instruction per block per
+    ceil(k / MMA_N) — the unit's issue counter tracks that.
+    """
+    s = unit.shape
+    k = X.shape[1]
+    if val.size == 0:
+        return np.zeros((0, s.m, k), dtype=s.acc_dtype)
+    nb = val.size // s.a_elements
+    a = (val.reshape(nb, s.m, s.k)
+         .astype(s.in_dtype, copy=False).astype(s.acc_dtype))
+    xg = X[cid.astype(np.int64)].reshape(nb, s.m, s.k, k)
+    xg = xg.astype(s.in_dtype, copy=False).astype(s.acc_dtype)
+    if cols != slice(None):
+        masked = np.zeros_like(xg)
+        masked[:, :, cols, :] = xg[:, :, cols, :]
+        xg = masked
+    unit.issue_count += nb * (-(-k // s.n))
+    return np.einsum("bmj,bmjk->bmk", a, xg)
+
+
+def _long_spmm(plan, X, unit) -> np.ndarray:
+    s = unit.shape
+    k = X.shape[1]
+    d = _block_dots_2d(unit, plan.val, plan.cid, X)          # (nb, m, k)
+    per_group = d.reshape(-1, 2 * s.m, k).sum(axis=1, dtype=s.acc_dtype)
+    out = np.zeros((plan.n_rows, k), dtype=s.acc_dtype)
+    groups = np.diff(plan.group_ptr)
+    owner = np.repeat(np.arange(plan.n_rows, dtype=np.int64), groups)
+    np.add.at(out, owner, per_group)
+    return out
+
+
+def _medium_spmm(plan, X, unit) -> np.ndarray:
+    s = unit.shape
+    k = X.shape[1]
+    nb = plan.n_rowblocks
+    acc = np.zeros((nb, s.m, k), dtype=s.acc_dtype)
+    if plan.reg_nnz:
+        d = _block_dots_2d(unit, plan.reg_val, plan.reg_cid, X)
+        blocks_per_rb = np.diff(plan.rowblock_ptr) // s.a_elements
+        owner = np.repeat(np.arange(nb, dtype=np.int64), blocks_per_rb)
+        np.add.at(acc, owner, d)
+    out = acc.reshape(-1, k)[:plan.n_rows].copy()
+    if plan.irreg_nnz:
+        prod = (plan.irreg_val.astype(s.in_dtype, copy=False)
+                .astype(s.acc_dtype)[:, None]
+                * X[plan.irreg_cid.astype(np.int64)]
+                .astype(s.in_dtype, copy=False).astype(s.acc_dtype))
+        owner = np.repeat(np.arange(plan.n_rows, dtype=np.int64),
+                          np.diff(plan.irreg_ptr))
+        np.add.at(out, owner, prod)
+    return out
+
+
+def _short_spmm(plan, X, unit):
+    s = unit.shape
+    k = X.shape[1]
+    out_rows, out_vals = [], []
+    if plan.rows13_one.size:
+        y1 = _block_dots_2d(unit, plan.val13, plan.cid13, X,
+                            cols=slice(0, 1)).reshape(-1, k)
+        y3 = _block_dots_2d(unit, plan.val13, plan.cid13, X,
+                            cols=slice(1, 4)).reshape(-1, k)
+        n = plan.rows13_one.size
+        out_rows += [plan.rows13_one, plan.rows13_three]
+        out_vals += [y1[:n], y3[:n]]
+    if plan.rows22_a.size:
+        ya = _block_dots_2d(unit, plan.val22, plan.cid22, X,
+                            cols=slice(0, 2)).reshape(-1, k)
+        yb = _block_dots_2d(unit, plan.val22, plan.cid22, X,
+                            cols=slice(2, 4)).reshape(-1, k)
+        n = plan.rows22_a.size
+        out_rows += [plan.rows22_a, plan.rows22_b]
+        out_vals += [ya[:n], yb[:n]]
+    if plan.rows4.size:
+        y4 = _block_dots_2d(unit, plan.val4, plan.cid4, X).reshape(-1, k)
+        out_rows.append(plan.rows4)
+        out_vals.append(y4[:plan.rows4.size])
+    if plan.rows1.size:
+        prod = (plan.val1.astype(s.in_dtype, copy=False).astype(s.acc_dtype)[:, None]
+                * X[plan.cid1.astype(np.int64)]
+                .astype(s.in_dtype, copy=False).astype(s.acc_dtype))
+        out_rows.append(plan.rows1)
+        out_vals.append(prod)
+    if not out_rows:
+        return np.zeros(0, np.int64), np.zeros((0, k), dtype=s.acc_dtype)
+    return np.concatenate(out_rows), np.vstack(out_vals)
+
+
+# ----------------------------------------------------------------------
+# Event model / utilization analysis
+# ----------------------------------------------------------------------
+
+
+def spmm_events(dasp: DASPMatrix, device, k: int) -> KernelEvents:
+    """Device events for ``Y = A @ X`` with ``k`` right-hand sides.
+
+    The matrix stream is paid **once**; x gathers and y writes scale
+    with ``k``; each MMA block needs ``ceil(k / MMA_N)`` instructions.
+    """
+    check(k >= 1, "k must be positive")
+    from .method import DASPMethod
+
+    base = DASPMethod().events(dasp, device)
+    s = dasp.mma_shape
+    per_rhs_mma = base.mma_count  # one diagonal pass per rhs previously
+    scaled = KernelEvents(
+        bytes_val=base.bytes_val,
+        bytes_idx=base.bytes_idx,
+        bytes_ptr=base.bytes_ptr,
+        bytes_x=base.bytes_x * k,
+        bytes_y=base.bytes_y * k,
+        flops_cuda=base.flops_cuda * k,
+        flops_mma=per_rhs_mma * s.flops * (-(-k // s.n)),
+        mma_count=per_rhs_mma * (-(-k // s.n)),
+        shfl_count=base.shfl_count,
+        extra_instr=base.extra_instr,
+        atomic_count=base.atomic_count,
+        imbalance=base.imbalance,
+        mem_efficiency=base.mem_efficiency,
+        serial_iters=base.serial_iters,
+        kernel_launches=base.kernel_launches,
+        threads=base.threads,
+    )
+    return scaled
+
+
+def mma_utilization(dasp: DASPMatrix, k: int) -> float:
+    """Useful flops / issued MMA flops for a k-RHS product.
+
+    SpMV (k=1) uses only the diagonal of each 8x8 MMA output -> 1/8 of
+    the block work is useful (less padding); k = MMA_N saturates the
+    unit.
+    """
+    s = dasp.mma_shape
+    from .method import DASPMethod
+
+    ev = DASPMethod().events(dasp, "A100")
+    if ev.mma_count == 0:
+        return 0.0
+    mma_blocks = ev.mma_count * (-(-k // s.n))
+    issued = mma_blocks * s.flops
+    # useful flops: 2 per (real nonzero consumed by MMA) per rhs
+    mma_nnz = dasp.nnz - dasp.medium_plan.irreg_nnz - dasp.short_plan.rows1.size
+    useful = 2.0 * mma_nnz * k
+    return float(useful / issued)

@@ -1,0 +1,73 @@
+"""DASP SpMV orchestration — runs the three category kernels and scatters
+results into ``y`` (empty rows stay zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check
+from ..gpu.mma import MmaUnit
+from .format import DASPMatrix
+from .long_rows import run_long_rows
+from .medium_rows import run_medium_rows
+from .short_rows import run_short_rows
+
+
+def dasp_spmv(matrix, x: np.ndarray, *, engine: str = "vectorized",
+              cast_output: bool = False) -> np.ndarray:
+    """Compute ``y = A @ x`` with the DASP algorithm.
+
+    Parameters
+    ----------
+    matrix:
+        A :class:`DASPMatrix` (or a CSR matrix, converted on the fly).
+    x:
+        Dense input vector of length ``A.shape[1]``.
+    engine:
+        ``"vectorized"`` (default; NumPy batch kernels) or ``"warp"``
+        (lane-accurate emulation of the paper's Algorithms 2-5 on the
+        8x4 fragment layout, FP64 and FP16; intended for small matrices
+        and validation).
+    cast_output:
+        When true, cast ``y`` back to the matrix dtype (FP16 in the half
+        precision path); by default ``y`` stays in the MMA accumulator
+        dtype (FP64 for FP64, FP32 for FP16) as the hardware produces it.
+    """
+    dasp = matrix if isinstance(matrix, DASPMatrix) else DASPMatrix.from_csr(matrix)
+    x = np.asarray(x)
+    check(x.shape == (dasp.shape[1],), "x has wrong length")
+
+    if engine == "warp":
+        from .warp_kernels import dasp_spmv_warp
+
+        y = dasp_spmv_warp(dasp, x)
+    elif engine == "vectorized":
+        y = _dasp_spmv_vectorized(dasp, x)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+
+    if cast_output:
+        return y.astype(dasp.dtype)
+    return y
+
+
+def _dasp_spmv_vectorized(dasp: DASPMatrix, x: np.ndarray) -> np.ndarray:
+    acc_dtype = dasp.mma_shape.acc_dtype
+    y = np.zeros(dasp.shape[0], dtype=acc_dtype)
+    unit = MmaUnit(dasp.mma_shape)
+
+    lp = dasp.long_plan
+    if lp.n_rows:
+        y[lp.row_idx] = run_long_rows(lp, x, unit=unit)
+
+    mp = dasp.medium_plan
+    if mp.n_rows:
+        y[mp.row_idx] = run_medium_rows(mp, x, unit=unit)
+
+    sp = dasp.short_plan
+    if sp.n_rows:
+        rows, vals = run_short_rows(sp, x, unit=unit)
+        y[rows] = vals
+
+    return y

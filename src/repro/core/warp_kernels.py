@@ -1,0 +1,234 @@
+"""Lane-accurate DASP kernels — literal transcriptions of Algorithms 2-5.
+
+These run the paper's warp-level pseudocode on the :class:`~repro.gpu.
+warp.Warp` emulator with the true ``mma.m8n8k4`` FP64 fragment layout,
+including the shuffle reductions with offsets 9/18/4 and the
+``target = ((laneid - i*8) >> 1) * 9`` extraction.  They exist to
+*validate* the fast vectorized kernels (property tests assert both
+engines agree) and as executable documentation of the algorithms.
+
+Both precisions are supported: FP64 runs the paper's exact ``m8n8k4``
+contract; FP16 runs the same fragment layout with binary16 inputs and
+FP32 accumulation (our FP16 modeling choice, see DESIGN.md).  One Python
+iteration per warp, so use small matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check
+from ..gpu.device import WARP_SIZE
+from ..gpu.mma import mma_m8n8k4
+from ..gpu.warp import FULL_MASK, Warp
+from .format import DASPMatrix
+from .long_rows import BLOCKS_PER_GROUP, LongRowsPlan
+from .medium_rows import MediumRowsPlan
+from .short_rows import ShortRowsPlan
+
+_LANE = np.arange(WARP_SIZE)
+#: The paper's per-lane A-fragment address: ``(3 & laneid) + (laneid >> 2) * MMA_K``.
+_FRAG_IDX = (3 & _LANE) + (_LANE >> 2) * 4
+
+
+def dasp_spmv_warp(dasp: DASPMatrix, x: np.ndarray) -> np.ndarray:
+    """Run all category kernels lane-accurately and assemble ``y``."""
+    shape = dasp.mma_shape
+    check(shape.m == 8 and shape.k == 4,
+          "the lane-accurate engine implements the 8x4 fragment layout")
+    x = np.asarray(x, dtype=shape.acc_dtype)
+    y = np.zeros(dasp.shape[0], dtype=shape.acc_dtype)
+    _long_rows_warp(dasp.long_plan, x, y)
+    _medium_rows_warp(dasp.medium_plan, x, y)
+    _short_rows_warp(dasp.short_plan, x, y)
+    return y
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2: long rows
+# ----------------------------------------------------------------------
+
+
+def _long_rows_warp(plan: LongRowsPlan, x: np.ndarray, y: np.ndarray) -> None:
+    if plan.n_rows == 0:
+        return
+    w = Warp()
+    group_elems = plan.group_elems
+    n_groups = plan.n_groups
+    warp_val = np.zeros(n_groups, dtype=np.float64)
+
+    # Kernel 1: one warp per group.
+    for g in range(n_groups):
+        offset_a = g * group_elems
+        frag_y = np.zeros((WARP_SIZE, 2), dtype=plan.shape.acc_dtype)
+        idx = _FRAG_IDX.copy()
+        for _i in range(BLOCKS_PER_GROUP):
+            frag_a = plan.val[offset_a + idx]
+            frag_x = x[plan.cid[offset_a + idx]]
+            frag_y = mma_m8n8k4(w, frag_y, frag_a, frag_x, shape=plan.shape)
+            idx = idx + plan.shape.a_elements
+        f0, f1 = frag_y[:, 0], frag_y[:, 1]
+        f0 = f0 + w.shfl_down_sync(FULL_MASK, f0, 9)
+        f0 = f0 + w.shfl_down_sync(FULL_MASK, f0, 18)
+        f1 = f1 + w.shfl_down_sync(FULL_MASK, f1, 9)
+        f1 = f1 + w.shfl_down_sync(FULL_MASK, f1, 18)
+        f0 = f0 + w.shfl_sync(FULL_MASK, f1, 4)
+        warp_val[g] = f0[0]  # laneid == 0 writes
+
+    # Kernel 2: one warp per row reduces its group partials.
+    for r in range(plan.n_rows):
+        start, end = int(plan.group_ptr[r]), int(plan.group_ptr[r + 1])
+        row_warp_len = end - start
+        thread_val = w.zeros()
+        for base in range(0, row_warp_len, WARP_SIZE):
+            take = _LANE + base
+            valid = take < row_warp_len
+            gathered = np.where(valid, warp_val[start + np.minimum(take, row_warp_len - 1)], 0.0)
+            thread_val = thread_val + gathered
+        thread_val = w.reduce_sum(thread_val)
+        y[plan.row_idx[r]] = thread_val[0]
+
+
+# ----------------------------------------------------------------------
+# Algorithm 3: medium rows
+# ----------------------------------------------------------------------
+
+
+def _medium_rows_warp(plan: MediumRowsPlan, x: np.ndarray, y: np.ndarray) -> None:
+    n_med = plan.n_rows
+    if n_med == 0:
+        return
+    w = Warp()
+    M, K = plan.shape.m, plan.shape.k
+    block_elems = M * K
+    nb = plan.n_rowblocks
+    loop_num = plan.loop_num
+    n_warps = -(-nb // loop_num)
+
+    for wid in range(n_warps):
+        res = w.zeros(dtype=plan.shape.acc_dtype)
+        for i in range(loop_num):
+            bid = wid * loop_num + i
+            if bid >= nb:
+                break
+            start = int(plan.rowblock_ptr[bid])
+            length = int(plan.rowblock_ptr[bid + 1]) - start
+            frag_y = np.zeros((WARP_SIZE, 2), dtype=plan.shape.acc_dtype)
+            idx = _FRAG_IDX.copy()
+            for _j in range(length // block_elems):
+                frag_a = plan.reg_val[start + idx]
+                frag_x = x[plan.reg_cid[start + idx]]
+                frag_y = mma_m8n8k4(w, frag_y, frag_a, frag_x, shape=plan.shape)
+                idx = idx + block_elems
+            target = ((_LANE - i * 8) >> 1) * 9
+            f0 = w.shfl_sync(FULL_MASK, frag_y[:, 0], target)
+            f1 = w.shfl_sync(FULL_MASK, frag_y[:, 1], target + 4)
+            sel = (_LANE >> 3) == i
+            res = np.where(sel, np.where((_LANE & 1) == 0, f0, f1), res)
+        # Irregular tails + writeback: lanes 0 .. 8*loop_num-1 own rows.
+        active = (_LANE >> 3) < loop_num
+        cur_row = wid * loop_num * M + _LANE
+        for lane in np.nonzero(active)[0]:
+            row = int(cur_row[lane])
+            if row >= n_med:
+                continue
+            acc = res[lane]
+            acc_t = plan.shape.acc_dtype.type
+            for p in range(int(plan.irreg_ptr[row]), int(plan.irreg_ptr[row + 1])):
+                acc += acc_t(plan.irreg_val[p]) * acc_t(x[plan.irreg_cid[p]])
+            y[plan.row_idx[row]] = acc
+
+
+# ----------------------------------------------------------------------
+# Algorithms 4-5: short rows
+# ----------------------------------------------------------------------
+
+
+def _pieced_warp(w: Warp, val: np.ndarray, cid: np.ndarray, x: np.ndarray,
+                 first_slots: int, shape) -> np.ndarray:
+    """One warp of Algorithm 4 over two blocks (64 slots).
+
+    ``first_slots`` is the split point of the piecing: 1 for 1&3 rows,
+    2 for 2&2 rows.  Returns the 32 per-lane results: lanes ``8i..8i+7``
+    hold pass ``i``'s eight row values.
+    """
+    res = w.zeros(dtype=shape.acc_dtype)
+    idx = _FRAG_IDX.copy()
+    frag_a = w.zeros(dtype=val.dtype)
+    for i in range(4):
+        frag_y = np.zeros((WARP_SIZE, 2), dtype=shape.acc_dtype)
+        cid_a = cid[idx]
+        if i & 1 == 0:
+            frag_a = val[idx]
+            frag_x = np.where((_LANE & 3) < first_slots, x[cid_a], 0.0)
+        else:
+            frag_x = np.where((_LANE & 3) < first_slots, 0.0, x[cid_a])
+            idx = idx + WARP_SIZE
+        frag_y = mma_m8n8k4(w, frag_y, frag_a, frag_x, shape=shape)
+        target = ((_LANE - i * 8) >> 1) * 9
+        f0 = w.shfl_sync(FULL_MASK, frag_y[:, 0], target)
+        f1 = w.shfl_sync(FULL_MASK, frag_y[:, 1], target + 4)
+        sel = (_LANE >> 3) == i
+        res = np.where(sel, np.where((_LANE & 1) == 0, f0, f1), res)
+    return res
+
+
+def _run_pieced(w, val, cid, x, n_pairs, rows_first, rows_second, y,
+                first_slots, shape):
+    """Drive `_pieced_warp` over all blocks of a pieced subcategory."""
+    if n_pairs == 0:
+        return
+    n_blocks = val.size // WARP_SIZE
+    for wid in range(-(-n_blocks // 2)):
+        base = wid * 2 * WARP_SIZE
+        chunk_v = np.zeros(2 * WARP_SIZE, dtype=val.dtype)
+        chunk_c = np.zeros(2 * WARP_SIZE, dtype=np.int64)
+        avail = min(2 * WARP_SIZE, val.size - base)
+        chunk_v[:avail] = val[base:base + avail]
+        chunk_c[:avail] = cid[base:base + avail]
+        res = _pieced_warp(w, chunk_v, chunk_c, x, first_slots, shape)
+        # lanes 0-7: block0 pass0, 8-15: block0 pass1, 16-23: block1 pass0,
+        # 24-31: block1 pass1.  Packed row p of block b is row wid*16+b*8+p.
+        for b in range(2):
+            for p in range(8):
+                packed = wid * 16 + b * 8 + p
+                if packed >= n_pairs:
+                    continue
+                y[rows_first[packed]] = res[16 * b + p]
+                y[rows_second[packed]] = res[16 * b + 8 + p]
+
+
+def _short_rows_warp(plan: ShortRowsPlan, x: np.ndarray, y: np.ndarray) -> None:
+    w = Warp()
+    _run_pieced(w, plan.val13, plan.cid13, x, plan.rows13_one.size,
+                plan.rows13_one, plan.rows13_three, y, first_slots=1,
+                shape=plan.shape)
+    _run_pieced(w, plan.val22, plan.cid22, x, plan.rows22_a.size,
+                plan.rows22_a, plan.rows22_b, y, first_slots=2,
+                shape=plan.shape)
+
+    # len-4 rows: one full-x MMA per block, results to 8 consecutive lanes.
+    n4 = plan.rows4.size
+    if n4:
+        n_blocks = plan.val4.size // WARP_SIZE
+        for blk in range(n_blocks):
+            base = blk * WARP_SIZE
+            frag_y = np.zeros((WARP_SIZE, 2), dtype=plan.shape.acc_dtype)
+            frag_a = plan.val4[base + _FRAG_IDX]
+            frag_x = x[plan.cid4[base + _FRAG_IDX]]
+            frag_y = mma_m8n8k4(w, frag_y, frag_a, frag_x, shape=plan.shape)
+            i = blk % 4
+            target = ((_LANE - i * 8) >> 1) * 9
+            f0 = w.shfl_sync(FULL_MASK, frag_y[:, 0], target)
+            f1 = w.shfl_sync(FULL_MASK, frag_y[:, 1], target + 4)
+            res = np.where((_LANE & 1) == 0, f0, f1)
+            sel = (_LANE >> 3) == i
+            for p in range(8):
+                packed = blk * 8 + p
+                if packed < n4:
+                    y[plan.rows4[packed]] = res[np.nonzero(sel)[0][p]]
+
+    # Algorithm 5: one thread per leftover length-1 row.
+    acc_t = plan.shape.acc_dtype.type
+    for t in range(plan.rows1.size):
+        y[plan.rows1[t]] = acc_t(plan.val1[t]) * acc_t(x[plan.cid1[t]])

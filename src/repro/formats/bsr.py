@@ -1,0 +1,177 @@
+"""Block Sparse Row (BSR) format.
+
+This is the substrate for the cuSPARSE ``?bsrmv`` baseline the paper
+compares against (Table 1, "cuSPARSE-BSR").  A BSR matrix stores dense
+``r x c`` blocks; converting a matrix without block structure to BSR
+introduces *fill-in* (explicit zeros), which is exactly why the paper
+observes up to 283.92x slowdowns for cuSPARSE-BSR on matrices such as
+'lp_osa_60' — the fill-in multiplies both memory traffic and flops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import (
+    as_index_array,
+    as_ptr_array,
+    ceil_div,
+    check,
+    validate_shape,
+)
+
+
+@dataclass
+class BSRMatrix:
+    """A sparse matrix stored as dense ``r x c`` blocks.
+
+    Attributes
+    ----------
+    shape:
+        Logical ``(rows, cols)`` of the matrix (need not be multiples of
+        the block size; edge blocks are zero-padded).
+    blocksize:
+        ``(r, c)`` dimensions of each stored block.
+    indptr:
+        Block-row pointer, length ``ceil(rows / r) + 1``.
+    indices:
+        Block-column index of each stored block.
+    data:
+        ``(nblocks, r, c)`` dense block values.
+    """
+
+    shape: tuple[int, int]
+    blocksize: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.shape = validate_shape(self.shape)
+        r, c = self.blocksize
+        check(r > 0 and c > 0, "block size must be positive")
+        self.blocksize = (int(r), int(c))
+        self.indptr = as_ptr_array(self.indptr)
+        self.indices = as_index_array(self.indices)
+        self.data = np.ascontiguousarray(self.data)
+        check(self.data.ndim == 3, "data must be (nblocks, r, c)")
+        check(self.data.shape[1:] == self.blocksize, "block dims mismatch")
+        mb = ceil_div(self.shape[0], r)
+        check(self.indptr.size == mb + 1, "indptr has wrong length")
+        check(int(self.indptr[-1]) == self.indices.size == self.data.shape[0],
+              "indptr[-1] must equal number of blocks")
+
+    # ------------------------------------------------------------------
+    @property
+    def nblocks(self) -> int:
+        """Number of stored dense blocks."""
+        return int(self.data.shape[0])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def stored_values(self) -> int:
+        """Stored scalar values including fill-in zeros."""
+        r, c = self.blocksize
+        return self.nblocks * r * c
+
+    @property
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    def fill_ratio(self, nnz: int) -> float:
+        """Stored values / original nonzeros — the fill-in blow-up factor."""
+        if nnz == 0:
+            return 1.0
+        return self.stored_values / nnz
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr, blocksize: tuple[int, int]) -> "BSRMatrix":
+        """Convert a CSR matrix to BSR with the given block size.
+
+        Every ``r x c`` aligned tile containing at least one nonzero
+        becomes a stored block (zero-filled where the matrix is empty),
+        mirroring what ``cusparseXcsr2bsr`` produces.
+        """
+        r, c = int(blocksize[0]), int(blocksize[1])
+        check(r > 0 and c > 0, "block size must be positive")
+        m, n = csr.shape
+        mb = ceil_div(m, r) if m else 0
+        rows = np.repeat(np.arange(m, dtype=np.int64), csr.row_lengths())
+        brow = rows // r
+        bcol = csr.indices.astype(np.int64) // c
+        # Identify unique (brow, bcol) blocks in row-major block order.
+        nb_cols = ceil_div(n, c) if n else 1
+        keys = brow * nb_cols + bcol
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        uniq_mask = np.empty(keys_sorted.size, dtype=bool)
+        if keys_sorted.size:
+            uniq_mask[0] = True
+            np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=uniq_mask[1:])
+        block_of_entry = np.cumsum(uniq_mask) - 1 if keys_sorted.size else keys_sorted
+        uniq_keys = keys_sorted[uniq_mask] if keys_sorted.size else keys_sorted
+        nblocks = int(uniq_keys.size)
+        data = np.zeros((nblocks, r, c), dtype=csr.data.dtype)
+        if keys_sorted.size:
+            local_r = (rows[order] % r).astype(np.int64)
+            local_c = (csr.indices[order].astype(np.int64) % c)
+            data[block_of_entry, local_r, local_c] = csr.data[order]
+        ub_row = (uniq_keys // nb_cols).astype(np.int64)
+        ub_col = (uniq_keys % nb_cols).astype(np.int32)
+        indptr = np.zeros(mb + 1, dtype=np.int64)
+        if nblocks:
+            np.cumsum(np.bincount(ub_row, minlength=mb), out=indptr[1:])
+        return cls(csr.shape, (r, c), indptr, ub_col, data)
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` computed block-wise (the BSR SpMV reference)."""
+        x = np.asarray(x)
+        m, n = self.shape
+        check(x.shape == (n,), "x has wrong length")
+        r, c = self.blocksize
+        acc_dtype = np.result_type(self.data, x, np.float32)
+        # Pad x so edge blocks can gather a full c-slice.
+        xp = np.zeros(ceil_div(n, c) * c if n else c, dtype=acc_dtype)
+        xp[:n] = x
+        y = np.zeros(ceil_div(m, r) * r if m else 0, dtype=acc_dtype)
+        if self.nblocks:
+            # Gather x slices per block: (nblocks, c)
+            starts = self.indices.astype(np.int64) * c
+            xg = xp[starts[:, None] + np.arange(c)]
+            partial = np.einsum(
+                "brc,bc->br", self.data.astype(acc_dtype), xg
+            )  # (nblocks, r)
+            block_rows = np.repeat(
+                np.arange(self.indptr.size - 1, dtype=np.int64),
+                np.diff(self.indptr),
+            )
+            np.add.at(
+                y.reshape(-1, r), block_rows, partial
+            )
+        return y[:m]
+
+    def to_csr(self):
+        """Expand back to CSR, keeping fill-in zeros out of the result."""
+        from .coo import COOMatrix
+
+        r, c = self.blocksize
+        if self.nblocks == 0:
+            from .csr import CSRMatrix
+
+            return CSRMatrix.empty(self.shape, dtype=self.dtype)
+        block_rows = np.repeat(
+            np.arange(self.indptr.size - 1, dtype=np.int64), np.diff(self.indptr)
+        )
+        b, i, j = np.nonzero(self.data)
+        rows = block_rows[b] * r + i
+        cols = self.indices[b].astype(np.int64) * c + j
+        vals = self.data[b, i, j]
+        inside = (rows < self.shape[0]) & (cols < self.shape[1])
+        return COOMatrix(self.shape, rows[inside], cols[inside], vals[inside]).to_csr()

@@ -1,0 +1,40 @@
+"""Format-conversion helpers and the ``to_csr`` normalization funnel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ReproError
+from .bsr import BSRMatrix
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dia import DIAMatrix
+from .ell import ELLMatrix
+from .hyb import HYBMatrix
+
+
+def to_csr(matrix) -> CSRMatrix:
+    """Normalize any supported matrix representation to CSR.
+
+    Accepts :class:`CSRMatrix`, :class:`COOMatrix`, :class:`BSRMatrix`,
+    :class:`ELLMatrix`, dense ndarrays, and scipy.sparse matrices.
+    """
+    if isinstance(matrix, CSRMatrix):
+        return matrix
+    if isinstance(matrix, (COOMatrix, BSRMatrix, ELLMatrix, CSCMatrix,
+                           DIAMatrix, HYBMatrix)):
+        return matrix.to_csr()
+    if isinstance(matrix, np.ndarray):
+        return CSRMatrix.from_dense(matrix)
+    # Duck-typed scipy.sparse support without importing scipy here.
+    if hasattr(matrix, "tocsr"):
+        return CSRMatrix.from_scipy(matrix)
+    raise ReproError(f"cannot convert {type(matrix).__name__} to CSR")
+
+
+def to_coo(matrix) -> COOMatrix:
+    """Normalize any supported matrix representation to COO."""
+    if isinstance(matrix, COOMatrix):
+        return matrix
+    return to_csr(matrix).to_coo()

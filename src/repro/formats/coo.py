@@ -1,0 +1,161 @@
+"""Coordinate (COO) sparse matrix format.
+
+COO is the interchange format of the package: every generator first emits
+COO triplets, and the MatrixMarket reader produces COO.  Conversion to CSR
+(the base format of the paper's pipeline) lives in
+:func:`COOMatrix.to_csr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import (
+    INDEX_DTYPE,
+    as_index_array,
+    as_value_array,
+    check,
+    validate_shape,
+)
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate (triplet) form.
+
+    Attributes
+    ----------
+    shape:
+        ``(rows, cols)`` of the represented matrix.
+    row, col:
+        Row/column index of every stored entry (``int32``).
+    val:
+        Value of every stored entry (floating dtype).
+    """
+
+    shape: tuple[int, int]
+    row: np.ndarray
+    col: np.ndarray
+    val: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.shape = validate_shape(self.shape)
+        self.row = as_index_array(self.row, name="row")
+        self.col = as_index_array(self.col, name="col")
+        self.val = as_value_array(self.val)
+        check(
+            self.row.size == self.col.size == self.val.size,
+            "row/col/val must have equal lengths",
+        )
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted individually)."""
+        return int(self.val.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.val.dtype
+
+    def validate(self) -> None:
+        """Check that all indices are inside the matrix bounds."""
+        m, n = self.shape
+        if self.nnz:
+            check(int(self.row.min()) >= 0, "negative row index")
+            check(int(self.col.min()) >= 0, "negative col index")
+            check(int(self.row.max()) < m, "row index out of bounds")
+            check(int(self.col.max()) < n, "col index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense) -> "COOMatrix":
+        """Build a COO matrix from a dense 2-D array, dropping zeros."""
+        dense = np.asarray(dense)
+        check(dense.ndim == 2, "from_dense expects a 2-D array")
+        row, col = np.nonzero(dense)
+        return cls(dense.shape, row, col, dense[row, col])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a copy with duplicate ``(row, col)`` entries summed."""
+        if self.nnz == 0:
+            return COOMatrix(self.shape, self.row, self.col, self.val)
+        m, n = self.shape
+        keys = self.row.astype(np.int64) * n + self.col.astype(np.int64)
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        vals = self.val[order]
+        uniq_mask = np.empty(keys.size, dtype=bool)
+        uniq_mask[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=uniq_mask[1:])
+        seg_ids = np.cumsum(uniq_mask) - 1
+        summed = np.zeros(int(seg_ids[-1]) + 1, dtype=np.float64)
+        np.add.at(summed, seg_ids, vals.astype(np.float64))
+        uk = keys[uniq_mask]
+        return COOMatrix(
+            self.shape,
+            (uk // n).astype(INDEX_DTYPE),
+            (uk % n).astype(INDEX_DTYPE),
+            summed.astype(self.val.dtype),
+        )
+
+    def eliminate_zeros(self) -> "COOMatrix":
+        """Return a copy without explicitly stored zero values."""
+        keep = self.val != 0
+        return COOMatrix(self.shape, self.row[keep], self.col[keep], self.val[keep])
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swaps row and col arrays)."""
+        m, n = self.shape
+        return COOMatrix((n, m), self.col, self.row, self.val)
+
+    def astype(self, dtype) -> "COOMatrix":
+        """Return a copy with values cast to *dtype*."""
+        return COOMatrix(self.shape, self.row, self.col, self.val.astype(dtype))
+
+    # ------------------------------------------------------------------
+    # Conversion / computation
+    # ------------------------------------------------------------------
+    def to_csr(self, *, sum_duplicates: bool = True):
+        """Convert to :class:`repro.formats.csr.CSRMatrix`.
+
+        Duplicates are summed by default (MatrixMarket symmetric files can
+        produce duplicated diagonals otherwise).
+        """
+        from .csr import CSRMatrix
+
+        coo = self.sum_duplicates() if sum_duplicates else self
+        m, _ = coo.shape
+        order = np.argsort(
+            coo.row.astype(np.int64) * (coo.shape[1] + 1) + coo.col,
+            kind="stable",
+        )
+        rows = coo.row[order]
+        counts = np.bincount(rows, minlength=m)
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(coo.shape, indptr, coo.col[order], coo.val[order])
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D float array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.row, self.col), self.val.astype(np.float64))
+        return out.astype(self.val.dtype)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference ``y = A @ x`` via scatter-add (duplicates summed)."""
+        x = np.asarray(x)
+        check(x.shape == (self.shape[1],), "x has wrong length")
+        y = np.zeros(self.shape[0], dtype=np.result_type(self.val, x, np.float64))
+        np.add.at(y, self.row, self.val * x[self.col])
+        return y

@@ -1,0 +1,120 @@
+"""Compressed Sparse Column (CSC) format.
+
+CSC is CSR of the transpose; it makes transpose products (``A^T @ x``)
+and column slicing cheap.  Useful downstream of DASP in solvers that
+need both ``A v`` and ``A^T v`` (e.g. BiCG, least squares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import (
+    as_index_array,
+    as_ptr_array,
+    as_value_array,
+    check,
+    validate_shape,
+)
+
+
+@dataclass
+class CSCMatrix:
+    """A sparse matrix in CSC form.
+
+    Attributes
+    ----------
+    shape:
+        ``(rows, cols)``.
+    indptr:
+        Column pointer, length ``cols + 1``.
+    indices:
+        Row index of each stored entry, grouped by column.
+    data:
+        Value of each stored entry.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.shape = validate_shape(self.shape)
+        self.indptr = as_ptr_array(self.indptr)
+        self.indices = as_index_array(self.indices)
+        self.data = as_value_array(self.data)
+        m, n = self.shape
+        check(self.indptr.size == n + 1, "indptr must have cols+1 entries")
+        check(int(self.indptr[0]) == 0, "indptr must start at 0")
+        check(bool(np.all(np.diff(self.indptr) >= 0)), "indptr must be monotone")
+        check(int(self.indptr[-1]) == self.indices.size == self.data.size,
+              "indptr[-1] must equal nnz")
+        if self.indices.size:
+            check(int(self.indices.min()) >= 0, "negative row index")
+            check(int(self.indices.max()) < m, "row index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def col_lengths(self) -> np.ndarray:
+        """Per-column stored-entry counts."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr) -> "CSCMatrix":
+        """Column-major re-sort of a CSR matrix."""
+        m, n = csr.shape
+        rows = np.repeat(np.arange(m, dtype=np.int64), csr.row_lengths())
+        order = np.lexsort((rows, csr.indices))
+        counts = np.bincount(csr.indices, minlength=n) if csr.nnz else \
+            np.zeros(n, dtype=np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(csr.shape, indptr, rows[order], csr.data[order])
+
+    def to_csr(self):
+        """Row-major re-sort back to CSR."""
+        from .coo import COOMatrix
+
+        m, n = self.shape
+        cols = np.repeat(np.arange(n, dtype=np.int64), self.col_lengths())
+        return COOMatrix(self.shape, self.indices, cols,
+                         self.data).to_csr(sum_duplicates=False)
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` via column scaling + scatter."""
+        x = np.asarray(x)
+        m, n = self.shape
+        check(x.shape == (n,), "x has wrong length")
+        acc = np.result_type(self.data, x, np.float32)
+        y = np.zeros(m, dtype=acc)
+        if self.nnz:
+            cols = np.repeat(np.arange(n, dtype=np.int64), self.col_lengths())
+            np.add.at(y, self.indices.astype(np.int64),
+                      self.data.astype(acc) * x[cols].astype(acc))
+        return y
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``x = A^T @ y`` — cheap in CSC (row-segment reduction)."""
+        y = np.asarray(y)
+        m, n = self.shape
+        check(y.shape == (m,), "y has wrong length")
+        acc = np.result_type(self.data, y, np.float32)
+        if self.nnz == 0:
+            return np.zeros(n, dtype=acc)
+        products = self.data.astype(acc) * y[self.indices.astype(np.int64)].astype(acc)
+        padded = np.concatenate([products, np.zeros(1, dtype=acc)])
+        starts = np.minimum(self.indptr[:-1], products.size)
+        out = np.add.reduceat(padded, starts).astype(acc, copy=False)
+        out[self.col_lengths() == 0] = 0
+        return out

@@ -1,0 +1,116 @@
+"""DIA (diagonal) format.
+
+Stores the matrix as a set of dense diagonals — the natural format for
+banded PDE matrices (our ``banded`` / ``grid2d`` generators).  Included
+as a substrate format: DIA is what classic HYB implementations fall back
+to for the structured part of a matrix, and it gives the test suite a
+format whose conversion cost explodes on unstructured inputs (mirroring
+BSR's fill-in pathology from a different angle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check, validate_shape
+
+
+@dataclass
+class DIAMatrix:
+    """A sparse matrix stored as dense diagonals.
+
+    Attributes
+    ----------
+    shape:
+        ``(rows, cols)``.
+    offsets:
+        Sorted diagonal offsets (``0`` = main, positive = super).
+    diagonals:
+        ``(len(offsets), rows)`` values; ``diagonals[d, i]`` holds
+        ``A[i, i + offsets[d]]`` (slots outside the matrix are zero).
+    """
+
+    shape: tuple[int, int]
+    offsets: np.ndarray
+    diagonals: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.shape = validate_shape(self.shape)
+        self.offsets = np.ascontiguousarray(self.offsets, dtype=np.int64)
+        self.diagonals = np.ascontiguousarray(self.diagonals)
+        check(self.diagonals.ndim == 2, "diagonals must be 2-D")
+        check(self.diagonals.shape == (self.offsets.size, self.shape[0]),
+              "diagonals must be (n_offsets, rows)")
+        check(bool(np.all(np.diff(self.offsets) > 0)),
+              "offsets must be strictly increasing")
+
+    @property
+    def n_diagonals(self) -> int:
+        return int(self.offsets.size)
+
+    @property
+    def nnz(self) -> int:
+        """Stored nonzero values (explicit zeros in diagonals excluded)."""
+        return int(np.count_nonzero(self.diagonals))
+
+    @property
+    def stored_values(self) -> int:
+        """All stored slots including padding zeros."""
+        return int(self.diagonals.size)
+
+    @property
+    def fill_ratio(self) -> float:
+        nnz = self.nnz
+        return self.stored_values / nnz if nnz else 1.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr, *, max_diagonals: int | None = None) -> "DIAMatrix":
+        """Convert CSR to DIA.
+
+        Raises when the matrix needs more than ``max_diagonals``
+        distinct diagonals (conversion would explode) — pass ``None`` to
+        allow any count.
+        """
+        m, n = csr.shape
+        rows = np.repeat(np.arange(m, dtype=np.int64), csr.row_lengths())
+        offs = csr.indices.astype(np.int64) - rows
+        uniq = np.unique(offs) if csr.nnz else np.zeros(0, dtype=np.int64)
+        if max_diagonals is not None:
+            check(uniq.size <= max_diagonals,
+                  f"matrix needs {uniq.size} diagonals (> {max_diagonals})")
+        diags = np.zeros((uniq.size, m), dtype=csr.data.dtype)
+        if csr.nnz:
+            d_idx = np.searchsorted(uniq, offs)
+            diags[d_idx, rows] = csr.data
+        return cls(csr.shape, uniq, diags)
+
+    def to_csr(self):
+        """Convert back to CSR (drops stored zeros)."""
+        from .coo import COOMatrix
+
+        d, i = np.nonzero(self.diagonals)
+        rows = i
+        cols = i + self.offsets[d]
+        inside = (cols >= 0) & (cols < self.shape[1])
+        return COOMatrix(self.shape, rows[inside], cols[inside],
+                         self.diagonals[d, i][inside]).to_csr(
+            sum_duplicates=False)
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` by shifted diagonal products (no indices read)."""
+        x = np.asarray(x)
+        m, n = self.shape
+        check(x.shape == (n,), "x has wrong length")
+        acc = np.result_type(self.diagonals, x, np.float32)
+        y = np.zeros(m, dtype=acc)
+        rows = np.arange(m, dtype=np.int64)
+        for d, off in enumerate(self.offsets):
+            cols = rows + off
+            ok = (cols >= 0) & (cols < n)
+            y[ok] += (self.diagonals[d, ok].astype(acc)
+                      * x[cols[ok]].astype(acc))
+        return y

@@ -1,0 +1,109 @@
+"""ELLPACK (ELL) format.
+
+ELL pads every row to the same width so a GPU can walk rows in lockstep.
+It is used here as one of the per-tile storage choices of the TileSpMV
+baseline and as a general substrate format.  Padding cost explodes when
+row lengths are skewed — which is part of why formats like CSR5 and DASP
+exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check, validate_shape
+
+
+@dataclass
+class ELLMatrix:
+    """A sparse matrix padded to uniform row width.
+
+    Attributes
+    ----------
+    shape:
+        ``(rows, cols)``.
+    cols:
+        ``(rows, width)`` int32 column indices; unused slots hold ``-1``.
+    vals:
+        ``(rows, width)`` values; unused slots hold ``0``.
+    """
+
+    shape: tuple[int, int]
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.shape = validate_shape(self.shape)
+        self.cols = np.ascontiguousarray(self.cols, dtype=np.int32)
+        self.vals = np.ascontiguousarray(self.vals)
+        check(self.cols.ndim == 2 and self.vals.ndim == 2, "cols/vals must be 2-D")
+        check(self.cols.shape == self.vals.shape, "cols/vals shape mismatch")
+        check(self.cols.shape[0] == self.shape[0], "row count mismatch")
+
+    @property
+    def width(self) -> int:
+        """Uniform padded row width."""
+        return int(self.cols.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        """Number of real (non-padding) entries."""
+        return int(np.count_nonzero(self.cols >= 0))
+
+    @property
+    def stored_values(self) -> int:
+        """Stored slots including padding."""
+        return int(self.cols.size)
+
+    @property
+    def padding_ratio(self) -> float:
+        """Stored slots / real entries (>= 1; inf for an empty matrix)."""
+        nnz = self.nnz
+        return float("inf") if nnz == 0 else self.stored_values / nnz
+
+    @property
+    def nbytes(self) -> int:
+        return self.cols.nbytes + self.vals.nbytes
+
+    @classmethod
+    def from_csr(cls, csr, width: int | None = None) -> "ELLMatrix":
+        """Convert CSR to ELL.
+
+        ``width`` defaults to the longest row; passing a smaller width
+        raises, because silently dropping entries would corrupt results.
+        """
+        lens = csr.row_lengths()
+        max_len = int(lens.max()) if lens.size else 0
+        if width is None:
+            width = max_len
+        check(width >= max_len, "ELL width smaller than the longest row")
+        m = csr.shape[0]
+        cols = np.full((m, width), -1, dtype=np.int32)
+        vals = np.zeros((m, width), dtype=csr.data.dtype)
+        if csr.nnz:
+            rows = np.repeat(np.arange(m, dtype=np.int64), lens)
+            offsets = np.arange(csr.nnz, dtype=np.int64) - csr.indptr[rows]
+            cols[rows, offsets] = csr.indices
+            vals[rows, offsets] = csr.data
+        return cls(csr.shape, cols, vals)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` with lockstep row traversal."""
+        x = np.asarray(x)
+        check(x.shape == (self.shape[1],), "x has wrong length")
+        acc_dtype = np.result_type(self.vals, x, np.float32)
+        safe_cols = np.where(self.cols >= 0, self.cols, 0)
+        gathered = x[safe_cols].astype(acc_dtype)
+        gathered[self.cols < 0] = 0
+        return (self.vals.astype(acc_dtype) * gathered).sum(axis=1)
+
+    def to_csr(self):
+        """Convert back to CSR (drops padding)."""
+        from .coo import COOMatrix
+
+        r, k = np.nonzero(self.cols >= 0)
+        return COOMatrix(
+            self.shape, r, self.cols[r, k], self.vals[r, k]
+        ).to_csr(sum_duplicates=False)

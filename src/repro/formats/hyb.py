@@ -1,0 +1,113 @@
+"""HYB (hybrid ELL + COO) format.
+
+The classic cuSPARSE hybrid: the regular part of each row (up to a
+width chosen from the row-length distribution) goes into ELL for
+lockstep access, the overflow into COO.  HYB was the pre-merge-path
+answer to the imbalance problem DASP's categories solve; it is included
+as a substrate format and a point of comparison for the short/medium
+split idea.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+from .coo import COOMatrix
+from .ell import ELLMatrix
+
+
+@dataclass
+class HYBMatrix:
+    """ELL head + COO overflow.
+
+    Attributes
+    ----------
+    ell:
+        The regular part (first ``width`` entries of each row).
+    coo:
+        The overflow entries of rows longer than ``width``.
+    """
+
+    ell: ELLMatrix
+    coo: COOMatrix
+
+    def __post_init__(self) -> None:
+        check(self.ell.shape == self.coo.shape, "ELL/COO shape mismatch")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.ell.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.coo.nnz
+
+    @property
+    def width(self) -> int:
+        return self.ell.width
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Share of nonzeros living in the COO overflow."""
+        return self.coo.nnz / self.nnz if self.nnz else 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr, *, width: int | None = None,
+                 quantile: float = 0.9) -> "HYBMatrix":
+        """Split CSR into ELL(width) + COO overflow.
+
+        ``width`` defaults to the ``quantile`` of nonzero-row lengths —
+        cuSPARSE's heuristic of covering "most" rows in the ELL part.
+        """
+        lens = csr.row_lengths()
+        if width is None:
+            nonzero_lens = lens[lens > 0]
+            width = int(np.quantile(nonzero_lens, quantile)) if \
+                nonzero_lens.size else 0
+        width = max(int(width), 0)
+        m, n = csr.shape
+
+        head_lens = np.minimum(lens, width)
+        cols = np.full((m, width), -1, dtype=np.int32) if width else \
+            np.zeros((m, 0), dtype=np.int32)
+        vals = np.zeros((m, width), dtype=csr.data.dtype)
+        overflow_rows, overflow_cols, overflow_vals = [], [], []
+        if csr.nnz:
+            rows = np.repeat(np.arange(m, dtype=np.int64), lens)
+            offsets = np.arange(csr.nnz, dtype=np.int64) - csr.indptr[rows]
+            in_head = offsets < width
+            if width:
+                cols[rows[in_head], offsets[in_head]] = csr.indices[in_head]
+                vals[rows[in_head], offsets[in_head]] = csr.data[in_head]
+            overflow_rows = rows[~in_head]
+            overflow_cols = csr.indices[~in_head]
+            overflow_vals = csr.data[~in_head]
+        return cls(
+            ell=ELLMatrix(csr.shape, cols, vals),
+            coo=COOMatrix(csr.shape, np.asarray(overflow_rows, dtype=np.int64),
+                          np.asarray(overflow_cols, dtype=np.int64),
+                          np.asarray(overflow_vals, dtype=csr.data.dtype)),
+        )
+
+    def to_csr(self):
+        """Merge the two parts back into CSR."""
+        from .convert import to_coo
+
+        ell_coo = to_coo(self.ell.to_csr())
+        rows = np.concatenate([ell_coo.row, self.coo.row])
+        cols = np.concatenate([ell_coo.col, self.coo.col])
+        vals = np.concatenate([ell_coo.val, self.coo.val])
+        return COOMatrix(self.shape, rows, cols, vals).to_csr(
+            sum_duplicates=False)
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x``: lockstep ELL pass + scatter COO pass."""
+        y = self.ell.matvec(x)
+        if self.coo.nnz:
+            y = y + self.coo.matvec(np.asarray(x)).astype(y.dtype, copy=False)
+        return y

@@ -1,0 +1,86 @@
+"""GPU execution substrate: device specs, warp/MMA emulation, cost model.
+
+This package stands in for the NVIDIA A100/H800 hardware of the paper:
+:class:`Warp` reproduces warp shuffle semantics lane-accurately,
+:mod:`repro.gpu.mma` reproduces the ``mma.m8n8k4`` FP64 fragment layout,
+and :mod:`repro.gpu.cost_model` converts measured kernel event counts
+into time estimates using published device specifications.
+"""
+
+from .cost_model import (
+    Measurement,
+    effective_bandwidth_gbs,
+    estimate_preprocess_time,
+    estimate_time,
+    spmv_gflops,
+)
+from .device import A100, DEVICES, H800, WARP_SIZE, DeviceSpec, get_device
+from .events import KernelEvents, PreprocessEvents, TimeParts
+from .kernel import SpMVMethod
+from .memory import effective_bandwidth, sector_counts, x_traffic_bytes
+from .mma import (
+    FP16_M8N8K4,
+    FP16_M16N8K8,
+    FP64_M8N8K4,
+    MmaShape,
+    MmaUnit,
+    frag_a16_from_matrix,
+    frag_a_from_matrix,
+    frag_b16_from_matrix,
+    frag_b_from_matrix,
+    frag_c16_from_matrix,
+    frag_c_from_matrix,
+    matrix_from_frag_a,
+    matrix_from_frag_a16,
+    matrix_from_frag_b,
+    matrix_from_frag_b16,
+    matrix_from_frag_c,
+    matrix_from_frag_c16,
+    mma_m16n8k8,
+    mma_m8n8k4,
+    shape_for_dtype,
+)
+from .warp import FULL_MASK, Warp
+
+__all__ = [
+    "A100",
+    "DEVICES",
+    "DeviceSpec",
+    "FP16_M16N8K8",
+    "FP16_M8N8K4",
+    "FP64_M8N8K4",
+    "FULL_MASK",
+    "H800",
+    "KernelEvents",
+    "Measurement",
+    "MmaShape",
+    "MmaUnit",
+    "PreprocessEvents",
+    "SpMVMethod",
+    "TimeParts",
+    "WARP_SIZE",
+    "Warp",
+    "effective_bandwidth",
+    "effective_bandwidth_gbs",
+    "estimate_preprocess_time",
+    "estimate_time",
+    "frag_a16_from_matrix",
+    "frag_a_from_matrix",
+    "frag_b16_from_matrix",
+    "frag_b_from_matrix",
+    "frag_c16_from_matrix",
+    "frag_c_from_matrix",
+    "get_device",
+    "matrix_from_frag_a",
+    "matrix_from_frag_a16",
+    "matrix_from_frag_b",
+    "matrix_from_frag_b16",
+    "matrix_from_frag_c",
+    "matrix_from_frag_c16",
+    "mma_m16n8k8",
+    "mma_m8n8k4",
+    "sector_counts",
+    "shape_for_dtype",
+    "spmv_gflops",
+    "x_traffic_bytes",
+]

@@ -1,0 +1,156 @@
+"""Device specifications for the simulated GPUs.
+
+The numbers for the two presets come straight from Table 1 of the paper
+(and public NVIDIA datasheets for fields the paper does not list).  The
+cost model (:mod:`repro.gpu.cost_model`) combines these with *derating*
+factors representing achievable — rather than theoretical — throughput;
+the measured STREAM-like Triad bandwidth of Figure 1 is modeled with
+:attr:`DeviceSpec.triad_efficiency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check
+
+#: Warp width on all NVIDIA architectures this paper targets.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a (simulated) GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"A100-PCIe-40GB"``.
+    arch:
+        Architecture codename (``"Ampere"``, ``"Hopper"``).
+    sms:
+        Number of streaming multiprocessors.
+    clock_ghz:
+        Sustained SM clock in GHz.
+    mem_bw_gbs:
+        Theoretical DRAM bandwidth in GB/s (the red dashed line of Fig 1).
+    triad_efficiency:
+        Fraction of theoretical bandwidth a STREAM-like Triad achieves
+        (the blue dashed line of Fig 1).
+    l2_bytes:
+        L2 cache capacity in bytes.
+    fp64_cuda_tflops / fp32_cuda_tflops:
+        Peak CUDA-core throughput.
+    fp64_tensor_tflops / fp16_tensor_tflops:
+        Peak tensor-core (MMA unit) throughput.
+    launch_overhead_us:
+        Fixed cost of one kernel launch in microseconds.
+    max_warps_per_sm:
+        Occupancy ceiling used by the latency-hiding model.
+    """
+
+    name: str
+    arch: str
+    sms: int
+    clock_ghz: float
+    mem_bw_gbs: float
+    triad_efficiency: float
+    l2_bytes: int
+    fp64_cuda_tflops: float
+    fp32_cuda_tflops: float
+    fp64_tensor_tflops: float
+    fp16_tensor_tflops: float
+    launch_overhead_us: float = 2.2
+    max_warps_per_sm: int = 64
+    mem_latency_ns: float = 450.0
+
+    def __post_init__(self) -> None:
+        check(self.sms > 0, "sms must be positive")
+        check(0 < self.triad_efficiency <= 1, "triad_efficiency in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # Derived rates (SI units)
+    # ------------------------------------------------------------------
+    @property
+    def mem_bw(self) -> float:
+        """Theoretical bandwidth in bytes/s."""
+        return self.mem_bw_gbs * 1e9
+
+    @property
+    def measured_bw(self) -> float:
+        """Achievable (Triad) bandwidth in bytes/s — what SpMV can hope for."""
+        return self.mem_bw * self.triad_efficiency
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def cuda_flops(self, dtype_bits: int) -> float:
+        """Peak CUDA-core flops/s for the given precision."""
+        if dtype_bits == 64:
+            return self.fp64_cuda_tflops * 1e12
+        # FP16 on CUDA cores runs at (up to) 2x FP32 rate; we conservatively
+        # use the FP32 rate, matching how cuSPARSE's FP16 SpMV behaves.
+        return self.fp32_cuda_tflops * 1e12
+
+    def tensor_flops(self, dtype_bits: int) -> float:
+        """Peak tensor-core flops/s for the given precision."""
+        if dtype_bits == 64:
+            check(self.fp64_tensor_tflops > 0, f"{self.name} lacks FP64 MMA units")
+            return self.fp64_tensor_tflops * 1e12
+        return self.fp16_tensor_tflops * 1e12
+
+    @property
+    def launch_overhead_s(self) -> float:
+        return self.launch_overhead_us * 1e-6
+
+    @property
+    def concurrency(self) -> int:
+        """Threads resident at full occupancy (latency-hiding capacity)."""
+        return self.sms * self.max_warps_per_sm * WARP_SIZE
+
+
+#: NVIDIA A100 PCIe 40 GB — the paper's primary platform (Table 1).
+A100 = DeviceSpec(
+    name="A100-PCIe-40GB",
+    arch="Ampere",
+    sms=108,
+    clock_ghz=1.41,
+    mem_bw_gbs=1555.0,
+    triad_efficiency=0.88,
+    l2_bytes=40 * 1024 * 1024,
+    fp64_cuda_tflops=9.7,
+    fp32_cuda_tflops=19.5,
+    fp64_tensor_tflops=19.5,
+    fp16_tensor_tflops=312.0,
+)
+
+#: NVIDIA H800 PCIe 80 GB — the paper's FP16 Hopper platform (Table 1).
+#: The H800's FP64 tensor throughput is capped by export rules; the paper
+#: only evaluates FP16 on it, so we publish 1.0 TFlops as the capped value.
+H800 = DeviceSpec(
+    name="H800-PCIe-80GB",
+    arch="Hopper",
+    sms=114,
+    clock_ghz=1.755,
+    mem_bw_gbs=2048.0,
+    triad_efficiency=0.90,
+    l2_bytes=50 * 1024 * 1024,
+    fp64_cuda_tflops=0.8,
+    fp32_cuda_tflops=51.2,
+    fp64_tensor_tflops=1.0,
+    fp16_tensor_tflops=756.0,
+    launch_overhead_us=2.0,
+)
+
+#: Registry of presets by name.
+DEVICES = {"A100": A100, "H800": H800}
+
+
+def get_device(name_or_spec) -> DeviceSpec:
+    """Resolve ``"A100"`` / ``"H800"`` / a :class:`DeviceSpec` instance."""
+    if isinstance(name_or_spec, DeviceSpec):
+        return name_or_spec
+    key = str(name_or_spec).upper()
+    check(key in DEVICES, f"unknown device {name_or_spec!r}; have {sorted(DEVICES)}")
+    return DEVICES[key]

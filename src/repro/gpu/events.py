@@ -1,0 +1,181 @@
+"""Kernel event accounting.
+
+Every SpMV method in this package reports what its GPU kernels *would do*
+— bytes streamed, x-vector gather traffic, flops on CUDA cores and MMA
+units, shuffles, atomics, launches, thread counts and measured load
+imbalance — as a :class:`KernelEvents` record.  The analytic cost model
+(:mod:`repro.gpu.cost_model`) turns these into time estimates.
+
+Crucially, the counts are *measured from the actual data structures* (real
+padding, real fill-in, real imbalance), not assumed, so relative method
+performance emerges from the same structural properties the paper
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class KernelEvents:
+    """Aggregate device events for one logical SpMV invocation.
+
+    Attributes
+    ----------
+    bytes_val / bytes_idx / bytes_ptr:
+        DRAM traffic for matrix values, column indices, and pointer /
+        metadata arrays (streamed once per SpMV).
+    bytes_x:
+        Estimated DRAM traffic for the random accesses to ``x`` after the
+        sector/cache model of :mod:`repro.gpu.memory`.
+    bytes_y:
+        Output and auxiliary (e.g. ``warpVal``) traffic.
+    flops_cuda:
+        Floating-point operations executed on CUDA cores.
+    flops_mma:
+        Floating-point operations executed on MMA units, *including* the
+        work spent on padding zeros (the hardware cannot skip it).
+    mma_count / shfl_count / atomic_count:
+        Instruction counts for MMA, warp shuffles and atomic adds.
+    extra_instr:
+        Additional per-element scalar instruction estimate beyond the
+        flops themselves (segmented-sum bookkeeping, binary searches, ...),
+        counted in *thread-level* instructions.
+    imbalance:
+        Load-imbalance multiplier (>= 1): ratio of the makespan implied by
+        the method's work partitioning to a perfectly balanced partition.
+    mem_efficiency:
+        Coalescing efficiency of the kernel's DRAM accesses in (0, 1]:
+        fraction of peak streaming bandwidth its access pattern sustains
+        (1.0 = fully coalesced streams; segment-major or thread-strided
+        patterns sit well below).
+    serial_iters:
+        Longest sequential iteration chain any single warp must execute
+        (the straggler's critical path, in warp-iterations).  The cost
+        model exposes it only when it exceeds the kernel's parallel work
+        — one thread owning a two-million-nonzero row dominates the
+        kernel; a sorted medium-row warp with 2x average work does not.
+    kernel_launches:
+        Kernel-launch overhead units per SpMV.  Fractional values model
+        concurrent-stream launches whose latency partially overlaps.
+    threads:
+        Total device threads launched (drives the bandwidth-utilization
+        model for small problems).
+    """
+
+    bytes_val: float = 0.0
+    bytes_idx: float = 0.0
+    bytes_ptr: float = 0.0
+    bytes_x: float = 0.0
+    bytes_y: float = 0.0
+    flops_cuda: float = 0.0
+    flops_mma: float = 0.0
+    mma_count: float = 0.0
+    shfl_count: float = 0.0
+    atomic_count: float = 0.0
+    extra_instr: float = 0.0
+    imbalance: float = 1.0
+    mem_efficiency: float = 1.0
+    serial_iters: float = 0.0
+    kernel_launches: float = 1
+    threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.imbalance < 1.0:
+            self.imbalance = 1.0
+        if not (0.0 < self.mem_efficiency <= 1.0):
+            raise ValueError("mem_efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_stream(self) -> float:
+        """Matrix-stream traffic (everything but x and y)."""
+        return self.bytes_val + self.bytes_idx + self.bytes_ptr
+
+    @property
+    def bytes_total(self) -> float:
+        """All DRAM traffic."""
+        return self.bytes_stream + self.bytes_x + self.bytes_y
+
+    @property
+    def flops_total(self) -> float:
+        return self.flops_cuda + self.flops_mma
+
+    def combine(self, other: "KernelEvents") -> "KernelEvents":
+        """Merge two kernels of the same SpMV (e.g. DASP's category
+        kernels): traffic and ops add; imbalance is traffic-weighted."""
+        merged = KernelEvents()
+        for f in fields(KernelEvents):
+            if f.name in ("imbalance", "mem_efficiency", "serial_iters"):
+                continue
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        w_self = max(self.bytes_total + self.flops_total, 1.0)
+        w_other = max(other.bytes_total + other.flops_total, 1.0)
+        total_w = w_self + w_other
+        merged.imbalance = (
+            self.imbalance * w_self + other.imbalance * w_other) / total_w
+        merged.mem_efficiency = (
+            self.mem_efficiency * w_self + other.mem_efficiency * w_other) / total_w
+        # Kernels launch back to back; the longest critical path is the
+        # one that can poke out past the combined parallel work.
+        merged.serial_iters = max(self.serial_iters, other.serial_iters)
+        return merged
+
+
+@dataclass
+class PreprocessEvents:
+    """Device/host work performed by format conversion (Figure 13).
+
+    Attributes
+    ----------
+    device_bytes:
+        Bytes moved by device-side conversion passes.
+    host_bytes:
+        Bytes touched by host-side (CPU) passes; the model charges these
+        at host memory bandwidth.
+    sort_keys:
+        Number of keys sorted (charged ``k log k`` host work / device
+        radix work).
+    kernel_launches:
+        Device kernels launched during conversion.
+    allocations:
+        Device allocations performed (each has a fixed cost).
+    """
+
+    device_bytes: float = 0.0
+    host_bytes: float = 0.0
+    sort_keys: float = 0.0
+    kernel_launches: int = 0
+    allocations: int = 0
+
+
+@dataclass
+class TimeParts:
+    """Decomposed time estimate (seconds) for one SpMV invocation.
+
+    Mirrors the paper's Figure 2 taxonomy: ``random_access`` is the x
+    gather, ``compute`` the arithmetic pipes, and ``misc`` the matrix
+    stream + pointer/y traffic + launch overhead.
+    """
+
+    random_access: float = 0.0
+    compute: float = 0.0
+    misc: float = 0.0
+    launch: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.random_access + self.compute + self.misc + self.launch
+
+    def fractions(self) -> dict[str, float]:
+        """Shares of total time per part (launch folded into misc, as the
+        paper's MISCELLANEOUS includes fixed overheads)."""
+        t = self.total
+        if t <= 0:
+            return {"random_access": 0.0, "compute": 0.0, "misc": 1.0}
+        return {
+            "random_access": self.random_access / t,
+            "compute": self.compute / t,
+            "misc": (self.misc + self.launch) / t,
+        }

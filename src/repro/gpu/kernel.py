@@ -1,0 +1,75 @@
+"""Common interface all SpMV methods (DASP and the five baselines) implement.
+
+A method is a *plan factory*: ``prepare`` converts a CSR matrix into the
+method's own data structure (counting preprocessing work), ``run``
+executes the SpMV functionally, and ``events`` reports the device events
+one SpMV invocation would generate, which the cost model turns into time.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from .._util import check
+from .cost_model import Measurement, estimate_time
+from .device import DeviceSpec, get_device
+from .events import KernelEvents, PreprocessEvents
+
+
+class SpMVMethod(abc.ABC):
+    """Abstract SpMV method: preprocessing + kernel + event model."""
+
+    #: Short display name, e.g. ``"DASP"`` or ``"cuSPARSE-CSR"``.
+    name: str = "?"
+
+    #: Value dtypes the method supports (cuSPARSE-BSR etc. are FP64/FP32
+    #: only, mirroring Table 1's footnote that only cuSPARSE-CSR does FP16).
+    supported_dtypes: tuple = (np.float64, np.float32, np.float16)
+
+    def supports(self, dtype) -> bool:
+        """True when the method can run matrices of the given dtype."""
+        return np.dtype(dtype) in {np.dtype(d) for d in self.supported_dtypes}
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def prepare(self, csr) -> Any:
+        """Convert CSR into the method's data structure ("plan")."""
+
+    @abc.abstractmethod
+    def run(self, plan, x: np.ndarray) -> np.ndarray:
+        """Execute ``y = A @ x`` functionally from a prepared plan."""
+
+    @abc.abstractmethod
+    def events(self, plan, device: DeviceSpec) -> KernelEvents:
+        """Device events one SpMV invocation generates."""
+
+    @abc.abstractmethod
+    def preprocess_events(self, plan) -> PreprocessEvents:
+        """Work performed by :meth:`prepare` (Figure 13)."""
+
+    # ------------------------------------------------------------------
+    def spmv(self, csr, x: np.ndarray) -> np.ndarray:
+        """One-shot convenience: prepare + run."""
+        return self.run(self.prepare(csr), x)
+
+    def measure(self, csr, device, *, matrix_name: str = "?") -> Measurement:
+        """Prepare the matrix and produce a model time measurement."""
+        device = get_device(device)
+        dtype_bits = np.dtype(csr.data.dtype).itemsize * 8
+        check(self.supports(csr.data.dtype),
+              f"{self.name} does not support dtype {csr.data.dtype}")
+        plan = self.prepare(csr)
+        ev = self.events(plan, device)
+        parts = estimate_time(ev, device, dtype_bits=dtype_bits)
+        return Measurement(
+            method=self.name,
+            matrix=matrix_name,
+            device=device.name,
+            dtype_bits=dtype_bits,
+            nnz=csr.nnz,
+            time_s=parts.total,
+            parts=parts,
+        )

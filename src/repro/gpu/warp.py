@@ -1,0 +1,133 @@
+"""Lane-accurate warp emulator.
+
+A :class:`Warp` models the 32 lanes of a CUDA warp executing in lockstep.
+Per-lane registers are NumPy arrays of shape ``(32,)`` indexed by lane id,
+and the CUDA shuffle intrinsics (``__shfl_sync``, ``__shfl_down_sync``,
+``__shfl_up_sync``, ``__shfl_xor_sync``) are reproduced with their exact
+semantics, including the behaviour outside the width window (the source
+lane's own value is returned unchanged).
+
+The paper's Algorithms 2-5 are executed verbatim on this emulator by
+:mod:`repro.core` (``engine="warp"``); the default vectorized kernels are
+property-tested against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check
+from .device import WARP_SIZE
+
+FULL_MASK = 0xFFFFFFFF
+
+
+class Warp:
+    """A 32-lane SIMT warp with shuffle intrinsics.
+
+    The emulator is *synchronous*: every intrinsic operates on all 32
+    lanes at once, exactly like a converged warp on real hardware.  Masks
+    are accepted for signature compatibility; partially-masked shuffles
+    (which are undefined behaviour on hardware when reading an inactive
+    lane) raise instead of silently producing garbage.
+    """
+
+    size = WARP_SIZE
+
+    def __init__(self) -> None:
+        #: Lane indices 0..31 — the emulated ``%laneid`` register.
+        self.lane = np.arange(WARP_SIZE)
+        #: Number of shuffle operations executed (for event counting).
+        self.shfl_count = 0
+
+    # ------------------------------------------------------------------
+    # Register helpers
+    # ------------------------------------------------------------------
+    def zeros(self, dtype=np.float64) -> np.ndarray:
+        """A fresh per-lane register initialized to zero."""
+        return np.zeros(WARP_SIZE, dtype=dtype)
+
+    def _as_reg(self, value) -> np.ndarray:
+        arr = np.asarray(value)
+        if arr.ndim == 0:
+            arr = np.full(WARP_SIZE, arr[()])
+        check(arr.shape == (WARP_SIZE,), "register must have one value per lane")
+        return arr
+
+    @staticmethod
+    def _check_mask(mask: int) -> None:
+        check(mask == FULL_MASK, "emulator only supports full-warp masks")
+
+    # ------------------------------------------------------------------
+    # Shuffle intrinsics (CUDA semantics)
+    # ------------------------------------------------------------------
+    def shfl_sync(self, mask: int, value, src_lane, width: int = WARP_SIZE):
+        """``__shfl_sync``: every lane reads ``value`` from ``src_lane``.
+
+        ``src_lane`` may be a scalar or a per-lane array.  With a sub-warp
+        ``width``, the source lane is taken modulo the width within each
+        subsection, as on hardware.
+        """
+        self._check_mask(mask)
+        value = self._as_reg(value)
+        src = np.broadcast_to(np.asarray(src_lane), (WARP_SIZE,)).astype(np.int64)
+        base = self.lane & ~(width - 1)
+        resolved = base + (src % width)
+        self.shfl_count += 1
+        return value[resolved]
+
+    def shfl_down_sync(self, mask: int, value, delta: int, width: int = WARP_SIZE):
+        """``__shfl_down_sync``: lane ``i`` reads lane ``i + delta``.
+
+        Lanes whose source would cross the width boundary keep their own
+        value (hardware returns the caller's value in that case).
+        """
+        self._check_mask(mask)
+        value = self._as_reg(value)
+        src = self.lane + int(delta)
+        boundary = (self.lane & ~(width - 1)) + width
+        src = np.where(src < boundary, src, self.lane)
+        self.shfl_count += 1
+        return value[src]
+
+    def shfl_up_sync(self, mask: int, value, delta: int, width: int = WARP_SIZE):
+        """``__shfl_up_sync``: lane ``i`` reads lane ``i - delta``."""
+        self._check_mask(mask)
+        value = self._as_reg(value)
+        src = self.lane - int(delta)
+        base = self.lane & ~(width - 1)
+        src = np.where(src >= base, src, self.lane)
+        self.shfl_count += 1
+        return value[src]
+
+    def shfl_xor_sync(self, mask: int, value, lane_mask: int, width: int = WARP_SIZE):
+        """``__shfl_xor_sync``: lane ``i`` reads lane ``i ^ lane_mask``."""
+        self._check_mask(mask)
+        value = self._as_reg(value)
+        src = self.lane ^ int(lane_mask)
+        base = self.lane & ~(width - 1)
+        src = np.where(src < base + width, src, self.lane)
+        self.shfl_count += 1
+        return value[src]
+
+    # ------------------------------------------------------------------
+    # Convenience reductions built from shuffles
+    # ------------------------------------------------------------------
+    def reduce_sum(self, value) -> np.ndarray:
+        """Butterfly warp-sum: every lane ends with the full warp total.
+
+        This is the classic ``warpReduceSum`` used at the end of the
+        paper's long-rows kernel (Algorithm 2, line 22).
+        """
+        value = self._as_reg(value).copy()
+        offset = WARP_SIZE // 2
+        while offset:
+            value = value + self.shfl_xor_sync(FULL_MASK, value, offset)
+            offset //= 2
+        return value
+
+    def ballot_sync(self, mask: int, predicate) -> int:
+        """``__ballot_sync``: bitmask of lanes whose predicate is true."""
+        self._check_mask(mask)
+        pred = self._as_reg(predicate).astype(bool)
+        return int(np.bitwise_or.reduce((pred.astype(np.uint64) << np.arange(WARP_SIZE, dtype=np.uint64))))

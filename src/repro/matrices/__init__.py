@@ -1,0 +1,74 @@
+"""Matrix dataset substrate: generators, representative suite, collection.
+
+Stands in for the SuiteSparse Matrix Collection the paper evaluates on
+(see DESIGN.md for the substitution rationale).
+"""
+
+from .collection import CollectionEntry, iter_matrices, synthetic_collection
+from .io import load_collection, load_csr, save_collection, save_csr
+from .generators import (
+    GENERATORS,
+    banded,
+    circuit,
+    dense_row_block,
+    fem_blocked,
+    grid2d,
+    kronecker,
+    lp_matrix,
+    power_law,
+    qcd_regular,
+    quantum_chem,
+    rect_long_rows,
+    rect_short_rows,
+    uniform_random,
+)
+from .stats import (
+    DEFAULT_MAX_LEN,
+    SHORT_LEN,
+    CategoryRatios,
+    RowLengthStats,
+    blockiness,
+    category_ratios,
+    column_locality,
+    gini_coefficient,
+    row_length_stats,
+    warp_imbalance,
+)
+from .suite import SuiteEntry, highlight_suite, representative_suite, suite_by_name
+
+__all__ = [
+    "CategoryRatios",
+    "CollectionEntry",
+    "DEFAULT_MAX_LEN",
+    "GENERATORS",
+    "RowLengthStats",
+    "SHORT_LEN",
+    "SuiteEntry",
+    "banded",
+    "blockiness",
+    "category_ratios",
+    "circuit",
+    "column_locality",
+    "dense_row_block",
+    "fem_blocked",
+    "gini_coefficient",
+    "grid2d",
+    "highlight_suite",
+    "iter_matrices",
+    "kronecker",
+    "load_collection",
+    "load_csr",
+    "lp_matrix",
+    "power_law",
+    "qcd_regular",
+    "quantum_chem",
+    "rect_long_rows",
+    "rect_short_rows",
+    "representative_suite",
+    "row_length_stats",
+    "save_collection",
+    "save_csr",
+    "suite_by_name",
+    "synthetic_collection",
+    "uniform_random",
+]

@@ -1,0 +1,159 @@
+"""A synthetic stand-in for the SuiteSparse Matrix Collection.
+
+The paper evaluates on all 2893 SuiteSparse matrices; offline we generate
+a deterministic, diverse collection (default 160 matrices) spanning the
+same structural families with log-uniform sizes.  Scatter-style figures
+(1, 9, 10, 13) run over this collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .._util import default_rng
+from ..formats import CSRMatrix
+from . import generators as g
+
+
+@dataclass(frozen=True)
+class CollectionEntry:
+    """One synthetic collection matrix (lazily built)."""
+
+    name: str
+    family: str
+    build: Callable[[], CSRMatrix]
+
+    def matrix(self) -> CSRMatrix:
+        return self.build()
+
+
+#: family -> (weight, factory(rng, target_nnz) -> CSRMatrix)
+def _make_fem(rng, nnz):
+    mean_len = float(rng.uniform(20, 120))
+    m = max(64, int(nnz / mean_len))
+    return g.fem_blocked(m, mean_len, block=int(rng.choice([1, 2, 3, 6])),
+                         seed=rng.integers(1 << 31))
+
+
+def _make_banded(rng, nnz):
+    half_bw = int(rng.uniform(2, 40))
+    fill = float(rng.uniform(0.3, 0.9))
+    m = max(64, int(nnz / max((2 * half_bw + 1) * fill, 1)))
+    return g.banded(m, half_bw, fill=fill, seed=rng.integers(1 << 31))
+
+
+def _make_power_law(rng, nnz):
+    avg = float(rng.uniform(2, 30))
+    m = max(64, int(nnz / avg))
+    return g.power_law(m, avg, alpha=float(rng.uniform(1.2, 2.4)),
+                       seed=rng.integers(1 << 31),
+                       locality=float(rng.uniform(0, 0.7)))
+
+
+def _make_circuit(rng, nnz):
+    avg = float(rng.uniform(3, 9))
+    m = max(256, int(nnz / avg))
+    return g.circuit(m, avg, n_dense_rows=int(rng.integers(0, 5)),
+                     dense_frac=float(rng.uniform(0.02, 0.4)),
+                     seed=rng.integers(1 << 31))
+
+
+def _make_grid(rng, nnz):
+    side = max(8, int(np.sqrt(nnz / 4.8)))
+    return g.grid2d(side, side, drop=float(rng.uniform(0, 0.1)),
+                    seed=rng.integers(1 << 31))
+
+
+def _make_quantum(rng, nnz):
+    mean_len = float(rng.uniform(50, 200))
+    m = max(64, int(nnz / mean_len))
+    return g.quantum_chem(m, mean_len, tail=float(rng.uniform(0.3, 0.7)),
+                          seed=rng.integers(1 << 31))
+
+
+def _make_uniform(rng, nnz):
+    avg = float(rng.uniform(2, 40))
+    m = max(64, int(nnz / avg))
+    return g.uniform_random(m, m, avg, seed=rng.integers(1 << 31))
+
+
+def _make_rect(rng, nnz):
+    if rng.random() < 0.5:
+        m = int(rng.uniform(50, 400))
+        row_len = max(8, int(nnz / m))
+        return g.rect_long_rows(m, max(row_len * 3, 256), row_len,
+                                seed=rng.integers(1 << 31))
+    m = max(256, int(nnz / 2))
+    return g.rect_short_rows(m, max(m // 4, 64), seed=rng.integers(1 << 31))
+
+
+def _make_lp(rng, nnz):
+    mean_len = float(rng.uniform(40, 200))
+    m = max(64, int(nnz / mean_len))
+    return g.lp_matrix(m, int(m * rng.uniform(2, 20)), mean_len,
+                       seed=rng.integers(1 << 31))
+
+
+def _make_qcd(rng, nnz):
+    row_len = int(rng.uniform(24, 64))
+    m = max(64, int(nnz / row_len))
+    return g.qcd_regular(m, row_len, seed=rng.integers(1 << 31))
+
+
+_FAMILIES: list[tuple[str, float, Callable]] = [
+    ("fem", 0.26, _make_fem),
+    ("banded", 0.08, _make_banded),
+    ("power_law", 0.16, _make_power_law),
+    ("circuit", 0.14, _make_circuit),
+    ("grid", 0.08, _make_grid),
+    ("quantum", 0.06, _make_quantum),
+    ("uniform", 0.10, _make_uniform),
+    ("rect", 0.05, _make_rect),
+    ("lp", 0.04, _make_lp),
+    ("qcd", 0.03, _make_qcd),
+]
+
+
+def synthetic_collection(count: int = 160, *, seed: int = 2023,
+                         min_nnz: int = 2_000,
+                         max_nnz: int = 400_000) -> list[CollectionEntry]:
+    """Build the deterministic synthetic collection.
+
+    Sizes are log-uniform in ``[min_nnz, max_nnz]``; family proportions
+    roughly follow SuiteSparse's domain mix.  Entries are lazy: the matrix
+    is generated when :meth:`CollectionEntry.matrix` is called.
+    """
+    rng = default_rng(seed)
+    names: list[CollectionEntry] = []
+    fams = [f for f, _, _ in _FAMILIES]
+    weights = np.array([w for _, w, _ in _FAMILIES])
+    weights = weights / weights.sum()
+    makers = {f: mk for f, _, mk in _FAMILIES}
+    counters = {f: 0 for f in fams}
+    for i in range(count):
+        fam = str(rng.choice(fams, p=weights))
+        target_nnz = int(np.exp(rng.uniform(np.log(min_nnz), np.log(max_nnz))))
+        counters[fam] += 1
+        name = f"{fam}_{counters[fam]:04d}"
+        # Freeze the per-entry RNG state so entries are independent and
+        # reproducible regardless of build order.
+        sub_seed = int(rng.integers(1 << 31))
+        maker = makers[fam]
+        names.append(
+            CollectionEntry(
+                name=name,
+                family=fam,
+                build=(lambda mk=maker, s=sub_seed, t=target_nnz:
+                       mk(default_rng(s), t)),
+            )
+        )
+    return names
+
+
+def iter_matrices(entries) -> Iterator[tuple[str, CSRMatrix]]:
+    """Yield ``(name, matrix)`` pairs from suite/collection entries."""
+    for entry in entries:
+        yield entry.name, entry.matrix()

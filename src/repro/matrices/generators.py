@@ -1,0 +1,321 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates on the SuiteSparse Matrix Collection, which is not
+available offline.  These generators reproduce the *structural families*
+that drive SpMV performance differences — row-length distribution, column
+locality, block structure — at laptop scale:
+
+==============  ====================================================
+family          SuiteSparse archetypes
+==============  ====================================================
+fem_blocked     pwtk, cant, consph, shipsec1, pdb1HYS, rma10
+power_law       webbase-1M, wiki-Talk, in-2004, eu-2005
+kronecker       kron_g500-logn20
+circuit         FullChip, circuit5M, dc2, scircuit, ASIC_680k
+grid2d          mc2depi (epidemiology grid)
+quantum_chem    Si41Ge41H72, Ga41As41H72, mip1
+qcd_regular     conf5_4-8x8-10
+rect_long_rows  bibd_20_10
+rect_short_rows rel19
+lp_matrix       lp_osa_60
+uniform_random  generic filler
+banded          narrow-band PDE matrices
+==============  ====================================================
+
+All generators are deterministic given ``seed`` and return
+:class:`repro.formats.CSRMatrix` with float64 values in roughly unit
+range (so FP16 casts neither overflow nor flush to zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check, default_rng
+from ..formats import COOMatrix, CSRMatrix
+
+
+def _finish(m: int, n: int, rows, cols, rng, *, values=None) -> CSRMatrix:
+    """Clip, deduplicate, attach values and convert to CSR."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    keep = (rows >= 0) & (rows < m) & (cols >= 0) & (cols < n)
+    rows, cols = rows[keep], cols[keep]
+    # Deduplicate (row, col) pairs, keeping the first occurrence.
+    keys = rows * n + cols
+    _, first = np.unique(keys, return_index=True)
+    rows, cols = rows[first], cols[first]
+    if values is None:
+        values = rng.uniform(0.1, 1.0, size=rows.size) * rng.choice([-1.0, 1.0], size=rows.size)
+    else:
+        values = np.asarray(values)[first] if np.asarray(values).size == keys.size else values
+    return COOMatrix((m, n), rows, cols, values).to_csr(sum_duplicates=False)
+
+
+def _lengths_to_pairs(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-row lengths into (row_of_entry, slot_in_row) arrays."""
+    lengths = lengths.astype(np.int64)
+    rows = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    slots = np.arange(rows.size, dtype=np.int64) - starts[rows]
+    return rows, slots
+
+
+# ----------------------------------------------------------------------
+# Finite-element style matrices (medium rows, strong block structure)
+# ----------------------------------------------------------------------
+
+
+def fem_blocked(m: int, mean_len: float, *, block: int = 3, seed=0,
+                n: int | None = None, empty_rows: int = 0) -> CSRMatrix:
+    """FEM-style matrix: clustered rows of similar length near the diagonal.
+
+    Rows come in ``block``-sized groups (degrees of freedom per mesh node)
+    and connect to a window of neighbouring node blocks, giving the dense
+    8x4-tileable structure that makes matrices like 'cant' and 'pwtk'
+    friendly to blocked formats.  ``empty_rows`` rows with no nonzeros are
+    interleaved (cop20k_A famously has 21349 of them).
+    """
+    rng = default_rng(seed)
+    n = m if n is None else n
+    check(mean_len >= 1, "mean_len must be >= 1")
+    lengths = np.clip(
+        rng.normal(mean_len, mean_len * 0.18, size=m), 4, mean_len * 2.5
+    ).astype(np.int64)
+    if empty_rows:
+        empty = rng.choice(m, size=min(empty_rows, m), replace=False)
+        lengths[empty] = 0
+    rows, slots = _lengths_to_pairs(lengths)
+    # Each row's entries come in runs of `block` consecutive columns at
+    # node-block granularity, centred on the row's own node.
+    window = max(2, int(mean_len * 1.2 / block))
+    node_of_row = rows // block
+    run = slots // block
+    jitter = rng.integers(-window, window + 1, size=rows.size)
+    target_node = node_of_row + ((run - run.max() // 2) + jitter) // 2
+    cols = target_node * block + (slots % block)
+    return _finish(m, n, rows, cols, rng)
+
+
+def qcd_regular(m: int, row_len: int = 39, *, seed=0) -> CSRMatrix:
+    """Perfectly regular stencil rows (conf5_4-8x8-10 style lattice QCD)."""
+    rng = default_rng(seed)
+    lengths = np.full(m, row_len, dtype=np.int64)
+    rows, slots = _lengths_to_pairs(lengths)
+    # Fixed per-slot offsets shared by all rows (a structured stencil).
+    offsets = np.sort(default_rng(7).choice(np.arange(-6 * row_len, 6 * row_len), size=row_len, replace=False))
+    cols = (rows + offsets[slots]) % m
+    return _finish(m, m, rows, cols, rng)
+
+
+def banded(m: int, half_bandwidth: int, *, fill: float = 0.6, seed=0) -> CSRMatrix:
+    """Classic banded matrix with the given half bandwidth and fill."""
+    rng = default_rng(seed)
+    band = 2 * half_bandwidth + 1
+    lengths = np.maximum(1, rng.binomial(band, fill, size=m)).astype(np.int64)
+    rows, slots = _lengths_to_pairs(lengths)
+    offs = rng.integers(-half_bandwidth, half_bandwidth + 1, size=rows.size)
+    return _finish(m, m, rows, rows + offs, rng)
+
+
+# ----------------------------------------------------------------------
+# Graphs (power-law row lengths — the imbalance stress cases)
+# ----------------------------------------------------------------------
+
+
+def power_law(m: int, avg_deg: float, *, alpha: float = 1.8, seed=0,
+              n: int | None = None, max_deg: int | None = None,
+              locality: float = 0.0) -> CSRMatrix:
+    """Scale-free graph adjacency: few huge rows, many tiny ones.
+
+    ``alpha`` controls the tail weight (smaller = heavier).  ``locality``
+    in [0, 1] blends uniformly random targets with near-diagonal targets,
+    modelling the host-grouped ordering of web crawls like in-2004.
+    """
+    rng = default_rng(seed)
+    n = m if n is None else n
+    if max_deg is None:
+        max_deg = max(4, m // 3)
+    raw = rng.pareto(alpha, size=m) + 0.2
+    lengths = np.clip(raw * avg_deg / max(np.mean(raw), 1e-9), 1, max_deg).astype(np.int64)
+    rows, _ = _lengths_to_pairs(lengths)
+    # Column popularity is itself power-law distributed.
+    u = rng.random(rows.size)
+    popular = (n * u ** 2.5).astype(np.int64)
+    local = rows + rng.integers(-64, 65, size=rows.size)
+    use_local = rng.random(rows.size) < locality
+    cols = np.where(use_local, local, popular)
+    return _finish(m, n, rows, cols, rng)
+
+
+def kronecker(scale: int, edge_factor: int = 12, *, seed=0,
+              probs=(0.57, 0.19, 0.19, 0.05)) -> CSRMatrix:
+    """Stochastic Kronecker (R-MAT) graph — kron_g500-logn20 style.
+
+    ``2**scale`` vertices, ``edge_factor`` edges per vertex, Graph500
+    default quadrant probabilities.
+    """
+    rng = default_rng(seed)
+    nverts = 1 << scale
+    nedges = nverts * edge_factor
+    a, b, c, _ = probs
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    for _level in range(scale):
+        rows <<= 1
+        cols <<= 1
+        u = rng.random(nedges)
+        right = (u >= a) & (u < a + b)
+        down = (u >= a + b) & (u < a + b + c)
+        both = u >= a + b + c
+        cols += (right | both).astype(np.int64)
+        rows += (down | both).astype(np.int64)
+    return _finish(nverts, nverts, rows, cols, rng)
+
+
+# ----------------------------------------------------------------------
+# Circuits (mostly very short rows + a few huge ones)
+# ----------------------------------------------------------------------
+
+
+def circuit(m: int, avg_deg: float = 5.0, *, n_dense_rows: int = 2,
+            dense_frac: float = 0.2, seed=0) -> CSRMatrix:
+    """Circuit-simulation matrix: short near-diagonal rows plus a handful
+    of very long rows (power/ground nets), the FullChip/dc2 pattern."""
+    rng = default_rng(seed)
+    lengths = np.maximum(1, rng.geometric(1.0 / max(avg_deg - 0.5, 1.0), size=m)).astype(np.int64)
+    lengths = np.minimum(lengths, 8 * int(avg_deg) + 8)
+    dense = rng.choice(m, size=min(n_dense_rows, m), replace=False)
+    lengths[dense] = max(int(m * dense_frac), 300)
+    rows, slots = _lengths_to_pairs(lengths)
+    near = rows + rng.integers(-16, 17, size=rows.size)
+    far = rng.integers(0, m, size=rows.size)
+    is_dense_row = np.isin(rows, dense)
+    take_far = is_dense_row | (rng.random(rows.size) < 0.15)
+    cols = np.where(take_far, far, near)
+    return _finish(m, m, rows, cols, rng)
+
+
+def grid2d(nx: int, ny: int, *, drop: float = 0.05, seed=0,
+           diagonal: bool = True) -> CSRMatrix:
+    """5-point 2-D grid stencil with random dropped links (mc2depi style:
+    every row short, extremely regular).  ``diagonal=False`` keeps only
+    the four neighbour links, capping rows at length 4 — mc2depi's
+    all-short-rows profile."""
+    rng = default_rng(seed)
+    m = nx * ny
+    idx = np.arange(m, dtype=np.int64)
+    ix, iy = idx % nx, idx // nx
+    neighbors = []
+    rows_all = []
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        ok = (ix + dx >= 0) & (ix + dx < nx) & (iy + dy >= 0) & (iy + dy < ny)
+        rows_all.append(idx[ok])
+        neighbors.append(idx[ok] + dx + dy * nx)
+    diag = [idx] if diagonal else []
+    rows = np.concatenate(diag + rows_all)
+    cols = np.concatenate(diag + neighbors)
+    keep = rng.random(rows.size) >= drop
+    if diagonal:
+        # never drop the diagonal so no row becomes empty
+        keep[:m] = True
+    return _finish(m, m, rows[keep], cols[keep], rng)
+
+
+# ----------------------------------------------------------------------
+# Quantum chemistry (medium/long mixed rows)
+# ----------------------------------------------------------------------
+
+
+def quantum_chem(m: int, mean_len: float, *, tail: float = 0.35, seed=0) -> CSRMatrix:
+    """Electronic-structure Hamiltonian: lognormal row lengths whose tail
+    crosses the long-row boundary (Si41Ge41H72 / Ga41As41H72 style)."""
+    rng = default_rng(seed)
+    lengths = np.clip(
+        rng.lognormal(np.log(mean_len), tail, size=m), 8, mean_len * 8
+    ).astype(np.int64)
+    rows, slots = _lengths_to_pairs(lengths)
+    spread = np.maximum(lengths[rows] * 3, 32)
+    near = rows + rng.integers(-1, 2, size=rows.size) * rng.integers(0, spread)
+    far = rng.integers(0, m, size=rows.size)
+    cols = np.where(rng.random(rows.size) < 0.8, near, far)
+    return _finish(m, m, rows, cols, rng)
+
+
+# ----------------------------------------------------------------------
+# Rectangular / LP matrices
+# ----------------------------------------------------------------------
+
+
+def rect_long_rows(m: int, n: int, row_len: int, *, seed=0) -> CSRMatrix:
+    """Few rows, each very long (bibd_20_10: every row is a long row)."""
+    rng = default_rng(seed)
+    lengths = np.full(m, min(row_len, n), dtype=np.int64)
+    rows, _ = _lengths_to_pairs(lengths)
+    cols = rng.integers(0, n, size=rows.size)
+    return _finish(m, n, rows, cols, rng)
+
+
+def rect_short_rows(m: int, n: int, *, max_len: int = 3, seed=0) -> CSRMatrix:
+    """Tall matrix of 1-3 nonzero rows (rel19: all rows short)."""
+    rng = default_rng(seed)
+    lengths = rng.integers(1, max_len + 1, size=m).astype(np.int64)
+    rows, _ = _lengths_to_pairs(lengths)
+    cols = rng.integers(0, n, size=rows.size)
+    return _finish(m, n, rows, cols, rng)
+
+
+def lp_matrix(m: int, n: int, mean_len: float = 120.0, *, seed=0) -> CSRMatrix:
+    """LP constraint matrix: wide, scattered medium/long rows with no
+    block structure at all (lp_osa_60 — the cuSPARSE-BSR disaster case)."""
+    rng = default_rng(seed)
+    lengths = np.clip(
+        rng.lognormal(np.log(mean_len), 0.6, size=m), 2, n // 2
+    ).astype(np.int64)
+    rows, _ = _lengths_to_pairs(lengths)
+    cols = rng.integers(0, n, size=rows.size)
+    return _finish(m, n, rows, cols, rng)
+
+
+def uniform_random(m: int, n: int, avg_deg: float, *, seed=0) -> CSRMatrix:
+    """Uniformly random pattern with Poisson row lengths."""
+    rng = default_rng(seed)
+    lengths = np.maximum(0, rng.poisson(avg_deg, size=m)).astype(np.int64)
+    if lengths.sum() == 0:
+        lengths[0] = 1
+    rows, _ = _lengths_to_pairs(lengths)
+    cols = rng.integers(0, n, size=rows.size)
+    return _finish(m, n, rows, cols, rng)
+
+
+def dense_row_block(m: int, *, dense_rows: int, dense_len: int,
+                    base_len: int = 6, seed=0) -> CSRMatrix:
+    """A mostly-sparse matrix with a contiguous run of near-dense rows
+    (mip1-style arrow structure)."""
+    rng = default_rng(seed)
+    lengths = np.maximum(1, rng.poisson(base_len, size=m)).astype(np.int64)
+    lengths[:dense_rows] = min(dense_len, m)
+    rows, _ = _lengths_to_pairs(lengths)
+    near = rows + rng.integers(-24, 25, size=rows.size)
+    far = rng.integers(0, m, size=rows.size)
+    cols = np.where(rows < dense_rows, far, near)
+    return _finish(m, m, rows, cols, rng)
+
+
+#: Name -> callable registry used by the synthetic collection builder.
+GENERATORS = {
+    "fem_blocked": fem_blocked,
+    "qcd_regular": qcd_regular,
+    "banded": banded,
+    "power_law": power_law,
+    "kronecker": kronecker,
+    "circuit": circuit,
+    "grid2d": grid2d,
+    "quantum_chem": quantum_chem,
+    "rect_long_rows": rect_long_rows,
+    "rect_short_rows": rect_short_rows,
+    "lp_matrix": lp_matrix,
+    "uniform_random": uniform_random,
+    "dense_row_block": dense_row_block,
+}

@@ -1,0 +1,171 @@
+"""Row-length and structure statistics.
+
+Feeds Figure 12 (category ratios) and the cost model's imbalance and
+blockiness inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+
+#: The paper's medium/long boundary (Section 3.2).
+DEFAULT_MAX_LEN = 256
+#: The paper's short/medium boundary.
+SHORT_LEN = 4
+
+
+@dataclass(frozen=True)
+class RowLengthStats:
+    """Summary of the row-length distribution of a matrix."""
+
+    rows: int
+    nnz: int
+    min_len: int
+    max_len: int
+    mean_len: float
+    std_len: float
+    empty_rows: int
+    gini: float
+
+    @property
+    def imbalance_hint(self) -> float:
+        """max/mean row length — a quick skew indicator."""
+        return self.max_len / max(self.mean_len, 1e-12)
+
+
+def row_length_stats(csr) -> RowLengthStats:
+    """Compute :class:`RowLengthStats` for a CSR matrix."""
+    lens = csr.row_lengths().astype(np.float64)
+    if lens.size == 0:
+        return RowLengthStats(0, 0, 0, 0, 0.0, 0.0, 0, 0.0)
+    return RowLengthStats(
+        rows=int(lens.size),
+        nnz=int(lens.sum()),
+        min_len=int(lens.min()),
+        max_len=int(lens.max()),
+        mean_len=float(lens.mean()),
+        std_len=float(lens.std()),
+        empty_rows=int(np.count_nonzero(lens == 0)),
+        gini=gini_coefficient(lens),
+    )
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution (0 = uniform)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0 or v.sum() == 0:
+        return 0.0
+    n = v.size
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+@dataclass(frozen=True)
+class CategoryRatios:
+    """Figure 12's quantities: row and nonzero shares per DASP category."""
+
+    row_long: float
+    row_medium: float
+    row_short: float
+    row_empty: float
+    nnz_long: float
+    nnz_medium: float
+    nnz_short: float
+
+    def row_shares(self) -> dict[str, float]:
+        return {
+            "long": self.row_long,
+            "medium": self.row_medium,
+            "short": self.row_short,
+            "empty": self.row_empty,
+        }
+
+    def nnz_shares(self) -> dict[str, float]:
+        return {
+            "long": self.nnz_long,
+            "medium": self.nnz_medium,
+            "short": self.nnz_short,
+        }
+
+
+def category_ratios(csr, *, max_len: int = DEFAULT_MAX_LEN,
+                    short_len: int = SHORT_LEN) -> CategoryRatios:
+    """Share of rows and nonzeros in each DASP row category (Figure 12)."""
+    lens = csr.row_lengths()
+    rows = max(int(lens.size), 1)
+    nnz = max(int(lens.sum()), 1)
+    is_long = lens > max_len
+    is_short = (lens >= 1) & (lens <= short_len)
+    is_empty = lens == 0
+    is_medium = ~(is_long | is_short | is_empty)
+    return CategoryRatios(
+        row_long=float(is_long.sum() / rows),
+        row_medium=float(is_medium.sum() / rows),
+        row_short=float(is_short.sum() / rows),
+        row_empty=float(is_empty.sum() / rows),
+        nnz_long=float(lens[is_long].sum() / nnz),
+        nnz_medium=float(lens[is_medium].sum() / nnz),
+        nnz_short=float(lens[is_short].sum() / nnz),
+    )
+
+
+def warp_imbalance(csr, *, rows_per_warp: int = 32) -> float:
+    """Makespan ratio of one-thread-per-row scheduling (CSR-scalar).
+
+    Each warp of 32 consecutive rows takes time proportional to its
+    longest row; the ratio of that makespan to perfectly balanced work is
+    the imbalance multiplier the cost model applies.
+    """
+    lens = csr.row_lengths().astype(np.float64)
+    if lens.size == 0 or lens.sum() == 0:
+        return 1.0
+    pad = (-lens.size) % rows_per_warp
+    padded = np.concatenate([lens, np.zeros(pad)])
+    per_warp_max = padded.reshape(-1, rows_per_warp).max(axis=1)
+    work = per_warp_max.sum() * rows_per_warp
+    return float(max(work / lens.sum(), 1.0))
+
+
+def blockiness(csr, *, block_rows: int = 8, block_cols: int = 4,
+               threshold: float = 0.75) -> float:
+    """Fraction of nonzeros living in dense aligned tiles.
+
+    A tile is "dense" when its occupancy is at least ``threshold``.  High
+    blockiness predicts that BSR/TileSpMV-style formats will do well; the
+    kron/wiki-Talk style matrices score near zero.
+    """
+    if csr.nnz == 0:
+        return 0.0
+    rows = np.repeat(np.arange(csr.shape[0], dtype=np.int64), csr.row_lengths())
+    brow = rows // block_rows
+    bcol = csr.indices.astype(np.int64) // block_cols
+    nb_cols = csr.shape[1] // block_cols + 1
+    keys = brow * nb_cols + bcol
+    _, counts = np.unique(keys, return_counts=True)
+    dense_nnz = counts[counts >= threshold * block_rows * block_cols].sum()
+    return float(dense_nnz / csr.nnz)
+
+
+def column_locality(csr, *, window: int = 4) -> float:
+    """Fraction of intra-row column gaps no wider than ``window``.
+
+    High locality means x gathers hit the same DRAM sector repeatedly;
+    the memory model rewards it.
+    """
+    if csr.nnz < 2:
+        return 1.0
+    sorted_csr = csr if csr.has_sorted_indices() else csr.sort_indices()
+    idx = sorted_csr.indices.astype(np.int64)
+    gaps = np.diff(idx)
+    boundary = np.zeros(idx.size - 1, dtype=bool)
+    starts = sorted_csr.indptr[1:-1]
+    ok = (starts > 0) & (starts < idx.size)
+    boundary[starts[ok] - 1] = True
+    inner = ~boundary
+    if not inner.any():
+        return 1.0
+    return float(np.mean(np.abs(gaps[inner]) <= window))

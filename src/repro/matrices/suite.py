@@ -1,0 +1,144 @@
+"""The 21 representative matrices (paper Table 2), scaled to laptop size.
+
+Each entry names a SuiteSparse matrix tested in the paper and builds a
+synthetic stand-in from the generator family that matches its structure.
+Dimensions are scaled down ~10-30x (documented per matrix as
+``paper_size`` / ``paper_nnz``), preserving the row-length profile that
+determines DASP category assignment and relative method performance.
+
+``highlight_suite`` adds the matrices the paper cites for its best
+speedups (rel19, kron_g500-logn20, mycielskian18, lp_osa_60, wiki-Talk,
+bibd_20_10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..formats import CSRMatrix
+from . import generators as g
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One named matrix of the representative suite."""
+
+    name: str
+    family: str
+    paper_shape: tuple[int, int]
+    paper_nnz: int
+    build: Callable[[], CSRMatrix]
+    note: str = ""
+
+    def matrix(self) -> CSRMatrix:
+        """Generate the scaled stand-in matrix (deterministic)."""
+        return self.build()
+
+
+def _entries() -> list[SuiteEntry]:
+    E = SuiteEntry
+    return [
+        E("pwtk", "fem_blocked", (217918, 217918), 11524432,
+          lambda: g.fem_blocked(12000, 53, block=3, seed=101),
+          "wind tunnel stiffness; medium rows, strong 3x3 blocks"),
+        E("FullChip", "circuit", (2987012, 2987012), 26621983,
+          lambda: g.circuit(30000, 8.9, n_dense_rows=4, dense_frac=0.25, seed=102),
+          "power grid: short rows + few enormous net rows"),
+        E("mip1", "dense_row_block", (66463, 66463), 10352819,
+          lambda: g.dense_row_block(6000, dense_rows=60, dense_len=4000,
+                                    base_len=120, seed=103),
+          "MIP with dense coupling rows; medium/long mix"),
+        E("mc2depi", "grid2d", (525825, 525825), 2100225,
+          lambda: g.grid2d(200, 200, drop=0.02, seed=104, diagonal=False),
+          "epidemiology 2-D grid: every row short (len <= 5)"),
+        E("webbase-1M", "power_law", (1000005, 1000005), 3105536,
+          lambda: g.power_law(50000, 3.1, alpha=1.6, seed=105, locality=0.3),
+          "web crawl; mostly tiny rows, heavy tail"),
+        E("circuit5M", "circuit", (5558326, 5558326), 59524291,
+          lambda: g.circuit(50000, 10.7, n_dense_rows=6, dense_frac=0.2, seed=106),
+          "large circuit; short + huge rows"),
+        E("Si41Ge41H72", "quantum_chem", (185639, 185639), 15011265,
+          lambda: g.quantum_chem(9000, 81, tail=0.95, seed=107),
+          "electronic structure; medium rows with long tail"),
+        E("Ga41As41H72", "quantum_chem", (268096, 268096), 18488476,
+          lambda: g.quantum_chem(10000, 69, tail=1.05, seed=108),
+          "electronic structure; longer tail than Si41Ge41H72"),
+        E("in-2004", "power_law", (1382908, 1382908), 16917053,
+          lambda: g.power_law(30000, 12.2, alpha=1.7, seed=109, locality=0.6),
+          "web graph with host-local blocks"),
+        E("eu-2005", "power_law", (862664, 862664), 19235140,
+          lambda: g.power_law(25000, 22.3, alpha=1.8, seed=110, locality=0.6),
+          "denser web graph"),
+        E("shipsec1", "fem_blocked", (140874, 140874), 7813404,
+          lambda: g.fem_blocked(10000, 55, block=3, seed=111),
+          "ship section FEM"),
+        E("mac_econ_fwd500", "uniform_random", (206500, 206500), 1273389,
+          lambda: g.uniform_random(20000, 20000, 6.2, seed=112),
+          "economic model; short scattered rows"),
+        E("scircuit", "circuit", (170998, 170998), 958936,
+          lambda: g.circuit(17000, 5.6, n_dense_rows=2, dense_frac=0.02, seed=113),
+          "circuit with moderate outliers"),
+        E("pdb1HYS", "fem_blocked", (36417, 36417), 4344765,
+          lambda: g.fem_blocked(4000, 119, block=3, seed=114),
+          "protein; long-ish medium rows, blocked"),
+        E("consph", "fem_blocked", (83334, 83334), 6010480,
+          lambda: g.fem_blocked(6000, 72, block=3, seed=115),
+          "concentric spheres FEM"),
+        E("cant", "fem_blocked", (62451, 62451), 4007383,
+          lambda: g.fem_blocked(6200, 64, block=3, seed=116),
+          "cantilever FEM"),
+        E("cop20k_A", "fem_blocked", (121192, 121192), 2624331,
+          lambda: g.fem_blocked(12000, 26, block=3, seed=117, empty_rows=2100),
+          "accelerator cavity; medium rows + many empty rows"),
+        E("dc2", "circuit", (116835, 116835), 766396,
+          lambda: g.circuit(25000, 6.0, n_dense_rows=3, dense_frac=0.35, seed=118),
+          "circuit with a few rows holding most nonzeros"),
+        E("rma10", "fem_blocked", (46835, 46835), 2329092,
+          lambda: g.fem_blocked(4700, 50, block=3, seed=119),
+          "3-D CFD"),
+        E("conf5_4-8x8-10", "qcd_regular", (49152, 49152), 1916928,
+          lambda: g.qcd_regular(4900, 39, seed=120),
+          "lattice QCD; perfectly regular 39-nnz rows"),
+        E("ASIC_680k", "circuit", (682862, 682862), 3871773,
+          lambda: g.circuit(34000, 5.6, n_dense_rows=4, dense_frac=0.5, seed=121),
+          "ASIC netlist; short rows + near-dense rows"),
+    ]
+
+
+def representative_suite() -> list[SuiteEntry]:
+    """The 21 representative matrices of Table 2 (scaled stand-ins)."""
+    return _entries()
+
+
+def highlight_suite() -> list[SuiteEntry]:
+    """The best-speedup matrices cited in Section 4.2."""
+    E = SuiteEntry
+    return [
+        E("rel19", "rect_short_rows", (9746232, 274667), 38355420,
+          lambda: g.rect_short_rows(60000, 12000, max_len=3, seed=201),
+          "all rows short; DASP's best case vs CSR5"),
+        E("kron_g500-logn20", "kronecker", (1048576, 1048576), 89239674,
+          lambda: g.kronecker(15, 10, seed=202),
+          "no block structure at all; TileSpMV's worst case"),
+        E("mycielskian18", "power_law", (196607, 196607), 300933832,
+          lambda: g.power_law(12000, 180, alpha=1.4, seed=203, max_deg=9000),
+          "extremely dense skewed rows; LSRB's worst case"),
+        E("lp_osa_60", "lp_matrix", (10280, 243246), 1408073,
+          lambda: g.lp_matrix(4000, 90000, 137, seed=204),
+          "scattered wide rows; cuSPARSE-BSR fill-in disaster"),
+        E("wiki-Talk", "power_law", (2394385, 2394385), 5021410,
+          lambda: g.power_law(60000, 2.1, alpha=1.25, seed=205),
+          "few rows hold most nonzeros; long-rows strategy case"),
+        E("bibd_20_10", "rect_long_rows", (190, 184756), 8314020,
+          lambda: g.rect_long_rows(190, 30000, 7200, seed=206),
+          "every row a long row; FP16 best case"),
+    ]
+
+
+def suite_by_name(name: str) -> SuiteEntry:
+    """Look up any suite/highlight entry by its SuiteSparse name."""
+    for entry in _entries() + highlight_suite():
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no suite matrix named {name!r}")

@@ -1,0 +1,26 @@
+"""Precision substrate: binary16 storage with FP32 accumulation (tensor-
+core semantics) plus error metrics."""
+
+from .error import max_relative_error, relative_l2_error, ulps_fp16
+from .fp16 import (
+    FP16_EPS,
+    FP16_MAX,
+    FP16_MIN_NORMAL,
+    cast_matrix_fp16,
+    fp16_mma_dot,
+    representable_fraction,
+    to_fp16,
+)
+
+__all__ = [
+    "FP16_EPS",
+    "FP16_MAX",
+    "FP16_MIN_NORMAL",
+    "cast_matrix_fp16",
+    "fp16_mma_dot",
+    "max_relative_error",
+    "relative_l2_error",
+    "representable_fraction",
+    "to_fp16",
+    "ulps_fp16",
+]

@@ -1,0 +1,36 @@
+"""Numerical-error metrics for mixed-precision SpMV results."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_l2_error(y, y_ref) -> float:
+    """||y - y_ref||_2 / ||y_ref||_2 (0 when the reference is zero)."""
+    y = np.asarray(y, dtype=np.float64)
+    y_ref = np.asarray(y_ref, dtype=np.float64)
+    denom = np.linalg.norm(y_ref)
+    if denom == 0:
+        return float(np.linalg.norm(y))
+    return float(np.linalg.norm(y - y_ref) / denom)
+
+
+def max_relative_error(y, y_ref, *, floor: float = 1e-30) -> float:
+    """Max per-component relative error with a denominator floor."""
+    y = np.asarray(y, dtype=np.float64)
+    y_ref = np.asarray(y_ref, dtype=np.float64)
+    denom = np.maximum(np.abs(y_ref), floor)
+    return float(np.max(np.abs(y - y_ref) / denom)) if y.size else 0.0
+
+
+def ulps_fp16(y, y_ref) -> np.ndarray:
+    """Distance in binary16 ULPs between two result vectors.
+
+    Uses the monotone mapping from float16 bit patterns to integers, so
+    adjacent representable values differ by exactly 1.
+    """
+    def to_ordered(v):
+        bits = np.asarray(v, dtype=np.float16).view(np.uint16).astype(np.int32)
+        return np.where(bits & 0x8000, -(bits & 0x7FFF), bits)
+
+    return np.abs(to_ordered(y) - to_ordered(y_ref))

@@ -1,0 +1,64 @@
+"""FP16 (binary16) precision substrate.
+
+Tensor-core FP16 MMA reads half-precision operands and accumulates in
+FP32; the helpers here make that contract explicit and provide the
+casting / safety utilities the FP16 SpMV path uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check
+
+#: Largest finite binary16 value.
+FP16_MAX = float(np.finfo(np.float16).max)
+#: Smallest positive normal binary16 value.
+FP16_MIN_NORMAL = float(np.finfo(np.float16).tiny)
+#: Unit roundoff of binary16 (2^-11).
+FP16_EPS = float(np.finfo(np.float16).eps) / 2
+
+
+def to_fp16(values, *, strict: bool = False) -> np.ndarray:
+    """Cast to binary16.
+
+    With ``strict=True``, raise if any finite input overflows to inf or
+    any nonzero input flushes to zero — the checks a careful mixed-
+    precision solver performs before demoting its matrix.
+    """
+    arr = np.asarray(values)
+    out = arr.astype(np.float16)
+    if strict:
+        finite_in = np.isfinite(arr)
+        check(bool(np.all(np.isfinite(out[finite_in]))),
+              "FP16 overflow: values exceed 65504")
+        nonzero = arr != 0
+        check(bool(np.all(out[nonzero] != 0)),
+              "FP16 underflow: nonzero values flushed to zero")
+    return out
+
+
+def fp16_mma_dot(a, b) -> np.ndarray:
+    """Dot product with tensor-core semantics: fp16 inputs, fp32 products
+    and accumulation (``mma.sync`` f16 with f32 accumulator)."""
+    a16 = np.asarray(a, dtype=np.float16).astype(np.float32)
+    b16 = np.asarray(b, dtype=np.float16).astype(np.float32)
+    return np.sum(a16 * b16, dtype=np.float32)
+
+
+def cast_matrix_fp16(csr, *, strict: bool = False):
+    """Return the CSR matrix with binary16 values (FP32 accumulate path)."""
+    from ..formats import CSRMatrix
+
+    return CSRMatrix(csr.shape, csr.indptr, csr.indices,
+                     to_fp16(csr.data, strict=strict))
+
+
+def representable_fraction(values) -> float:
+    """Fraction of values that binary16 represents without over/underflow
+    (diagnostic for whether a matrix is FP16-safe at all)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    ok = (np.abs(arr) <= FP16_MAX) & ((arr == 0) | (np.abs(arr) >= FP16_MIN_NORMAL))
+    return float(np.mean(ok))

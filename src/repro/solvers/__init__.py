@@ -1,0 +1,13 @@
+"""Iterative solvers driven by SpMV methods — the paper's amortization
+workload (Section 4.4): preprocessing pays off when SpMV repeats."""
+
+from .krylov import SolveResult, bicgstab, conjugate_gradient, jacobi
+from .operator import SpMVOperator
+
+__all__ = [
+    "SolveResult",
+    "SpMVOperator",
+    "bicgstab",
+    "conjugate_gradient",
+    "jacobi",
+]

@@ -1,0 +1,70 @@
+"""Linear-operator abstraction over SpMV methods.
+
+Iterative solvers are *the* consumer of SpMV (the paper's Section 4.4
+amortization argument), so the solver layer works against a tiny
+operator interface that any :class:`~repro.gpu.kernel.SpMVMethod` — or a
+plain CSR matrix — can satisfy.  The operator counts its applications so
+solver benchmarks can report modeled end-to-end cost including
+preprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import check
+from ..core.method import DASPMethod
+from ..formats import to_csr
+from ..gpu.cost_model import estimate_preprocess_time, estimate_time
+from ..gpu.device import get_device
+
+
+class SpMVOperator:
+    """``y = A @ x`` through a prepared SpMV method, with apply counting.
+
+    Parameters
+    ----------
+    matrix:
+        Anything :func:`repro.formats.to_csr` accepts.
+    method:
+        An :class:`SpMVMethod` instance; default is DASP.
+    """
+
+    def __init__(self, matrix, method=None) -> None:
+        self.csr = to_csr(matrix)
+        self.method = method or DASPMethod()
+        check(self.method.supports(self.csr.data.dtype),
+              f"{self.method.name} does not support {self.csr.data.dtype}")
+        self.plan = self.method.prepare(self.csr)
+        #: Number of operator applications so far.
+        self.applications = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.csr.shape
+
+    @property
+    def dtype(self):
+        return self.csr.data.dtype
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """One SpMV through the method's kernel."""
+        self.applications += 1
+        return np.asarray(self.method.run(self.plan, x), dtype=np.float64)
+
+    __matmul__ = apply
+
+    def modeled_cost(self, device="A100") -> dict[str, float]:
+        """Modeled device seconds: preprocessing + all applications."""
+        device = get_device(device)
+        bits = np.dtype(self.dtype).itemsize * 8
+        spmv_s = estimate_time(self.method.events(self.plan, device), device,
+                               dtype_bits=bits).total
+        pre_s = estimate_preprocess_time(
+            self.method.preprocess_events(self.plan), device)
+        return {
+            "preprocess_s": pre_s,
+            "per_spmv_s": spmv_s,
+            "applications": float(self.applications),
+            "total_s": pre_s + spmv_s * self.applications,
+        }

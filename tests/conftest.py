@@ -1,0 +1,65 @@
+"""Shared fixtures and matrix factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+
+
+def random_csr(m, n, rng, *, row_len_sampler=None, dtype=np.float64,
+               empty_frac=0.0) -> CSRMatrix:
+    """Random CSR matrix with controllable row-length distribution.
+
+    ``row_len_sampler(rng, m)`` returns per-row nonzero counts; defaults
+    to uniform 0..min(20, n).  Duplicate columns are removed, so actual
+    lengths can be slightly below the sampled ones.
+    """
+    if row_len_sampler is None:
+        row_len_sampler = lambda r, rows: r.integers(0, min(20, n) + 1, rows)
+    lens = np.asarray(row_len_sampler(rng, m), dtype=np.int64)
+    lens = np.clip(lens, 0, n)
+    if empty_frac:
+        lens[rng.random(m) < empty_frac] = 0
+    rows = np.repeat(np.arange(m, dtype=np.int64), lens)
+    # distinct columns per row so sampled lengths are exact
+    cols = np.concatenate([rng.choice(n, size=int(l), replace=False)
+                           for l in lens if l]) if lens.sum() else         np.zeros(0, dtype=np.int64)
+    vals = rng.uniform(0.1, 1.0, rows.size) * rng.choice([-1.0, 1.0], rows.size)
+    return COOMatrix((m, n), rows, cols, vals.astype(dtype)).to_csr(
+        sum_duplicates=False)
+
+
+#: Named row-length profiles covering every DASP category mix.
+ROW_PROFILES = {
+    "empty_heavy": lambda r, m: np.where(r.random(m) < 0.5, 0,
+                                         r.integers(1, 6, m)),
+    "short": lambda r, m: r.integers(0, 5, m),
+    "medium": lambda r, m: r.integers(5, 200, m),
+    "long": lambda r, m: r.integers(257, 500, m),
+    "mixed": lambda r, m: np.where(
+        r.random(m) < 0.05, r.integers(257, 600, m), r.integers(0, 30, m)),
+    "uniform": lambda r, m: r.integers(0, 24, m),
+    "skewed": lambda r, m: (r.pareto(1.3, m) * 3 + 1).astype(np.int64),
+}
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=sorted(ROW_PROFILES))
+def profiled_matrix(request, rng):
+    """One random matrix per row-length profile (parametrized fixture)."""
+    profile = ROW_PROFILES[request.param]
+    return random_csr(96, 700, rng, row_len_sampler=profile)
+
+
+@pytest.fixture
+def small_dense(rng):
+    """A small dense array for round-trip tests."""
+    d = rng.standard_normal((11, 17))
+    d[rng.random((11, 17)) < 0.7] = 0.0
+    return d

@@ -1,0 +1,120 @@
+"""Tests for the analysis layer (metrics, breakdown, bandwidth, roofline)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_AVERAGES,
+    bandwidth_points,
+    breakdown_averages,
+    csr_breakdown,
+    gflops_table,
+    peak_lines,
+    roofline,
+    speedup_summary,
+    spmv_intensity,
+)
+from tests.conftest import random_csr
+
+
+class TestSpeedupSummary:
+    def test_basic(self):
+        ref = {"a": 1.0, "b": 2.0}
+        base = {"a": 2.0, "b": 1.0}
+        s = speedup_summary(ref, base, "base")
+        assert s.geomean == pytest.approx(1.0)
+        assert s.maximum == 2.0 and s.minimum == 0.5
+        assert s.wins == 1 and s.total == 2
+        assert s.win_rate == 0.5
+
+    def test_missing_entries_skipped(self):
+        s = speedup_summary({"a": 1.0, "b": 1.0}, {"a": 3.0}, "x")
+        assert s.total == 1 and s.geomean == pytest.approx(3.0)
+
+    def test_nonfinite_skipped(self):
+        s = speedup_summary({"a": 1.0, "b": 1.0},
+                            {"a": float("nan"), "b": 2.0}, "x")
+        assert s.total == 1
+
+    def test_empty(self):
+        s = speedup_summary({}, {}, "x")
+        assert np.isnan(s.geomean) and s.total == 0
+
+    def test_str_format(self):
+        s = speedup_summary({"a": 1.0}, {"a": 2.0}, "CSR5")
+        assert "CSR5" in str(s) and "2.00x" in str(s)
+
+
+class TestGflopsTable:
+    def test_conversion(self):
+        table = gflops_table({"m": {"a": 1e-3}}, {"a": 500_000})
+        assert table["m"]["a"] == pytest.approx(1.0)
+
+    def test_zero_time_nan(self):
+        table = gflops_table({"m": {"a": 0.0}}, {"a": 10})
+        assert np.isnan(table["m"]["a"])
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self, rng):
+        row = csr_breakdown(random_csr(100, 200, rng), "A100", matrix_name="t")
+        assert row.random_access + row.compute + row.misc == pytest.approx(1.0)
+
+    def test_averages(self, rng):
+        rows = [csr_breakdown(random_csr(50, 80, rng), "A100")
+                for _ in range(3)]
+        avg = breakdown_averages(rows)
+        assert sum(avg.values()) == pytest.approx(1.0)
+
+    def test_paper_averages_recorded(self):
+        assert PAPER_AVERAGES["compute"] == 0.211
+        assert sum(PAPER_AVERAGES.values()) == pytest.approx(1.0)
+
+    def test_empty_rows_list(self):
+        assert breakdown_averages([]) == {"random_access": 0.0,
+                                          "compute": 0.0, "misc": 0.0}
+
+
+class TestBandwidth:
+    def test_peak_lines(self):
+        lines = peak_lines("A100")
+        assert lines["theoretical"] == 1555.0
+        assert lines["triad"] < lines["theoretical"]
+
+    def test_points(self, rng):
+        csr = random_csr(50, 50, rng)
+        pts = bandwidth_points({"DASP": {"m": 1e-5}}, {"m": csr},
+                               methods=("DASP",))
+        assert len(pts) == 1
+        assert pts[0].gbs > 0 and pts[0].nnz == csr.nnz
+
+    def test_faster_time_higher_bandwidth(self, rng):
+        csr = random_csr(50, 50, rng)
+        fast = bandwidth_points({"DASP": {"m": 1e-6}}, {"m": csr},
+                                methods=("DASP",))[0]
+        slow = bandwidth_points({"DASP": {"m": 1e-5}}, {"m": csr},
+                                methods=("DASP",))[0]
+        assert fast.gbs > slow.gbs
+
+
+class TestRoofline:
+    def test_spmv_is_memory_bound(self, rng):
+        csr = random_csr(100, 100, rng)
+        point = roofline("A100", spmv_intensity(csr))
+        assert point.bound == "memory"
+
+    def test_high_intensity_compute_bound(self):
+        point = roofline("A100", 1e4)
+        assert point.bound == "compute"
+
+    def test_tensor_peak_higher(self):
+        p_cuda = roofline("A100", 1e4, use_tensor=False)
+        p_tc = roofline("A100", 1e4, use_tensor=True)
+        assert p_tc.attainable_gflops > p_cuda.attainable_gflops
+
+    def test_intensity_cached_vs_streamed(self, rng):
+        # needs nnz >> n so per-access charging exceeds one pass over x
+        csr = random_csr(500, 500, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 12))
+        assert spmv_intensity(csr, cached_x=True) > spmv_intensity(
+            csr, cached_x=False)

@@ -1,0 +1,60 @@
+"""Tests for the cross-method accuracy analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_method_accuracy,
+    exact_spmv,
+    summation_error_bound,
+)
+from tests.conftest import random_csr
+
+
+class TestExactSpmv:
+    def test_matches_float64_on_easy_input(self, rng):
+        csr = random_csr(30, 40, rng)
+        x = rng.standard_normal(40)
+        assert np.allclose(exact_spmv(csr, x), csr.matvec(x), rtol=1e-12)
+
+    def test_cancellation_resolved(self):
+        """Sum 1e16 + 1 - 1e16: float64 sequential order matters; the
+        extended-precision reference gets 1 exactly."""
+        from repro.formats import CSRMatrix
+
+        csr = CSRMatrix((1, 3), [0, 3], [0, 1, 2], [1e16, 1.0, -1e16])
+        y = exact_spmv(csr, np.ones(3))
+        assert y[0] == 1.0
+
+
+class TestCompare:
+    def test_all_methods_near_machine_eps(self, rng):
+        csr = random_csr(80, 120, rng)
+        x = rng.standard_normal(120)
+        rows = compare_method_accuracy(csr, x)
+        assert len(rows) == 6
+        for r in rows:
+            assert r.rel_l2 < 1e-13, r.method
+
+    def test_fp16_methods_filtered(self, rng):
+        csr = random_csr(20, 20, rng, dtype=np.float16)
+        rows = compare_method_accuracy(csr, np.ones(20, dtype=np.float16))
+        names = {r.method for r in rows}
+        assert names == {"cuSPARSE-CSR", "DASP"}
+
+    def test_dasp_no_worse_than_sequential(self, rng):
+        """Blocked summation should not lose accuracy vs sequential CSR
+        on long rows (it is pairwise-flavoured)."""
+        csr = random_csr(8, 4000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 2000))
+        x = rng.standard_normal(4000)
+        rows = {r.method: r for r in compare_method_accuracy(csr, x)}
+        assert rows["DASP"].rel_l2 <= 5 * rows["cuSPARSE-CSR"].rel_l2
+
+
+class TestBound:
+    def test_growth(self):
+        assert summation_error_bound(1000) > summation_error_bound(10)
+
+    def test_machine_eps_scale(self):
+        assert summation_error_bound(0) == pytest.approx(2 ** -53)

@@ -1,0 +1,89 @@
+"""Tests for the rule-based method advisor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import advisor_accuracy, matrix_features, recommend
+from repro.bench import run_comparison
+from repro.matrices import suite_by_name, synthetic_collection
+from tests.conftest import random_csr
+
+
+class TestFeatures:
+    def test_feature_keys(self, rng):
+        f = matrix_features(random_csr(40, 40, rng))
+        assert {"nnz", "rows", "mean_len", "gini", "blockiness",
+                "row_short", "row_medium", "nnz_long"} <= set(f)
+
+    def test_feature_values_sane(self, rng):
+        f = matrix_features(random_csr(40, 40, rng))
+        assert 0 <= f["gini"] <= 1
+        assert 0 <= f["blockiness"] <= 1
+
+
+class TestRecommend:
+    def test_fp16_only_two_methods(self, rng):
+        csr = random_csr(20, 20, rng, dtype=np.float16)
+        rec = recommend(csr)
+        assert set(rec.ranking) == {"DASP", "cuSPARSE-CSR"}
+
+    def test_ranking_is_permutation(self, rng):
+        rec = recommend(random_csr(40, 40, rng))
+        assert sorted(rec.ranking) == sorted(
+            ["DASP", "CSR5", "cuSPARSE-CSR", "cuSPARSE-BSR",
+             "TileSpMV", "LSRB-CSR"])
+
+    def test_lsrb_never_recommended_first(self, rng):
+        for seed in range(5):
+            csr = random_csr(50, 50, np.random.default_rng(seed))
+            assert recommend(csr).best != "LSRB-CSR"
+
+    def test_blocked_matrix_raises_bsr(self):
+        csr = suite_by_name("cant").matrix()
+        rec = recommend(csr)
+        assert rec.ranking.index("cuSPARSE-BSR") <= 3
+
+    def test_scattered_matrix_demotes_bsr(self):
+        csr = suite_by_name("wiki-Talk").matrix()
+        rec = recommend(csr)
+        assert rec.ranking.index("cuSPARSE-BSR") >= 3
+
+    def test_best_property(self, rng):
+        rec = recommend(random_csr(30, 30, rng))
+        assert rec.best == rec.ranking[0]
+
+
+class TestAccuracy:
+    def test_advisor_beats_chance(self):
+        """Top-2 hit rate must clearly exceed random guessing (2/6)."""
+        entries = synthetic_collection(24, seed=31, min_nnz=4000,
+                                       max_nnz=60000)
+        res = run_comparison(entries, device="A100", keep_matrices=True)
+        acc = advisor_accuracy(res, top_k=2)
+        assert acc > 0.55
+
+    def test_top_six_is_always_right(self):
+        entries = synthetic_collection(5, seed=8)
+        res = run_comparison(entries, device="A100", keep_matrices=True)
+        assert advisor_accuracy(res, top_k=6) == 1.0
+
+
+class TestTranspose:
+    def test_transpose_dense_equal(self, rng):
+        csr = random_csr(20, 35, rng)
+        assert np.allclose(csr.transpose().to_dense(), csr.to_dense().T)
+
+    def test_double_transpose_identity(self, rng):
+        csr = random_csr(20, 35, rng)
+        assert np.allclose(csr.transpose().transpose().to_dense(),
+                           csr.to_dense())
+
+    def test_transpose_empty(self):
+        from repro.formats import CSRMatrix
+
+        t = CSRMatrix.empty((3, 7)).transpose()
+        assert t.shape == (7, 3) and t.nnz == 0
+
+    def test_transpose_sorted(self, rng):
+        csr = random_csr(20, 35, rng)
+        assert csr.transpose().has_sorted_indices()

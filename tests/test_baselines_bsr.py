@@ -1,0 +1,71 @@
+"""Tests for the cuSPARSE-BSR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BSRMethod, CANDIDATE_BLOCKS
+from repro.formats import CSRMatrix
+from repro.gpu import A100
+from tests.conftest import random_csr
+
+
+class TestBestOfThree:
+    def test_tries_all_candidates(self, rng):
+        plan = BSRMethod().prepare(random_csr(40, 40, rng))
+        assert set(plan.tried) == set(CANDIDATE_BLOCKS)
+
+    def test_picks_minimum_time(self, rng):
+        plan = BSRMethod().prepare(random_csr(40, 40, rng))
+        best_time = min(plan.tried.values())
+        assert plan.tried[plan.bsr.blocksize] == best_time
+
+    def test_blocked_matrix_prefers_larger_blocks(self, rng):
+        """A truly 8x8-blocked matrix should not pick 2x2."""
+        dense = np.zeros((64, 64))
+        blocks = rng.integers(0, 2, (8, 8)).astype(bool)
+        for i, j in zip(*np.nonzero(blocks)):
+            dense[i * 8:(i + 1) * 8, j * 8:(j + 1) * 8] = rng.standard_normal((8, 8))
+        plan = BSRMethod().prepare(CSRMatrix.from_dense(dense))
+        assert plan.fill_ratio < 1.3
+
+    def test_scattered_matrix_high_fill(self, rng):
+        csr = random_csr(64, 4096, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 4))
+        plan = BSRMethod().prepare(csr)
+        assert plan.fill_ratio > 2.0
+
+
+class TestKernel:
+    def test_matches_reference(self, profiled_matrix, rng):
+        method = BSRMethod()
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        y = method.run(method.prepare(profiled_matrix), x)
+        assert np.allclose(y, profiled_matrix.matvec(x), rtol=1e-11)
+
+    def test_no_fp16(self):
+        assert not BSRMethod().supports(np.float16)
+
+    def test_empty(self):
+        method = BSRMethod()
+        y = method.run(method.prepare(CSRMatrix.empty((4, 4))), np.ones(4))
+        assert np.array_equal(y, np.zeros(4))
+
+
+class TestEvents:
+    def test_fill_in_multiplies_traffic(self, rng):
+        """The lp_osa_60 story: scattered wide rows pay fill-in in both
+        bytes and flops."""
+        scattered = random_csr(64, 4096, rng,
+                               row_len_sampler=lambda r, m: np.full(m, 8))
+        method = BSRMethod()
+        plan = method.prepare(scattered)
+        ev = method.events(plan, A100)
+        assert ev.bytes_val >= plan.fill_ratio * scattered.nnz * 8 * 0.99
+        assert ev.flops_cuda >= 2.0 * scattered.nnz * plan.fill_ratio * 0.99
+
+    def test_preprocess_covers_all_candidates(self, rng):
+        method = BSRMethod()
+        plan = method.prepare(random_csr(30, 30, rng))
+        pe = method.preprocess_events(plan)
+        assert pe.kernel_launches == 10 * len(CANDIDATE_BLOCKS)
+        assert pe.device_bytes > 0 and pe.host_bytes > 0

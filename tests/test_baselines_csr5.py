@@ -1,0 +1,98 @@
+"""Tests for the CSR5 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CSR5Method, build_csr5
+from repro.gpu import A100
+from tests.conftest import ROW_PROFILES, random_csr
+
+
+class TestStructure:
+    def test_tile_count(self, rng):
+        csr = random_csr(100, 200, rng)
+        plan = build_csr5(csr)
+        assert plan.ntiles == -(-csr.nnz // (32 * 16))
+
+    def test_transposed_storage_roundtrip(self, rng):
+        """Un-transposing the tile storage must recover the CSR payload."""
+        csr = random_csr(100, 200, rng)
+        plan = build_csr5(csr)
+        recovered = (plan.tile_val.reshape(plan.ntiles, plan.sigma, plan.omega)
+                     .transpose(0, 2, 1).reshape(-1))[:csr.nnz]
+        assert np.array_equal(recovered, csr.data)
+
+    def test_bit_flags_count_nonempty_rows(self, rng):
+        csr = random_csr(80, 200, rng, empty_frac=0.2)
+        plan = build_csr5(csr)
+        nonempty = int(np.count_nonzero(csr.row_lengths() > 0))
+        assert int(plan.bit_flag.sum()) == nonempty
+
+    def test_tile_ptr_rows(self, rng):
+        csr = random_csr(60, 100, rng)
+        plan = build_csr5(csr)
+        for t in range(plan.ntiles):
+            first_nnz = t * plan.tile_elems
+            row = int(np.searchsorted(csr.indptr, first_nnz, side="right")) - 1
+            assert plan.tile_ptr[t] == row
+
+    def test_custom_omega_sigma(self, rng):
+        csr = random_csr(50, 80, rng)
+        plan = build_csr5(csr, omega=8, sigma=4)
+        assert plan.tile_elems == 32
+
+    def test_empty_matrix(self):
+        from repro.formats import CSRMatrix
+
+        plan = build_csr5(CSRMatrix.empty((5, 5)))
+        assert plan.ntiles == 0
+
+
+class TestKernel:
+    def test_matches_reference(self, profiled_matrix, rng):
+        method = CSR5Method()
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        y = method.run(method.prepare(profiled_matrix), x)
+        assert np.allclose(y, profiled_matrix.matvec(x), rtol=1e-11)
+
+    def test_rows_spanning_tiles(self, rng):
+        """A row longer than a whole tile exercises the carry path."""
+        csr = random_csr(4, 3000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 1000))
+        method = CSR5Method()
+        x = rng.standard_normal(3000)
+        assert np.allclose(method.run(method.prepare(csr), x),
+                           csr.matvec(x), rtol=1e-11)
+
+    def test_empty_rows(self, rng):
+        csr = random_csr(60, 100, rng, empty_frac=0.5)
+        method = CSR5Method()
+        x = rng.standard_normal(100)
+        y = method.run(method.prepare(csr), x)
+        assert np.allclose(y, csr.matvec(x), rtol=1e-11)
+        assert np.all(y[csr.row_lengths() == 0] == 0)
+
+
+class TestEventsAndPreprocess:
+    def test_no_fp16(self):
+        assert not CSR5Method().supports(np.float16)
+
+    def test_bytes_include_tile_padding(self, rng):
+        csr = random_csr(40, 100, rng)
+        method = CSR5Method()
+        plan = method.prepare(csr)
+        ev = method.events(plan, A100)
+        assert ev.bytes_val == plan.ntiles * plan.tile_elems * 8
+
+    def test_balanced(self, rng):
+        csr = random_csr(40, 100, rng,
+                         row_len_sampler=lambda r, m: (r.pareto(1.2, m) * 5).astype(int) + 1)
+        method = CSR5Method()
+        ev = method.events(method.prepare(csr), A100)
+        assert ev.imbalance == 1.0  # nnz splitting ignores row skew
+
+    def test_preprocess_on_device(self, rng):
+        csr = random_csr(40, 100, rng)
+        method = CSR5Method()
+        pe = method.preprocess_events(method.prepare(csr))
+        assert pe.device_bytes > 0 and pe.host_bytes == 0

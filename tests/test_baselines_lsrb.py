@@ -1,0 +1,95 @@
+"""Tests for the LSRB-CSR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LSRBMethod, build_lsrb
+from repro.formats import CSRMatrix
+from repro.gpu import A100
+from tests.conftest import random_csr
+
+
+class TestSegments:
+    def test_segment_count(self, rng):
+        csr = random_csr(100, 200, rng)
+        plan = build_lsrb(csr, segment=64)
+        assert plan.nsegments == -(-csr.nnz // 64)
+
+    def test_first_row_correct(self, rng):
+        csr = random_csr(60, 100, rng)
+        plan = build_lsrb(csr, segment=32)
+        for s in range(plan.nsegments):
+            start = s * 32
+            row = int(np.searchsorted(csr.indptr, start, side="right")) - 1
+            assert plan.seg_first_row[s] == row
+
+    def test_seg_rows_positive(self, rng):
+        plan = build_lsrb(random_csr(60, 100, rng))
+        assert np.all(plan.seg_rows >= 1)
+
+    def test_boundary_atomics_zero_when_aligned(self, rng):
+        """Rows of exactly segment length never straddle segments."""
+        m, seg = 10, 64
+        indptr = np.arange(m + 1, dtype=np.int64) * seg
+        indices = np.tile(np.arange(seg, dtype=np.int64), m)
+        csr = CSRMatrix((m, 600), indptr, indices, np.ones(m * seg))
+        plan = build_lsrb(csr, segment=seg)
+        assert plan.boundary_atomics == 0
+
+    def test_boundary_atomics_counted(self, rng):
+        """One giant row spanning many segments pays one atomic each."""
+        csr = random_csr(1, 4000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 1000))
+        plan = build_lsrb(csr, segment=64)
+        assert plan.boundary_atomics == plan.nsegments - 1
+
+    def test_empty_matrix(self):
+        plan = build_lsrb(CSRMatrix.empty((4, 4)))
+        assert plan.nsegments == 0
+
+
+class TestKernel:
+    def test_matches_reference(self, profiled_matrix, rng):
+        method = LSRBMethod()
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        y = method.run(method.prepare(profiled_matrix), x)
+        assert np.allclose(y, profiled_matrix.matvec(x), rtol=1e-11)
+
+    def test_small_segment_size(self, rng):
+        csr = random_csr(40, 60, rng)
+        method = LSRBMethod(segment=8)
+        x = rng.standard_normal(60)
+        assert np.allclose(method.run(method.prepare(csr), x),
+                           csr.matvec(x), rtol=1e-11)
+
+    def test_empty(self):
+        method = LSRBMethod()
+        y = method.run(method.prepare(CSRMatrix.empty((3, 3))), np.ones(3))
+        assert np.array_equal(y, np.zeros(3))
+
+
+class TestEvents:
+    def test_no_fp16(self):
+        assert not LSRBMethod().supports(np.float16)
+
+    def test_atomics_scale_with_rows_touched(self, rng):
+        many_rows = random_csr(2000, 100, rng,
+                               row_len_sampler=lambda r, m: np.full(m, 2))
+        few_rows = random_csr(8, 100, rng,
+                              row_len_sampler=lambda r, m: np.full(m, 500))
+        method = LSRBMethod()
+        ev_many = method.events(method.prepare(many_rows), A100)
+        ev_few = method.events(method.prepare(few_rows), A100)
+        assert ev_many.atomic_count > ev_few.atomic_count
+
+    def test_poor_coalescing_modeled(self, rng):
+        method = LSRBMethod()
+        ev = method.events(method.prepare(random_csr(40, 60, rng)), A100)
+        assert ev.mem_efficiency < 0.5
+
+    def test_preprocess_cheap(self, rng):
+        """LSRB's design goal is low conversion overhead."""
+        csr = random_csr(40, 60, rng)
+        method = LSRBMethod()
+        pe = method.preprocess_events(method.prepare(csr))
+        assert pe.device_bytes < csr.nnz * 12

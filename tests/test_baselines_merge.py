@@ -1,0 +1,100 @@
+"""Tests for the merge-based CSR baseline (cuSPARSE-CSR stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MergeCSRMethod, merge_path_partition
+from repro.formats import CSRMatrix
+from repro.gpu import A100
+from tests.conftest import random_csr
+
+
+class TestMergePartition:
+    def test_covers_everything(self, rng):
+        csr = random_csr(50, 80, rng)
+        rs, ns = merge_path_partition(csr.indptr, csr.nnz, 7)
+        assert rs[0] == 0 and ns[0] == 0
+        assert rs[-1] == 50 and ns[-1] == csr.nnz
+
+    def test_monotone(self, rng):
+        csr = random_csr(50, 80, rng)
+        rs, ns = merge_path_partition(csr.indptr, csr.nnz, 13)
+        assert np.all(np.diff(rs) >= 0) and np.all(np.diff(ns) >= 0)
+
+    def test_balanced_items(self, rng):
+        """Each partition gets (m + nnz) / p merge items (+-1)."""
+        csr = random_csr(64, 100, rng)
+        parts = 9
+        rs, ns = merge_path_partition(csr.indptr, csr.nnz, parts)
+        items = np.diff(rs) + np.diff(ns)
+        assert items.max() - items.min() <= 2
+
+    def test_skew_immune(self, rng):
+        """One row holding all nonzeros still splits evenly —
+        the whole point of merge-path."""
+        lens = np.zeros(64, dtype=np.int64)
+        lens[0] = 640
+        csr = random_csr(64, 1000, rng, row_len_sampler=lambda r, m: lens)
+        rs, ns = merge_path_partition(csr.indptr, csr.nnz, 10)
+        items = np.diff(rs) + np.diff(ns)
+        assert items.max() <= items.min() + 2
+
+    def test_single_partition(self, rng):
+        csr = random_csr(10, 10, rng)
+        rs, ns = merge_path_partition(csr.indptr, csr.nnz, 1)
+        assert list(rs) == [0, 10] and list(ns) == [0, csr.nnz]
+
+
+class TestKernel:
+    def test_matches_reference(self, profiled_matrix, rng):
+        method = MergeCSRMethod()
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        y = method.run(method.prepare(profiled_matrix), x)
+        assert np.allclose(y, profiled_matrix.matvec(x), rtol=1e-11)
+
+    def test_carry_across_partitions(self, rng):
+        """A single row split across many partitions must sum exactly."""
+        csr = random_csr(1, 500, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 400))
+        method = MergeCSRMethod(items_per_thread=4)
+        x = rng.standard_normal(500)
+        assert np.allclose(method.run(method.prepare(csr), x),
+                           csr.matvec(x), rtol=1e-11)
+
+    def test_fp16_supported(self, rng):
+        csr = random_csr(30, 40, rng, dtype=np.float16)
+        method = MergeCSRMethod()
+        assert method.supports(np.float16)
+        x = rng.uniform(-1, 1, 40).astype(np.float16)
+        y = method.run(method.prepare(csr), x)
+        ref = csr.matvec(x, accum_dtype=np.float32)
+        assert np.allclose(np.asarray(y, np.float64), np.asarray(ref, np.float64),
+                           rtol=2e-3, atol=1e-3)
+
+    def test_empty(self):
+        method = MergeCSRMethod()
+        y = method.run(method.prepare(CSRMatrix.empty((4, 4))), np.ones(4))
+        assert np.array_equal(y, np.zeros(4))
+
+
+class TestEvents:
+    def test_balanced(self, rng):
+        lens = np.zeros(64, dtype=np.int64)
+        lens[0] = 640
+        csr = random_csr(64, 1000, rng, row_len_sampler=lambda r, m: lens)
+        method = MergeCSRMethod()
+        ev = method.events(method.prepare(csr), A100)
+        assert ev.imbalance == 1.0
+
+    def test_fp16_worse_coalescing(self, rng):
+        method = MergeCSRMethod()
+        ev64 = method.events(method.prepare(random_csr(30, 40, rng)), A100)
+        ev16 = method.events(
+            method.prepare(random_csr(30, 40, rng, dtype=np.float16)), A100)
+        assert ev16.mem_efficiency < ev64.mem_efficiency
+
+    def test_preprocess_nearly_free(self, rng):
+        csr = random_csr(30, 40, rng)
+        method = MergeCSRMethod()
+        pe = method.preprocess_events(method.prepare(csr))
+        assert pe.host_bytes == 0 and pe.sort_keys == 0

@@ -1,0 +1,89 @@
+"""Tests for the CSR-scalar / CSR-vector kernels and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CSRScalarMethod,
+    CSRVectorMethod,
+    PAPER_METHODS,
+    all_method_names,
+    make_method,
+    paper_methods,
+)
+from repro.gpu import A100
+from tests.conftest import random_csr
+
+
+class TestScalar:
+    def test_matches_reference(self, profiled_matrix, rng):
+        method = CSRScalarMethod()
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        assert np.allclose(method.run(method.prepare(profiled_matrix), x),
+                           profiled_matrix.matvec(x))
+
+    def test_divergence_on_skew(self, rng):
+        lens = np.full(64, 2, dtype=np.int64)
+        lens[0] = 2000
+        skewed = random_csr(64, 4000, rng, row_len_sampler=lambda r, m: lens)
+        uniform = random_csr(64, 4000, rng,
+                             row_len_sampler=lambda r, m: np.full(m, 33))
+        method = CSRScalarMethod()
+        ev_s = method.events(method.prepare(skewed), A100)
+        ev_u = method.events(method.prepare(uniform), A100)
+        assert ev_s.imbalance > 5 * ev_u.imbalance
+
+    def test_serial_path_is_longest_row(self, rng):
+        lens = np.full(64, 2, dtype=np.int64)
+        lens[0] = 2000
+        csr = random_csr(64, 4000, rng, row_len_sampler=lambda r, m: lens)
+        method = CSRScalarMethod()
+        ev = method.events(method.prepare(csr), A100)
+        assert ev.serial_iters == csr.row_lengths().max()
+
+    def test_no_preprocessing(self, rng):
+        method = CSRScalarMethod()
+        pe = method.preprocess_events(method.prepare(random_csr(5, 5, rng)))
+        assert pe.device_bytes == 0 and pe.host_bytes == 0
+
+
+class TestVector:
+    def test_matches_reference(self, profiled_matrix, rng):
+        method = CSRVectorMethod()
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        assert np.allclose(method.run(method.prepare(profiled_matrix), x),
+                           profiled_matrix.matvec(x))
+
+    def test_short_rows_waste_lanes(self, rng):
+        short = random_csr(256, 300, rng,
+                           row_len_sampler=lambda r, m: np.full(m, 2))
+        long_rows = random_csr(16, 3000, rng,
+                               row_len_sampler=lambda r, m: np.full(m, 512))
+        method = CSRVectorMethod()
+        ev_short = method.events(method.prepare(short), A100)
+        ev_long = method.events(method.prepare(long_rows), A100)
+        assert ev_short.imbalance > 10  # 2/32 lanes used
+        assert ev_long.imbalance == pytest.approx(1.0, abs=0.05)
+
+
+class TestRegistry:
+    def test_paper_methods_complete(self):
+        methods = paper_methods()
+        assert [m.name for m in methods] == list(PAPER_METHODS)
+
+    def test_make_method_roundtrip(self):
+        for name in all_method_names():
+            assert make_method(name).name == name
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            make_method("SuperSpMV9000")
+
+    def test_all_methods_agree_on_result(self, rng):
+        csr = random_csr(80, 120, rng)
+        x = rng.standard_normal(120)
+        ref = csr.matvec(x)
+        for name in all_method_names():
+            method = make_method(name)
+            y = method.run(method.prepare(csr), x)
+            assert np.allclose(y, ref, rtol=1e-10), name

@@ -1,0 +1,130 @@
+"""Tests for the TileSpMV baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TILE, TileSpMVMethod, build_tiles
+from repro.baselines.tilespmv import FMT_COO, FMT_DENSE, FMT_DENSE_ROW, FMT_ELL
+from repro.formats import CSRMatrix
+from repro.gpu import A100
+from tests.conftest import random_csr
+
+
+class TestTiling:
+    def test_tile_positions_cover_all_entries(self, rng):
+        csr = random_csr(70, 90, rng)
+        plan = build_tiles(csr)
+        assert int(plan.tile_counts().sum()) == csr.nnz
+
+    def test_entries_stay_inside_their_tile(self, rng):
+        csr = random_csr(70, 90, rng)
+        plan = build_tiles(csr)
+        tile_of_entry = np.repeat(np.arange(plan.ntiles), plan.tile_counts())
+        rows = plan.tile_row[tile_of_entry] * TILE + plan.local_r
+        cols = plan.tile_col[tile_of_entry] * TILE + plan.local_c
+        orig_rows = np.repeat(np.arange(70), csr.row_lengths())[plan.order]
+        assert np.array_equal(rows, orig_rows)
+        assert np.array_equal(cols, csr.indices[plan.order])
+
+    def test_dense_tile_detected(self):
+        d = np.zeros((16, 16))
+        d[:, :] = 1.0
+        plan = build_tiles(CSRMatrix.from_dense(d))
+        assert plan.ntiles == 1
+        assert plan.tile_fmt[0] == FMT_DENSE
+
+    def test_sparse_tile_is_coo(self):
+        d = np.zeros((16, 16))
+        d[0, 0] = d[13, 9] = 1.0
+        plan = build_tiles(CSRMatrix.from_dense(d))
+        assert plan.tile_fmt[0] == FMT_COO
+
+    def test_dense_row_tile(self):
+        d = np.zeros((16, 16))
+        d[3, :] = 1.0
+        plan = build_tiles(CSRMatrix.from_dense(d))
+        assert plan.tile_fmt[0] == FMT_DENSE_ROW
+
+    def test_ell_like_tile(self):
+        d = np.zeros((16, 16))
+        d[:, 0:2] = 1.0  # every row exactly 2 entries
+        plan = build_tiles(CSRMatrix.from_dense(d))
+        assert plan.tile_fmt[0] == FMT_ELL
+
+    def test_format_histogram_sums(self, rng):
+        csr = random_csr(100, 100, rng)
+        plan = build_tiles(csr)
+        assert sum(plan.format_histogram().values()) == plan.ntiles
+
+    def test_empty_matrix(self):
+        plan = build_tiles(CSRMatrix.empty((5, 5)))
+        assert plan.ntiles == 0
+
+
+class TestKernel:
+    def test_matches_reference(self, profiled_matrix, rng):
+        method = TileSpMVMethod()
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        y = method.run(method.prepare(profiled_matrix), x)
+        assert np.allclose(y, profiled_matrix.matvec(x), rtol=1e-11)
+
+    def test_empty(self):
+        method = TileSpMVMethod()
+        y = method.run(method.prepare(CSRMatrix.empty((4, 4))), np.ones(4))
+        assert np.array_equal(y, np.zeros(4))
+
+
+class TestEvents:
+    def test_no_fp16(self):
+        assert not TileSpMVMethod().supports(np.float16)
+
+    def test_scattered_matrix_heavy_metadata(self, rng):
+        """kron-style scatter: ~1 entry per tile makes metadata dominate —
+        the paper's explanation for TileSpMV's worst cases."""
+        scattered = random_csr(400, 6400, rng,
+                               row_len_sampler=lambda r, m: np.full(m, 4))
+        blocked = random_csr(400, 430, rng,
+                             row_len_sampler=lambda r, m: np.full(m, 4))
+        method = TileSpMVMethod()
+        ev_s = method.events(method.prepare(scattered), A100)
+        ev_b = method.events(method.prepare(blocked), A100)
+        # metadata bytes per nonzero much higher for the scattered case
+        assert ev_s.bytes_ptr / scattered.nnz > 2 * ev_b.bytes_ptr / blocked.nnz
+
+    def test_dense_tiles_cost_padding_flops(self):
+        d = np.zeros((16, 16))
+        d[:8, :] = 1.0  # half-full tile stored dense
+        method = TileSpMVMethod()
+        csr = CSRMatrix.from_dense(d)
+        ev = method.events(method.prepare(csr), A100)
+        assert ev.flops_cuda == 2.0 * 256  # full tile multiplied
+
+    def test_preprocess_host_passes(self, rng):
+        csr = random_csr(50, 50, rng)
+        method = TileSpMVMethod()
+        pe = method.preprocess_events(method.prepare(csr))
+        assert pe.host_bytes > 0 and pe.sort_keys == csr.nnz
+
+
+class TestEllPaddingAccounting:
+    def test_ell_tile_pads_to_max_row(self):
+        """An ELL tile with rows of population {2,2,2,4} stores 4 slots
+        per occupied row."""
+        d = np.zeros((16, 16))
+        d[0:4, 0:2] = 1.0   # four rows of 2
+        d[0, 2:4] = 1.0     # first row gets 4
+        method = TileSpMVMethod()
+        plan = method.prepare(CSRMatrix.from_dense(d))
+        assert plan.tile_fmt[0] == FMT_ELL
+        ev = method.events(plan, A100)
+        # 4 occupied rows x width 4 = 16 slots -> 16 * 8 bytes of values
+        assert ev.bytes_val == 16 * 8
+
+    def test_uniform_ell_tile_no_padding(self):
+        d = np.zeros((16, 16))
+        d[:, 0:3] = 1.0
+        method = TileSpMVMethod()
+        plan = method.prepare(CSRMatrix.from_dense(d))
+        assert plan.tile_fmt[0] == FMT_ELL
+        ev = method.events(plan, A100)
+        assert ev.bytes_val == 48 * 8

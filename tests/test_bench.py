@@ -1,0 +1,87 @@
+"""Tests for the benchmark harness (runner + reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import markdown_table, paper_vs_measured, run_comparison, save_csv
+from repro.matrices import synthetic_collection
+from repro.matrices.collection import CollectionEntry
+from tests.conftest import random_csr
+
+
+def tiny_entries(rng, n=3):
+    out = []
+    for i in range(n):
+        seed = int(rng.integers(1 << 30))
+        out.append(CollectionEntry(
+            f"t{i}", "test",
+            (lambda s=seed: random_csr(60, 80, np.random.default_rng(s)))))
+    return out
+
+
+class TestRunComparison:
+    def test_all_methods_measured(self, rng):
+        res = run_comparison(tiny_entries(rng), device="A100")
+        assert set(res.times) == {"CSR5", "TileSpMV", "LSRB-CSR",
+                                  "cuSPARSE-BSR", "cuSPARSE-CSR", "DASP"}
+        for per_matrix in res.times.values():
+            assert len(per_matrix) == 3
+            assert all(t > 0 for t in per_matrix.values())
+
+    def test_correctness_checked(self, rng):
+        res = run_comparison(tiny_entries(rng), device="A100",
+                             check_correctness=True)
+        assert len(res.errors) == 3
+        assert all(e < 1e-8 for e in res.errors.values())
+
+    def test_fp16_filters_methods(self, rng):
+        res = run_comparison(tiny_entries(rng), dtype=np.float16)
+        # only DASP and cuSPARSE-CSR support FP16 (paper Table 1)
+        assert set(res.times) == {"cuSPARSE-CSR", "DASP"}
+
+    def test_keep_matrices(self, rng):
+        res = run_comparison(tiny_entries(rng, 2), keep_matrices=True)
+        assert len(res.matrices) == 2
+
+    def test_gflops_accessor(self, rng):
+        res = run_comparison(tiny_entries(rng, 2))
+        g = res.gflops("DASP")
+        assert len(g) == 2 and all(v > 0 for v in g.values())
+
+    def test_preprocess_and_wall_recorded(self, rng):
+        res = run_comparison(tiny_entries(rng, 2))
+        assert all(v >= 0 for v in res.preprocess["DASP"].values())
+        assert all(v > 0 for v in res.wall_prepare["DASP"].values())
+
+    def test_custom_method_subset(self, rng):
+        res = run_comparison(tiny_entries(rng, 1), methods=("DASP",))
+        assert list(res.times) == ["DASP"]
+
+    def test_deterministic(self, rng):
+        e = tiny_entries(rng, 1)
+        t1 = run_comparison(e, methods=("DASP",)).times["DASP"]["t0"]
+        t2 = run_comparison(e, methods=("DASP",)).times["DASP"]["t0"]
+        assert t1 == t2
+
+
+class TestReport:
+    def test_markdown_table(self):
+        text = markdown_table(("a", "b"), [(1, 2.5), ("x", float("nan"))])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert "| 1 | 2.50 |" in text
+        assert "| x | - |" in text
+
+    def test_small_floats_sci(self):
+        text = markdown_table(("v",), [(1.5e-7,)])
+        assert "1.5e-07" in text
+
+    def test_save_csv(self, tmp_path):
+        path = save_csv(tmp_path / "sub" / "out.csv", ("a", "b"),
+                        [(1, 2), (3, 4)])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b" and content[2] == "3,4"
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([("geomean vs CSR5", "1.46x", "1.57x", "yes")])
+        assert "paper" in text and "1.46x" in text

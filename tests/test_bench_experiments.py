@@ -1,0 +1,86 @@
+"""Tests for the programmatic experiment builders."""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments as ex
+from repro.matrices import synthetic_collection
+from tests.conftest import random_csr
+
+
+SMALL = synthetic_collection(6, seed=42, min_nnz=3000, max_nnz=20000)
+
+
+class TestFigure1:
+    def test_structure(self):
+        r = ex.figure1()
+        assert {p.method for p in r.points} == {"CSR5", "cuSPARSE-CSR", "DASP"}
+        assert r.peaks["triad"] < r.peaks["theoretical"]
+        assert r.mean_gbs("DASP") > 0
+
+    def test_dasp_leads(self):
+        r = ex.figure1()
+        assert r.mean_gbs("DASP") > r.mean_gbs("CSR5")
+
+
+class TestFigure2:
+    def test_averages_sum_to_one(self):
+        r = ex.figure2(collection_size=8)
+        assert sum(r.averages.values()) == pytest.approx(1.0)
+        assert len(r.rows) == 8
+
+    def test_accepts_explicit_collection(self, rng):
+        mats = {"a": random_csr(40, 40, rng), "b": random_csr(60, 60, rng)}
+        r = ex.figure2(collection=mats)
+        assert {row.matrix for row in r.rows} == {"a", "b"}
+
+
+class TestFigure10:
+    def test_summaries_for_all_baselines(self):
+        r = ex.figure10(entries=SMALL)
+        assert set(r.summaries) == set(ex.PAPER_FP64_GEOMEANS)
+        for s in r.summaries.values():
+            assert s.total == len(SMALL)
+
+    def test_speedups_accessor(self):
+        r = ex.figure10(entries=SMALL)
+        sp = r.speedups("CSR5")
+        assert len(sp) == len(SMALL)
+        assert all(v > 0 for v in sp.values())
+
+
+class TestFigure9:
+    def test_fp16_methods_only(self):
+        r = ex.figure9(entries=SMALL)
+        assert set(r.result.times) == {"cuSPARSE-CSR", "DASP"}
+        assert "cuSPARSE-CSR" in r.summaries
+
+
+class TestFigure12:
+    def test_all_21(self):
+        ratios = ex.figure12()
+        assert len(ratios) == 21
+        assert ratios["mc2depi"].row_short > 0.99
+
+
+class TestFigure13:
+    def test_series_shapes(self):
+        r = ex.figure13(sizes=(2000, 20000))
+        assert len(r.sizes) == 2
+        for m in r.methods:
+            series = r.series(m)
+            assert len(series) == 2 and all(v > 0 for v in series)
+
+    def test_dasp_cheapest_small(self):
+        r = ex.figure13(sizes=(2000,))
+        series = {m: r.series(m)[0] for m in r.methods}
+        assert min(series, key=series.get) == "DASP"
+
+
+class TestSpMMScaling:
+    def test_scaling(self, rng):
+        csr = random_csr(100, 400, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 32))
+        r = ex.spmm_scaling(csr, ks=(1, 8))
+        assert r.utilization[8] > 5 * r.utilization[1]
+        assert r.modeled_s[8] < 8 * r.modeled_s[1]

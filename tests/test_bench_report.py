@@ -1,0 +1,35 @@
+"""Tests for report helpers not covered by test_bench.py."""
+
+from pathlib import Path
+
+from repro.bench import RESULTS_DIR, markdown_table, results_path
+
+
+class TestResultsPath:
+    def test_under_results_dir(self):
+        p = results_path("unit_test_artifact.txt")
+        assert p.parent == RESULTS_DIR
+        assert RESULTS_DIR.exists()
+
+    def test_writable(self):
+        p = results_path("unit_test_artifact.txt")
+        p.write_text("hello")
+        assert p.read_text() == "hello"
+        p.unlink()
+
+
+class TestMarkdownFormatting:
+    def test_integer_kept_verbatim(self):
+        assert "| 12345 |" in markdown_table(("a",), [(12345,)])
+
+    def test_large_float_compact(self):
+        out = markdown_table(("a",), [(123456.789,)])
+        assert "1.23e+05" in out
+
+    def test_mixed_types_row(self):
+        out = markdown_table(("a", "b", "c"), [(1, "x", 2.5)])
+        assert "| 1 | x | 2.50 |" in out
+
+    def test_empty_rows(self):
+        out = markdown_table(("a", "b"), [])
+        assert out.splitlines() == ["| a | b |", "|---|---|"]

@@ -1,0 +1,76 @@
+"""Cost-model calibration regression guard.
+
+The model constants in :mod:`repro.gpu.cost_model` were calibrated so the
+paper's evaluation shapes hold (EXPERIMENTS.md).  This test pins those
+shapes on a small fixed collection so an accidental constant change (or a
+kernel event-accounting change) fails fast in the unit suite rather than
+only in the slower benchmark run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import speedup_summary
+from repro.bench import run_comparison
+from repro.matrices import synthetic_collection
+
+#: Small deterministic sample; larger sweeps live in benchmarks/.
+ENTRIES = synthetic_collection(30, seed=1234, min_nnz=5_000, max_nnz=120_000)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_comparison(ENTRIES, device="A100", dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def sweep_fp16():
+    return run_comparison(ENTRIES, device="A100", dtype=np.float16,
+                          methods=("cuSPARSE-CSR", "DASP"))
+
+
+class TestFp64Shapes:
+    @pytest.mark.parametrize("base,lo,hi", [
+        ("CSR5", 1.1, 2.6),
+        ("TileSpMV", 1.0, 3.5),
+        ("LSRB-CSR", 1.3, 4.0),
+        ("cuSPARSE-BSR", 0.9, 3.5),
+        ("cuSPARSE-CSR", 1.1, 2.4),
+    ])
+    def test_geomean_bands(self, sweep, base, lo, hi):
+        s = speedup_summary(sweep.times["DASP"], sweep.times[base], base)
+        assert lo < s.geomean < hi, s
+
+    def test_dasp_wins_majority(self, sweep):
+        dasp = sweep.times["DASP"]
+        wins = sum(1 for n in dasp
+                   if min(sweep.times[m][n] for m in sweep.times) == dasp[n])
+        assert wins >= 0.5 * len(dasp)
+
+    def test_lsrb_weakest_csr_baseline(self, sweep):
+        dasp = sweep.times["DASP"]
+        lsrb = speedup_summary(dasp, sweep.times["LSRB-CSR"], "l").geomean
+        csr5 = speedup_summary(dasp, sweep.times["CSR5"], "c").geomean
+        merge = speedup_summary(dasp, sweep.times["cuSPARSE-CSR"], "m").geomean
+        assert lsrb > csr5 and lsrb > merge
+
+    def test_all_times_positive_finite(self, sweep):
+        for per_matrix in sweep.times.values():
+            for t in per_matrix.values():
+                assert np.isfinite(t) and t > 0
+
+
+class TestFp16Shapes:
+    def test_dasp_beats_cusparse(self, sweep_fp16):
+        s = speedup_summary(sweep_fp16.times["DASP"],
+                            sweep_fp16.times["cuSPARSE-CSR"], "c")
+        assert s.geomean > 1.2
+        assert s.win_rate > 0.7
+
+    def test_fp16_faster_than_fp64(self, sweep, sweep_fp16):
+        """Half the value bytes -> DASP FP16 beats DASP FP64 on most
+        matrices (bandwidth-bound regime)."""
+        faster = sum(
+            sweep_fp16.times["DASP"][n] < sweep.times["DASP"][n]
+            for n in sweep.times["DASP"])
+        assert faster > 0.7 * len(sweep.times["DASP"])

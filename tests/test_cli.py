@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.formats import write_matrix_market
+from tests.conftest import random_csr
+
+
+class TestList:
+    def test_lists_all_named(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pwtk" in out and "bibd_20_10" in out
+        assert out.count("|") > 27 * 5  # a real table
+
+
+class TestAnalyze:
+    def test_named_matrix(self, capsys):
+        assert main(["analyze", "scircuit"]) == 0
+        out = capsys.readouterr().out
+        assert "DASP" in out and "category" in out
+        assert "CSR5" in out
+
+    def test_mtx_file(self, tmp_path, capsys, rng):
+        csr = random_csr(30, 30, rng)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(csr, path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "nnz=" in out
+
+    def test_fp16_marks_unsupported(self, capsys):
+        assert main(["analyze", "mc2depi", "--dtype", "float16"]) == 0
+        out = capsys.readouterr().out
+        assert "unsupported dtype" in out  # CSR5 & friends skip FP16
+
+    def test_h800_device(self, capsys):
+        assert main(["analyze", "scircuit", "--device", "H800"]) == 0
+        assert "H800" in capsys.readouterr().out
+
+
+class TestSpmv:
+    def test_runs_and_verifies(self, capsys):
+        assert main(["spmv", "mc2depi"]) == 0
+        out = capsys.readouterr().out
+        assert "checksum" in out and "GFlops" in out
+
+    def test_fp16(self, capsys):
+        assert main(["spmv", "mc2depi", "--dtype", "float16"]) == 0
+
+    def test_seed_changes_checksum(self, capsys):
+        main(["spmv", "scircuit", "--seed", "1"])
+        out1 = capsys.readouterr().out
+        main(["spmv", "scircuit", "--seed", "2"])
+        out2 = capsys.readouterr().out
+        assert out1.splitlines()[0] != out2.splitlines()[0]
+
+
+class TestBench:
+    def test_mini_sweep(self, capsys):
+        assert main(["bench", "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "vs CSR5" in out and "geomean" in out
+
+    def test_fp16_sweep(self, capsys):
+        assert main(["bench", "--count", "3", "--dtype", "float16"]) == 0
+        out = capsys.readouterr().out
+        assert "cuSPARSE-CSR" in out
+        assert "CSR5" not in out  # FP16 excludes CSR5
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_matrix_raises(self):
+        with pytest.raises(KeyError):
+            main(["analyze", "not_a_matrix"])
+
+
+class TestConvert:
+    def test_mtx_to_npz_roundtrip(self, tmp_path, capsys, rng):
+        from repro.formats import write_matrix_market
+        from repro.matrices.io import load_csr
+        import numpy as np
+
+        csr = random_csr(20, 25, rng)
+        mtx = tmp_path / "m.mtx"
+        npz = tmp_path / "m.npz"
+        write_matrix_market(csr, mtx)
+        assert main(["convert", str(mtx), str(npz)]) == 0
+        back = load_csr(npz)
+        assert np.allclose(back.to_dense(), csr.to_dense())
+
+    def test_npz_to_mtx(self, tmp_path, rng):
+        from repro.formats import read_matrix_market
+        from repro.matrices.io import save_csr
+        import numpy as np
+
+        csr = random_csr(10, 10, rng)
+        npz = tmp_path / "m.npz"
+        mtx = tmp_path / "out.mtx"
+        save_csr(npz, csr)
+        assert main(["convert", str(npz), str(mtx)]) == 0
+        assert np.allclose(read_matrix_market(str(mtx)).to_dense(),
+                           csr.to_dense())
+
+    def test_bad_extension(self, tmp_path):
+        assert main(["convert", str(tmp_path / "a.xyz"),
+                     str(tmp_path / "b.npz")]) == 2

@@ -1,0 +1,54 @@
+"""Tests for the MAX_LEN / threshold tuning helpers."""
+
+import numpy as np
+
+from repro.core import (
+    MAX_LEN_CANDIDATES,
+    THRESHOLD_CANDIDATES,
+    tune_max_len,
+    tune_threshold,
+)
+from tests.conftest import random_csr
+
+
+class TestTuneMaxLen:
+    def test_returns_all_candidates(self, rng):
+        csr = random_csr(60, 600, rng)
+        result = tune_max_len(csr, "A100")
+        assert set(result.times) == set(MAX_LEN_CANDIDATES)
+
+    def test_best_is_minimum(self, rng):
+        csr = random_csr(60, 600, rng)
+        result = tune_max_len(csr, "A100")
+        assert result.best_time == min(result.times.values())
+        assert result.times[result.best_value] == result.best_time
+
+    def test_custom_candidates(self, rng):
+        csr = random_csr(30, 300, rng)
+        result = tune_max_len(csr, "A100", candidates=(128, 256))
+        assert set(result.times) == {128, 256}
+
+    def test_parameter_name(self, rng):
+        assert tune_max_len(random_csr(10, 50, rng), "A100").parameter == "max_len"
+
+
+class TestTuneThreshold:
+    def test_returns_all_candidates(self, rng):
+        csr = random_csr(60, 600, rng,
+                         row_len_sampler=lambda r, m: r.integers(5, 100, m))
+        result = tune_threshold(csr, "A100")
+        assert set(result.times) == set(THRESHOLD_CANDIDATES)
+
+    def test_all_times_positive(self, rng):
+        csr = random_csr(40, 400, rng)
+        result = tune_threshold(csr, "A100")
+        assert all(t > 0 for t in result.times.values())
+
+    def test_extreme_threshold_shifts_storage(self, rng):
+        """threshold=1.0 puts (almost) everything in the irregular part;
+        a low threshold packs almost everything into MMA blocks.  Both
+        must remain correct; times just differ."""
+        csr = random_csr(48, 500, rng,
+                         row_len_sampler=lambda r, m: r.integers(6, 60, m))
+        result = tune_threshold(csr, "A100", candidates=(0.25, 1.0))
+        assert len(result.times) == 2

@@ -1,0 +1,109 @@
+"""Tests for DASP row classification (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.core import classify_rows
+from repro.formats import CSRMatrix
+from tests.conftest import random_csr
+
+
+def csr_with_lengths(lengths, n=1000):
+    lengths = np.asarray(lengths, dtype=np.int64)
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    nnz = int(indptr[-1])
+    rng = np.random.default_rng(0)
+    # distinct columns within each row
+    indices = np.concatenate([
+        np.sort(rng.choice(n, size=l, replace=False)) for l in lengths if l
+    ]) if nnz else np.zeros(0, np.int64)
+    return CSRMatrix((lengths.size, n), indptr, indices, np.ones(nnz))
+
+
+class TestBoundaries:
+    def test_short_boundary_inclusive(self):
+        cls = classify_rows(csr_with_lengths([4]))
+        assert cls.n_short == 1 and cls.n_medium == 0
+
+    def test_medium_starts_at_five(self):
+        cls = classify_rows(csr_with_lengths([5]))
+        assert cls.n_medium == 1 and cls.n_short == 0
+
+    def test_medium_boundary_inclusive(self):
+        cls = classify_rows(csr_with_lengths([256]))
+        assert cls.n_medium == 1 and cls.n_long == 0
+
+    def test_long_starts_past_max_len(self):
+        cls = classify_rows(csr_with_lengths([257]))
+        assert cls.n_long == 1
+
+    def test_empty_rows_tracked(self):
+        cls = classify_rows(csr_with_lengths([0, 3, 0]))
+        assert cls.n_empty == 2 and cls.n_short == 1
+
+    def test_custom_max_len(self):
+        cls = classify_rows(csr_with_lengths([100]), max_len=64)
+        assert cls.n_long == 1
+
+    def test_max_len_must_exceed_short(self):
+        with pytest.raises(ValidationError):
+            classify_rows(csr_with_lengths([1]), max_len=4)
+
+
+class TestPartition:
+    def test_every_row_exactly_once(self, profiled_matrix):
+        cls = classify_rows(profiled_matrix)
+        all_rows = np.concatenate([cls.long, cls.medium, cls.empty]
+                                  + [cls.short[k] for k in (1, 2, 3, 4)])
+        assert np.array_equal(np.sort(all_rows),
+                              np.arange(profiled_matrix.shape[0]))
+
+    def test_counts_match(self, profiled_matrix):
+        cls = classify_rows(profiled_matrix)
+        counts = cls.counts()
+        assert sum(counts.values()) == profiled_matrix.shape[0]
+
+    def test_short_buckets_exact(self):
+        cls = classify_rows(csr_with_lengths([1, 2, 3, 4, 2, 1]))
+        assert list(cls.short[1]) == [0, 5]
+        assert list(cls.short[2]) == [1, 4]
+        assert list(cls.short[3]) == [2]
+        assert list(cls.short[4]) == [3]
+
+
+class TestMediumOrdering:
+    def test_sorted_descending(self):
+        cls = classify_rows(csr_with_lengths([10, 200, 50, 5]))
+        lens = np.array([10, 200, 50, 5])
+        assert list(lens[cls.medium]) == [200, 50, 10, 5]
+
+    def test_stable_among_equal_lengths(self):
+        cls = classify_rows(csr_with_lengths([7, 9, 7, 9, 7]))
+        # equal lengths keep original row order
+        assert list(cls.medium) == [1, 3, 0, 2, 4]
+
+    def test_long_rows_keep_appearance_order(self):
+        cls = classify_rows(csr_with_lengths([300, 5, 400, 280]))
+        assert list(cls.long) == [0, 2, 3]
+
+
+class TestEdgeCases:
+    def test_all_empty_matrix(self):
+        cls = classify_rows(CSRMatrix.empty((5, 5)))
+        assert cls.n_empty == 5
+        assert cls.n_long == cls.n_medium == cls.n_short == 0
+
+    def test_zero_row_matrix(self):
+        cls = classify_rows(CSRMatrix.empty((0, 5)))
+        assert cls.counts() == {"long": 0, "medium": 0, "short": 0, "empty": 0}
+
+    def test_random_matrix_consistency(self, rng):
+        csr = random_csr(200, 600, rng)
+        cls = classify_rows(csr)
+        lens = csr.row_lengths()
+        assert np.all(lens[cls.long] > 256)
+        assert np.all((lens[cls.medium] > 4) & (lens[cls.medium] <= 256))
+        for k in (1, 2, 3, 4):
+            assert np.all(lens[cls.short[k]] == k)
+        assert np.all(lens[cls.empty] == 0)

@@ -1,0 +1,131 @@
+"""Tests for the long-rows planner and kernel (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_rows
+from repro.core.long_rows import (
+    BLOCKS_PER_GROUP,
+    build_long_rows,
+    long_rows_events,
+    run_long_rows,
+)
+from repro.gpu import A100
+from repro.gpu.mma import FP64_M8N8K4, MmaUnit
+from tests.conftest import random_csr
+
+
+@pytest.fixture
+def long_matrix(rng):
+    return random_csr(24, 2000, rng,
+                      row_len_sampler=lambda r, m: r.integers(257, 700, m))
+
+
+def plan_for(csr):
+    cls = classify_rows(csr)
+    return build_long_rows(csr, cls.long, FP64_M8N8K4), cls
+
+
+class TestBuild:
+    def test_group_size_is_64(self, long_matrix):
+        plan, _ = plan_for(long_matrix)
+        assert plan.group_elems == 2 * 8 * 4
+
+    def test_padding_to_group_multiple(self, long_matrix):
+        plan, _ = plan_for(long_matrix)
+        assert plan.padded_nnz % plan.group_elems == 0
+        assert plan.padded_nnz == plan.n_groups * plan.group_elems
+
+    def test_groups_per_row_ceil(self, long_matrix):
+        plan, cls = plan_for(long_matrix)
+        lens = long_matrix.row_lengths()[cls.long]
+        expected = -(-lens // 64)
+        assert np.array_equal(np.diff(plan.group_ptr), expected)
+
+    def test_padding_ratio_bounded(self, long_matrix):
+        plan, _ = plan_for(long_matrix)
+        # worst case: row of 257 padded to 320
+        assert 1.0 <= plan.padding_ratio < 64 / 257 + 1
+
+    def test_padded_slots_zero(self, long_matrix):
+        plan, cls = plan_for(long_matrix)
+        lens = long_matrix.row_lengths()[cls.long]
+        # walk rows: padded region of each row must be zero
+        pos = 0
+        for i, l in enumerate(lens):
+            padded_len = int(np.diff(plan.group_ptr)[i]) * 64
+            row_slice = plan.val[pos + l: pos + padded_len]
+            assert np.all(row_slice == 0)
+            pos += padded_len
+
+    def test_empty_selection(self, rng):
+        csr = random_csr(5, 10, rng)
+        plan = build_long_rows(csr, np.zeros(0, np.int64), FP64_M8N8K4)
+        assert plan.n_rows == 0 and plan.n_groups == 0
+        assert plan.padding_ratio == 1.0
+
+    def test_orig_nnz(self, long_matrix):
+        plan, cls = plan_for(long_matrix)
+        assert plan.orig_nnz == int(long_matrix.row_lengths()[cls.long].sum())
+
+
+class TestKernel:
+    def test_matches_reference(self, long_matrix, rng):
+        plan, cls = plan_for(long_matrix)
+        x = rng.standard_normal(2000)
+        y = run_long_rows(plan, x)
+        ref = long_matrix.matvec(x)
+        assert np.allclose(y, ref[cls.long], rtol=1e-12)
+
+    def test_exact_multiple_of_group(self, rng):
+        csr = random_csr(4, 1000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 320))
+        plan, cls = plan_for(csr)
+        x = rng.standard_normal(1000)
+        assert np.allclose(run_long_rows(plan, x), csr.matvec(x)[cls.long])
+
+    def test_counts_mma_issues(self, long_matrix, rng):
+        plan, _ = plan_for(long_matrix)
+        unit = MmaUnit(FP64_M8N8K4)
+        run_long_rows(plan, np.zeros(2000), unit=unit)
+        assert unit.issue_count == plan.n_groups * BLOCKS_PER_GROUP
+
+    def test_empty_plan(self, rng):
+        csr = random_csr(5, 10, rng)
+        plan = build_long_rows(csr, np.zeros(0, np.int64), FP64_M8N8K4)
+        assert run_long_rows(plan, np.zeros(10)).size == 0
+
+    def test_fp16_accumulates_fp32(self, rng):
+        from repro.gpu.mma import FP16_M8N8K4
+
+        csr = random_csr(4, 600, rng, dtype=np.float16,
+                         row_len_sampler=lambda r, m: np.full(m, 300))
+        cls = classify_rows(csr)
+        plan = build_long_rows(csr, cls.long, FP16_M8N8K4)
+        y = run_long_rows(plan, np.ones(600, dtype=np.float16))
+        assert y.dtype == np.float32
+        ref = csr.matvec(np.ones(600, dtype=np.float16), accum_dtype=np.float32)
+        assert np.allclose(y, ref[cls.long], rtol=1e-3)
+
+
+class TestEvents:
+    def test_two_kernels(self, long_matrix):
+        plan, _ = plan_for(long_matrix)
+        ev = long_rows_events(plan, A100, x_bytes=1e5)
+        assert ev.kernel_launches == 2
+
+    def test_bytes_include_padding(self, long_matrix):
+        plan, _ = plan_for(long_matrix)
+        ev = long_rows_events(plan, A100, x_bytes=0.0)
+        assert ev.bytes_val == plan.padded_nnz * 8
+        assert ev.bytes_idx == plan.padded_nnz * 4
+
+    def test_mma_flops(self, long_matrix):
+        plan, _ = plan_for(long_matrix)
+        ev = long_rows_events(plan, A100, x_bytes=0.0)
+        assert ev.flops_mma == plan.n_groups * 2 * 512
+
+    def test_empty_plan_no_launches(self, rng):
+        csr = random_csr(5, 10, rng)
+        plan = build_long_rows(csr, np.zeros(0, np.int64), FP64_M8N8K4)
+        assert long_rows_events(plan, A100, x_bytes=0).kernel_launches == 0

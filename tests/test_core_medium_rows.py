@@ -1,0 +1,147 @@
+"""Tests for the medium-rows planner and kernel (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_rows, loop_num_for
+from repro.core.medium_rows import (
+    build_medium_rows,
+    medium_rows_events,
+    run_medium_rows,
+)
+from repro.gpu import A100
+from repro.gpu.mma import FP64_M8N8K4, MmaUnit
+from tests.conftest import random_csr
+
+
+@pytest.fixture
+def medium_matrix(rng):
+    return random_csr(90, 1200, rng,
+                      row_len_sampler=lambda r, m: r.integers(5, 250, m))
+
+
+def plan_for(csr, threshold=0.75):
+    cls = classify_rows(csr)
+    return build_medium_rows(csr, cls.medium, FP64_M8N8K4,
+                             threshold=threshold), cls
+
+
+class TestLoopNum:
+    @pytest.mark.parametrize("rows,expected", [
+        (0, 1), (59989, 1), (59990, 2), (399999, 2), (400000, 4), (10**7, 4)])
+    def test_paper_rule(self, rows, expected):
+        assert loop_num_for(rows) == expected
+
+
+class TestBuild:
+    def test_rowblock_count(self, medium_matrix):
+        plan, cls = plan_for(medium_matrix)
+        assert plan.n_rowblocks == -(-cls.n_medium // 8)
+
+    def test_regular_elems_are_block_multiples(self, medium_matrix):
+        plan, _ = plan_for(medium_matrix)
+        assert np.all(np.diff(plan.rowblock_ptr) % 32 == 0)
+
+    def test_conservation_of_nonzeros(self, medium_matrix):
+        """Every original nonzero lands exactly once in regular or
+        irregular storage (regular also holds padding zeros)."""
+        plan, cls = plan_for(medium_matrix)
+        stored_real = np.count_nonzero(plan.reg_val) + plan.irreg_nnz
+        # values are nonzero by construction in random_csr
+        assert stored_real == plan.orig_nnz
+
+    def test_threshold_one_means_full_chunks_only(self, rng):
+        csr = random_csr(16, 500, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 10))
+        plan, _ = plan_for(csr, threshold=1.0)
+        # chunk occupancy must EXCEED 32 -> impossible -> no regular part
+        assert plan.reg_nnz == 0
+        assert plan.irreg_nnz == plan.orig_nnz
+
+    def test_uniform_rows_mostly_regular(self, rng):
+        csr = random_csr(32, 2000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 64))
+        plan, _ = plan_for(csr)
+        # identical lengths: chunks are 100% occupied up to len/4
+        assert plan.irreg_nnz <= plan.orig_nnz * 0.05
+
+    def test_sorted_descending_within_blocks(self, medium_matrix):
+        plan, _ = plan_for(medium_matrix)
+        lens = medium_matrix.row_lengths()[plan.row_idx]
+        assert np.all(np.diff(lens) <= 0)
+
+    def test_irreg_ptr_consistent(self, medium_matrix):
+        plan, _ = plan_for(medium_matrix)
+        assert int(plan.irreg_ptr[-1]) == plan.irreg_nnz
+        assert plan.irreg_ptr.size == plan.n_rows + 1
+
+    def test_empty_selection(self, rng):
+        csr = random_csr(5, 10, rng)
+        plan = build_medium_rows(csr, np.zeros(0, np.int64), FP64_M8N8K4)
+        assert plan.n_rows == 0 and plan.n_blocks == 0
+
+    def test_threshold_validated(self, medium_matrix):
+        from repro._util import ValidationError
+
+        cls = classify_rows(medium_matrix)
+        with pytest.raises(ValidationError):
+            build_medium_rows(medium_matrix, cls.medium, FP64_M8N8K4,
+                              threshold=0.0)
+
+
+class TestKernel:
+    def test_matches_reference(self, medium_matrix, rng):
+        plan, _ = plan_for(medium_matrix)
+        x = rng.standard_normal(1200)
+        y = run_medium_rows(plan, x)
+        ref = medium_matrix.matvec(x)
+        assert np.allclose(y, ref[plan.row_idx], rtol=1e-12)
+
+    @pytest.mark.parametrize("threshold", [0.25, 0.5, 0.75, 0.9, 1.0])
+    def test_any_threshold_correct(self, medium_matrix, rng, threshold):
+        plan, _ = plan_for(medium_matrix, threshold=threshold)
+        x = rng.standard_normal(1200)
+        assert np.allclose(run_medium_rows(plan, x),
+                           medium_matrix.matvec(x)[plan.row_idx], rtol=1e-12)
+
+    def test_partial_last_rowblock(self, rng):
+        """Medium-row count not divisible by 8 pads virtual empty rows."""
+        csr = random_csr(11, 300, rng,
+                         row_len_sampler=lambda r, m: r.integers(6, 40, m))
+        plan, _ = plan_for(csr)
+        x = rng.standard_normal(300)
+        assert np.allclose(run_medium_rows(plan, x),
+                           csr.matvec(x)[plan.row_idx], rtol=1e-12)
+
+    def test_counts_mma_issues(self, medium_matrix):
+        plan, _ = plan_for(medium_matrix)
+        unit = MmaUnit(FP64_M8N8K4)
+        run_medium_rows(plan, np.zeros(1200), unit=unit)
+        assert unit.issue_count == plan.n_blocks
+
+    def test_empty_plan(self, rng):
+        csr = random_csr(5, 10, rng)
+        plan = build_medium_rows(csr, np.zeros(0, np.int64), FP64_M8N8K4)
+        assert run_medium_rows(plan, np.zeros(10)).size == 0
+
+
+class TestEvents:
+    def test_bytes_cover_both_parts(self, medium_matrix):
+        plan, _ = plan_for(medium_matrix)
+        ev = medium_rows_events(plan, A100, x_bytes=0.0)
+        assert ev.bytes_val == (plan.reg_nnz + plan.irreg_nnz) * 8
+
+    def test_irregular_on_cuda_cores(self, medium_matrix):
+        plan, _ = plan_for(medium_matrix)
+        ev = medium_rows_events(plan, A100, x_bytes=0.0)
+        assert ev.flops_cuda == 2.0 * plan.irreg_nnz
+        assert ev.flops_mma == plan.n_blocks * 512
+
+    def test_single_launch(self, medium_matrix):
+        plan, _ = plan_for(medium_matrix)
+        assert medium_rows_events(plan, A100, x_bytes=0).kernel_launches == 1
+
+    def test_empty_no_launch(self, rng):
+        csr = random_csr(5, 10, rng)
+        plan = build_medium_rows(csr, np.zeros(0, np.int64), FP64_M8N8K4)
+        assert medium_rows_events(plan, A100, x_bytes=0).kernel_launches == 0

@@ -1,0 +1,82 @@
+"""Tests for DASPMethod (the SpMVMethod wrapper) and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.core import DASPMethod, dasp_preprocess_events, timed_preprocess
+from repro.gpu import A100, estimate_preprocess_time
+from tests.conftest import random_csr
+
+
+class TestMethodInterface:
+    def test_prepare_run(self, profiled_matrix, rng):
+        method = DASPMethod()
+        plan = method.prepare(profiled_matrix)
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        assert np.allclose(method.run(plan, x), profiled_matrix.matvec(x),
+                           rtol=1e-11)
+
+    def test_supports_all_floats(self):
+        method = DASPMethod()
+        assert method.supports(np.float64)
+        assert method.supports(np.float16)
+        assert not method.supports(np.int32)
+
+    def test_measure(self, rng):
+        csr = random_csr(50, 60, rng)
+        meas = DASPMethod().measure(csr, "A100", matrix_name="t")
+        assert meas.time_s > 0 and meas.method == "DASP"
+        assert meas.gflops > 0
+
+    def test_events_combine_categories(self, rng):
+        csr = random_csr(80, 900, rng,
+                         row_len_sampler=lambda r, m: np.where(
+                             r.random(m) < 0.1, r.integers(257, 400, m),
+                             r.integers(0, 30, m)))
+        ev = DASPMethod().events(DASPMethod().prepare(csr), A100)
+        assert ev.flops_mma > 0
+        assert ev.bytes_total > 0
+
+    def test_launch_chain_long_rows(self, rng):
+        with_long = random_csr(16, 800, rng,
+                               row_len_sampler=lambda r, m: np.full(m, 300))
+        without = random_csr(16, 800, rng,
+                             row_len_sampler=lambda r, m: np.full(m, 50))
+        method = DASPMethod()
+        ev_long = method.events(method.prepare(with_long), A100)
+        ev_med = method.events(method.prepare(without), A100)
+        assert ev_long.kernel_launches >= 2
+        assert ev_med.kernel_launches < 2
+
+    def test_spmv_convenience(self, rng):
+        csr = random_csr(20, 20, rng)
+        x = rng.standard_normal(20)
+        assert np.allclose(DASPMethod().spmv(csr, x), csr.matvec(x))
+
+    def test_custom_parameters_forwarded(self, rng):
+        csr = random_csr(30, 400, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 100))
+        plan = DASPMethod(max_len=64, threshold=0.5).prepare(csr)
+        assert plan.max_len == 64 and plan.threshold == 0.5
+
+
+class TestPreprocess:
+    def test_events_scale_with_nnz(self, rng):
+        small = DASPMethod().prepare(random_csr(20, 50, rng))
+        big = DASPMethod().prepare(random_csr(400, 800, rng))
+        t_small = estimate_preprocess_time(dasp_preprocess_events(small), A100)
+        t_big = estimate_preprocess_time(dasp_preprocess_events(big), A100)
+        assert t_big > t_small
+
+    def test_sort_keys_equal_medium_rows(self, rng):
+        csr = random_csr(50, 400, rng,
+                         row_len_sampler=lambda r, m: r.integers(5, 50, m))
+        plan = DASPMethod().prepare(csr)
+        ev = dasp_preprocess_events(plan)
+        assert ev.sort_keys == plan.classification.n_medium
+
+    def test_timed_preprocess(self, rng):
+        csr = random_csr(100, 100, rng)
+        dasp, secs = timed_preprocess(csr)
+        assert secs > 0
+        assert dasp.nnz == csr.nnz

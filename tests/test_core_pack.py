@@ -1,0 +1,71 @@
+"""Tests for the shared packing helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.core._pack import exclusive_cumsum, gather_rows_padded
+from tests.conftest import random_csr
+
+
+class TestExclusiveCumsum:
+    def test_basic(self):
+        assert list(exclusive_cumsum(np.array([3, 0, 2]))) == [0, 3, 3, 5]
+
+    def test_empty(self):
+        assert list(exclusive_cumsum(np.zeros(0, dtype=np.int64))) == [0]
+
+
+class TestGatherRowsPadded:
+    def test_exact_lengths_no_padding(self, rng):
+        csr = random_csr(10, 20, rng)
+        lens = csr.row_lengths()
+        rows = np.nonzero(lens)[0]
+        val, cid, valid = gather_rows_padded(csr, rows, lens[rows])
+        assert valid.all()
+        # concatenation of the selected rows' data in order
+        expected = np.concatenate([
+            csr.data[csr.indptr[r]:csr.indptr[r + 1]] for r in rows])
+        assert np.array_equal(val, expected)
+
+    def test_padding_is_zero_with_cid_zero(self, rng):
+        csr = random_csr(6, 20, rng)
+        rows = np.arange(6)
+        padded = csr.row_lengths()[rows] + 3
+        val, cid, valid = gather_rows_padded(csr, rows, padded)
+        assert np.all(val[~valid] == 0)
+        assert np.all(cid[~valid] == 0)
+
+    def test_row_order_respected(self, rng):
+        csr = random_csr(8, 20, rng)
+        lens = csr.row_lengths()
+        rows = np.array([5, 1])
+        if lens[5] and lens[1]:
+            val, _, _ = gather_rows_padded(csr, rows, lens[rows])
+            assert np.array_equal(val[:lens[5]],
+                                  csr.data[csr.indptr[5]:csr.indptr[6]])
+
+    def test_rejects_underpadding(self, rng):
+        csr = random_csr(5, 20, rng)
+        lens = csr.row_lengths()
+        rows = np.nonzero(lens > 1)[0][:1]
+        if rows.size:
+            with pytest.raises(ValidationError):
+                gather_rows_padded(csr, rows, lens[rows] - 1)
+
+    def test_empty_selection(self, rng):
+        csr = random_csr(5, 20, rng)
+        val, cid, valid = gather_rows_padded(
+            csr, np.zeros(0, np.int64), np.zeros(0, np.int64))
+        assert val.size == 0 and cid.size == 0 and valid.size == 0
+
+    def test_mismatched_lengths_rejected(self, rng):
+        csr = random_csr(5, 20, rng)
+        with pytest.raises(ValidationError):
+            gather_rows_padded(csr, np.array([0]), np.array([1, 2]))
+
+    def test_dtype_preserved(self, rng):
+        csr = random_csr(5, 20, rng, dtype=np.float16)
+        rows = np.arange(5)
+        val, _, _ = gather_rows_padded(csr, rows, csr.row_lengths() + 1)
+        assert val.dtype == np.float16

@@ -1,0 +1,151 @@
+"""Tests for the short-rows planner and kernels (Algorithms 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_rows
+from repro.core.short_rows import build_short_rows, run_short_rows, short_rows_events
+from repro.gpu import A100
+from repro.gpu.mma import FP64_M8N8K4, MmaUnit
+from tests.conftest import random_csr
+
+
+@pytest.fixture
+def short_matrix(rng):
+    return random_csr(120, 400, rng,
+                      row_len_sampler=lambda r, m: r.integers(1, 5, m))
+
+
+def plan_for(csr):
+    cls = classify_rows(csr)
+    return build_short_rows(csr, cls.short, FP64_M8N8K4), cls
+
+
+def lengths_matrix(rng, lengths, n=200):
+    lengths = np.asarray(lengths)
+    return random_csr(lengths.size, n, rng,
+                      row_len_sampler=lambda r, m: lengths)
+
+
+class TestPiecing:
+    def test_13_pairing_count(self, rng):
+        csr = lengths_matrix(rng, [1] * 5 + [3] * 8)
+        plan, _ = plan_for(csr)
+        assert plan.rows13_one.size == 5
+        assert plan.rows13_three.size == 5
+
+    def test_leftover_threes_become_len4(self, rng):
+        csr = lengths_matrix(rng, [1] * 2 + [3] * 6)
+        plan, _ = plan_for(csr)
+        # 4 leftover length-3 rows are padded into the len-4 category
+        assert plan.rows4.size == 4
+
+    def test_leftover_ones_become_singles(self, rng):
+        csr = lengths_matrix(rng, [1] * 7 + [3] * 2)
+        plan, _ = plan_for(csr)
+        assert plan.rows1.size == 5
+
+    def test_22_pairing(self, rng):
+        csr = lengths_matrix(rng, [2] * 7)
+        plan, _ = plan_for(csr)
+        assert plan.rows22_a.size == 3 and plan.rows22_b.size == 3
+        # the odd leftover length-2 row is padded into len-4
+        assert plan.rows4.size == 1
+
+    def test_every_short_row_covered_once(self, short_matrix):
+        plan, cls = plan_for(short_matrix)
+        covered = np.concatenate([
+            plan.rows13_one, plan.rows13_three, plan.rows22_a, plan.rows22_b,
+            plan.rows4, plan.rows1])
+        expected = np.concatenate([cls.short[k] for k in (1, 2, 3, 4)])
+        assert np.array_equal(np.sort(covered), np.sort(expected))
+
+    def test_packed_row_layout_13(self, rng):
+        csr = lengths_matrix(rng, [1, 3])
+        plan, _ = plan_for(csr)
+        v13 = plan.val13.reshape(-1, 4)
+        # slot 0 = the length-1 row's value; slots 1-3 = the length-3 row's
+        assert v13[0, 0] == csr.data[csr.indptr[0]]
+        assert np.array_equal(v13[0, 1:4], csr.data[csr.indptr[1]:csr.indptr[1] + 3])
+
+    def test_block_padding_multiple_of_8_rows(self, short_matrix):
+        plan, _ = plan_for(short_matrix)
+        for arr in (plan.val13, plan.val22, plan.val4):
+            assert arr.size % 32 == 0
+
+
+class TestKernel:
+    def test_matches_reference(self, short_matrix, rng):
+        plan, _ = plan_for(short_matrix)
+        x = rng.standard_normal(400)
+        rows, vals = run_short_rows(plan, x)
+        ref = short_matrix.matvec(x)
+        assert np.allclose(vals, ref[rows], rtol=1e-12)
+
+    @pytest.mark.parametrize("lengths", [
+        [1] * 10, [2] * 10, [3] * 10, [4] * 10,
+        [1, 2, 3, 4] * 5, [1] * 3 + [3] * 9 + [2] * 5,
+        [1], [2], [3], [4], [1, 3], [2, 2],
+    ])
+    def test_all_composition_cases(self, rng, lengths):
+        csr = lengths_matrix(rng, lengths)
+        plan, _ = plan_for(csr)
+        x = rng.standard_normal(200)
+        rows, vals = run_short_rows(plan, x)
+        ref = csr.matvec(x)
+        assert np.allclose(vals, ref[rows], rtol=1e-12)
+        assert rows.size == len(lengths)
+
+    def test_mma_count_two_per_pieced_block(self, rng):
+        csr = lengths_matrix(rng, [1] * 8 + [3] * 8)  # one 1&3 block
+        plan, _ = plan_for(csr)
+        unit = MmaUnit(FP64_M8N8K4)
+        run_short_rows(plan, np.zeros(200), unit=unit)
+        assert unit.issue_count == 2  # two x-load passes over one block
+
+    def test_mma_count_one_per_len4_block(self, rng):
+        csr = lengths_matrix(rng, [4] * 16)  # two len-4 blocks
+        plan, _ = plan_for(csr)
+        unit = MmaUnit(FP64_M8N8K4)
+        run_short_rows(plan, np.zeros(200), unit=unit)
+        assert unit.issue_count == 2
+
+    def test_empty_plan(self, rng):
+        csr = random_csr(5, 10, rng,
+                         row_len_sampler=lambda r, m: np.zeros(m, np.int64))
+        plan, _ = plan_for(csr)
+        rows, vals = run_short_rows(plan, np.zeros(10))
+        assert rows.size == 0
+
+    def test_padding_ratio(self, rng):
+        csr = lengths_matrix(rng, [4] * 8)
+        plan, _ = plan_for(csr)
+        assert plan.padding_ratio == pytest.approx(1.0)
+        csr2 = lengths_matrix(rng, [3] * 8)  # each padded by 1 zero
+        plan2, _ = plan_for(csr2)
+        assert plan2.padding_ratio == pytest.approx(4 / 3)
+
+
+class TestEvents:
+    def test_single_stream_launch(self, short_matrix):
+        plan, _ = plan_for(short_matrix)
+        assert short_rows_events(plan, A100, x_bytes=0).kernel_launches == 1
+
+    def test_mma_accounting(self, rng):
+        csr = lengths_matrix(rng, [1] * 8 + [3] * 8 + [2] * 16 + [4] * 8)
+        plan, _ = plan_for(csr)
+        ev = short_rows_events(plan, A100, x_bytes=0)
+        expected = 2 * plan.blocks13 + 2 * plan.blocks22 + plan.blocks4
+        assert ev.mma_count == expected
+
+    def test_singles_on_cuda_cores(self, rng):
+        csr = lengths_matrix(rng, [1] * 5)
+        plan, _ = plan_for(csr)
+        ev = short_rows_events(plan, A100, x_bytes=0)
+        assert ev.flops_cuda == 2.0 * 5
+
+    def test_empty_no_launch(self, rng):
+        csr = random_csr(4, 10, rng,
+                         row_len_sampler=lambda r, m: np.zeros(m, np.int64))
+        plan, _ = plan_for(csr)
+        assert short_rows_events(plan, A100, x_bytes=0).kernel_launches == 0

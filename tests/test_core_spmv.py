@@ -1,0 +1,96 @@
+"""Tests for the full DASP SpMV (vectorized engine)."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.core import DASPMatrix, dasp_spmv
+from repro.formats import CSRMatrix
+from tests.conftest import ROW_PROFILES, random_csr
+
+
+class TestCorrectness:
+    def test_matches_reference_all_profiles(self, profiled_matrix, rng):
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        y = dasp_spmv(profiled_matrix, x)
+        assert np.allclose(y, profiled_matrix.matvec(x), rtol=1e-11)
+
+    def test_empty_rows_zero(self, rng):
+        csr = random_csr(50, 100, rng, empty_frac=0.4)
+        x = rng.standard_normal(100)
+        y = dasp_spmv(csr, x)
+        empty = csr.row_lengths() == 0
+        assert np.all(y[empty] == 0)
+
+    def test_accepts_prebuilt_daspmatrix(self, rng):
+        csr = random_csr(30, 40, rng)
+        dasp = DASPMatrix.from_csr(csr)
+        x = rng.standard_normal(40)
+        assert np.allclose(dasp_spmv(dasp, x), csr.matvec(x))
+
+    def test_rectangular(self, rng):
+        csr = random_csr(30, 300, rng)
+        x = rng.standard_normal(300)
+        assert np.allclose(dasp_spmv(csr, x), csr.matvec(x))
+
+    def test_identity(self):
+        csr = CSRMatrix.from_dense(np.eye(16))
+        x = np.arange(16.0)
+        assert np.allclose(dasp_spmv(csr, x), x)
+
+    def test_all_zero_matrix(self):
+        csr = CSRMatrix.empty((10, 10))
+        assert np.array_equal(dasp_spmv(csr, np.ones(10)), np.zeros(10))
+
+    def test_deterministic(self, rng):
+        csr = random_csr(60, 80, rng)
+        x = rng.standard_normal(80)
+        assert np.array_equal(dasp_spmv(csr, x), dasp_spmv(csr, x))
+
+    def test_linearity(self, rng):
+        csr = random_csr(40, 40, rng)
+        x1, x2 = rng.standard_normal((2, 40))
+        lhs = dasp_spmv(csr, 2 * x1 + 3 * x2)
+        rhs = 2 * dasp_spmv(csr, x1) + 3 * dasp_spmv(csr, x2)
+        assert np.allclose(lhs, rhs, rtol=1e-10)
+
+    def test_wrong_x_length(self, rng):
+        with pytest.raises(ValidationError):
+            dasp_spmv(random_csr(5, 8, rng), np.zeros(5))
+
+    def test_unknown_engine(self, rng):
+        with pytest.raises(ValueError):
+            dasp_spmv(random_csr(5, 8, rng), np.zeros(8), engine="quantum")
+
+
+class TestPrecision:
+    def test_fp64_output_dtype(self, rng):
+        y = dasp_spmv(random_csr(10, 10, rng), np.zeros(10))
+        assert y.dtype == np.float64
+
+    def test_fp16_output_is_fp32_accumulator(self, rng):
+        csr = random_csr(10, 10, rng, dtype=np.float16)
+        y = dasp_spmv(csr, np.zeros(10, dtype=np.float16))
+        assert y.dtype == np.float32
+
+    def test_fp16_cast_output(self, rng):
+        csr = random_csr(10, 10, rng, dtype=np.float16)
+        y = dasp_spmv(csr, np.zeros(10, dtype=np.float16), cast_output=True)
+        assert y.dtype == np.float16
+
+    def test_fp16_matches_fp32_accum_reference(self, rng):
+        csr = random_csr(60, 80, rng, dtype=np.float16)
+        x = rng.uniform(-1, 1, 80).astype(np.float16)
+        y = dasp_spmv(csr, x)
+        ref = csr.matvec(x, accum_dtype=np.float32)
+        # same precision contract -> tight agreement
+        assert np.allclose(y, ref, rtol=1e-3, atol=1e-4)
+
+    def test_fp16_no_overflow_with_fp32_accum(self, rng):
+        """Summing many products that would overflow FP16 must be safe."""
+        m = 1
+        n = 4096
+        csr = CSRMatrix((1, n), [0, n], np.arange(n), np.full(n, 1.0, np.float16))
+        x = np.full(n, 30.0, dtype=np.float16)
+        y = dasp_spmv(csr, x)
+        assert np.isfinite(y[0]) and y[0] == pytest.approx(30.0 * n, rel=1e-3)

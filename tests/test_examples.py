@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=240)
+
+
+@pytest.mark.parametrize("script,expect", [
+    ("quickstart.py", "lane-accurate warp engine matches"),
+    ("iterative_solver.py", "amortized speedup"),
+    ("mixed_precision.py", "final FP64 residual"),
+    ("block_eigensolver.py", "max eigenpair residual"),
+])
+def test_example_runs(script, expect):
+    proc = run_example(script)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expect in proc.stdout
+
+
+def test_matrix_explorer_default():
+    proc = run_example("matrix_explorer.py")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "fastest (model)" in proc.stdout
+
+
+def test_matrix_explorer_named():
+    proc = run_example("matrix_explorer.py", "mc2depi")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "mc2depi" in proc.stdout

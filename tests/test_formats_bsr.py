@@ -1,0 +1,80 @@
+"""Tests for the BSR format (cuSPARSE-BSR substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import BSRMatrix, CSRMatrix
+from tests.conftest import random_csr
+
+
+class TestConversion:
+    @pytest.mark.parametrize("bs", [(2, 2), (4, 4), (8, 8), (2, 4), (3, 5)])
+    def test_roundtrip(self, rng, bs):
+        csr = random_csr(37, 41, rng)
+        bsr = BSRMatrix.from_csr(csr, bs)
+        assert np.allclose(bsr.to_csr().to_dense(), csr.to_dense())
+
+    def test_non_divisible_shape_edge_blocks(self, rng):
+        csr = random_csr(10, 10, rng)
+        bsr = BSRMatrix.from_csr(csr, (4, 4))
+        assert bsr.indptr.size == 3 + 1  # ceil(10/4)=3 block rows
+        assert np.allclose(bsr.to_csr().to_dense(), csr.to_dense())
+
+    def test_identity_blocks(self):
+        csr = CSRMatrix.from_dense(np.eye(8))
+        bsr = BSRMatrix.from_csr(csr, (4, 4))
+        assert bsr.nblocks == 2  # two diagonal blocks only
+        assert bsr.fill_ratio(csr.nnz) == pytest.approx(4.0)
+
+    def test_dense_matrix_fill_ratio_one(self, rng):
+        d = rng.standard_normal((8, 8))
+        bsr = BSRMatrix.from_csr(CSRMatrix.from_dense(d), (4, 4))
+        assert bsr.fill_ratio(64) == pytest.approx(1.0)
+
+    def test_empty_matrix(self):
+        bsr = BSRMatrix.from_csr(CSRMatrix.empty((6, 6)), (2, 2))
+        assert bsr.nblocks == 0
+        assert bsr.fill_ratio(0) == 1.0
+
+    def test_scattered_fill_explodes(self, rng):
+        """One nonzero per 8x8 block -> fill ratio 64 (the lp_osa_60
+        disaster the paper measures as 283.92x slowdown)."""
+        rows = np.arange(0, 64, 8)
+        cols = np.arange(0, 64, 8)
+        csr = CSRMatrix.from_dense(
+            np.eye(64)[rows][:, cols].T @ np.eye(8))  # placeholder
+        d = np.zeros((64, 64))
+        d[rows, cols] = 1.0
+        bsr = BSRMatrix.from_csr(CSRMatrix.from_dense(d), (8, 8))
+        assert bsr.fill_ratio(8) == pytest.approx(64.0)
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("bs", [(2, 2), (4, 4), (8, 8)])
+    def test_matches_reference(self, rng, bs):
+        csr = random_csr(50, 60, rng)
+        x = rng.standard_normal(60)
+        bsr = BSRMatrix.from_csr(csr, bs)
+        assert np.allclose(bsr.matvec(x), csr.matvec(x))
+
+    def test_edge_padding_does_not_leak(self, rng):
+        """x values beyond n must never be read (zero-padded gather)."""
+        csr = random_csr(9, 9, rng)
+        bsr = BSRMatrix.from_csr(csr, (4, 4))
+        x = rng.standard_normal(9)
+        assert np.allclose(bsr.matvec(x), csr.matvec(x))
+
+    def test_empty(self):
+        bsr = BSRMatrix.from_csr(CSRMatrix.empty((4, 4)), (2, 2))
+        assert np.array_equal(bsr.matvec(np.ones(4)), np.zeros(4))
+
+
+class TestAccounting:
+    def test_stored_values(self, rng):
+        csr = random_csr(16, 16, rng)
+        bsr = BSRMatrix.from_csr(csr, (4, 4))
+        assert bsr.stored_values == bsr.nblocks * 16
+
+    def test_nbytes_positive(self, rng):
+        csr = random_csr(16, 16, rng)
+        assert BSRMatrix.from_csr(csr, (2, 2)).nbytes > 0

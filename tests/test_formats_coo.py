@@ -1,0 +1,94 @@
+"""Tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.formats import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(coo.to_dense(), small_dense)
+
+    def test_from_dense_drops_zeros(self):
+        coo = COOMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert coo.nnz == 1
+
+    def test_rejects_out_of_bounds_row(self):
+        with pytest.raises(ValidationError):
+            COOMatrix((2, 2), [2], [0], [1.0])
+
+    def test_rejects_out_of_bounds_col(self):
+        with pytest.raises(ValidationError):
+            COOMatrix((2, 2), [0], [5], [1.0])
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValidationError):
+            COOMatrix((2, 2), [-1], [0], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            COOMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_empty_matrix(self):
+        coo = COOMatrix((3, 4), [], [], [])
+        assert coo.nnz == 0
+        assert coo.to_dense().shape == (3, 4)
+
+
+class TestTransformations:
+    def test_sum_duplicates(self):
+        coo = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [2.0, 3.0, 4.0])
+        summed = coo.sum_duplicates()
+        assert summed.nnz == 2
+        dense = summed.to_dense()
+        assert dense[0, 1] == 5.0 and dense[1, 0] == 4.0
+
+    def test_sum_duplicates_empty(self):
+        assert COOMatrix((2, 2), [], [], []).sum_duplicates().nnz == 0
+
+    def test_eliminate_zeros(self):
+        coo = COOMatrix((2, 2), [0, 1], [0, 1], [0.0, 2.0])
+        assert coo.eliminate_zeros().nnz == 1
+
+    def test_transpose(self, small_dense):
+        coo = COOMatrix.from_dense(small_dense)
+        assert np.array_equal(coo.transpose().to_dense(), small_dense.T)
+
+    def test_astype(self):
+        coo = COOMatrix((1, 1), [0], [0], [1.5])
+        assert coo.astype(np.float16).val.dtype == np.float16
+
+
+class TestConversion:
+    def test_to_csr_matches_dense(self, small_dense):
+        csr = COOMatrix.from_dense(small_dense).to_csr()
+        assert np.array_equal(csr.to_dense(), small_dense)
+
+    def test_to_csr_sums_duplicates(self):
+        coo = COOMatrix((2, 2), [0, 0], [1, 1], [2.0, 3.0])
+        assert COOMatrix.from_dense(coo.to_csr().to_dense()).nnz == 1
+        assert coo.to_csr().to_dense()[0, 1] == 5.0
+
+    def test_to_csr_sorted_columns(self, rng):
+        m, n = 20, 30
+        rows = rng.integers(0, m, 100)
+        cols = rng.integers(0, n, 100)
+        coo = COOMatrix((m, n), rows, cols, np.ones(100))
+        assert coo.to_csr().has_sorted_indices()
+
+    def test_matvec_matches_dense(self, small_dense, rng):
+        coo = COOMatrix.from_dense(small_dense)
+        x = rng.standard_normal(small_dense.shape[1])
+        assert np.allclose(coo.matvec(x), small_dense @ x)
+
+    def test_matvec_counts_duplicates(self):
+        coo = COOMatrix((1, 1), [0, 0], [0, 0], [1.0, 2.0])
+        assert coo.matvec(np.array([2.0]))[0] == pytest.approx(6.0)
+
+    def test_matvec_rejects_bad_x(self):
+        coo = COOMatrix((2, 3), [0], [0], [1.0])
+        with pytest.raises(ValidationError):
+            coo.matvec(np.zeros(2))

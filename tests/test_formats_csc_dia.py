@@ -1,0 +1,102 @@
+"""Tests for the CSC and DIA formats."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.formats import CSCMatrix, CSRMatrix, DIAMatrix, to_csr
+from repro.matrices import banded, grid2d
+from tests.conftest import random_csr
+
+
+class TestCSC:
+    def test_roundtrip(self, rng):
+        csr = random_csr(30, 25, rng)
+        assert np.allclose(CSCMatrix.from_csr(csr).to_csr().to_dense(),
+                           csr.to_dense())
+
+    def test_matvec(self, profiled_matrix, rng):
+        csc = CSCMatrix.from_csr(profiled_matrix)
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        assert np.allclose(csc.matvec(x), profiled_matrix.matvec(x))
+
+    def test_rmatvec_is_transpose(self, rng):
+        csr = random_csr(20, 30, rng)
+        csc = CSCMatrix.from_csr(csr)
+        y = rng.standard_normal(20)
+        assert np.allclose(csc.rmatvec(y), csr.to_dense().T @ y)
+
+    def test_col_lengths(self, rng):
+        csr = random_csr(20, 15, rng)
+        csc = CSCMatrix.from_csr(csr)
+        dense = csr.to_dense()
+        assert np.array_equal(csc.col_lengths(),
+                              (dense != 0).sum(axis=0))
+
+    def test_empty_matrix(self):
+        csc = CSCMatrix.from_csr(CSRMatrix.empty((4, 6)))
+        assert csc.nnz == 0
+        assert np.array_equal(csc.matvec(np.ones(6)), np.zeros(4))
+        assert np.array_equal(csc.rmatvec(np.ones(4)), np.zeros(6))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            CSCMatrix((2, 2), [0, 1], [0], [1.0])  # indptr too short
+
+    def test_rmatvec_wrong_length(self, rng):
+        csc = CSCMatrix.from_csr(random_csr(5, 8, rng))
+        with pytest.raises(ValidationError):
+            csc.rmatvec(np.zeros(8))
+
+    def test_to_csr_funnel(self, rng):
+        csr = random_csr(10, 10, rng)
+        assert np.allclose(to_csr(CSCMatrix.from_csr(csr)).to_dense(),
+                           csr.to_dense())
+
+
+class TestDIA:
+    def test_roundtrip(self, rng):
+        csr = random_csr(15, 15, rng)
+        dia = DIAMatrix.from_csr(csr)
+        assert np.allclose(dia.to_csr().to_dense(), csr.to_dense())
+
+    def test_matvec(self, rng):
+        csr = banded(200, 5, seed=1)
+        dia = DIAMatrix.from_csr(csr)
+        x = rng.standard_normal(200)
+        assert np.allclose(dia.matvec(x), csr.matvec(x))
+
+    def test_rectangular(self, rng):
+        csr = random_csr(10, 20, rng)
+        dia = DIAMatrix.from_csr(csr)
+        x = rng.standard_normal(20)
+        assert np.allclose(dia.matvec(x), csr.matvec(x))
+
+    def test_banded_few_diagonals(self):
+        dia = DIAMatrix.from_csr(banded(300, 3, fill=1.0, seed=0))
+        assert dia.n_diagonals <= 7
+
+    def test_grid_five_diagonals(self):
+        dia = DIAMatrix.from_csr(grid2d(12, 12, drop=0.0, seed=0))
+        assert dia.n_diagonals == 5
+
+    def test_scattered_explodes(self, rng):
+        csr = random_csr(64, 64, rng)
+        with pytest.raises(ValidationError, match="diagonals"):
+            DIAMatrix.from_csr(csr, max_diagonals=4)
+
+    def test_fill_ratio(self):
+        # a single off-diagonal of a 100x100 matrix: 100 slots, ~99 real
+        d = np.zeros((100, 100))
+        d[np.arange(99), np.arange(99) + 1] = 1.0
+        dia = DIAMatrix.from_csr(CSRMatrix.from_dense(d))
+        assert dia.fill_ratio == pytest.approx(100 / 99)
+
+    def test_offsets_sorted(self, rng):
+        dia = DIAMatrix.from_csr(random_csr(20, 20, rng))
+        assert np.all(np.diff(dia.offsets) > 0)
+
+    def test_empty(self):
+        dia = DIAMatrix.from_csr(CSRMatrix.empty((5, 5)))
+        assert dia.n_diagonals == 0
+        assert np.array_equal(dia.matvec(np.ones(5)), np.zeros(5))

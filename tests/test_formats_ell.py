@@ -1,0 +1,74 @@
+"""Tests for the ELL format."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.formats import CSRMatrix, ELLMatrix
+from tests.conftest import random_csr
+
+
+class TestConversion:
+    def test_roundtrip(self, rng):
+        csr = random_csr(25, 30, rng)
+        ell = ELLMatrix.from_csr(csr)
+        assert np.allclose(ell.to_csr().to_dense(), csr.to_dense())
+
+    def test_width_defaults_to_longest_row(self, rng):
+        csr = random_csr(25, 30, rng)
+        assert ELLMatrix.from_csr(csr).width == int(csr.row_lengths().max())
+
+    def test_explicit_wider_width(self, rng):
+        csr = random_csr(10, 10, rng)
+        w = int(csr.row_lengths().max()) + 3
+        assert ELLMatrix.from_csr(csr, width=w).width == w
+
+    def test_rejects_too_narrow(self, rng):
+        csr = random_csr(10, 10, rng)
+        max_len = int(csr.row_lengths().max())
+        if max_len:
+            with pytest.raises(ValidationError):
+                ELLMatrix.from_csr(csr, width=max_len - 1)
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_csr(CSRMatrix.empty((4, 4)))
+        assert ell.width == 0 and ell.nnz == 0
+
+
+class TestPadding:
+    def test_padding_ratio_uniform_rows(self):
+        d = np.triu(np.ones((4, 4)))[::-1]  # rows 1..4 long
+        ell = ELLMatrix.from_csr(CSRMatrix.from_dense(d))
+        assert ell.stored_values == 16
+        assert ell.padding_ratio == pytest.approx(16 / 10)
+
+    def test_padding_ratio_empty_is_inf(self):
+        assert ELLMatrix.from_csr(CSRMatrix.empty((2, 2))).padding_ratio == float("inf")
+
+    def test_padding_slots_marked(self, rng):
+        csr = random_csr(10, 10, rng)
+        ell = ELLMatrix.from_csr(csr)
+        pad = ell.cols < 0
+        assert np.all(ell.vals[pad] == 0)
+
+
+class TestMatvec:
+    def test_matches_reference(self, rng):
+        csr = random_csr(40, 50, rng)
+        x = rng.standard_normal(50)
+        assert np.allclose(ELLMatrix.from_csr(csr).matvec(x), csr.matvec(x))
+
+    def test_skewed_rows(self, rng):
+        lens = np.zeros(20, dtype=np.int64)
+        lens[0] = 15
+        csr = random_csr(20, 20, rng, row_len_sampler=lambda r, m: lens)
+        x = rng.standard_normal(20)
+        assert np.allclose(ELLMatrix.from_csr(csr).matvec(x), csr.matvec(x))
+
+    def test_padding_never_reads_x_effectively(self, rng):
+        """Padded slots use column 0's x but multiply by zero value."""
+        csr = random_csr(10, 10, rng)
+        ell = ELLMatrix.from_csr(csr, width=int(csr.row_lengths().max()) + 2)
+        x = rng.standard_normal(10)
+        x[0] = 1e30  # would corrupt results if padding leaked
+        assert np.allclose(ell.matvec(x), csr.matvec(x))

@@ -1,0 +1,73 @@
+"""Tests for the HYB (ELL+COO hybrid) format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, HYBMatrix, to_csr
+from tests.conftest import random_csr
+
+
+class TestSplit:
+    def test_roundtrip(self, rng):
+        csr = random_csr(50, 40, rng)
+        assert np.allclose(HYBMatrix.from_csr(csr).to_csr().to_dense(),
+                           csr.to_dense())
+
+    def test_width_quantile_default(self, rng):
+        csr = random_csr(200, 100, rng,
+                         row_len_sampler=lambda r, m: (r.pareto(1.5, m) * 3
+                                                       ).astype(np.int64) + 1)
+        hyb = HYBMatrix.from_csr(csr)
+        lens = csr.row_lengths()
+        # 90% of rows fit entirely in the ELL part
+        assert np.mean(lens <= hyb.width) >= 0.85
+
+    def test_explicit_width(self, rng):
+        csr = random_csr(30, 30, rng)
+        hyb = HYBMatrix.from_csr(csr, width=2)
+        assert hyb.width == 2
+        expected_overflow = int(np.maximum(csr.row_lengths() - 2, 0).sum())
+        assert hyb.coo.nnz == expected_overflow
+
+    def test_width_zero_all_coo(self, rng):
+        csr = random_csr(20, 20, rng)
+        hyb = HYBMatrix.from_csr(csr, width=0)
+        assert hyb.ell.nnz == 0 and hyb.coo.nnz == csr.nnz
+
+    def test_huge_width_all_ell(self, rng):
+        csr = random_csr(20, 20, rng)
+        hyb = HYBMatrix.from_csr(csr, width=25)
+        assert hyb.coo.nnz == 0 and hyb.ell.nnz == csr.nnz
+
+    def test_nnz_conserved(self, profiled_matrix):
+        hyb = HYBMatrix.from_csr(profiled_matrix)
+        assert hyb.nnz == profiled_matrix.nnz
+
+    def test_overflow_fraction(self, rng):
+        csr = random_csr(30, 30, rng)
+        hyb = HYBMatrix.from_csr(csr, width=1)
+        assert 0.0 <= hyb.overflow_fraction <= 1.0
+
+    def test_empty_matrix(self):
+        hyb = HYBMatrix.from_csr(CSRMatrix.empty((5, 5)))
+        assert hyb.nnz == 0
+        assert np.array_equal(hyb.matvec(np.ones(5)), np.zeros(5))
+
+
+class TestMatvec:
+    def test_matches_reference(self, profiled_matrix, rng):
+        hyb = HYBMatrix.from_csr(profiled_matrix)
+        x = rng.standard_normal(profiled_matrix.shape[1])
+        assert np.allclose(hyb.matvec(x), profiled_matrix.matvec(x))
+
+    @pytest.mark.parametrize("width", [0, 1, 3, 10])
+    def test_any_split_correct(self, rng, width):
+        csr = random_csr(40, 40, rng)
+        hyb = HYBMatrix.from_csr(csr, width=width)
+        x = rng.standard_normal(40)
+        assert np.allclose(hyb.matvec(x), csr.matvec(x))
+
+    def test_to_csr_funnel(self, rng):
+        csr = random_csr(15, 15, rng)
+        assert np.allclose(to_csr(HYBMatrix.from_csr(csr)).to_dense(),
+                           csr.to_dense())

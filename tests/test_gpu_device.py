@@ -1,0 +1,77 @@
+"""Tests for device specifications."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.gpu import A100, DEVICES, H800, DeviceSpec, get_device
+
+
+class TestPresets:
+    def test_a100_table1_numbers(self):
+        """Table 1: A100 FP64 TC 19.5 TFlops, FP16 TC 312, 1555 GB/s."""
+        assert A100.fp64_tensor_tflops == 19.5
+        assert A100.fp16_tensor_tflops == 312.0
+        assert A100.mem_bw_gbs == 1555.0
+        assert A100.arch == "Ampere"
+
+    def test_h800_table1_numbers(self):
+        """Table 1: H800 FP16 TC 756 TFlops, 2048 GB/s."""
+        assert H800.fp16_tensor_tflops == 756.0
+        assert H800.mem_bw_gbs == 2048.0
+        assert H800.arch == "Hopper"
+
+    def test_measured_below_theoretical(self):
+        for dev in DEVICES.values():
+            assert dev.measured_bw < dev.mem_bw
+
+    def test_registry_contains_both(self):
+        assert set(DEVICES) == {"A100", "H800"}
+
+
+class TestDerivedRates:
+    def test_mem_bw_si(self):
+        assert A100.mem_bw == pytest.approx(1.555e12)
+
+    def test_cuda_flops_fp64(self):
+        assert A100.cuda_flops(64) == pytest.approx(9.7e12)
+
+    def test_cuda_flops_fp16_uses_fp32_rate(self):
+        assert A100.cuda_flops(16) == pytest.approx(19.5e12)
+
+    def test_tensor_flops(self):
+        assert A100.tensor_flops(64) == pytest.approx(19.5e12)
+        assert H800.tensor_flops(16) == pytest.approx(756e12)
+
+    def test_launch_overhead_seconds(self):
+        assert A100.launch_overhead_s == pytest.approx(A100.launch_overhead_us * 1e-6)
+
+    def test_concurrency_positive(self):
+        assert A100.concurrency == 108 * 64 * 32
+
+
+class TestGetDevice:
+    def test_by_name_case_insensitive(self):
+        assert get_device("a100") is A100
+        assert get_device("H800") is H800
+
+    def test_passthrough(self):
+        assert get_device(A100) is A100
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValidationError, match="unknown device"):
+            get_device("V100")
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "y", 0, 1.0, 100.0, 0.9, 1 << 20, 1, 1, 1, 1)
+
+    def test_rejects_bad_triad_efficiency(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "y", 4, 1.0, 100.0, 1.5, 1 << 20, 1, 1, 1, 1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            A100.sms = 1

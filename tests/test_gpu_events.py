@@ -1,0 +1,65 @@
+"""Tests for KernelEvents / PreprocessEvents / TimeParts accounting."""
+
+import pytest
+
+from repro.gpu import KernelEvents, TimeParts
+
+
+class TestKernelEvents:
+    def test_bytes_totals(self):
+        ev = KernelEvents(bytes_val=10, bytes_idx=5, bytes_ptr=1,
+                          bytes_x=3, bytes_y=2)
+        assert ev.bytes_stream == 16
+        assert ev.bytes_total == 21
+
+    def test_flops_total(self):
+        ev = KernelEvents(flops_cuda=3, flops_mma=4)
+        assert ev.flops_total == 7
+
+    def test_imbalance_floor(self):
+        assert KernelEvents(imbalance=0.5).imbalance == 1.0
+
+    def test_mem_efficiency_validated(self):
+        with pytest.raises(ValueError):
+            KernelEvents(mem_efficiency=0.0)
+        with pytest.raises(ValueError):
+            KernelEvents(mem_efficiency=1.5)
+
+    def test_combine_adds_traffic(self):
+        a = KernelEvents(bytes_val=10, flops_cuda=2, kernel_launches=1)
+        b = KernelEvents(bytes_val=20, flops_mma=4, kernel_launches=2)
+        c = a.combine(b)
+        assert c.bytes_val == 30
+        assert c.flops_total == 6
+        assert c.kernel_launches == 3
+
+    def test_combine_weights_imbalance_by_traffic(self):
+        heavy = KernelEvents(bytes_val=1e9, imbalance=1.0)
+        light = KernelEvents(bytes_val=1.0, imbalance=10.0)
+        merged = heavy.combine(light)
+        assert merged.imbalance == pytest.approx(1.0, abs=1e-4)
+
+    def test_combine_takes_max_serial(self):
+        a = KernelEvents(serial_iters=5)
+        b = KernelEvents(serial_iters=100)
+        assert a.combine(b).serial_iters == 100
+
+    def test_combine_weights_mem_efficiency(self):
+        a = KernelEvents(bytes_val=100, mem_efficiency=1.0)
+        b = KernelEvents(bytes_val=100, mem_efficiency=0.5)
+        assert 0.5 < a.combine(b).mem_efficiency < 1.0
+
+
+class TestTimeParts:
+    def test_total(self):
+        tp = TimeParts(random_access=1, compute=2, misc=3, launch=4)
+        assert tp.total == 10
+
+    def test_fractions_fold_launch_into_misc(self):
+        tp = TimeParts(random_access=1, compute=1, misc=1, launch=1)
+        fr = tp.fractions()
+        assert fr["misc"] == pytest.approx(0.5)
+
+    def test_zero_total_fractions(self):
+        fr = TimeParts().fractions()
+        assert fr["misc"] == 1.0

@@ -1,0 +1,87 @@
+"""Tests for the x-gather traffic / bandwidth-ramp model."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.gpu import A100, effective_bandwidth, sector_counts, x_traffic_bytes
+from tests.conftest import random_csr
+
+
+def csr_with_cols(cols_per_row, n):
+    """Build a CSR matrix with explicit column lists per row."""
+    indptr = np.cumsum([0] + [len(c) for c in cols_per_row])
+    indices = np.concatenate([np.asarray(c, dtype=np.int64) for c in cols_per_row]) \
+        if indptr[-1] else np.zeros(0, np.int64)
+    return CSRMatrix((len(cols_per_row), n), indptr, indices,
+                     np.ones(int(indptr[-1])))
+
+
+class TestSectorCounts:
+    def test_dense_row_one_sector_fp64(self):
+        # 4 consecutive FP64 columns share one 32-byte sector
+        csr = csr_with_cols([[0, 1, 2, 3]], 8)
+        per_row, uniq = sector_counts(csr, 8)
+        assert per_row == 1 and uniq == 1
+
+    def test_scattered_row(self):
+        csr = csr_with_cols([[0, 4, 8, 12]], 16)
+        per_row, uniq = sector_counts(csr, 8)
+        assert per_row == 4 and uniq == 4
+
+    def test_fp16_wider_sectors(self):
+        # 16 consecutive FP16 values share one sector
+        csr = csr_with_cols([list(range(16))], 32)
+        per_row, uniq = sector_counts(csr, 2)
+        assert per_row == 1
+
+    def test_cross_row_reuse_counted_once_globally(self):
+        csr = csr_with_cols([[0], [0], [0]], 4)
+        per_row, uniq = sector_counts(csr, 8)
+        assert per_row == 3 and uniq == 1
+
+    def test_empty(self):
+        assert sector_counts(CSRMatrix.empty((3, 3)), 8) == (0, 0)
+
+
+class TestXTraffic:
+    def test_zero_for_empty(self):
+        assert x_traffic_bytes(CSRMatrix.empty((3, 3)), 8, A100) == 0.0
+
+    def test_reuse_cheaper_than_scatter(self, rng):
+        dense_cols = csr_with_cols([[0, 1, 2, 3]] * 64, 8)
+        scattered = csr_with_cols(
+            [[int(c) for c in rng.choice(4096, 4, replace=False)]
+             for _ in range(64)], 4096)
+        assert x_traffic_bytes(dense_cols, 8, A100) < x_traffic_bytes(scattered, 8, A100)
+
+    def test_bypass_reduces_traffic(self, rng):
+        csr = random_csr(200, 5000, rng)
+        with_bypass = x_traffic_bytes(csr, 8, A100, bypass_l1=True)
+        without = x_traffic_bytes(csr, 8, A100, bypass_l1=False)
+        assert with_bypass <= without
+
+    def test_monotone_in_nnz(self, rng):
+        small = random_csr(50, 1000, rng)
+        big = random_csr(500, 1000, rng)
+        if big.nnz > small.nnz * 2:
+            assert x_traffic_bytes(big, 8, A100) > x_traffic_bytes(small, 8, A100)
+
+    def test_accepts_device_name(self, rng):
+        csr = random_csr(10, 10, rng)
+        assert x_traffic_bytes(csr, 8, "A100") == x_traffic_bytes(csr, 8, A100)
+
+
+class TestEffectiveBandwidth:
+    def test_ramp_floor(self):
+        assert effective_bandwidth(A100, 1) >= 0.14 * A100.measured_bw
+
+    def test_saturates(self):
+        assert effective_bandwidth(A100, 10_000_000) == pytest.approx(A100.measured_bw)
+
+    def test_monotone(self):
+        bws = [effective_bandwidth(A100, t) for t in (10, 1000, 50_000, 500_000)]
+        assert bws == sorted(bws)
+
+    def test_zero_threads_safe(self):
+        assert effective_bandwidth(A100, 0) > 0

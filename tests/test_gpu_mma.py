@@ -1,0 +1,178 @@
+"""Tests for MMA fragment layouts and the functional MMA unit."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.gpu import (
+    FP16_M8N8K4,
+    FP64_M8N8K4,
+    FULL_MASK,
+    MmaShape,
+    MmaUnit,
+    Warp,
+    frag_a_from_matrix,
+    frag_b_from_matrix,
+    frag_c_from_matrix,
+    matrix_from_frag_a,
+    matrix_from_frag_b,
+    matrix_from_frag_c,
+    mma_m8n8k4,
+    shape_for_dtype,
+)
+
+
+class TestFragmentLayouts:
+    def test_a_roundtrip(self, rng):
+        a = rng.standard_normal((8, 4))
+        assert np.array_equal(matrix_from_frag_a(frag_a_from_matrix(a)), a)
+
+    def test_b_roundtrip(self, rng):
+        b = rng.standard_normal((4, 8))
+        assert np.array_equal(matrix_from_frag_b(frag_b_from_matrix(b)), b)
+
+    def test_c_roundtrip(self, rng):
+        c = rng.standard_normal((8, 8))
+        assert np.array_equal(matrix_from_frag_c(frag_c_from_matrix(c)), c)
+
+    def test_a_layout_matches_paper_idx(self, rng):
+        """The paper's idx = (3 & lane) + (lane >> 2) * MMA_K addresses a
+        row-major 8x4 block; the A fragment must follow it."""
+        a = rng.standard_normal((8, 4))
+        lane = np.arange(32)
+        idx = (3 & lane) + (lane >> 2) * 4
+        assert np.array_equal(frag_a_from_matrix(a), a.reshape(-1)[idx])
+
+    def test_b_is_a_transposed_lanewise(self, rng):
+        """Lane l holds A[l>>2, l&3] and B[l&3, l>>2]: loading fragX with
+        the same idx as fragA builds B = gathered-x transposed, which is
+        what makes the diagonal of A@B the row dot products."""
+        vals = rng.standard_normal(32)
+        a = matrix_from_frag_a(vals)
+        b = matrix_from_frag_b(vals)
+        assert np.array_equal(b, a.T)
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValidationError):
+            frag_a_from_matrix(np.zeros((4, 8)))
+        with pytest.raises(ValidationError):
+            frag_b_from_matrix(np.zeros((8, 4)))
+        with pytest.raises(ValidationError):
+            frag_c_from_matrix(np.zeros((4, 4)))
+
+
+class TestMmaM8N8K4:
+    def test_matches_gemm(self, rng):
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 8))
+        c = rng.standard_normal((8, 8))
+        w = Warp()
+        acc = mma_m8n8k4(w, frag_c_from_matrix(c), frag_a_from_matrix(a),
+                         frag_b_from_matrix(b))
+        assert np.allclose(matrix_from_frag_c(acc), a @ b + c)
+
+    def test_counts_issues(self, rng):
+        w = Warp()
+        acc = frag_c_from_matrix(np.zeros((8, 8)))
+        fa = frag_a_from_matrix(np.zeros((8, 4)))
+        fb = frag_b_from_matrix(np.zeros((4, 8)))
+        mma_m8n8k4(w, acc, fa, fb)
+        mma_m8n8k4(w, acc, fa, fb)
+        assert w.mma_count == 2
+
+    def test_diagonal_extraction_long_rows(self, rng):
+        """Full Algorithm 2 reduction: shfl_down 9, 18, then shfl 4."""
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 8))
+        w = Warp()
+        acc = mma_m8n8k4(w, frag_c_from_matrix(np.zeros((8, 8))),
+                         frag_a_from_matrix(a), frag_b_from_matrix(b))
+        f0, f1 = acc[:, 0].copy(), acc[:, 1].copy()
+        f0 = f0 + w.shfl_down_sync(FULL_MASK, f0, 9)
+        f0 = f0 + w.shfl_down_sync(FULL_MASK, f0, 18)
+        f1 = f1 + w.shfl_down_sync(FULL_MASK, f1, 9)
+        f1 = f1 + w.shfl_down_sync(FULL_MASK, f1, 18)
+        f0 = f0 + w.shfl_sync(FULL_MASK, f1, 4)
+        assert f0[0] == pytest.approx(np.trace(a @ b))
+
+    @pytest.mark.parametrize("i", [0, 1, 2, 3])
+    def test_diagonal_extraction_medium_rows(self, rng, i):
+        """Algorithm 3's target = ((lane - 8i) >> 1) * 9 extraction places
+        C[r, r] at lane 8i + r for every loop index i."""
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 8))
+        w = Warp()
+        acc = mma_m8n8k4(w, frag_c_from_matrix(np.zeros((8, 8))),
+                         frag_a_from_matrix(a), frag_b_from_matrix(b))
+        lane = np.arange(32)
+        target = ((lane - i * 8) >> 1) * 9
+        g0 = w.shfl_sync(FULL_MASK, acc[:, 0], target)
+        g1 = w.shfl_sync(FULL_MASK, acc[:, 1], target + 4)
+        res = np.where((lane & 1) == 0, g0, g1)
+        sel = (lane >> 3) == i
+        assert np.allclose(res[sel], np.diag(a @ b))
+
+
+class TestMmaUnit:
+    def test_fp64_exact(self, rng):
+        unit = MmaUnit(FP64_M8N8K4)
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 8))
+        c = rng.standard_normal((8, 8))
+        assert np.allclose(unit.mma(a, b, c), a @ b + c)
+
+    def test_fp16_inputs_rounded(self):
+        unit = MmaUnit(FP16_M8N8K4)
+        a = np.full((8, 4), 1.0 / 3.0)
+        b = np.zeros((4, 8))
+        b[:, 0] = 1.0
+        out = unit.mma(a, b, np.zeros((8, 8)))
+        third_fp16 = np.float32(np.float16(1.0 / 3.0))
+        assert out.dtype == np.float32
+        assert out[0, 0] == pytest.approx(4 * third_fp16, rel=1e-7)
+
+    def test_fp16_accumulates_fp32(self):
+        """Products that would overflow FP16 accumulate safely in FP32."""
+        unit = MmaUnit(FP16_M8N8K4)
+        a = np.full((8, 4), 200.0)
+        b = np.full((4, 8), 200.0)
+        out = unit.mma(a, b, np.zeros((8, 8)))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(160000.0)
+
+    def test_block_row_dots_matches_diag(self, rng):
+        unit = MmaUnit(FP64_M8N8K4)
+        a = rng.standard_normal((5, 8, 4))
+        x = rng.standard_normal((5, 8, 4))
+        out = unit.block_row_dots(a, x)
+        assert out.shape == (5, 8)
+        assert np.allclose(out, (a * x).sum(axis=2))
+
+    def test_block_row_dots_counts_blocks(self, rng):
+        unit = MmaUnit(FP64_M8N8K4)
+        unit.block_row_dots(np.zeros((7, 8, 4)), np.zeros((7, 8, 4)))
+        assert unit.issue_count == 7
+
+    def test_mma_validates_shapes(self):
+        unit = MmaUnit(FP64_M8N8K4)
+        with pytest.raises(ValidationError):
+            unit.mma(np.zeros((4, 8)), np.zeros((4, 8)), np.zeros((8, 8)))
+
+
+class TestShapes:
+    def test_flops(self):
+        assert FP64_M8N8K4.flops == 512
+        assert FP64_M8N8K4.a_elements == 32
+
+    def test_shape_for_dtype(self):
+        assert shape_for_dtype(np.float64) is FP64_M8N8K4
+        assert shape_for_dtype(np.float16) is FP16_M8N8K4
+        assert shape_for_dtype(np.float32).in_dtype == np.float32
+
+    def test_shape_for_unknown_dtype(self):
+        with pytest.raises(TypeError):
+            shape_for_dtype(np.int32)
+
+    def test_custom_shape(self):
+        s = MmaShape(16, 8, 8, np.dtype(np.float16), np.dtype(np.float32), "t")
+        assert s.flops == 2 * 16 * 8 * 8

@@ -1,0 +1,93 @@
+"""Tests for the m16n8k8 FP16 fragment layout."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.gpu import (
+    Warp,
+    frag_a16_from_matrix,
+    frag_b16_from_matrix,
+    frag_c16_from_matrix,
+    matrix_from_frag_a16,
+    matrix_from_frag_b16,
+    matrix_from_frag_c16,
+    mma_m16n8k8,
+)
+
+
+class TestFragments:
+    def test_a_roundtrip(self, rng):
+        a = rng.uniform(-1, 1, (16, 8)).astype(np.float16)
+        assert np.array_equal(matrix_from_frag_a16(frag_a16_from_matrix(a)), a)
+
+    def test_b_roundtrip(self, rng):
+        b = rng.uniform(-1, 1, (8, 8)).astype(np.float16)
+        assert np.array_equal(matrix_from_frag_b16(frag_b16_from_matrix(b)), b)
+
+    def test_c_roundtrip(self, rng):
+        c = rng.standard_normal((16, 8)).astype(np.float32)
+        assert np.array_equal(matrix_from_frag_c16(frag_c16_from_matrix(c)), c)
+
+    def test_register_shapes(self, rng):
+        a = np.zeros((16, 8), np.float16)
+        b = np.zeros((8, 8), np.float16)
+        c = np.zeros((16, 8), np.float32)
+        assert frag_a16_from_matrix(a).shape == (32, 4)
+        assert frag_b16_from_matrix(b).shape == (32, 2)
+        assert frag_c16_from_matrix(c).shape == (32, 4)
+
+    def test_lane_ownership_ptx_layout(self):
+        """Lane 0 (group 0, tid 0) holds A[0,0], A[0,1], A[8,0], A[8,1]."""
+        a = np.arange(128, dtype=np.float16).reshape(16, 8)
+        frag = frag_a16_from_matrix(a)
+        assert list(frag[0]) == [a[0, 0], a[0, 1], a[8, 0], a[8, 1]]
+        # lane 5 = group 1, tid 1 -> rows {1, 9}, cols {2, 3}
+        assert list(frag[5]) == [a[1, 2], a[1, 3], a[9, 2], a[9, 3]]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            frag_a16_from_matrix(np.zeros((8, 16)))
+        with pytest.raises(ValidationError):
+            frag_b16_from_matrix(np.zeros((8, 4)))
+        with pytest.raises(ValidationError):
+            frag_c16_from_matrix(np.zeros((8, 8)))
+
+
+class TestMma:
+    def test_matches_gemm_fp32_acc(self, rng):
+        a = rng.uniform(-1, 1, (16, 8)).astype(np.float16)
+        b = rng.uniform(-1, 1, (8, 8)).astype(np.float16)
+        c = rng.standard_normal((16, 8)).astype(np.float32)
+        w = Warp()
+        d = mma_m16n8k8(w, frag_c16_from_matrix(c),
+                        frag_a16_from_matrix(a), frag_b16_from_matrix(b))
+        ref = a.astype(np.float32) @ b.astype(np.float32) + c
+        assert np.allclose(matrix_from_frag_c16(d), ref, rtol=1e-6)
+        assert w.mma_count == 1
+
+    def test_inputs_rounded_to_fp16(self):
+        a = np.full((16, 8), 1.0 + 2 ** -12)  # rounds to 1.0 in fp16
+        b = np.zeros((8, 8))
+        b[:, 0] = 1.0
+        w = Warp()
+        d = mma_m16n8k8(w, frag_c16_from_matrix(np.zeros((16, 8), np.float32)),
+                        frag_a16_from_matrix(a), frag_b16_from_matrix(b))
+        out = matrix_from_frag_c16(d)
+        assert out[0, 0] == np.float32(8.0)
+
+    def test_accumulator_no_fp16_overflow(self):
+        a = np.full((16, 8), 100.0, dtype=np.float16)
+        b = np.full((8, 8), 100.0, dtype=np.float16)
+        w = Warp()
+        d = mma_m16n8k8(w, frag_c16_from_matrix(np.zeros((16, 8), np.float32)),
+                        frag_a16_from_matrix(a), frag_b16_from_matrix(b))
+        out = matrix_from_frag_c16(d)
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] == pytest.approx(80000.0)
+
+    def test_acc_shape_validated(self):
+        w = Warp()
+        with pytest.raises(ValidationError):
+            mma_m16n8k8(w, np.zeros((32, 2)), np.zeros((32, 4)),
+                        np.zeros((32, 2)))

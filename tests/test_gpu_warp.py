@@ -1,0 +1,124 @@
+"""Tests for the lane-accurate warp emulator (shuffle semantics)."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.gpu import FULL_MASK, WARP_SIZE, Warp
+
+
+@pytest.fixture
+def warp():
+    return Warp()
+
+
+@pytest.fixture
+def lanes():
+    return np.arange(WARP_SIZE, dtype=np.float64)
+
+
+class TestShflSync:
+    def test_broadcast_scalar_src(self, warp, lanes):
+        out = warp.shfl_sync(FULL_MASK, lanes, 5)
+        assert np.all(out == 5.0)
+
+    def test_per_lane_src(self, warp, lanes):
+        src = (np.arange(WARP_SIZE) + 1) % WARP_SIZE
+        out = warp.shfl_sync(FULL_MASK, lanes, src)
+        assert np.array_equal(out, src.astype(float))
+
+    def test_src_wraps_modulo_width(self, warp, lanes):
+        out = warp.shfl_sync(FULL_MASK, lanes, 33)
+        assert np.all(out == 1.0)  # 33 % 32
+
+    def test_negative_src_wraps(self, warp, lanes):
+        """CUDA takes srcLane modulo width; -1 resolves to lane 31."""
+        out = warp.shfl_sync(FULL_MASK, lanes, -1)
+        assert np.all(out == 31.0)
+
+    def test_subwarp_width(self, warp, lanes):
+        out = warp.shfl_sync(FULL_MASK, lanes, 1, width=8)
+        expected = (np.arange(WARP_SIZE) & ~7) + 1
+        assert np.array_equal(out, expected.astype(float))
+
+    def test_scalar_value_broadcasts(self, warp):
+        out = warp.shfl_sync(FULL_MASK, 3.5, 0)
+        assert np.all(out == 3.5)
+
+    def test_rejects_partial_mask(self, warp, lanes):
+        with pytest.raises(ValidationError):
+            warp.shfl_sync(0xFFFF, lanes, 0)
+
+
+class TestShflDownUp:
+    def test_down_basic(self, warp, lanes):
+        out = warp.shfl_down_sync(FULL_MASK, lanes, 4)
+        assert out[0] == 4.0 and out[27] == 31.0
+
+    def test_down_boundary_keeps_own(self, warp, lanes):
+        out = warp.shfl_down_sync(FULL_MASK, lanes, 4)
+        assert np.array_equal(out[28:], lanes[28:])
+
+    def test_down_subwarp(self, warp, lanes):
+        out = warp.shfl_down_sync(FULL_MASK, lanes, 2, width=4)
+        # lane 2's source (4) crosses the width-4 boundary -> keeps own
+        assert out[0] == 2.0 and out[2] == 2.0
+
+    def test_up_basic(self, warp, lanes):
+        out = warp.shfl_up_sync(FULL_MASK, lanes, 3)
+        assert out[5] == 2.0
+
+    def test_up_boundary_keeps_own(self, warp, lanes):
+        out = warp.shfl_up_sync(FULL_MASK, lanes, 3)
+        assert np.array_equal(out[:3], lanes[:3])
+
+    def test_paper_reduction_offsets(self, warp):
+        """The 9/18 shfl_down pattern of Algorithm 2 sums lanes 0/9/18/27."""
+        v = np.zeros(WARP_SIZE)
+        v[[0, 9, 18, 27]] = [1.0, 2.0, 4.0, 8.0]
+        v = v + warp.shfl_down_sync(FULL_MASK, v, 9)
+        v = v + warp.shfl_down_sync(FULL_MASK, v, 18)
+        assert v[0] == 15.0
+
+
+class TestShflXor:
+    def test_butterfly_pairs(self, warp, lanes):
+        out = warp.shfl_xor_sync(FULL_MASK, lanes, 1)
+        assert out[0] == 1.0 and out[1] == 0.0
+
+    def test_reduce_sum_all_lanes(self, warp, lanes):
+        out = warp.reduce_sum(lanes)
+        assert np.all(out == lanes.sum())
+
+    def test_reduce_sum_counts_shuffles(self):
+        w = Warp()
+        w.reduce_sum(np.ones(WARP_SIZE))
+        assert w.shfl_count == 5  # log2(32) butterfly steps
+
+
+class TestBallot:
+    def test_all_true(self, warp):
+        assert warp.ballot_sync(FULL_MASK, np.ones(WARP_SIZE, bool)) == FULL_MASK
+
+    def test_none(self, warp):
+        assert warp.ballot_sync(FULL_MASK, np.zeros(WARP_SIZE, bool)) == 0
+
+    def test_single_lane(self, warp):
+        pred = np.zeros(WARP_SIZE, bool)
+        pred[7] = True
+        assert warp.ballot_sync(FULL_MASK, pred) == 1 << 7
+
+
+class TestRegisters:
+    def test_zeros_shape(self, warp):
+        assert warp.zeros().shape == (WARP_SIZE,)
+
+    def test_rejects_bad_register_shape(self, warp):
+        with pytest.raises(ValidationError):
+            warp.shfl_sync(FULL_MASK, np.zeros(5), 0)
+
+    def test_shfl_count_increments(self, warp, lanes):
+        before = warp.shfl_count
+        warp.shfl_sync(FULL_MASK, lanes, 0)
+        warp.shfl_down_sync(FULL_MASK, lanes, 1)
+        assert warp.shfl_count == before + 2

@@ -1,0 +1,110 @@
+"""End-to-end integration tests across subsystems."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import CSRMatrix, DASPMatrix, dasp_spmv
+from repro.analysis import speedup_summary
+from repro.bench import run_comparison
+from repro.core import DASPMethod
+from repro.formats import read_matrix_market, write_matrix_market
+from repro.matrices import representative_suite, suite_by_name, synthetic_collection
+from repro.precision import cast_matrix_fp16, relative_l2_error
+
+
+class TestMatrixMarketToDASP:
+    """File -> CSR -> DASP -> SpMV pipeline, like a downstream user."""
+
+    def test_full_pipeline(self, rng):
+        csr = suite_by_name("cant").matrix()
+        buf = io.StringIO()
+        write_matrix_market(csr, buf)
+        loaded = read_matrix_market(buf.getvalue()).to_csr()
+        x = rng.standard_normal(loaded.shape[1])
+        y = dasp_spmv(loaded, x)
+        assert np.allclose(y, csr.matvec(x), rtol=1e-9)
+
+
+class TestSuiteCorrectness:
+    @pytest.mark.parametrize("name", ["mc2depi", "dc2", "conf5_4-8x8-10",
+                                      "webbase-1M", "mip1"])
+    def test_dasp_on_representative(self, name, rng):
+        csr = suite_by_name(name).matrix()
+        x = rng.standard_normal(csr.shape[1])
+        assert np.allclose(dasp_spmv(csr, x), csr.matvec(x), rtol=1e-9)
+
+
+class TestIterativeSolverUsage:
+    def test_power_iteration_converges(self, rng):
+        """Repeated DASP SpMV inside a power iteration must match the
+        dominant eigenvalue from NumPy on a small symmetric matrix."""
+        n = 60
+        d = rng.standard_normal((n, n))
+        d = (d + d.T) / 2
+        d[np.abs(d) < 1.2] = 0.0
+        np.fill_diagonal(d, 4.0)
+        csr = CSRMatrix.from_dense(d)
+        dasp = DASPMatrix.from_csr(csr)
+        v = rng.standard_normal(n)
+        for _ in range(200):
+            v = dasp_spmv(dasp, v)
+            v /= np.linalg.norm(v)
+        lam = v @ dasp_spmv(dasp, v)
+        assert lam == pytest.approx(np.max(np.abs(np.linalg.eigvalsh(d))),
+                                    rel=1e-4)
+
+    def test_jacobi_iteration(self, rng):
+        """Solve a diagonally dominant system with Jacobi using DASP for
+        the off-diagonal product."""
+        n = 80
+        d = rng.uniform(-1, 1, (n, n))
+        d[rng.random((n, n)) < 0.8] = 0.0
+        np.fill_diagonal(d, 0.0)
+        diag = np.abs(d).sum(axis=1) + 1.0
+        full = d + np.diag(diag)
+        b = rng.standard_normal(n)
+        off = DASPMatrix.from_csr(CSRMatrix.from_dense(d))
+        x = np.zeros(n)
+        for _ in range(100):
+            x = (b - dasp_spmv(off, x)) / diag
+        assert np.allclose(full @ x, b, atol=1e-8)
+
+
+class TestMixedPrecisionPipeline:
+    def test_fp16_matrix_fp32_result(self, rng):
+        csr = suite_by_name("mc2depi").matrix()
+        half = cast_matrix_fp16(csr)
+        x = rng.uniform(-1, 1, csr.shape[1]).astype(np.float16)
+        y16 = dasp_spmv(half, x)
+        y64 = csr.matvec(x.astype(np.float64))
+        assert relative_l2_error(y16, y64) < 1e-2
+
+
+class TestComparisonPipeline:
+    def test_small_sweep_with_speedups(self, rng):
+        entries = synthetic_collection(6, seed=99, min_nnz=3000,
+                                       max_nnz=20000)
+        res = run_comparison(entries, device="A100",
+                             check_correctness=True)
+        s = speedup_summary(res.times["DASP"], res.times["CSR5"], "CSR5")
+        assert s.total == 6
+        assert s.geomean > 0
+
+    def test_h800_differs_from_a100(self, rng):
+        entries = synthetic_collection(3, seed=5, min_nnz=5000,
+                                       max_nnz=20000)
+        a = run_comparison(entries, device="A100", methods=("DASP",))
+        h = run_comparison(entries, device="H800", methods=("DASP",))
+        for name in a.times["DASP"]:
+            assert a.times["DASP"][name] != h.times["DASP"][name]
+
+
+class TestMethodMeasurement:
+    def test_measure_includes_parts(self):
+        csr = suite_by_name("scircuit").matrix()
+        meas = DASPMethod().measure(csr, "A100", matrix_name="scircuit")
+        assert meas.parts.total == pytest.approx(meas.time_s)
+        assert meas.matrix == "scircuit"
+        assert meas.device == "A100-PCIe-40GB"

@@ -1,0 +1,59 @@
+"""Tests for the synthetic collection (SuiteSparse stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import iter_matrices, synthetic_collection
+
+
+class TestCollection:
+    def test_count(self):
+        assert len(synthetic_collection(25, seed=1)) == 25
+
+    def test_unique_names(self):
+        entries = synthetic_collection(40, seed=2)
+        names = [e.name for e in entries]
+        assert len(set(names)) == len(names)
+
+    def test_deterministic_across_calls(self):
+        a = synthetic_collection(10, seed=3)
+        b = synthetic_collection(10, seed=3)
+        for ea, eb in zip(a, b):
+            assert ea.name == eb.name
+            ma, mb = ea.matrix(), eb.matrix()
+            assert ma.shape == mb.shape and ma.nnz == mb.nnz
+
+    def test_lazy_build_independent_of_order(self):
+        entries = synthetic_collection(6, seed=4)
+        first = entries[3].matrix()
+        # building other entries must not change entry 3
+        entries[0].matrix()
+        again = entries[3].matrix()
+        assert np.array_equal(first.data, again.data)
+
+    def test_family_diversity(self):
+        entries = synthetic_collection(80, seed=5)
+        families = {e.family for e in entries}
+        assert len(families) >= 6
+
+    def test_size_range(self):
+        entries = synthetic_collection(30, seed=6, min_nnz=5_000,
+                                       max_nnz=50_000)
+        for e in entries:
+            nnz = e.matrix().nnz
+            # generators only approximate the target; allow slack
+            assert 500 < nnz < 200_000, (e.name, nnz)
+
+    def test_iter_matrices(self):
+        entries = synthetic_collection(4, seed=7)
+        pairs = list(iter_matrices(entries))
+        assert len(pairs) == 4
+        for name, csr in pairs:
+            assert isinstance(name, str)
+            csr.validate()
+
+    def test_all_matrices_valid(self):
+        for e in synthetic_collection(20, seed=8):
+            m = e.matrix()
+            m.validate()
+            assert m.nnz > 0

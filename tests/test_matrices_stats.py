@@ -1,0 +1,118 @@
+"""Tests for row-length / structure statistics."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.matrices import (
+    blockiness,
+    category_ratios,
+    column_locality,
+    gini_coefficient,
+    row_length_stats,
+    warp_imbalance,
+)
+from tests.conftest import random_csr
+
+
+class TestRowLengthStats:
+    def test_basic_fields(self, rng):
+        csr = random_csr(50, 100, rng)
+        s = row_length_stats(csr)
+        lens = csr.row_lengths()
+        assert s.rows == 50 and s.nnz == csr.nnz
+        assert s.min_len == lens.min() and s.max_len == lens.max()
+        assert s.mean_len == pytest.approx(lens.mean())
+        assert s.empty_rows == np.count_nonzero(lens == 0)
+
+    def test_empty_matrix(self):
+        s = row_length_stats(CSRMatrix.empty((0, 5)))
+        assert s.rows == 0 and s.nnz == 0
+
+    def test_imbalance_hint(self, rng):
+        csr = random_csr(50, 100, rng)
+        s = row_length_stats(csr)
+        assert s.imbalance_hint == pytest.approx(s.max_len / s.mean_len)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 100.0
+        assert gini_coefficient(v) > 0.99
+
+    def test_empty(self):
+        assert gini_coefficient(np.zeros(0)) == 0.0
+
+    def test_bounds(self, rng):
+        v = rng.pareto(1.5, 500)
+        assert 0.0 <= gini_coefficient(v) <= 1.0
+
+
+class TestCategoryRatios:
+    def test_row_shares_sum_to_one(self, profiled_matrix):
+        c = category_ratios(profiled_matrix)
+        assert sum(c.row_shares().values()) == pytest.approx(1.0)
+
+    def test_nnz_shares_sum_to_one(self, profiled_matrix):
+        c = category_ratios(profiled_matrix)
+        if profiled_matrix.nnz:
+            assert sum(c.nnz_shares().values()) == pytest.approx(1.0)
+
+    def test_boundaries(self, rng):
+        csr = random_csr(10, 600, rng,
+                         row_len_sampler=lambda r, m: np.array(
+                             [0, 1, 4, 5, 256, 257, 300, 2, 3, 100]))
+        c = category_ratios(csr)
+        assert c.row_empty == pytest.approx(0.1)
+        assert c.row_short == pytest.approx(0.4)
+        assert c.row_medium == pytest.approx(0.3)
+        assert c.row_long == pytest.approx(0.2)
+
+
+class TestWarpImbalance:
+    def test_uniform_is_one(self, rng):
+        csr = random_csr(64, 500, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 7))
+        assert warp_imbalance(csr) == pytest.approx(1.0)
+
+    def test_skew_grows(self, rng):
+        lens = np.full(64, 1, dtype=np.int64)
+        lens[0] = 500
+        csr = random_csr(64, 1000, rng, row_len_sampler=lambda r, m: lens)
+        assert warp_imbalance(csr) > 5
+
+    def test_empty(self):
+        assert warp_imbalance(CSRMatrix.empty((3, 3))) == 1.0
+
+
+class TestBlockiness:
+    def test_dense_is_one(self, rng):
+        d = rng.standard_normal((16, 16))
+        assert blockiness(CSRMatrix.from_dense(d)) == pytest.approx(1.0)
+
+    def test_scattered_is_zero(self, rng):
+        csr = random_csr(64, 8192, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 2))
+        assert blockiness(csr) < 0.05
+
+    def test_empty(self):
+        assert blockiness(CSRMatrix.empty((4, 4))) == 0.0
+
+
+class TestColumnLocality:
+    def test_contiguous_rows_high(self):
+        d = np.zeros((8, 64))
+        d[:, 10:20] = 1.0
+        assert column_locality(CSRMatrix.from_dense(d)) == pytest.approx(1.0)
+
+    def test_scattered_low(self, rng):
+        csr = random_csr(32, 100000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 30))
+        assert column_locality(csr) < 0.3
+
+    def test_tiny_matrix(self):
+        assert column_locality(CSRMatrix.empty((2, 2))) == 1.0

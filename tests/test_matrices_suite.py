@@ -1,0 +1,99 @@
+"""Tests for the representative / highlight suites (Table 2 stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.core import classify_rows
+from repro.matrices import (
+    category_ratios,
+    highlight_suite,
+    representative_suite,
+    suite_by_name,
+)
+
+PAPER_TABLE2_NAMES = {
+    "pwtk", "FullChip", "mip1", "mc2depi", "webbase-1M", "circuit5M",
+    "Si41Ge41H72", "Ga41As41H72", "in-2004", "eu-2005", "shipsec1",
+    "mac_econ_fwd500", "scircuit", "pdb1HYS", "consph", "cant",
+    "cop20k_A", "dc2", "rma10", "conf5_4-8x8-10", "ASIC_680k",
+}
+
+
+class TestRepresentativeSuite:
+    def test_has_21_matrices(self):
+        assert len(representative_suite()) == 21
+
+    def test_names_match_table2(self):
+        assert {e.name for e in representative_suite()} == PAPER_TABLE2_NAMES
+
+    def test_paper_metadata_recorded(self):
+        for e in representative_suite():
+            assert e.paper_nnz > 0
+            assert e.paper_shape[0] > 0 and e.paper_shape[1] > 0
+
+    def test_matrices_buildable_and_valid(self):
+        for e in representative_suite():
+            csr = e.matrix()
+            csr.validate()
+            assert csr.nnz > 1000, e.name
+
+    def test_deterministic(self):
+        e = suite_by_name("cant")
+        a, b = e.matrix(), e.matrix()
+        assert np.array_equal(a.data, b.data)
+
+
+class TestStructuralFidelity:
+    """Category profiles must match what the paper says about each matrix."""
+
+    def test_mc2depi_all_short(self):
+        c = category_ratios(suite_by_name("mc2depi").matrix())
+        assert c.row_short > 0.99 and c.nnz_short > 0.99
+
+    def test_fem_matrices_all_medium(self):
+        for name in ("pwtk", "cant", "consph", "shipsec1", "rma10"):
+            c = category_ratios(suite_by_name(name).matrix())
+            assert c.row_medium > 0.95, name
+
+    def test_cop20k_has_empty_rows(self):
+        cls = classify_rows(suite_by_name("cop20k_A").matrix())
+        assert cls.n_empty > 1000  # paper: 21349 at full scale
+
+    def test_quantum_chem_long_tail(self):
+        for name in ("Si41Ge41H72", "Ga41As41H72"):
+            c = category_ratios(suite_by_name(name).matrix())
+            assert c.nnz_long > 0.1, name
+
+    def test_circuit_mixed_categories(self):
+        for name in ("FullChip", "dc2", "circuit5M"):
+            c = category_ratios(suite_by_name(name).matrix())
+            assert c.row_short > 0.2 and c.nnz_long > 0.05, name
+
+    def test_webbase_short_dominated(self):
+        c = category_ratios(suite_by_name("webbase-1M").matrix())
+        assert c.row_short > 0.7
+
+
+class TestHighlightSuite:
+    def test_names(self):
+        assert {e.name for e in highlight_suite()} == {
+            "rel19", "kron_g500-logn20", "mycielskian18", "lp_osa_60",
+            "wiki-Talk", "bibd_20_10"}
+
+    def test_rel19_all_short(self):
+        c = category_ratios(suite_by_name("rel19").matrix())
+        assert c.nnz_short > 0.99
+
+    def test_bibd_all_long(self):
+        c = category_ratios(suite_by_name("bibd_20_10").matrix())
+        assert c.nnz_long > 0.99
+
+    def test_wiki_talk_skew(self):
+        csr = suite_by_name("wiki-Talk").matrix()
+        lens = csr.row_lengths()
+        top = np.sort(lens)[::-1][: max(lens.size // 100, 1)]
+        assert top.sum() > 0.25 * lens.sum()  # few rows hold most nonzeros
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            suite_by_name("not_a_matrix")

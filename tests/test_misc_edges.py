@@ -1,0 +1,115 @@
+"""Miscellaneous edge-case coverage across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.baselines import CSR5Method
+from repro.core import DASPMethod
+from repro.formats import CSRMatrix, read_matrix_market
+from repro.gpu import A100, DeviceSpec, H800
+from tests.conftest import random_csr
+
+
+class TestMmioRobustness:
+    def test_comments_interleaved_with_entries(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "% header comment\n"
+                "2 2 2\n"
+                "1 1 1.0\n"
+                "% mid-data comment\n"
+                "2 2 2.0\n")
+        dense = read_matrix_market(text).to_dense()
+        assert dense[0, 0] == 1.0 and dense[1, 1] == 2.0
+
+    def test_blank_lines_skipped(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n\n"
+                "1 1 1\n\n1 1 4.0\n\n")
+        assert read_matrix_market(text).to_dense()[0, 0] == 4.0
+
+    def test_scientific_notation_values(self):
+        text = ("%%MatrixMarket matrix coordinate real general\n"
+                "1 1 1\n1 1 -3.5e-12\n")
+        assert read_matrix_market(text).val[0] == -3.5e-12
+
+
+class TestMethodInterface:
+    def test_measure_rejects_unsupported_dtype(self, rng):
+        csr = random_csr(10, 10, rng, dtype=np.float16)
+        with pytest.raises(ValidationError):
+            CSR5Method().measure(csr, "A100")
+
+    def test_measure_accepts_device_name_and_spec(self, rng):
+        csr = random_csr(10, 10, rng)
+        by_name = DASPMethod().measure(csr, "A100")
+        by_spec = DASPMethod().measure(csr, A100)
+        assert by_name.time_s == by_spec.time_s
+
+
+class TestCustomDevice:
+    def test_custom_spec_usable(self, rng):
+        little = DeviceSpec(
+            name="Little-GPU", arch="Test", sms=16, clock_ghz=1.0,
+            mem_bw_gbs=300.0, triad_efficiency=0.85, l2_bytes=4 << 20,
+            fp64_cuda_tflops=1.0, fp32_cuda_tflops=2.0,
+            fp64_tensor_tflops=2.0, fp16_tensor_tflops=30.0)
+        csr = random_csr(100, 100, rng)
+        slow = DASPMethod().measure(csr, little)
+        fast = DASPMethod().measure(csr, A100)
+        assert slow.time_s > fast.time_s
+
+    def test_fp64_tensorless_device_rejected(self):
+        nodp = DeviceSpec(
+            name="NoDP", arch="Test", sms=16, clock_ghz=1.0,
+            mem_bw_gbs=300.0, triad_efficiency=0.85, l2_bytes=4 << 20,
+            fp64_cuda_tflops=1.0, fp32_cuda_tflops=2.0,
+            fp64_tensor_tflops=0.0, fp16_tensor_tflops=30.0)
+        with pytest.raises(ValidationError, match="lacks FP64 MMA"):
+            nodp.tensor_flops(64)
+
+
+class TestWideAndDegenerateShapes:
+    def test_single_row_matrix(self, rng):
+        csr = random_csr(1, 5000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 3000))
+        from repro.core import dasp_spmv
+
+        x = rng.standard_normal(5000)
+        assert np.allclose(dasp_spmv(csr, x), csr.matvec(x), rtol=1e-11)
+
+    def test_single_column_matrix(self, rng):
+        csr = random_csr(200, 1, rng,
+                         row_len_sampler=lambda r, m: r.integers(0, 2, m))
+        from repro.core import dasp_spmv
+
+        x = rng.standard_normal(1)
+        assert np.allclose(dasp_spmv(csr, x), csr.matvec(x))
+
+    def test_one_by_one(self):
+        csr = CSRMatrix((1, 1), [0, 1], [0], [2.5])
+        from repro.core import dasp_spmv
+
+        assert dasp_spmv(csr, np.array([2.0]))[0] == 5.0
+
+    def test_all_methods_on_single_dense_row(self, rng):
+        from repro.baselines import paper_methods
+
+        csr = random_csr(1, 2000, rng,
+                         row_len_sampler=lambda r, m: np.full(m, 1500))
+        x = rng.standard_normal(2000)
+        ref = csr.matvec(x)
+        for method in paper_methods():
+            y = method.run(method.prepare(csr), x)
+            assert np.allclose(y, ref, rtol=1e-9), method.name
+
+
+class TestH800Modeling:
+    def test_fp16_faster_on_h800_than_a100(self, rng):
+        csr = random_csr(2000, 2000, rng, dtype=np.float16,
+                         row_len_sampler=lambda r, m: np.full(m, 30))
+        t_a = DASPMethod().measure(csr, "A100").time_s
+        t_h = DASPMethod().measure(csr, "H800").time_s
+        assert t_h < t_a  # 2048 vs 1555 GB/s
+
+    def test_h800_has_capped_fp64(self):
+        assert H800.fp64_tensor_tflops < A100.fp64_tensor_tflops

@@ -1,0 +1,128 @@
+"""Tests for the FP16 precision substrate and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.precision import (
+    FP16_EPS,
+    FP16_MAX,
+    FP16_MIN_NORMAL,
+    cast_matrix_fp16,
+    fp16_mma_dot,
+    max_relative_error,
+    relative_l2_error,
+    representable_fraction,
+    to_fp16,
+    ulps_fp16,
+)
+from tests.conftest import random_csr
+
+
+class TestToFp16:
+    def test_basic_cast(self):
+        assert to_fp16([1.0, 2.0]).dtype == np.float16
+
+    def test_strict_overflow_raises(self):
+        with pytest.raises(ValidationError, match="overflow"):
+            to_fp16([1e6], strict=True)
+
+    def test_strict_underflow_raises(self):
+        with pytest.raises(ValidationError, match="underflow"):
+            to_fp16([1e-9], strict=True)
+
+    def test_nonstrict_overflow_is_inf(self):
+        assert np.isinf(to_fp16([1e6])[0])
+
+    def test_strict_accepts_representable(self):
+        out = to_fp16([0.0, 1.0, -65000.0, 0.001], strict=True)
+        assert out.dtype == np.float16
+
+    def test_constants(self):
+        assert FP16_MAX == pytest.approx(65504.0)
+        assert FP16_MIN_NORMAL == pytest.approx(6.104e-5, rel=1e-3)
+        assert FP16_EPS == pytest.approx(2 ** -11)
+
+
+class TestMmaDot:
+    def test_fp32_accumulation_avoids_overflow(self):
+        a = np.full(100, 100.0)
+        b = np.full(100, 100.0)
+        out = fp16_mma_dot(a, b)
+        assert out.dtype == np.float32
+        assert out == pytest.approx(1e6)
+
+    def test_inputs_rounded_to_fp16(self):
+        a = np.array([1.0 + 2 ** -12])  # rounds to 1.0 in fp16
+        b = np.array([1.0])
+        assert fp16_mma_dot(a, b) == np.float32(1.0)
+
+
+class TestCastMatrix:
+    def test_cast(self, rng):
+        csr = random_csr(10, 10, rng)
+        half = cast_matrix_fp16(csr)
+        assert half.data.dtype == np.float16
+        assert half.shape == csr.shape
+
+    def test_strict_mode(self, rng):
+        csr = random_csr(10, 10, rng)
+        csr.data[0] = 1e9
+        with pytest.raises(ValidationError):
+            cast_matrix_fp16(csr, strict=True)
+
+
+class TestRepresentableFraction:
+    def test_all_good(self):
+        assert representable_fraction([1.0, -2.0, 0.0]) == 1.0
+
+    def test_half_bad(self):
+        assert representable_fraction([1.0, 1e9]) == 0.5
+
+    def test_empty(self):
+        assert representable_fraction([]) == 1.0
+
+
+class TestErrorMetrics:
+    def test_l2_zero_for_equal(self):
+        y = np.array([1.0, 2.0])
+        assert relative_l2_error(y, y) == 0.0
+
+    def test_l2_scale(self):
+        assert relative_l2_error([1.1, 0.0], [1.0, 0.0]) == pytest.approx(0.1)
+
+    def test_l2_zero_reference(self):
+        assert relative_l2_error([1.0], [0.0]) == pytest.approx(1.0)
+
+    def test_max_rel(self):
+        assert max_relative_error([2.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_max_rel_empty(self):
+        assert max_relative_error([], []) == 0.0
+
+    def test_ulps_adjacent(self):
+        one = np.float16(1.0)
+        next_up = np.nextafter(one, np.float16(2.0), dtype=np.float16)
+        assert ulps_fp16([next_up], [one])[0] == 1
+
+    def test_ulps_sign_crossing(self):
+        d = ulps_fp16([np.float16(-0.0)], [np.float16(0.0)])[0]
+        assert d == 0  # -0 and +0 map to the same ordered value
+
+    def test_ulps_symmetric(self):
+        a, b = np.float16(1.5), np.float16(1.75)
+        assert ulps_fp16([a], [b])[0] == ulps_fp16([b], [a])[0]
+
+
+class TestDaspFp16EndToEnd:
+    def test_error_bounded_by_row_length(self, rng):
+        """FP32 accumulation keeps relative error near FP16 unit roundoff
+        of the inputs, not sqrt(n) of it."""
+        from repro.core import dasp_spmv
+
+        csr = random_csr(64, 512, rng, dtype=np.float16,
+                         row_len_sampler=lambda r, m: np.full(m, 64))
+        x = rng.uniform(-1, 1, 512).astype(np.float16)
+        y = dasp_spmv(csr, x)
+        exact = csr.astype(np.float64).matvec(x.astype(np.float64))
+        assert relative_l2_error(y, exact) < 5e-3

@@ -1,0 +1,154 @@
+"""Tests for the iterative solver layer."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.baselines import CSR5Method, MergeCSRMethod
+from repro.formats import CSRMatrix
+from repro.solvers import SpMVOperator, bicgstab, conjugate_gradient, jacobi
+
+
+def spd_matrix(n, rng, density=0.1):
+    d = rng.standard_normal((n, n))
+    d[rng.random((n, n)) > density] = 0.0
+    sym = d @ d.T + np.eye(n) * (np.abs(d).sum() / n + 1.0)
+    return CSRMatrix.from_dense(sym), sym
+
+
+def dominant_matrix(n, rng, density=0.15):
+    d = rng.standard_normal((n, n))
+    d[rng.random((n, n)) > density] = 0.0
+    np.fill_diagonal(d, np.abs(d).sum(axis=1) + 1.0)
+    return CSRMatrix.from_dense(d), d
+
+
+class TestOperator:
+    def test_counts_applications(self, rng):
+        csr, _ = dominant_matrix(20, rng)
+        op = SpMVOperator(csr)
+        op.apply(np.ones(20))
+        op.apply(np.ones(20))
+        assert op.applications == 2
+
+    def test_matmul_syntax(self, rng):
+        csr, dense = dominant_matrix(20, rng)
+        op = SpMVOperator(csr)
+        assert np.allclose(op @ np.ones(20), dense @ np.ones(20))
+
+    def test_custom_method(self, rng):
+        csr, dense = dominant_matrix(20, rng)
+        op = SpMVOperator(csr, method=CSR5Method())
+        assert np.allclose(op.apply(np.ones(20)), dense @ np.ones(20))
+
+    def test_modeled_cost(self, rng):
+        csr, _ = dominant_matrix(30, rng)
+        op = SpMVOperator(csr)
+        for _ in range(5):
+            op.apply(np.ones(30))
+        cost = op.modeled_cost("A100")
+        assert cost["applications"] == 5
+        assert cost["total_s"] == pytest.approx(
+            cost["preprocess_s"] + 5 * cost["per_spmv_s"])
+
+    def test_dtype_check(self, rng):
+        csr, _ = dominant_matrix(10, rng)
+        with pytest.raises(ValidationError):
+            SpMVOperator(csr.astype(np.float16), method=CSR5Method())
+
+
+class TestCG:
+    def test_solves_spd(self, rng):
+        csr, dense = spd_matrix(60, rng)
+        b = rng.standard_normal(60)
+        res = conjugate_gradient(csr, b, tol=1e-12)
+        assert res.converged
+        assert np.allclose(dense @ res.x, b, atol=1e-7)
+
+    def test_residual_history_decreases(self, rng):
+        csr, _ = spd_matrix(40, rng)
+        res = conjugate_gradient(csr, rng.standard_normal(40), tol=1e-12)
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+    def test_jacobi_preconditioner_helps_or_matches(self, rng):
+        csr, dense = spd_matrix(50, rng)
+        diag = np.diagonal(dense).copy()
+        b = rng.standard_normal(50)
+        plain = conjugate_gradient(csr, b, tol=1e-10)
+        pre = conjugate_gradient(csr, b, tol=1e-10, preconditioner=diag)
+        assert pre.converged
+        assert pre.iterations <= plain.iterations * 2
+
+    def test_requires_square(self, rng):
+        from tests.conftest import random_csr
+
+        with pytest.raises(ValidationError):
+            conjugate_gradient(random_csr(4, 6, rng), np.zeros(6))
+
+    def test_wrong_b(self, rng):
+        csr, _ = spd_matrix(10, rng)
+        with pytest.raises(ValidationError):
+            conjugate_gradient(csr, np.zeros(9))
+
+    def test_max_iter_limits(self, rng):
+        csr, _ = spd_matrix(60, rng)
+        res = conjugate_gradient(csr, rng.standard_normal(60), tol=1e-14,
+                                 max_iter=2)
+        assert not res.converged and res.iterations == 2
+
+    def test_accepts_operator(self, rng):
+        csr, dense = spd_matrix(30, rng)
+        op = SpMVOperator(csr)
+        res = conjugate_gradient(op, rng.standard_normal(30))
+        assert res.converged
+        assert op.applications == res.iterations
+
+
+class TestBiCGSTAB:
+    def test_solves_nonsymmetric(self, rng):
+        csr, dense = dominant_matrix(60, rng)
+        b = rng.standard_normal(60)
+        res = bicgstab(csr, b, tol=1e-11)
+        assert res.converged
+        assert np.allclose(dense @ res.x, b, atol=1e-6)
+
+    def test_matches_numpy_solution(self, rng):
+        csr, dense = dominant_matrix(40, rng)
+        b = rng.standard_normal(40)
+        res = bicgstab(csr, b, tol=1e-12)
+        assert np.allclose(res.x, np.linalg.solve(dense, b), atol=1e-7)
+
+    def test_uses_merge_method(self, rng):
+        csr, dense = dominant_matrix(30, rng)
+        op = SpMVOperator(csr, method=MergeCSRMethod())
+        res = bicgstab(op, rng.standard_normal(30))
+        assert res.converged
+
+
+class TestJacobi:
+    def test_solves_dominant(self, rng):
+        csr, dense = dominant_matrix(50, rng)
+        b = rng.standard_normal(50)
+        res = jacobi(csr, b, tol=1e-11)
+        assert res.converged
+        assert np.allclose(dense @ res.x, b, atol=1e-7)
+
+    def test_rejects_zero_diagonal(self, rng):
+        d = np.array([[0.0, 1.0], [1.0, 2.0]])
+        with pytest.raises(ValidationError):
+            jacobi(CSRMatrix.from_dense(d), np.ones(2))
+
+    def test_large_matrix_diagonal_extraction(self, rng):
+        """n > 2048 exercises the sparse diagonal extraction path."""
+        n = 2100
+        diag_vals = rng.uniform(5, 10, n)
+        off = np.arange(n - 1)
+        from repro.formats import COOMatrix
+
+        rows = np.concatenate([np.arange(n), off])
+        cols = np.concatenate([np.arange(n), off + 1])
+        vals = np.concatenate([diag_vals, rng.uniform(-1, 1, n - 1)])
+        csr = COOMatrix((n, n), rows, cols, vals).to_csr()
+        b = rng.standard_normal(n)
+        res = jacobi(csr, b, tol=1e-10)
+        assert res.converged

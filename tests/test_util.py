@@ -1,0 +1,136 @@
+"""Tests for repro._util helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    ReproError,
+    ValidationError,
+    as_index_array,
+    as_ptr_array,
+    as_value_array,
+    ceil_div,
+    check,
+    default_rng,
+    geomean,
+    lengths_to_ptr,
+    ptr_to_lengths,
+    round_up,
+    validate_shape,
+)
+
+
+class TestCheck:
+    def test_passes_silently(self):
+        check(True, "never raised")
+
+    def test_raises_validation_error(self):
+        with pytest.raises(ValidationError, match="boom"):
+            check(False, "boom")
+
+    def test_validation_error_is_repro_error(self):
+        assert issubclass(ValidationError, ReproError)
+
+
+class TestArrayCoercion:
+    def test_value_array_promotes_int(self):
+        arr = as_value_array([1, 2, 3])
+        assert arr.dtype == np.float64
+
+    def test_value_array_keeps_float32(self):
+        arr = as_value_array(np.zeros(3, dtype=np.float32))
+        assert arr.dtype == np.float32
+
+    def test_value_array_explicit_dtype(self):
+        arr = as_value_array([1.0, 2.0], dtype=np.float16)
+        assert arr.dtype == np.float16
+
+    def test_value_array_flattens(self):
+        assert as_value_array(np.ones((2, 3))).shape == (6,)
+
+    def test_index_array_dtype(self):
+        assert as_index_array([1, 2]).dtype == np.int32
+
+    def test_index_array_rejects_fractional(self):
+        with pytest.raises(ValidationError):
+            as_index_array([1.5])
+
+    def test_index_array_accepts_whole_floats(self):
+        out = as_index_array([1.0, 2.0])
+        assert list(out) == [1, 2]
+
+    def test_ptr_array_requires_entry(self):
+        with pytest.raises(ValidationError):
+            as_ptr_array([])
+
+    def test_ptr_array_dtype(self):
+        assert as_ptr_array([0, 3]).dtype == np.int64
+
+
+class TestValidateShape:
+    def test_normalizes(self):
+        assert validate_shape((np.int64(3), 4.0)) == (3, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            validate_shape((-1, 4))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValidationError):
+            validate_shape((1, 2, 3))
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(geomean([]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            geomean([1.0, 0.0])
+
+    def test_matches_numpy(self):
+        vals = np.random.default_rng(0).uniform(0.1, 10, 50)
+        assert geomean(vals) == pytest.approx(np.exp(np.log(vals).mean()))
+
+
+class TestPrefixSums:
+    def test_lengths_to_ptr(self):
+        assert list(lengths_to_ptr([2, 0, 3])) == [0, 2, 2, 5]
+
+    def test_roundtrip(self):
+        lens = np.array([0, 5, 1, 0, 7])
+        assert list(ptr_to_lengths(lengths_to_ptr(lens))) == list(lens)
+
+    def test_empty(self):
+        assert list(lengths_to_ptr([])) == [0]
+
+
+class TestIntegerHelpers:
+    @pytest.mark.parametrize("a,b,expected", [(0, 4, 0), (1, 4, 1), (4, 4, 1),
+                                              (5, 4, 2), (63, 64, 1), (64, 64, 1)])
+    def test_ceil_div(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_ceil_div_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            ceil_div(3, 0)
+
+    @pytest.mark.parametrize("a,m,expected", [(0, 8, 0), (1, 8, 8), (8, 8, 8),
+                                              (9, 8, 16)])
+    def test_round_up(self, a, m, expected):
+        assert round_up(a, m) == expected
+
+
+class TestDefaultRng:
+    def test_passthrough(self):
+        g = np.random.default_rng(1)
+        assert default_rng(g) is g
+
+    def test_seed_deterministic(self):
+        assert default_rng(5).integers(1 << 30) == default_rng(5).integers(1 << 30)
