@@ -19,7 +19,18 @@ Quickstart::
 See README.md / DESIGN.md / EXPERIMENTS.md for the full map.
 """
 
-from . import analysis, baselines, bench, core, formats, gpu, matrices, precision, solvers
+from . import (
+    analysis,
+    baselines,
+    bench,
+    core,
+    formats,
+    gpu,
+    matrices,
+    precision,
+    serve,
+    solvers,
+)
 from ._util import ReproError, ValidationError, geomean
 from .core import DASPMatrix, DASPMethod, dasp_spmm, dasp_spmv
 from .formats import BSRMatrix, COOMatrix, CSRMatrix, ELLMatrix, to_csr
@@ -52,6 +63,7 @@ __all__ = [
     "gpu",
     "matrices",
     "precision",
+    "serve",
     "solvers",
     "to_csr",
 ]

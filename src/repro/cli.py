@@ -15,6 +15,10 @@ Commands
 ``convert``
     Convert between MatrixMarket ``.mtx`` and compressed ``.npz``
     matrix files (either direction, by extension).
+``serve-sim``
+    Simulate the batched, plan-cached SpMV serving layer
+    (:mod:`repro.serve`) on synthetic open-loop traffic and print the
+    ServerStats summary.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ._util import ReproError
 from .analysis import speedup_summary
 from .baselines import PAPER_METHODS, paper_methods
 from .bench import markdown_table, run_comparison
@@ -41,10 +46,20 @@ from .matrices import (
 
 
 def _load_matrix(spec: str):
-    """Resolve a matrix spec: a ``.mtx`` path or a named suite matrix."""
+    """Resolve a matrix spec: a ``.mtx``/``.npz`` path or a named suite
+    matrix.  Files route by extension — an ``.npz`` is NumPy-compressed
+    (``matrices.io``), not MatrixMarket text."""
     path = Path(spec)
-    if path.suffix == ".mtx" or path.exists():
+    if path.suffix == ".mtx":
         return read_matrix_market(str(path)).to_csr()
+    if path.suffix == ".npz":
+        from .matrices.io import load_csr
+
+        return load_csr(path)
+    if path.exists():
+        raise ReproError(
+            f"cannot load {spec!r}: unsupported extension {path.suffix!r} "
+            "(use .mtx or .npz)")
     return suite_by_name(spec).matrix()
 
 
@@ -129,6 +144,37 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def cmd_serve_sim(args) -> int:
+    from .serve import WorkloadConfig, compare_batched_unbatched, run_workload
+
+    cfg = WorkloadConfig(
+        n_requests=args.requests,
+        rate_rps=args.rate,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        n_matrices=args.matrices,
+        dtype=args.dtype,
+        device=args.device,
+        max_batch=args.max_batch,
+        flush_timeout_s=args.timeout_us * 1e-6,
+        cache_budget_bytes=int(args.cache_mb * 1024 * 1024),
+        queue_depth=args.queue_depth,
+    )
+    if args.compare:
+        res = compare_batched_unbatched(cfg)
+        for name in ("unbatched", "batched"):
+            print(f"\n===== {name} =====")
+            print(res[name].summary_table())
+        b, u = res["batched"], res["unbatched"]
+        if u.throughput_rps > 0:
+            print(f"\nbatched vs request-at-a-time throughput: "
+                  f"{b.throughput_rps / u.throughput_rps:.2f}x")
+        return 0
+    stats = run_workload(cfg)
+    print(stats.summary_table())
+    return 0
+
+
 def cmd_bench(args) -> int:
     entries = synthetic_collection(args.count, seed=args.seed)
     res = run_comparison(entries, device=args.device,
@@ -170,6 +216,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("source")
     p.add_argument("dest")
     p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="simulate batched, plan-cached SpMV serving (repro.serve)")
+    p.add_argument("--requests", type=int, default=2000,
+                   help="open-loop request count")
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered rate (req/s); default saturates the device")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="Zipf popularity exponent over the matrix pool")
+    p.add_argument("--matrices", type=int, default=4,
+                   help="pool size taken from the representative suite")
+    p.add_argument("--device", default="A100", choices=("A100", "H800"))
+    p.add_argument("--dtype", default="float64",
+                   choices=("float64", "float16"))
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="SpMM coalescing width (1 = request-at-a-time)")
+    p.add_argument("--timeout-us", type=float, default=200.0,
+                   help="partial-batch flush timeout (modeled us)")
+    p.add_argument("--cache-mb", type=float, default=256.0,
+                   help="plan-cache budget (MiB)")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="bounded device backlog (batches)")
+    p.add_argument("--seed", type=int, default=2023)
+    p.add_argument("--compare", action="store_true",
+                   help="also run request-at-a-time and print the speedup")
+    p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("bench", help="mini Figure 10 sweep")
     p.add_argument("--count", type=int, default=20)

@@ -18,15 +18,14 @@ from __future__ import annotations
 import numpy as np
 
 from .._util import check
-from ..gpu.device import WARP_SIZE
 from ..gpu.events import KernelEvents
-from ..gpu.kernel import SpMVMethod
-from ..gpu.memory import x_traffic_bytes
+from ..gpu.memory import rhs_block_traffic_factor
 from ..gpu.mma import MmaUnit
 from .format import DASPMatrix
 
 
-def dasp_spmm(matrix, X: np.ndarray, *, cast_output: bool = False) -> np.ndarray:
+def dasp_spmm(matrix, X: np.ndarray, *, engine: str = "vectorized",
+              cast_output: bool = False) -> np.ndarray:
     """Compute ``Y = A @ X`` for a dense block of right-hand sides.
 
     Parameters
@@ -34,7 +33,12 @@ def dasp_spmm(matrix, X: np.ndarray, *, cast_output: bool = False) -> np.ndarray
     matrix:
         A :class:`DASPMatrix` (or CSR, converted on the fly).
     X:
-        Dense ``(n, k)`` input block.
+        Dense ``(n, k)`` input block, ``k >= 1`` (``k = 1`` is the
+        column-vector form of a plain SpMV).
+    engine:
+        ``"vectorized"`` (default; NumPy batch kernels) or ``"warp"``
+        (the lane-accurate SpMV engine applied column by column —
+        validation only, as the hardware would fuse the columns).
     cast_output:
         Cast ``Y`` back to the matrix dtype (otherwise the accumulator
         dtype, FP32 for FP16 inputs).
@@ -43,6 +47,16 @@ def dasp_spmm(matrix, X: np.ndarray, *, cast_output: bool = False) -> np.ndarray
     X = np.asarray(X)
     check(X.ndim == 2 and X.shape[0] == dasp.shape[1],
           f"X must be ({dasp.shape[1]}, k)")
+    check(X.shape[1] >= 1, "X must have at least one column")
+    if engine == "warp":
+        from .spmv import dasp_spmv
+
+        cols = [dasp_spmv(dasp, X[:, j], engine="warp")
+                for j in range(X.shape[1])]
+        Y = np.stack(cols, axis=1)
+        return Y.astype(dasp.dtype) if cast_output else Y
+    if engine != "vectorized":
+        raise ValueError(f"unknown engine {engine!r}")
     s = dasp.mma_shape
     k = X.shape[1]
     Y = np.zeros((dasp.shape[0], k), dtype=s.acc_dtype)
@@ -164,34 +178,20 @@ def _short_spmm(plan, X, unit):
 def spmm_events(dasp: DASPMatrix, device, k: int) -> KernelEvents:
     """Device events for ``Y = A @ X`` with ``k`` right-hand sides.
 
-    The matrix stream is paid **once**; x gathers and y writes scale
-    with ``k``; each MMA block needs ``ceil(k / MMA_N)`` instructions.
+    The matrix stream is paid **once**; y writes and CUDA-core flops
+    scale with ``k``; each MMA block needs ``ceil(k / MMA_N)``
+    instructions; and the x gather scales by the row-major-block
+    coalescing factor (one column index fetches ``k`` contiguous
+    values), not by the naive ``k`` — see
+    :func:`repro.gpu.memory.rhs_block_traffic_factor`.
     """
     check(k >= 1, "k must be positive")
     from .method import DASPMethod
 
     base = DASPMethod().events(dasp, device)
     s = dasp.mma_shape
-    per_rhs_mma = base.mma_count  # one diagonal pass per rhs previously
-    scaled = KernelEvents(
-        bytes_val=base.bytes_val,
-        bytes_idx=base.bytes_idx,
-        bytes_ptr=base.bytes_ptr,
-        bytes_x=base.bytes_x * k,
-        bytes_y=base.bytes_y * k,
-        flops_cuda=base.flops_cuda * k,
-        flops_mma=per_rhs_mma * s.flops * (-(-k // s.n)),
-        mma_count=per_rhs_mma * (-(-k // s.n)),
-        shfl_count=base.shfl_count,
-        extra_instr=base.extra_instr,
-        atomic_count=base.atomic_count,
-        imbalance=base.imbalance,
-        mem_efficiency=base.mem_efficiency,
-        serial_iters=base.serial_iters,
-        kernel_launches=base.kernel_launches,
-        threads=base.threads,
-    )
-    return scaled
+    x_factor = rhs_block_traffic_factor(dasp.csr, dasp.dtype.itemsize, k)
+    return base.scale_rhs(k, mma_n=s.n, mma_flops=s.flops, x_factor=x_factor)
 
 
 def mma_utilization(dasp: DASPMatrix, k: int) -> float:

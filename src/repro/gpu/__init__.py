@@ -17,7 +17,12 @@ from .cost_model import (
 from .device import A100, DEVICES, H800, WARP_SIZE, DeviceSpec, get_device
 from .events import KernelEvents, PreprocessEvents, TimeParts
 from .kernel import SpMVMethod
-from .memory import effective_bandwidth, sector_counts, x_traffic_bytes
+from .memory import (
+    effective_bandwidth,
+    rhs_block_traffic_factor,
+    sector_counts,
+    x_traffic_bytes,
+)
 from .mma import (
     FP16_M8N8K4,
     FP16_M16N8K8,
@@ -79,6 +84,7 @@ __all__ = [
     "matrix_from_frag_c16",
     "mma_m16n8k8",
     "mma_m8n8k4",
+    "rhs_block_traffic_factor",
     "sector_counts",
     "shape_for_dtype",
     "spmv_gflops",

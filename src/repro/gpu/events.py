@@ -122,6 +122,43 @@ class KernelEvents:
         merged.serial_iters = max(self.serial_iters, other.serial_iters)
         return merged
 
+    def scale_rhs(self, k: int, *, mma_n: int, mma_flops: float,
+                  x_factor: float | None = None) -> "KernelEvents":
+        """Events for the same kernel consuming ``k`` right-hand sides.
+
+        This is the SpMM-batch accounting used by :func:`repro.core.spmm.
+        spmm_events` and the serving layer: the matrix stream
+        (values / indices / pointers), shuffles, bookkeeping and launch
+        structure are paid **once** for the whole batch; CUDA-core flops
+        and y writes scale with ``k``; every MMA block needs
+        ``ceil(k / mma_n)`` instructions (each worth ``mma_flops``); and
+        the x gather scales by ``x_factor`` — the caller's coalescing
+        model for the RHS block (defaults to the naive ``k``, see
+        :func:`repro.gpu.memory.rhs_block_traffic_factor` for the
+        row-major-block refinement).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        passes = -(-k // mma_n)
+        return KernelEvents(
+            bytes_val=self.bytes_val,
+            bytes_idx=self.bytes_idx,
+            bytes_ptr=self.bytes_ptr,
+            bytes_x=self.bytes_x * (float(k) if x_factor is None else x_factor),
+            bytes_y=self.bytes_y * k,
+            flops_cuda=self.flops_cuda * k,
+            flops_mma=self.mma_count * mma_flops * passes,
+            mma_count=self.mma_count * passes,
+            shfl_count=self.shfl_count,
+            atomic_count=self.atomic_count,
+            extra_instr=self.extra_instr,
+            imbalance=self.imbalance,
+            mem_efficiency=self.mem_efficiency,
+            serial_iters=self.serial_iters,
+            kernel_launches=self.kernel_launches,
+            threads=self.threads,
+        )
+
 
 @dataclass
 class PreprocessEvents:

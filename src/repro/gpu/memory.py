@@ -86,6 +86,31 @@ def x_traffic_bytes(csr, value_bytes: int, device: DeviceSpec,
     return dram_bytes + per_row * equiv_bytes_per_sector * gather_factor
 
 
+def rhs_block_traffic_factor(csr, value_bytes: int, k: int) -> float:
+    """Gather-traffic scaling for a row-major ``(n, k)`` RHS block (SpMM).
+
+    SpMV gathers scattered single elements: every distinct 32-byte sector
+    a row touches moves a full sector however few useful elements it
+    holds.  With ``k`` right-hand sides stored row-major, one column
+    index addresses ``k`` *contiguous* values, so each former
+    one-sector transaction becomes a dense burst of
+    ``ceil(occupancy * k * value_bytes / 32)`` sectors, where
+    ``occupancy`` is the average number of useful x elements the SpMV
+    sector carried.  The factor therefore sits between ~``k * vb / 32``
+    (fully scattered columns) and ``k`` (densely clustered columns) —
+    never above the naive per-RHS rescan.
+    """
+    if k <= 1:
+        return 1.0
+    per_row, _ = sector_counts(csr, value_bytes)
+    if per_row == 0:
+        return 1.0
+    occupancy = csr.nnz / per_row
+    burst_bytes = occupancy * k * value_bytes
+    burst_sectors = -(-int(np.ceil(burst_bytes)) // SECTOR_BYTES)
+    return float(min(k, max(1, burst_sectors)))
+
+
 def effective_bandwidth(device: DeviceSpec, threads: int) -> float:
     """Achievable DRAM bandwidth (bytes/s) given the launched thread count.
 

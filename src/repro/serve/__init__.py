@@ -1,0 +1,64 @@
+"""`repro.serve` — batched, plan-cached SpMV serving.
+
+Models an SpMV inference service on top of the DASP kernels:
+
+* :class:`PlanRegistry` caches preprocessed :class:`DASPMatrix` plans
+  keyed by matrix fingerprint (LRU under a byte budget) so the paper's
+  Figure 13 preprocessing cost is paid once per matrix;
+* :class:`RequestBatcher` coalesces concurrent ``y = A @ x`` requests
+  for the same matrix into ``k <= MMA_N = 8`` right-hand-side
+  :func:`~repro.core.spmm.dasp_spmm` batches — the paper's
+  1/8-of-the-MMA-output observation turned into a throughput lever;
+* :class:`Scheduler` runs batches on a bounded-queue worker pool with
+  backpressure and per-matrix FIFO ordering;
+* :class:`SpMVServer` wires the three together behind a futures API;
+* :func:`run_workload` replays synthetic open-loop traffic (Poisson
+  arrivals, Zipf matrix popularity) in deterministic virtual time and
+  reports modeled throughput, latency percentiles, the batch-size
+  histogram, MMA utilization and the cache hit rate as
+  :class:`ServerStats`.
+"""
+
+from .batcher import (
+    DEFAULT_FLUSH_TIMEOUT_S,
+    MMA_N,
+    Batch,
+    RequestBatcher,
+    SpMVRequest,
+)
+from .driver import (
+    WorkloadConfig,
+    compare_batched_unbatched,
+    run_workload,
+    zipf_weights,
+)
+from .plan_cache import (
+    DEFAULT_BUDGET_BYTES,
+    PlanRegistry,
+    matrix_fingerprint,
+    plan_nbytes,
+)
+from .scheduler import QueueFullError, Scheduler
+from .server import RequestShedError, SpMVServer
+from .stats import ServerStats
+
+__all__ = [
+    "Batch",
+    "DEFAULT_BUDGET_BYTES",
+    "DEFAULT_FLUSH_TIMEOUT_S",
+    "MMA_N",
+    "PlanRegistry",
+    "QueueFullError",
+    "RequestBatcher",
+    "RequestShedError",
+    "Scheduler",
+    "ServerStats",
+    "SpMVRequest",
+    "SpMVServer",
+    "WorkloadConfig",
+    "compare_batched_unbatched",
+    "matrix_fingerprint",
+    "plan_nbytes",
+    "run_workload",
+    "zipf_weights",
+]

@@ -1,0 +1,155 @@
+"""Request batcher — coalesces concurrent SpMV requests into SpMM batches.
+
+The paper's key serving lever: SpMV uses only the diagonal of each
+``m8n8k4`` output (1/8 of the MMA work), but ``k = MMA_N = 8``
+right-hand sides through :func:`repro.core.spmm.dasp_spmm` fill the B
+operand completely while streaming the matrix once.  The batcher holds
+per-matrix queues of pending requests and flushes a batch when it
+reaches ``max_batch`` (size trigger) or when its oldest request has
+waited ``flush_timeout_s`` (latency trigger).
+
+Time is always passed in by the caller, so the same batcher runs under
+the real-threaded server (wall clock) and the virtual-time workload
+driver (simulated clock) without modification.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+
+#: MMA B-operand width — the batch size that saturates the MMA units.
+MMA_N = 8
+
+#: Default flush timeout: 200 modeled microseconds, ~10-20 SpMV times.
+DEFAULT_FLUSH_TIMEOUT_S = 200e-6
+
+
+@dataclass
+class SpMVRequest:
+    """One ``y = A @ x`` request addressed by matrix fingerprint."""
+
+    req_id: int
+    fingerprint: str
+    x: np.ndarray
+    arrival_s: float
+    result: np.ndarray | None = None
+    completion_s: float = float("nan")
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_s - self.arrival_s
+
+
+@dataclass
+class Batch:
+    """A group of requests for the same matrix, executed as one SpMM."""
+
+    fingerprint: str
+    requests: list[SpMVRequest]
+    formed_s: float
+
+    @property
+    def k(self) -> int:
+        return len(self.requests)
+
+    def assemble_x(self) -> np.ndarray:
+        """Stack the request vectors into the ``(n, k)`` RHS block."""
+        return np.stack([r.x for r in self.requests], axis=1)
+
+    def scatter(self, Y: np.ndarray, completion_s: float) -> None:
+        """Distribute the SpMM output columns back to the requests."""
+        for j, req in enumerate(self.requests):
+            req.result = Y[:, j]
+            req.completion_s = completion_s
+
+
+class RequestBatcher:
+    """Per-matrix request coalescing with size and timeout triggers.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush as soon as a matrix has this many pending requests
+        (default ``MMA_N = 8``; 1 disables coalescing — every request
+        becomes a singleton batch, the request-at-a-time baseline).
+    flush_timeout_s:
+        Flush a partial batch once its oldest request has waited this
+        long, bounding the latency cost of waiting for peers.
+    """
+
+    def __init__(self, max_batch: int = MMA_N,
+                 flush_timeout_s: float = DEFAULT_FLUSH_TIMEOUT_S) -> None:
+        check(max_batch >= 1, "max_batch must be >= 1")
+        check(flush_timeout_s >= 0.0, "flush_timeout_s must be >= 0")
+        self.max_batch = int(max_batch)
+        self.flush_timeout_s = float(flush_timeout_s)
+        # fingerprint -> deque of pending requests; insertion order of
+        # the dict gives oldest-deadline-first iteration for due().
+        self._pending: OrderedDict[str, deque[SpMVRequest]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def pending_count(self, fingerprint: str | None = None) -> int:
+        with self._lock:
+            if fingerprint is not None:
+                return len(self._pending.get(fingerprint, ()))
+            return sum(len(q) for q in self._pending.values())
+
+    def add(self, request: SpMVRequest, now: float) -> Batch | None:
+        """Queue *request*; return a full batch if the size trigger fired."""
+        with self._lock:
+            q = self._pending.get(request.fingerprint)
+            if q is None:
+                q = deque()
+                self._pending[request.fingerprint] = q
+            q.append(request)
+            if len(q) >= self.max_batch:
+                return self._form(request.fingerprint, now)
+            return None
+
+    def due(self, now: float) -> list[Batch]:
+        """Flush every group whose oldest request has timed out."""
+        batches = []
+        with self._lock:
+            for fp in list(self._pending):
+                q = self._pending[fp]
+                if q and now - q[0].arrival_s >= self.flush_timeout_s:
+                    batches.append(self._form(fp, now))
+            return batches
+
+    def next_deadline(self) -> float:
+        """Earliest virtual time at which a timeout flush is due
+        (``inf`` when nothing is pending)."""
+        with self._lock:
+            arrivals = [q[0].arrival_s for q in self._pending.values() if q]
+            if not arrivals:
+                return float("inf")
+            return min(arrivals) + self.flush_timeout_s
+
+    def flush(self, fingerprint: str, now: float) -> Batch | None:
+        """Force-flush one matrix's pending requests."""
+        with self._lock:
+            if self._pending.get(fingerprint):
+                return self._form(fingerprint, now)
+            return None
+
+    def flush_all(self, now: float) -> list[Batch]:
+        """Force-flush everything (end of run / shutdown)."""
+        with self._lock:
+            return [self._form(fp, now) for fp in list(self._pending)
+                    if self._pending[fp]]
+
+    # ------------------------------------------------------------------
+    def _form(self, fingerprint: str, now: float) -> Batch:
+        # caller holds the lock
+        q = self._pending.pop(fingerprint)
+        take = [q.popleft() for _ in range(min(self.max_batch, len(q)))]
+        if q:  # overflow beyond max_batch stays pending
+            self._pending[fingerprint] = q
+        return Batch(fingerprint=fingerprint, requests=take, formed_s=now)

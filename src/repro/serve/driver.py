@@ -1,0 +1,253 @@
+"""Workload driver — open-loop synthetic traffic replay in virtual time.
+
+Replays a serving workload against the batching + plan-caching pipeline
+as a deterministic discrete-event simulation: Poisson arrivals at a
+configured offered rate, matrix popularity drawn from a Zipf
+distribution over the representative suite, a single modeled device
+executing flushed batches in FIFO order, and a bounded device backlog
+applying backpressure.  Every batch is charged its modeled device time
+(:func:`repro.core.spmm.spmm_events` through the cost model), cache
+misses additionally pay the modeled preprocessing cost (Figure 13), and
+per-request latency is ``completion - arrival`` in virtual seconds.
+
+Being single-threaded and clocked virtually, the driver is exactly
+reproducible for a given seed — the property the serving benchmarks
+rely on — while exercising the same :class:`RequestBatcher` and
+:class:`PlanRegistry` code the real-threaded server runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .._util import check, default_rng
+from ..core.format import DASPMatrix
+from ..core.preprocess import dasp_preprocess_events
+from ..core.spmm import mma_utilization, spmm_events
+from ..gpu.cost_model import estimate_preprocess_time, estimate_time
+from ..gpu.device import get_device
+from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, RequestBatcher, SpMVRequest
+from .plan_cache import DEFAULT_BUDGET_BYTES, PlanRegistry, matrix_fingerprint
+from .stats import ServerStats
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of one synthetic serving workload.
+
+    Attributes
+    ----------
+    n_requests / rate_rps / zipf_s / seed:
+        Open-loop traffic shape: request count, Poisson arrival rate
+        (requests per virtual second), Zipf popularity exponent over
+        the matrix pool, RNG seed.  ``rate_rps=None`` auto-picks a rate
+        that saturates the modeled device (~4x its unbatched capacity).
+    n_matrices / dtype / device:
+        Pool size (taken from the representative suite in order) and
+        the modeled precision/hardware.
+    max_batch / flush_timeout_s:
+        Batching policy (``max_batch=1`` is the request-at-a-time
+        baseline).
+    cache_budget_bytes / plan_cache:
+        Plan-registry byte budget; ``plan_cache=False`` rebuilds the
+        plan for every batch (the re-preprocessing baseline).
+    queue_depth:
+        Bounded device backlog (flushed-but-unstarted batches); arrivals
+        beyond it are rejected.
+    """
+
+    n_requests: int = 2000
+    rate_rps: float | None = None
+    zipf_s: float = 1.1
+    seed: int = 2023
+    n_matrices: int = 4
+    dtype: str = "float64"
+    device: str = "A100"
+    max_batch: int = MMA_N
+    flush_timeout_s: float = DEFAULT_FLUSH_TIMEOUT_S
+    cache_budget_bytes: int = DEFAULT_BUDGET_BYTES
+    plan_cache: bool = True
+    queue_depth: int = 256
+    entries: list = field(default_factory=list)  # overrides the suite pool
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf popularity over ``n`` ranked items."""
+    check(n >= 1, "need at least one item")
+    w = np.arange(1, n + 1, dtype=np.float64) ** -float(s)
+    return w / w.sum()
+
+
+def _matrix_pool(cfg: WorkloadConfig):
+    """Build the (fingerprint-keyed) CSR pool for the workload."""
+    if cfg.entries:
+        entries = cfg.entries
+    else:
+        from ..matrices import representative_suite
+
+        entries = representative_suite()[:cfg.n_matrices]
+    dtype = np.dtype(cfg.dtype)
+    pool = []
+    for e in entries:
+        csr = e.matrix().astype(dtype)
+        pool.append((e.name, matrix_fingerprint(csr), csr))
+    return pool
+
+
+class _ModeledDevice:
+    """Lazily-memoized modeled batch times for (matrix, k) pairs."""
+
+    def __init__(self, device, dtype_bits: int) -> None:
+        self.device = device
+        self.dtype_bits = dtype_bits
+        self._times: dict[tuple[str, int], tuple[float, float, float]] = {}
+
+    def batch_cost(self, fingerprint: str, plan: DASPMatrix,
+                   k: int) -> tuple[float, float, float]:
+        """(device seconds, useful MMA flops, issued MMA flops)."""
+        key = (fingerprint, k)
+        got = self._times.get(key)
+        if got is None:
+            ev = spmm_events(plan, self.device, k)
+            t = estimate_time(ev, self.device, dtype_bits=self.dtype_bits).total
+            util = mma_utilization(plan, k)
+            got = (t, util * ev.flops_mma, ev.flops_mma)
+            self._times[key] = got
+        return got
+
+
+def run_workload(cfg: WorkloadConfig) -> ServerStats:
+    """Simulate *cfg* and return the populated :class:`ServerStats`."""
+    check(cfg.n_requests >= 1, "n_requests must be >= 1")
+    device = get_device(cfg.device)
+    dtype = np.dtype(cfg.dtype)
+    rng = default_rng(cfg.seed)
+    pool = _matrix_pool(cfg)
+    weights = zipf_weights(len(pool), cfg.zipf_s)
+    registry = PlanRegistry(cfg.cache_budget_bytes)
+    batcher = RequestBatcher(cfg.max_batch, cfg.flush_timeout_s)
+    modeled = _ModeledDevice(device, dtype.itemsize * 8)
+    stats = ServerStats(device=device.name, dtype=str(dtype))
+
+    rate = cfg.rate_rps
+    if rate is None:
+        # Saturating default: 4x the unbatched modeled capacity of the
+        # most popular matrix (open-loop overload is the regime where
+        # batching pays; an idle server degenerates to singletons).
+        plan0, _ = registry.get(pool[0][2], fingerprint=pool[0][1])
+        t1, _, _ = modeled.batch_cost(pool[0][1], plan0, 1)
+        registry.clear()
+        registry.hits = registry.misses = registry.evictions = 0
+        rate = 4.0 / t1
+
+    # Pre-draw arrivals and matrix choices (deterministic given seed).
+    gaps = rng.exponential(1.0 / rate, cfg.n_requests)
+    arrivals = np.cumsum(gaps)
+    choices = rng.choice(len(pool), size=cfg.n_requests, p=weights)
+    # Requests reuse a tiny per-matrix pool of x vectors: the driver
+    # models traffic, the numeric path is covered by the server tests.
+    xs = {fp: rng.uniform(-1, 1, csr.shape[1]).astype(dtype)
+          for _, fp, csr in pool}
+
+    device_free = 0.0          # when the modeled device next idles
+    backlog: deque = deque()   # flushed batches waiting for the device
+    completed: list[SpMVRequest] = []
+
+    def plan_for(fp: str, csr) -> DASPMatrix:
+        nonlocal device_free
+        if cfg.plan_cache:
+            plan, hit = registry.get(csr, fingerprint=fp)
+            if not hit:
+                pre = estimate_preprocess_time(
+                    dasp_preprocess_events(plan), device)
+                stats.observe_preprocess(pre)
+                device_free += pre
+            return plan
+        # no-cache baseline: rebuild (and pay for) the plan every batch
+        plan = DASPMatrix.from_csr(csr)
+        pre = estimate_preprocess_time(dasp_preprocess_events(plan), device)
+        stats.observe_preprocess(pre)
+        device_free += pre
+        return plan
+
+    csr_by_fp = {fp: csr for _, fp, csr in pool}
+
+    def start_batches(now: float) -> None:
+        """Run every backlog batch whose start time has been reached."""
+        nonlocal device_free
+        while backlog and device_free <= now:
+            batch = backlog.popleft()
+            plan = plan_for(batch.fingerprint, csr_by_fp[batch.fingerprint])
+            t, useful, issued = modeled.batch_cost(
+                batch.fingerprint, plan, batch.k)
+            start = max(device_free, batch.formed_s)
+            done = start + t
+            device_free = done
+            batch.scatter(np.zeros((plan.shape[0], batch.k),
+                                   dtype=plan.mma_shape.acc_dtype), done)
+            stats.observe_batch(batch.k, t, useful_mma=useful,
+                                issued_mma=issued)
+            for req in batch.requests:
+                stats.observe_latency(req.latency_s)
+                completed.append(req)
+
+    def enqueue(batches) -> None:
+        for b in batches:
+            backlog.append(b)
+
+    for i in range(cfg.n_requests):
+        now = float(arrivals[i])
+        # timeout flushes due before this arrival
+        while True:
+            deadline = batcher.next_deadline()
+            if deadline >= now:
+                break
+            # nextafter guards against (arrival + timeout) - arrival
+            # rounding below the timeout and stalling the flush
+            batches = batcher.due(np.nextafter(deadline, np.inf))
+            if not batches:
+                break
+            enqueue(batches)
+            start_batches(deadline)
+        start_batches(now)
+        stats.observe_request()
+        if len(backlog) >= cfg.queue_depth:
+            stats.observe_rejected()
+            continue
+        _, fp, csr = pool[choices[i]]
+        req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now)
+        full = batcher.add(req, now)
+        if full is not None:
+            enqueue([full])
+
+    # End of arrivals: flush stragglers and let the device drain.
+    end = float(arrivals[-1])
+    while True:
+        deadline = batcher.next_deadline()
+        if deadline == float("inf"):
+            break
+        batches = batcher.due(np.nextafter(deadline, np.inf))
+        if not batches:
+            break
+        enqueue(batches)
+        end = max(end, deadline)
+    enqueue(batcher.flush_all(end))
+    device_free = max(device_free, end)
+    start_batches(float("inf"))
+
+    stats.duration_s = max((r.completion_s for r in completed), default=end)
+    snap = registry.snapshot()
+    stats.cache_hits = snap["hits"]
+    stats.cache_misses = snap["misses"]
+    stats.cache_evictions = snap["evictions"]
+    return stats
+
+
+def compare_batched_unbatched(cfg: WorkloadConfig) -> dict[str, ServerStats]:
+    """Run *cfg* batched and as request-at-a-time; same traffic trace."""
+    batched = run_workload(cfg)
+    unbatched = run_workload(replace(cfg, max_batch=1))
+    return {"batched": batched, "unbatched": unbatched}

@@ -1,0 +1,150 @@
+"""Plan registry — cached DASP preprocessing keyed by matrix fingerprint.
+
+The paper's Figure 13 shows preprocessing (CSR -> DASP layout) costs
+tens to hundreds of SpMV invocations.  A server must therefore pay it
+once per matrix and reuse the plan across requests.  The registry is an
+LRU cache of :class:`~repro.core.format.DASPMatrix` plans under a
+configurable byte budget (the device-resident footprint of the packed
+arrays), with explicit hit / miss / eviction accounting so serving
+experiments can report the amortization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import fields, is_dataclass
+
+import numpy as np
+
+from .._util import check
+from ..core.format import DASPMatrix
+
+#: Default cache budget: 256 MiB of packed plan arrays.
+DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def matrix_fingerprint(csr) -> str:
+    """Content fingerprint of a CSR matrix (shape, dtype and payload).
+
+    Two matrices share a fingerprint iff they are bytewise-identical
+    CSR structures, so the fingerprint is a safe plan-cache key and a
+    stable request-routing handle.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((tuple(csr.shape), str(csr.data.dtype))).encode())
+    h.update(np.ascontiguousarray(csr.indptr).tobytes())
+    h.update(np.ascontiguousarray(csr.indices).tobytes())
+    h.update(np.ascontiguousarray(csr.data).tobytes())
+    return h.hexdigest()
+
+
+def plan_nbytes(dasp: DASPMatrix) -> int:
+    """Device-resident footprint of a plan's packed arrays in bytes.
+
+    Walks the three category plans and sums every NumPy array they hold
+    (values, column ids, pointers, row indices) — the arrays a real
+    server would keep resident on the GPU between requests.  The source
+    CSR is host-side and not charged.
+    """
+    total = 0
+    for plan in (dasp.long_plan, dasp.medium_plan, dasp.short_plan):
+        if not is_dataclass(plan):
+            continue
+        for f in fields(plan):
+            v = getattr(plan, f.name)
+            if isinstance(v, np.ndarray):
+                total += v.nbytes
+    return total
+
+
+class PlanRegistry:
+    """LRU cache of DASP plans under a byte budget (thread-safe).
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum total :func:`plan_nbytes` held.  The most recently used
+        plan is always retained even if it alone exceeds the budget —
+        a server must be able to answer the request it is holding.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        check(budget_bytes >= 0, "budget_bytes must be non-negative")
+        self.budget_bytes = int(budget_bytes)
+        self._plans: OrderedDict[str, tuple[DASPMatrix, int]] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_cached = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._plans
+
+    def get(self, csr, *, fingerprint: str | None = None,
+            builder=None) -> tuple[DASPMatrix, bool]:
+        """Return ``(plan, hit)`` for *csr*, building and caching on miss.
+
+        ``builder(csr) -> DASPMatrix`` overrides the default
+        :meth:`DASPMatrix.from_csr` conversion (e.g. to pass tuning
+        parameters); ``fingerprint`` skips re-hashing when the caller
+        already holds the key.
+        """
+        key = fingerprint if fingerprint is not None else matrix_fingerprint(csr)
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return entry[0], True
+            self.misses += 1
+        # Build outside the lock: conversion is the expensive part and
+        # must not serialize concurrent misses on other matrices.
+        plan = builder(csr) if builder is not None else DASPMatrix.from_csr(csr)
+        self.put(key, plan)
+        return plan, False
+
+    def peek(self, fingerprint: str) -> DASPMatrix | None:
+        """Return a cached plan without touching LRU order or counters."""
+        with self._lock:
+            entry = self._plans.get(fingerprint)
+            return entry[0] if entry is not None else None
+
+    def put(self, fingerprint: str, plan: DASPMatrix) -> None:
+        """Insert (or refresh) a plan and evict LRU entries over budget."""
+        nbytes = plan_nbytes(plan)
+        with self._lock:
+            old = self._plans.pop(fingerprint, None)
+            if old is not None:
+                self.bytes_cached -= old[1]
+            self._plans[fingerprint] = (plan, nbytes)
+            self.bytes_cached += nbytes
+            while self.bytes_cached > self.budget_bytes and len(self._plans) > 1:
+                _, (_, evicted_bytes) = self._plans.popitem(last=False)
+                self.bytes_cached -= evicted_bytes
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.bytes_cached = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot for folding into :class:`ServerStats`."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bytes_cached": self.bytes_cached,
+                "plans": len(self._plans),
+            }

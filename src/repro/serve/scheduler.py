@@ -1,0 +1,175 @@
+"""Scheduler — a thread-pool worker loop with a bounded batch queue.
+
+Executes flushed :class:`~repro.serve.batcher.Batch` objects on a small
+worker pool with three serving guarantees:
+
+* **bounded queue** — at most ``queue_depth`` batches wait; beyond that
+  the scheduler applies **backpressure**: policy ``"reject"`` refuses
+  the new batch, policy ``"shed"`` drops the oldest queued batch (its
+  requests fail) to admit the new one;
+* **per-matrix FIFO** — batches for the same fingerprint execute in
+  submission order and never concurrently (a real server streams one
+  plan's kernels in sequence on its stream), while batches for
+  different matrices run in parallel across workers;
+* **clean shutdown** — :meth:`close` drains or aborts deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+from .._util import ReproError, check
+from .batcher import Batch
+
+
+class QueueFullError(ReproError):
+    """Raised to signal backpressure under the ``"reject"`` policy."""
+
+
+class Scheduler:
+    """Bounded-queue thread-pool executor for batches.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(batch)`` callback that runs one batch (the server's
+        SpMM/SpMV path).  Exceptions propagate to ``on_error`` if given.
+    workers:
+        Worker thread count.
+    queue_depth:
+        Maximum queued (not yet executing) batches.
+    policy:
+        ``"reject"`` (submit raises :class:`QueueFullError`) or
+        ``"shed"`` (oldest queued batch is dropped; ``on_shed`` is
+        called with it).
+    """
+
+    def __init__(self, execute, *, workers: int = 2, queue_depth: int = 64,
+                 policy: str = "reject", on_shed=None, on_error=None) -> None:
+        check(workers >= 1, "workers must be >= 1")
+        check(queue_depth >= 1, "queue_depth must be >= 1")
+        if policy not in ("reject", "shed"):
+            raise ValueError(f"unknown backpressure policy {policy!r}")
+        self._execute = execute
+        self.queue_depth = int(queue_depth)
+        self.policy = policy
+        self._on_shed = on_shed
+        self._on_error = on_error
+        # fingerprint -> FIFO of its queued batches; dict order gives the
+        # round-robin scan order for ready work.
+        self._queues: OrderedDict[str, deque[Batch]] = OrderedDict()
+        self._queued = 0
+        self._inflight: set[str] = set()
+        self._closed = False
+        self._cond = threading.Condition()
+        self.n_executed = 0
+        self.n_shed_batches = 0
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}",
+                             daemon=True)
+            for i in range(int(workers))
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, batch: Batch) -> None:
+        """Enqueue *batch*, applying backpressure when the queue is full."""
+        with self._cond:
+            check(not self._closed, "scheduler is closed")
+            shed = None
+            if self._queued >= self.queue_depth:
+                if self.policy == "reject":
+                    raise QueueFullError(
+                        f"batch queue full ({self.queue_depth} batches)")
+                shed = self._pop_oldest()
+                self.n_shed_batches += 1
+            q = self._queues.get(batch.fingerprint)
+            if q is None:
+                q = deque()
+                self._queues[batch.fingerprint] = q
+            q.append(batch)
+            self._queued += 1
+            self._cond.notify()
+        if shed is not None and self._on_shed is not None:
+            self._on_shed(shed)
+
+    def backlog(self) -> int:
+        """Queued batches not yet executing."""
+        with self._cond:
+            return self._queued
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every queued and in-flight batch finished."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._queued == 0 and not self._inflight, timeout)
+
+    def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the workers (idempotent).  ``drain=False`` abandons the
+        queue (pending batches are dropped without execution)."""
+        if drain:
+            self.drain(timeout)
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                self._queues.clear()
+                self._queued = 0
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout)
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _pop_oldest(self) -> Batch:
+        # caller holds the lock; queues are non-empty iff _queued > 0
+        oldest_fp = min(self._queues,
+                        key=lambda fp: self._queues[fp][0].formed_s
+                        if self._queues[fp] else float("inf"))
+        q = self._queues[oldest_fp]
+        batch = q.popleft()
+        if not q:
+            del self._queues[oldest_fp]
+        self._queued -= 1
+        return batch
+
+    def _next_ready(self) -> Batch | None:
+        # caller holds the lock: first queued matrix not already in flight
+        for fp in self._queues:
+            if fp not in self._inflight and self._queues[fp]:
+                q = self._queues[fp]
+                batch = q.popleft()
+                if not q:
+                    del self._queues[fp]
+                self._queued -= 1
+                self._inflight.add(fp)
+                return batch
+        return None
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                batch = self._next_ready()
+                while batch is None and not self._closed:
+                    self._cond.wait()
+                    batch = self._next_ready()
+                if batch is None:  # closed and nothing ready
+                    return
+            try:
+                self._execute(batch)
+            except Exception as exc:  # noqa: BLE001 — surfaced via callback
+                if self._on_error is not None:
+                    self._on_error(batch, exc)
+            finally:
+                with self._cond:
+                    self._inflight.discard(batch.fingerprint)
+                    self.n_executed += 1
+                    self._cond.notify_all()

@@ -1,0 +1,200 @@
+"""`SpMVServer` — the real-threaded SpMV inference service.
+
+Wires the three serving components together: requests submitted with
+:meth:`SpMVServer.submit` are coalesced per matrix by the
+:class:`~repro.serve.batcher.RequestBatcher`, executed as
+:func:`~repro.core.spmm.dasp_spmm` batches (``dasp_spmv`` for
+singletons) on the :class:`~repro.serve.scheduler.Scheduler` worker
+pool, against plans cached in the
+:class:`~repro.serve.plan_cache.PlanRegistry`.  Each submit returns a
+``concurrent.futures.Future`` resolving to the result vector.
+
+Alongside the numeric result, every batch is charged its *modeled*
+device time (A100/H800 cost model over the measured SpMM events), so
+the server reports hardware-meaningful throughput even though the
+kernels run as NumPy on the host.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+from .._util import ReproError, check
+from ..core.preprocess import dasp_preprocess_events
+from ..core.spmm import dasp_spmm, mma_utilization, spmm_events
+from ..core.spmv import dasp_spmv
+from ..gpu.cost_model import estimate_preprocess_time, estimate_time
+from ..gpu.device import get_device
+from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, Batch, RequestBatcher, SpMVRequest
+from .plan_cache import DEFAULT_BUDGET_BYTES, PlanRegistry, matrix_fingerprint
+from .scheduler import QueueFullError, Scheduler
+from .stats import ServerStats
+
+
+class RequestShedError(ReproError):
+    """Set on futures whose batch was shed under backpressure."""
+
+
+class SpMVServer:
+    """Batched, plan-cached SpMV serving (see module docstring).
+
+    Matrices must be :meth:`register`-ed before requests can address
+    them (by the returned fingerprint).  Use as a context manager, or
+    call :meth:`close` to drain and stop the workers.
+    """
+
+    def __init__(self, *, device: str = "A100",
+                 max_batch: int = MMA_N,
+                 flush_timeout_s: float = DEFAULT_FLUSH_TIMEOUT_S,
+                 cache_budget_bytes: int = DEFAULT_BUDGET_BYTES,
+                 workers: int = 2, queue_depth: int = 64,
+                 policy: str = "reject") -> None:
+        self.device = get_device(device)
+        self.registry = PlanRegistry(cache_budget_bytes)
+        self.batcher = RequestBatcher(max_batch, flush_timeout_s)
+        self.stats = ServerStats(device=self.device.name)
+        self.scheduler = Scheduler(
+            self._execute_batch, workers=workers, queue_depth=queue_depth,
+            policy=policy, on_shed=self._shed_batch,
+            on_error=self._fail_batch)
+        self._matrices: dict[str, object] = {}
+        self._futures: dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._t0 = time.perf_counter()
+        self._closed = False
+        self._flusher = threading.Thread(target=self._flush_loop,
+                                         name="serve-flusher", daemon=True)
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    def register(self, csr) -> str:
+        """Make *csr* servable; returns its routing fingerprint."""
+        fp = matrix_fingerprint(csr)
+        with self._lock:
+            self._matrices[fp] = csr
+        return fp
+
+    def submit(self, fingerprint: str, x) -> Future:
+        """Queue ``y = A @ x``; the future resolves to the result vector.
+
+        Raises :class:`~repro.serve.scheduler.QueueFullError` under
+        ``"reject"`` backpressure; under ``"shed"`` the displaced
+        batch's futures fail with :class:`RequestShedError`.
+        """
+        with self._lock:
+            check(not self._closed, "server is closed")
+            csr = self._matrices.get(fingerprint)
+        if csr is None:
+            raise ReproError(f"unknown matrix fingerprint {fingerprint!r}")
+        check(x.shape == (csr.shape[1],),
+              f"x must have shape ({csr.shape[1]},)")
+        future: Future = Future()
+        with self._lock:
+            req_id = self._next_id
+            self._next_id += 1
+            self._futures[req_id] = future
+        req = SpMVRequest(req_id=req_id, fingerprint=fingerprint, x=x,
+                          arrival_s=self._now())
+        self.stats.observe_request()
+        try:
+            full = self.batcher.add(req, self._now())
+            if full is not None:
+                self.scheduler.submit(full)
+        except QueueFullError:
+            with self._lock:
+                self._futures.pop(req_id, None)
+            self.stats.observe_rejected()
+            raise
+        return future
+
+    def flush(self) -> None:
+        """Force-flush all pending partial batches to the workers."""
+        for batch in self.batcher.flush_all(self._now()):
+            self.scheduler.submit(batch)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Flush then wait for every in-flight batch to finish."""
+        self.flush()
+        return self.scheduler.drain(timeout)
+
+    def close(self, timeout: float | None = None) -> None:
+        if self._closed:
+            return
+        self.drain(timeout)
+        self._closed = True
+        self.scheduler.close(timeout=timeout)
+        self._flusher.join(timeout)
+        self.stats.duration_s = self._now()
+        snap = self.registry.snapshot()
+        self.stats.cache_hits = snap["hits"]
+        self.stats.cache_misses = snap["misses"]
+        self.stats.cache_evictions = snap["evictions"]
+
+    def __enter__(self) -> "SpMVServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _flush_loop(self) -> None:
+        # Wake a few times per timeout window; wall-clock flushing only
+        # bounds latency, it does not affect modeled throughput.
+        interval = max(self.batcher.flush_timeout_s / 4, 1e-4)
+        while not self._closed:
+            time.sleep(interval)
+            try:
+                for batch in self.batcher.due(self._now()):
+                    self.scheduler.submit(batch)
+            except (QueueFullError, ReproError):
+                continue  # backpressure: leave batches queued in batcher
+
+    def _execute_batch(self, batch: Batch) -> None:
+        csr = self._matrices[batch.fingerprint]
+        plan, hit = self.registry.get(csr, fingerprint=batch.fingerprint)
+        if not hit:
+            self.stats.observe_preprocess(estimate_preprocess_time(
+                dasp_preprocess_events(plan), self.device))
+        k = batch.k
+        ev = spmm_events(plan, self.device, k)
+        bits = plan.dtype.itemsize * 8
+        device_s = estimate_time(ev, self.device, dtype_bits=bits).total
+        util = mma_utilization(plan, k)
+        if k == 1:
+            Y = dasp_spmv(plan, batch.requests[0].x)[:, None]
+        else:
+            Y = dasp_spmm(plan, batch.assemble_x())
+        now = self._now()
+        batch.scatter(Y, now)
+        self.stats.observe_batch(k, device_s,
+                                 useful_mma=util * ev.flops_mma,
+                                 issued_mma=ev.flops_mma)
+        for req in batch.requests:
+            self.stats.observe_latency(req.latency_s)
+            fut = self._pop_future(req.req_id)
+            if fut is not None:
+                fut.set_result(req.result)
+
+    def _shed_batch(self, batch: Batch) -> None:
+        self.stats.observe_shed(batch.k)
+        for req in batch.requests:
+            fut = self._pop_future(req.req_id)
+            if fut is not None:
+                fut.set_exception(RequestShedError(
+                    f"request {req.req_id} shed under backpressure"))
+
+    def _fail_batch(self, batch: Batch, exc: Exception) -> None:
+        for req in batch.requests:
+            fut = self._pop_future(req.req_id)
+            if fut is not None:
+                fut.set_exception(exc)
+
+    def _pop_future(self, req_id: int) -> Future | None:
+        with self._lock:
+            return self._futures.pop(req_id, None)

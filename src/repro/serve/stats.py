@@ -1,0 +1,174 @@
+"""`ServerStats` — the serving layer's metrics object.
+
+One instance accumulates everything a serving experiment reports:
+request / batch / rejection counters, the batch-size histogram, plan
+cache hit/miss/eviction counts, modeled device busy time (kernels and
+preprocessing separately), per-request latencies, and the MMA
+utilization of the issued work.  All observation methods are
+thread-safe so the real-threaded :class:`repro.serve.server.SpMVServer`
+and the virtual-time workload driver share the same object.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bench.report import markdown_table
+
+
+@dataclass
+class ServerStats:
+    """Accumulated metrics for one serving run.
+
+    Attributes
+    ----------
+    device / dtype:
+        Where and at which precision the run served.
+    n_requests / n_completed / n_rejected / n_shed:
+        Offered, answered, backpressure-rejected and shed requests.
+    n_batches:
+        SpMV/SpMM kernel invocations issued.
+    batch_hist:
+        batch size -> number of batches of that size.
+    cache_hits / cache_misses / cache_evictions:
+        Plan-registry accounting (copied from the registry at report
+        time by the server/driver).
+    device_busy_s:
+        Modeled device seconds spent in SpMV/SpMM kernels.
+    preprocess_s:
+        Modeled device+host seconds spent building DASP plans (paid on
+        cache misses only).
+    duration_s:
+        Makespan of the run (virtual seconds for the driver, wall
+        seconds for the real server).
+    useful_mma_flops / issued_mma_flops:
+        Numerator/denominator of the aggregate MMA utilization.
+    """
+
+    device: str = "A100"
+    dtype: str = "float64"
+    n_requests: int = 0
+    n_completed: int = 0
+    n_rejected: int = 0
+    n_shed: int = 0
+    n_batches: int = 0
+    batch_hist: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    device_busy_s: float = 0.0
+    preprocess_s: float = 0.0
+    duration_s: float = 0.0
+    useful_mma_flops: float = 0.0
+    issued_mma_flops: float = 0.0
+    latencies_s: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe_request(self, n: int = 1) -> None:
+        with self._lock:
+            self.n_requests += n
+
+    def observe_rejected(self, n: int = 1) -> None:
+        with self._lock:
+            self.n_rejected += n
+
+    def observe_shed(self, n: int = 1) -> None:
+        with self._lock:
+            self.n_shed += n
+
+    def observe_batch(self, k: int, device_s: float, *,
+                      useful_mma: float = 0.0, issued_mma: float = 0.0) -> None:
+        """Record one executed batch of ``k`` requests."""
+        with self._lock:
+            self.n_batches += 1
+            self.n_completed += k
+            self.batch_hist[k] = self.batch_hist.get(k, 0) + 1
+            self.device_busy_s += device_s
+            self.useful_mma_flops += useful_mma
+            self.issued_mma_flops += issued_mma
+
+    def observe_preprocess(self, seconds: float) -> None:
+        with self._lock:
+            self.preprocess_s += seconds
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.latencies_s.append(float(seconds))
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_completed / self.n_batches if self.n_batches else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    @property
+    def mma_utilization(self) -> float:
+        if self.issued_mma_flops <= 0:
+            return 0.0
+        return self.useful_mma_flops / self.issued_mma_flops
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per modeled device-second of kernel time."""
+        if self.device_busy_s <= 0:
+            return 0.0
+        return self.n_completed / self.device_busy_s
+
+    @property
+    def goodput_rps(self) -> float:
+        """Throughput including preprocessing time (the end-to-end rate
+        a cold or cache-thrashing server actually sustains)."""
+        busy = self.device_busy_s + self.preprocess_s
+        if busy <= 0:
+            return 0.0
+        return self.n_completed / busy
+
+    def latency_percentiles(self, qs=(50, 95, 99)) -> dict[int, float]:
+        """Latency percentiles (seconds) over completed requests."""
+        if not self.latencies_s:
+            return {q: float("nan") for q in qs}
+        arr = np.asarray(self.latencies_s)
+        return {q: float(np.percentile(arr, q)) for q in qs}
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary_table(self) -> str:
+        """Markdown summary of every reported metric."""
+        pct = self.latency_percentiles()
+        hist = " ".join(f"{k}:{self.batch_hist[k]}"
+                        for k in sorted(self.batch_hist))
+        rows = [
+            ("device / dtype", f"{self.device} / {self.dtype}"),
+            ("requests offered / completed", f"{self.n_requests:,} / {self.n_completed:,}"),
+            ("rejected / shed", f"{self.n_rejected:,} / {self.n_shed:,}"),
+            ("batches (mean size)", f"{self.n_batches:,} ({self.mean_batch_size:.2f})"),
+            ("batch-size histogram", hist or "-"),
+            ("plan cache hit / miss / evict",
+             f"{self.cache_hits} / {self.cache_misses} / {self.cache_evictions}"),
+            ("cache hit rate", f"{self.cache_hit_rate:.1%}"),
+            ("device busy (kernels)", f"{self.device_busy_s * 1e3:.3f} ms"),
+            ("preprocessing", f"{self.preprocess_s * 1e3:.3f} ms"),
+            ("makespan", f"{self.duration_s * 1e3:.3f} ms"),
+            ("throughput (kernel time)", f"{self.throughput_rps:,.0f} req/s"),
+            ("goodput (incl. preprocess)", f"{self.goodput_rps:,.0f} req/s"),
+            ("MMA utilization", f"{self.mma_utilization:.1%}"),
+            ("latency p50 / p95 / p99",
+             " / ".join("-" if np.isnan(pct[q]) else f"{pct[q] * 1e6:.1f} us"
+                        for q in (50, 95, 99))),
+        ]
+        return markdown_table(("metric", "value"), rows)

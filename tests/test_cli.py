@@ -31,6 +31,26 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "nnz=" in out
 
+    def test_npz_file(self, tmp_path, capsys, rng):
+        """An existing .npz path must route to matrices.io, not the
+        MatrixMarket parser."""
+        from repro.matrices.io import save_csr
+
+        csr = random_csr(30, 30, rng)
+        path = tmp_path / "m.npz"
+        save_csr(path, csr)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"nnz={csr.nnz:,}" in out
+
+    def test_unknown_extension_errors(self, tmp_path):
+        from repro import ReproError
+
+        path = tmp_path / "m.bin"
+        path.write_bytes(b"\x00\x01")
+        with pytest.raises(ReproError, match="unsupported extension"):
+            main(["analyze", str(path)])
+
     def test_fp16_marks_unsupported(self, capsys):
         assert main(["analyze", "mc2depi", "--dtype", "float16"]) == 0
         out = capsys.readouterr().out
@@ -69,6 +89,29 @@ class TestBench:
         out = capsys.readouterr().out
         assert "cuSPARSE-CSR" in out
         assert "CSR5" not in out  # FP16 excludes CSR5
+
+
+class TestServeSim:
+    def test_prints_summary(self, capsys):
+        assert main(["serve-sim", "--requests", "200",
+                     "--matrices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput (kernel time)" in out
+        assert "batch-size histogram" in out
+        assert "cache hit rate" in out
+        assert "latency p50 / p95 / p99" in out
+
+    def test_compare_mode(self, capsys):
+        assert main(["serve-sim", "--requests", "200", "--matrices", "2",
+                     "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "batched vs request-at-a-time throughput" in out
+
+    def test_unbatched_width(self, capsys):
+        assert main(["serve-sim", "--requests", "120", "--matrices", "2",
+                     "--max-batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "(1.00)" in out  # every batch a singleton
 
 
 class TestParser:

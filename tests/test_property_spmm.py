@@ -1,0 +1,102 @@
+"""Property test: `dasp_spmm` equals column-wise `dasp_spmv` stacking.
+
+The SpMM extension must be *exactly* a batch of SpMVs on the same plan:
+for every random rectangular matrix, every batch width (including the
+k = 1 column-vector edge case and widths crossing the MMA_N = 8
+boundary) and both precisions, ``dasp_spmm(A, X)[:, j]`` must match
+``dasp_spmv(A, X[:, j])``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DASPMatrix, dasp_spmm, dasp_spmv
+
+
+@st.composite
+def csr_and_block(draw, dtype):
+    m = draw(st.integers(min_value=1, max_value=60))
+    n = draw(st.integers(min_value=1, max_value=80))
+    k = draw(st.sampled_from([1, 3, 8, 13]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    density = draw(st.floats(min_value=0.02, max_value=0.6))
+    dense = rng.uniform(-1, 1, (m, n))
+    dense[rng.random((m, n)) >= density] = 0.0
+    from repro.formats import CSRMatrix
+
+    csr = CSRMatrix.from_dense(dense.astype(dtype))
+    X = rng.uniform(-1, 1, (n, k)).astype(dtype)
+    return csr, X
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=csr_and_block(np.float64))
+def test_spmm_stacks_spmv_fp64(data):
+    csr, X = data
+    dasp = DASPMatrix.from_csr(csr)
+    Y = dasp_spmm(dasp, X)
+    cols = np.stack([dasp_spmv(dasp, X[:, j]) for j in range(X.shape[1])],
+                    axis=1)
+    np.testing.assert_allclose(Y, cols, rtol=1e-12, atol=1e-13)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=csr_and_block(np.float16))
+def test_spmm_stacks_spmv_fp16(data):
+    csr, X = data
+    dasp = DASPMatrix.from_csr(csr)
+    Y = dasp_spmm(dasp, X)
+    assert Y.dtype == np.float32  # FP16 inputs accumulate in FP32
+    cols = np.stack([dasp_spmv(dasp, X[:, j]) for j in range(X.shape[1])],
+                    axis=1)
+    np.testing.assert_allclose(Y, cols, rtol=2e-3, atol=2e-3)
+
+
+class TestEngineValidation:
+    """`dasp_spmm` engine/shape validation parity with `dasp_spmv`."""
+
+    def test_unknown_engine_valueerror(self, rng):
+        from tests.conftest import random_csr
+
+        csr = random_csr(10, 20, rng)
+        with pytest.raises(ValueError, match="unknown engine"):
+            dasp_spmm(csr, np.zeros((20, 2)), engine="cuda")
+
+    def test_warp_engine_matches_vectorized(self, rng):
+        from tests.conftest import random_csr
+
+        csr = random_csr(24, 40, rng)
+        X = rng.uniform(-1, 1, (40, 3))
+        Yw = dasp_spmm(csr, X, engine="warp")
+        Yv = dasp_spmm(csr, X, engine="vectorized")
+        np.testing.assert_allclose(Yw, Yv, rtol=1e-12)
+
+    def test_k1_column_vector(self, rng):
+        from tests.conftest import random_csr
+
+        csr = random_csr(12, 18, rng)
+        x = rng.uniform(-1, 1, 18)
+        Y = dasp_spmm(csr, x[:, None])
+        assert Y.shape == (12, 1)
+        np.testing.assert_allclose(Y[:, 0], dasp_spmv(csr, x), rtol=1e-12)
+
+    def test_zero_columns_rejected(self, rng):
+        from repro._util import ValidationError
+        from tests.conftest import random_csr
+
+        csr = random_csr(10, 20, rng)
+        with pytest.raises(ValidationError):
+            dasp_spmm(csr, np.zeros((20, 0)))
+
+    def test_warp_engine_cast_output(self, rng):
+        from tests.conftest import random_csr
+
+        csr = random_csr(8, 16, rng, dtype=np.float16)
+        X = rng.uniform(-1, 1, (16, 2)).astype(np.float16)
+        Y = dasp_spmm(csr, X, engine="warp", cast_output=True)
+        assert Y.dtype == np.float16

@@ -1,0 +1,101 @@
+"""Tests for the request batcher (size/timeout triggers, per-matrix
+queues, scatter)."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.serve import Batch, RequestBatcher, SpMVRequest
+
+
+def req(i, fp="A", t=0.0, n=4):
+    return SpMVRequest(req_id=i, fingerprint=fp, x=np.full(n, float(i)),
+                       arrival_s=t)
+
+
+class TestSizeTrigger:
+    def test_fills_to_max_batch(self):
+        b = RequestBatcher(max_batch=3, flush_timeout_s=1.0)
+        assert b.add(req(0), 0.0) is None
+        assert b.add(req(1), 0.0) is None
+        full = b.add(req(2), 0.0)
+        assert isinstance(full, Batch) and full.k == 3
+        assert [r.req_id for r in full.requests] == [0, 1, 2]  # FIFO
+        assert b.pending_count() == 0
+
+    def test_max_batch_one_is_request_at_a_time(self):
+        b = RequestBatcher(max_batch=1)
+        full = b.add(req(0), 0.0)
+        assert full is not None and full.k == 1
+
+    def test_per_matrix_isolation(self):
+        b = RequestBatcher(max_batch=2)
+        assert b.add(req(0, "A"), 0.0) is None
+        assert b.add(req(1, "B"), 0.0) is None
+        full = b.add(req(2, "A"), 0.0)
+        assert full.fingerprint == "A" and full.k == 2
+        assert b.pending_count("B") == 1
+
+
+class TestTimeoutTrigger:
+    def test_due_after_timeout(self):
+        b = RequestBatcher(max_batch=8, flush_timeout_s=0.5)
+        b.add(req(0, t=1.0), 1.0)
+        assert b.due(1.4) == []
+        flushed = b.due(1.6)
+        assert len(flushed) == 1 and flushed[0].k == 1
+
+    def test_next_deadline(self):
+        b = RequestBatcher(max_batch=8, flush_timeout_s=0.5)
+        assert b.next_deadline() == float("inf")
+        b.add(req(0, "A", t=2.0), 2.0)
+        b.add(req(1, "B", t=1.0), 2.0)
+        assert b.next_deadline() == pytest.approx(1.5)
+
+    def test_due_flushes_multiple_groups(self):
+        b = RequestBatcher(max_batch=8, flush_timeout_s=0.1)
+        b.add(req(0, "A", t=0.0), 0.0)
+        b.add(req(1, "B", t=0.0), 0.0)
+        assert len(b.due(1.0)) == 2
+
+
+class TestFlush:
+    def test_flush_one(self):
+        b = RequestBatcher(max_batch=8)
+        b.add(req(0, "A"), 0.0)
+        assert b.flush("A", 0.1).k == 1
+        assert b.flush("A", 0.1) is None
+
+    def test_flush_all(self):
+        b = RequestBatcher(max_batch=8)
+        b.add(req(0, "A"), 0.0)
+        b.add(req(1, "B"), 0.0)
+        b.add(req(2, "B"), 0.0)
+        batches = b.flush_all(0.5)
+        assert sorted(x.fingerprint for x in batches) == ["A", "B"]
+        assert sum(x.k for x in batches) == 3
+        assert b.pending_count() == 0
+
+
+class TestBatchObject:
+    def test_assemble_and_scatter(self):
+        requests = [req(i, n=3) for i in range(2)]
+        batch = Batch("A", requests, formed_s=1.0)
+        X = batch.assemble_x()
+        assert X.shape == (3, 2)
+        assert np.all(X[:, 1] == 1.0)
+        Y = np.arange(10).reshape(5, 2).astype(float)
+        batch.scatter(Y, completion_s=2.0)
+        assert np.all(requests[0].result == Y[:, 0])
+        assert requests[1].completion_s == 2.0
+        assert requests[1].latency_s == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_bad_max_batch(self):
+        with pytest.raises(ValidationError):
+            RequestBatcher(max_batch=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValidationError):
+            RequestBatcher(flush_timeout_s=-1.0)

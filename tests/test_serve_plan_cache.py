@@ -1,0 +1,125 @@
+"""Tests for the plan registry (fingerprinting, LRU, byte budget)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.core import DASPMatrix
+from repro.serve import PlanRegistry, matrix_fingerprint, plan_nbytes
+from tests.conftest import random_csr
+
+
+class TestFingerprint:
+    def test_deterministic(self, rng):
+        csr = random_csr(30, 40, rng)
+        assert matrix_fingerprint(csr) == matrix_fingerprint(csr)
+
+    def test_value_sensitive(self, rng):
+        csr = random_csr(30, 40, rng)
+        other = csr.astype(np.float64)
+        other.data[0] += 1.0
+        assert matrix_fingerprint(csr) != matrix_fingerprint(other)
+
+    def test_structure_sensitive(self, rng):
+        a = random_csr(30, 40, rng)
+        b = random_csr(30, 40, rng)
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    def test_dtype_sensitive(self, rng):
+        csr = random_csr(20, 20, rng)
+        assert matrix_fingerprint(csr) != matrix_fingerprint(
+            csr.astype(np.float16))
+
+
+class TestPlanNbytes:
+    def test_positive_and_tracks_size(self, rng):
+        small = DASPMatrix.from_csr(random_csr(20, 40, rng))
+        big = DASPMatrix.from_csr(random_csr(400, 800, rng))
+        assert 0 < plan_nbytes(small) < plan_nbytes(big)
+
+
+class TestRegistry:
+    def test_miss_then_hit(self, rng):
+        csr = random_csr(30, 40, rng)
+        reg = PlanRegistry()
+        plan, hit = reg.get(csr)
+        assert not hit and isinstance(plan, DASPMatrix)
+        plan2, hit2 = reg.get(csr)
+        assert hit2 and plan2 is plan
+        assert (reg.hits, reg.misses) == (1, 1)
+
+    def test_lru_eviction_under_budget(self, rng):
+        mats = [random_csr(60, 120, rng) for _ in range(4)]
+        plans = [DASPMatrix.from_csr(m) for m in mats]
+        budget = plan_nbytes(plans[0]) + plan_nbytes(plans[1]) \
+            + plan_nbytes(plans[2]) + plan_nbytes(plans[3])
+        # budget for roughly two plans
+        reg = PlanRegistry(budget // 2)
+        for m in mats:
+            reg.get(m)
+        assert reg.evictions >= 1
+        assert reg.bytes_cached <= reg.budget_bytes
+        # the most recent matrix is still cached
+        _, hit = reg.get(mats[-1])
+        assert hit
+
+    def test_lru_order(self, rng):
+        a, b, c = (random_csr(50, 100, rng) for _ in range(3))
+        pa = DASPMatrix.from_csr(a)
+        reg = PlanRegistry(int(plan_nbytes(pa) * 2.5))
+        reg.get(a)
+        reg.get(b)
+        reg.get(a)          # refresh a; b is now LRU
+        reg.get(c)          # evicts b
+        assert matrix_fingerprint(a) in reg
+        assert matrix_fingerprint(b) not in reg
+
+    def test_singleton_over_budget_retained(self, rng):
+        csr = random_csr(80, 200, rng)
+        reg = PlanRegistry(1)  # nothing fits
+        reg.get(csr)
+        _, hit = reg.get(csr)
+        assert hit  # most recent plan always retained
+
+    def test_custom_builder(self, rng):
+        csr = random_csr(30, 40, rng)
+        reg = PlanRegistry()
+        plan, _ = reg.get(csr, builder=lambda c: DASPMatrix.from_csr(
+            c, max_len=64))
+        assert plan.max_len == 64
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            PlanRegistry(-1)
+
+    def test_snapshot_counters(self, rng):
+        reg = PlanRegistry()
+        csr = random_csr(20, 30, rng)
+        reg.get(csr)
+        reg.get(csr)
+        snap = reg.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["plans"] == 1 and snap["bytes_cached"] > 0
+
+    def test_thread_safety_smoke(self, rng):
+        mats = [random_csr(40, 80, rng) for _ in range(6)]
+        reg = PlanRegistry()
+        errors = []
+
+        def worker():
+            try:
+                for m in mats:
+                    plan, _ = reg.get(m)
+                    assert plan.shape == m.shape
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert reg.hits + reg.misses == 24

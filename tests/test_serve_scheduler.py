@@ -1,0 +1,144 @@
+"""Tests for the bounded-queue scheduler (ordering, backpressure)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import Batch, QueueFullError, Scheduler, SpMVRequest
+
+
+def batch(fp, i, formed=0.0):
+    r = SpMVRequest(req_id=i, fingerprint=fp, x=np.zeros(2), arrival_s=formed)
+    return Batch(fingerprint=fp, requests=[r], formed_s=formed)
+
+
+class TestExecution:
+    def test_executes_everything(self):
+        done = []
+        with Scheduler(lambda b: done.append(b.requests[0].req_id),
+                       workers=3) as sched:
+            for i in range(20):
+                sched.submit(batch(f"m{i % 4}", i))
+            assert sched.drain(timeout=5.0)
+        assert sorted(done) == list(range(20))
+        assert sched.n_executed == 20
+
+    def test_per_matrix_fifo(self):
+        """Same-matrix batches execute in submission order even with
+        several workers racing."""
+        order = {"A": [], "B": []}
+        lock = threading.Lock()
+
+        def execute(b):
+            time.sleep(0.002 if b.fingerprint == "A" else 0.001)
+            with lock:
+                order[b.fingerprint].append(b.requests[0].req_id)
+
+        with Scheduler(execute, workers=4) as sched:
+            for i in range(8):
+                sched.submit(batch("A", i))
+                sched.submit(batch("B", 100 + i))
+            assert sched.drain(timeout=5.0)
+        assert order["A"] == list(range(8))
+        assert order["B"] == [100 + i for i in range(8)]
+
+    def test_cross_matrix_parallelism(self):
+        """Batches of different matrices overlap across workers."""
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def execute(b):
+            with lock:
+                active.append(b.fingerprint)
+                peak.append(len(active))
+            time.sleep(0.01)
+            with lock:
+                active.remove(b.fingerprint)
+
+        with Scheduler(execute, workers=4) as sched:
+            for i in range(4):
+                sched.submit(batch(f"m{i}", i))
+            assert sched.drain(timeout=5.0)
+        assert max(peak) >= 2
+
+    def test_error_callback(self):
+        failed = []
+
+        def execute(b):
+            raise RuntimeError("boom")
+
+        with Scheduler(execute, workers=1,
+                       on_error=lambda b, e: failed.append((b, e))) as sched:
+            sched.submit(batch("A", 0))
+            assert sched.drain(timeout=5.0)
+        assert len(failed) == 1 and isinstance(failed[0][1], RuntimeError)
+
+
+class TestBackpressure:
+    def _blocked_scheduler(self, policy, shed=None, depth=2):
+        gate = threading.Event()
+
+        def execute(b):
+            gate.wait(5.0)
+
+        sched = Scheduler(execute, workers=1, queue_depth=depth,
+                          policy=policy, on_shed=shed)
+        return sched, gate
+
+    def test_reject_when_full(self):
+        sched, gate = self._blocked_scheduler("reject")
+        try:
+            sched.submit(batch("A", 0))     # taken by the worker
+            time.sleep(0.05)
+            sched.submit(batch("A", 1))     # queued
+            sched.submit(batch("A", 2))     # queued (depth 2)
+            with pytest.raises(QueueFullError):
+                sched.submit(batch("A", 3))
+        finally:
+            gate.set()
+            sched.close(timeout=5.0)
+
+    def test_shed_oldest(self):
+        shed = []
+        sched, gate = self._blocked_scheduler("shed", shed=shed.append)
+        try:
+            sched.submit(batch("A", 0))
+            time.sleep(0.05)
+            sched.submit(batch("A", 1, formed=1.0))
+            sched.submit(batch("B", 2, formed=2.0))
+            sched.submit(batch("B", 3, formed=3.0))  # sheds batch 1
+        finally:
+            gate.set()
+            sched.close(timeout=5.0)
+        assert [b.requests[0].req_id for b in shed] == [1]
+        assert sched.n_shed_batches == 1
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Scheduler(lambda b: None, policy="drop-newest")
+
+
+class TestShutdown:
+    def test_close_idempotent(self):
+        sched = Scheduler(lambda b: None)
+        sched.close()
+        sched.close()
+
+    def test_close_without_drain_drops_queue(self):
+        gate = threading.Event()
+        ran = []
+
+        def execute(b):
+            gate.wait(5.0)
+            ran.append(b)
+
+        sched = Scheduler(execute, workers=1, queue_depth=8)
+        sched.submit(batch("A", 0))
+        time.sleep(0.05)
+        sched.submit(batch("A", 1))
+        gate.set()
+        sched.close(drain=False, timeout=5.0)
+        assert sched.backlog() == 0
