@@ -145,8 +145,12 @@ def cmd_convert(args) -> int:
 
 
 def cmd_serve_sim(args) -> int:
-    from .serve import WorkloadConfig, compare_batched_unbatched, run_workload
+    from .serve import (ChaosConfig, WorkloadConfig,
+                        compare_batched_unbatched, run_workload)
 
+    chaos = None
+    if args.chaos:
+        chaos = ChaosConfig(fault_rate=args.chaos_rate, seed=args.chaos_seed)
     cfg = WorkloadConfig(
         n_requests=args.requests,
         rate_rps=args.rate,
@@ -159,6 +163,8 @@ def cmd_serve_sim(args) -> int:
         flush_timeout_s=args.timeout_us * 1e-6,
         cache_budget_bytes=int(args.cache_mb * 1024 * 1024),
         queue_depth=args.queue_depth,
+        deadline_s=args.deadline_us * 1e-6 if args.deadline_us else None,
+        chaos=chaos,
     )
     if args.compare:
         res = compare_batched_unbatched(cfg)
@@ -242,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2023)
     p.add_argument("--compare", action="store_true",
                    help="also run request-at-a-time and print the speedup")
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a seeded fault mix (repro.resilience)")
+    p.add_argument("--chaos-rate", type=float, default=0.05,
+                   help="total fault rate split over the fault kinds")
+    p.add_argument("--chaos-seed", type=int, default=7,
+                   help="fault-injector RNG seed")
+    p.add_argument("--deadline-us", type=float, default=None,
+                   help="per-request deadline (modeled us); expired "
+                        "requests fail fast")
     p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("bench", help="mini Figure 10 sweep")

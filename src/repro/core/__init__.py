@@ -28,7 +28,11 @@ from .medium_rows import (
     run_medium_rows,
 )
 from .method import DASPMethod
-from .preprocess import dasp_preprocess_events, timed_preprocess
+from .preprocess import (
+    dasp_preprocess,
+    dasp_preprocess_events,
+    timed_preprocess,
+)
 from .short_rows import ShortRowsPlan, build_short_rows, run_short_rows
 from .spmm import dasp_spmm, mma_utilization, spmm_events
 from .spmv import dasp_spmv
@@ -50,6 +54,7 @@ __all__ = [
     "build_medium_rows",
     "build_short_rows",
     "classify_rows",
+    "dasp_preprocess",
     "dasp_preprocess_events",
     "dasp_spmm",
     "dasp_spmv",

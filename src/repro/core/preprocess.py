@@ -42,3 +42,22 @@ def timed_preprocess(csr, **from_csr_kwargs) -> tuple[DASPMatrix, float]:
     t0 = time.perf_counter()
     dasp = DASPMatrix.from_csr(csr, **from_csr_kwargs)
     return dasp, time.perf_counter() - t0
+
+
+def dasp_preprocess(csr, *, injector=None, fingerprint: str | None = None,
+                    **from_csr_kwargs) -> tuple[DASPMatrix, float]:
+    """Fault-injectable plan builder used by the serving layer.
+
+    Returns ``(plan, injected_latency_s)``.  When a
+    :class:`repro.resilience.FaultInjector` is installed, a firing
+    ``preprocess_error`` rule raises
+    :class:`~repro.resilience.errors.PreprocessFault` *before* the
+    build (the investment is lost, exactly the failure mode a server
+    must absorb), and preprocess-stage ``latency`` rules contribute
+    extra modeled seconds the caller charges on top of the event-model
+    estimate.
+    """
+    latency_s = 0.0
+    if injector is not None:
+        latency_s = injector.check_preprocess(fingerprint)
+    return DASPMatrix.from_csr(csr, **from_csr_kwargs), latency_s

@@ -1,0 +1,70 @@
+"""`repro.resilience` — fault injection, retries, breakers, fallback.
+
+The serving layer's partial-failure story (threaded through
+:mod:`repro.serve`):
+
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic, seeded
+  failure rules (preprocess raises, kernel raises, NaN output, extra
+  latency, cache-budget pressure) installable into the plan registry,
+  the server's batch executor and ``dasp_preprocess``;
+* :class:`RetryPolicy` — bounded retry with exponential backoff and
+  seeded jitter for transiently-failed batches;
+* :class:`CircuitBreaker` / :class:`BreakerConfig` — per-matrix
+  closed -> open -> half-open quarantine of poisoned fingerprints;
+* :class:`FallbackExecutor` — the merge-CSR degraded path that needs
+  no DASP plan and charges its modeled cost honestly;
+* the error taxonomy (:class:`DeadlineExceededError`,
+  :class:`ServerClosedError`, :class:`PlanTooLargeError`,
+  :class:`CircuitOpenError`, the injected-fault classes) with a
+  ``transient`` flag driving retry decisions.
+
+This package deliberately does not import :mod:`repro.serve` — the
+serving layer depends on it, never the reverse.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from .errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFault,
+    KernelFault,
+    NumericFault,
+    PlanTooLargeError,
+    PreprocessFault,
+    ResilienceError,
+    ServerClosedError,
+)
+from .fallback import FallbackExecutor
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    KernelDecision,
+)
+from .retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "BreakerConfig",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "FAULT_KINDS",
+    "FallbackExecutor",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "HALF_OPEN",
+    "InjectedFault",
+    "KernelDecision",
+    "KernelFault",
+    "NO_RETRY",
+    "NumericFault",
+    "OPEN",
+    "PlanTooLargeError",
+    "PreprocessFault",
+    "ResilienceError",
+    "RetryPolicy",
+    "ServerClosedError",
+]

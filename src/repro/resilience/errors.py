@@ -1,0 +1,59 @@
+"""Error taxonomy of the resilience subsystem.
+
+Every failure the serving layer can surface to a caller gets its own
+class here so that tests and clients can distinguish the *reason* a
+future failed: the request outlived its deadline, the server was shut
+down, the matrix's plan cannot fit the cache, its circuit breaker is
+open, or a fault-injection rule fired.
+
+Errors carry a class-level ``transient`` flag: transient failures are
+worth retrying (a flaky kernel launch), permanent ones go straight to
+the degraded merge-CSR path or to the caller.
+"""
+
+from __future__ import annotations
+
+from .._util import ReproError
+
+
+class ResilienceError(ReproError):
+    """Base class for failures raised by :mod:`repro.resilience`."""
+
+    #: Whether a bounded retry is worth attempting.
+    transient = False
+
+
+class DeadlineExceededError(ResilienceError):
+    """A request (or a preprocessing pass) outlived its deadline."""
+
+
+class ServerClosedError(ResilienceError):
+    """The server shut down with this request still unserved."""
+
+
+class PlanTooLargeError(ResilienceError):
+    """A single DASP plan exceeds the whole plan-cache byte budget."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The matrix's circuit breaker is open (quarantined fingerprint)."""
+
+
+class NumericFault(ResilienceError):
+    """A kernel produced non-finite output (NaN/Inf detected)."""
+
+    transient = True
+
+
+class InjectedFault(ResilienceError):
+    """Base class for failures raised by the fault injector."""
+
+
+class PreprocessFault(InjectedFault):
+    """Injected failure of the CSR -> DASP preprocessing pass."""
+
+
+class KernelFault(InjectedFault):
+    """Injected failure of an SpMV/SpMM kernel invocation."""
+
+    transient = True

@@ -1,0 +1,58 @@
+"""Bounded retry with exponential backoff and seeded jitter.
+
+The serving layer retries *transient* batch failures (see
+``transient`` on the error classes) a bounded number of times before
+degrading to the merge-CSR fallback.  Backoff grows exponentially and
+is jittered downward ("full jitter" capped at the nominal delay) so
+retries of concurrently-failed batches decorrelate; with a seeded RNG
+the schedule is deterministic, which the virtual-time driver relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check, default_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff shape.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries after the first attempt (0 disables retrying).
+    base_delay_s / multiplier / max_delay_s:
+        Nominal backoff before retry ``r`` (1-based) is
+        ``min(base_delay_s * multiplier**(r - 1), max_delay_s)``.
+    jitter:
+        Fraction of the nominal delay that is jittered away uniformly
+        (0 = deterministic backoff, 1 = full jitter down to zero).
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 100e-6
+    multiplier: float = 2.0
+    max_delay_s: float = 10e-3
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        check(self.max_retries >= 0, "max_retries must be >= 0")
+        check(self.base_delay_s >= 0.0, "base_delay_s must be >= 0")
+        check(self.multiplier >= 1.0, "multiplier must be >= 1")
+        check(0.0 <= self.jitter <= 1.0, "jitter must be in [0, 1]")
+
+    def backoff_s(self, retry: int, rng=None) -> float:
+        """Backoff (seconds) before 1-based retry number *retry*."""
+        check(retry >= 1, "retry is 1-based")
+        delay = min(self.base_delay_s * self.multiplier ** (retry - 1),
+                    self.max_delay_s)
+        if self.jitter and delay > 0.0:
+            rng = default_rng(rng)
+            delay *= 1.0 - self.jitter * float(rng.random())
+        return delay
+
+
+#: Retrying disabled (used by tests and the no-resilience baseline).
+NO_RETRY = RetryPolicy(max_retries=0)

@@ -17,8 +17,26 @@ Models an SpMV inference service on top of the DASP kernels:
   reports modeled throughput, latency percentiles, the batch-size
   histogram, MMA utilization and the cache hit rate as
   :class:`ServerStats`.
+
+Partial-failure handling (deadlines, retries, circuit breaking, the
+merge-CSR degraded path, and the :class:`ChaosConfig` fault mix) comes
+from :mod:`repro.resilience`; the key names are re-exported here for
+convenience.
 """
 
+from ..resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FallbackExecutor,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    PlanTooLargeError,
+    RetryPolicy,
+    ServerClosedError,
+)
 from .batcher import (
     DEFAULT_FLUSH_TIMEOUT_S,
     MMA_N,
@@ -27,6 +45,7 @@ from .batcher import (
     SpMVRequest,
 )
 from .driver import (
+    ChaosConfig,
     WorkloadConfig,
     compare_batched_unbatched,
     run_workload,
@@ -44,14 +63,26 @@ from .stats import ServerStats
 
 __all__ = [
     "Batch",
+    "BreakerConfig",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DEFAULT_BUDGET_BYTES",
     "DEFAULT_FLUSH_TIMEOUT_S",
+    "DeadlineExceededError",
+    "FallbackExecutor",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "MMA_N",
     "PlanRegistry",
+    "PlanTooLargeError",
     "QueueFullError",
     "RequestBatcher",
     "RequestShedError",
+    "RetryPolicy",
     "Scheduler",
+    "ServerClosedError",
     "ServerStats",
     "SpMVRequest",
     "SpMVServer",

@@ -38,12 +38,18 @@ class SpMVRequest:
     fingerprint: str
     x: np.ndarray
     arrival_s: float
+    #: Absolute deadline; once passed the request fails fast with
+    #: ``DeadlineExceededError`` instead of occupying a batch slot.
+    deadline_s: float = float("inf")
     result: np.ndarray | None = None
     completion_s: float = float("nan")
 
     @property
     def latency_s(self) -> float:
         return self.completion_s - self.arrival_s
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline_s
 
 
 @dataclass
@@ -67,6 +73,13 @@ class Batch:
         for j, req in enumerate(self.requests):
             req.result = Y[:, j]
             req.completion_s = completion_s
+
+    def split_expired(self, now: float) -> list[SpMVRequest]:
+        """Remove and return the requests whose deadline has passed."""
+        expired = [r for r in self.requests if r.expired(now)]
+        if expired:
+            self.requests = [r for r in self.requests if not r.expired(now)]
+        return expired
 
 
 class RequestBatcher:

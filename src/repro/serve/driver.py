@@ -10,10 +10,19 @@ applying backpressure.  Every batch is charged its modeled device time
 misses additionally pay the modeled preprocessing cost (Figure 13), and
 per-request latency is ``completion - arrival`` in virtual seconds.
 
+**Chaos mode** (:class:`ChaosConfig`) injects a seeded fault mix over
+the same traffic: preprocessing failures, transient kernel failures
+(retried with the configured backoff, charged in virtual time),
+NaN-corrupted outputs (caught by validation), extra latency, and an
+optional permanently-poisoned matrix that drives its circuit breaker
+open.  Un-servable batches degrade to the modeled merge-CSR fallback;
+requests past their deadline fail fast and are counted.
+
 Being single-threaded and clocked virtually, the driver is exactly
 reproducible for a given seed — the property the serving benchmarks
-rely on — while exercising the same :class:`RequestBatcher` and
-:class:`PlanRegistry` code the real-threaded server runs.
+rely on — while exercising the same :class:`RequestBatcher`,
+:class:`PlanRegistry`, breaker, retry and fallback code the
+real-threaded server runs.
 """
 
 from __future__ import annotations
@@ -23,15 +32,56 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from .._util import check, default_rng
+from .._util import ReproError, check, default_rng
 from ..core.format import DASPMatrix
-from ..core.preprocess import dasp_preprocess_events
+from ..core.preprocess import dasp_preprocess, dasp_preprocess_events
 from ..core.spmm import mma_utilization, spmm_events
 from ..gpu.cost_model import estimate_preprocess_time, estimate_time
 from ..gpu.device import get_device
+from ..resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    FallbackExecutor,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    KernelFault,
+    NumericFault,
+    RetryPolicy,
+)
 from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, RequestBatcher, SpMVRequest
 from .plan_cache import DEFAULT_BUDGET_BYTES, PlanRegistry, matrix_fingerprint
 from .stats import ServerStats
+
+
+@dataclass
+class ChaosConfig:
+    """Seeded fault mix injected over the synthetic workload.
+
+    Attributes
+    ----------
+    fault_rate:
+        Total firing probability, split evenly over *kinds* (0.05 =
+        5% of eligible calls hit some fault).
+    seed:
+        RNG seed of the injector (independent of the traffic seed).
+    latency_us:
+        Extra modeled microseconds charged when a latency rule fires.
+    kinds:
+        Which fault kinds participate in the even split.
+    poison_rank / poison_rate:
+        Optionally make the ``poison_rank``-th pool matrix fail its
+        kernel with probability ``poison_rate`` — the deterministic way
+        to exercise the circuit breaker under Zipf traffic.
+    """
+
+    fault_rate: float = 0.05
+    seed: int = 7
+    latency_us: float = 300.0
+    kinds: tuple = ("preprocess_error", "kernel_error", "kernel_nan",
+                    "latency")
+    poison_rank: int | None = None
+    poison_rate: float = 1.0
 
 
 @dataclass
@@ -57,6 +107,12 @@ class WorkloadConfig:
     queue_depth:
         Bounded device backlog (flushed-but-unstarted batches); arrivals
         beyond it are rejected.
+    deadline_s / retry / breaker / fallback / chaos:
+        Resilience knobs (virtual-time deadlines per request, retry
+        policy for transient kernel failures, circuit-breaker
+        thresholds, merge-CSR degradation on/off, fault mix).  All
+        inert by default: with ``chaos=None`` and ``deadline_s=None``
+        the driver behaves exactly like the resilience-free baseline.
     """
 
     n_requests: int = 2000
@@ -72,6 +128,11 @@ class WorkloadConfig:
     plan_cache: bool = True
     queue_depth: int = 256
     entries: list = field(default_factory=list)  # overrides the suite pool
+    deadline_s: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    fallback: bool = True
+    chaos: ChaosConfig | None = None
 
 
 def zipf_weights(n: int, s: float) -> np.ndarray:
@@ -95,6 +156,22 @@ def _matrix_pool(cfg: WorkloadConfig):
         csr = e.matrix().astype(dtype)
         pool.append((e.name, matrix_fingerprint(csr), csr))
     return pool
+
+
+def _build_injector(cfg: WorkloadConfig, pool) -> FaultInjector | None:
+    chaos = cfg.chaos
+    if chaos is None:
+        return None
+    plan = FaultPlan.chaos_mix(chaos.fault_rate, seed=chaos.seed,
+                               latency_s=chaos.latency_us * 1e-6,
+                               kinds=chaos.kinds)
+    if chaos.poison_rank is not None:
+        check(0 <= chaos.poison_rank < len(pool),
+              "poison_rank outside the matrix pool")
+        plan.rules.append(FaultRule(
+            kind="kernel_error", rate=chaos.poison_rate,
+            fingerprint=pool[chaos.poison_rank][1]))
+    return FaultInjector(plan)
 
 
 class _ModeledDevice:
@@ -127,10 +204,14 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
     rng = default_rng(cfg.seed)
     pool = _matrix_pool(cfg)
     weights = zipf_weights(len(pool), cfg.zipf_s)
-    registry = PlanRegistry(cfg.cache_budget_bytes)
+    injector = _build_injector(cfg, pool)
+    registry = PlanRegistry(cfg.cache_budget_bytes, fault_injector=injector)
     batcher = RequestBatcher(cfg.max_batch, cfg.flush_timeout_s)
     modeled = _ModeledDevice(device, dtype.itemsize * 8)
     stats = ServerStats(device=device.name, dtype=str(dtype))
+    breaker = CircuitBreaker(cfg.breaker)
+    fallback = FallbackExecutor(device)
+    retry_rng = default_rng(cfg.seed + 1)  # jitter stream, not traffic
 
     rate = cfg.rate_rps
     if rate is None:
@@ -157,46 +238,128 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
     completed: list[SpMVRequest] = []
 
     def plan_for(fp: str, csr) -> DASPMatrix:
+        """Fetch/build a plan, charging (and possibly failing) the
+        preprocessing pass.  Raises on injected preprocess faults and
+        on plans over the cache budget."""
         nonlocal device_free
+        lat_cell = {}
+
+        def build(matrix):
+            plan, lat_s = dasp_preprocess(matrix, injector=injector,
+                                          fingerprint=fp)
+            lat_cell["s"] = lat_s
+            return plan
+
         if cfg.plan_cache:
-            plan, hit = registry.get(csr, fingerprint=fp)
+            plan, hit = registry.get(csr, fingerprint=fp, builder=build)
             if not hit:
                 pre = estimate_preprocess_time(
-                    dasp_preprocess_events(plan), device)
+                    dasp_preprocess_events(plan), device) + lat_cell.get("s", 0.0)
                 stats.observe_preprocess(pre)
                 device_free += pre
             return plan
         # no-cache baseline: rebuild (and pay for) the plan every batch
-        plan = DASPMatrix.from_csr(csr)
-        pre = estimate_preprocess_time(dasp_preprocess_events(plan), device)
+        plan, lat_s = dasp_preprocess(csr, injector=injector, fingerprint=fp)
+        pre = estimate_preprocess_time(dasp_preprocess_events(plan),
+                                       device) + lat_s
         stats.observe_preprocess(pre)
         device_free += pre
         return plan
 
     csr_by_fp = {fp: csr for _, fp, csr in pool}
 
+    def finish(batch, done: float, t: float, useful: float, issued: float,
+               degraded: bool) -> None:
+        nonlocal device_free
+        device_free = done
+        plan_rows = csr_by_fp[batch.fingerprint].shape[0]
+        batch.scatter(np.zeros((plan_rows, batch.k)), done)
+        if degraded:
+            stats.observe_degraded(batch.k)
+        stats.observe_batch(batch.k, t, useful_mma=useful, issued_mma=issued)
+        for req in batch.requests:
+            stats.observe_latency(req.latency_s)
+            completed.append(req)
+
+    def degrade(batch, start: float) -> None:
+        nonlocal device_free
+        fp = batch.fingerprint
+        t, pre_s = fallback.modeled_cost(fp, csr_by_fp[fp], batch.k)
+        if pre_s:
+            stats.observe_preprocess(pre_s)
+            start += pre_s
+        finish(batch, start + t, t, 0.0, 0.0, degraded=True)
+
+    def run_one(batch) -> None:
+        """Execute one batch on the modeled device, chaos included."""
+        nonlocal device_free
+        fp = batch.fingerprint
+        start = max(device_free, batch.formed_s)
+        if cfg.deadline_s is not None:
+            expired = batch.split_expired(start)
+            if expired:
+                stats.observe_deadline_exceeded(len(expired))
+            if not batch.requests:
+                return
+        if injector is not None and not breaker.allow(fp, start):
+            if cfg.fallback:
+                degrade(batch, start)
+            else:
+                stats.observe_failed(batch.k)
+            return
+        try:
+            plan = plan_for(fp, csr_by_fp[fp])
+        except ReproError:
+            if injector is not None:
+                breaker.record_failure(fp, start)
+            if cfg.fallback:
+                degrade(batch, max(device_free, start))
+            else:
+                stats.observe_failed(batch.k)
+            return
+        for attempt in range(cfg.retry.max_retries + 1):
+            t, useful, issued = modeled.batch_cost(fp, plan, batch.k)
+            fault: Exception | None = None
+            extra_s = 0.0
+            if injector is not None:
+                try:
+                    decision = injector.check_kernel(fp)
+                    extra_s = decision.latency_s
+                    if decision.corrupt:
+                        fault = NumericFault("injected NaN output")
+                except KernelFault as exc:
+                    fault = exc
+            start = max(device_free, batch.formed_s)
+            if fault is None:
+                if injector is not None:
+                    breaker.record_success(fp, start + t + extra_s)
+                finish(batch, start + t + extra_s, t + extra_s,
+                       useful, issued, degraded=False)
+                return
+            # failed attempt: the wasted kernel time is still burned
+            device_free = start + t + extra_s
+            breaker.record_failure(fp, device_free)
+            if attempt < cfg.retry.max_retries:
+                stats.observe_retry()
+                device_free += cfg.retry.backoff_s(attempt + 1, retry_rng)
+                continue
+            if cfg.fallback:
+                degrade(batch, device_free)
+            else:
+                stats.observe_failed(batch.k)
+            return
+
     def start_batches(now: float) -> None:
         """Run every backlog batch whose start time has been reached."""
-        nonlocal device_free
         while backlog and device_free <= now:
-            batch = backlog.popleft()
-            plan = plan_for(batch.fingerprint, csr_by_fp[batch.fingerprint])
-            t, useful, issued = modeled.batch_cost(
-                batch.fingerprint, plan, batch.k)
-            start = max(device_free, batch.formed_s)
-            done = start + t
-            device_free = done
-            batch.scatter(np.zeros((plan.shape[0], batch.k),
-                                   dtype=plan.mma_shape.acc_dtype), done)
-            stats.observe_batch(batch.k, t, useful_mma=useful,
-                                issued_mma=issued)
-            for req in batch.requests:
-                stats.observe_latency(req.latency_s)
-                completed.append(req)
+            run_one(backlog.popleft())
 
     def enqueue(batches) -> None:
         for b in batches:
             backlog.append(b)
+
+    deadline_for = (lambda now: now + cfg.deadline_s) \
+        if cfg.deadline_s is not None else (lambda now: float("inf"))
 
     for i in range(cfg.n_requests):
         now = float(arrivals[i])
@@ -218,7 +381,8 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
             stats.observe_rejected()
             continue
         _, fp, csr = pool[choices[i]]
-        req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now)
+        req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now,
+                          deadline_s=deadline_for(now))
         full = batcher.add(req, now)
         if full is not None:
             enqueue([full])
@@ -243,6 +407,10 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
     stats.cache_hits = snap["hits"]
     stats.cache_misses = snap["misses"]
     stats.cache_evictions = snap["evictions"]
+    stats.breaker_transitions = breaker.transitions
+    stats.breaker_state = breaker.snapshot()
+    if injector is not None:
+        stats.faults_injected = injector.total_injected
     return stats
 
 

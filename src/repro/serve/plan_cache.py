@@ -20,6 +20,7 @@ import numpy as np
 
 from .._util import check
 from ..core.format import DASPMatrix
+from ..resilience.errors import PlanTooLargeError
 
 #: Default cache budget: 256 MiB of packed plan arrays.
 DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
@@ -65,14 +66,22 @@ class PlanRegistry:
     Parameters
     ----------
     budget_bytes:
-        Maximum total :func:`plan_nbytes` held.  The most recently used
-        plan is always retained even if it alone exceeds the budget —
-        a server must be able to answer the request it is holding.
+        Maximum total :func:`plan_nbytes` held.  A plan that alone
+        exceeds the whole budget is *rejected* with
+        :class:`~repro.resilience.errors.PlanTooLargeError` instead of
+        thrash-evicting every other entry — the server answers such
+        matrices from the plan-free fallback path.
+    fault_injector:
+        Optional :class:`repro.resilience.FaultInjector`; its
+        ``cache_pressure`` rules shrink the effective budget per
+        insertion, simulating device-memory pressure.
     """
 
-    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES, *,
+                 fault_injector=None) -> None:
         check(budget_bytes >= 0, "budget_bytes must be non-negative")
         self.budget_bytes = int(budget_bytes)
+        self.fault_injector = fault_injector
         self._plans: OrderedDict[str, tuple[DASPMatrix, int]] = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
@@ -118,16 +127,32 @@ class PlanRegistry:
             entry = self._plans.get(fingerprint)
             return entry[0] if entry is not None else None
 
+    def effective_budget(self) -> int:
+        """Byte budget after any injected cache pressure."""
+        if self.fault_injector is not None:
+            return self.fault_injector.effective_budget(self.budget_bytes)
+        return self.budget_bytes
+
     def put(self, fingerprint: str, plan: DASPMatrix) -> None:
-        """Insert (or refresh) a plan and evict LRU entries over budget."""
+        """Insert (or refresh) a plan and evict LRU entries over budget.
+
+        Raises :class:`PlanTooLargeError` when the plan alone exceeds
+        the (effective) budget — rejecting it outright beats evicting
+        the whole working set for a matrix that cannot be cached anyway.
+        """
         nbytes = plan_nbytes(plan)
+        budget = self.effective_budget()
+        if nbytes > budget:
+            raise PlanTooLargeError(
+                f"plan {fingerprint[:8]}… needs {nbytes:,} bytes, over the "
+                f"{budget:,}-byte cache budget")
         with self._lock:
             old = self._plans.pop(fingerprint, None)
             if old is not None:
                 self.bytes_cached -= old[1]
             self._plans[fingerprint] = (plan, nbytes)
             self.bytes_cached += nbytes
-            while self.bytes_cached > self.budget_bytes and len(self._plans) > 1:
+            while self.bytes_cached > budget and len(self._plans) > 1:
                 _, (_, evicted_bytes) = self._plans.popitem(last=False)
                 self.bytes_cached -= evicted_bytes
                 self.evictions += 1

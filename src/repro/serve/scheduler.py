@@ -43,10 +43,17 @@ class Scheduler:
         ``"reject"`` (submit raises :class:`QueueFullError`) or
         ``"shed"`` (oldest queued batch is dropped; ``on_shed`` is
         called with it).
+    prune:
+        Optional ``prune(batch) -> Batch | None`` called at dequeue
+        time, before execution — the server uses it to fail expired
+        requests fast so they never occupy a worker.  Returning
+        ``None`` (or an empty batch) skips execution entirely; the
+        batch still counts as handled for drain purposes.
     """
 
     def __init__(self, execute, *, workers: int = 2, queue_depth: int = 64,
-                 policy: str = "reject", on_shed=None, on_error=None) -> None:
+                 policy: str = "reject", on_shed=None, on_error=None,
+                 prune=None) -> None:
         check(workers >= 1, "workers must be >= 1")
         check(queue_depth >= 1, "queue_depth must be >= 1")
         if policy not in ("reject", "shed"):
@@ -56,6 +63,7 @@ class Scheduler:
         self.policy = policy
         self._on_shed = on_shed
         self._on_error = on_error
+        self._prune = prune
         # fingerprint -> FIFO of its queued batches; dict order gives the
         # round-robin scan order for ready work.
         self._queues: OrderedDict[str, deque[Batch]] = OrderedDict()
@@ -164,7 +172,11 @@ class Scheduler:
                 if batch is None:  # closed and nothing ready
                     return
             try:
-                self._execute(batch)
+                run = batch
+                if self._prune is not None:
+                    run = self._prune(batch)
+                if run is not None and run.requests:
+                    self._execute(run)
             except Exception as exc:  # noqa: BLE001 — surfaced via callback
                 if self._on_error is not None:
                     self._on_error(batch, exc)

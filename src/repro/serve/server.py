@@ -1,6 +1,6 @@
 """`SpMVServer` — the real-threaded SpMV inference service.
 
-Wires the three serving components together: requests submitted with
+Wires the serving components together: requests submitted with
 :meth:`SpMVServer.submit` are coalesced per matrix by the
 :class:`~repro.serve.batcher.RequestBatcher`, executed as
 :func:`~repro.core.spmm.dasp_spmm` batches (``dasp_spmv`` for
@@ -13,6 +13,22 @@ Alongside the numeric result, every batch is charged its *modeled*
 device time (A100/H800 cost model over the measured SpMM events), so
 the server reports hardware-meaningful throughput even though the
 kernels run as NumPy on the host.
+
+Partial failure is a first-class citizen (see :mod:`repro.resilience`):
+
+* requests carry **deadlines** — expired ones fail fast with
+  :class:`DeadlineExceededError` at dequeue time instead of occupying
+  a batch slot;
+* transient kernel failures are **retried** with exponential backoff
+  and seeded jitter, bounded by a :class:`RetryPolicy`;
+* a per-matrix **circuit breaker** quarantines fingerprints that keep
+  failing (closed -> open -> half-open probe);
+* when DASP preprocessing fails, blows its deadline, the plan cannot
+  fit the cache, or the breaker is open, the batch **degrades** to the
+  merge-CSR fallback path — no plan needed, modeled cost charged
+  honestly — and ``ServerStats`` reports the degradation;
+* :meth:`close` never leaks futures: anything still parked fails with
+  :class:`ServerClosedError`.
 """
 
 from __future__ import annotations
@@ -21,12 +37,24 @@ import threading
 import time
 from concurrent.futures import Future
 
-from .._util import ReproError, check
-from ..core.preprocess import dasp_preprocess_events
+import numpy as np
+
+from .._util import ReproError, check, default_rng
+from ..core.preprocess import dasp_preprocess, dasp_preprocess_events
 from ..core.spmm import dasp_spmm, mma_utilization, spmm_events
 from ..core.spmv import dasp_spmv
 from ..gpu.cost_model import estimate_preprocess_time, estimate_time
 from ..gpu.device import get_device
+from ..resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    FallbackExecutor,
+    NumericFault,
+    RetryPolicy,
+    ServerClosedError,
+)
 from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, Batch, RequestBatcher, SpMVRequest
 from .plan_cache import DEFAULT_BUDGET_BYTES, PlanRegistry, matrix_fingerprint
 from .scheduler import QueueFullError, Scheduler
@@ -38,11 +66,33 @@ class RequestShedError(ReproError):
 
 
 class SpMVServer:
-    """Batched, plan-cached SpMV serving (see module docstring).
+    """Batched, plan-cached, failure-hardened SpMV serving.
 
     Matrices must be :meth:`register`-ed before requests can address
     them (by the returned fingerprint).  Use as a context manager, or
     call :meth:`close` to drain and stop the workers.
+
+    Resilience parameters
+    ---------------------
+    default_deadline_s:
+        Deadline applied to every request that does not pass its own
+        (``None`` = no deadline).
+    preprocess_deadline_s:
+        Budget for one modeled preprocessing pass; exceeding it counts
+        as a preprocess failure and degrades the batch (``None`` = no
+        budget).
+    retry:
+        :class:`RetryPolicy` for transiently-failed batches.
+    breaker:
+        :class:`BreakerConfig` for the per-matrix circuit breaker, or
+        ``None`` to disable it.
+    fault_injector:
+        Optional :class:`repro.resilience.FaultInjector` installed into
+        the plan registry, the preprocessing builder and the batch
+        executor.
+    fallback:
+        Serve un-servable batches from the merge-CSR path (default).
+        When ``False`` they fail with the causing exception instead.
     """
 
     def __init__(self, *, device: str = "A100",
@@ -50,21 +100,39 @@ class SpMVServer:
                  flush_timeout_s: float = DEFAULT_FLUSH_TIMEOUT_S,
                  cache_budget_bytes: int = DEFAULT_BUDGET_BYTES,
                  workers: int = 2, queue_depth: int = 64,
-                 policy: str = "reject") -> None:
+                 policy: str = "reject",
+                 default_deadline_s: float | None = None,
+                 preprocess_deadline_s: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 breaker: BreakerConfig | None = BreakerConfig(),
+                 fault_injector=None,
+                 fallback: bool = True,
+                 seed: int = 0) -> None:
         self.device = get_device(device)
-        self.registry = PlanRegistry(cache_budget_bytes)
+        self.fault_injector = fault_injector
+        self.registry = PlanRegistry(cache_budget_bytes,
+                                     fault_injector=fault_injector)
         self.batcher = RequestBatcher(max_batch, flush_timeout_s)
         self.stats = ServerStats(device=self.device.name)
+        self.default_deadline_s = default_deadline_s
+        self.preprocess_deadline_s = preprocess_deadline_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(breaker) if breaker is not None else None
+        self.fallback_enabled = bool(fallback)
+        self._fallback = FallbackExecutor(self.device)
+        self._retry_rng = default_rng(seed)
+        self._rng_lock = threading.Lock()
         self.scheduler = Scheduler(
             self._execute_batch, workers=workers, queue_depth=queue_depth,
             policy=policy, on_shed=self._shed_batch,
-            on_error=self._fail_batch)
+            on_error=self._fail_batch, prune=self._prune_batch)
         self._matrices: dict[str, object] = {}
         self._futures: dict[int, Future] = {}
         self._lock = threading.Lock()
         self._next_id = 0
         self._t0 = time.perf_counter()
         self._closed = False
+        self._stop = threading.Event()
         self._flusher = threading.Thread(target=self._flush_loop,
                                          name="serve-flusher", daemon=True)
         self._flusher.start()
@@ -74,30 +142,46 @@ class SpMVServer:
         """Make *csr* servable; returns its routing fingerprint."""
         fp = matrix_fingerprint(csr)
         with self._lock:
+            if self._closed:
+                raise ServerClosedError("server is closed")
             self._matrices[fp] = csr
         return fp
 
-    def submit(self, fingerprint: str, x) -> Future:
+    def submit(self, fingerprint: str, x,
+               deadline_s: float | None = None) -> Future:
         """Queue ``y = A @ x``; the future resolves to the result vector.
 
+        Invalid inputs fail immediately on the caller thread: an
+        unknown *fingerprint*, a wrong-length or non-finite *x*, or a
+        closed server (:class:`ServerClosedError`).  ``deadline_s`` is
+        a relative budget from now (falling back to the server-wide
+        default); once it passes, the future fails with
+        :class:`DeadlineExceededError` instead of occupying a slot.
         Raises :class:`~repro.serve.scheduler.QueueFullError` under
         ``"reject"`` backpressure; under ``"shed"`` the displaced
         batch's futures fail with :class:`RequestShedError`.
         """
         with self._lock:
-            check(not self._closed, "server is closed")
+            if self._closed:
+                raise ServerClosedError("server is closed")
             csr = self._matrices.get(fingerprint)
         if csr is None:
             raise ReproError(f"unknown matrix fingerprint {fingerprint!r}")
+        x = np.asarray(x)
         check(x.shape == (csr.shape[1],),
               f"x must have shape ({csr.shape[1]},)")
+        check(bool(np.isfinite(x).all()), "x must be finite (no NaN/Inf)")
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        now = self._now()
+        deadline = float("inf") if deadline_s is None else now + deadline_s
         future: Future = Future()
         with self._lock:
             req_id = self._next_id
             self._next_id += 1
             self._futures[req_id] = future
         req = SpMVRequest(req_id=req_id, fingerprint=fingerprint, x=x,
-                          arrival_s=self._now())
+                          arrival_s=now, deadline_s=deadline)
         self.stats.observe_request()
         try:
             full = self.batcher.add(req, self._now())
@@ -120,18 +204,38 @@ class SpMVServer:
         self.flush()
         return self.scheduler.drain(timeout)
 
-    def close(self, timeout: float | None = None) -> None:
-        if self._closed:
-            return
-        self.drain(timeout)
-        self._closed = True
-        self.scheduler.close(timeout=timeout)
+    def close(self, timeout: float | None = None, *, drain: bool = True) -> None:
+        """Shut down; never leaks a future.
+
+        ``drain=True`` (default) executes what it can first; with
+        ``drain=False`` (abort) pending batches are dropped.  Either
+        way, every future still unresolved afterwards — parked in the
+        batcher, dropped from the queue, or raced in by a concurrent
+        :meth:`submit` — fails with :class:`ServerClosedError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
+        if drain:
+            try:
+                self.drain(timeout)
+            except ReproError:
+                pass  # backpressure mid-shutdown: leftovers swept below
+        self.scheduler.close(drain=drain, timeout=timeout)
         self._flusher.join(timeout)
+        self._fail_parked()
         self.stats.duration_s = self._now()
         snap = self.registry.snapshot()
         self.stats.cache_hits = snap["hits"]
         self.stats.cache_misses = snap["misses"]
         self.stats.cache_evictions = snap["evictions"]
+        if self.breaker is not None:
+            self.stats.breaker_transitions = self.breaker.transitions
+            self.stats.breaker_state = self.breaker.snapshot()
+        if self.fault_injector is not None:
+            self.stats.faults_injected = self.fault_injector.total_injected
 
     def __enter__(self) -> "SpMVServer":
         return self
@@ -145,36 +249,164 @@ class SpMVServer:
 
     def _flush_loop(self) -> None:
         # Wake a few times per timeout window; wall-clock flushing only
-        # bounds latency, it does not affect modeled throughput.
+        # bounds latency, it does not affect modeled throughput.  The
+        # stop event (not a sleep) keeps shutdown prompt even when the
+        # flush timeout is long.
         interval = max(self.batcher.flush_timeout_s / 4, 1e-4)
-        while not self._closed:
-            time.sleep(interval)
+        while not self._stop.wait(interval):
             try:
                 for batch in self.batcher.due(self._now()):
                     self.scheduler.submit(batch)
             except (QueueFullError, ReproError):
                 continue  # backpressure: leave batches queued in batcher
 
+    def _fail_parked(self) -> None:
+        """Fail every still-unresolved future with ServerClosedError."""
+        for batch in self.batcher.flush_all(self._now()):
+            for req in batch.requests:
+                fut = self._pop_future(req.req_id)
+                if fut is not None:
+                    self.stats.observe_closed()
+                    fut.set_exception(ServerClosedError(
+                        f"request {req.req_id} unserved at shutdown"))
+        with self._lock:
+            leftovers = list(self._futures.items())
+            self._futures.clear()
+        for req_id, fut in leftovers:
+            self.stats.observe_closed()
+            fut.set_exception(ServerClosedError(
+                f"request {req_id} unserved at shutdown"))
+
+    # ------------------------------------------------------------------
+    # batch execution (scheduler worker context)
+    # ------------------------------------------------------------------
+    def _prune_batch(self, batch: Batch) -> Batch | None:
+        """Scheduler dequeue hook: drop expired requests before work."""
+        self._fail_expired(batch, self._now())
+        return batch if batch.requests else None
+
+    def _fail_expired(self, batch: Batch, now: float) -> None:
+        for req in batch.split_expired(now):
+            self.stats.observe_deadline_exceeded()
+            fut = self._pop_future(req.req_id)
+            if fut is not None:
+                fut.set_exception(DeadlineExceededError(
+                    f"request {req.req_id} missed its deadline "
+                    f"({req.deadline_s - req.arrival_s:.6f}s budget)"))
+
     def _execute_batch(self, batch: Batch) -> None:
-        csr = self._matrices[batch.fingerprint]
-        plan, hit = self.registry.get(csr, fingerprint=batch.fingerprint)
+        self._fail_expired(batch, self._now())
+        if not batch.requests:
+            return
+        fp = batch.fingerprint
+        csr = self._matrices[fp]
+        if self.breaker is not None and not self.breaker.allow(fp, self._now()):
+            self._degrade(batch, csr, CircuitOpenError(
+                f"circuit open for matrix {fp[:8]}…"))
+            return
+        try:
+            plan = self._get_plan(fp, csr)
+        except Exception as exc:  # noqa: BLE001 — degrade, never crash a worker
+            if self.breaker is not None:
+                self.breaker.record_failure(fp, self._now())
+            self._degrade(batch, csr, exc)
+            return
+        for attempt in range(self.retry.max_retries + 1):
+            try:
+                Y, device_s, useful, issued = self._run_kernel(batch, plan, fp)
+                break
+            except Exception as exc:  # noqa: BLE001
+                if self.breaker is not None:
+                    self.breaker.record_failure(fp, self._now())
+                transient = getattr(exc, "transient", False)
+                if transient and attempt < self.retry.max_retries:
+                    self.stats.observe_retry()
+                    with self._rng_lock:
+                        backoff = self.retry.backoff_s(attempt + 1,
+                                                       self._retry_rng)
+                    time.sleep(backoff)
+                    self._fail_expired(batch, self._now())
+                    if not batch.requests:
+                        return
+                    continue
+                self._degrade(batch, csr, exc)
+                return
+        if self.breaker is not None:
+            self.breaker.record_success(fp, self._now())
+        self._complete(batch, Y, device_s, useful, issued)
+
+    def _get_plan(self, fp: str, csr):
+        """Fetch or build the DASP plan, charging modeled preprocess
+        time and enforcing the preprocess deadline on misses."""
+        pre_cell: dict[str, float] = {}
+
+        def build(matrix):
+            plan, latency_s = dasp_preprocess(
+                matrix, injector=self.fault_injector, fingerprint=fp)
+            pre = estimate_preprocess_time(
+                dasp_preprocess_events(plan), self.device) + latency_s
+            if (self.preprocess_deadline_s is not None
+                    and pre > self.preprocess_deadline_s):
+                raise DeadlineExceededError(
+                    f"preprocess needs {pre:.6f}s modeled, over the "
+                    f"{self.preprocess_deadline_s:.6f}s budget")
+            pre_cell["s"] = pre
+            return plan
+
+        plan, hit = self.registry.get(csr, fingerprint=fp, builder=build)
         if not hit:
-            self.stats.observe_preprocess(estimate_preprocess_time(
-                dasp_preprocess_events(plan), self.device))
+            self.stats.observe_preprocess(pre_cell.get("s", 0.0))
+        return plan
+
+    def _run_kernel(self, batch: Batch, plan, fp: str):
+        """One DASP SpMV/SpMM attempt; raises on (injected) failure."""
+        extra_s = 0.0
+        corrupt = False
+        if self.fault_injector is not None:
+            decision = self.fault_injector.check_kernel(fp)  # may raise
+            extra_s, corrupt = decision.latency_s, decision.corrupt
         k = batch.k
         ev = spmm_events(plan, self.device, k)
         bits = plan.dtype.itemsize * 8
-        device_s = estimate_time(ev, self.device, dtype_bits=bits).total
+        device_s = estimate_time(ev, self.device, dtype_bits=bits).total + extra_s
         util = mma_utilization(plan, k)
         if k == 1:
             Y = dasp_spmv(plan, batch.requests[0].x)[:, None]
         else:
             Y = dasp_spmm(plan, batch.assemble_x())
+        if corrupt:
+            Y = self.fault_injector.corrupt_output(Y)
+        if not np.isfinite(Y).all():
+            raise NumericFault(
+                f"non-finite kernel output for matrix {fp[:8]}…")
+        return Y, device_s, util * ev.flops_mma, ev.flops_mma
+
+    def _degrade(self, batch: Batch, csr, cause: Exception) -> None:
+        """Serve the batch from the merge-CSR path (or fail it)."""
+        if not self.fallback_enabled:
+            self.stats.observe_failed(batch.k)
+            self._fail_batch(batch, cause)
+            return
+        try:
+            Y = self._fallback.run(batch.fingerprint, csr, batch.assemble_x())
+            device_s, pre_s = self._fallback.modeled_cost(
+                batch.fingerprint, csr, batch.k)
+        except Exception as exc:  # noqa: BLE001 — fallback itself broke
+            self.stats.observe_failed(batch.k)
+            self._fail_batch(batch, exc)
+            return
+        if pre_s:
+            self.stats.observe_preprocess(pre_s)
+        self.stats.observe_degraded(batch.k)
+        # degraded batches issue no MMA work — utilization stays honest
+        self._complete(batch, Y, device_s, 0.0, 0.0)
+
+    def _complete(self, batch: Batch, Y, device_s: float,
+                  useful: float, issued: float) -> None:
         now = self._now()
         batch.scatter(Y, now)
-        self.stats.observe_batch(k, device_s,
-                                 useful_mma=util * ev.flops_mma,
-                                 issued_mma=ev.flops_mma)
+        self.stats.observe_batch(batch.k, device_s,
+                                 useful_mma=useful, issued_mma=issued)
         for req in batch.requests:
             self.stats.observe_latency(req.latency_s)
             fut = self._pop_future(req.req_id)

@@ -46,6 +46,18 @@ class ServerStats:
         seconds for the real server).
     useful_mma_flops / issued_mma_flops:
         Numerator/denominator of the aggregate MMA utilization.
+    degraded_requests / retries / n_deadline_exceeded / n_failed /
+    n_closed:
+        Resilience accounting: requests answered from the merge-CSR
+        fallback, batch retry attempts, requests failed fast past
+        their deadline, requests failed permanently (fallback disabled
+        or broken), and requests failed with ``ServerClosedError`` at
+        shutdown.
+    breaker_transitions / breaker_state:
+        Circuit-breaker transition count and the final
+        fingerprint -> state map (copied at report time).
+    faults_injected:
+        Total fault-injector rule firings (0 without chaos).
     """
 
     device: str = "A100"
@@ -65,6 +77,14 @@ class ServerStats:
     useful_mma_flops: float = 0.0
     issued_mma_flops: float = 0.0
     latencies_s: list = field(default_factory=list)
+    degraded_requests: int = 0
+    retries: int = 0
+    n_deadline_exceeded: int = 0
+    n_failed: int = 0
+    n_closed: int = 0
+    breaker_transitions: int = 0
+    breaker_state: dict = field(default_factory=dict)
+    faults_injected: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -99,6 +119,27 @@ class ServerStats:
         with self._lock:
             self.preprocess_s += seconds
 
+    def observe_degraded(self, n: int = 1) -> None:
+        """Record *n* requests answered from the fallback path."""
+        with self._lock:
+            self.degraded_requests += n
+
+    def observe_retry(self, n: int = 1) -> None:
+        with self._lock:
+            self.retries += n
+
+    def observe_deadline_exceeded(self, n: int = 1) -> None:
+        with self._lock:
+            self.n_deadline_exceeded += n
+
+    def observe_failed(self, n: int = 1) -> None:
+        with self._lock:
+            self.n_failed += n
+
+    def observe_closed(self, n: int = 1) -> None:
+        with self._lock:
+            self.n_closed += n
+
     def observe_latency(self, seconds: float) -> None:
         with self._lock:
             self.latencies_s.append(float(seconds))
@@ -114,6 +155,12 @@ class ServerStats:
     def cache_hit_rate(self) -> float:
         looked = self.cache_hits + self.cache_misses
         return self.cache_hits / looked if looked else 0.0
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Share of completed requests served by the degraded path."""
+        return (self.degraded_requests / self.n_completed
+                if self.n_completed else 0.0)
 
     @property
     def mma_utilization(self) -> float:
@@ -171,4 +218,21 @@ class ServerStats:
              " / ".join("-" if np.isnan(pct[q]) else f"{pct[q] * 1e6:.1f} us"
                         for q in (50, 95, 99))),
         ]
+        if (self.faults_injected or self.degraded_requests or self.retries
+                or self.n_deadline_exceeded or self.n_failed
+                or self.breaker_transitions):
+            breaker = " ".join(f"{fp[:8]}:{st}"
+                               for fp, st in sorted(self.breaker_state.items())
+                               if st != "closed")
+            rows += [
+                ("faults injected", f"{self.faults_injected:,}"),
+                ("degraded (fallback) requests",
+                 f"{self.degraded_requests:,} "
+                 f"({self.fallback_ratio:.1%} of completed)"),
+                ("retries / deadline-exceeded / failed",
+                 f"{self.retries:,} / {self.n_deadline_exceeded:,} "
+                 f"/ {self.n_failed:,}"),
+                ("breaker transitions (open circuits)",
+                 f"{self.breaker_transitions:,} ({breaker or 'none'})"),
+            ]
         return markdown_table(("metric", "value"), rows)

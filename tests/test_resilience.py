@@ -1,0 +1,246 @@
+"""Unit tests for `repro.resilience` — injector, retry, breaker, fallback."""
+
+import numpy as np
+import pytest
+
+from repro._util import ValidationError
+from repro.core.preprocess import dasp_preprocess
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    NO_RETRY,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    FallbackExecutor,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    KernelFault,
+    PreprocessFault,
+    RetryPolicy,
+)
+from tests.conftest import random_csr
+
+
+class TestFaultInjector:
+    def test_rate_one_always_fires(self):
+        inj = FaultInjector(FaultPlan([FaultRule(kind="kernel_error")]))
+        for _ in range(5):
+            with pytest.raises(KernelFault):
+                inj.check_kernel("fp")
+        assert inj.counts["kernel_error"] == 5
+
+    def test_rate_zero_never_fires(self):
+        inj = FaultInjector(FaultPlan([FaultRule(kind="kernel_error",
+                                                 rate=0.0)]))
+        for _ in range(50):
+            inj.check_kernel("fp")
+        assert inj.total_injected == 0
+
+    def test_deterministic_given_seed(self):
+        def trace(seed):
+            inj = FaultInjector(FaultPlan(
+                [FaultRule(kind="kernel_error", rate=0.3)], seed=seed))
+            out = []
+            for _ in range(200):
+                try:
+                    inj.check_kernel("fp")
+                    out.append(0)
+                except KernelFault:
+                    out.append(1)
+            return out
+
+        assert trace(3) == trace(3)
+        assert trace(3) != trace(4)
+
+    def test_max_count_limits_firings(self):
+        inj = FaultInjector(FaultPlan(
+            [FaultRule(kind="kernel_error", max_count=2)]))
+        for _ in range(2):
+            with pytest.raises(KernelFault):
+                inj.check_kernel("fp")
+        inj.check_kernel("fp")  # exhausted: no raise
+        assert inj.counts["kernel_error"] == 2
+
+    def test_fingerprint_scoping(self):
+        inj = FaultInjector(FaultPlan(
+            [FaultRule(kind="kernel_error", fingerprint="bad")]))
+        inj.check_kernel("good")  # unaffected
+        with pytest.raises(KernelFault):
+            inj.check_kernel("bad")
+
+    def test_nan_rule_sets_corrupt_and_poisons(self):
+        inj = FaultInjector(FaultPlan([FaultRule(kind="kernel_nan")]))
+        decision = inj.check_kernel("fp")
+        assert decision.corrupt
+        Y = np.ones((4, 3))
+        inj.corrupt_output(Y)
+        assert np.isnan(Y).sum() == 1
+
+    def test_latency_rules_respect_stage(self):
+        inj = FaultInjector(FaultPlan([
+            FaultRule(kind="latency", stage="kernel", latency_s=1e-3),
+            FaultRule(kind="latency", stage="preprocess", latency_s=2e-3),
+        ]))
+        assert inj.check_kernel("fp").latency_s == pytest.approx(1e-3)
+        assert inj.check_preprocess("fp") == pytest.approx(2e-3)
+
+    def test_cache_pressure_shrinks_budget(self):
+        inj = FaultInjector(FaultPlan(
+            [FaultRule(kind="cache_pressure", budget_factor=0.25)]))
+        assert inj.effective_budget(1000) == 250
+        no_rules = FaultInjector(FaultPlan([]))
+        assert no_rules.effective_budget(1000) == 1000
+
+    def test_chaos_mix_splits_rate(self):
+        plan = FaultPlan.chaos_mix(0.08, seed=9)
+        assert len(plan.rules) == 4
+        assert all(r.rate == pytest.approx(0.02) for r in plan.rules)
+        assert plan.seed == 9
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultRule(kind="meteor_strike")
+
+    def test_snapshot_counts_by_kind(self):
+        inj = FaultInjector(FaultPlan([
+            FaultRule(kind="latency", latency_s=1e-6),
+            FaultRule(kind="kernel_nan"),
+        ]))
+        inj.check_kernel("fp")
+        assert inj.snapshot() == {"latency": 1, "kernel_nan": 1}
+        assert inj.total_injected == 2
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        p = RetryPolicy(base_delay_s=1e-4, multiplier=2.0, jitter=0.0)
+        assert p.backoff_s(1) == pytest.approx(1e-4)
+        assert p.backoff_s(2) == pytest.approx(2e-4)
+        assert p.backoff_s(3) == pytest.approx(4e-4)
+
+    def test_backoff_capped_at_max_delay(self):
+        p = RetryPolicy(base_delay_s=1e-3, multiplier=10.0,
+                        max_delay_s=5e-3, jitter=0.0)
+        assert p.backoff_s(5) == pytest.approx(5e-3)
+
+    def test_jitter_bounded_and_deterministic(self):
+        p = RetryPolicy(base_delay_s=1e-4, jitter=0.5)
+        draws = [p.backoff_s(1, np.random.default_rng(7)) for _ in range(3)]
+        assert draws[0] == draws[1] == draws[2]  # seeded
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            d = p.backoff_s(1, rng)
+            assert 0.5e-4 <= d <= 1e-4  # within [1-jitter, 1] x nominal
+
+    def test_retry_is_one_based(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=0.0).backoff_s(0)
+
+    def test_no_retry_sentinel(self):
+        assert NO_RETRY.max_retries == 0
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=3))
+        for t in range(2):
+            br.record_failure("fp", float(t))
+        assert br.state("fp") == CLOSED
+        br.record_failure("fp", 2.0)
+        assert br.state("fp") == OPEN
+        assert not br.allow("fp", 2.01)
+
+    def test_success_resets_failure_streak(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=2))
+        br.record_failure("fp", 0.0)
+        br.record_success("fp", 0.1)
+        br.record_failure("fp", 0.2)
+        assert br.state("fp") == CLOSED  # streak broken
+
+    def test_half_open_probe_recloses_on_success(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                          recovery_s=1.0))
+        br.record_failure("fp", 0.0)
+        assert not br.allow("fp", 0.5)       # still cooling down
+        assert br.allow("fp", 1.5)           # admitted as probe
+        assert br.state("fp") == HALF_OPEN
+        br.record_success("fp", 1.6)
+        assert br.state("fp") == CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                          recovery_s=1.0))
+        br.record_failure("fp", 0.0)
+        assert br.allow("fp", 1.5)
+        br.record_failure("fp", 1.6)
+        assert br.state("fp") == OPEN
+        assert not br.allow("fp", 1.7)       # cooldown restarts at 1.6
+        assert br.allow("fp", 2.7)
+
+    def test_keys_are_independent(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=1))
+        br.record_failure("a", 0.0)
+        assert br.state("a") == OPEN
+        assert br.state("b") == CLOSED
+        assert br.allow("b", 0.0)
+
+    def test_transitions_counted_and_snapshotted(self):
+        br = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                          recovery_s=0.0))
+        br.record_failure("fp", 0.0)   # closed -> open
+        br.allow("fp", 0.0)            # open -> half_open
+        br.record_success("fp", 0.0)   # half_open -> closed
+        assert br.transitions == 3
+        assert br.snapshot() == {"fp": CLOSED}
+
+
+class TestFallbackExecutor:
+    def test_matches_reference_matvec(self, rng):
+        csr = random_csr(60, 80, rng)
+        fb = FallbackExecutor("A100")
+        X = rng.standard_normal((80, 4))
+        Y = fb.run("fp", csr, X)
+        ref = np.stack([csr.matvec(X[:, j]) for j in range(4)], axis=1)
+        np.testing.assert_allclose(Y, ref, rtol=1e-12)
+
+    def test_singleton_column(self, rng):
+        csr = random_csr(30, 40, rng)
+        fb = FallbackExecutor("A100")
+        x = rng.standard_normal(40)
+        Y = fb.run("fp", csr, x[:, None])
+        np.testing.assert_allclose(Y[:, 0], csr.matvec(x), rtol=1e-12)
+
+    def test_cost_scales_with_k_and_charges_pre_once(self, rng):
+        csr = random_csr(50, 60, rng)
+        fb = FallbackExecutor("A100")
+        t1, pre1 = fb.modeled_cost("fp", csr, 1)
+        t4, pre2 = fb.modeled_cost("fp", csr, 4)
+        assert pre1 > 0.0
+        assert pre2 == 0.0          # partition pass charged once
+        assert t4 == pytest.approx(4 * t1)  # no SpMM fusion in fallback
+
+
+class TestDaspPreprocessHook:
+    def test_no_injector_is_plain_conversion(self, rng):
+        csr = random_csr(40, 50, rng)
+        plan, latency = dasp_preprocess(csr)
+        assert latency == 0.0
+        x = rng.standard_normal(50)
+        from repro.core.spmv import dasp_spmv
+        np.testing.assert_allclose(dasp_spmv(plan, x), csr.matvec(x),
+                                   rtol=1e-10)
+
+    def test_injected_preprocess_fault(self, rng):
+        csr = random_csr(40, 50, rng)
+        inj = FaultInjector(FaultPlan([FaultRule(kind="preprocess_error")]))
+        with pytest.raises(PreprocessFault):
+            dasp_preprocess(csr, injector=inj, fingerprint="fp")
+
+    def test_injected_preprocess_latency(self, rng):
+        csr = random_csr(40, 50, rng)
+        inj = FaultInjector(FaultPlan(
+            [FaultRule(kind="latency", stage="preprocess", latency_s=3e-3)]))
+        _, latency = dasp_preprocess(csr, injector=inj, fingerprint="fp")
+        assert latency == pytest.approx(3e-3)

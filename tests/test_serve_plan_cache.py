@@ -7,7 +7,8 @@ import pytest
 
 from repro._util import ValidationError
 from repro.core import DASPMatrix
-from repro.serve import PlanRegistry, matrix_fingerprint, plan_nbytes
+from repro.serve import (PlanRegistry, PlanTooLargeError, matrix_fingerprint,
+                         plan_nbytes)
 from tests.conftest import random_csr
 
 
@@ -76,12 +77,22 @@ class TestRegistry:
         assert matrix_fingerprint(a) in reg
         assert matrix_fingerprint(b) not in reg
 
-    def test_singleton_over_budget_retained(self, rng):
+    def test_singleton_over_budget_rejected(self, rng):
         csr = random_csr(80, 200, rng)
         reg = PlanRegistry(1)  # nothing fits
-        reg.get(csr)
-        _, hit = reg.get(csr)
-        assert hit  # most recent plan always retained
+        with pytest.raises(PlanTooLargeError):
+            reg.get(csr)
+        assert len(reg) == 0  # rejected, not cached
+
+    def test_over_budget_does_not_evict_working_set(self, rng):
+        small = random_csr(10, 20, rng)
+        reg = PlanRegistry()
+        plan, _ = reg.get(small)
+        reg.budget_bytes = plan_nbytes(plan) + 1  # only `small` fits
+        big = random_csr(200, 300, rng)
+        with pytest.raises(PlanTooLargeError):
+            reg.get(big)
+        assert matrix_fingerprint(small) in reg  # survivors untouched
 
     def test_custom_builder(self, rng):
         csr = random_csr(30, 40, rng)
