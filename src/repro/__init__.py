@@ -27,14 +27,29 @@ from . import (
     formats,
     gpu,
     matrices,
+    obs,
     precision,
+    resilience,
     serve,
     solvers,
 )
 from ._util import ReproError, ValidationError, geomean
 from .core import DASPMatrix, DASPMethod, dasp_spmm, dasp_spmv
 from .formats import BSRMatrix, COOMatrix, CSRMatrix, ELLMatrix, to_csr
+from .formats.mmio import MatrixMarketError
 from .gpu import A100, H800, DeviceSpec, get_device
+from .resilience import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    InjectedFault,
+    KernelFault,
+    NumericFault,
+    PlanTooLargeError,
+    PreprocessFault,
+    ResilienceError,
+    ServerClosedError,
+)
+from .serve import QueueFullError, RequestShedError
 
 __version__ = "1.0.0"
 
@@ -43,12 +58,24 @@ __all__ = [
     "BSRMatrix",
     "COOMatrix",
     "CSRMatrix",
+    "CircuitOpenError",
     "DASPMatrix",
     "DASPMethod",
+    "DeadlineExceededError",
     "DeviceSpec",
     "ELLMatrix",
     "H800",
+    "InjectedFault",
+    "KernelFault",
+    "MatrixMarketError",
+    "NumericFault",
+    "PlanTooLargeError",
+    "PreprocessFault",
+    "QueueFullError",
     "ReproError",
+    "RequestShedError",
+    "ResilienceError",
+    "ServerClosedError",
     "ValidationError",
     "__version__",
     "analysis",
@@ -62,7 +89,9 @@ __all__ = [
     "get_device",
     "gpu",
     "matrices",
+    "obs",
     "precision",
+    "resilience",
     "serve",
     "solvers",
     "to_csr",

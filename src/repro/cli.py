@@ -18,18 +18,22 @@ Commands
 ``serve-sim``
     Simulate the batched, plan-cached SpMV serving layer
     (:mod:`repro.serve`) on synthetic open-loop traffic and print the
-    ServerStats summary.
+    ServerStats summary (``--trace`` adds the span-tree / attribution
+    report, exportable as JSON and Prometheus text).
+``stats``
+    Run a small traced workload and print the :mod:`repro.obs` output
+    in table, JSON or Prometheus form.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from pathlib import Path
 
 import numpy as np
 
-from ._util import ReproError
 from .analysis import speedup_summary
 from .baselines import PAPER_METHODS, paper_methods
 from .bench import markdown_table, run_comparison
@@ -38,29 +42,19 @@ from .formats import read_matrix_market, write_matrix_market
 from .matrices import (
     category_ratios,
     highlight_suite,
+    load as load_matrix,
     representative_suite,
     row_length_stats,
-    suite_by_name,
     synthetic_collection,
 )
 
 
 def _load_matrix(spec: str):
-    """Resolve a matrix spec: a ``.mtx``/``.npz`` path or a named suite
-    matrix.  Files route by extension — an ``.npz`` is NumPy-compressed
-    (``matrices.io``), not MatrixMarket text."""
-    path = Path(spec)
-    if path.suffix == ".mtx":
-        return read_matrix_market(str(path)).to_csr()
-    if path.suffix == ".npz":
-        from .matrices.io import load_csr
-
-        return load_csr(path)
-    if path.exists():
-        raise ReproError(
-            f"cannot load {spec!r}: unsupported extension {path.suffix!r} "
-            "(use .mtx or .npz)")
-    return suite_by_name(spec).matrix()
+    """Deprecated shim — use :func:`repro.matrices.load` instead."""
+    warnings.warn(
+        "repro.cli._load_matrix is deprecated; use repro.matrices.load",
+        DeprecationWarning, stacklevel=2)
+    return load_matrix(spec)
 
 
 def cmd_list(_args) -> int:
@@ -76,7 +70,7 @@ def cmd_list(_args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    csr = _load_matrix(args.matrix).astype(np.dtype(args.dtype))
+    csr = load_matrix(args.matrix).astype(np.dtype(args.dtype))
     stats = row_length_stats(csr)
     print(f"{args.matrix}: {csr.shape[0]}x{csr.shape[1]}, nnz={csr.nnz:,}")
     print(f"row lengths: min={stats.min_len} mean={stats.mean_len:.1f} "
@@ -104,7 +98,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_spmv(args) -> int:
-    csr = _load_matrix(args.matrix).astype(np.dtype(args.dtype))
+    csr = load_matrix(args.matrix).astype(np.dtype(args.dtype))
     rng = np.random.default_rng(args.seed)
     x = rng.uniform(-1, 1, csr.shape[1]).astype(csr.data.dtype)
     dasp = DASPMatrix.from_csr(csr)
@@ -144,7 +138,37 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def _print_trace_report(obs, stats, *, json_path=None, prom_path=None,
+                        max_trees: int = 3) -> None:
+    """Attribution table + sample span trees; optional file exports."""
+    from .obs import export
+
+    total = stats.device_busy_s + stats.preprocess_s
+    att = obs.tracer.attribution(total)
+    rows = [(phase, f"{seconds * 1e6:.1f}",
+             f"{seconds / total:.1%}" if total > 0 else "-")
+            for phase, seconds in att["phases"].items()]
+    print("\n===== device-time attribution =====")
+    print(markdown_table(("phase", "modeled us", "share"), rows))
+    print(f"coverage: {att['coverage']:.1%} of "
+          f"{total * 1e6:.1f} us modeled device time")
+    traces = obs.tracer.traces()
+    if traces:
+        print(f"\n===== sample traces ({min(max_trees, len(traces))} "
+              f"of {len(traces)}) =====")
+        for root in traces[:max_trees]:
+            print("\n".join(export.format_span_tree(root)))
+    if json_path:
+        Path(json_path).write_text(
+            export.render_json(obs, device_total_s=total) + "\n")
+        print(f"trace JSON written to {json_path}")
+    if prom_path:
+        Path(prom_path).write_text(export.to_prometheus(obs.registry))
+        print(f"Prometheus metrics written to {prom_path}")
+
+
 def cmd_serve_sim(args) -> int:
+    from .obs import Obs, Tracer
     from .serve import (ChaosConfig, WorkloadConfig,
                         compare_batched_unbatched, run_workload)
 
@@ -166,8 +190,10 @@ def cmd_serve_sim(args) -> int:
         deadline_s=args.deadline_us * 1e-6 if args.deadline_us else None,
         chaos=chaos,
     )
+    trace = bool(args.trace or args.trace_json or args.trace_prom)
+    obs = Obs(tracer=Tracer()) if trace else None
     if args.compare:
-        res = compare_batched_unbatched(cfg)
+        res = compare_batched_unbatched(cfg, obs=obs)
         for name in ("unbatched", "batched"):
             print(f"\n===== {name} =====")
             print(res[name].summary_table())
@@ -175,9 +201,36 @@ def cmd_serve_sim(args) -> int:
         if u.throughput_rps > 0:
             print(f"\nbatched vs request-at-a-time throughput: "
                   f"{b.throughput_rps / u.throughput_rps:.2f}x")
+        if trace:
+            _print_trace_report(obs, b, json_path=args.trace_json,
+                                prom_path=args.trace_prom)
         return 0
-    stats = run_workload(cfg)
+    stats = run_workload(cfg, obs=obs) if obs is not None else run_workload(cfg)
     print(stats.summary_table())
+    if trace:
+        _print_trace_report(obs, stats, json_path=args.trace_json,
+                            prom_path=args.trace_prom)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Run a small traced workload and expose the telemetry."""
+    from .obs import Obs, Tracer, export
+    from .serve import WorkloadConfig, run_workload
+
+    obs = Obs(tracer=Tracer())
+    cfg = WorkloadConfig(n_requests=args.requests, n_matrices=args.matrices,
+                         seed=args.seed, device=args.device)
+    stats = run_workload(cfg, obs=obs)
+    total = stats.device_busy_s + stats.preprocess_s
+    if args.format == "json":
+        print(export.render_json(obs, device_total_s=total))
+        return 0
+    if args.format == "prometheus":
+        print(export.to_prometheus(obs.registry), end="")
+        return 0
+    print(stats.summary_table())
+    _print_trace_report(obs, stats, max_trees=1)
     return 0
 
 
@@ -257,7 +310,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-us", type=float, default=None,
                    help="per-request deadline (modeled us); expired "
                         "requests fail fast")
+    p.add_argument("--trace", action="store_true",
+                   help="record spans (repro.obs) and print the "
+                        "device-time attribution report")
+    p.add_argument("--trace-json", metavar="FILE", default=None,
+                   help="write the full observability JSON document "
+                        "(metrics + traces + attribution) to FILE")
+    p.add_argument("--trace-prom", metavar="FILE", default=None,
+                   help="write the metrics in Prometheus text format "
+                        "to FILE")
     p.set_defaults(fn=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a small traced workload and print repro.obs telemetry")
+    p.add_argument("--format", default="table",
+                   choices=("table", "json", "prometheus"),
+                   help="output form (default: summary table + trace)")
+    p.add_argument("--requests", type=int, default=200,
+                   help="workload size (kept small; this is a demo run)")
+    p.add_argument("--matrices", type=int, default=3)
+    p.add_argument("--device", default="A100", choices=("A100", "H800"))
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("bench", help="mini Figure 10 sweep")
     p.add_argument("--count", type=int, default=20)

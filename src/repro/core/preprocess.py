@@ -45,7 +45,7 @@ def timed_preprocess(csr, **from_csr_kwargs) -> tuple[DASPMatrix, float]:
 
 
 def dasp_preprocess(csr, *, injector=None, fingerprint: str | None = None,
-                    **from_csr_kwargs) -> tuple[DASPMatrix, float]:
+                    obs=None, **from_csr_kwargs) -> tuple[DASPMatrix, float]:
     """Fault-injectable plan builder used by the serving layer.
 
     Returns ``(plan, injected_latency_s)``.  When a
@@ -55,9 +55,70 @@ def dasp_preprocess(csr, *, injector=None, fingerprint: str | None = None,
     build (the investment is lost, exactly the failure mode a server
     must absorb), and preprocess-stage ``latency`` rules contribute
     extra modeled seconds the caller charges on top of the event-model
-    estimate.
+    estimate.  ``obs`` defaults to the process-wide
+    :class:`repro.obs.Obs` handle and counts build attempts/failures.
     """
+    from ..obs import get_obs
+
+    if obs is None:
+        obs = get_obs()
+    obs.counter("core.preprocess_calls_total").inc()
     latency_s = 0.0
     if injector is not None:
-        latency_s = injector.check_preprocess(fingerprint)
+        try:
+            latency_s = injector.check_preprocess(fingerprint)
+        except Exception:
+            obs.counter("core.preprocess_failures_total").inc()
+            raise
     return DASPMatrix.from_csr(csr, **from_csr_kwargs), latency_s
+
+
+def preprocess_phase_shares(dasp: DASPMatrix) -> tuple[float, float]:
+    """``(classify, pack)`` shares of the modeled preprocessing time.
+
+    Splits by the host bytes each pass touches (the same accounting as
+    :func:`dasp_preprocess_events`): classification reads the row
+    pointers and streams the CSR payload once; packing writes and
+    uploads the packed arrays (plus the medium-row sort, folded into
+    the pack share).  Deterministic and summing to exactly 1, so span
+    attribution never loses time.
+    """
+    vb = dasp.dtype.itemsize
+    entry_bytes = vb + 4
+    classify = (dasp.shape[0] + 1) * 8 * 2 + dasp.nnz * entry_bytes
+    pack = 2 * dasp.stored_elements * entry_bytes
+    total = classify + pack
+    if total <= 0:
+        return 1.0, 0.0
+    return classify / total, pack / total
+
+
+def traced_preprocess(csr, device, *, obs, injector=None,
+                      fingerprint: str | None = None,
+                      **from_csr_kwargs) -> tuple[DASPMatrix, float]:
+    """Build a plan inside a ``preprocess`` span and return it with its
+    total modeled cost (event-model estimate plus injected latency).
+
+    The span carries the full modeled preprocessing seconds as its
+    device time and two synthetic children, ``classify`` and ``pack``,
+    splitting that time by :func:`preprocess_phase_shares` — the
+    ``preprocess -> classify/pack`` shape of the serving trace.
+    """
+    from ..gpu.cost_model import estimate_preprocess_time
+
+    attrs = None
+    if obs.tracing and fingerprint is not None:
+        attrs = {"matrix": fingerprint[:8]}
+    with obs.span("preprocess", attrs=attrs) as sp:
+        plan, latency_s = dasp_preprocess(
+            csr, injector=injector, fingerprint=fingerprint, obs=obs,
+            **from_csr_kwargs)
+        pre_s = estimate_preprocess_time(
+            dasp_preprocess_events(plan), device) + latency_s
+        sp.set_device_time(pre_s)
+        if obs.tracing:
+            classify, pack = preprocess_phase_shares(plan)
+            sp.child("classify", device_s=pre_s * classify,
+                     attrs={"share": classify})
+            sp.child("pack", device_s=pre_s * pack, attrs={"share": pack})
+    return plan, pre_s

@@ -25,7 +25,7 @@ from .format import DASPMatrix
 
 
 def dasp_spmm(matrix, X: np.ndarray, *, engine: str = "vectorized",
-              cast_output: bool = False) -> np.ndarray:
+              cast_output: bool = False, obs=None) -> np.ndarray:
     """Compute ``Y = A @ X`` for a dense block of right-hand sides.
 
     Parameters
@@ -42,12 +42,28 @@ def dasp_spmm(matrix, X: np.ndarray, *, engine: str = "vectorized",
     cast_output:
         Cast ``Y`` back to the matrix dtype (otherwise the accumulator
         dtype, FP32 for FP16 inputs).
+    obs:
+        :class:`repro.obs.Obs` handle; defaults to the process-wide
+        one.  Counts invocations and, when tracing, opens an ``spmm``
+        span.
     """
+    from ..obs import get_obs
+
+    if obs is None:
+        obs = get_obs()
     dasp = matrix if isinstance(matrix, DASPMatrix) else DASPMatrix.from_csr(matrix)
     X = np.asarray(X)
     check(X.ndim == 2 and X.shape[0] == dasp.shape[1],
           f"X must be ({dasp.shape[1]}, k)")
     check(X.shape[1] >= 1, "X must have at least one column")
+    obs.counter("core.spmm_calls_total", {"engine": engine}).inc()
+    with obs.span("spmm", attrs={"engine": engine, "k": X.shape[1]}
+                  if obs.tracing else None):
+        return _dasp_spmm(dasp, X, engine=engine, cast_output=cast_output)
+
+
+def _dasp_spmm(dasp: DASPMatrix, X: np.ndarray, *, engine: str,
+               cast_output: bool) -> np.ndarray:
     if engine == "warp":
         from .spmv import dasp_spmv
 
@@ -213,3 +229,20 @@ def mma_utilization(dasp: DASPMatrix, k: int) -> float:
     mma_nnz = dasp.nnz - dasp.medium_plan.irreg_nnz - dasp.short_plan.rows1.size
     useful = 2.0 * mma_nnz * k
     return float(useful / issued)
+
+
+def mma_phase_fraction(dasp: DASPMatrix) -> float:
+    """Share of a DASP kernel's modeled time on the *regular* (MMA) path.
+
+    DASP splits every matrix into work the MMA units consume (packed
+    long/medium/short fragments) and an irregular remainder handled by
+    CUDA cores (medium-row irregular tails and 1-nnz short rows).  The
+    serving tracer uses this nnz-share split to attribute each batch's
+    modeled device time to the ``regular_mma`` vs ``irregular_csr``
+    phases — deterministic, cheap, and summing to exactly 1.
+    """
+    nnz = dasp.nnz
+    if nnz <= 0:
+        return 1.0
+    irregular = dasp.medium_plan.irreg_nnz + dasp.short_plan.rows1.size
+    return float(1.0 - irregular / nnz)

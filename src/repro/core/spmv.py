@@ -15,7 +15,7 @@ from .short_rows import run_short_rows
 
 
 def dasp_spmv(matrix, x: np.ndarray, *, engine: str = "vectorized",
-              cast_output: bool = False) -> np.ndarray:
+              cast_output: bool = False, obs=None) -> np.ndarray:
     """Compute ``y = A @ x`` with the DASP algorithm.
 
     Parameters
@@ -33,19 +33,29 @@ def dasp_spmv(matrix, x: np.ndarray, *, engine: str = "vectorized",
         When true, cast ``y`` back to the matrix dtype (FP16 in the half
         precision path); by default ``y`` stays in the MMA accumulator
         dtype (FP64 for FP64, FP32 for FP16) as the hardware produces it.
+    obs:
+        :class:`repro.obs.Obs` handle; defaults to the process-wide
+        one.  Counts invocations and, when tracing, opens an ``spmv``
+        span.
     """
+    from ..obs import get_obs
+
+    if obs is None:
+        obs = get_obs()
     dasp = matrix if isinstance(matrix, DASPMatrix) else DASPMatrix.from_csr(matrix)
     x = np.asarray(x)
     check(x.shape == (dasp.shape[1],), "x has wrong length")
+    obs.counter("core.spmv_calls_total", {"engine": engine}).inc()
 
-    if engine == "warp":
-        from .warp_kernels import dasp_spmv_warp
+    with obs.span("spmv", attrs={"engine": engine} if obs.tracing else None):
+        if engine == "warp":
+            from .warp_kernels import dasp_spmv_warp
 
-        y = dasp_spmv_warp(dasp, x)
-    elif engine == "vectorized":
-        y = _dasp_spmv_vectorized(dasp, x)
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+            y = dasp_spmv_warp(dasp, x)
+        elif engine == "vectorized":
+            y = _dasp_spmv_vectorized(dasp, x)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
 
     if cast_output:
         return y.astype(dasp.dtype)

@@ -93,6 +93,23 @@ class KernelEvents:
         """Matrix-stream traffic (everything but x and y)."""
         return self.bytes_val + self.bytes_idx + self.bytes_ptr
 
+    def as_attrs(self) -> dict:
+        """Flat numeric dict for feeding span attributes
+        (:mod:`repro.obs`): the headline counts a kernel trace should
+        carry without serializing the whole record."""
+        return {
+            "bytes_total": self.bytes_total,
+            "bytes_stream": self.bytes_stream,
+            "bytes_x": self.bytes_x,
+            "flops_mma": self.flops_mma,
+            "flops_cuda": self.flops_cuda,
+            "mma_count": self.mma_count,
+            "imbalance": self.imbalance,
+            "mem_efficiency": self.mem_efficiency,
+            "kernel_launches": self.kernel_launches,
+            "threads": float(self.threads),
+        }
+
     @property
     def bytes_total(self) -> float:
         """All DRAM traffic."""

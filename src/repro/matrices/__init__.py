@@ -5,7 +5,7 @@ Stands in for the SuiteSparse Matrix Collection the paper evaluates on
 """
 
 from .collection import CollectionEntry, iter_matrices, synthetic_collection
-from .io import load_collection, load_csr, save_collection, save_csr
+from .io import load, load_collection, load_csr, save_collection, save_csr
 from .generators import (
     GENERATORS,
     banded,
@@ -56,6 +56,7 @@ __all__ = [
     "highlight_suite",
     "iter_matrices",
     "kronecker",
+    "load",
     "load_collection",
     "load_csr",
     "lp_matrix",

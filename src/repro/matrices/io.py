@@ -44,6 +44,38 @@ def load_csr(path) -> CSRMatrix:
         return CSRMatrix(shape, f["indptr"], f["indices"], f["data"])
 
 
+def load(spec) -> CSRMatrix:
+    """Resolve a matrix *spec* into a :class:`CSRMatrix`.
+
+    Accepts, in order of routing:
+
+    * a ``.mtx`` path — parsed as MatrixMarket text
+      (:func:`repro.formats.read_matrix_market`);
+    * an ``.npz`` path — NumPy-compressed, written by :func:`save_csr`;
+    * any other *existing* path — rejected with :class:`ReproError`
+      (unsupported extension);
+    * otherwise — a named matrix from the representative/highlight
+      suite (:func:`repro.matrices.suite_by_name`).
+
+    This is the one public loader every tool should use (the CLI's
+    private ``_load_matrix`` is a deprecated shim over it).
+    """
+    path = Path(str(spec))
+    if path.suffix == ".mtx":
+        from ..formats import read_matrix_market
+
+        return read_matrix_market(str(path)).to_csr()
+    if path.suffix == ".npz":
+        return load_csr(path)
+    if path.exists():
+        raise ReproError(
+            f"cannot load {str(spec)!r}: unsupported extension "
+            f"{path.suffix!r} (use .mtx or .npz)")
+    from .suite import suite_by_name
+
+    return suite_by_name(str(spec)).matrix()
+
+
 def save_collection(directory, named_matrices) -> Path:
     """Persist ``{name: CSRMatrix}`` (or an iterable of pairs) into a
     directory of ``.npz`` files plus an ``index.txt`` manifest."""

@@ -1,0 +1,154 @@
+"""`repro.obs` — unified tracing / metrics / profiling behind one API.
+
+Every instrumented component in this package takes an optional
+``obs=`` handle — an :class:`Obs` bundling a
+:class:`~repro.obs.registry.MetricsRegistry` (counters, gauges,
+fixed-bucket histograms; deterministic, no wall-clock in values) and an
+optional :class:`~repro.obs.trace.Tracer` (nested spans with wall-time
+and modeled-device-time attribution).  Exposition lives in
+:mod:`repro.obs.export` (JSON + Prometheus text) and behind the
+``repro stats`` / ``repro serve-sim --trace`` CLI commands.
+
+Scoping conventions:
+
+* **stateless API functions** (``dasp_spmv``, ``dasp_spmm``,
+  ``dasp_preprocess``) default to the process-wide handle returned by
+  :func:`get_obs`, so library use accumulates into one global registry;
+* **per-run objects** (``SpMVServer``, ``run_workload``,
+  ``ServerStats``, ``PlanRegistry``) default to a *fresh* private
+  :class:`Obs` so two runs never mix counters — pass one handle
+  explicitly to share;
+* :data:`NULL_OBS` disables everything: instruments become shared
+  no-ops and spans the shared null span, with no behavioural or output
+  change to the instrumented code (the no-op-overhead tests pin this).
+"""
+
+from __future__ import annotations
+
+from . import export
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from .trace import DEVICE_PHASES, NULL_SPAN, Span, Tracer, null_span
+
+
+class _NullInstrument:
+    """Absorbs every instrument method; always reads zero."""
+
+    name = "null"
+    kind = "null"
+    labels: dict = {}
+    value = 0.0
+    buckets: tuple = ()
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def dec(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def cumulative(self) -> list:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class Obs:
+    """One observability handle: a registry plus an optional tracer.
+
+    Parameters
+    ----------
+    registry:
+        The metrics backend; a fresh :class:`MetricsRegistry` when
+        omitted (and ``enabled``).
+    tracer:
+        Span factory; ``None`` (the default) makes :meth:`span` a
+        no-op — metrics without tracing is the cheap everyday mode.
+    enabled:
+        ``False`` turns the whole handle into a no-op
+        (:data:`NULL_OBS` is the canonical disabled instance).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None, *, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.registry = registry if registry is not None else (
+            MetricsRegistry() if self.enabled else None)
+        self.tracer = tracer if self.enabled else None
+
+    # ------------------------------------------------------------------
+    @property
+    def tracing(self) -> bool:
+        """True when spans are actually recorded (gate costly attrs)."""
+        return self.tracer is not None
+
+    def counter(self, name: str, labels=None):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.registry.counter(name, labels)
+
+    def gauge(self, name: str, labels=None):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.registry.gauge(name, labels)
+
+    def histogram(self, name: str, buckets=DEFAULT_TIME_BUCKETS, labels=None):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.registry.histogram(name, buckets, labels)
+
+    def span(self, name: str, attrs=None):
+        if self.tracer is None:
+            return null_span()
+        return self.tracer.span(name, attrs)
+
+
+#: Shared disabled handle — instruments and spans are no-ops.
+NULL_OBS = Obs(enabled=False)
+
+_GLOBAL_OBS = Obs()
+
+
+def get_obs() -> Obs:
+    """The process-wide default handle (used by stateless API calls)."""
+    return _GLOBAL_OBS
+
+
+def set_obs(obs: Obs) -> Obs:
+    """Install *obs* as the process-wide default; returns the previous."""
+    global _GLOBAL_OBS
+    previous = _GLOBAL_OBS
+    _GLOBAL_OBS = obs if obs is not None else Obs()
+    return previous
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "DEVICE_PHASES",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_SPAN",
+    "Obs",
+    "Span",
+    "Tracer",
+    "export",
+    "get_obs",
+    "null_span",
+    "set_obs",
+]

@@ -1,0 +1,148 @@
+"""Exposition — render an :class:`Obs` handle as JSON or Prometheus text.
+
+The JSON document (``to_json_doc`` / ``render_json``) bundles the
+metric values, the finished trace trees and the device-time phase
+attribution; ``schemas/serve_trace.schema.json`` (checked into the
+repo and validated in CI) pins its shape.  ``to_prometheus`` renders
+the registry alone in the Prometheus text exposition format (0.0.4):
+counters, gauges, and histograms with cumulative ``le`` buckets.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: JSON document version — bump on breaking shape changes (the schema
+#: pins this value).
+JSON_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def metrics_list(registry: MetricsRegistry) -> list[dict]:
+    """JSON-able list of every instrument in *registry*."""
+    out = []
+    for inst in registry.collect():
+        entry = {"name": inst.name, "kind": inst.kind,
+                 "labels": dict(inst.labels)}
+        if isinstance(inst, Histogram):
+            snap = inst.value
+            entry["buckets"] = [{"le": le, "count": c}
+                                for le, c in snap["buckets"]]
+            entry["inf_count"] = snap["inf"]
+            entry["sum"] = snap["sum"]
+            entry["count"] = snap["count"]
+        else:
+            entry["value"] = inst.value
+        out.append(entry)
+    return out
+
+
+def to_json_doc(obs, *, device_total_s: float | None = None) -> dict:
+    """Full observability document for one run.
+
+    ``device_total_s`` is the ground-truth modeled device time the
+    attribution coverage is measured against (defaults to the
+    attributed sum itself).
+    """
+    doc = {
+        "version": JSON_VERSION,
+        "metrics": metrics_list(obs.registry),
+        "traces": [],
+        "dropped_traces": 0,
+        "attribution": None,
+    }
+    tracer = obs.tracer
+    if tracer is not None:
+        doc["traces"] = [sp.to_dict() for sp in tracer.traces()]
+        doc["dropped_traces"] = tracer.dropped
+        doc["attribution"] = tracer.attribution(device_total_s)
+    return doc
+
+
+def render_json(obs, *, device_total_s: float | None = None,
+                indent: int = 2) -> str:
+    return json.dumps(to_json_doc(obs, device_total_s=device_total_s),
+                      indent=indent, sort_keys=False)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    def esc(s: str) -> str:
+        return str(s).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    inner = ",".join(f'{_prom_name(str(k))}="{esc(v)}"'
+                     for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for inst in registry.collect():
+        name = _prom_name(inst.name)
+        if name not in typed:
+            lines.append(f"# TYPE {name} {inst.kind}")
+            typed.add(name)
+        if isinstance(inst, (Counter, Gauge)):
+            lines.append(f"{name}{_prom_labels(inst.labels)} "
+                         f"{_prom_value(inst.value)}")
+        elif isinstance(inst, Histogram):
+            for le, c in inst.cumulative():
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(inst.labels, {'le': _prom_value(le)})} {c}")
+            snap = inst.value
+            lines.append(f"{name}_sum{_prom_labels(inst.labels)} "
+                         f"{_prom_value(snap['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(inst.labels)} "
+                         f"{snap['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Human-readable trace rendering (CLI)
+# ----------------------------------------------------------------------
+def format_span_tree(span, *, indent: int = 0) -> list[str]:
+    """Indented one-line-per-span rendering of a trace tree."""
+    pad = "  " * indent
+    bits = [f"{pad}{span.name}"]
+    if span.wall_s:
+        bits.append(f"wall={span.wall_s * 1e6:.1f}us")
+    if span.device_s:
+        bits.append(f"device={span.device_s * 1e6:.1f}us")
+    if span.status != "ok":
+        bits.append(f"status={span.status}")
+    for key in ("matrix", "k", "engine", "cause"):
+        if key in span.attrs:
+            bits.append(f"{key}={span.attrs[key]}")
+    lines = ["  ".join(bits)]
+    for child in span.children:
+        lines.extend(format_span_tree(child, indent=indent + 1))
+    return lines

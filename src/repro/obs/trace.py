@@ -1,0 +1,217 @@
+"""Tracing — nested spans with wall-time *and* modeled-device-time.
+
+A :class:`Tracer` produces :class:`Span` trees describing where a
+request's time went: the serving layer opens ``batch`` spans whose
+children are ``preprocess`` (with ``classify``/``pack`` sub-spans),
+``kernel`` (with ``regular_mma``/``irregular_csr`` sub-spans) and
+``fallback``.  Each span records the wall time between enter and exit
+*and* an explicitly attributed modeled device time (``device_s``) —
+wall time says where this Python implementation spent its time, device
+time says where the modeled A100/H800 would spend its.
+
+Nesting is tracked per thread (the ``SpMVServer`` workers each build
+their own trees), span ids are a deterministic counter, and finished
+root spans land in a bounded deque so long serving runs cannot grow
+memory without bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: The phase names the serving layer attributes modeled device time to.
+DEVICE_PHASES = ("preprocess", "regular_mma", "irregular_csr", "fallback")
+
+
+@dataclass
+class Span:
+    """One node of a trace tree.
+
+    ``device_s`` is whatever modeled device time the instrumented code
+    explicitly attributed to this span; it is *not* rolled up from the
+    children (phase aggregation sums spans by name, so a parent that
+    also carried its children's time would double-count).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    t0_s: float = 0.0
+    t1_s: float = 0.0
+    device_s: float = 0.0
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+    _tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def wall_s(self) -> float:
+        return max(self.t1_s - self.t0_s, 0.0)
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def set_device_time(self, seconds: float) -> None:
+        self.device_s = float(seconds)
+
+    def add_device_time(self, seconds: float) -> None:
+        self.device_s += float(seconds)
+
+    def child(self, name: str, *, device_s: float = 0.0,
+              attrs=None) -> "Span":
+        """Attach an already-finished child span (synthetic attribution
+        of a fraction of this span's work, e.g. classify/pack)."""
+        tracer = self._tracer
+        now = tracer.clock() if tracer is not None else self.t0_s
+        sp = Span(name=name,
+                  span_id=tracer.next_id() if tracer is not None else 0,
+                  parent_id=self.span_id, t0_s=now, t1_s=now,
+                  device_s=float(device_s), attrs=dict(attrs or {}),
+                  _tracer=tracer)
+        self.children.append(sp)
+        return sp
+
+    def walk(self):
+        """Yield this span and every descendant (pre-order)."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t0_s": self.t0_s,
+            "t1_s": self.t1_s,
+            "wall_s": self.wall_s,
+            "device_s": self.device_s,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Thread-safe span factory and bounded trace store."""
+
+    def __init__(self, clock=time.perf_counter, max_traces: int = 4096) -> None:
+        self.clock = clock
+        self.max_traces = int(max_traces)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._traces: deque[Span] = deque(maxlen=self.max_traces)
+        self.dropped = 0
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, attrs=None):
+        """Open a span nested under the current thread's active span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        sp = Span(name=name, span_id=self.next_id(),
+                  parent_id=parent.span_id if parent is not None else None,
+                  t0_s=self.clock(), attrs=dict(attrs or {}), _tracer=self)
+        if parent is not None:
+            parent.children.append(sp)
+        stack.append(sp)
+        try:
+            yield sp
+        except BaseException:
+            sp.status = "error"
+            raise
+        finally:
+            sp.t1_s = self.clock()
+            stack.pop()
+            if parent is None:
+                with self._lock:
+                    if len(self._traces) == self._traces.maxlen:
+                        self.dropped += 1
+                    self._traces.append(sp)
+
+    # ------------------------------------------------------------------
+    def traces(self) -> list[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def walk(self):
+        """Every finished span, all trees, pre-order."""
+        for root in self.traces():
+            yield from root.walk()
+
+    def device_time_by_name(self) -> dict[str, float]:
+        """Total attributed modeled device seconds grouped by span name."""
+        out: dict[str, float] = {}
+        for sp in self.walk():
+            if sp.device_s:
+                out[sp.name] = out.get(sp.name, 0.0) + sp.device_s
+        return out
+
+    def attribution(self, total_device_s: float | None = None,
+                    phases=DEVICE_PHASES) -> dict:
+        """Phase -> seconds attribution plus coverage of the total.
+
+        ``total_device_s`` is the run's ground truth (e.g.
+        ``stats.device_busy_s + stats.preprocess_s``); when omitted the
+        attributed sum is its own denominator.
+        """
+        by_name = self.device_time_by_name()
+        attributed = {p: by_name.get(p, 0.0) for p in phases}
+        total_attr = sum(attributed.values())
+        total = total_attr if total_device_s is None else float(total_device_s)
+        coverage = (total_attr / total) if total > 0 else 1.0
+        return {
+            "phases": attributed,
+            "attributed_s": total_attr,
+            "device_total_s": total,
+            "coverage": coverage,
+        }
+
+
+class _NullSpan:
+    """Do-nothing span for disabled tracing (shared singleton)."""
+
+    name = "null"
+    span_id = 0
+    parent_id = None
+    device_s = 0.0
+    status = "ok"
+    attrs: dict = {}
+    children: list = []
+    wall_s = 0.0
+
+    def set_attr(self, key, value) -> None:
+        pass
+
+    def set_device_time(self, seconds) -> None:
+        pass
+
+    def add_device_time(self, seconds) -> None:
+        pass
+
+    def child(self, name, *, device_s=0.0, attrs=None) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def null_span():
+    """Context manager yielding the shared no-op span."""
+    yield NULL_SPAN

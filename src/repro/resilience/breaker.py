@@ -50,14 +50,32 @@ class _Entry:
 
 
 class CircuitBreaker:
-    """Thread-safe per-key breaker state machine (see module docstring)."""
+    """Thread-safe per-key breaker state machine (see module docstring).
 
-    def __init__(self, config: BreakerConfig | None = None) -> None:
+    ``obs`` (a :class:`repro.obs.Obs` handle) backs the ``transitions``
+    counter as ``resilience.breaker_transitions_total`` and counts
+    per-direction transitions under
+    ``resilience.breaker_transition_total{to=...}``; it defaults to a
+    fresh private handle, and the server passes its run-wide one so
+    ``ServerStats.breaker_transitions`` reads the same instrument.
+    """
+
+    def __init__(self, config: BreakerConfig | None = None, *,
+                 obs=None) -> None:
+        from ..obs import Obs
+
         self.config = config if config is not None else BreakerConfig()
         self._entries: dict[str, _Entry] = {}
         self._lock = threading.Lock()
-        #: Total state transitions (closed->open, open->half_open, ...).
-        self.transitions = 0
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._transitions = obs.counter("resilience.breaker_transitions_total")
+
+    @property
+    def transitions(self) -> int:
+        """Total state transitions (closed->open, open->half_open, ...)."""
+        return int(self._transitions.value)
 
     # ------------------------------------------------------------------
     def _entry(self, key: str) -> _Entry:
@@ -69,7 +87,9 @@ class CircuitBreaker:
     def _move(self, e: _Entry, state: str) -> None:
         if e.state != state:
             e.state = state
-            self.transitions += 1
+            self._transitions.inc()
+            self.obs.counter("resilience.breaker_transition_total",
+                             {"to": state}).inc()
 
     # ------------------------------------------------------------------
     def allow(self, key: str, now: float) -> bool:

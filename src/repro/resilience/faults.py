@@ -120,12 +120,25 @@ class FaultInjector:
     enforce ``max_count`` and feed the :meth:`snapshot` report.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, *, obs=None) -> None:
         self.plan = plan
         self._rng = default_rng(plan.seed)
         self._lock = threading.Lock()
         self._hits: dict[int, int] = {}
         self.counts: dict[str, int] = {}
+        self._obs = None
+        if obs is not None:
+            self.bind(obs)
+
+    def bind(self, obs) -> "FaultInjector":
+        """Attach a :class:`repro.obs.Obs` handle: every subsequent rule
+        firing also increments ``resilience.faults_total{kind=...}`` in
+        its registry (the family ``ServerStats.faults_injected`` sums).
+        The server/driver bind their run-wide handle at startup; the
+        local ``counts`` dict stays authoritative for :meth:`snapshot`.
+        """
+        self._obs = obs if (obs is not None and obs.enabled) else None
+        return self
 
     # ------------------------------------------------------------------
     def _fire(self, i: int, rule: FaultRule) -> bool:
@@ -137,6 +150,9 @@ class FaultInjector:
             return False
         self._hits[i] = hits + 1
         self.counts[rule.kind] = self.counts.get(rule.kind, 0) + 1
+        if self._obs is not None:
+            self._obs.counter("resilience.faults_total",
+                              {"kind": rule.kind}).inc()
         return True
 
     def _rules(self, kinds, fingerprint: str | None, stage: str | None = None):

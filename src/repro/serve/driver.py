@@ -34,10 +34,11 @@ import numpy as np
 
 from .._util import ReproError, check, default_rng
 from ..core.format import DASPMatrix
-from ..core.preprocess import dasp_preprocess, dasp_preprocess_events
-from ..core.spmm import mma_utilization, spmm_events
-from ..gpu.cost_model import estimate_preprocess_time, estimate_time
+from ..core.preprocess import traced_preprocess
+from ..core.spmm import mma_phase_fraction, mma_utilization, spmm_events
+from ..gpu.cost_model import estimate_time
 from ..gpu.device import get_device
+from ..obs import Obs
 from ..resilience import (
     BreakerConfig,
     CircuitBreaker,
@@ -180,36 +181,65 @@ class _ModeledDevice:
     def __init__(self, device, dtype_bits: int) -> None:
         self.device = device
         self.dtype_bits = dtype_bits
-        self._times: dict[tuple[str, int], tuple[float, float, float]] = {}
+        self._times: dict[tuple[str, int], tuple] = {}
+        self._frac: dict[str, float] = {}
 
-    def batch_cost(self, fingerprint: str, plan: DASPMatrix,
-                   k: int) -> tuple[float, float, float]:
-        """(device seconds, useful MMA flops, issued MMA flops)."""
+    def _entry(self, fingerprint: str, plan: DASPMatrix, k: int) -> tuple:
         key = (fingerprint, k)
         got = self._times.get(key)
         if got is None:
             ev = spmm_events(plan, self.device, k)
             t = estimate_time(ev, self.device, dtype_bits=self.dtype_bits).total
             util = mma_utilization(plan, k)
-            got = (t, util * ev.flops_mma, ev.flops_mma)
+            got = (t, util * ev.flops_mma, ev.flops_mma, ev)
             self._times[key] = got
         return got
 
+    def batch_cost(self, fingerprint: str, plan: DASPMatrix,
+                   k: int) -> tuple[float, float, float]:
+        """(device seconds, useful MMA flops, issued MMA flops)."""
+        return self._entry(fingerprint, plan, k)[:3]
 
-def run_workload(cfg: WorkloadConfig) -> ServerStats:
-    """Simulate *cfg* and return the populated :class:`ServerStats`."""
+    def events(self, fingerprint: str, plan: DASPMatrix, k: int):
+        """The memoized :class:`KernelEvents` behind :meth:`batch_cost`."""
+        return self._entry(fingerprint, plan, k)[3]
+
+    def phase_fraction(self, fingerprint: str, plan: DASPMatrix) -> float:
+        """Memoized :func:`mma_phase_fraction` for span attribution."""
+        frac = self._frac.get(fingerprint)
+        if frac is None:
+            frac = self._frac[fingerprint] = mma_phase_fraction(plan)
+        return frac
+
+
+def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
+    """Simulate *cfg* and return the populated :class:`ServerStats`.
+
+    ``obs`` is the run's observability handle (fresh private one by
+    default); the plan registry, breaker, injector and stats facade all
+    share it.  Pass one carrying a :class:`repro.obs.Tracer` to record
+    ``batch -> preprocess / kernel / fallback`` span trees in *virtual*
+    clock coordinates — the simulation itself stays bit-identical, as
+    instrumentation never touches the RNG streams or modeled times.
+    """
     check(cfg.n_requests >= 1, "n_requests must be >= 1")
+    if obs is None or not obs.enabled:
+        obs = Obs()
+    tracing = obs.tracing
     device = get_device(cfg.device)
     dtype = np.dtype(cfg.dtype)
     rng = default_rng(cfg.seed)
     pool = _matrix_pool(cfg)
     weights = zipf_weights(len(pool), cfg.zipf_s)
     injector = _build_injector(cfg, pool)
-    registry = PlanRegistry(cfg.cache_budget_bytes, fault_injector=injector)
+    if injector is not None:
+        injector.bind(obs)
+    registry = PlanRegistry(cfg.cache_budget_bytes, fault_injector=injector,
+                            obs=obs)
     batcher = RequestBatcher(cfg.max_batch, cfg.flush_timeout_s)
     modeled = _ModeledDevice(device, dtype.itemsize * 8)
-    stats = ServerStats(device=device.name, dtype=str(dtype))
-    breaker = CircuitBreaker(cfg.breaker)
+    stats = ServerStats(device=device.name, dtype=str(dtype), obs=obs)
+    breaker = CircuitBreaker(cfg.breaker, obs=obs)
     fallback = FallbackExecutor(device)
     retry_rng = default_rng(cfg.seed + 1)  # jitter stream, not traffic
 
@@ -242,26 +272,24 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
         preprocessing pass.  Raises on injected preprocess faults and
         on plans over the cache budget."""
         nonlocal device_free
-        lat_cell = {}
+        pre_cell: dict[str, float] = {}
 
         def build(matrix):
-            plan, lat_s = dasp_preprocess(matrix, injector=injector,
-                                          fingerprint=fp)
-            lat_cell["s"] = lat_s
+            plan, pre = traced_preprocess(matrix, device, obs=obs,
+                                          injector=injector, fingerprint=fp)
+            pre_cell["s"] = pre
             return plan
 
         if cfg.plan_cache:
             plan, hit = registry.get(csr, fingerprint=fp, builder=build)
             if not hit:
-                pre = estimate_preprocess_time(
-                    dasp_preprocess_events(plan), device) + lat_cell.get("s", 0.0)
+                pre = pre_cell.get("s", 0.0)
                 stats.observe_preprocess(pre)
                 device_free += pre
             return plan
         # no-cache baseline: rebuild (and pay for) the plan every batch
-        plan, lat_s = dasp_preprocess(csr, injector=injector, fingerprint=fp)
-        pre = estimate_preprocess_time(dasp_preprocess_events(plan),
-                                       device) + lat_s
+        plan, pre = traced_preprocess(csr, device, obs=obs,
+                                      injector=injector, fingerprint=fp)
         stats.observe_preprocess(pre)
         device_free += pre
         return plan
@@ -284,16 +312,57 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
     def degrade(batch, start: float) -> None:
         nonlocal device_free
         fp = batch.fingerprint
-        t, pre_s = fallback.modeled_cost(fp, csr_by_fp[fp], batch.k)
-        if pre_s:
-            stats.observe_preprocess(pre_s)
-            start += pre_s
+        with obs.span("fallback",
+                      attrs={"matrix": fp[:8]} if tracing else None) as sp:
+            t, pre_s = fallback.modeled_cost(fp, csr_by_fp[fp], batch.k)
+            sp.set_device_time(t)
+            if pre_s:
+                stats.observe_preprocess(pre_s)
+                start += pre_s
+                if tracing:
+                    sp.child("preprocess", device_s=pre_s)
         finish(batch, start + t, t, 0.0, 0.0, degraded=True)
+
+    def run_kernel_attempt(fp: str, plan, batch, attempt: int):
+        """One modeled kernel attempt inside a ``kernel`` span."""
+        with obs.span("kernel",
+                      attrs={"attempt": attempt} if tracing else None) as sp:
+            t, useful, issued = modeled.batch_cost(fp, plan, batch.k)
+            fault: Exception | None = None
+            extra_s = 0.0
+            if injector is not None:
+                try:
+                    decision = injector.check_kernel(fp)
+                    extra_s = decision.latency_s
+                    if decision.corrupt:
+                        fault = NumericFault("injected NaN output")
+                except KernelFault as exc:
+                    fault = exc
+            if tracing:
+                if fault is not None:
+                    sp.status = "error"
+                    sp.set_attr("fault", type(fault).__name__)
+                else:
+                    # only successful attempts reach the stats counters
+                    frac = modeled.phase_fraction(fp, plan)
+                    total = t + extra_s
+                    sp.child("regular_mma", device_s=total * frac)
+                    sp.child("irregular_csr", device_s=total * (1.0 - frac))
+                    ev = modeled.events(fp, plan, batch.k)
+                    for key, value in ev.as_attrs().items():
+                        sp.set_attr(key, value)
+        return t, useful, issued, extra_s, fault
 
     def run_one(batch) -> None:
         """Execute one batch on the modeled device, chaos included."""
         nonlocal device_free
         fp = batch.fingerprint
+        with obs.span("batch", attrs={"matrix": fp[:8], "k": batch.k}
+                      if tracing else None):
+            run_one_inner(batch, fp)
+
+    def run_one_inner(batch, fp: str) -> None:
+        nonlocal device_free
         start = max(device_free, batch.formed_s)
         if cfg.deadline_s is not None:
             expired = batch.split_expired(start)
@@ -318,17 +387,8 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
                 stats.observe_failed(batch.k)
             return
         for attempt in range(cfg.retry.max_retries + 1):
-            t, useful, issued = modeled.batch_cost(fp, plan, batch.k)
-            fault: Exception | None = None
-            extra_s = 0.0
-            if injector is not None:
-                try:
-                    decision = injector.check_kernel(fp)
-                    extra_s = decision.latency_s
-                    if decision.corrupt:
-                        fault = NumericFault("injected NaN output")
-                except KernelFault as exc:
-                    fault = exc
+            t, useful, issued, extra_s, fault = run_kernel_attempt(
+                fp, plan, batch, attempt)
             start = max(device_free, batch.formed_s)
             if fault is None:
                 if injector is not None:
@@ -403,19 +463,21 @@ def run_workload(cfg: WorkloadConfig) -> ServerStats:
     start_batches(float("inf"))
 
     stats.duration_s = max((r.completion_s for r in completed), default=end)
-    snap = registry.snapshot()
-    stats.cache_hits = snap["hits"]
-    stats.cache_misses = snap["misses"]
-    stats.cache_evictions = snap["evictions"]
-    stats.breaker_transitions = breaker.transitions
+    # Cache, breaker and fault counters already live in the shared
+    # registry (one source of truth); only the non-counter breaker
+    # state map is copied for the report.
     stats.breaker_state = breaker.snapshot()
-    if injector is not None:
-        stats.faults_injected = injector.total_injected
     return stats
 
 
-def compare_batched_unbatched(cfg: WorkloadConfig) -> dict[str, ServerStats]:
-    """Run *cfg* batched and as request-at-a-time; same traffic trace."""
-    batched = run_workload(cfg)
+def compare_batched_unbatched(cfg: WorkloadConfig, *,
+                              obs: Obs | None = None) -> dict[str, ServerStats]:
+    """Run *cfg* batched and as request-at-a-time; same traffic trace.
+
+    ``obs`` (if given) observes the *batched* run — the one whose trace
+    the comparison is about; the unbatched baseline keeps its private
+    handle so the two runs' counters never mix.
+    """
+    batched = run_workload(cfg, obs=obs)
     unbatched = run_workload(replace(cfg, max_batch=1))
     return {"batched": batched, "unbatched": unbatched}

@@ -75,19 +75,67 @@ class PlanRegistry:
         Optional :class:`repro.resilience.FaultInjector`; its
         ``cache_pressure`` rules shrink the effective budget per
         insertion, simulating device-memory pressure.
+    obs:
+        Optional :class:`repro.obs.Obs` handle.  The ``hits`` /
+        ``misses`` / ``evictions`` / ``bytes_cached`` attributes are
+        facades over its registry (``serve.plan_cache.*``), so a
+        registry sharing the server's handle feeds ``ServerStats``
+        directly — no copy-at-close step.  Defaults to a fresh private
+        handle (per-run-object convention).
     """
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES, *,
-                 fault_injector=None) -> None:
+                 fault_injector=None, obs=None) -> None:
+        from ..obs import Obs
+
         check(budget_bytes >= 0, "budget_bytes must be non-negative")
         self.budget_bytes = int(budget_bytes)
         self.fault_injector = fault_injector
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._hits = obs.counter("serve.plan_cache.hits_total")
+        self._misses = obs.counter("serve.plan_cache.misses_total")
+        self._evictions = obs.counter("serve.plan_cache.evictions_total")
+        self._bytes = obs.gauge("serve.plan_cache.bytes")
         self._plans: OrderedDict[str, tuple[DASPMatrix, int]] = OrderedDict()
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.bytes_cached = 0
+
+    # ------------------------------------------------------------------
+    # counter facades (assignable for compatibility, e.g. rate probes
+    # resetting `registry.hits = 0` between passes)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @hits.setter
+    def hits(self, value) -> None:
+        self._hits.set(value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @misses.setter
+    def misses(self, value) -> None:
+        self._misses.set(value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @evictions.setter
+    def evictions(self, value) -> None:
+        self._evictions.set(value)
+
+    @property
+    def bytes_cached(self) -> int:
+        return int(self._bytes.value)
+
+    @bytes_cached.setter
+    def bytes_cached(self, value) -> None:
+        self._bytes.set(value)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -49,11 +49,19 @@ class Scheduler:
         requests fast so they never occupy a worker.  Returning
         ``None`` (or an empty batch) skips execution entirely; the
         batch still counts as handled for drain purposes.
+    obs:
+        Optional :class:`repro.obs.Obs` handle.  The scheduler keeps a
+        ``serve.scheduler.queue_depth`` gauge current and counts
+        executed / rejected / shed batches under
+        ``serve.scheduler.*_total``.  Defaults to a fresh private
+        handle (per-run-object convention).
     """
 
     def __init__(self, execute, *, workers: int = 2, queue_depth: int = 64,
                  policy: str = "reject", on_shed=None, on_error=None,
-                 prune=None) -> None:
+                 prune=None, obs=None) -> None:
+        from ..obs import Obs
+
         check(workers >= 1, "workers must be >= 1")
         check(queue_depth >= 1, "queue_depth must be >= 1")
         if policy not in ("reject", "shed"):
@@ -64,6 +72,13 @@ class Scheduler:
         self._on_shed = on_shed
         self._on_error = on_error
         self._prune = prune
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._depth_gauge = obs.gauge("serve.scheduler.queue_depth")
+        self._executed = obs.counter("serve.scheduler.executed_total")
+        self._rejected = obs.counter("serve.scheduler.rejected_total")
+        self._shed = obs.counter("serve.scheduler.shed_batches_total")
         # fingerprint -> FIFO of its queued batches; dict order gives the
         # round-robin scan order for ready work.
         self._queues: OrderedDict[str, deque[Batch]] = OrderedDict()
@@ -71,8 +86,6 @@ class Scheduler:
         self._inflight: set[str] = set()
         self._closed = False
         self._cond = threading.Condition()
-        self.n_executed = 0
-        self.n_shed_batches = 0
         self._threads = [
             threading.Thread(target=self._worker, name=f"serve-worker-{i}",
                              daemon=True)
@@ -82,6 +95,15 @@ class Scheduler:
             t.start()
 
     # ------------------------------------------------------------------
+    @property
+    def n_executed(self) -> int:
+        return int(self._executed.value)
+
+    @property
+    def n_shed_batches(self) -> int:
+        return int(self._shed.value)
+
+    # ------------------------------------------------------------------
     def submit(self, batch: Batch) -> None:
         """Enqueue *batch*, applying backpressure when the queue is full."""
         with self._cond:
@@ -89,16 +111,18 @@ class Scheduler:
             shed = None
             if self._queued >= self.queue_depth:
                 if self.policy == "reject":
+                    self._rejected.inc()
                     raise QueueFullError(
                         f"batch queue full ({self.queue_depth} batches)")
                 shed = self._pop_oldest()
-                self.n_shed_batches += 1
+                self._shed.inc()
             q = self._queues.get(batch.fingerprint)
             if q is None:
                 q = deque()
                 self._queues[batch.fingerprint] = q
             q.append(batch)
             self._queued += 1
+            self._depth_gauge.set(self._queued)
             self._cond.notify()
         if shed is not None and self._on_shed is not None:
             self._on_shed(shed)
@@ -126,6 +150,7 @@ class Scheduler:
             if not drain:
                 self._queues.clear()
                 self._queued = 0
+                self._depth_gauge.set(0)
             self._cond.notify_all()
         for t in self._threads:
             t.join(timeout)
@@ -147,6 +172,7 @@ class Scheduler:
         if not q:
             del self._queues[oldest_fp]
         self._queued -= 1
+        self._depth_gauge.set(self._queued)
         return batch
 
     def _next_ready(self) -> Batch | None:
@@ -158,6 +184,7 @@ class Scheduler:
                 if not q:
                     del self._queues[fp]
                 self._queued -= 1
+                self._depth_gauge.set(self._queued)
                 self._inflight.add(fp)
                 return batch
         return None
@@ -183,5 +210,5 @@ class Scheduler:
             finally:
                 with self._cond:
                     self._inflight.discard(batch.fingerprint)
-                    self.n_executed += 1
+                    self._executed.inc()
                     self._cond.notify_all()

@@ -40,11 +40,12 @@ from concurrent.futures import Future
 import numpy as np
 
 from .._util import ReproError, check, default_rng
-from ..core.preprocess import dasp_preprocess, dasp_preprocess_events
-from ..core.spmm import dasp_spmm, mma_utilization, spmm_events
+from ..core.preprocess import traced_preprocess
+from ..core.spmm import dasp_spmm, mma_phase_fraction, mma_utilization, spmm_events
 from ..core.spmv import dasp_spmv
-from ..gpu.cost_model import estimate_preprocess_time, estimate_time
+from ..gpu.cost_model import estimate_time
 from ..gpu.device import get_device
+from ..obs import Obs
 from ..resilience import (
     BreakerConfig,
     CircuitBreaker,
@@ -93,6 +94,14 @@ class SpMVServer:
     fallback:
         Serve un-servable batches from the merge-CSR path (default).
         When ``False`` they fail with the causing exception instead.
+    obs:
+        :class:`repro.obs.Obs` handle shared by every component of this
+        server — the plan registry, scheduler, breaker, fault injector
+        and :class:`ServerStats` all read/write its registry, so the
+        stats facade needs no copy-at-close step.  Pass one with a
+        :class:`repro.obs.Tracer` to record ``batch -> preprocess /
+        kernel / fallback`` span trees; defaults to a fresh private
+        metrics-only handle.
     """
 
     def __init__(self, *, device: str = "A100",
@@ -107,17 +116,24 @@ class SpMVServer:
                  breaker: BreakerConfig | None = BreakerConfig(),
                  fault_injector=None,
                  fallback: bool = True,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 obs: Obs | None = None) -> None:
         self.device = get_device(device)
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
         self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.bind(obs)
         self.registry = PlanRegistry(cache_budget_bytes,
-                                     fault_injector=fault_injector)
+                                     fault_injector=fault_injector, obs=obs)
         self.batcher = RequestBatcher(max_batch, flush_timeout_s)
-        self.stats = ServerStats(device=self.device.name)
+        self.stats = ServerStats(device=self.device.name, obs=obs)
         self.default_deadline_s = default_deadline_s
         self.preprocess_deadline_s = preprocess_deadline_s
         self.retry = retry if retry is not None else RetryPolicy()
-        self.breaker = CircuitBreaker(breaker) if breaker is not None else None
+        self.breaker = (CircuitBreaker(breaker, obs=obs)
+                        if breaker is not None else None)
         self.fallback_enabled = bool(fallback)
         self._fallback = FallbackExecutor(self.device)
         self._retry_rng = default_rng(seed)
@@ -125,7 +141,7 @@ class SpMVServer:
         self.scheduler = Scheduler(
             self._execute_batch, workers=workers, queue_depth=queue_depth,
             policy=policy, on_shed=self._shed_batch,
-            on_error=self._fail_batch, prune=self._prune_batch)
+            on_error=self._fail_batch, prune=self._prune_batch, obs=obs)
         self._matrices: dict[str, object] = {}
         self._futures: dict[int, Future] = {}
         self._lock = threading.Lock()
@@ -227,15 +243,11 @@ class SpMVServer:
         self._flusher.join(timeout)
         self._fail_parked()
         self.stats.duration_s = self._now()
-        snap = self.registry.snapshot()
-        self.stats.cache_hits = snap["hits"]
-        self.stats.cache_misses = snap["misses"]
-        self.stats.cache_evictions = snap["evictions"]
+        # Cache, breaker and fault counters already live in the shared
+        # registry (one source of truth); only the non-counter breaker
+        # state map is copied for the report.
         if self.breaker is not None:
-            self.stats.breaker_transitions = self.breaker.transitions
             self.stats.breaker_state = self.breaker.snapshot()
-        if self.fault_injector is not None:
-            self.stats.faults_injected = self.fault_injector.total_injected
 
     def __enter__(self) -> "SpMVServer":
         return self
@@ -299,6 +311,13 @@ class SpMVServer:
         if not batch.requests:
             return
         fp = batch.fingerprint
+        attrs = None
+        if self.obs.tracing:
+            attrs = {"matrix": fp[:8], "k": batch.k}
+        with self.obs.span("batch", attrs=attrs):
+            self._execute_batch_inner(batch, fp)
+
+    def _execute_batch_inner(self, batch: Batch, fp: str) -> None:
         csr = self._matrices[fp]
         if self.breaker is not None and not self.breaker.allow(fp, self._now()):
             self._degrade(batch, csr, CircuitOpenError(
@@ -313,7 +332,8 @@ class SpMVServer:
             return
         for attempt in range(self.retry.max_retries + 1):
             try:
-                Y, device_s, useful, issued = self._run_kernel(batch, plan, fp)
+                Y, device_s, useful, issued = self._run_kernel(
+                    batch, plan, fp, attempt)
                 break
             except Exception as exc:  # noqa: BLE001
                 if self.breaker is not None:
@@ -341,10 +361,9 @@ class SpMVServer:
         pre_cell: dict[str, float] = {}
 
         def build(matrix):
-            plan, latency_s = dasp_preprocess(
-                matrix, injector=self.fault_injector, fingerprint=fp)
-            pre = estimate_preprocess_time(
-                dasp_preprocess_events(plan), self.device) + latency_s
+            plan, pre = traced_preprocess(
+                matrix, self.device, obs=self.obs,
+                injector=self.fault_injector, fingerprint=fp)
             if (self.preprocess_deadline_s is not None
                     and pre > self.preprocess_deadline_s):
                 raise DeadlineExceededError(
@@ -358,27 +377,39 @@ class SpMVServer:
             self.stats.observe_preprocess(pre_cell.get("s", 0.0))
         return plan
 
-    def _run_kernel(self, batch: Batch, plan, fp: str):
+    def _run_kernel(self, batch: Batch, plan, fp: str, attempt: int = 0):
         """One DASP SpMV/SpMM attempt; raises on (injected) failure."""
-        extra_s = 0.0
-        corrupt = False
-        if self.fault_injector is not None:
-            decision = self.fault_injector.check_kernel(fp)  # may raise
-            extra_s, corrupt = decision.latency_s, decision.corrupt
-        k = batch.k
-        ev = spmm_events(plan, self.device, k)
-        bits = plan.dtype.itemsize * 8
-        device_s = estimate_time(ev, self.device, dtype_bits=bits).total + extra_s
-        util = mma_utilization(plan, k)
-        if k == 1:
-            Y = dasp_spmv(plan, batch.requests[0].x)[:, None]
-        else:
-            Y = dasp_spmm(plan, batch.assemble_x())
-        if corrupt:
-            Y = self.fault_injector.corrupt_output(Y)
-        if not np.isfinite(Y).all():
-            raise NumericFault(
-                f"non-finite kernel output for matrix {fp[:8]}…")
+        attrs = {"attempt": attempt} if self.obs.tracing else None
+        with self.obs.span("kernel", attrs=attrs) as sp:
+            extra_s = 0.0
+            corrupt = False
+            if self.fault_injector is not None:
+                decision = self.fault_injector.check_kernel(fp)  # may raise
+                extra_s, corrupt = decision.latency_s, decision.corrupt
+            k = batch.k
+            ev = spmm_events(plan, self.device, k)
+            bits = plan.dtype.itemsize * 8
+            device_s = (estimate_time(ev, self.device, dtype_bits=bits).total
+                        + extra_s)
+            util = mma_utilization(plan, k)
+            if k == 1:
+                Y = dasp_spmv(plan, batch.requests[0].x, obs=self.obs)[:, None]
+            else:
+                Y = dasp_spmm(plan, batch.assemble_x(), obs=self.obs)
+            if corrupt:
+                Y = self.fault_injector.corrupt_output(Y)
+            if not np.isfinite(Y).all():
+                raise NumericFault(
+                    f"non-finite kernel output for matrix {fp[:8]}…")
+            # Attribute device time only on success: a failed attempt's
+            # time never reaches the stats counters either, so the span
+            # tree and `device_busy_s` stay in lockstep.
+            if self.obs.tracing:
+                frac = mma_phase_fraction(plan)
+                sp.child("regular_mma", device_s=device_s * frac)
+                sp.child("irregular_csr", device_s=device_s * (1.0 - frac))
+                for key, value in ev.as_attrs().items():
+                    sp.set_attr(key, value)
         return Y, device_s, util * ev.flops_mma, ev.flops_mma
 
     def _degrade(self, batch: Batch, csr, cause: Exception) -> None:
@@ -387,16 +418,26 @@ class SpMVServer:
             self.stats.observe_failed(batch.k)
             self._fail_batch(batch, cause)
             return
-        try:
-            Y = self._fallback.run(batch.fingerprint, csr, batch.assemble_x())
-            device_s, pre_s = self._fallback.modeled_cost(
-                batch.fingerprint, csr, batch.k)
-        except Exception as exc:  # noqa: BLE001 — fallback itself broke
-            self.stats.observe_failed(batch.k)
-            self._fail_batch(batch, exc)
-            return
-        if pre_s:
-            self.stats.observe_preprocess(pre_s)
+        attrs = None
+        if self.obs.tracing:
+            attrs = {"cause": type(cause).__name__}
+        with self.obs.span("fallback", attrs=attrs) as sp:
+            try:
+                Y = self._fallback.run(batch.fingerprint, csr,
+                                       batch.assemble_x())
+                device_s, pre_s = self._fallback.modeled_cost(
+                    batch.fingerprint, csr, batch.k)
+            except Exception as exc:  # noqa: BLE001 — fallback itself broke
+                if self.obs.tracing:
+                    sp.status = "error"
+                self.stats.observe_failed(batch.k)
+                self._fail_batch(batch, exc)
+                return
+            sp.set_device_time(device_s)
+            if pre_s:
+                self.stats.observe_preprocess(pre_s)
+                if self.obs.tracing:
+                    sp.child("preprocess", device_s=pre_s)
         self.stats.observe_degraded(batch.k)
         # degraded batches issue no MMA work — utilization stays honest
         self._complete(batch, Y, device_s, 0.0, 0.0)

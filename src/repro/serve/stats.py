@@ -1,148 +1,188 @@
-"""`ServerStats` — the serving layer's metrics object.
+"""`ServerStats` — the serving layer's metrics facade.
 
-One instance accumulates everything a serving experiment reports:
-request / batch / rejection counters, the batch-size histogram, plan
-cache hit/miss/eviction counts, modeled device busy time (kernels and
-preprocessing separately), per-request latencies, and the MMA
-utilization of the issued work.  All observation methods are
-thread-safe so the real-threaded :class:`repro.serve.server.SpMVServer`
-and the virtual-time workload driver share the same object.
+Since the `repro.obs` redesign, ``ServerStats`` no longer *owns* any
+counter: it is a thin facade over a
+:class:`repro.obs.MetricsRegistry`.  Every counter-like attribute
+(``n_requests``, ``cache_hits``, ``device_busy_s``, ...) is a property
+reading — and, for backward compatibility, writing — a named
+registry instrument, so components that share the same
+:class:`repro.obs.Obs` handle (the plan registry, scheduler, breaker,
+fault injector) and the stats object report from **one source of
+truth**; the pre-redesign copy-counters-at-close drift is structurally
+impossible.
+
+The observation API (``observe_request`` and friends), the derived
+metrics and :meth:`summary_table` are unchanged, so existing callers
+and report goldens keep working byte-for-byte.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..bench.report import markdown_table
+from ..obs import DEFAULT_TIME_BUCKETS, Obs
+
+#: registry metric names backing the facade (property -> (metric, int?)).
+_COUNTER_METRICS = {
+    "n_requests": ("serve.requests_total", True),
+    "n_completed": ("serve.completed_total", True),
+    "n_rejected": ("serve.rejected_total", True),
+    "n_shed": ("serve.shed_total", True),
+    "n_batches": ("serve.batches_total", True),
+    "cache_hits": ("serve.plan_cache.hits_total", True),
+    "cache_misses": ("serve.plan_cache.misses_total", True),
+    "cache_evictions": ("serve.plan_cache.evictions_total", True),
+    "device_busy_s": ("serve.device_busy_seconds_total", False),
+    "preprocess_s": ("serve.preprocess_seconds_total", False),
+    "useful_mma_flops": ("serve.mma_useful_flops_total", False),
+    "issued_mma_flops": ("serve.mma_issued_flops_total", False),
+    "degraded_requests": ("serve.degraded_total", True),
+    "retries": ("serve.retries_total", True),
+    "n_deadline_exceeded": ("serve.deadline_exceeded_total", True),
+    "n_failed": ("serve.failed_total", True),
+    "n_closed": ("serve.closed_total", True),
+    "breaker_transitions": ("resilience.breaker_transitions_total", True),
+}
 
 
-@dataclass
+def _counter_property(attr: str, metric: str, as_int: bool) -> property:
+    def fget(self):
+        v = self._registry.counter(metric).value
+        return int(v) if as_int else v
+
+    def fset(self, value):
+        self._registry.counter(metric).set(value)
+
+    return property(fget, fset, doc=f"Facade over registry counter "
+                                    f"``{metric}``.")
+
+
 class ServerStats:
-    """Accumulated metrics for one serving run.
+    """Accumulated metrics for one serving run (registry-backed).
 
-    Attributes
+    Parameters
     ----------
     device / dtype:
         Where and at which precision the run served.
-    n_requests / n_completed / n_rejected / n_shed:
-        Offered, answered, backpressure-rejected and shed requests.
-    n_batches:
-        SpMV/SpMM kernel invocations issued.
-    batch_hist:
-        batch size -> number of batches of that size.
-    cache_hits / cache_misses / cache_evictions:
-        Plan-registry accounting (copied from the registry at report
-        time by the server/driver).
-    device_busy_s:
-        Modeled device seconds spent in SpMV/SpMM kernels.
-    preprocess_s:
-        Modeled device+host seconds spent building DASP plans (paid on
-        cache misses only).
-    duration_s:
-        Makespan of the run (virtual seconds for the driver, wall
-        seconds for the real server).
-    useful_mma_flops / issued_mma_flops:
-        Numerator/denominator of the aggregate MMA utilization.
-    degraded_requests / retries / n_deadline_exceeded / n_failed /
-    n_closed:
-        Resilience accounting: requests answered from the merge-CSR
-        fallback, batch retry attempts, requests failed fast past
-        their deadline, requests failed permanently (fallback disabled
-        or broken), and requests failed with ``ServerClosedError`` at
-        shutdown.
-    breaker_transitions / breaker_state:
-        Circuit-breaker transition count and the final
-        fingerprint -> state map (copied at report time).
-    faults_injected:
-        Total fault-injector rule firings (0 without chaos).
+    obs:
+        The :class:`repro.obs.Obs` handle whose registry backs every
+        counter.  Defaults to a fresh private handle so standalone
+        stats objects stay independent; the server/driver pass their
+        run-wide handle so the plan cache, breaker and injector write
+        the *same* instruments this facade reads.  A disabled handle
+        (``NULL_OBS``) is replaced by a private one — the stats object
+        must always be able to report.
+
+    The attribute surface is unchanged from the dataclass era:
+    ``n_requests``, ``n_completed``, ``n_rejected``, ``n_shed``,
+    ``n_batches``, ``batch_hist``, ``cache_hits/misses/evictions``,
+    ``device_busy_s``, ``preprocess_s``, ``duration_s``,
+    ``useful_mma_flops``, ``issued_mma_flops``, ``latencies_s``,
+    ``degraded_requests``, ``retries``, ``n_deadline_exceeded``,
+    ``n_failed``, ``n_closed``, ``breaker_transitions``,
+    ``breaker_state``, ``faults_injected`` — all readable (and, for
+    migration, assignable) exactly as before.
     """
 
-    device: str = "A100"
-    dtype: str = "float64"
-    n_requests: int = 0
-    n_completed: int = 0
-    n_rejected: int = 0
-    n_shed: int = 0
-    n_batches: int = 0
-    batch_hist: dict = field(default_factory=dict)
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_evictions: int = 0
-    device_busy_s: float = 0.0
-    preprocess_s: float = 0.0
-    duration_s: float = 0.0
-    useful_mma_flops: float = 0.0
-    issued_mma_flops: float = 0.0
-    latencies_s: list = field(default_factory=list)
-    degraded_requests: int = 0
-    retries: int = 0
-    n_deadline_exceeded: int = 0
-    n_failed: int = 0
-    n_closed: int = 0
-    breaker_transitions: int = 0
-    breaker_state: dict = field(default_factory=dict)
-    faults_injected: int = 0
+    def __init__(self, device: str = "A100", dtype: str = "float64",
+                 obs: Obs | None = None) -> None:
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._registry = obs.registry
+        self.device = device
+        self.dtype = dtype
+        #: Raw per-request latencies (seconds) for exact percentiles;
+        #: also folded into the ``serve.latency_seconds`` histogram.
+        self.latencies_s: list[float] = []
+        #: fingerprint -> breaker state map (copied at report time).
+        self.breaker_state: dict[str, str] = {}
+        self._latency_hist = obs.histogram("serve.latency_seconds",
+                                           DEFAULT_TIME_BUCKETS)
+        self._duration = obs.gauge("serve.duration_seconds")
 
-    def __post_init__(self) -> None:
-        self._lock = threading.Lock()
+    # ------------------------------------------------------------------
+    # registry-backed attributes
+    # ------------------------------------------------------------------
+    locals().update({attr: _counter_property(attr, metric, as_int)
+                     for attr, (metric, as_int) in _COUNTER_METRICS.items()})
+
+    @property
+    def duration_s(self) -> float:
+        """Makespan of the run (virtual or wall seconds) — a gauge."""
+        return self._duration.value
+
+    @duration_s.setter
+    def duration_s(self, value: float) -> None:
+        self._duration.set(value)
+
+    @property
+    def batch_hist(self) -> dict:
+        """batch size -> number of batches of that size (from the
+        ``serve.batch_size_total{k=...}`` counter family)."""
+        return {int(c.labels["k"]): int(c.value)
+                for c in self._registry.family("serve.batch_size_total")
+                if c.value}
+
+    @property
+    def faults_injected(self) -> int:
+        """Total fault-injector rule firings (sum of the labeled
+        ``resilience.faults_total`` family)."""
+        return int(self._registry.family_total("resilience.faults_total"))
+
+    @faults_injected.setter
+    def faults_injected(self, value) -> None:
+        # Migration shim: only meaningful when no bound injector is
+        # already incrementing the labeled family.
+        self._registry.counter("resilience.faults_total").set(value)
 
     # ------------------------------------------------------------------
     # observation
     # ------------------------------------------------------------------
     def observe_request(self, n: int = 1) -> None:
-        with self._lock:
-            self.n_requests += n
+        self._registry.counter("serve.requests_total").inc(n)
 
     def observe_rejected(self, n: int = 1) -> None:
-        with self._lock:
-            self.n_rejected += n
+        self._registry.counter("serve.rejected_total").inc(n)
 
     def observe_shed(self, n: int = 1) -> None:
-        with self._lock:
-            self.n_shed += n
+        self._registry.counter("serve.shed_total").inc(n)
 
     def observe_batch(self, k: int, device_s: float, *,
                       useful_mma: float = 0.0, issued_mma: float = 0.0) -> None:
         """Record one executed batch of ``k`` requests."""
-        with self._lock:
-            self.n_batches += 1
-            self.n_completed += k
-            self.batch_hist[k] = self.batch_hist.get(k, 0) + 1
-            self.device_busy_s += device_s
-            self.useful_mma_flops += useful_mma
-            self.issued_mma_flops += issued_mma
+        reg = self._registry
+        reg.counter("serve.batches_total").inc()
+        reg.counter("serve.completed_total").inc(k)
+        reg.counter("serve.batch_size_total", {"k": k}).inc()
+        reg.counter("serve.device_busy_seconds_total").inc(device_s)
+        reg.counter("serve.mma_useful_flops_total").inc(useful_mma)
+        reg.counter("serve.mma_issued_flops_total").inc(issued_mma)
 
     def observe_preprocess(self, seconds: float) -> None:
-        with self._lock:
-            self.preprocess_s += seconds
+        self._registry.counter("serve.preprocess_seconds_total").inc(seconds)
 
     def observe_degraded(self, n: int = 1) -> None:
         """Record *n* requests answered from the fallback path."""
-        with self._lock:
-            self.degraded_requests += n
+        self._registry.counter("serve.degraded_total").inc(n)
 
     def observe_retry(self, n: int = 1) -> None:
-        with self._lock:
-            self.retries += n
+        self._registry.counter("serve.retries_total").inc(n)
 
     def observe_deadline_exceeded(self, n: int = 1) -> None:
-        with self._lock:
-            self.n_deadline_exceeded += n
+        self._registry.counter("serve.deadline_exceeded_total").inc(n)
 
     def observe_failed(self, n: int = 1) -> None:
-        with self._lock:
-            self.n_failed += n
+        self._registry.counter("serve.failed_total").inc(n)
 
     def observe_closed(self, n: int = 1) -> None:
-        with self._lock:
-            self.n_closed += n
+        self._registry.counter("serve.closed_total").inc(n)
 
     def observe_latency(self, seconds: float) -> None:
-        with self._lock:
-            self.latencies_s.append(float(seconds))
+        s = float(seconds)
+        self.latencies_s.append(s)
+        self._latency_hist.observe(s)
 
     # ------------------------------------------------------------------
     # derived metrics
@@ -197,8 +237,8 @@ class ServerStats:
     def summary_table(self) -> str:
         """Markdown summary of every reported metric."""
         pct = self.latency_percentiles()
-        hist = " ".join(f"{k}:{self.batch_hist[k]}"
-                        for k in sorted(self.batch_hist))
+        batch_hist = self.batch_hist
+        hist = " ".join(f"{k}:{batch_hist[k]}" for k in sorted(batch_hist))
         rows = [
             ("device / dtype", f"{self.device} / {self.dtype}"),
             ("requests offered / completed", f"{self.n_requests:,} / {self.n_completed:,}"),

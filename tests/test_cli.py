@@ -154,3 +154,70 @@ class TestConvert:
     def test_bad_extension(self, tmp_path):
         assert main(["convert", str(tmp_path / "a.xyz"),
                      str(tmp_path / "b.npz")]) == 2
+
+
+class TestServeSimTrace:
+    def test_trace_prints_attribution(self, capsys):
+        assert main(["serve-sim", "--requests", "150", "--matrices", "2",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "device-time attribution" in out
+        assert "regular_mma" in out and "irregular_csr" in out
+        assert "coverage:" in out
+        assert "batch" in out  # at least one span tree
+
+    def test_trace_json_validates_against_schema(self, tmp_path, capsys):
+        import json
+        from pathlib import Path
+
+        jsonschema = pytest.importorskip("jsonschema")
+        out_path = tmp_path / "trace.json"
+        assert main(["serve-sim", "--requests", "150", "--matrices", "2",
+                     "--trace-json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        schema_path = (Path(__file__).resolve().parent.parent
+                       / "schemas" / "serve_trace.schema.json")
+        jsonschema.validate(doc, json.loads(schema_path.read_text()))
+        assert doc["attribution"]["coverage"] >= 0.95
+
+    def test_trace_prom_output(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.prom"
+        assert main(["serve-sim", "--requests", "150", "--matrices", "2",
+                     "--trace-prom", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_latency_seconds_bucket" in text
+
+    def test_compare_with_trace(self, capsys):
+        assert main(["serve-sim", "--requests", "150", "--matrices", "2",
+                     "--compare", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "batched vs request-at-a-time throughput" in out
+        assert "device-time attribution" in out
+
+
+class TestStatsCommand:
+    def test_table_format(self, capsys):
+        assert main(["stats", "--requests", "150", "--matrices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput (kernel time)" in out
+        assert "device-time attribution" in out
+        assert "coverage:" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["stats", "--requests", "150", "--matrices", "2",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        names = {m["name"] for m in doc["metrics"]}
+        assert "serve.requests_total" in names
+        assert doc["attribution"]["coverage"] >= 0.95
+
+    def test_prometheus_format(self, capsys):
+        assert main(["stats", "--requests", "150", "--matrices", "2",
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# TYPE")
+        assert "serve_requests_total" in out

@@ -70,3 +70,53 @@ class TestCollection:
     def test_accepts_pairs(self, tmp_path, rng):
         save_collection(tmp_path / "col", [("x", random_csr(4, 4, rng))])
         assert "x" in load_collection(tmp_path / "col")
+
+
+class TestLoad:
+    """repro.matrices.load — the one public matrix-loading entry point."""
+
+    def test_named_suite_entry(self):
+        from repro.matrices import load, suite_by_name
+
+        csr = load("scircuit")
+        ref = suite_by_name("scircuit").matrix()
+        assert csr.shape == ref.shape and csr.nnz == ref.nnz
+
+    def test_npz_path(self, tmp_path, rng):
+        from repro.matrices import load
+
+        csr = random_csr(12, 9, rng)
+        save_csr(tmp_path / "m.npz", csr)
+        back = load(tmp_path / "m.npz")
+        assert np.array_equal(back.to_dense(), csr.to_dense())
+
+    def test_mtx_path(self, tmp_path, rng):
+        from repro.formats import write_matrix_market
+        from repro.matrices import load
+
+        csr = random_csr(10, 10, rng)
+        write_matrix_market(csr, tmp_path / "m.mtx")
+        back = load(tmp_path / "m.mtx")
+        assert np.allclose(back.to_dense(), csr.to_dense())
+
+    def test_unsupported_extension(self, tmp_path):
+        from repro.matrices import load
+
+        path = tmp_path / "m.bin"
+        path.write_bytes(b"\x00")
+        with pytest.raises(ReproError, match="unsupported extension"):
+            load(path)
+
+    def test_unknown_name_raises(self):
+        from repro.matrices import load
+
+        with pytest.raises(KeyError, match="no-such-matrix"):
+            load("no-such-matrix")
+
+    def test_cli_shim_warns_but_works(self):
+        from repro.cli import _load_matrix
+        from repro.matrices import load
+
+        with pytest.warns(DeprecationWarning, match="repro.matrices.load"):
+            csr = _load_matrix("scircuit")
+        assert csr.nnz == load("scircuit").nnz

@@ -113,3 +113,37 @@ class TestH800Modeling:
 
     def test_h800_has_capped_fp64(self):
         assert H800.fp64_tensor_tflops < A100.fp64_tensor_tflops
+
+
+class TestTopLevelErrorTaxonomy:
+    """Satellite: the full error taxonomy is importable from `repro`."""
+
+    def test_all_errors_reexported(self):
+        import repro
+
+        for name in ("QueueFullError", "RequestShedError", "MatrixMarketError",
+                     "ResilienceError", "CircuitOpenError",
+                     "DeadlineExceededError", "InjectedFault", "KernelFault",
+                     "NumericFault", "PlanTooLargeError", "PreprocessFault",
+                     "ServerClosedError"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+    def test_subclass_relationships(self):
+        import repro
+
+        assert issubclass(repro.CircuitOpenError, repro.ResilienceError)
+        assert issubclass(repro.DeadlineExceededError, repro.ResilienceError)
+        assert issubclass(repro.KernelFault, repro.InjectedFault)
+        assert issubclass(repro.PreprocessFault, repro.InjectedFault)
+        assert issubclass(repro.NumericFault, repro.ResilienceError)
+        assert issubclass(repro.ResilienceError, repro.ReproError)
+        assert issubclass(repro.MatrixMarketError, repro.ReproError)
+        assert issubclass(repro.QueueFullError, repro.ReproError)
+        assert issubclass(repro.RequestShedError, repro.ReproError)
+
+    def test_obs_module_exported(self):
+        import repro
+
+        assert "obs" in repro.__all__
+        assert repro.obs.Obs is not None

@@ -1,0 +1,221 @@
+"""Unit tests for `repro.obs` — registry, tracer, exposition."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    DEVICE_PHASES,
+    NULL_OBS,
+    MetricError,
+    MetricsRegistry,
+    Obs,
+    Tracer,
+    export,
+    get_obs,
+    set_obs,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("a.total")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_idempotent_creation_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.total") is reg.counter("a.total")
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a.total", {"k": 1}).inc(2)
+        reg.counter("a.total", {"k": 2}).inc(3)
+        assert reg.counter("a.total", {"k": 1}).value == 2
+        assert reg.family_total("a.total") == 5
+        assert len(reg.family("a.total")) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a.total")
+        with pytest.raises(MetricError):
+            reg.gauge("a.total")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_boundary_lands_in_bucket(self):
+        # Prometheus `le` semantics: v <= edge, boundary inclusive.
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+            h.observe(v)
+        snap = h.value
+        assert snap["buckets"] == [(1.0, 2), (2.0, 2), (4.0, 1)]
+        assert snap["inf"] == 1
+        assert snap["count"] == 6
+        assert snap["sum"] == pytest.approx(18.0)
+
+    def test_cumulative_counts(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 5.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 1), (2.0, 2), (float("inf"), 3)]
+
+    def test_non_increasing_edges_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            reg.histogram("bad2", buckets=(2.0, 1.0))
+        with pytest.raises(MetricError):
+            reg.histogram("empty", buckets=())
+
+    def test_default_buckets_accepted(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.buckets == DEFAULT_TIME_BUCKETS
+
+    def test_redeclare_different_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+
+
+class TestTracer:
+    def test_nesting_and_roots(self):
+        tr = Tracer(clock=lambda: 0.0)
+        with tr.span("batch") as b:
+            with tr.span("kernel") as k:
+                k.set_device_time(2e-6)
+            assert b.children == [k]
+        roots = tr.traces()
+        assert [sp.name for sp in roots] == ["batch"]
+        assert roots[0].children[0].parent_id == roots[0].span_id
+
+    def test_error_status_set_and_reraised(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("batch"):
+                raise ValueError("boom")
+        assert tr.traces()[0].status == "error"
+
+    def test_device_time_by_name_sums_across_trees(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("kernel") as sp:
+                sp.child("regular_mma", device_s=1e-6)
+        assert tr.device_time_by_name()["regular_mma"] == pytest.approx(3e-6)
+
+    def test_attribution_coverage(self):
+        tr = Tracer()
+        with tr.span("batch") as sp:
+            sp.child("preprocess", device_s=3e-6)
+            sp.child("regular_mma", device_s=1e-6)
+        att = tr.attribution(4e-6)
+        assert set(att["phases"]) == set(DEVICE_PHASES)
+        assert att["coverage"] == pytest.approx(1.0)
+
+    def test_bounded_trace_store(self):
+        tr = Tracer(max_traces=2)
+        for i in range(5):
+            with tr.span(f"s{i}"):
+                pass
+        assert len(tr.traces()) == 2
+        assert tr.dropped == 3
+        assert [sp.name for sp in tr.traces()] == ["s3", "s4"]
+
+
+class TestObsHandle:
+    def test_disabled_handle_is_noop(self):
+        c = NULL_OBS.counter("x")
+        c.inc(100)
+        assert c.value == 0.0
+        with NULL_OBS.span("anything") as sp:
+            sp.set_device_time(1.0)
+            assert sp.child("k") is sp
+        assert NULL_OBS.registry is None and NULL_OBS.tracer is None
+
+    def test_tracing_flag(self):
+        assert not Obs().tracing
+        assert Obs(tracer=Tracer()).tracing
+
+    def test_global_handle_roundtrip(self):
+        fresh = Obs()
+        previous = set_obs(fresh)
+        try:
+            assert get_obs() is fresh
+        finally:
+            set_obs(previous)
+        assert get_obs() is previous
+
+
+class TestExport:
+    def _populated(self):
+        obs = Obs(tracer=Tracer(clock=lambda: 0.0))
+        obs.counter("serve.requests_total").inc(3)
+        obs.counter("serve.batch_size_total", {"k": 8}).inc(2)
+        obs.gauge("serve.queue_depth").set(1)
+        h = obs.histogram("serve.latency_seconds", buckets=(1e-6, 1e-3))
+        h.observe(5e-7)
+        h.observe(2e-3)
+        with obs.span("batch", attrs={"matrix": "abcd"}) as sp:
+            sp.child("regular_mma", device_s=1e-6)
+        return obs
+
+    def test_prometheus_golden(self):
+        obs = self._populated()
+        assert export.to_prometheus(obs.registry) == (
+            "# TYPE serve_batch_size_total counter\n"
+            'serve_batch_size_total{k="8"} 2\n'
+            "# TYPE serve_latency_seconds histogram\n"
+            'serve_latency_seconds_bucket{le="1e-06"} 1\n'
+            'serve_latency_seconds_bucket{le="0.001"} 1\n'
+            'serve_latency_seconds_bucket{le="+Inf"} 2\n'
+            "serve_latency_seconds_sum 0.0020005\n"
+            "serve_latency_seconds_count 2\n"
+            "# TYPE serve_queue_depth gauge\n"
+            "serve_queue_depth 1\n"
+            "# TYPE serve_requests_total counter\n"
+            "serve_requests_total 3\n"
+        )
+
+    def test_json_doc_shape_and_roundtrip(self):
+        obs = self._populated()
+        doc = json.loads(export.render_json(obs, device_total_s=1e-6))
+        assert doc["version"] == 1
+        assert doc["dropped_traces"] == 0
+        names = {m["name"] for m in doc["metrics"]}
+        assert "serve.requests_total" in names
+        (root,) = doc["traces"]
+        assert root["name"] == "batch"
+        assert root["attrs"] == {"matrix": "abcd"}
+        assert root["children"][0]["name"] == "regular_mma"
+        assert doc["attribution"]["coverage"] == pytest.approx(1.0)
+
+    def test_json_doc_without_tracer(self):
+        obs = Obs()
+        obs.counter("x").inc()
+        doc = export.to_json_doc(obs)
+        assert doc["traces"] == [] and doc["attribution"] is None
+
+    def test_format_span_tree_indents(self):
+        obs = self._populated()
+        lines = export.format_span_tree(obs.tracer.traces()[0])
+        assert lines[0].startswith("batch")
+        assert lines[1].startswith("  regular_mma")
