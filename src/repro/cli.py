@@ -167,6 +167,19 @@ def _print_trace_report(obs, stats, *, json_path=None, prom_path=None,
         print(f"Prometheus metrics written to {prom_path}")
 
 
+def _parse_shards(value):
+    """``--shards`` parser: None, ``auto``, or a positive int."""
+    if value is None or value == "auto":
+        return value
+    try:
+        s = int(value)
+    except ValueError:
+        raise SystemExit(f"--shards must be an integer or 'auto', got {value!r}")
+    if s < 1:
+        raise SystemExit("--shards must be >= 1")
+    return None if s == 1 else s
+
+
 def cmd_serve_sim(args) -> int:
     from .obs import Obs, Tracer
     from .serve import (ChaosConfig, WorkloadConfig,
@@ -175,6 +188,7 @@ def cmd_serve_sim(args) -> int:
     chaos = None
     if args.chaos:
         chaos = ChaosConfig(fault_rate=args.chaos_rate, seed=args.chaos_seed)
+    shards = _parse_shards(args.shards)
     cfg = WorkloadConfig(
         n_requests=args.requests,
         rate_rps=args.rate,
@@ -189,6 +203,8 @@ def cmd_serve_sim(args) -> int:
         queue_depth=args.queue_depth,
         deadline_s=args.deadline_us * 1e-6 if args.deadline_us else None,
         chaos=chaos,
+        shards=shards,
+        shard_workers=args.shard_workers,
     )
     trace = bool(args.trace or args.trace_json or args.trace_prom)
     obs = Obs(tracer=Tracer()) if trace else None
@@ -246,7 +262,30 @@ def cmd_bench(args) -> int:
         if base == "DASP":
             continue
         print(speedup_summary(dasp, res.times[base], base))
+    if args.shards is not None:
+        _bench_shards(entries, args)
     return 0
+
+
+def _bench_shards(entries, args) -> None:
+    """Modeled sharded-vs-single-chain speedup table for ``bench``."""
+    from .shard import build_sharded_plan, choose_shards, sharded_batch_cost
+
+    shards = _parse_shards(args.shards)
+    workers = args.shard_workers
+    dtype = np.dtype(args.dtype)
+    print(f"\nrow sharding (modeled, {workers} lanes):")
+    print(f"{'matrix':<24}{'S':>4}{'single':>12}{'sharded':>12}{'speedup':>9}")
+    for e in entries:
+        csr = e.matrix().astype(dtype)
+        S = (int(choose_shards(csr, workers, device=args.device).best_value)
+             if shards == "auto" else int(shards))
+        single = sharded_batch_cost(build_sharded_plan(csr, 1), args.device,
+                                    1, workers=workers).makespan
+        plan = build_sharded_plan(csr, S)
+        cost = sharded_batch_cost(plan, args.device, 1, workers=workers)
+        print(f"{e.name:<24}{plan.n_shards:>4}{single:>12.3e}"
+              f"{cost.makespan:>12.3e}{single / cost.makespan:>8.2f}x")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -307,6 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="total fault rate split over the fault kinds")
     p.add_argument("--chaos-seed", type=int, default=7,
                    help="fault-injector RNG seed")
+    p.add_argument("--shards", default=None, metavar="S|auto",
+                   help="row-shard every matrix into S bands ('auto' picks "
+                        "S per matrix from the makespan cost model)")
+    p.add_argument("--shard-workers", type=int, default=4,
+                   help="concurrent lanes the sharded makespan is modeled "
+                        "over (default 4)")
     p.add_argument("--deadline-us", type=float, default=None,
                    help="per-request deadline (modeled us); expired "
                         "requests fail fast")
@@ -336,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="mini Figure 10 sweep")
     p.add_argument("--count", type=int, default=20)
+    p.add_argument("--shards", default=None, metavar="S|auto",
+                   help="also print the modeled row-sharding speedup table")
+    p.add_argument("--shard-workers", type=int, default=4)
     p.add_argument("--device", default="A100", choices=("A100", "H800"))
     p.add_argument("--dtype", default="float64",
                    choices=("float64", "float16"))

@@ -14,6 +14,7 @@ from .autotune import (
     MAX_LEN_CANDIDATES,
     THRESHOLD_CANDIDATES,
     TuneResult,
+    choose_shards,
     tune_max_len,
     tune_threshold,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "build_long_rows",
     "build_medium_rows",
     "build_short_rows",
+    "choose_shards",
     "classify_rows",
     "dasp_preprocess",
     "dasp_preprocess_events",

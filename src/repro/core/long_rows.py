@@ -114,13 +114,16 @@ def run_long_rows(plan: LongRowsPlan, x: np.ndarray, *,
     # fragY accumulates over the BLOCKS_PER_GROUP blocks of a group, then
     # the shuffle tree sums the m diagonal lanes.
     per_group = diag.reshape(-1, BLOCKS_PER_GROUP * s.m).sum(axis=1, dtype=s.acc_dtype)
-    # Second kernel: warp-per-row reduction of warpVal.
-    padded_groups = np.concatenate([per_group, np.zeros(1, dtype=s.acc_dtype)])
-    starts = np.minimum(plan.group_ptr[:-1], per_group.size)
-    y = np.add.reduceat(padded_groups, starts) if plan.n_rows else padded_groups[:0]
-    empty = np.diff(plan.group_ptr) == 0
-    y = y.astype(s.acc_dtype, copy=False)
-    y[empty] = 0
+    # Second kernel: warp-per-row reduction of warpVal.  No trailing pad
+    # element: reduceat's vectorized inner loop associates by segment
+    # *length*, so appending a zero to the final segment would give the
+    # plan's last row a different rounding than the same row computed
+    # mid-plan — breaking shard/unsharded bit-equality.
+    if per_group.size == 0:
+        return np.zeros(plan.n_rows, dtype=s.acc_dtype)
+    starts = np.minimum(plan.group_ptr[:-1], per_group.size - 1)
+    y = np.add.reduceat(per_group, starts).astype(s.acc_dtype, copy=False)
+    y[np.diff(plan.group_ptr) == 0] = 0
     return y
 
 

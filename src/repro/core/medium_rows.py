@@ -202,15 +202,27 @@ def run_medium_rows(plan: MediumRowsPlan, x: np.ndarray, *,
     res = acc.reshape(-1)[:n_med].copy()
 
     if plan.irreg_nnz:
+        # Chunk-invariant tail: the regular/irregular boundary of a row
+        # always falls on a multiple of K, so summing the tail in
+        # zero-padded K-element chunks — with the same cast chain and
+        # sequential-sum association as ``block_row_dots`` — makes each
+        # row's value a fold over identical chunk sums no matter how
+        # many of its chunks were regular.  Row values are therefore
+        # independent of row-block composition (and of sharding).
         prod = (
             plan.irreg_val.astype(s.in_dtype, copy=False).astype(s.acc_dtype)
             * x[plan.irreg_cid.astype(np.int64)].astype(s.in_dtype, copy=False).astype(s.acc_dtype)
         )
-        padded = np.concatenate([prod, np.zeros(1, dtype=s.acc_dtype)])
-        starts = np.minimum(plan.irreg_ptr[:-1], prod.size)
-        sums = np.add.reduceat(padded, starts).astype(s.acc_dtype, copy=False)
-        sums[np.diff(plan.irreg_ptr) == 0] = 0
-        res += sums
+        tails = np.diff(plan.irreg_ptr)
+        nchunks = -(-tails // K)
+        chunk_ptr = exclusive_cumsum(nchunks)
+        owner = np.repeat(np.arange(n_med, dtype=np.int64), tails)
+        slot = np.arange(prod.size, dtype=np.int64) - plan.irreg_ptr[owner]
+        padded = np.zeros((int(chunk_ptr[-1]), K), dtype=s.acc_dtype)
+        padded[chunk_ptr[owner] + slot // K, slot % K] = prod
+        chunk_sums = padded.sum(axis=1, dtype=s.acc_dtype)
+        chunk_owner = np.repeat(np.arange(n_med, dtype=np.int64), nchunks)
+        np.add.at(res, chunk_owner, chunk_sums)
     return res
 
 

@@ -21,6 +21,7 @@ from .._util import check
 from ..gpu.events import KernelEvents
 from ..gpu.memory import rhs_block_traffic_factor
 from ..gpu.mma import MmaUnit
+from ._pack import exclusive_cumsum
 from .format import DASPMatrix
 
 
@@ -141,13 +142,30 @@ def _medium_spmm(plan, X, unit) -> np.ndarray:
         np.add.at(acc, owner, d)
     out = acc.reshape(-1, k)[:plan.n_rows].copy()
     if plan.irreg_nnz:
-        prod = (plan.irreg_val.astype(s.in_dtype, copy=False)
-                .astype(s.acc_dtype)[:, None]
-                * X[plan.irreg_cid.astype(np.int64)]
-                .astype(s.in_dtype, copy=False).astype(s.acc_dtype))
-        owner = np.repeat(np.arange(plan.n_rows, dtype=np.int64),
-                          np.diff(plan.irreg_ptr))
-        np.add.at(out, owner, prod)
+        # Chunk-invariant tail (see run_medium_rows): zero-padded
+        # K-element chunks summed with the same einsum association as
+        # the regular ``_block_dots_2d`` blocks, accumulated per row in
+        # chunk order — row values do not depend on where the
+        # regular/irregular boundary fell for this row-block.
+        K = s.k
+        tails = np.diff(plan.irreg_ptr)
+        nchunks = -(-tails // K)
+        chunk_ptr = exclusive_cumsum(nchunks)
+        owner = np.repeat(np.arange(plan.n_rows, dtype=np.int64), tails)
+        slot = np.arange(plan.irreg_nnz, dtype=np.int64) - plan.irreg_ptr[owner]
+        gchunk = chunk_ptr[owner] + slot // K
+        lane = slot % K
+        a = np.zeros((int(chunk_ptr[-1]), K), dtype=s.acc_dtype)
+        xg = np.zeros((int(chunk_ptr[-1]), K, k), dtype=s.acc_dtype)
+        a[gchunk, lane] = (plan.irreg_val.astype(s.in_dtype, copy=False)
+                           .astype(s.acc_dtype))
+        xg[gchunk, lane, :] = (X[plan.irreg_cid.astype(np.int64)]
+                               .astype(s.in_dtype, copy=False)
+                               .astype(s.acc_dtype))
+        chunk_sums = np.einsum("cj,cjk->ck", a, xg)
+        chunk_owner = np.repeat(np.arange(plan.n_rows, dtype=np.int64),
+                                nchunks)
+        np.add.at(out, chunk_owner, chunk_sums)
     return out
 
 

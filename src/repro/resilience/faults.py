@@ -46,6 +46,13 @@ FAULT_KINDS = (
 )
 
 
+def _fp_matches(rule_fp: str, fingerprint: str | None) -> bool:
+    """Pinned-rule matching: exact key, or any shard-scoped key of it
+    (``abcd`` matches ``abcd`` and ``abcd#s3`` but not ``abcdef``)."""
+    return fingerprint is not None and (
+        fingerprint == rule_fp or fingerprint.startswith(rule_fp + "#"))
+
+
 @dataclass(frozen=True)
 class FaultRule:
     """One seeded failure rule.
@@ -58,6 +65,10 @@ class FaultRule:
         Firing probability per eligible call in ``[0, 1]``.
     fingerprint:
         Restrict the rule to one matrix (``None`` = every matrix).
+        Sharded execution checks faults under ``{fingerprint}#s{i}``
+        scoped keys: a rule pinned to the base fingerprint matches
+        every shard of that matrix, while a rule pinned to a scoped
+        key targets that single shard.
     stage:
         For ``latency`` rules: ``"kernel"`` or ``"preprocess"``.
     latency_s:
@@ -159,7 +170,8 @@ class FaultInjector:
         for i, rule in enumerate(self.plan.rules):
             if rule.kind not in kinds:
                 continue
-            if rule.fingerprint is not None and rule.fingerprint != fingerprint:
+            if rule.fingerprint is not None and not _fp_matches(
+                    rule.fingerprint, fingerprint):
                 continue
             if stage is not None and rule.kind == "latency" and rule.stage != stage:
                 continue

@@ -69,16 +69,24 @@ class Batch:
         return np.stack([r.x for r in self.requests], axis=1)
 
     def scatter(self, Y: np.ndarray, completion_s: float) -> None:
-        """Distribute the SpMM output columns back to the requests."""
+        """Distribute the SpMM output columns back to the requests.
+
+        Each request gets its own contiguous copy — handing out a
+        column *view* would pin the whole ``(n, k)`` SpMM output alive
+        for as long as any one request's result is retained.
+        """
         for j, req in enumerate(self.requests):
-            req.result = Y[:, j]
+            req.result = np.ascontiguousarray(Y[:, j])
             req.completion_s = completion_s
 
     def split_expired(self, now: float) -> list[SpMVRequest]:
         """Remove and return the requests whose deadline has passed."""
-        expired = [r for r in self.requests if r.expired(now)]
+        expired: list[SpMVRequest] = []
+        survivors: list[SpMVRequest] = []
+        for r in self.requests:
+            (expired if r.expired(now) else survivors).append(r)
         if expired:
-            self.requests = [r for r in self.requests if not r.expired(now)]
+            self.requests = survivors
         return expired
 
 
@@ -127,12 +135,20 @@ class RequestBatcher:
             return None
 
     def due(self, now: float) -> list[Batch]:
-        """Flush every group whose oldest request has timed out."""
+        """Flush every group whose oldest request has timed out.
+
+        A group larger than ``max_batch`` yields several batches in one
+        pass: after each ``_form`` the remainder's new oldest request is
+        re-checked immediately, so an overflow remainder whose deadline
+        already passed is not deferred to the next poll.
+        """
         batches = []
         with self._lock:
             for fp in list(self._pending):
-                q = self._pending[fp]
-                if q and now - q[0].arrival_s >= self.flush_timeout_s:
+                while True:
+                    q = self._pending.get(fp)
+                    if not q or now - q[0].arrival_s < self.flush_timeout_s:
+                        break
                     batches.append(self._form(fp, now))
             return batches
 
@@ -155,8 +171,11 @@ class RequestBatcher:
     def flush_all(self, now: float) -> list[Batch]:
         """Force-flush everything (end of run / shutdown)."""
         with self._lock:
-            return [self._form(fp, now) for fp in list(self._pending)
-                    if self._pending[fp]]
+            batches = []
+            for fp in list(self._pending):
+                while self._pending.get(fp):
+                    batches.append(self._form(fp, now))
+            return batches
 
     # ------------------------------------------------------------------
     def _form(self, fingerprint: str, now: float) -> Batch:

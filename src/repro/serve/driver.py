@@ -50,6 +50,14 @@ from ..resilience import (
     NumericFault,
     RetryPolicy,
 )
+from ..shard import (
+    ShardedPlan,
+    choose_shards,
+    sharded_batch_cost,
+    sharded_phase_fraction,
+    sharded_spmm_events,
+    traced_preprocess_sharded,
+)
 from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, RequestBatcher, SpMVRequest
 from .plan_cache import DEFAULT_BUDGET_BYTES, PlanRegistry, matrix_fingerprint
 from .stats import ServerStats
@@ -114,6 +122,14 @@ class WorkloadConfig:
         thresholds, merge-CSR degradation on/off, fault mix).  All
         inert by default: with ``chaos=None`` and ``deadline_s=None``
         the driver behaves exactly like the resilience-free baseline.
+    shards / shard_workers:
+        Row sharding (:mod:`repro.shard`): ``shards=None`` keeps the
+        single-kernel path, an integer partitions every pool matrix
+        into that many nnz-balanced row bands, ``"auto"`` picks the
+        count per matrix from the makespan cost model.  A sharded
+        batch is charged the LPT makespan of its per-shard modeled
+        times over ``shard_workers`` concurrent lanes instead of the
+        single-chain time.
     """
 
     n_requests: int = 2000
@@ -134,6 +150,8 @@ class WorkloadConfig:
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
     fallback: bool = True
     chaos: ChaosConfig | None = None
+    shards: int | str | None = None
+    shard_workers: int = 4
 
 
 def zipf_weights(n: int, s: float) -> np.ndarray:
@@ -176,39 +194,60 @@ def _build_injector(cfg: WorkloadConfig, pool) -> FaultInjector | None:
 
 
 class _ModeledDevice:
-    """Lazily-memoized modeled batch times for (matrix, k) pairs."""
+    """Lazily-memoized modeled batch times for (matrix, k) pairs.
 
-    def __init__(self, device, dtype_bits: int) -> None:
+    A :class:`~repro.shard.ShardedPlan` entry is charged the LPT
+    makespan of its per-shard times over ``workers`` lanes (the fan-out
+    the real-threaded server performs), with the shards' events combined
+    for span attributes."""
+
+    def __init__(self, device, dtype_bits: int, *, workers: int = 1) -> None:
         self.device = device
         self.dtype_bits = dtype_bits
+        self.workers = int(workers)
         self._times: dict[tuple[str, int], tuple] = {}
         self._frac: dict[str, float] = {}
 
-    def _entry(self, fingerprint: str, plan: DASPMatrix, k: int) -> tuple:
+    def _entry(self, fingerprint: str, plan, k: int) -> tuple:
         key = (fingerprint, k)
         got = self._times.get(key)
         if got is None:
-            ev = spmm_events(plan, self.device, k)
-            t = estimate_time(ev, self.device, dtype_bits=self.dtype_bits).total
-            util = mma_utilization(plan, k)
-            got = (t, util * ev.flops_mma, ev.flops_mma, ev)
+            if isinstance(plan, ShardedPlan):
+                cost = sharded_batch_cost(plan, self.device, k,
+                                          workers=self.workers,
+                                          dtype_bits=self.dtype_bits)
+                evs = sharded_spmm_events(plan, self.device, k)
+                combined = evs[0]
+                for e in evs[1:]:
+                    combined = combined.combine(e)
+                got = (cost.makespan, cost.useful_mma, cost.issued_mma,
+                       combined)
+            else:
+                ev = spmm_events(plan, self.device, k)
+                t = estimate_time(ev, self.device,
+                                  dtype_bits=self.dtype_bits).total
+                util = mma_utilization(plan, k)
+                got = (t, util * ev.flops_mma, ev.flops_mma, ev)
             self._times[key] = got
         return got
 
-    def batch_cost(self, fingerprint: str, plan: DASPMatrix,
+    def batch_cost(self, fingerprint: str, plan,
                    k: int) -> tuple[float, float, float]:
         """(device seconds, useful MMA flops, issued MMA flops)."""
         return self._entry(fingerprint, plan, k)[:3]
 
-    def events(self, fingerprint: str, plan: DASPMatrix, k: int):
+    def events(self, fingerprint: str, plan, k: int):
         """The memoized :class:`KernelEvents` behind :meth:`batch_cost`."""
         return self._entry(fingerprint, plan, k)[3]
 
-    def phase_fraction(self, fingerprint: str, plan: DASPMatrix) -> float:
-        """Memoized :func:`mma_phase_fraction` for span attribution."""
+    def phase_fraction(self, fingerprint: str, plan) -> float:
+        """Memoized phase split for span attribution."""
         frac = self._frac.get(fingerprint)
         if frac is None:
-            frac = self._frac[fingerprint] = mma_phase_fraction(plan)
+            frac = (sharded_phase_fraction(plan)
+                    if isinstance(plan, ShardedPlan)
+                    else mma_phase_fraction(plan))
+            self._frac[fingerprint] = frac
         return frac
 
 
@@ -237,7 +276,8 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
     registry = PlanRegistry(cfg.cache_budget_bytes, fault_injector=injector,
                             obs=obs)
     batcher = RequestBatcher(cfg.max_batch, cfg.flush_timeout_s)
-    modeled = _ModeledDevice(device, dtype.itemsize * 8)
+    modeled = _ModeledDevice(device, dtype.itemsize * 8,
+                             workers=cfg.shard_workers)
     stats = ServerStats(device=device.name, dtype=str(dtype), obs=obs)
     breaker = CircuitBreaker(cfg.breaker, obs=obs)
     fallback = FallbackExecutor(device)
@@ -267,7 +307,32 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
     backlog: deque = deque()   # flushed batches waiting for the device
     completed: list[SpMVRequest] = []
 
-    def plan_for(fp: str, csr) -> DASPMatrix:
+    shard_choice: dict[str, int] = {}
+
+    def shards_for(fp: str, csr) -> int:
+        """Resolve the shard count for one matrix (memoized for auto)."""
+        if cfg.shards in (None, 1):
+            return 1
+        if cfg.shards == "auto":
+            S = shard_choice.get(fp)
+            if S is None:
+                # Offline model sweep; the winning plan is built — and
+                # charged — through the traced path in ``build`` below.
+                S = int(choose_shards(csr, cfg.shard_workers, device=device,
+                                      k=cfg.max_batch).best_value)
+                shard_choice[fp] = S
+            return S
+        return int(cfg.shards)
+
+    def build_plan(fp: str, csr):
+        S = shards_for(fp, csr)
+        if S > 1:
+            return traced_preprocess_sharded(
+                csr, device, S, obs=obs, injector=injector, fingerprint=fp)
+        return traced_preprocess(csr, device, obs=obs, injector=injector,
+                                 fingerprint=fp)
+
+    def plan_for(fp: str, csr):
         """Fetch/build a plan, charging (and possibly failing) the
         preprocessing pass.  Raises on injected preprocess faults and
         on plans over the cache budget."""
@@ -275,8 +340,7 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
         pre_cell: dict[str, float] = {}
 
         def build(matrix):
-            plan, pre = traced_preprocess(matrix, device, obs=obs,
-                                          injector=injector, fingerprint=fp)
+            plan, pre = build_plan(fp, matrix)
             pre_cell["s"] = pre
             return plan
 
@@ -288,8 +352,7 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
                 device_free += pre
             return plan
         # no-cache baseline: rebuild (and pay for) the plan every batch
-        plan, pre = traced_preprocess(csr, device, obs=obs,
-                                      injector=injector, fingerprint=fp)
+        plan, pre = build_plan(fp, csr)
         stats.observe_preprocess(pre)
         device_free += pre
         return plan
@@ -344,10 +407,30 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
                     sp.set_attr("fault", type(fault).__name__)
                 else:
                     # only successful attempts reach the stats counters
-                    frac = modeled.phase_fraction(fp, plan)
                     total = t + extra_s
-                    sp.child("regular_mma", device_s=total * frac)
-                    sp.child("irregular_csr", device_s=total * (1.0 - frac))
+                    if isinstance(plan, ShardedPlan):
+                        # one `shard` span per band; phase children are
+                        # scaled so the attributed sum equals the
+                        # makespan the batch is charged.
+                        sp.set_attr("shards", plan.n_shards)
+                        cost = sharded_batch_cost(
+                            plan, device, batch.k, workers=cfg.shard_workers,
+                            dtype_bits=dtype.itemsize * 8)
+                        scale = (total / cost.serial) if cost.serial else 0.0
+                        for i, band in enumerate(plan.shards):
+                            t_i = cost.per_shard[i]
+                            frac_i = mma_phase_fraction(band.dasp)
+                            ssp = sp.child("shard", attrs={
+                                "shard": i, "modeled_s": t_i})
+                            ssp.child("regular_mma",
+                                      device_s=t_i * scale * frac_i)
+                            ssp.child("irregular_csr",
+                                      device_s=t_i * scale * (1.0 - frac_i))
+                    else:
+                        frac = modeled.phase_fraction(fp, plan)
+                        sp.child("regular_mma", device_s=total * frac)
+                        sp.child("irregular_csr",
+                                 device_s=total * (1.0 - frac))
                     ev = modeled.events(fp, plan, batch.k)
                     for key, value in ev.as_attrs().items():
                         sp.set_attr(key, value)

@@ -41,14 +41,19 @@ def matrix_fingerprint(csr) -> str:
     return h.hexdigest()
 
 
-def plan_nbytes(dasp: DASPMatrix) -> int:
+def plan_nbytes(dasp) -> int:
     """Device-resident footprint of a plan's packed arrays in bytes.
 
     Walks the three category plans and sums every NumPy array they hold
     (values, column ids, pointers, row indices) — the arrays a real
     server would keep resident on the GPU between requests.  The source
-    CSR is host-side and not charged.
+    CSR is host-side and not charged.  A composite
+    :class:`repro.shard.ShardedPlan` is charged the sum of its shards'
+    plans (each band's packed arrays are all device-resident).
     """
+    shards = getattr(dasp, "shards", None)
+    if shards is not None:
+        return sum(plan_nbytes(s.dasp) for s in shards)
     total = 0
     for plan in (dasp.long_plan, dasp.medium_plan, dasp.short_plan):
         if not is_dataclass(plan):
@@ -100,6 +105,11 @@ class PlanRegistry:
         self._bytes = obs.gauge("serve.plan_cache.bytes")
         self._plans: OrderedDict[str, tuple[DASPMatrix, int]] = OrderedDict()
         self._lock = threading.RLock()
+        # single-flight: fingerprints whose plan is being built right now;
+        # concurrent misses on the same key wait on the condition instead
+        # of each running the expensive conversion (dogpile).
+        self._building: set[str] = set()
+        self._build_cond = threading.Condition(self._lock)
 
     # ------------------------------------------------------------------
     # counter facades (assignable for compatibility, e.g. rate probes
@@ -154,19 +164,37 @@ class PlanRegistry:
         :meth:`DASPMatrix.from_csr` conversion (e.g. to pass tuning
         parameters); ``fingerprint`` skips re-hashing when the caller
         already holds the key.
+
+        Concurrent misses on one fingerprint are **single-flight**: the
+        first caller builds, later callers block until the build lands
+        and then return it as a hit.  Misses on *different* fingerprints
+        still build concurrently.  If the build fails (e.g.
+        :class:`PlanTooLargeError`), one waiter takes over as the next
+        builder and the error propagates to the failed caller.
         """
         key = fingerprint if fingerprint is not None else matrix_fingerprint(csr)
         with self._lock:
-            entry = self._plans.get(key)
-            if entry is not None:
-                self._plans.move_to_end(key)
-                self.hits += 1
-                return entry[0], True
+            while True:
+                entry = self._plans.get(key)
+                if entry is not None:
+                    self._plans.move_to_end(key)
+                    self.hits += 1
+                    return entry[0], True
+                if key not in self._building:
+                    break
+                self._build_cond.wait()
+            self._building.add(key)
             self.misses += 1
         # Build outside the lock: conversion is the expensive part and
         # must not serialize concurrent misses on other matrices.
-        plan = builder(csr) if builder is not None else DASPMatrix.from_csr(csr)
-        self.put(key, plan)
+        try:
+            plan = (builder(csr) if builder is not None
+                    else DASPMatrix.from_csr(csr))
+            self.put(key, plan)
+        finally:
+            with self._lock:
+                self._building.discard(key)
+                self._build_cond.notify_all()
         return plan, False
 
     def peek(self, fingerprint: str) -> DASPMatrix | None:

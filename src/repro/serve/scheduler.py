@@ -67,6 +67,7 @@ class Scheduler:
         if policy not in ("reject", "shed"):
             raise ValueError(f"unknown backpressure policy {policy!r}")
         self._execute = execute
+        self.workers = int(workers)
         self.queue_depth = int(queue_depth)
         self.policy = policy
         self._on_shed = on_shed
@@ -77,8 +78,13 @@ class Scheduler:
         self.obs = obs
         self._depth_gauge = obs.gauge("serve.scheduler.queue_depth")
         self._executed = obs.counter("serve.scheduler.executed_total")
+        self._pruned = obs.counter("serve.scheduler.pruned_total")
         self._rejected = obs.counter("serve.scheduler.rejected_total")
         self._shed = obs.counter("serve.scheduler.shed_batches_total")
+        # lightweight helper callables (shard fan-out); workers prefer
+        # these over batches so an in-flight batch's helpers never sit
+        # behind other queued batches.
+        self._tasks: deque = deque()
         # fingerprint -> FIFO of its queued batches; dict order gives the
         # round-robin scan order for ready work.
         self._queues: OrderedDict[str, deque[Batch]] = OrderedDict()
@@ -98,6 +104,10 @@ class Scheduler:
     @property
     def n_executed(self) -> int:
         return int(self._executed.value)
+
+    @property
+    def n_pruned(self) -> int:
+        return int(self._pruned.value)
 
     @property
     def n_shed_batches(self) -> int:
@@ -127,6 +137,22 @@ class Scheduler:
         if shed is not None and self._on_shed is not None:
             self._on_shed(shed)
 
+    def submit_task(self, fn) -> bool:
+        """Best-effort: run ``fn()`` on a worker thread soon.
+
+        Used by shard fan-out to borrow idle workers as helpers.
+        Returns ``False`` (dropping *fn*) when the scheduler is closed —
+        callers must not depend on a task running: the sharded join is
+        claim-based, so the submitting worker picks up any shard whose
+        helper never started.
+        """
+        with self._cond:
+            if self._closed:
+                return False
+            self._tasks.append(fn)
+            self._cond.notify()
+        return True
+
     def backlog(self) -> int:
         """Queued batches not yet executing."""
         with self._cond:
@@ -140,18 +166,25 @@ class Scheduler:
 
     def close(self, *, drain: bool = True, timeout: float | None = None) -> None:
         """Stop the workers (idempotent).  ``drain=False`` abandons the
-        queue (pending batches are dropped without execution)."""
-        if drain:
-            self.drain(timeout)
+        queue (pending batches are dropped without execution).
+
+        ``_closed`` is set *before* the final drain: a submission racing
+        with ``close`` either lands before the flag (and is executed by
+        the drain) or fails loudly in :meth:`submit` — it can no longer
+        slip in between the drain returning and the flag being set, where
+        exiting workers would silently abandon it.
+        """
         with self._cond:
-            if self._closed:
-                return
+            already = self._closed
             self._closed = True
             if not drain:
                 self._queues.clear()
                 self._queued = 0
+                self._tasks.clear()  # claim-based joins survive the drop
                 self._depth_gauge.set(0)
             self._cond.notify_all()
+        if drain and not already:
+            self.drain(timeout)
         for t in self._threads:
             t.join(timeout)
 
@@ -191,18 +224,33 @@ class Scheduler:
 
     def _worker(self) -> None:
         while True:
+            task = None
             with self._cond:
-                batch = self._next_ready()
-                while batch is None and not self._closed:
-                    self._cond.wait()
+                while True:
+                    if self._tasks:
+                        task = self._tasks.popleft()
+                        break
                     batch = self._next_ready()
-                if batch is None:  # closed and nothing ready
+                    if batch is not None or self._closed:
+                        break
+                    self._cond.wait()
+                if task is None and batch is None:  # closed, nothing ready
                     return
+            if task is not None:
+                # Helper tasks guard their own state; an unexpected
+                # error must not kill the worker loop.
+                try:
+                    task()
+                except Exception:  # noqa: BLE001
+                    pass
+                continue
+            executed = False
             try:
                 run = batch
                 if self._prune is not None:
                     run = self._prune(batch)
                 if run is not None and run.requests:
+                    executed = True
                     self._execute(run)
             except Exception as exc:  # noqa: BLE001 — surfaced via callback
                 if self._on_error is not None:
@@ -210,5 +258,8 @@ class Scheduler:
             finally:
                 with self._cond:
                     self._inflight.discard(batch.fingerprint)
-                    self._executed.inc()
+                    # pruned-empty batches are handled, not executed —
+                    # count them separately so dashboards don't overstate
+                    # executed work.
+                    (self._executed if executed else self._pruned).inc()
                     self._cond.notify_all()

@@ -94,6 +94,17 @@ class SpMVServer:
     fallback:
         Serve un-servable batches from the merge-CSR path (default).
         When ``False`` they fail with the causing exception instead.
+    shards:
+        ``None`` (default) serves each batch with one kernel chain.
+        An integer ``S >= 2`` partitions every registered matrix into
+        ``S`` nnz-balanced row bands (:mod:`repro.shard`) and executes
+        a batch's shards concurrently across this server's worker
+        pool, gathering bit-identically; ``"auto"`` picks ``S`` per
+        matrix from the makespan cost model
+        (:func:`repro.shard.choose_shards`).  Fault rules can target
+        one shard via the ``{fingerprint}#s{i}`` fingerprint; a
+        transiently-failed shard is retried at shard granularity
+        before the whole batch retries or degrades.
     obs:
         :class:`repro.obs.Obs` handle shared by every component of this
         server — the plan registry, scheduler, breaker, fault injector
@@ -116,9 +127,17 @@ class SpMVServer:
                  breaker: BreakerConfig | None = BreakerConfig(),
                  fault_injector=None,
                  fallback: bool = True,
+                 shards: int | str | None = None,
                  seed: int = 0,
                  obs: Obs | None = None) -> None:
         self.device = get_device(device)
+        if shards is not None and shards != "auto":
+            shards = int(shards)
+            check(shards >= 1, "shards must be >= 1 (or 'auto')")
+            if shards == 1:
+                shards = None  # S=1 is exactly the unsharded path
+        self.shards = shards
+        self._shard_choice: dict[str, int] = {}
         if obs is None or not obs.enabled:
             obs = Obs()
         self.obs = obs
@@ -355,15 +374,41 @@ class SpMVServer:
             self.breaker.record_success(fp, self._now())
         self._complete(batch, Y, device_s, useful, issued)
 
+    def _shards_for(self, fp: str, csr) -> int:
+        """Resolve the shard count for one matrix (memoized for auto)."""
+        if self.shards == "auto":
+            S = self._shard_choice.get(fp)
+            if S is None:
+                from ..shard import choose_shards
+
+                # Offline model sweep (candidate plans are modeling-only
+                # throwaways); the winning plan is built — and charged —
+                # through the traced preprocessing path below.
+                S = int(choose_shards(csr, self.scheduler.workers,
+                                      device=self.device,
+                                      k=self.batcher.max_batch).best_value)
+                self._shard_choice[fp] = S
+            return S
+        return int(self.shards)
+
     def _get_plan(self, fp: str, csr):
-        """Fetch or build the DASP plan, charging modeled preprocess
-        time and enforcing the preprocess deadline on misses."""
+        """Fetch or build the (possibly sharded) plan, charging modeled
+        preprocess time and enforcing the preprocess deadline on
+        misses."""
         pre_cell: dict[str, float] = {}
 
         def build(matrix):
-            plan, pre = traced_preprocess(
-                matrix, self.device, obs=self.obs,
-                injector=self.fault_injector, fingerprint=fp)
+            S = self._shards_for(fp, matrix) if self.shards is not None else 1
+            if S > 1:
+                from ..shard import traced_preprocess_sharded
+
+                plan, pre = traced_preprocess_sharded(
+                    matrix, self.device, S, obs=self.obs,
+                    injector=self.fault_injector, fingerprint=fp)
+            else:
+                plan, pre = traced_preprocess(
+                    matrix, self.device, obs=self.obs,
+                    injector=self.fault_injector, fingerprint=fp)
             if (self.preprocess_deadline_s is not None
                     and pre > self.preprocess_deadline_s):
                 raise DeadlineExceededError(
@@ -379,6 +424,10 @@ class SpMVServer:
 
     def _run_kernel(self, batch: Batch, plan, fp: str, attempt: int = 0):
         """One DASP SpMV/SpMM attempt; raises on (injected) failure."""
+        from ..shard import ShardedPlan
+
+        if isinstance(plan, ShardedPlan):
+            return self._run_kernel_sharded(batch, plan, fp, attempt)
         attrs = {"attempt": attempt} if self.obs.tracing else None
         with self.obs.span("kernel", attrs=attrs) as sp:
             extra_s = 0.0
@@ -411,6 +460,139 @@ class SpMVServer:
                 for key, value in ev.as_attrs().items():
                     sp.set_attr(key, value)
         return Y, device_s, util * ev.flops_mma, ev.flops_mma
+
+    def _run_kernel_sharded(self, batch: Batch, plan, fp: str,
+                            attempt: int = 0):
+        """One sharded attempt: fan the shards out over idle workers.
+
+        The join is **claim-based** and deadlock-free: helper closures
+        submitted via :meth:`Scheduler.submit_task` and this (worker)
+        thread all pull shard indices from a shared claim counter, so
+        the batch's worker finishes every shard no helper picked up —
+        whether the pool is busy, sized 1, or mid-shutdown — and then
+        waits only on shards a live helper is actively executing.
+
+        The batch is charged the modeled LPT makespan of the per-shard
+        times over the participating lanes (deterministic, unlike the
+        wall-clock interleaving); useful/issued MMA flops are sums.
+        """
+        attrs = {"attempt": attempt, "shards": plan.n_shards} \
+            if self.obs.tracing else None
+        with self.obs.span("kernel", attrs=attrs) as sp:
+            k = batch.k
+            X = (batch.requests[0].x[:, None] if k == 1
+                 else batch.assemble_x())
+            S = plan.n_shards
+            results: list = [None] * S
+            errors: list[Exception] = []
+            state = {"next": 0, "done": 0}
+            cond = threading.Condition()
+
+            def helper() -> None:
+                while True:
+                    with cond:
+                        if state["next"] >= S or errors:
+                            return
+                        i = state["next"]
+                        state["next"] += 1
+                    try:
+                        out = self._run_shard(plan.shards[i], X, k, fp)
+                        with cond:
+                            results[i] = out
+                    except Exception as exc:  # noqa: BLE001 — joined below
+                        with cond:
+                            errors.append(exc)
+                    finally:
+                        with cond:
+                            state["done"] += 1
+                            cond.notify_all()
+
+            lanes = min(S, self.scheduler.workers)
+            for _ in range(lanes - 1):
+                self.scheduler.submit_task(helper)
+            helper()  # this worker participates; returns when all claimed
+            with cond:
+                cond.wait_for(lambda: state["done"] >= state["next"])
+                if errors:
+                    raise errors[0]
+            from ..shard import lpt_makespan
+
+            parts = [r[0] for r in results]
+            times = [r[1] for r in results]
+            serial = sum(times)
+            device_s = lpt_makespan(times, lanes)
+            useful = sum(r[3] * r[2].flops_mma for r in results)
+            issued = sum(r[2].flops_mma for r in results)
+            Y = np.concatenate(parts, axis=0)
+            if self.obs.tracing:
+                # Scale per-shard phase children so the attributed total
+                # equals the makespan the batch is actually charged.
+                scale = device_s / serial if serial > 0 else 0.0
+                combined = None
+                for i, r in enumerate(results):
+                    _, t, ev, _, frac = r
+                    shard_sp = sp.child("shard", attrs={
+                        "shard": i, "modeled_s": t})
+                    shard_sp.child("regular_mma",
+                                   device_s=t * scale * frac)
+                    shard_sp.child("irregular_csr",
+                                   device_s=t * scale * (1.0 - frac))
+                    combined = ev if combined is None else combined.combine(ev)
+                if combined is not None:
+                    for key, value in combined.as_attrs().items():
+                        sp.set_attr(key, value)
+        return Y, device_s, useful, issued
+
+    def _run_shard(self, shard, X, k: int, fp: str):
+        """Run one shard's kernels with shard-level retry.
+
+        Fault rules target a shard via the ``{fp}#s{i}`` fingerprint;
+        a transient shard fault burns retry budget here — at shard
+        granularity — before the whole batch's retry/degrade machinery
+        sees anything.  Returns ``(Y_band, modeled_s, events,
+        utilization, phase_fraction)``.
+        """
+        from ..core.spmm import _dasp_spmm
+        from ..core.spmv import _dasp_spmv_vectorized
+
+        self.obs.counter("core.shard_executions_total").inc()
+        for attempt in range(self.retry.max_retries + 1):
+            try:
+                extra_s, corrupt = 0.0, False
+                if self.fault_injector is not None:
+                    decision = self.fault_injector.check_kernel(
+                        f"{fp}#s{shard.index}")  # may raise
+                    extra_s, corrupt = decision.latency_s, decision.corrupt
+                ev = spmm_events(shard.dasp, self.device, k)
+                bits = shard.dasp.dtype.itemsize * 8
+                t = (estimate_time(ev, self.device, dtype_bits=bits).total
+                     + self.device.launch_overhead_s + extra_s)
+                # The un-spanned kernel entry points: helper threads must
+                # not open root spans in the thread-local tracer.
+                if k == 1:
+                    Yi = _dasp_spmv_vectorized(shard.dasp, X[:, 0])[:, None]
+                else:
+                    Yi = _dasp_spmm(shard.dasp, X, engine="vectorized",
+                                    cast_output=False)
+                if corrupt:
+                    Yi = self.fault_injector.corrupt_output(Yi)
+                if not np.isfinite(Yi).all():
+                    raise NumericFault(
+                        f"non-finite output in shard {shard.index} of "
+                        f"matrix {fp[:8]}…")
+                return (Yi, t, ev, mma_utilization(shard.dasp, k),
+                        mma_phase_fraction(shard.dasp))
+            except Exception as exc:  # noqa: BLE001
+                if (getattr(exc, "transient", False)
+                        and attempt < self.retry.max_retries):
+                    self.stats.observe_retry()
+                    with self._rng_lock:
+                        backoff = self.retry.backoff_s(attempt + 1,
+                                                       self._retry_rng)
+                    time.sleep(backoff)
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _degrade(self, batch: Batch, csr, cause: Exception) -> None:
         """Serve the batch from the merge-CSR path (or fail it)."""

@@ -1,0 +1,157 @@
+"""Row sharding — nnz-balanced contiguous row partitions of a matrix.
+
+A :class:`ShardedPlan` splits one matrix into ``S`` contiguous row
+bands, each carrying its own full DASP layout (long / medium / short
+plans).  Shard boundaries never split a row, so ``y = A @ x`` over the
+shards is a pure concatenation of per-shard outputs — and because every
+row's value is computed with row-local floating-point association (see
+``run_long_rows`` / ``run_medium_rows``), the gathered result is
+**bit-identical** to the unsharded kernel for any ``S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check
+from ..core.classify import DEFAULT_MAX_LEN
+from ..core.format import DASPMatrix
+from ..core.medium_rows import DEFAULT_THRESHOLD
+
+
+def shard_csr(csr, shards: int) -> np.ndarray:
+    """Return ``row_starts`` (length ``S + 1``) of an nnz-balanced
+    contiguous row partition of *csr*.
+
+    Cut points are placed where the cumulative nonzero count crosses
+    ``i * nnz / S`` (binary search on ``indptr``), then nudged so every
+    shard holds at least one row — boundaries always fall *between*
+    rows, never inside one.  ``shards`` is clamped to the row count.
+    """
+    check(shards >= 1, "shards must be >= 1")
+    m = int(csr.shape[0])
+    S = max(1, min(int(shards), m)) if m else 1
+    if S == 1:
+        return np.array([0, m], dtype=np.int64)
+    nnz = int(csr.indptr[-1])
+    targets = np.arange(1, S, dtype=np.float64) * (nnz / S)
+    cuts = np.searchsorted(csr.indptr, targets).astype(np.int64)
+    # Enforce strictly increasing cuts inside (0, m): every shard gets
+    # at least one row even when the nnz mass is concentrated.
+    for i in range(S - 1):
+        lo = (cuts[i - 1] if i else 0) + 1
+        hi = m - (S - 1 - i)
+        cuts[i] = min(max(int(cuts[i]), lo), hi)
+    return np.concatenate(([0], cuts, [m])).astype(np.int64)
+
+
+@dataclass
+class RowShard:
+    """One contiguous row band of a :class:`ShardedPlan`."""
+
+    index: int
+    row_start: int
+    row_end: int
+    dasp: DASPMatrix
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def nnz(self) -> int:
+        return self.dasp.nnz
+
+
+@dataclass
+class ShardedPlan:
+    """A matrix partitioned into row shards, each with its own DASP plan.
+
+    Duck-types the :class:`DASPMatrix` attributes the serving layer
+    reads (``shape`` / ``dtype`` / ``csr`` / ``mma_shape``), so it can
+    live in the :class:`~repro.serve.plan_cache.PlanRegistry` as a
+    composite entry.
+    """
+
+    shape: tuple[int, int]
+    dtype: np.dtype
+    csr: object
+    mma_shape: object
+    row_starts: np.ndarray
+    shards: list
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def nnz(self) -> int:
+        return sum(s.nnz for s in self.shards)
+
+    def summary(self) -> str:
+        sizes = ", ".join(f"{s.n_rows}r/{s.nnz}nnz" for s in self.shards)
+        return (f"ShardedPlan {self.shape[0]}x{self.shape[1]} "
+                f"S={self.n_shards} [{sizes}]")
+
+
+def build_sharded_plan(csr, shards: int, *, max_len: int = DEFAULT_MAX_LEN,
+                       threshold: float = DEFAULT_THRESHOLD,
+                       mma_shape=None) -> ShardedPlan:
+    """Partition *csr* into ``shards`` row bands and build each band's
+    DASP layout."""
+    row_starts = shard_csr(csr, shards)
+    bands = []
+    for i in range(row_starts.size - 1):
+        a, b = int(row_starts[i]), int(row_starts[i + 1])
+        sub = csr.row_slice(np.arange(a, b, dtype=np.int64))
+        dasp = DASPMatrix.from_csr(sub, max_len=max_len, threshold=threshold,
+                                   mma_shape=mma_shape)
+        bands.append(RowShard(index=i, row_start=a, row_end=b, dasp=dasp))
+    return ShardedPlan(
+        shape=tuple(csr.shape),
+        dtype=np.dtype(csr.data.dtype),
+        csr=csr,
+        mma_shape=bands[0].dasp.mma_shape if bands else mma_shape,
+        row_starts=row_starts,
+        shards=bands,
+    )
+
+
+def traced_preprocess_sharded(csr, device, shards: int, *, obs,
+                              injector=None, fingerprint: str | None = None,
+                              max_len: int = DEFAULT_MAX_LEN,
+                              threshold: float = DEFAULT_THRESHOLD,
+                              ) -> tuple[ShardedPlan, float]:
+    """Build a :class:`ShardedPlan` charging per-shard preprocessing.
+
+    Each band is built through :func:`repro.core.preprocess.
+    traced_preprocess` under a shard-scoped fingerprint
+    (``{fp}#s{i}``), so preprocess fault rules can target individual
+    shards; the returned cost is the sum over bands (preprocessing is
+    a host-side pass and does not parallelize across the worker pool).
+    """
+    from ..core.preprocess import traced_preprocess
+
+    row_starts = shard_csr(csr, shards)
+    bands = []
+    pre_total = 0.0
+    for i in range(row_starts.size - 1):
+        a, b = int(row_starts[i]), int(row_starts[i + 1])
+        sub = csr.row_slice(np.arange(a, b, dtype=np.int64))
+        sub_fp = f"{fingerprint}#s{i}" if fingerprint is not None else None
+        dasp, pre = traced_preprocess(sub, device, obs=obs, injector=injector,
+                                      fingerprint=sub_fp, max_len=max_len,
+                                      threshold=threshold)
+        pre_total += pre
+        bands.append(RowShard(index=i, row_start=a, row_end=b, dasp=dasp))
+    plan = ShardedPlan(
+        shape=tuple(csr.shape),
+        dtype=np.dtype(csr.data.dtype),
+        csr=csr,
+        mma_shape=bands[0].dasp.mma_shape if bands else None,
+        row_starts=row_starts,
+        shards=bands,
+    )
+    return plan, pre_total

@@ -99,3 +99,79 @@ class TestValidation:
     def test_bad_timeout(self):
         with pytest.raises(ValidationError):
             RequestBatcher(flush_timeout_s=-1.0)
+
+
+class TestScatterCopies:
+    def test_results_are_owned_copies(self):
+        """Regression: scatter used to hand out column *views*, pinning
+        the whole (n, k) SpMM output alive behind every result."""
+        requests = [req(i, n=3) for i in range(4)]
+        batch = Batch("A", requests, formed_s=0.0)
+        Y = np.arange(12, dtype=float).reshape(3, 4)
+        batch.scatter(Y, completion_s=1.0)
+        for j, r in enumerate(requests):
+            assert r.result.base is None          # owns its memory
+            assert r.result.flags["C_CONTIGUOUS"]
+            assert np.all(r.result == Y[:, j])
+        Y[:] = -1.0  # mutating the batch output must not reach results
+        assert np.all(requests[0].result == [0.0, 4.0, 8.0])
+
+
+class TestOverflowStarvation:
+    def test_due_drains_oversized_group_in_one_pass(self):
+        """Regression: a group holding more than max_batch requests
+        (2*max_batch+1 simultaneous arrivals re-queued under
+        backpressure) was flushed one batch per due() poll — the
+        remainder starved a full timeout window per batch."""
+        from collections import deque
+
+        b = RequestBatcher(max_batch=8, flush_timeout_s=0.1)
+        b._pending["A"] = deque(req(i, "A", t=0.0) for i in range(17))
+        batches = b.due(1.0)  # all 17 are long overdue
+        assert [x.k for x in batches] == [8, 8, 1]
+        assert b.pending_count() == 0
+        # FIFO preserved across the split
+        ids = [r.req_id for x in batches for r in x.requests]
+        assert ids == list(range(17))
+
+    def test_due_respects_timeout_of_remainder(self):
+        """After forming a full batch, the remainder's own oldest
+        arrival decides whether it flushes now or waits."""
+        from collections import deque
+
+        b = RequestBatcher(max_batch=8, flush_timeout_s=0.5)
+        old = [req(i, "A", t=0.0) for i in range(8)]
+        fresh = [req(8, "A", t=0.95)]
+        b._pending["A"] = deque(old + fresh)
+        batches = b.due(1.0)  # old 8 overdue; the fresh one is not
+        assert [x.k for x in batches] == [8]
+        assert b.pending_count("A") == 1
+
+
+class TestSplitExpiredPartition:
+    def test_partition_is_permutation(self):
+        """Property: expired + survivors is a permutation of the batch,
+        including requests expiring exactly at now == deadline_s."""
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            n = int(rng.integers(1, 12))
+            now = 5.0
+            reqs = []
+            for i in range(n):
+                r = req(i, "A", t=0.0)
+                # mix: clearly expired, exactly-at-deadline, alive
+                r.deadline_s = float(rng.choice([now - 1.0, now, now + 1.0]))
+                reqs.append(r)
+            batch = Batch("A", list(reqs), formed_s=0.0)
+            expired = batch.split_expired(now)
+            assert sorted(r.req_id for r in expired + batch.requests) \
+                == list(range(n))
+            assert all(r.expired(now) for r in expired)
+            assert all(not r.expired(now) for r in batch.requests)
+            # now == deadline counts as expired (>= semantics)
+            assert all(r.deadline_s > now for r in batch.requests)
+            # relative order preserved on both sides
+            assert [r.req_id for r in expired] == sorted(
+                r.req_id for r in expired)
+            assert [r.req_id for r in batch.requests] == sorted(
+                r.req_id for r in batch.requests)

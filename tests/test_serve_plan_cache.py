@@ -1,6 +1,7 @@
 """Tests for the plan registry (fingerprinting, LRU, byte budget)."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -134,3 +135,96 @@ class TestRegistry:
             t.join()
         assert not errors
         assert reg.hits + reg.misses == 24
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_build_once(self, rng):
+        """Regression: the builder used to run outside any coordination,
+        so N threads missing on the same cold fingerprint did N
+        expensive preprocessing passes and the last writer won.  Now the
+        first miss builds while the rest wait on the same entry."""
+        csr = random_csr(50, 80, rng)
+        reg = PlanRegistry()
+        builds = []
+        build_lock = threading.Lock()
+        start = threading.Barrier(8)
+        results = []
+
+        def builder(c):
+            with build_lock:
+                builds.append(threading.get_ident())
+            time.sleep(0.05)  # widen the race window
+            return DASPMatrix.from_csr(c)
+
+        def worker():
+            start.wait(timeout=5.0)
+            results.append(reg.get(csr, builder=builder))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1, f"builder ran {len(builds)} times"
+        assert (reg.misses, reg.hits) == (1, 7)
+        plans = {id(plan) for plan, _ in results}
+        assert len(plans) == 1  # every caller got the same object
+        hits = [hit for _, hit in results]
+        assert hits.count(False) == 1 and hits.count(True) == 7
+
+    def test_failed_build_hands_over_to_waiter(self, rng):
+        """A failing builder must not wedge the waiters: one of them
+        takes over the build instead of caching the failure."""
+        csr = random_csr(50, 80, rng)
+        reg = PlanRegistry()
+        builds = []
+        build_lock = threading.Lock()
+        start = threading.Barrier(4)
+        outcomes = []
+
+        def builder(c):
+            with build_lock:
+                builds.append(None)
+                first = len(builds) == 1
+            time.sleep(0.05)
+            if first:
+                raise RuntimeError("injected build failure")
+            return DASPMatrix.from_csr(c)
+
+        def worker():
+            start.wait(timeout=5.0)
+            try:
+                plan, _ = reg.get(csr, builder=builder)
+                outcomes.append(plan)
+            except RuntimeError:
+                outcomes.append("failed")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 2  # failed build + exactly one retry
+        assert outcomes.count("failed") == 1
+        built = [o for o in outcomes if o != "failed"]
+        assert len(built) == 3 and len({id(p) for p in built}) == 1
+
+
+class TestShardedPlanNbytes:
+    def test_composite_sums_shards(self, rng):
+        from repro.shard import build_sharded_plan
+
+        csr = random_csr(120, 90, rng)
+        sharded = build_sharded_plan(csr, 3)
+        total = plan_nbytes(sharded)
+        assert total == sum(plan_nbytes(s.dasp) for s in sharded.shards)
+        assert total > 0
+
+    def test_registry_accounts_composite_bytes(self, rng):
+        from repro.shard import build_sharded_plan
+
+        csr = random_csr(120, 90, rng)
+        reg = PlanRegistry()
+        plan, hit = reg.get(csr, builder=lambda c: build_sharded_plan(c, 2))
+        assert not hit and plan.n_shards == 2
+        assert reg.snapshot()["bytes_cached"] == plan_nbytes(plan)

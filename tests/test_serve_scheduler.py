@@ -142,3 +142,107 @@ class TestShutdown:
         gate.set()
         sched.close(drain=False, timeout=5.0)
         assert sched.backlog() == 0
+
+
+class TestCloseRace:
+    def test_racing_submit_executes_or_fails_loudly(self):
+        """Regression: ``close(drain=True)`` used to drain first and set
+        ``_closed`` after, so a submission landing between the two was
+        silently abandoned by the exiting workers.  Now the flag flips
+        before the drain: a racing submit either gets executed or raises
+        ``scheduler is closed`` — never vanishes."""
+        for _ in range(20):
+            executed = []
+            ok = []
+
+            def execute(b):
+                executed.append(b.requests[0].req_id)
+                if b.requests[0].req_id == 0:
+                    # straggler submitted from inside an execute callback,
+                    # racing with close(drain=True) below
+                    try:
+                        sched.submit(batch("B", 1))
+                        ok.append(True)
+                    except Exception:
+                        ok.append(False)
+
+            sched = Scheduler(execute, workers=2)
+            sched.submit(batch("A", 0))
+            sched.close(drain=True, timeout=5.0)
+            assert executed and executed[0] == 0
+            assert ok, "straggler submit never ran"
+            if ok[0]:
+                assert 1 in executed, "accepted submit was dropped"
+
+    def test_close_is_idempotent(self):
+        sched = Scheduler(lambda b: None, workers=1)
+        sched.submit(batch("A", 0))
+        sched.close(drain=True, timeout=5.0)
+        sched.close(drain=True, timeout=5.0)  # second close is a no-op
+        assert sched.n_executed == 1
+
+
+class TestPrunedCounter:
+    def test_pruned_batches_counted_separately(self):
+        """Pruned-empty batches are handled (for drain) but must not
+        inflate ``executed_total``."""
+        def prune(b):
+            return None if b.fingerprint == "drop" else b
+
+        done = []
+        with Scheduler(lambda b: done.append(b.fingerprint),
+                       workers=2, prune=prune) as sched:
+            for i in range(6):
+                sched.submit(batch("drop" if i % 2 else "keep", i))
+            assert sched.drain(timeout=5.0)
+        assert sched.n_executed == 3
+        assert sched.n_pruned == 3
+        assert sched.n_executed + sched.n_pruned == 6
+        assert done == ["keep"] * 3
+        assert sched.obs.counter("serve.scheduler.executed_total").value == 3
+        assert sched.obs.counter("serve.scheduler.pruned_total").value == 3
+
+
+class TestSubmitTask:
+    def test_task_runs_on_worker(self):
+        ran = threading.Event()
+        with Scheduler(lambda b: None, workers=1) as sched:
+            assert sched.submit_task(ran.set)
+            assert ran.wait(timeout=5.0)
+
+    def test_tasks_preferred_over_batches(self):
+        """A helper task jumps ahead of queued batches so shard fan-out
+        is never stuck behind other work."""
+        order = []
+        gate = threading.Event()
+
+        def execute(b):
+            gate.wait(timeout=5.0)
+            order.append(("batch", b.requests[0].req_id))
+
+        with Scheduler(execute, workers=1) as sched:
+            sched.submit(batch("A", 0))
+            time.sleep(0.05)  # worker is now blocked inside execute
+            sched.submit(batch("B", 1))
+            sched.submit_task(lambda: order.append(("task", None)))
+            gate.set()
+            assert sched.drain(timeout=5.0)
+        assert order[0] == ("batch", 0)
+        assert order.index(("task", None)) < order.index(("batch", 1))
+
+    def test_submit_task_after_close_returns_false(self):
+        sched = Scheduler(lambda b: None, workers=1)
+        sched.close(drain=True, timeout=5.0)
+        assert sched.submit_task(lambda: None) is False
+
+    def test_task_exception_does_not_kill_worker(self):
+        def boom():
+            raise RuntimeError("helper blew up")
+
+        done = []
+        with Scheduler(lambda b: done.append(b.requests[0].req_id),
+                       workers=1) as sched:
+            sched.submit_task(boom)
+            sched.submit(batch("A", 7))
+            assert sched.drain(timeout=5.0)
+        assert done == [7]
