@@ -32,6 +32,7 @@ from . import (
     resilience,
     serve,
     solvers,
+    store,
 )
 from ._util import ReproError, ValidationError, geomean
 from .core import DASPMatrix, DASPMethod, dasp_spmm, dasp_spmv
@@ -50,11 +51,13 @@ from .resilience import (
     ServerClosedError,
 )
 from .serve import QueueFullError, RequestShedError
+from .store import ArtifactError, PlanStore, fingerprint_csr
 
 __version__ = "1.0.0"
 
 __all__ = [
     "A100",
+    "ArtifactError",
     "BSRMatrix",
     "COOMatrix",
     "CSRMatrix",
@@ -69,6 +72,7 @@ __all__ = [
     "KernelFault",
     "MatrixMarketError",
     "NumericFault",
+    "PlanStore",
     "PlanTooLargeError",
     "PreprocessFault",
     "QueueFullError",
@@ -84,6 +88,7 @@ __all__ = [
     "core",
     "dasp_spmm",
     "dasp_spmv",
+    "fingerprint_csr",
     "formats",
     "geomean",
     "get_device",
@@ -94,5 +99,6 @@ __all__ = [
     "resilience",
     "serve",
     "solvers",
+    "store",
     "to_csr",
 ]

@@ -23,6 +23,11 @@ Commands
 ``stats``
     Run a small traced workload and print the :mod:`repro.obs` output
     in table, JSON or Prometheus form.
+``plan build|inspect|verify|warm|gc``
+    Manage the on-disk plan store (:mod:`repro.store`): build and
+    publish ``.daspz`` artifacts for named matrices, inspect headers,
+    CRC-verify, simulate a warm start, and garbage-collect down to a
+    capacity.
 """
 
 from __future__ import annotations
@@ -205,6 +210,8 @@ def cmd_serve_sim(args) -> int:
         chaos=chaos,
         shards=shards,
         shard_workers=args.shard_workers,
+        store=args.store,
+        warm_start=bool(args.warm_start),
     )
     trace = bool(args.trace or args.trace_json or args.trace_prom)
     obs = Obs(tracer=Tracer()) if trace else None
@@ -247,6 +254,134 @@ def cmd_stats(args) -> int:
         return 0
     print(stats.summary_table())
     _print_trace_report(obs, stats, max_trees=1)
+    return 0
+
+
+def _open_store(args):
+    from .store import PlanStore
+
+    cap = (int(args.capacity_mb * 1024 * 1024)
+           if getattr(args, "capacity_mb", None) is not None else None)
+    return PlanStore(args.store, capacity_bytes=cap,
+                     device=getattr(args, "device", "A100"))
+
+
+def _build_one_plan(spec: str, args):
+    """(fingerprint, plan) for one matrix spec, honoring --shards."""
+    from .store import fingerprint_csr
+
+    csr = load_matrix(spec).astype(np.dtype(args.dtype))
+    fp = fingerprint_csr(csr)
+    shards = _parse_shards(args.shards)
+    if shards == "auto":
+        from .shard import choose_shards
+
+        shards = int(choose_shards(csr, args.shard_workers,
+                                   device=args.device).best_value)
+    if shards is not None and int(shards) > 1:
+        from .shard import build_sharded_plan
+
+        return fp, build_sharded_plan(csr, int(shards))
+    return fp, DASPMatrix.from_csr(csr)
+
+
+def cmd_plan_build(args) -> int:
+    from .store import modeled_load_time, modeled_rebuild_time, read_header
+
+    store = _open_store(args)
+    for spec in args.matrix:
+        fp, plan = _build_one_plan(spec, args)
+        path = store.put(fp, plan, overwrite=args.force)
+        header, _ = read_header(path)
+        load_ms = modeled_load_time(header, args.device) * 1e3
+        rebuild_ms = modeled_rebuild_time(header, args.device) * 1e3
+        print(f"{spec}: {fp} -> {path} ({path.stat().st_size:,} bytes, "
+              f"modeled load {load_ms:.3f} ms vs rebuild {rebuild_ms:.3f} ms)")
+    return 0
+
+
+def cmd_plan_inspect(args) -> int:
+    from .store import modeled_load_time, read_header
+
+    store = _open_store(args)
+    fps = args.fingerprint or store.fingerprints()
+    if not fps:
+        print("store is empty")
+        return 0
+    rows = []
+    for fp in fps:
+        path = store.path_for(fp)
+        if not path.exists():
+            rows.append((fp[:16], "-", "absent", "-", "-", "-"))
+            continue
+        header, _ = read_header(path)
+        md = header["modeled"]
+        shape = "x".join(str(s) for s in header["meta"]["shape"])
+        kind = header["kind"]
+        if kind == "sharded":
+            kind = f"sharded({len(header['meta']['shards'])})"
+        rows.append((fp[:16], kind,
+                     f"{shape} nnz={int(md['nnz']):,} {header['dtype']}",
+                     f"{path.stat().st_size:,}",
+                     f"{len(header['arrays'])}",
+                     f"{modeled_load_time(header, args.device) * 1e3:.3f}"))
+    print(markdown_table(("fingerprint", "kind", "matrix", "bytes",
+                          "arrays", "load ms"), rows))
+    return 0
+
+
+def cmd_plan_verify(args) -> int:
+    from .store import ArtifactError
+
+    store = _open_store(args)
+    fps = args.fingerprint or store.fingerprints()
+    bad = 0
+    for fp in fps:
+        try:
+            header = store.verify(fp)
+            print(f"{fp}: ok ({len(header['arrays'])} arrays, "
+                  f"{header['kind']})")
+        except (ArtifactError, OSError) as exc:
+            bad += 1
+            print(f"{fp}: FAILED — {exc}", file=sys.stderr)
+    print(f"{len(fps) - bad}/{len(fps)} artifacts verified")
+    return 1 if bad else 0
+
+
+def cmd_plan_warm(args) -> int:
+    """Simulate a warm start: preload each matrix's plan from the store."""
+    from .serve import PlanRegistry
+    from .store import fingerprint_csr
+
+    registry = PlanRegistry(store=_open_store(args), device=args.device)
+    missing = 0
+    for spec in args.matrix:
+        csr = load_matrix(spec).astype(np.dtype(args.dtype))
+        fp = fingerprint_csr(csr)
+        load_s = registry.warm(fp)
+        if load_s is None:
+            missing += 1
+            print(f"{spec}: {fp[:16]}… not in store (would rebuild)")
+        else:
+            print(f"{spec}: {fp[:16]}… warmed in {load_s * 1e3:.3f} ms "
+                  f"modeled")
+    snap = registry.store.snapshot()
+    print(f"warm start: {snap['hits']} loaded, {missing} missing, "
+          f"{snap['load_failures']} failed")
+    return 1 if missing else 0
+
+
+def cmd_plan_gc(args) -> int:
+    store = _open_store(args)
+    if store.capacity_bytes is None:
+        print("--capacity-mb is required for gc", file=sys.stderr)
+        return 2
+    before = store.nbytes()
+    removed = store.gc()
+    print(f"removed {len(removed)} artifact(s), "
+          f"{before:,} -> {store.nbytes():,} bytes")
+    for fp in removed:
+        print(f"  {fp}")
     return 0
 
 
@@ -355,6 +490,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-us", type=float, default=None,
                    help="per-request deadline (modeled us); expired "
                         "requests fail fast")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="back the plan cache with an on-disk artifact "
+                        "store (repro.store)")
+    p.add_argument("--warm-start", action="store_true",
+                   help="preload every pool matrix's plan from --store "
+                        "before traffic starts")
     p.add_argument("--trace", action="store_true",
                    help="record spans (repro.obs) and print the "
                         "device-time attribution report")
@@ -378,6 +519,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="A100", choices=("A100", "H800"))
     p.add_argument("--seed", type=int, default=2023)
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "plan", help="manage the on-disk plan store (repro.store)")
+    plan_sub = p.add_subparsers(dest="plan_command", required=True)
+
+    def _plan_common(sp, *, matrices: bool) -> None:
+        sp.add_argument("--store", required=True, metavar="DIR",
+                        help="plan store directory")
+        sp.add_argument("--device", default="A100", choices=("A100", "H800"))
+        if matrices:
+            sp.add_argument("--dtype", default="float64",
+                            choices=("float64", "float32", "float16"))
+
+    sp = plan_sub.add_parser(
+        "build", help="build plans and publish .daspz artifacts")
+    sp.add_argument("matrix", nargs="+", help="named matrices or .mtx files")
+    _plan_common(sp, matrices=True)
+    sp.add_argument("--shards", default=None, metavar="S|auto",
+                    help="persist a sharded plan (S row bands)")
+    sp.add_argument("--shard-workers", type=int, default=4)
+    sp.add_argument("--force", action="store_true",
+                    help="overwrite existing artifacts")
+    sp.set_defaults(fn=cmd_plan_build)
+
+    sp = plan_sub.add_parser("inspect", help="print artifact headers")
+    sp.add_argument("fingerprint", nargs="*",
+                    help="fingerprints to inspect (default: all)")
+    _plan_common(sp, matrices=False)
+    sp.set_defaults(fn=cmd_plan_inspect)
+
+    sp = plan_sub.add_parser(
+        "verify", help="CRC-verify artifacts (exit 1 on any failure)")
+    sp.add_argument("fingerprint", nargs="*",
+                    help="fingerprints to verify (default: all)")
+    _plan_common(sp, matrices=False)
+    sp.set_defaults(fn=cmd_plan_verify)
+
+    sp = plan_sub.add_parser(
+        "warm", help="simulate a warm start from the store")
+    sp.add_argument("matrix", nargs="+", help="named matrices or .mtx files")
+    _plan_common(sp, matrices=True)
+    sp.set_defaults(fn=cmd_plan_warm)
+
+    sp = plan_sub.add_parser(
+        "gc", help="garbage-collect the store down to a capacity")
+    _plan_common(sp, matrices=False)
+    sp.add_argument("--capacity-mb", type=float, required=True,
+                    help="target capacity (MiB); LRU artifacts beyond it "
+                         "are removed")
+    sp.set_defaults(fn=cmd_plan_gc)
 
     p = sub.add_parser("bench", help="mini Figure 10 sweep")
     p.add_argument("--count", type=int, default=20)

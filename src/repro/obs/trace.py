@@ -25,7 +25,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 #: The phase names the serving layer attributes modeled device time to.
-DEVICE_PHASES = ("preprocess", "regular_mma", "irregular_csr", "fallback")
+DEVICE_PHASES = ("preprocess", "plan.load", "regular_mma", "irregular_csr",
+                 "fallback")
 
 
 @dataclass

@@ -57,11 +57,13 @@ from .plan_cache import (
     matrix_fingerprint,
     plan_nbytes,
 )
+from ..store import ArtifactError, PlanStore, fingerprint_csr
 from .scheduler import QueueFullError, Scheduler
 from .server import RequestShedError, SpMVServer
 from .stats import ServerStats
 
 __all__ = [
+    "ArtifactError",
     "Batch",
     "BreakerConfig",
     "ChaosConfig",
@@ -76,6 +78,7 @@ __all__ = [
     "FaultRule",
     "MMA_N",
     "PlanRegistry",
+    "PlanStore",
     "PlanTooLargeError",
     "QueueFullError",
     "RequestBatcher",
@@ -88,6 +91,7 @@ __all__ = [
     "SpMVServer",
     "WorkloadConfig",
     "compare_batched_unbatched",
+    "fingerprint_csr",
     "matrix_fingerprint",
     "plan_nbytes",
     "run_workload",

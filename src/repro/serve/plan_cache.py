@@ -7,62 +7,52 @@ LRU cache of :class:`~repro.core.format.DASPMatrix` plans under a
 configurable byte budget (the device-resident footprint of the packed
 arrays), with explicit hit / miss / eviction accounting so serving
 experiments can report the amortization.
+
+With a :class:`repro.store.PlanStore` configured (``store=``), the
+registry becomes the RAM tier of a two-tier hierarchy: misses try a
+disk load before building (when the cost model says the load is
+cheaper), builds write through to disk, evictions spill any plan the
+store does not yet hold, and plans over the RAM budget are served
+**load-through** from disk instead of failing with
+:class:`PlanTooLargeError`.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import fields, is_dataclass
 
 import numpy as np
 
 from .._util import check
 from ..core.format import DASPMatrix
 from ..resilience.errors import PlanTooLargeError
+from ..store import fingerprint_csr
 
 #: Default cache budget: 256 MiB of packed plan arrays.
 DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
 
+#: Canonical content fingerprint (shape, dtype and CSR payload) — the
+#: one key the plan cache, the artifact store and request routing all
+#: share.  Alias of :func:`repro.store.fingerprint_csr`.
+matrix_fingerprint = fingerprint_csr
 
-def matrix_fingerprint(csr) -> str:
-    """Content fingerprint of a CSR matrix (shape, dtype and payload).
 
-    Two matrices share a fingerprint iff they are bytewise-identical
-    CSR structures, so the fingerprint is a safe plan-cache key and a
-    stable request-routing handle.
+def plan_nbytes(dasp, *, include_csr: bool = False) -> int:
+    """Byte footprint of a plan's arrays.
+
+    The default sums exactly the packed per-category arrays (values,
+    column ids, pointers, row indices) a real server keeps resident on
+    the GPU between requests — the figure charged against the registry
+    budget.  ``include_csr=True`` adds the host-side source CSR arrays,
+    which is what the on-disk artifact stores; both figures walk the
+    same :meth:`~repro.core.DASPMatrix.array_inventory`, so the
+    registry budget and the artifact size always agree on what they
+    count.  A composite :class:`repro.shard.ShardedPlan` is the sum
+    over its shards.
     """
-    h = hashlib.blake2b(digest_size=16)
-    h.update(repr((tuple(csr.shape), str(csr.data.dtype))).encode())
-    h.update(np.ascontiguousarray(csr.indptr).tobytes())
-    h.update(np.ascontiguousarray(csr.indices).tobytes())
-    h.update(np.ascontiguousarray(csr.data).tobytes())
-    return h.hexdigest()
-
-
-def plan_nbytes(dasp) -> int:
-    """Device-resident footprint of a plan's packed arrays in bytes.
-
-    Walks the three category plans and sums every NumPy array they hold
-    (values, column ids, pointers, row indices) — the arrays a real
-    server would keep resident on the GPU between requests.  The source
-    CSR is host-side and not charged.  A composite
-    :class:`repro.shard.ShardedPlan` is charged the sum of its shards'
-    plans (each band's packed arrays are all device-resident).
-    """
-    shards = getattr(dasp, "shards", None)
-    if shards is not None:
-        return sum(plan_nbytes(s.dasp) for s in shards)
-    total = 0
-    for plan in (dasp.long_plan, dasp.medium_plan, dasp.short_plan):
-        if not is_dataclass(plan):
-            continue
-        for f in fields(plan):
-            v = getattr(plan, f.name)
-            if isinstance(v, np.ndarray):
-                total += v.nbytes
-    return total
+    inventory = dasp.array_inventory(include_csr=include_csr)
+    return int(sum(np.asarray(v).nbytes for v in inventory.values()))
 
 
 class PlanRegistry:
@@ -87,10 +77,19 @@ class PlanRegistry:
         registry sharing the server's handle feeds ``ServerStats``
         directly — no copy-at-close step.  Defaults to a fresh private
         handle (per-run-object convention).
+    store:
+        Optional disk tier: a :class:`repro.store.PlanStore`, or a
+        path-like to open one at.  The store is re-bound to this
+        registry's ``obs`` handle so its ``store.*`` counters land in
+        the same report.
+    device:
+        Device whose cost model gates disk loads (load-vs-rebuild);
+        only consulted when a store is configured.
     """
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES, *,
-                 fault_injector=None, obs=None) -> None:
+                 fault_injector=None, obs=None, store=None,
+                 device: str = "A100") -> None:
         from ..obs import Obs
 
         check(budget_bytes >= 0, "budget_bytes must be non-negative")
@@ -99,9 +98,22 @@ class PlanRegistry:
         if obs is None or not obs.enabled:
             obs = Obs()
         self.obs = obs
+        if store is not None and not hasattr(store, "load"):
+            from ..store import PlanStore
+
+            store = PlanStore(store, device=device)
+        self.store = store
+        if store is not None:
+            store.device = device
+            store.bind(obs)
         self._hits = obs.counter("serve.plan_cache.hits_total")
         self._misses = obs.counter("serve.plan_cache.misses_total")
         self._evictions = obs.counter("serve.plan_cache.evictions_total")
+        self._spills = obs.counter("serve.plan_cache.spills_total")
+        self._store_loads = obs.counter("serve.plan_cache.store_loads_total")
+        self._load_modeled = obs.counter(
+            "serve.plan_cache.load_modeled_seconds_total")
+        self._oversized = obs.counter("serve.plan_cache.oversized_total")
         self._bytes = obs.gauge("serve.plan_cache.bytes")
         self._plans: OrderedDict[str, tuple[DASPMatrix, int]] = OrderedDict()
         self._lock = threading.RLock()
@@ -163,7 +175,9 @@ class PlanRegistry:
         ``builder(csr) -> DASPMatrix`` overrides the default
         :meth:`DASPMatrix.from_csr` conversion (e.g. to pass tuning
         parameters); ``fingerprint`` skips re-hashing when the caller
-        already holds the key.
+        already holds the key.  ``hit`` means *RAM* hit; a plan read
+        back from the disk tier counts as a miss here (use
+        :meth:`get_ex` to distinguish).
 
         Concurrent misses on one fingerprint are **single-flight**: the
         first caller builds, later callers block until the build lands
@@ -172,6 +186,27 @@ class PlanRegistry:
         :class:`PlanTooLargeError`), one waiter takes over as the next
         builder and the error propagates to the failed caller.
         """
+        plan, source, _ = self.get_ex(csr, fingerprint=fingerprint,
+                                      builder=builder)
+        return plan, source == "ram"
+
+    def get_ex(self, csr, *, fingerprint: str | None = None, builder=None,
+               load_only: bool = False):
+        """Two-tier lookup; returns ``(plan, source, load_s)``.
+
+        ``source`` is ``"ram"`` (cache hit), ``"store"`` (loaded from
+        the disk tier; ``load_s`` is the *modeled* load seconds the
+        caller should charge in place of a rebuild), ``"built"`` (the
+        builder ran), or — only with ``load_only=True`` — ``"absent"``
+        with ``plan=None`` when nothing was cached or stored.
+        ``load_only`` never builds and never counts a miss: it is the
+        warm-start preload path.
+
+        Store loads happen inside the same single-flight section as
+        builds, so concurrent misses on one fingerprint do one disk
+        read, not N.  A corrupt artifact is quarantined by the store
+        and falls through to a fresh build.
+        """
         key = fingerprint if fingerprint is not None else matrix_fingerprint(csr)
         with self._lock:
             while True:
@@ -179,15 +214,27 @@ class PlanRegistry:
                 if entry is not None:
                     self._plans.move_to_end(key)
                     self.hits += 1
-                    return entry[0], True
+                    return entry[0], "ram", 0.0
                 if key not in self._building:
                     break
                 self._build_cond.wait()
+            if load_only and (self.store is None
+                              or not self.store.contains(key)):
+                return None, "absent", 0.0
             self._building.add(key)
-            self.misses += 1
-        # Build outside the lock: conversion is the expensive part and
+            if not load_only:
+                self.misses += 1
+        # Load/build outside the lock: both are the expensive part and
         # must not serialize concurrent misses on other matrices.
         try:
+            if self.store is not None:
+                loaded = self._load_from_store(key, gate=not load_only)
+                if loaded is not None:
+                    plan, load_s = loaded
+                    self._insert(key, plan)
+                    return plan, "store", load_s
+            if load_only:
+                return None, "absent", 0.0
             plan = (builder(csr) if builder is not None
                     else DASPMatrix.from_csr(csr))
             self.put(key, plan)
@@ -195,7 +242,35 @@ class PlanRegistry:
             with self._lock:
                 self._building.discard(key)
                 self._build_cond.notify_all()
-        return plan, False
+        return plan, "built", 0.0
+
+    def warm(self, fingerprint: str) -> float | None:
+        """Preload *fingerprint* from the disk tier (never builds).
+
+        Returns the modeled load seconds on success, ``None`` when the
+        registry has no store, the artifact is absent or corrupt, or
+        the plan was already cached.  The cost gate is bypassed: an
+        explicit warm-start pays the load off the serving clock, so it
+        is worth doing even when an in-band rebuild would be cheaper.
+        """
+        plan, source, load_s = self.get_ex(None, fingerprint=fingerprint,
+                                           load_only=True)
+        return load_s if source == "store" else None
+
+    def _load_from_store(self, key: str, *, gate: bool = True):
+        """One traced disk-tier load attempt (inside single-flight)."""
+        attrs = {"matrix": key[:8]} if self.obs.tracing else None
+        with self.obs.span("plan.load", attrs=attrs) as sp:
+            got = self.store.load(key, gate=gate)
+            if got is None:
+                return None
+            plan, load_s = got
+            self._store_loads.inc()
+            self._load_modeled.inc(load_s)
+            sp.set_device_time(load_s)
+            if self.obs.tracing:
+                sp.set_attr("modeled_s", load_s)
+        return plan, load_s
 
     def peek(self, fingerprint: str) -> DASPMatrix | None:
         """Return a cached plan without touching LRU order or counters."""
@@ -212,16 +287,44 @@ class PlanRegistry:
     def put(self, fingerprint: str, plan: DASPMatrix) -> None:
         """Insert (or refresh) a plan and evict LRU entries over budget.
 
-        Raises :class:`PlanTooLargeError` when the plan alone exceeds
-        the (effective) budget — rejecting it outright beats evicting
-        the whole working set for a matrix that cannot be cached anyway.
+        A plan that alone exceeds the (effective) budget raises
+        :class:`PlanTooLargeError` when no store is configured —
+        rejecting it outright beats evicting the whole working set for
+        a matrix that cannot be cached anyway.  With a disk tier, the
+        plan is persisted instead and served **load-through**: later
+        lookups read it back from the store without ever occupying RAM
+        budget.  In-budget builds write through to the store so a
+        later process can warm-start from them.
         """
         nbytes = plan_nbytes(plan)
         budget = self.effective_budget()
         if nbytes > budget:
+            if self.store is not None:
+                self._oversized.inc()
+                self.store.put(fingerprint, plan, overwrite=False)
+                return
             raise PlanTooLargeError(
                 f"plan {fingerprint[:8]}… needs {nbytes:,} bytes, over the "
                 f"{budget:,}-byte cache budget")
+        self._insert(fingerprint, plan, nbytes=nbytes, budget=budget)
+        if self.store is not None and fingerprint not in self.store:
+            self.store.put(fingerprint, plan, overwrite=False)
+
+    def _insert(self, fingerprint: str, plan, *, nbytes: int | None = None,
+                budget: int | None = None) -> None:
+        """RAM-tier insert + LRU eviction; evictees spill to the store.
+
+        An over-budget plan is silently *not* inserted (the disk tier
+        already holds it — this is the load-through path); the caller
+        keeps serving the reference it was handed.
+        """
+        if nbytes is None:
+            nbytes = plan_nbytes(plan)
+        if budget is None:
+            budget = self.effective_budget()
+        if nbytes > budget:
+            return
+        evicted = []
         with self._lock:
             old = self._plans.pop(fingerprint, None)
             if old is not None:
@@ -229,9 +332,20 @@ class PlanRegistry:
             self._plans[fingerprint] = (plan, nbytes)
             self.bytes_cached += nbytes
             while self.bytes_cached > budget and len(self._plans) > 1:
-                _, (_, evicted_bytes) = self._plans.popitem(last=False)
+                fp, (ev_plan, evicted_bytes) = self._plans.popitem(last=False)
                 self.bytes_cached -= evicted_bytes
                 self.evictions += 1
+                evicted.append((fp, ev_plan))
+        # Spill outside the lock: serialization is the slow part.  The
+        # write-through on build makes most spills no-ops (the artifact
+        # already exists); racing spills of one fingerprint are safe —
+        # content addressing makes both bytes identical and the rename
+        # atomic.
+        if self.store is not None:
+            for fp, ev_plan in evicted:
+                if fp not in self.store:
+                    self.store.put(fp, ev_plan, overwrite=False)
+                    self._spills.inc()
 
     def clear(self) -> None:
         with self._lock:
@@ -242,10 +356,17 @@ class PlanRegistry:
     def snapshot(self) -> dict[str, int]:
         """Counter snapshot for folding into :class:`ServerStats`."""
         with self._lock:
-            return {
+            snap = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "bytes_cached": self.bytes_cached,
                 "plans": len(self._plans),
             }
+        if self.store is not None:
+            snap.update({
+                "spills": int(self._spills.value),
+                "store_loads": int(self._store_loads.value),
+                "oversized": int(self._oversized.value),
+            })
+        return snap

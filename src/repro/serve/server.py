@@ -105,6 +105,20 @@ class SpMVServer:
         one shard via the ``{fingerprint}#s{i}`` fingerprint; a
         transiently-failed shard is retried at shard granularity
         before the whole batch retries or degrades.
+    store:
+        Optional durable plan tier: a :class:`repro.store.PlanStore`
+        (or a path-like to open one at) backing the plan registry.
+        Freshly-built plans are written through as ``.daspz``
+        artifacts, cache misses try a disk load before rebuilding, and
+        plans over the RAM budget are served load-through instead of
+        degrading to the fallback path.
+    warm_start:
+        With a store configured, :meth:`register` preloads the
+        matrix's plan from disk (bypassing the load-vs-rebuild gate —
+        registration is off the serving clock), so the first request
+        skips preprocessing entirely.  The modeled load time is
+        charged to ``preprocess_s`` like any other plan-acquisition
+        cost.
     obs:
         :class:`repro.obs.Obs` handle shared by every component of this
         server — the plan registry, scheduler, breaker, fault injector
@@ -128,6 +142,8 @@ class SpMVServer:
                  fault_injector=None,
                  fallback: bool = True,
                  shards: int | str | None = None,
+                 store=None,
+                 warm_start: bool = False,
                  seed: int = 0,
                  obs: Obs | None = None) -> None:
         self.device = get_device(device)
@@ -145,7 +161,9 @@ class SpMVServer:
         if fault_injector is not None:
             fault_injector.bind(obs)
         self.registry = PlanRegistry(cache_budget_bytes,
-                                     fault_injector=fault_injector, obs=obs)
+                                     fault_injector=fault_injector, obs=obs,
+                                     store=store, device=self.device.name)
+        self.warm_start = bool(warm_start)
         self.batcher = RequestBatcher(max_batch, flush_timeout_s)
         self.stats = ServerStats(device=self.device.name, obs=obs)
         self.default_deadline_s = default_deadline_s
@@ -174,12 +192,21 @@ class SpMVServer:
 
     # ------------------------------------------------------------------
     def register(self, csr) -> str:
-        """Make *csr* servable; returns its routing fingerprint."""
+        """Make *csr* servable; returns its routing fingerprint.
+
+        With ``warm_start=True`` and a store configured, the matrix's
+        plan is preloaded from its on-disk artifact here (best-effort:
+        a missing or corrupt artifact just means the first request
+        builds as usual)."""
         fp = matrix_fingerprint(csr)
         with self._lock:
             if self._closed:
                 raise ServerClosedError("server is closed")
             self._matrices[fp] = csr
+        if self.warm_start and self.registry.store is not None:
+            load_s = self.registry.warm(fp)
+            if load_s:
+                self.stats.observe_preprocess(load_s)
         return fp
 
     def submit(self, fingerprint: str, x,
@@ -417,9 +444,14 @@ class SpMVServer:
             pre_cell["s"] = pre
             return plan
 
-        plan, hit = self.registry.get(csr, fingerprint=fp, builder=build)
-        if not hit:
+        plan, source, load_s = self.registry.get_ex(csr, fingerprint=fp,
+                                                    builder=build)
+        if source == "built":
             self.stats.observe_preprocess(pre_cell.get("s", 0.0))
+        elif source == "store":
+            # A disk load replaces the rebuild it saved; charge its
+            # modeled cost to the same plan-acquisition bucket.
+            self.stats.observe_preprocess(load_s)
         return plan
 
     def _run_kernel(self, batch: Batch, plan, fp: str, attempt: int = 0):

@@ -43,6 +43,15 @@ _COUNTER_METRICS = {
     "n_failed": ("serve.failed_total", True),
     "n_closed": ("serve.closed_total", True),
     "breaker_transitions": ("resilience.breaker_transitions_total", True),
+    "store_hits": ("store.hits_total", True),
+    "store_misses": ("store.misses_total", True),
+    "store_writes": ("store.writes_total", True),
+    "store_quarantined": ("store.quarantined_total", True),
+    "store_spills": ("serve.plan_cache.spills_total", True),
+    "store_loads": ("serve.plan_cache.store_loads_total", True),
+    "store_oversized": ("serve.plan_cache.oversized_total", True),
+    "store_load_modeled_s": ("serve.plan_cache.load_modeled_seconds_total",
+                             False),
 }
 
 
@@ -258,6 +267,17 @@ class ServerStats:
              " / ".join("-" if np.isnan(pct[q]) else f"{pct[q] * 1e6:.1f} us"
                         for q in (50, 95, 99))),
         ]
+        if (self.store_loads or self.store_writes or self.store_spills
+                or self.store_quarantined or self.store_oversized):
+            rows += [
+                ("store load / write / spill",
+                 f"{self.store_loads} / {self.store_writes} "
+                 f"/ {self.store_spills}"),
+                ("store quarantined / oversized",
+                 f"{self.store_quarantined} / {self.store_oversized}"),
+                ("modeled plan-load time",
+                 f"{self.store_load_modeled_s * 1e3:.3f} ms"),
+            ]
         if (self.faults_injected or self.degraded_requests or self.retries
                 or self.n_deadline_exceeded or self.n_failed
                 or self.breaker_transitions):

@@ -95,6 +95,84 @@ class ShardedPlan:
         return (f"ShardedPlan {self.shape[0]}x{self.shape[1]} "
                 f"S={self.n_shards} [{sizes}]")
 
+    # ------------------------------------------------------------------
+    # serialization inventory (repro.store)
+    # ------------------------------------------------------------------
+    def array_inventory(self, *, include_csr: bool = False) -> dict:
+        """Ordered ``name -> ndarray`` inventory over every shard.
+
+        Shard ``i``'s arrays are prefixed ``s{i}.``; with
+        ``include_csr=True`` the ``row_starts`` partition and each
+        band's sub-CSR join the inventory.  The *top-level* CSR is
+        deliberately absent even then: band boundaries never split a
+        row, so concatenating the band CSRs reproduces it bitwise —
+        storing it too would double the artifact's CSR payload.  The
+        default covers only the device-resident packed arrays,
+        matching :func:`repro.serve.plan_nbytes` on composites.
+        """
+        inv: dict = {}
+        if include_csr:
+            inv["row_starts"] = np.asarray(self.row_starts)
+        for i, s in enumerate(self.shards):
+            sub = s.dasp.array_inventory(include_csr=include_csr)
+            for name, arr in sub.items():
+                inv[f"s{i}.{name}"] = arr
+        return inv
+
+    def to_arrays(self) -> tuple[dict, dict]:
+        """``(meta, arrays)`` pair fully describing this composite plan
+        (see :meth:`repro.core.DASPMatrix.to_arrays`)."""
+        meta = {
+            "kind": "sharded",
+            "shape": [int(self.shape[0]), int(self.shape[1])],
+            "dtype": np.dtype(self.dtype).name,
+            "shards": [{"row_start": int(s.row_start),
+                        "row_end": int(s.row_end),
+                        "dasp": s.dasp.to_arrays()[0]}
+                       for s in self.shards],
+        }
+        return meta, self.array_inventory(include_csr=True)
+
+    @classmethod
+    def from_arrays(cls, meta: dict, arrays: dict) -> "ShardedPlan":
+        """Rebuild a composite plan from a :meth:`to_arrays` pair.
+
+        The top-level CSR is regenerated by concatenating the band
+        CSRs (bitwise-identical to the original: bands are contiguous
+        row slices, so values and column indices line up exactly and
+        the pointer array is the shifted concatenation).
+        """
+        from ..formats.csr import CSRMatrix
+
+        shape = (int(meta["shape"][0]), int(meta["shape"][1]))
+        bands = []
+        for i, sm in enumerate(meta["shards"]):
+            prefix = f"s{i}."
+            sub = {name[len(prefix):]: arr for name, arr in arrays.items()
+                   if name.startswith(prefix)}
+            dasp = DASPMatrix.from_arrays(sm["dasp"], sub)
+            bands.append(RowShard(index=i, row_start=int(sm["row_start"]),
+                                  row_end=int(sm["row_end"]), dasp=dasp))
+        sub_csrs = [b.dasp.csr for b in bands]
+        offsets = np.concatenate(
+            ([0], np.cumsum([c.indptr[-1] for c in sub_csrs])))
+        indptr = np.concatenate(
+            [np.asarray(c.indptr[:-1]) + off
+             for c, off in zip(sub_csrs, offsets[:-1])]
+            + [offsets[-1:]]).astype(np.int64)
+        csr = CSRMatrix(
+            shape, indptr,
+            np.concatenate([np.asarray(c.indices) for c in sub_csrs]),
+            np.concatenate([np.asarray(c.data) for c in sub_csrs]))
+        return cls(
+            shape=shape,
+            dtype=np.dtype(meta["dtype"]),
+            csr=csr,
+            mma_shape=bands[0].dasp.mma_shape if bands else None,
+            row_starts=np.asarray(arrays["row_starts"]),
+            shards=bands,
+        )
+
 
 def build_sharded_plan(csr, shards: int, *, max_len: int = DEFAULT_MAX_LEN,
                        threshold: float = DEFAULT_THRESHOLD,

@@ -1,0 +1,68 @@
+"""`repro.store` — versioned on-disk DASP plan artifacts.
+
+DASP's economics (paper Figure 13) hinge on amortizing the CSR -> DASP
+conversion over many SpMVs, but amortization used to end at process
+exit.  This package makes plans durable:
+
+* :func:`save_artifact` / :func:`load_artifact` — the ``.daspz``
+  format: a JSON header (format version, dtype, MMA geometry, shard
+  layout, per-array CRC32) plus 64-byte-aligned raw payloads that load
+  through ``np.memmap`` for near-zero-copy warm starts, for both
+  :class:`~repro.core.DASPMatrix` and composite
+  :class:`~repro.shard.ShardedPlan` plans;
+* :class:`PlanStore` — a content-addressed directory of artifacts
+  (atomic write-then-rename publishing, quarantine of corrupt files,
+  capacity-bounded LRU garbage collection) keyed by
+  :func:`fingerprint_csr`, the canonical CSR content hash;
+* :mod:`~repro.store.tier` — the load-vs-rebuild cost gate: an
+  artifact is only read back when the model says streaming it from
+  disk beats re-running preprocessing;
+* :class:`ArtifactError` — the one typed failure for corrupt /
+  truncated / version-mismatched artifacts; the serving layer
+  quarantines and rebuilds, never crashes.
+
+``PlanRegistry(store=...)`` turns the RAM plan cache into the first
+tier of a two-tier hierarchy over this package (spill-on-evict,
+load-before-build, load-through for plans over the RAM budget), and
+``SpMVServer(store=..., warm_start=True)`` preloads registered
+matrices' plans at registration time.
+"""
+
+from .artifact import (
+    ALIGN,
+    EXTENSION,
+    FORMAT_VERSION,
+    MAGIC,
+    ArtifactError,
+    load_artifact,
+    read_header,
+    save_artifact,
+    verify_artifact,
+)
+from .store import PlanStore, fingerprint_csr
+from .tier import (
+    DISK_BW,
+    OPEN_OVERHEAD_S,
+    load_beats_rebuild,
+    modeled_load_time,
+    modeled_rebuild_time,
+)
+
+__all__ = [
+    "ALIGN",
+    "ArtifactError",
+    "DISK_BW",
+    "EXTENSION",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "OPEN_OVERHEAD_S",
+    "PlanStore",
+    "fingerprint_csr",
+    "load_artifact",
+    "load_beats_rebuild",
+    "modeled_load_time",
+    "modeled_rebuild_time",
+    "read_header",
+    "save_artifact",
+    "verify_artifact",
+]

@@ -1,0 +1,270 @@
+"""The ``.daspz`` artifact — one DASP plan, versioned and checksummed.
+
+Layout (all integers little-endian)::
+
+    [ 0: 8]  magic  b"DASPZ001"  (on-disk layout revision)
+    [ 8:16]  uint64 header length H
+    [16:16+H] JSON header (utf-8)
+    ...      zero padding to a 64-byte boundary
+    payload  raw array bytes, each array 64-byte aligned
+
+The JSON header carries the semantic format version, the plan kind
+(``dasp`` or ``sharded``), the owning fingerprint, the full ``meta``
+dict from :meth:`~repro.core.DASPMatrix.to_arrays`, a ``modeled``
+section (scalar inputs of the load-vs-rebuild cost comparison,
+see :mod:`repro.store.tier`) and one record per array: name, dtype,
+shape, payload-relative offset, byte length and CRC32.  Offsets are
+relative to the payload section, so the header can be grown without a
+fixpoint computation.
+
+Payloads are loadable through ``np.memmap`` (the default): a warm start
+maps the file and the plan's arrays are read-only views into the page
+cache — near-zero-copy.  ``verify=True`` streams every array through
+CRC32 first, which both detects corruption (a single flipped payload
+byte fails the load with :class:`ArtifactError`) and faults the pages
+in sequentially.
+
+Every malformed-artifact condition — bad magic, unsupported version,
+undecodable header, truncated payload, checksum mismatch, fingerprint
+mismatch — raises the same typed :class:`ArtifactError`, which the
+store quarantines and the serving layer absorbs by rebuilding.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+import numpy as np
+
+from .._util import ReproError
+
+#: On-disk layout revision (magic prefix).  Bumped only when the binary
+#: framing itself changes; semantic changes bump FORMAT_VERSION.
+MAGIC = b"DASPZ001"
+
+#: Semantic artifact version; readers reject anything else.
+FORMAT_VERSION = 1
+
+#: Array payload alignment (bytes) — memmap-friendly for every dtype.
+ALIGN = 64
+
+#: Canonical artifact file extension.
+EXTENSION = ".daspz"
+
+
+class ArtifactError(ReproError):
+    """A plan artifact is corrupt, truncated or incompatible.
+
+    Deliberately *not* transient: retrying the same bytes cannot
+    succeed.  The store quarantines the file and the registry falls
+    back to a fresh build.
+    """
+
+    transient = False
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+def _crc32(arr: np.ndarray) -> int:
+    a = np.ascontiguousarray(arr)
+    return zlib.crc32(a.view(np.uint8).reshape(-1)) & 0xFFFFFFFF
+
+
+def _modeled_scalars(plan) -> dict:
+    """Scalar inputs of the load-vs-rebuild comparison (tier.py).
+
+    Stored in the header so the decision needs no payload read: rows /
+    nnz / stored elements feed the host-byte accounting of
+    :func:`repro.core.preprocess.dasp_preprocess_events`, ``sort_keys``
+    the medium-row sort term, ``allocations`` the per-plan device
+    allocations (4 per band).
+    """
+    shards = getattr(plan, "shards", None)
+    plans = [s.dasp for s in shards] if shards is not None else [plan]
+    return {
+        "rows": int(plan.shape[0]),
+        "nnz": int(plan.nnz),
+        "stored_elements": int(sum(p.stored_elements for p in plans)),
+        "sort_keys": int(sum(p.classification.n_medium for p in plans)),
+        "allocations": 4 * len(plans),
+    }
+
+
+def save_artifact(path, plan, *, fingerprint: str | None = None) -> dict:
+    """Write *plan* (a ``DASPMatrix`` or ``ShardedPlan``) to *path*.
+
+    Returns the header dict that was written.  The write is plain (not
+    atomic) — :meth:`repro.store.PlanStore.put` layers write-then-rename
+    publishing on top.
+    """
+    meta, arrays = plan.to_arrays()
+    records = []
+    offset = 0
+    packed_bytes = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        arrays[name] = arr
+        offset = _align(offset)
+        records.append({
+            "name": name,
+            "dtype": arr.dtype.str,
+            "shape": [int(d) for d in arr.shape],
+            "offset": offset,
+            "nbytes": int(arr.nbytes),
+            "crc32": _crc32(arr),
+        })
+        offset += arr.nbytes
+        if not name.endswith(("csr.indptr", "csr.indices", "csr.data")) \
+                and name != "row_starts":
+            packed_bytes += arr.nbytes
+    header = {
+        "magic": MAGIC.decode(),
+        "version": FORMAT_VERSION,
+        "kind": meta["kind"],
+        "fingerprint": fingerprint,
+        "dtype": meta["dtype"],
+        "meta": meta,
+        "modeled": dict(_modeled_scalars(plan),
+                        payload_bytes=int(offset),
+                        packed_bytes=int(packed_bytes)),
+        "arrays": records,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    payload_start = _align(len(MAGIC) + 8 + len(header_bytes))
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(len(header_bytes).to_bytes(8, "little"))
+        f.write(header_bytes)
+        f.write(b"\x00" * (payload_start - f.tell()))
+        for rec, arr in zip(records, arrays.values()):
+            f.write(b"\x00" * (payload_start + rec["offset"] - f.tell()))
+            f.write(np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+                    .tobytes())
+        f.flush()
+        os.fsync(f.fileno())
+    return header
+
+
+def read_header(path) -> tuple[dict, int]:
+    """Parse and validate an artifact's header without touching payload.
+
+    Returns ``(header, payload_start)``.  Raises :class:`ArtifactError`
+    on any framing problem: bad magic, short file, unsupported version,
+    undecodable or incomplete JSON.
+    """
+    try:
+        with open(path, "rb") as f:
+            prefix = f.read(len(MAGIC) + 8)
+            if len(prefix) < len(MAGIC) + 8:
+                raise ArtifactError(f"{path}: too short to be an artifact")
+            if prefix[:len(MAGIC)] != MAGIC:
+                raise ArtifactError(
+                    f"{path}: bad magic {prefix[:len(MAGIC)]!r} "
+                    f"(not a {EXTENSION} artifact)")
+            hlen = int.from_bytes(prefix[len(MAGIC):], "little")
+            if hlen > 64 * 1024 * 1024:
+                raise ArtifactError(f"{path}: implausible header length {hlen}")
+            header_bytes = f.read(hlen)
+    except OSError as exc:
+        raise ArtifactError(f"{path}: unreadable artifact: {exc}") from exc
+    if len(header_bytes) < hlen:
+        raise ArtifactError(f"{path}: truncated header "
+                            f"({len(header_bytes)} of {hlen} bytes)")
+    try:
+        header = json.loads(header_bytes.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"{path}: undecodable header: {exc}") from exc
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"{path}: unsupported artifact version {version!r} "
+            f"(this reader handles {FORMAT_VERSION})")
+    for key in ("kind", "meta", "arrays", "modeled"):
+        if key not in header:
+            raise ArtifactError(f"{path}: header missing {key!r}")
+    return header, _align(len(MAGIC) + 8 + hlen)
+
+
+def _read_arrays(path, header: dict, payload_start: int, *,
+                 mmap: bool, verify: bool) -> dict:
+    payload_bytes = int(header["modeled"]["payload_bytes"])
+    try:
+        actual = os.path.getsize(path)
+    except OSError as exc:
+        raise ArtifactError(f"{path}: unreadable artifact: {exc}") from exc
+    if actual < payload_start + payload_bytes:
+        raise ArtifactError(
+            f"{path}: truncated payload ({actual} bytes on disk, "
+            f"{payload_start + payload_bytes} expected)")
+    if mmap and payload_bytes:
+        buf = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        with open(path, "rb") as f:
+            buf = np.frombuffer(bytearray(f.read()), dtype=np.uint8)
+    arrays = {}
+    for rec in header["arrays"]:
+        start = payload_start + int(rec["offset"])
+        nbytes = int(rec["nbytes"])
+        raw = buf[start:start + nbytes]
+        if verify and (zlib.crc32(raw) & 0xFFFFFFFF) != int(rec["crc32"]):
+            raise ArtifactError(
+                f"{path}: checksum mismatch in array {rec['name']!r}")
+        try:
+            arr = raw.view(np.dtype(rec["dtype"])).reshape(rec["shape"])
+        except (TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"{path}: malformed array record {rec['name']!r}: "
+                f"{exc}") from exc
+        arrays[rec["name"]] = arr
+    return arrays
+
+
+def load_artifact(path, *, mmap: bool = True, verify: bool = True,
+                  fingerprint: str | None = None):
+    """Load a plan from *path*; returns ``(plan, header)``.
+
+    ``mmap=True`` maps the payload so arrays are read-only views into
+    the page cache; ``verify=True`` CRC-checks every array first.
+    ``fingerprint`` (when given) must match the header's — a mismatch
+    means the file was renamed or tampered with and raises
+    :class:`ArtifactError` like any other corruption.
+    """
+    header, payload_start = read_header(path)
+    if fingerprint is not None and header.get("fingerprint") != fingerprint:
+        raise ArtifactError(
+            f"{path}: fingerprint mismatch (header says "
+            f"{str(header.get('fingerprint'))[:12]!r}, expected "
+            f"{fingerprint[:12]!r})")
+    arrays = _read_arrays(path, header, payload_start,
+                          mmap=mmap, verify=verify)
+    kind = header["kind"]
+    try:
+        if kind == "dasp":
+            from ..core.format import DASPMatrix
+
+            return DASPMatrix.from_arrays(header["meta"], arrays), header
+        if kind == "sharded":
+            from ..shard.plan import ShardedPlan
+
+            return ShardedPlan.from_arrays(header["meta"], arrays), header
+    except ArtifactError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — malformed meta, bad shapes...
+        raise ArtifactError(
+            f"{path}: cannot reconstruct {kind!r} plan: {exc}") from exc
+    raise ArtifactError(f"{path}: unknown plan kind {kind!r}")
+
+
+def verify_artifact(path) -> dict:
+    """Full integrity check (header + every CRC); returns the header.
+
+    Raises :class:`ArtifactError` on the first problem found — the
+    backing check of ``repro plan verify``.
+    """
+    header, payload_start = read_header(path)
+    _read_arrays(path, header, payload_start, mmap=True, verify=True)
+    return header

@@ -1,0 +1,302 @@
+"""`PlanStore` — a content-addressed directory of plan artifacts.
+
+Layout under the store root::
+
+    plans/<fingerprint>.daspz       published artifacts
+    quarantine/<fingerprint>.daspz  artifacts that failed to load
+    quarantine/<fingerprint>.reason one-line failure description
+    tmp/                            in-flight writes (crash debris only)
+
+Publishing is atomic: :meth:`PlanStore.put` serializes into ``tmp/``
+(with an fsync) and ``os.replace``-renames into ``plans/`` — readers
+never observe a half-written artifact, and concurrent writers of the
+same fingerprint are idempotent (last rename wins, both files are
+identical by content addressing).
+
+Loads are fail-safe: any :class:`~repro.store.artifact.ArtifactError`
+(corruption, truncation, version mismatch, fingerprint mismatch) moves
+the offending file to ``quarantine/``, counts it, and returns a miss —
+the caller rebuilds from CSR.  A load is also skipped (counted as
+``store.load_skipped_total``) when the cost model says rebuilding is
+cheaper than reading the artifact back (:mod:`repro.store.tier`).
+
+Counters flow through :mod:`repro.obs` (``store.*``), so a store bound
+to a server's handle reports in the same ``ServerStats`` facade as the
+plan cache it backs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .._util import check
+from .artifact import (
+    EXTENSION,
+    ArtifactError,
+    load_artifact,
+    read_header,
+    save_artifact,
+    verify_artifact,
+)
+from .tier import load_beats_rebuild, modeled_load_time
+
+
+def fingerprint_csr(csr) -> str:
+    """Canonical content fingerprint of a CSR matrix.
+
+    Hashes the shape, dtype and the raw ``indptr`` / ``indices`` /
+    ``data`` payloads (blake2b-128): two matrices share a fingerprint
+    iff they are bytewise-identical CSR structures.  This is the one
+    key the plan cache, the artifact store and request routing all
+    agree on; :func:`repro.serve.matrix_fingerprint` is an alias.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((tuple(csr.shape), str(csr.data.dtype))).encode())
+    h.update(np.ascontiguousarray(csr.indptr).tobytes())
+    h.update(np.ascontiguousarray(csr.indices).tobytes())
+    h.update(np.ascontiguousarray(csr.data).tobytes())
+    return h.hexdigest()
+
+
+class PlanStore:
+    """Durable, capacity-bounded artifact store keyed by fingerprint.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing, including parents).
+    capacity_bytes:
+        Optional cap on published artifact bytes; exceeding it after a
+        :meth:`put` garbage-collects least-recently-used artifacts
+        (by file access/modify time — loads touch their artifact).
+    device:
+        Device whose cost model gates load-vs-rebuild (default A100).
+    obs:
+        :class:`repro.obs.Obs` handle for the ``store.*`` counters;
+        a fresh private one by default.  Components that adopt a
+        pre-built store call :meth:`bind` to repoint the counters at
+        their shared handle.
+    """
+
+    def __init__(self, root, *, capacity_bytes: int | None = None,
+                 device="A100", obs=None) -> None:
+        self.root = Path(root)
+        self.plans_dir = self.root / "plans"
+        self.quarantine_dir = self.root / "quarantine"
+        self.tmp_dir = self.root / "tmp"
+        for d in (self.plans_dir, self.quarantine_dir, self.tmp_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        if capacity_bytes is not None:
+            check(capacity_bytes >= 0, "capacity_bytes must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.device = device
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.bind(obs)
+
+    def bind(self, obs) -> None:
+        """(Re)point the ``store.*`` instruments at *obs*' registry."""
+        from ..obs import Obs
+
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._hits = obs.counter("store.hits_total")
+        self._misses = obs.counter("store.misses_total")
+        self._writes = obs.counter("store.writes_total")
+        self._load_failures = obs.counter("store.load_failures_total")
+        self._load_skipped = obs.counter("store.load_skipped_total")
+        self._quarantined = obs.counter("store.quarantined_total")
+        self._gc_removed = obs.counter("store.gc_removed_total")
+        self._load_seconds = obs.counter("store.load_seconds_total")
+        self._bytes = obs.gauge("store.bytes")
+        self._bytes.set(self.nbytes())
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        return self.plans_dir / f"{fingerprint}{EXTENSION}"
+
+    def contains(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    __contains__ = contains
+
+    def fingerprints(self) -> list[str]:
+        """Published fingerprints, sorted."""
+        return sorted(p.stem for p in self.plans_dir.glob(f"*{EXTENSION}"))
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def nbytes(self) -> int:
+        """Total published artifact bytes."""
+        return sum(p.stat().st_size
+                   for p in self.plans_dir.glob(f"*{EXTENSION}"))
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def put(self, fingerprint: str, plan, *, overwrite: bool = True) -> Path:
+        """Atomically publish *plan* under *fingerprint*.
+
+        Serializes to ``tmp/`` then renames into place; a reader never
+        sees a partial file.  With ``overwrite=False`` an existing
+        artifact is kept (content addressing makes the bytes identical
+        anyway).  Returns the published path.
+        """
+        final = self.path_for(fingerprint)
+        if not overwrite and final.exists():
+            return final
+        with self._lock:
+            self._seq += 1
+            tmp = self.tmp_dir / (f"{fingerprint}.{os.getpid()}"
+                                  f".{self._seq}.part")
+        try:
+            save_artifact(tmp, plan, fingerprint=fingerprint)
+            os.replace(tmp, final)
+        finally:
+            if tmp.exists():  # failed before the rename
+                tmp.unlink()
+        self._writes.inc()
+        self._bytes.set(self.nbytes())
+        if self.capacity_bytes is not None:
+            self.gc()
+        return final
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def peek_header(self, fingerprint: str) -> dict | None:
+        """Header of a published artifact, or ``None`` when absent.
+
+        A malformed header quarantines the artifact (and returns
+        ``None``) just like a failed load.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            header, _ = read_header(path)
+            return header
+        except ArtifactError as exc:
+            self._load_failures.inc()
+            self.quarantine(fingerprint, str(exc))
+            return None
+
+    def load(self, fingerprint: str, *, mmap: bool = True,
+             gate: bool = True):
+        """Load *fingerprint*'s plan; ``(plan, modeled_load_s)`` or ``None``.
+
+        ``None`` means the caller should build from CSR: the artifact
+        is absent (a miss), modeled slower to read than to rebuild
+        (skipped, with ``gate=True``), or corrupt (quarantined).  A
+        successful load verifies every CRC, counts a hit, charges the
+        wall-clock into ``store.load_seconds_total`` and touches the
+        file for LRU garbage collection.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            self._misses.inc()
+            return None
+        t0 = time.perf_counter()
+        try:
+            if gate:
+                header, _ = read_header(path)
+                if not load_beats_rebuild(header, self.device):
+                    self._load_skipped.inc()
+                    return None
+            plan, header = load_artifact(path, mmap=mmap, verify=True,
+                                         fingerprint=fingerprint)
+        except ArtifactError as exc:
+            self._load_failures.inc()
+            self.quarantine(fingerprint, str(exc))
+            return None
+        self._hits.inc()
+        self._load_seconds.inc(time.perf_counter() - t0)
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover — racing GC/quarantine
+            pass
+        return plan, modeled_load_time(header, self.device)
+
+    def verify(self, fingerprint: str) -> dict:
+        """Full CRC verification of one artifact (raises on failure)."""
+        return verify_artifact(self.path_for(fingerprint))
+
+    # ------------------------------------------------------------------
+    # hygiene
+    # ------------------------------------------------------------------
+    def quarantine(self, fingerprint: str, reason: str = "") -> None:
+        """Move a bad artifact aside (with a ``.reason`` sidecar)."""
+        path = self.path_for(fingerprint)
+        with self._lock:
+            if not path.exists():
+                return
+            dest = self.quarantine_dir / path.name
+            os.replace(path, dest)
+            (self.quarantine_dir / f"{fingerprint}.reason").write_text(
+                (reason or "unspecified") + "\n")
+        self._quarantined.inc()
+        self._bytes.set(self.nbytes())
+
+    def delete(self, fingerprint: str) -> bool:
+        path = self.path_for(fingerprint)
+        with self._lock:
+            if not path.exists():
+                return False
+            path.unlink()
+        self._bytes.set(self.nbytes())
+        return True
+
+    def gc(self, capacity_bytes: int | None = None) -> list[str]:
+        """Remove least-recently-used artifacts until under capacity.
+
+        Returns removed fingerprints (oldest first).  Uses the bound
+        :attr:`capacity_bytes` when no explicit cap is given; no-op
+        when neither is set.
+        """
+        cap = capacity_bytes if capacity_bytes is not None \
+            else self.capacity_bytes
+        if cap is None:
+            return []
+        removed = []
+        with self._lock:
+            entries = []
+            for p in self.plans_dir.glob(f"*{EXTENSION}"):
+                st = p.stat()
+                entries.append((max(st.st_atime, st.st_mtime), p))
+            total = sum(p.stat().st_size for _, p in entries)
+            for _, p in sorted(entries):
+                if total <= cap:
+                    break
+                total -= p.stat().st_size
+                p.unlink()
+                removed.append(p.stem)
+        if removed:
+            self._gc_removed.inc(len(removed))
+            self._bytes.set(self.nbytes())
+        return removed
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counter snapshot (mirrors the ``store.*`` instruments)."""
+        return {
+            "plans": len(self),
+            "bytes": self.nbytes(),
+            "hits": int(self._hits.value),
+            "misses": int(self._misses.value),
+            "writes": int(self._writes.value),
+            "load_failures": int(self._load_failures.value),
+            "load_skipped": int(self._load_skipped.value),
+            "quarantined": int(self._quarantined.value),
+            "gc_removed": int(self._gc_removed.value),
+            "load_seconds": float(self._load_seconds.value),
+        }

@@ -221,3 +221,74 @@ class TestStatsCommand:
         out = capsys.readouterr().out
         assert out.startswith("# TYPE")
         assert "serve_requests_total" in out
+
+
+class TestPlanCommand:
+    """`repro plan build|inspect|verify|warm|gc` — the store CLI."""
+
+    def _build(self, tmp_path, *extra):
+        store = tmp_path / "store"
+        rc = main(["plan", "build", "scircuit", "cop20k_A",
+                   "--store", str(store), *extra])
+        return rc, store
+
+    def test_build_and_inspect(self, tmp_path, capsys):
+        rc, store = self._build(tmp_path)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "modeled load" in out and ".daspz" in out
+        assert len(list((store / "plans").glob("*.daspz"))) == 2
+        assert main(["plan", "inspect", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "dasp" in out and "float64" in out
+
+    def test_build_sharded(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["plan", "build", "mc2depi", "--store", str(store),
+                     "--shards", "4"]) == 0
+        capsys.readouterr()
+        assert main(["plan", "inspect", "--store", str(store)]) == 0
+        assert "sharded(4)" in capsys.readouterr().out
+
+    def test_verify_ok_and_corrupt(self, tmp_path, capsys):
+        rc, store = self._build(tmp_path)
+        assert main(["plan", "verify", "--store", str(store)]) == 0
+        assert "2/2 artifacts verified" in capsys.readouterr().out
+        # corrupt one artifact: verify must fail with exit code 1
+        victim = sorted((store / "plans").glob("*.daspz"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        assert main(["plan", "verify", "--store", str(store)]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert "1/2 artifacts verified" in captured.out
+
+    def test_warm(self, tmp_path, capsys):
+        rc, store = self._build(tmp_path)
+        assert main(["plan", "warm", "scircuit", "cop20k_A",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "warmed in" in out and "2 loaded, 0 missing" in out
+        # a matrix that was never built reports missing -> exit 1
+        assert main(["plan", "warm", "mc2depi",
+                     "--store", str(store)]) == 1
+        assert "not in store" in capsys.readouterr().out
+
+    def test_gc(self, tmp_path, capsys):
+        rc, store = self._build(tmp_path)
+        assert main(["plan", "gc", "--store", str(store),
+                     "--capacity-mb", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 2 artifact(s)" in out
+        assert list((store / "plans").glob("*.daspz")) == []
+
+    def test_serve_sim_with_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["serve-sim", "--requests", "150", "--matrices", "2",
+                     "--store", str(store)]) == 0
+        assert "store load / write / spill" in capsys.readouterr().out
+        assert main(["serve-sim", "--requests", "150", "--matrices", "2",
+                     "--store", str(store), "--warm-start"]) == 0
+        out = capsys.readouterr().out
+        assert "| store load / write / spill | 2 / 0 / 0 |" in out

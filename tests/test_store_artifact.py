@@ -1,0 +1,327 @@
+"""Tests for the `.daspz` artifact format and the `PlanStore`.
+
+The contract under test: ``load(save(plan))`` is *bitwise* identical —
+same packed arrays, same classification, same ``dasp_spmv`` output down
+to the last ULP — for FP64 and FP16, empty-category matrices and
+sharded composites; and every corruption mode (flipped payload byte,
+truncation, bad magic, wrong version, fingerprint mismatch) raises the
+one typed :class:`ArtifactError` instead of crashing or returning wrong
+numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DASPMatrix, dasp_spmv
+from repro.formats import COOMatrix
+from repro.serve import plan_nbytes
+from repro.shard import ShardedPlan, build_sharded_plan
+from repro.store import (
+    MAGIC,
+    ArtifactError,
+    PlanStore,
+    fingerprint_csr,
+    load_artifact,
+    read_header,
+    save_artifact,
+    verify_artifact,
+)
+
+from .conftest import ROW_PROFILES, random_csr
+
+
+def _flip_payload_byte(path: Path) -> None:
+    """Flip one byte inside the first checksummed payload array.
+
+    (The very last file bytes can be CRC-free alignment padding, so a
+    blind ``blob[-1]`` flip would not be a corruption at all.)"""
+    header, payload_start = read_header(path)
+    rec = next(r for r in header["arrays"] if r["nbytes"])
+    blob = bytearray(path.read_bytes())
+    blob[payload_start + int(rec["offset"])] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def _assert_plans_bitwise_equal(a, b) -> None:
+    inv_a = a.array_inventory(include_csr=True)
+    inv_b = b.array_inventory(include_csr=True)
+    assert list(inv_a) == list(inv_b)
+    for name in inv_a:
+        x, y = np.asarray(inv_a[name]), np.asarray(inv_b[name])
+        assert x.dtype == y.dtype, name
+        assert x.shape == y.shape, name
+        assert np.array_equal(x, y), f"array {name} differs"
+
+
+def _roundtrip(plan, tmp_path: Path, **save_kw):
+    path = tmp_path / "plan.daspz"
+    save_artifact(path, plan, **save_kw)
+    loaded, header = load_artifact(path, fingerprint=save_kw.get("fingerprint"))
+    return loaded, header, path
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float16])
+@pytest.mark.parametrize("profile", sorted(ROW_PROFILES))
+def test_roundtrip_bitwise_all_profiles(profile, dtype, tmp_path, rng):
+    csr = random_csr(80, 600, rng, row_len_sampler=ROW_PROFILES[profile],
+                     dtype=dtype)
+    plan = DASPMatrix.from_csr(csr)
+    loaded, header, _ = _roundtrip(plan, tmp_path)
+    _assert_plans_bitwise_equal(plan, loaded)
+    x = rng.uniform(-1, 1, csr.shape[1]).astype(dtype)
+    assert np.array_equal(dasp_spmv(plan, x), dasp_spmv(loaded, x))
+    # re-derived classification matches the original exactly
+    for attr in ("long", "medium", "empty"):
+        assert np.array_equal(getattr(plan.classification, attr),
+                              getattr(loaded.classification, attr))
+    for k in plan.classification.short:
+        assert np.array_equal(plan.classification.short[k],
+                              loaded.classification.short[k])
+
+
+def test_roundtrip_empty_matrix(tmp_path, rng):
+    csr = random_csr(16, 50, rng, row_len_sampler=lambda r, m: np.zeros(m, int))
+    plan = DASPMatrix.from_csr(csr)
+    loaded, _, _ = _roundtrip(plan, tmp_path)
+    _assert_plans_bitwise_equal(plan, loaded)
+    assert np.array_equal(dasp_spmv(plan, np.ones(50)),
+                          dasp_spmv(loaded, np.ones(50)))
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_roundtrip_sharded_bitwise(shards, tmp_path, rng):
+    csr = random_csr(120, 500, rng, row_len_sampler=ROW_PROFILES["mixed"])
+    plan = build_sharded_plan(csr, shards)
+    loaded, header, _ = _roundtrip(plan, tmp_path)
+    assert isinstance(loaded, ShardedPlan)
+    assert loaded.n_shards == plan.n_shards
+    _assert_plans_bitwise_equal(plan, loaded)
+    # the top-level CSR is reconstructed (not stored) — still bitwise
+    for attr in ("indptr", "indices", "data"):
+        assert np.array_equal(np.asarray(getattr(plan.csr, attr)),
+                              np.asarray(getattr(loaded.csr, attr)))
+    x = rng.uniform(-1, 1, csr.shape[1])
+    for a, b in zip(plan.shards, loaded.shards):
+        assert (a.row_start, a.row_end) == (b.row_start, b.row_end)
+        assert np.array_equal(dasp_spmv(a.dasp, x), dasp_spmv(b.dasp, x))
+
+
+def test_payload_bytes_matches_plan_nbytes(tmp_path, rng):
+    """The artifact's size accounting is the include_csr inventory —
+    the same figure `plan_nbytes(include_csr=True)` reports (modulo
+    per-array 64-byte alignment padding)."""
+    csr = random_csr(64, 400, rng, row_len_sampler=ROW_PROFILES["mixed"])
+    plan = DASPMatrix.from_csr(csr)
+    path = tmp_path / "p.daspz"
+    header = save_artifact(path, plan)
+    raw = plan_nbytes(plan, include_csr=True)
+    payload = int(header["modeled"]["payload_bytes"])
+    n_arrays = len(header["arrays"])
+    assert raw <= payload <= raw + 64 * n_arrays
+    assert int(header["modeled"]["packed_bytes"]) >= plan_nbytes(plan)
+    assert sum(int(r["nbytes"]) for r in header["arrays"]) == raw
+
+
+def test_plan_nbytes_include_csr_flag(rng):
+    csr = random_csr(64, 400, rng)
+    plan = DASPMatrix.from_csr(csr)
+    csr_bytes = sum(np.asarray(getattr(csr, a)).nbytes
+                    for a in ("indptr", "indices", "data"))
+    assert plan_nbytes(plan, include_csr=True) \
+        == plan_nbytes(plan) + csr_bytes
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**31 - 1),
+       dtype=st.sampled_from([np.float64, np.float16]),
+       m=st.integers(0, 48), n=st.integers(1, 400),
+       shards=st.sampled_from([None, 2, 3]))
+def test_property_roundtrip_spmv_bitwise(seed, dtype, m, n, shards):
+    """load(save(plan)) gives bitwise-identical dasp_spmv results for
+    arbitrary sparsity structures, dtypes and shard counts."""
+    rng = np.random.default_rng(seed)
+    lens = rng.integers(0, min(n, 300) + 1, m)
+    rows = np.repeat(np.arange(m, dtype=np.int64), lens)
+    cols = (np.concatenate([rng.choice(n, size=int(l), replace=False)
+                            for l in lens if l])
+            if lens.sum() else np.zeros(0, dtype=np.int64))
+    vals = rng.uniform(-1, 1, rows.size).astype(dtype)
+    csr = COOMatrix((m, n), rows, cols, vals).to_csr(sum_duplicates=False)
+    plan = (build_sharded_plan(csr, shards) if shards and m
+            else DASPMatrix.from_csr(csr))
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "p.daspz"
+        save_artifact(path, plan)
+        loaded, _ = load_artifact(path)
+        x = rng.uniform(-1, 1, n).astype(dtype)
+        if isinstance(plan, ShardedPlan):
+            y0 = np.concatenate([dasp_spmv(s.dasp, x) for s in plan.shards])
+            y1 = np.concatenate([dasp_spmv(s.dasp, x)
+                                 for s in loaded.shards])
+        else:
+            y0, y1 = dasp_spmv(plan, x), dasp_spmv(loaded, x)
+        assert np.array_equal(y0, y1)
+        _assert_plans_bitwise_equal(plan, loaded)
+
+
+# ----------------------------------------------------------------------
+# corruption modes
+# ----------------------------------------------------------------------
+@pytest.fixture
+def saved(tmp_path, rng):
+    csr = random_csr(64, 400, rng, row_len_sampler=ROW_PROFILES["mixed"])
+    plan = DASPMatrix.from_csr(csr)
+    fp = fingerprint_csr(csr)
+    path = tmp_path / "p.daspz"
+    header = save_artifact(path, plan, fingerprint=fp)
+    return path, header, fp, plan, csr
+
+
+def test_flipped_payload_byte_raises(saved):
+    path, header, fp, _, _ = saved
+    _, payload_start = read_header(path)
+    blob = bytearray(path.read_bytes())
+    # flip one byte in the middle of the payload section
+    victim = payload_start + int(header["modeled"]["payload_bytes"]) // 2
+    blob[victim] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ArtifactError, match="checksum mismatch"):
+        load_artifact(path)
+    with pytest.raises(ArtifactError):
+        verify_artifact(path)
+
+
+def test_truncated_payload_raises(saved):
+    path, _, _, _, _ = saved
+    blob = path.read_bytes()
+    path.write_bytes(blob[:len(blob) - 100])
+    with pytest.raises(ArtifactError, match="truncated"):
+        load_artifact(path)
+
+
+def test_bad_magic_raises(saved):
+    path, _, _, _, _ = saved
+    blob = bytearray(path.read_bytes())
+    blob[:len(MAGIC)] = b"NOTDASPZ"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(ArtifactError, match="bad magic"):
+        read_header(path)
+
+
+def test_version_mismatch_raises(saved):
+    path, _, _, _, _ = saved
+    blob = path.read_bytes()
+    # same-length in-place edit keeps the framing valid
+    patched = blob.replace(json.dumps({"version": 1})[1:-1].encode(),
+                           json.dumps({"version": 9})[1:-1].encode(), 1)
+    assert patched != blob and len(patched) == len(blob)
+    path.write_bytes(patched)
+    with pytest.raises(ArtifactError, match="version"):
+        read_header(path)
+
+
+def test_fingerprint_mismatch_raises(saved):
+    path, _, fp, _, _ = saved
+    with pytest.raises(ArtifactError, match="fingerprint mismatch"):
+        load_artifact(path, fingerprint="0" * 32)
+    # and the right fingerprint still loads
+    load_artifact(path, fingerprint=fp)
+
+
+def test_empty_file_and_garbage_raise(tmp_path):
+    empty = tmp_path / "empty.daspz"
+    empty.write_bytes(b"")
+    with pytest.raises(ArtifactError, match="too short"):
+        read_header(empty)
+    garbage = tmp_path / "garbage.daspz"
+    garbage.write_bytes(MAGIC + (2**40).to_bytes(8, "little"))
+    with pytest.raises(ArtifactError, match="implausible header"):
+        read_header(garbage)
+
+
+# ----------------------------------------------------------------------
+# PlanStore
+# ----------------------------------------------------------------------
+def test_store_put_load_roundtrip(tmp_path, rng):
+    csr = random_csr(64, 400, rng, row_len_sampler=ROW_PROFILES["medium"])
+    plan = DASPMatrix.from_csr(csr)
+    fp = fingerprint_csr(csr)
+    store = PlanStore(tmp_path / "store")
+    store.put(fp, plan)
+    assert fp in store and len(store) == 1
+    got = store.load(fp, gate=False)
+    assert got is not None
+    loaded, load_s = got
+    assert load_s > 0
+    _assert_plans_bitwise_equal(plan, loaded)
+    snap = store.snapshot()
+    assert snap["hits"] == 1 and snap["writes"] == 1
+    # no in-flight debris after a successful publish
+    assert list((tmp_path / "store" / "tmp").iterdir()) == []
+
+
+def test_store_miss_and_quarantine(tmp_path, rng):
+    csr = random_csr(48, 300, rng)
+    plan = DASPMatrix.from_csr(csr)
+    fp = fingerprint_csr(csr)
+    store = PlanStore(tmp_path / "store")
+    assert store.load("deadbeef" * 4) is None
+    assert store.snapshot()["misses"] == 1
+    store.put(fp, plan)
+    # corrupt the published artifact
+    _flip_payload_byte(store.path_for(fp))
+    assert store.load(fp, gate=False) is None
+    snap = store.snapshot()
+    assert snap["load_failures"] == 1 and snap["quarantined"] == 1
+    assert fp not in store
+    qdir = tmp_path / "store" / "quarantine"
+    assert (qdir / f"{fp}.daspz").exists()
+    assert "checksum" in (qdir / f"{fp}.reason").read_text()
+
+
+def test_store_gc_lru(tmp_path, rng):
+    store = PlanStore(tmp_path / "store")
+    fps = []
+    for i in range(3):
+        csr = random_csr(40, 200, np.random.default_rng(i))
+        fp = fingerprint_csr(csr)
+        store.put(fp, DASPMatrix.from_csr(csr))
+        fps.append((fp, store.path_for(fp)))
+    # make the first artifact the most recently used
+    import os
+
+    for i, (fp, path) in enumerate(fps):
+        os.utime(path, (1000.0 + i, 1000.0 + i))
+    os.utime(fps[0][1], (2000.0, 2000.0))
+    keep_bytes = max(p.stat().st_size for _, p in fps)
+    removed = store.gc(capacity_bytes=keep_bytes)
+    assert fps[1][0] in removed and fps[2][0] in removed
+    assert fps[0][0] in store
+    assert store.snapshot()["gc_removed"] == 2
+
+
+def test_store_verify_raises_on_corrupt(tmp_path, rng):
+    csr = random_csr(32, 200, rng)
+    fp = fingerprint_csr(csr)
+    store = PlanStore(tmp_path / "store")
+    store.put(fp, DASPMatrix.from_csr(csr))
+    store.verify(fp)  # fine
+    _flip_payload_byte(store.path_for(fp))
+    with pytest.raises(ArtifactError):
+        store.verify(fp)
+
+
+def test_fingerprint_csr_matches_serve_alias(rng):
+    from repro.serve import matrix_fingerprint
+
+    csr = random_csr(32, 100, rng)
+    assert fingerprint_csr(csr) == matrix_fingerprint(csr)
