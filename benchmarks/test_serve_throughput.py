@@ -15,7 +15,7 @@ over representative-suite matrices):
 import numpy as np
 
 from benchmarks.conftest import emit
-from repro.bench import markdown_table
+from repro.bench import markdown_table, record_bench
 from repro.serve import WorkloadConfig, run_workload
 
 #: Pool drawn from the representative suite (Zipf-ranked in this order).
@@ -55,6 +55,13 @@ def test_batched_serving_throughput(benchmark):
     emit("serve_throughput",
          table + f"\n\nbatched vs request-at-a-time throughput: "
          f"{speedup:.2f}x (target >= 4x)")
+    pct = batched.latency_percentiles()
+    record_bench("serve", {
+        "throughput_rps": batched.throughput_rps,
+        "batching_speedup": speedup,
+        "p50_latency_s": pct[50], "p99_latency_s": pct[99],
+        "mma_utilization": batched.mma_utilization,
+    })
 
     # the tentpole claim: batching to k = MMA_N multiplies modeled
     # device-time throughput >= 4x on the same traffic

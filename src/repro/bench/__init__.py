@@ -10,10 +10,14 @@ from .report import (
     save_csv,
 )
 from .runner import ComparisonResult, run_comparison
+from .trajectory import bench_path, load_trajectory, record_bench
 
 __all__ = [
     "ComparisonResult",
+    "bench_path",
     "experiments",
+    "load_trajectory",
+    "record_bench",
     "RESULTS_DIR",
     "markdown_table",
     "paper_vs_measured",

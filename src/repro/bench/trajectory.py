@@ -1,0 +1,61 @@
+"""Perf-trajectory artifacts: append-only ``results/BENCH_<name>.json``.
+
+Each gate run of a benchmark suite appends one small JSON record
+(modeled throughput, latency percentiles, wall-clock, whatever the
+suite considers its headline numbers) to a per-suite file, so the
+history of a branch's performance is a single diffable artifact that CI
+can upload.  The file is a JSON array; :func:`record_bench` reads it,
+appends, and rewrites atomically (tmp + ``os.replace``), tolerating a
+missing or corrupt file by starting a fresh trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from .report import results_path
+
+#: Records kept per trajectory file (oldest dropped beyond this).
+DEFAULT_LIMIT = 500
+
+
+def bench_path(name: str, results_dir=None) -> Path:
+    """``results/BENCH_<name>.json`` (or under *results_dir*)."""
+    filename = f"BENCH_{name}.json"
+    if results_dir is not None:
+        d = Path(results_dir)
+        d.mkdir(parents=True, exist_ok=True)
+        return d / filename
+    return results_path(filename)
+
+
+def load_trajectory(name: str, results_dir=None) -> list[dict]:
+    """The existing records, oldest first ([] when absent/corrupt)."""
+    path = bench_path(name, results_dir)
+    try:
+        records = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    return records if isinstance(records, list) else []
+
+
+def record_bench(name: str, record: dict, *, results_dir=None,
+                 limit: int = DEFAULT_LIMIT) -> Path:
+    """Append *record* to the ``BENCH_<name>.json`` trajectory.
+
+    A ``recorded_unix`` wall-clock timestamp is stamped onto the record
+    (callers measuring a run's own wall time pass it explicitly, e.g.
+    ``wall_s``).  Returns the artifact path.
+    """
+    path = bench_path(name, results_dir)
+    records = load_trajectory(name, results_dir)
+    records.append({"recorded_unix": round(time.time(), 3), **record})
+    if limit is not None and len(records) > limit:
+        records = records[-limit:]
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path

@@ -20,6 +20,11 @@ Commands
     (:mod:`repro.serve`) on synthetic open-loop traffic and print the
     ServerStats summary (``--trace`` adds the span-tree / attribution
     report, exportable as JSON and Prometheus text).
+``cluster-sim``
+    Simulate N serving replicas behind consistent-hash routing with
+    health-aware failover and optional elastic scaling
+    (:mod:`repro.cluster`); ``--bench-json`` appends a perf-trajectory
+    record to ``results/BENCH_cluster.json``.
 ``stats``
     Run a small traced workload and print the :mod:`repro.obs` output
     in table, JSON or Prometheus form.
@@ -233,6 +238,89 @@ def cmd_serve_sim(args) -> int:
     if trace:
         _print_trace_report(obs, stats, json_path=args.trace_json,
                             prom_path=args.trace_prom)
+    return 0
+
+
+def cmd_cluster_sim(args) -> int:
+    from .cluster import ClusterConfig, ElasticConfig, run_cluster_workload
+    from .obs import Obs, Tracer
+    from .serve import ChaosConfig
+
+    chaos = None
+    if args.chaos:
+        chaos = ChaosConfig(fault_rate=args.chaos_rate, seed=args.chaos_seed)
+    entries = (synthetic_collection(args.synthetic, seed=args.seed)
+               if args.synthetic else None)
+    elastic = None
+    if args.elastic:
+        elastic = ElasticConfig(min_replicas=args.min_replicas,
+                                max_replicas=args.max_replicas)
+    cfg = ClusterConfig(
+        n_requests=args.requests,
+        rate_rps=args.rate,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        n_matrices=args.matrices,
+        entries=entries,
+        dtype=args.dtype,
+        device=args.device,
+        max_batch=args.max_batch,
+        flush_timeout_s=args.timeout_us * 1e-6,
+        queue_depth=args.queue_depth,
+        deadline_s=args.deadline_us * 1e-6 if args.deadline_us else None,
+        chaos=chaos,
+        store=args.store,
+        warm_start=bool(args.warm_start),
+        n_replicas=args.replicas,
+        vnodes=args.vnodes,
+        ring_seed=args.ring_seed,
+        probe_interval_s=(args.probe_interval_us * 1e-6
+                          if args.probe_interval_us else None),
+        fail_replica=args.fail_replica,
+        fail_rate=args.fail_rate,
+        elastic=elastic,
+    )
+    obs = Obs(tracer=Tracer()) if args.trace else Obs()
+    import time as _time
+
+    t0 = _time.perf_counter()
+    stats = run_cluster_workload(cfg, obs=obs)
+    wall_s = _time.perf_counter() - t0
+    print(stats.summary_table())
+    rows = [(rid, f"{s.n_requests:,}", f"{s.n_completed:,}",
+             f"{s.throughput_rps:,.0f}", f"{s.cache_hit_rate:.1%}",
+             "no" if stats.health.get(rid, {}).get("healthy", True)
+             else "DOWN")
+            for rid, s in stats.replicas.items()]
+    print()
+    print(markdown_table(("replica", "requests", "completed", "req/s",
+                          "cache hits", "unhealthy"), rows))
+    if args.trace:
+        by_replica = obs.tracer.device_time_by_attr("replica")
+        if by_replica:
+            print()
+            print(markdown_table(
+                ("replica", "attributed device ms"),
+                [(rid, f"{sec * 1e3:.3f}")
+                 for rid, sec in sorted(by_replica.items(),
+                                        key=lambda kv: str(kv[0]))]))
+    if args.bench_json:
+        from .bench import record_bench
+
+        pct = stats.latency_percentiles((50.0, 99.0))
+        path = record_bench("cluster", {
+            "replicas": stats.n_replicas,
+            "seed": cfg.seed,
+            "requests": stats.n_requests,
+            "completed": stats.n_completed,
+            "throughput_rps": stats.throughput_rps,
+            "in_deadline_fraction": stats.in_deadline_fraction,
+            "p50_latency_s": pct[50.0],
+            "p99_latency_s": pct[99.0],
+            "failovers": stats.n_failover,
+            "wall_s": round(wall_s, 3),
+        }, results_dir=args.bench_dir)
+        print(f"\ntrajectory record appended to {path}")
     return 0
 
 
@@ -506,6 +594,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the metrics in Prometheus text format "
                         "to FILE")
     p.set_defaults(fn=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "cluster-sim",
+        help="simulate N serving replicas behind consistent-hash routing "
+             "(repro.cluster)")
+    p.add_argument("--replicas", type=int, default=4,
+                   help="initial replica count (N=1 matches serve-sim "
+                        "bit for bit)")
+    p.add_argument("--requests", type=int, default=10_000,
+                   help="open-loop request count")
+    p.add_argument("--rate", type=float, default=None,
+                   help="offered rate (req/s); default saturates N replicas")
+    p.add_argument("--zipf", type=float, default=1.1)
+    p.add_argument("--matrices", type=int, default=4,
+                   help="pool size taken from the representative suite")
+    p.add_argument("--synthetic", type=int, default=None, metavar="N",
+                   help="use an N-matrix synthetic pool instead of the "
+                        "representative suite (much faster to model)")
+    p.add_argument("--device", default="A100", choices=("A100", "H800"))
+    p.add_argument("--dtype", default="float64",
+                   choices=("float64", "float16"))
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--timeout-us", type=float, default=200.0)
+    p.add_argument("--queue-depth", type=int, default=256)
+    p.add_argument("--deadline-us", type=float, default=None)
+    p.add_argument("--seed", type=int, default=2023)
+    p.add_argument("--vnodes", type=int, default=128,
+                   help="virtual nodes per replica on the hash ring")
+    p.add_argument("--ring-seed", type=int, default=0,
+                   help="seed of the ring's stable hash")
+    p.add_argument("--probe-interval-us", type=float, default=None,
+                   help="health-probe period (modeled us; default ~200 "
+                        "probes per run)")
+    p.add_argument("--fail-replica", type=int, default=None, metavar="I",
+                   help="fault-inject replica index I with kernel errors "
+                        "(failover demo)")
+    p.add_argument("--fail-rate", type=float, default=1.0)
+    p.add_argument("--chaos", action="store_true",
+                   help="inject a seeded fault mix on every replica")
+    p.add_argument("--chaos-rate", type=float, default=0.05)
+    p.add_argument("--chaos-seed", type=int, default=7)
+    p.add_argument("--elastic", action="store_true",
+                   help="enable queue-depth-driven elastic scaling")
+    p.add_argument("--min-replicas", type=int, default=1)
+    p.add_argument("--max-replicas", type=int, default=8)
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="shared plan store for ring-scoped warm-up")
+    p.add_argument("--warm-start", action="store_true",
+                   help="each replica preloads its ring-assigned "
+                        "fingerprints from --store")
+    p.add_argument("--trace", action="store_true",
+                   help="shared tracer with per-replica device-time "
+                        "attribution")
+    p.add_argument("--bench-json", action="store_true",
+                   help="append a perf-trajectory record to "
+                        "results/BENCH_cluster.json")
+    p.add_argument("--bench-dir", metavar="DIR", default=None,
+                   help="trajectory output directory (default: results/)")
+    p.set_defaults(fn=cmd_cluster_sim)
 
     p = sub.add_parser(
         "stats",

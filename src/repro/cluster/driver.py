@@ -1,0 +1,481 @@
+"""Cluster driver — the virtual-time workload replayed over N replicas.
+
+Extends the single-replica driver (:func:`repro.serve.run_workload`) to
+a cluster-in-a-process: N :class:`~repro.serve.driver.ReplicaSim`
+replicas behind a consistent-hash ring, a probe loop feeding the
+hysteresis health monitor, health-aware failover, ring-scoped
+warm-start from a shared :class:`~repro.store.PlanStore`, and
+(optionally) elastic scaling from queue-depth signals.
+
+Everything stays **bit-deterministic** for a given config: traffic is
+pre-drawn from one seeded stream (the same draw order as the single
+driver), replicas execute sequentially in virtual time, health probes
+only *read* replica state, and all hashing is seeded blake2b.  Two
+properties the tests pin:
+
+* **N=1 exact parity** — with one replica, every stat the cluster
+  reports (latencies included) is bit-identical to
+  :func:`repro.serve.run_workload` on the same config, because both
+  drive the same :class:`ReplicaSim` core with the same RNG streams
+  and event ordering;
+* **scale-out** — the default offered rate is per-replica
+  (``N``x the single-replica saturating rate), so modeled aggregate
+  throughput grows ~linearly with N on a Zipf workload, and stays
+  ≥3x at N=4 even with one replica fault-injected unhealthy (its
+  traffic reroutes via the ring preference walk).
+
+The driver can replay millions of requests: replicas skip
+materializing result vectors (``materialize_results=False`` — stats
+and latencies are unaffected) and request objects are transient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import check, default_rng
+from ..gpu.device import get_device
+from ..obs import Obs
+from ..resilience import FaultInjector, FaultPlan, FaultRule
+from ..serve.batcher import SpMVRequest
+from ..serve.driver import (
+    ReplicaSim,
+    WorkloadConfig,
+    _build_injector,
+    _matrix_pool,
+    _ModeledDevice,
+    auto_rate,
+    zipf_weights,
+)
+from ..serve.stats import ServerStats
+from .health import HealthConfig, ReplicaHealth, ReplicaSignals
+from .ring import DEFAULT_VNODES, HashRing
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Queue-depth-driven elastic scaling policy.
+
+    Scale up (spawn a replica, rebalance the ring minimally, re-warm
+    the moved fingerprints from the store) when the mean backlog across
+    active replicas is at least ``scale_up_depth`` at a probe; scale
+    down (drain the newest spawned replica back out) when it is at most
+    ``scale_down_depth``.  ``cooldown_s`` virtual seconds must pass
+    between actions so one burst cannot thrash the membership.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_up_depth: float = 8.0
+    scale_down_depth: float = 0.25
+    cooldown_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        check(self.min_replicas >= 1, "min_replicas must be >= 1")
+        check(self.max_replicas >= self.min_replicas,
+              "max_replicas must be >= min_replicas")
+        check(self.scale_up_depth > self.scale_down_depth,
+              "scale_up_depth must exceed scale_down_depth")
+        check(self.cooldown_s >= 0.0, "cooldown_s must be >= 0")
+
+
+@dataclass
+class ClusterConfig(WorkloadConfig):
+    """One cluster workload: the single-replica knobs plus placement.
+
+    Attributes
+    ----------
+    n_replicas:
+        Initial replica count.  ``rate_rps=None`` auto-scales the
+        offered rate to ``n_replicas`` x the single-replica saturating
+        default, so each N is loaded equally per replica.
+    vnodes / ring_seed:
+        Consistent-hash ring construction (:class:`HashRing`).
+    health:
+        :class:`HealthConfig` hysteresis thresholds for routing.
+    probe_interval_s:
+        Virtual seconds between health probes (``None`` derives ~200
+        probes over the expected run).
+    fail_replica / fail_rate:
+        Fault-inject one replica (by index) with transient kernel
+        errors at ``fail_rate`` — the unhealthy-failover gate: its
+        breakers open, health marks it down, traffic reroutes.
+    elastic:
+        Optional :class:`ElasticConfig`; ``None`` keeps membership
+        fixed.
+    """
+
+    n_replicas: int = 4
+    vnodes: int = DEFAULT_VNODES
+    ring_seed: int = 0
+    health: HealthConfig = field(default_factory=HealthConfig)
+    probe_interval_s: float | None = None
+    fail_replica: int | None = None
+    fail_rate: float = 1.0
+    elastic: ElasticConfig | None = None
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated result of one cluster run.
+
+    ``replicas`` maps replica id -> that replica's full
+    :class:`ServerStats` (its private metrics registry); the aggregate
+    properties fold them together the way a load balancer's dashboard
+    would.  ``duration_s`` is the cluster makespan (latest completion
+    on any replica), so ``throughput_rps`` reflects wall-parallel
+    replicas, not summed busy time.
+    """
+
+    replicas: dict[str, ServerStats]
+    routed: dict[str, int]
+    n_failover: int = 0
+    n_unroutable: int = 0
+    n_probes: int = 0
+    n_transitions_down: int = 0
+    n_transitions_up: int = 0
+    n_scale_up: int = 0
+    n_scale_down: int = 0
+    n_moved_fingerprints: int = 0
+    health: dict = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _sum(self, attr: str):
+        return sum(getattr(s, attr) for s in self.replicas.values())
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def n_requests(self) -> int:
+        return self._sum("n_requests")
+
+    @property
+    def n_completed(self) -> int:
+        return self._sum("n_completed")
+
+    @property
+    def n_rejected(self) -> int:
+        return self._sum("n_rejected")
+
+    @property
+    def n_failed(self) -> int:
+        return self._sum("n_failed")
+
+    @property
+    def n_deadline_exceeded(self) -> int:
+        return self._sum("n_deadline_exceeded")
+
+    @property
+    def degraded_requests(self) -> int:
+        return self._sum("degraded_requests")
+
+    @property
+    def device_busy_s(self) -> float:
+        return self._sum("device_busy_s")
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per virtual second of cluster makespan."""
+        return (self.n_completed / self.duration_s
+                if self.duration_s > 0 else 0.0)
+
+    @property
+    def in_deadline_fraction(self) -> float:
+        """Offered requests answered in deadline (strict: rejected,
+        expired and failed requests all count against it)."""
+        offered = self.n_requests
+        return (self.n_completed / offered) if offered > 0 else 1.0
+
+    def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> dict[float, float]:
+        """Percentiles over every completed request, all replicas."""
+        merged = [lat for s in self.replicas.values()
+                  for lat in s.latencies_s]
+        if not merged:
+            return {q: float("nan") for q in qs}
+        arr = np.asarray(merged)
+        return {q: float(np.percentile(arr, q)) for q in qs}
+
+    def summary_table(self) -> str:
+        from ..bench import markdown_table
+
+        pct = self.latency_percentiles()
+        rows = [
+            ("replicas", str(self.n_replicas)),
+            ("requests offered", f"{self.n_requests:,}"),
+            ("completed", f"{self.n_completed:,}"),
+            ("rejected / expired / failed",
+             f"{self.n_rejected:,} / {self.n_deadline_exceeded:,} / "
+             f"{self.n_failed:,}"),
+            ("degraded", f"{self.degraded_requests:,}"),
+            ("in-deadline fraction", f"{self.in_deadline_fraction:.4f}"),
+            ("throughput", f"{self.throughput_rps:,.0f} req/s"),
+            ("p50 / p95 / p99 latency",
+             f"{pct[50.0] * 1e6:,.1f} / {pct[95.0] * 1e6:,.1f} / "
+             f"{pct[99.0] * 1e6:,.1f} us"),
+            ("failovers", f"{self.n_failover:,}"),
+            ("health probes / down / up",
+             f"{self.n_probes:,} / {self.n_transitions_down} / "
+             f"{self.n_transitions_up}"),
+            ("scale up / down / moved fps",
+             f"{self.n_scale_up} / {self.n_scale_down} / "
+             f"{self.n_moved_fingerprints}"),
+            ("makespan", f"{self.duration_s:.4f} s"),
+        ]
+        return markdown_table(("cluster metric", "value"), rows)
+
+
+def _replica_injector(cfg: ClusterConfig, pool, index: int):
+    """The fault injector for replica *index* (chaos mix, plus the
+    always-on kernel-error rule when this is the fail-injected one)."""
+    injector = _build_injector(cfg, pool)
+    if cfg.fail_replica is not None and index == cfg.fail_replica:
+        rule = FaultRule(kind="kernel_error", rate=cfg.fail_rate)
+        if injector is None:
+            seed = cfg.chaos.seed if cfg.chaos is not None else cfg.seed
+            injector = FaultInjector(FaultPlan(rules=[rule],
+                                               seed=seed + 101))
+        else:
+            injector.plan.rules.append(rule)
+    return injector
+
+
+class _Cluster:
+    """Mutable cluster state the arrival loop and probe loop share."""
+
+    def __init__(self, cfg: ClusterConfig, *, device, dtype, pool,
+                 modeled, retry_rng, obs: Obs) -> None:
+        self.cfg = cfg
+        self.device = device
+        self.dtype = dtype
+        self.pool = pool
+        self.modeled = modeled
+        self.retry_rng = retry_rng
+        self.obs = obs
+        self.ring = HashRing(vnodes=cfg.vnodes, seed=cfg.ring_seed)
+        self.health = ReplicaHealth(cfg.health, obs=obs)
+        self.replicas: dict[str, ReplicaSim] = {}
+        self._spawned = 0
+        self._routed = obs.counter("cluster.driver.routed_total")
+        self._failover = obs.counter("cluster.driver.failover_total")
+        self._unroutable = obs.counter("cluster.driver.unroutable_total")
+        self._scale_up = obs.counter("cluster.driver.scale_up_total")
+        self._scale_down = obs.counter("cluster.driver.scale_down_total")
+        self._moved = obs.counter("cluster.driver.moved_fingerprints_total")
+        # deadline-miss deltas between probes, per replica
+        self._prev: dict[str, tuple[int, int]] = {}
+        for _ in range(cfg.n_replicas):
+            self.spawn(warm=False)
+
+    # ------------------------------------------------------------------
+    def spawn(self, *, warm: bool = True) -> str:
+        """Add one replica; with ``warm``, re-warm the fingerprints the
+        rebalanced ring moved onto it from the shared store."""
+        cfg = self.cfg
+        index = self._spawned
+        rid = f"r{index}"
+        self._spawned += 1
+        fps = [fp for _, fp, _ in self.pool]
+        before = {fp: self.ring.lookup(fp) for fp in fps} \
+            if (warm and len(self.ring)) else {}
+        replica_obs = Obs(tracer=self.obs.tracer.bound(replica=rid)
+                          if self.obs.tracing else None)
+        replica = ReplicaSim(
+            cfg, device=self.device, dtype=self.dtype, pool=self.pool,
+            obs=replica_obs, injector=_replica_injector(cfg, self.pool, index),
+            retry_rng=self.retry_rng, modeled=self.modeled, store=cfg.store,
+            replica_id=rid, materialize_results=False)
+        self.replicas[rid] = replica
+        self.ring.add(rid)
+        self._prev[rid] = (0, 0)
+        if before:
+            moved = [fp for fp in fps if self.ring.lookup(fp) != before[fp]]
+            self._moved.inc(len(moved))
+            if moved and replica.registry.store is not None:
+                replica.warm(moved)
+        return rid
+
+    def drain_replica(self, rid: str, now: float) -> None:
+        """Remove *rid* from routing; it finishes its backlog in place.
+
+        The replica object stays in :attr:`replicas` (it still advances
+        with virtual time and its stats are reported); only the ring
+        membership — hence new traffic — changes, and that rebalance
+        moves exactly the keys the replica owned.
+        """
+        self.ring.remove(rid)
+        self.health.forget(rid)
+        # flush its half-formed batches so parked requests complete
+        replica = self.replicas[rid]
+        replica.enqueue(replica.batcher.flush_all(now))
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[str]:
+        """Routable replica ids, in spawn order (deterministic)."""
+        return [rid for rid in self.replicas if rid in self.ring]
+
+    def advance_all(self, now: float) -> None:
+        for replica in self.replicas.values():
+            replica.advance_to(now)
+
+    def route(self, fp: str) -> str:
+        """Healthy-first preference walk (ring order breaks ties)."""
+        prefs = self.ring.preference(fp)
+        target = None
+        for rid in prefs:
+            if self.health.is_healthy(rid):
+                target = rid
+                break
+        if target is None:
+            target = prefs[0]  # every replica down: home beats dropping
+            self._unroutable.inc()
+        self._routed.inc()
+        if target != prefs[0]:
+            self._failover.inc()
+        return target
+
+    def offer(self, req: SpMVRequest, now: float, fp: str) -> bool:
+        return self.replicas[self.route(fp)].offer(req, now)
+
+    # ------------------------------------------------------------------
+    def probe(self) -> None:
+        """Read every active replica's signals into the health monitor."""
+        for rid in self.active():
+            replica = self.replicas[rid]
+            stats = replica.stats
+            prev_miss, prev_req = self._prev[rid]
+            d_req = stats.n_requests - prev_req
+            d_miss = stats.n_deadline_exceeded - prev_miss
+            self._prev[rid] = (stats.n_deadline_exceeded, stats.n_requests)
+            self.health.observe(rid, ReplicaSignals(
+                queue_depth=replica.backlog_depth,
+                open_circuits=replica.open_circuits(),
+                miss_rate=(d_miss / d_req) if d_req > 0 else 0.0))
+
+    def autoscale(self, now: float, last_action: float) -> float:
+        """Apply the elastic policy at one probe; returns the new
+        last-action time (unchanged when nothing happened)."""
+        policy = self.cfg.elastic
+        if policy is None or now - last_action < policy.cooldown_s:
+            return last_action
+        active = self.active()
+        depths = [self.replicas[rid].backlog_depth for rid in active]
+        mean_depth = sum(depths) / len(depths) if depths else 0.0
+        if (mean_depth >= policy.scale_up_depth
+                and len(active) < policy.max_replicas):
+            self.spawn()
+            self._scale_up.inc()
+            return now
+        if (mean_depth <= policy.scale_down_depth
+                and len(active) > policy.min_replicas):
+            self.drain_replica(active[-1], now)  # newest spawned first
+            self._scale_down.inc()
+            return now
+        return last_action
+
+
+def run_cluster_workload(cfg: ClusterConfig, *,
+                         obs: Obs | None = None) -> ClusterStats:
+    """Simulate *cfg* over N replicas; returns :class:`ClusterStats`.
+
+    ``obs`` carries the cluster-level ``cluster.driver.*`` counters and
+    (optionally) a shared :class:`~repro.obs.Tracer` — each replica
+    then traces through ``tracer.bound(replica=rid)``, so one trace
+    store holds every replica's trees with per-replica attribution
+    (``tracer.device_time_by_attr("replica")``).  Per-replica *metrics*
+    stay in private registries so gauges never collide.
+    """
+    check(cfg.n_requests >= 1, "n_requests must be >= 1")
+    check(cfg.n_replicas >= 1, "n_replicas must be >= 1")
+    if cfg.fail_replica is not None:
+        check(0 <= cfg.fail_replica < cfg.n_replicas,
+              "fail_replica outside the initial replica set")
+    if obs is None or not obs.enabled:
+        obs = Obs()
+    device = get_device(cfg.device)
+    dtype = np.dtype(cfg.dtype)
+    rng = default_rng(cfg.seed)
+    pool = _matrix_pool(cfg)
+    weights = zipf_weights(len(pool), cfg.zipf_s)
+    modeled = _ModeledDevice(device, dtype.itemsize * 8,
+                             workers=cfg.shard_workers)
+    retry_rng = default_rng(cfg.seed + 1)  # shared jitter stream
+    cluster = _Cluster(cfg, device=device, dtype=dtype, pool=pool,
+                       modeled=modeled, retry_rng=retry_rng, obs=obs)
+
+    if cfg.warm_start:
+        # Ring-scoped warm-up: each replica preloads only its assigned
+        # fingerprints from the shared store (off the virtual clock).
+        fps = [fp for _, fp, _ in pool]
+        assigned = cluster.ring.assignments(fps)
+        for rid in cluster.active():
+            cluster.replicas[rid].warm(
+                [fp for fp in fps if fp in set(assigned[rid])])
+
+    rate = cfg.rate_rps
+    if rate is None:
+        rate = auto_rate(pool, modeled, replicas=cfg.n_replicas)
+
+    # Traffic pre-draw: the exact stream (and order) of the
+    # single-replica driver, which the N=1 parity gate depends on.
+    gaps = rng.exponential(1.0 / rate, cfg.n_requests)
+    arrivals = np.cumsum(gaps)
+    choices = rng.choice(len(pool), size=cfg.n_requests, p=weights)
+    xs = {fp: rng.uniform(-1, 1, csr.shape[1]).astype(dtype)
+          for _, fp, csr in pool}
+
+    probe_interval = cfg.probe_interval_s
+    if probe_interval is None:
+        probe_interval = max(float(arrivals[-1]) / 200.0, 1e-6)
+
+    deadline_for = (lambda now: now + cfg.deadline_s) \
+        if cfg.deadline_s is not None else (lambda now: float("inf"))
+
+    next_probe = probe_interval
+    last_scale = float("-inf")  # cooldown gates between actions only
+    for i in range(cfg.n_requests):
+        now = float(arrivals[i])
+        while next_probe <= now:
+            cluster.advance_all(next_probe)
+            cluster.probe()
+            last_scale = cluster.autoscale(next_probe, last_scale)
+            next_probe += probe_interval
+        cluster.advance_all(now)
+        _, fp, _csr = pool[choices[i]]
+        req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now,
+                          deadline_s=deadline_for(now))
+        cluster.offer(req, now, fp)
+
+    end = float(arrivals[-1])
+    for replica in cluster.replicas.values():
+        replica.drain(end)
+
+    reg = obs.registry
+    stats = ClusterStats(
+        replicas={rid: r.stats for rid, r in cluster.replicas.items()},
+        routed={rid: r.stats.n_requests
+                for rid, r in cluster.replicas.items()},
+        n_failover=int(reg.counter(
+            "cluster.driver.failover_total").value),
+        n_unroutable=int(reg.counter(
+            "cluster.driver.unroutable_total").value),
+        n_probes=int(reg.counter("cluster.health.probes_total").value),
+        n_transitions_down=int(reg.counter(
+            "cluster.health.transitions_total", {"to": "down"}).value),
+        n_transitions_up=int(reg.counter(
+            "cluster.health.transitions_total", {"to": "up"}).value),
+        n_scale_up=int(reg.counter(
+            "cluster.driver.scale_up_total").value),
+        n_scale_down=int(reg.counter(
+            "cluster.driver.scale_down_total").value),
+        n_moved_fingerprints=int(reg.counter(
+            "cluster.driver.moved_fingerprints_total").value),
+        health=cluster.health.snapshot(),
+        duration_s=max((r.stats.duration_s
+                        for r in cluster.replicas.values()), default=end),
+    )
+    return stats

@@ -1,0 +1,173 @@
+"""Replica health — hysteresis over breaker/queue/deadline signals.
+
+:class:`ReplicaHealth` turns the raw signals a replica already exposes
+(the ``serve.scheduler.queue_depth`` gauge, open circuit-breaker
+counts, the deadline-miss rate since the previous probe) into a binary
+healthy/unhealthy routing decision with **hysteresis**: a replica is
+marked down only after ``down_after`` consecutive bad probes and
+marked up again only after ``up_after`` consecutive good ones, so a
+single queue spike or one half-open breaker probe cannot flap routing.
+
+The monitor never contacts replicas itself — callers sample signals
+(:meth:`repro.serve.SpMVServer.signals` on the real server, replica
+state directly in the virtual-time cluster driver) and feed them to
+:meth:`ReplicaHealth.observe`.  That keeps it clock-free and equally
+usable under wall time and virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds and hysteresis of the replica health monitor.
+
+    A probe is *bad* when any enabled threshold trips: queue depth at
+    or above ``max_queue_depth``, more than ``max_open_circuits`` open
+    (or half-open) breaker circuits, or a deadline-miss rate above
+    ``max_miss_rate`` over the probe interval.  ``None`` disables a
+    threshold.
+    """
+
+    max_queue_depth: int | None = 64
+    max_open_circuits: int | None = 0
+    max_miss_rate: float | None = 0.5
+    down_after: int = 2
+    up_after: int = 3
+
+    def __post_init__(self) -> None:
+        check(self.down_after >= 1, "down_after must be >= 1")
+        check(self.up_after >= 1, "up_after must be >= 1")
+        if self.max_queue_depth is not None:
+            check(self.max_queue_depth >= 1, "max_queue_depth must be >= 1")
+        if self.max_open_circuits is not None:
+            check(self.max_open_circuits >= 0,
+                  "max_open_circuits must be >= 0")
+        if self.max_miss_rate is not None:
+            check(0.0 <= self.max_miss_rate <= 1.0,
+                  "max_miss_rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ReplicaSignals:
+    """One probe's worth of raw replica signals.
+
+    ``queue_depth`` counts work waiting for the device (scheduler queue
+    on the real server, flushed-batch backlog in the virtual driver);
+    ``open_circuits`` counts fingerprints whose breaker is not closed;
+    ``miss_rate`` is deadline misses / requests since the last probe
+    (0.0 when idle).
+    """
+
+    queue_depth: int = 0
+    open_circuits: int = 0
+    miss_rate: float = 0.0
+
+
+class _ReplicaState:
+    __slots__ = ("healthy", "bad_streak", "good_streak", "last")
+
+    def __init__(self) -> None:
+        self.healthy = True
+        self.bad_streak = 0
+        self.good_streak = 0
+        self.last = ReplicaSignals()
+
+
+class ReplicaHealth:
+    """Hysteresis-filtered health state per replica id.
+
+    ``obs`` backs ``cluster.health.probes_total``,
+    ``cluster.health.transitions_total{to=up|down}`` and a
+    ``cluster.health.unhealthy`` gauge; it defaults to a fresh private
+    handle (per-run-object convention).
+    """
+
+    def __init__(self, config: HealthConfig | None = None, *,
+                 obs=None) -> None:
+        from ..obs import Obs
+
+        self.config = config if config is not None else HealthConfig()
+        self._states: dict[str, _ReplicaState] = {}
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._probes = obs.counter("cluster.health.probes_total")
+        self._unhealthy_gauge = obs.gauge("cluster.health.unhealthy")
+
+    # ------------------------------------------------------------------
+    def _state(self, replica_id: str) -> _ReplicaState:
+        s = self._states.get(replica_id)
+        if s is None:
+            s = self._states[replica_id] = _ReplicaState()
+        return s
+
+    def is_bad(self, signals: ReplicaSignals) -> bool:
+        """Does one probe trip any enabled threshold?"""
+        cfg = self.config
+        if (cfg.max_queue_depth is not None
+                and signals.queue_depth >= cfg.max_queue_depth):
+            return True
+        if (cfg.max_open_circuits is not None
+                and signals.open_circuits > cfg.max_open_circuits):
+            return True
+        if (cfg.max_miss_rate is not None
+                and signals.miss_rate > cfg.max_miss_rate):
+            return True
+        return False
+
+    def observe(self, replica_id: str, signals: ReplicaSignals) -> bool:
+        """Fold one probe in; returns the (possibly updated) health."""
+        s = self._state(replica_id)
+        s.last = signals
+        self._probes.inc()
+        if self.is_bad(signals):
+            s.bad_streak += 1
+            s.good_streak = 0
+            if s.healthy and s.bad_streak >= self.config.down_after:
+                s.healthy = False
+                self._transition("down")
+        else:
+            s.good_streak += 1
+            s.bad_streak = 0
+            if not s.healthy and s.good_streak >= self.config.up_after:
+                s.healthy = True
+                self._transition("up")
+        return s.healthy
+
+    def _transition(self, to: str) -> None:
+        self.obs.counter("cluster.health.transitions_total",
+                         {"to": to}).inc()
+        self._unhealthy_gauge.set(self.unhealthy_count())
+
+    # ------------------------------------------------------------------
+    def is_healthy(self, replica_id: str) -> bool:
+        """Unknown replicas are healthy (no probe = no evidence)."""
+        s = self._states.get(replica_id)
+        return s.healthy if s is not None else True
+
+    def unhealthy_count(self) -> int:
+        return sum(1 for s in self._states.values() if not s.healthy)
+
+    def forget(self, replica_id: str) -> None:
+        """Drop a drained replica's state (elastic scale-down)."""
+        self._states.pop(replica_id, None)
+        self._unhealthy_gauge.set(self.unhealthy_count())
+
+    def snapshot(self) -> dict[str, dict]:
+        """replica id -> {healthy, streaks, last signals} for reports."""
+        return {
+            rid: {
+                "healthy": s.healthy,
+                "bad_streak": s.bad_streak,
+                "good_streak": s.good_streak,
+                "queue_depth": s.last.queue_depth,
+                "open_circuits": s.last.open_circuits,
+                "miss_rate": s.last.miss_rate,
+            }
+            for rid, s in sorted(self._states.items())
+        }

@@ -1,0 +1,208 @@
+"""`Router` — consistent-hash request placement over SpMV replicas.
+
+Fronts N :class:`~repro.serve.server.SpMVServer` replicas with the
+placement policy the cluster driver simulates at scale:
+
+* **cache affinity** — a fingerprint's requests all land on its ring
+  home (:class:`~repro.cluster.ring.HashRing`), so each replica's plan
+  cache and store tier only ever hold the fingerprints assigned to it;
+* **health-aware failover** — the preference list is walked past
+  replicas the :class:`~repro.cluster.health.ReplicaHealth` monitor has
+  marked down (and past ones answering with queue-full backpressure),
+  so requests reroute instead of failing while a replica is sick;
+* **ring-scoped warm-up** — :meth:`warm` preloads each replica's
+  assigned fingerprints from the shared
+  :class:`~repro.store.PlanStore`, concurrently across replicas (the
+  store's advisory read lock makes the shared directory safe).
+
+Matrices are registered on *every* replica (the CSR is cheap to hold;
+plans are built lazily), so any failover target can serve any
+fingerprint — at worst it rebuilds the plan its cache never saw.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .._util import ReproError, check
+from ..obs import Obs
+from ..serve.plan_cache import matrix_fingerprint
+from ..serve.scheduler import QueueFullError
+from .health import HealthConfig, ReplicaHealth, ReplicaSignals
+from .ring import DEFAULT_VNODES, HashRing
+
+
+class NoHealthyReplicaError(ReproError):
+    """Every preference-list replica refused the request."""
+
+
+class Router:
+    """Place requests onto replicas by fingerprint (see module docstring).
+
+    Parameters
+    ----------
+    servers:
+        ``{replica_id: SpMVServer}``, or a sequence of servers that get
+        ids ``r0, r1, …`` in order.
+    vnodes / seed:
+        Ring construction knobs (:class:`HashRing`).
+    health:
+        :class:`HealthConfig` thresholds for the probe-driven monitor
+        (pass ``None`` for defaults).
+    obs:
+        Shared handle for the ``cluster.router.*`` counters and the
+        health monitor's instruments; fresh private one by default.
+    """
+
+    def __init__(self, servers, *, vnodes: int = DEFAULT_VNODES,
+                 seed: int = 0, health: HealthConfig | None = None,
+                 obs: Obs | None = None) -> None:
+        if not isinstance(servers, dict):
+            servers = {f"r{i}": s for i, s in enumerate(servers)}
+        check(bool(servers), "need at least one replica")
+        self.servers: dict[str, object] = dict(servers)
+        self.ring = HashRing(self.servers, vnodes=vnodes, seed=seed)
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self.health = ReplicaHealth(health, obs=obs)
+        self._routed = obs.counter("cluster.router.routed_total")
+        self._failover = obs.counter("cluster.router.failover_total")
+        self._no_replica = obs.counter("cluster.router.unroutable_total")
+        self._lock = threading.Lock()
+        # previous (deadline_exceeded, requests) per replica, for
+        # miss-rate deltas between probes
+        self._prev: dict[str, tuple[int, int]] = {
+            rid: (0, 0) for rid in self.servers}
+
+    # ------------------------------------------------------------------
+    def register(self, csr) -> str:
+        """Register *csr* on every replica; returns its fingerprint.
+
+        All replicas can serve all matrices (failover capability); only
+        the ring home gets the fingerprint's traffic while healthy.
+        """
+        fp = None
+        for server in self.servers.values():
+            fp = server.register(csr)
+        return fp
+
+    def home(self, fingerprint: str) -> str:
+        """The fingerprint's ring placement, health ignored."""
+        return self.ring.lookup(fingerprint)
+
+    def select(self, fingerprint: str) -> list[str]:
+        """Preference order with unhealthy replicas moved to the back.
+
+        Unhealthy replicas are kept (at the end, in ring order) as a
+        last resort: when *every* replica is down, routing to the home
+        beats dropping the request.
+        """
+        prefs = self.ring.preference(fingerprint)
+        healthy = [r for r in prefs if self.health.is_healthy(r)]
+        sick = [r for r in prefs if not self.health.is_healthy(r)]
+        return healthy + sick
+
+    def submit(self, fingerprint: str, x, deadline_s: float | None = None):
+        """Route one request; returns the serving replica's Future.
+
+        Walks :meth:`select`, skipping replicas that refuse with
+        queue-full backpressure; counts a failover whenever the serving
+        replica is not the ring home.  Raises
+        :class:`NoHealthyReplicaError` when every replica refused.
+        """
+        prefs = self.select(fingerprint)
+        home = self.ring.lookup(fingerprint)
+        last: Exception | None = None
+        for rid in prefs:
+            try:
+                future = self.servers[rid].submit(fingerprint, x,
+                                                  deadline_s=deadline_s)
+            except QueueFullError as exc:
+                last = exc
+                continue
+            self._routed.inc()
+            self.obs.counter("cluster.router.replica_routed_total",
+                             {"replica": rid}).inc()
+            if rid != home:
+                self._failover.inc()
+            return future
+        self._no_replica.inc()
+        raise NoHealthyReplicaError(
+            f"no replica accepted matrix {fingerprint[:8]}… "
+            f"(tried {len(prefs)})") from last
+
+    # ------------------------------------------------------------------
+    def probe(self) -> dict[str, bool]:
+        """Sample every replica's signals into the health monitor.
+
+        Returns ``{replica_id: healthy}`` after hysteresis.  Call
+        periodically (the real deployment's probe loop); the monitor
+        itself is clock-free.
+        """
+        out: dict[str, bool] = {}
+        with self._lock:
+            for rid, server in self.servers.items():
+                raw = server.signals()
+                prev_miss, prev_req = self._prev[rid]
+                d_req = raw["requests"] - prev_req
+                d_miss = raw["deadline_exceeded"] - prev_miss
+                miss_rate = (d_miss / d_req) if d_req > 0 else 0.0
+                self._prev[rid] = (raw["deadline_exceeded"], raw["requests"])
+                out[rid] = self.health.observe(rid, ReplicaSignals(
+                    queue_depth=raw["queue_depth"],
+                    open_circuits=raw["open_circuits"],
+                    miss_rate=miss_rate))
+        return out
+
+    # ------------------------------------------------------------------
+    def assignments(self, fingerprints) -> dict[str, list[str]]:
+        """replica id -> assigned fingerprints (ring homes)."""
+        return self.ring.assignments(fingerprints)
+
+    def warm(self, fingerprints) -> dict[str, int]:
+        """Concurrently preload each replica's assigned fingerprints.
+
+        Every replica warms only its ring-assigned subset from its
+        registry's store tier, on its own thread — the cold-start path
+        of a whole cluster restarting against one shared store
+        directory.  Returns ``{replica_id: plans_warmed}``.
+        """
+        assigned = self.assignments(fingerprints)
+        warmed: dict[str, int] = {rid: 0 for rid in self.servers}
+
+        def work(rid: str) -> None:
+            server = self.servers[rid]
+            if server.registry.store is None:
+                return
+            count = 0
+            for fp in assigned[rid]:
+                load_s = server.registry.warm(fp)
+                if load_s is not None:
+                    server.stats.observe_preprocess(load_s)
+                    count += 1
+            warmed[rid] = count
+
+        threads = [threading.Thread(target=work, args=(rid,),
+                                    name=f"cluster-warm-{rid}")
+                   for rid in self.servers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(warmed.values())
+        if total:
+            self.obs.counter("cluster.router.warmed_total").inc(total)
+        return warmed
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = None) -> None:
+        """Close every replica (drains by default; never leaks futures)."""
+        for server in self.servers.values():
+            server.close(timeout)
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -34,7 +34,14 @@ from .registry import (
     MetricError,
     MetricsRegistry,
 )
-from .trace import DEVICE_PHASES, NULL_SPAN, Span, Tracer, null_span
+from .trace import (
+    DEVICE_PHASES,
+    NULL_SPAN,
+    BoundTracer,
+    Span,
+    Tracer,
+    null_span,
+)
 
 
 class _NullInstrument:
@@ -135,6 +142,7 @@ def set_obs(obs: Obs) -> Obs:
 
 
 __all__ = [
+    "BoundTracer",
     "Counter",
     "DEFAULT_TIME_BUCKETS",
     "DEVICE_PHASES",

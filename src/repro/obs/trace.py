@@ -144,6 +144,17 @@ class Tracer:
                         self.dropped += 1
                     self._traces.append(sp)
 
+    def bound(self, **attrs) -> "BoundTracer":
+        """A view of this tracer that stamps *attrs* onto root spans.
+
+        The cluster layer hands each replica ``tracer.bound(replica=rid)``
+        so every root span records which replica produced it while all
+        trees land in one shared store;
+        :meth:`device_time_by_attr` then splits device time by replica.
+        Nested spans are untouched (the root's attrs identify the tree).
+        """
+        return BoundTracer(self, attrs)
+
     # ------------------------------------------------------------------
     def traces(self) -> list[Span]:
         """Finished root spans, oldest first."""
@@ -161,6 +172,22 @@ class Tracer:
         for sp in self.walk():
             if sp.device_s:
                 out[sp.name] = out.get(sp.name, 0.0) + sp.device_s
+        return out
+
+    def device_time_by_attr(self, key: str) -> dict:
+        """Root-span attr value -> attributed device seconds of its tree.
+
+        Groups each finished *tree* under its root span's ``key`` attr
+        (``None`` for trees whose root never set it) — with roots
+        stamped via :meth:`bound`, this is per-replica device-time
+        attribution over one shared tracer.
+        """
+        out: dict = {}
+        for root in self.traces():
+            val = root.attrs.get(key)
+            total = sum(sp.device_s for sp in root.walk())
+            if total:
+                out[val] = out.get(val, 0.0) + total
         return out
 
     def attribution(self, total_device_s: float | None = None,
@@ -182,6 +209,34 @@ class Tracer:
             "device_total_s": total,
             "coverage": coverage,
         }
+
+
+class BoundTracer:
+    """A :class:`Tracer` view injecting fixed attrs on root spans.
+
+    Satisfies the tracer interface :class:`repro.obs.Obs` consumes
+    (``span`` plus read-side delegation), so a component holding
+    ``Obs(tracer=tracer.bound(replica="r1"))`` traces into the shared
+    store with every root span labeled.
+    """
+
+    def __init__(self, tracer: Tracer, attrs: dict) -> None:
+        self._tracer = tracer
+        self._attrs = dict(attrs)
+
+    def span(self, name: str, attrs=None):
+        if not self._tracer._stack():  # root for this thread
+            merged = dict(self._attrs)
+            if attrs:
+                merged.update(attrs)
+            attrs = merged
+        return self._tracer.span(name, attrs)
+
+    def bound(self, **attrs) -> "BoundTracer":
+        return BoundTracer(self._tracer, {**self._attrs, **attrs})
+
+    def __getattr__(self, name):
+        return getattr(self._tracer, name)
 
 
 class _NullSpan:

@@ -137,3 +137,10 @@ class CircuitBreaker:
         """fingerprint -> state, for folding into ``ServerStats``."""
         with self._lock:
             return {k: e.state for k, e in self._entries.items()}
+
+    def open_count(self) -> int:
+        """Keys whose circuit is currently not closed (open or
+        half-open) — the signal replica health monitoring consumes."""
+        with self._lock:
+            return sum(1 for e in self._entries.values()
+                       if e.state != CLOSED)

@@ -23,6 +23,13 @@ reproducible for a given seed — the property the serving benchmarks
 rely on — while exercising the same :class:`RequestBatcher`,
 :class:`PlanRegistry`, breaker, retry and fallback code the
 real-threaded server runs.
+
+The per-replica simulation state (device clock, backlog, batcher, plan
+registry, breaker, stats) lives in :class:`ReplicaSim` so that
+:func:`run_workload` (one replica) and the cluster driver
+(:mod:`repro.cluster.driver`, N replicas behind a consistent-hash
+router) execute the *same* code — the cluster's N=1 exact-parity gate
+rests on this shared core.
 """
 
 from __future__ import annotations
@@ -261,174 +268,224 @@ class _ModeledDevice:
         return frac
 
 
-def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
-    """Simulate *cfg* and return the populated :class:`ServerStats`.
+class ReplicaSim:
+    """One modeled serving replica in virtual time.
 
-    ``obs`` is the run's observability handle (fresh private one by
-    default); the plan registry, breaker, injector and stats facade all
-    share it.  Pass one carrying a :class:`repro.obs.Tracer` to record
-    ``batch -> preprocess / kernel / fallback`` span trees in *virtual*
-    clock coordinates — the simulation itself stays bit-identical, as
-    instrumentation never touches the RNG streams or modeled times.
+    Owns everything the single-replica driver used to keep in closures:
+    the modeled device clock (``device_free``), the bounded backlog, a
+    :class:`RequestBatcher`, a :class:`PlanRegistry` (optionally backed
+    by a :class:`repro.store.PlanStore`), a :class:`CircuitBreaker`, a
+    :class:`FallbackExecutor` and the per-replica :class:`ServerStats`.
+
+    :func:`run_workload` drives exactly one instance; the cluster
+    driver drives N of them behind a consistent-hash router, each with
+    its own ``obs`` handle so queue-depth gauges and breaker counters
+    stay per-replica (the signals :class:`repro.cluster.ReplicaHealth`
+    consumes).
+
+    Parameters
+    ----------
+    cfg:
+        The :class:`WorkloadConfig` whose serving knobs (batching,
+        cache budget, queue depth, resilience) this replica applies.
+    device / dtype:
+        Resolved device object and numpy dtype (shared by the run).
+    pool:
+        ``(name, fingerprint, csr)`` triples of the matrix pool.
+    obs:
+        Per-replica observability handle (fresh private one when
+        omitted).
+    injector:
+        Optional per-replica :class:`FaultInjector`.
+    retry_rng:
+        Retry-jitter RNG stream; *shared* across the run's replicas so
+        the N=1 cluster draws exactly the single-driver sequence.
+    modeled:
+        Memoized :class:`_ModeledDevice`; shareable across replicas
+        (plan costs are deterministic per fingerprint).
+    store:
+        Optional disk tier for this replica's plan registry (a
+        :class:`repro.store.PlanStore` or a path-like; replicas of one
+        cluster each open their own instance over a shared directory).
+    replica_id:
+        Stable identifier used in cluster routing and span attribution.
+    materialize_results:
+        ``False`` skips allocating per-request result vectors (the
+        virtual driver scatters zeros anyway) — the memory lever that
+        lets the cluster driver replay millions of requests.
     """
-    check(cfg.n_requests >= 1, "n_requests must be >= 1")
-    if obs is None or not obs.enabled:
-        obs = Obs()
-    tracing = obs.tracing
-    device = get_device(cfg.device)
-    dtype = np.dtype(cfg.dtype)
-    rng = default_rng(cfg.seed)
-    pool = _matrix_pool(cfg)
-    weights = zipf_weights(len(pool), cfg.zipf_s)
-    injector = _build_injector(cfg, pool)
-    if injector is not None:
-        injector.bind(obs)
-    registry = PlanRegistry(cfg.cache_budget_bytes, fault_injector=injector,
-                            obs=obs, store=cfg.store, device=device.name)
-    batcher = RequestBatcher(cfg.max_batch, cfg.flush_timeout_s)
-    modeled = _ModeledDevice(device, dtype.itemsize * 8,
-                             workers=cfg.shard_workers)
-    stats = ServerStats(device=device.name, dtype=str(dtype), obs=obs)
-    breaker = CircuitBreaker(cfg.breaker, obs=obs)
-    fallback = FallbackExecutor(device)
-    retry_rng = default_rng(cfg.seed + 1)  # jitter stream, not traffic
 
-    if cfg.warm_start and registry.store is not None:
-        # Startup preload (a server restart reading its previous run's
-        # artifacts): charged to preprocess_s but off the virtual
-        # device clock — it happens before traffic exists.
-        for _, fp, _csr in pool:
-            load_s = registry.warm(fp)
+    def __init__(self, cfg: WorkloadConfig, *, device, dtype, pool,
+                 obs: Obs | None = None, injector=None, retry_rng=None,
+                 modeled: _ModeledDevice | None = None, store=None,
+                 replica_id: str = "r0",
+                 materialize_results: bool = True) -> None:
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.cfg = cfg
+        self.device = device
+        self.dtype = dtype
+        self.obs = obs
+        self.tracing = obs.tracing
+        self.replica_id = replica_id
+        self.materialize_results = bool(materialize_results)
+        self.injector = injector
+        if injector is not None:
+            injector.bind(obs)
+        self.registry = PlanRegistry(cfg.cache_budget_bytes,
+                                     fault_injector=injector, obs=obs,
+                                     store=store, device=device.name)
+        self.batcher = RequestBatcher(cfg.max_batch, cfg.flush_timeout_s)
+        self.modeled = modeled if modeled is not None else _ModeledDevice(
+            device, dtype.itemsize * 8, workers=cfg.shard_workers)
+        self.stats = ServerStats(device=device.name, dtype=str(dtype), obs=obs)
+        self.breaker = CircuitBreaker(cfg.breaker, obs=obs)
+        self.fallback = FallbackExecutor(device)
+        self.retry_rng = retry_rng if retry_rng is not None \
+            else default_rng(cfg.seed + 1)
+        self.csr_by_fp = {fp: csr for _, fp, csr in pool}
+        self.device_free = 0.0      # when the modeled device next idles
+        self.backlog: deque = deque()  # flushed batches awaiting the device
+        self.completed: list[SpMVRequest] = []
+        self._shard_choice: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # signals (consumed by the cluster health monitor)
+    # ------------------------------------------------------------------
+    @property
+    def backlog_depth(self) -> int:
+        """Flushed-but-unstarted batches (the queue-depth signal)."""
+        return len(self.backlog)
+
+    def open_circuits(self) -> int:
+        """Fingerprints whose circuit is currently not closed."""
+        return sum(1 for state in self.breaker.snapshot().values()
+                   if state != "closed")
+
+    # ------------------------------------------------------------------
+    # plan acquisition
+    # ------------------------------------------------------------------
+    def warm(self, fingerprints) -> float:
+        """Preload *fingerprints* from the disk tier (off the virtual
+        clock — a restart reading its previous run's artifacts).
+        Returns the total modeled load seconds charged."""
+        total = 0.0
+        if self.registry.store is None:
+            return total
+        for fp in fingerprints:
+            load_s = self.registry.warm(fp)
             if load_s:
-                stats.observe_preprocess(load_s)
+                self.stats.observe_preprocess(load_s)
+                total += load_s
+        return total
 
-    rate = cfg.rate_rps
-    if rate is None:
-        # Saturating default: 4x the unbatched modeled capacity of the
-        # most popular matrix (open-loop overload is the regime where
-        # batching pays; an idle server degenerates to singletons).
-        # Built directly — going through the registry would pollute the
-        # cache/store counters the run reports, and the probe must give
-        # the same rate (hence the same traffic trace) whether or not a
-        # warm-start already populated the cache.
-        plan0 = DASPMatrix.from_csr(pool[0][2])
-        t1, _, _ = modeled.batch_cost(pool[0][1], plan0, 1)
-        rate = 4.0 / t1
-
-    # Pre-draw arrivals and matrix choices (deterministic given seed).
-    gaps = rng.exponential(1.0 / rate, cfg.n_requests)
-    arrivals = np.cumsum(gaps)
-    choices = rng.choice(len(pool), size=cfg.n_requests, p=weights)
-    # Requests reuse a tiny per-matrix pool of x vectors: the driver
-    # models traffic, the numeric path is covered by the server tests.
-    xs = {fp: rng.uniform(-1, 1, csr.shape[1]).astype(dtype)
-          for _, fp, csr in pool}
-
-    device_free = 0.0          # when the modeled device next idles
-    backlog: deque = deque()   # flushed batches waiting for the device
-    completed: list[SpMVRequest] = []
-
-    shard_choice: dict[str, int] = {}
-
-    def shards_for(fp: str, csr) -> int:
+    def _shards_for(self, fp: str, csr) -> int:
         """Resolve the shard count for one matrix (memoized for auto)."""
+        cfg = self.cfg
         if cfg.shards in (None, 1):
             return 1
         if cfg.shards == "auto":
-            S = shard_choice.get(fp)
+            S = self._shard_choice.get(fp)
             if S is None:
                 # Offline model sweep; the winning plan is built — and
-                # charged — through the traced path in ``build`` below.
-                S = int(choose_shards(csr, cfg.shard_workers, device=device,
+                # charged — through the traced path in ``_build_plan``.
+                S = int(choose_shards(csr, cfg.shard_workers,
+                                      device=self.device,
                                       k=cfg.max_batch).best_value)
-                shard_choice[fp] = S
+                self._shard_choice[fp] = S
             return S
         return int(cfg.shards)
 
-    def build_plan(fp: str, csr):
-        S = shards_for(fp, csr)
+    def _build_plan(self, fp: str, csr):
+        S = self._shards_for(fp, csr)
         if S > 1:
             return traced_preprocess_sharded(
-                csr, device, S, obs=obs, injector=injector, fingerprint=fp)
-        return traced_preprocess(csr, device, obs=obs, injector=injector,
-                                 fingerprint=fp)
+                csr, self.device, S, obs=self.obs, injector=self.injector,
+                fingerprint=fp)
+        return traced_preprocess(csr, self.device, obs=self.obs,
+                                 injector=self.injector, fingerprint=fp)
 
-    def plan_for(fp: str, csr):
+    def plan_for(self, fp: str, csr):
         """Fetch/build a plan, charging (and possibly failing) the
         preprocessing pass.  Raises on injected preprocess faults and
         on plans over the cache budget."""
-        nonlocal device_free
         pre_cell: dict[str, float] = {}
 
         def build(matrix):
-            plan, pre = build_plan(fp, matrix)
+            plan, pre = self._build_plan(fp, matrix)
             pre_cell["s"] = pre
             return plan
 
-        if cfg.plan_cache:
-            plan, source, load_s = registry.get_ex(csr, fingerprint=fp,
-                                                   builder=build)
+        if self.cfg.plan_cache:
+            plan, source, load_s = self.registry.get_ex(csr, fingerprint=fp,
+                                                        builder=build)
             if source == "built":
                 pre = pre_cell.get("s", 0.0)
-                stats.observe_preprocess(pre)
-                device_free += pre
+                self.stats.observe_preprocess(pre)
+                self.device_free += pre
             elif source == "store":
                 # an in-band disk load occupies the serving timeline
                 # just like the rebuild it replaces — at modeled cost
-                stats.observe_preprocess(load_s)
-                device_free += load_s
+                self.stats.observe_preprocess(load_s)
+                self.device_free += load_s
             return plan
         # no-cache baseline: rebuild (and pay for) the plan every batch
-        plan, pre = build_plan(fp, csr)
-        stats.observe_preprocess(pre)
-        device_free += pre
+        plan, pre = self._build_plan(fp, csr)
+        self.stats.observe_preprocess(pre)
+        self.device_free += pre
         return plan
 
-    csr_by_fp = {fp: csr for _, fp, csr in pool}
-
-    def finish(batch, done: float, t: float, useful: float, issued: float,
-               degraded: bool) -> None:
-        nonlocal device_free
-        device_free = done
-        plan_rows = csr_by_fp[batch.fingerprint].shape[0]
-        batch.scatter(np.zeros((plan_rows, batch.k)), done)
+    # ------------------------------------------------------------------
+    # batch execution on the modeled device
+    # ------------------------------------------------------------------
+    def _finish(self, batch, done: float, t: float, useful: float,
+                issued: float, degraded: bool) -> None:
+        self.device_free = done
+        if self.materialize_results:
+            plan_rows = self.csr_by_fp[batch.fingerprint].shape[0]
+            batch.scatter(np.zeros((plan_rows, batch.k)), done)
+        else:
+            for req in batch.requests:
+                req.completion_s = done
         if degraded:
-            stats.observe_degraded(batch.k)
-        stats.observe_batch(batch.k, t, useful_mma=useful, issued_mma=issued)
+            self.stats.observe_degraded(batch.k)
+        self.stats.observe_batch(batch.k, t, useful_mma=useful,
+                                 issued_mma=issued)
         for req in batch.requests:
-            stats.observe_latency(req.latency_s)
-            completed.append(req)
+            self.stats.observe_latency(req.latency_s)
+            self.completed.append(req)
 
-    def degrade(batch, start: float) -> None:
-        nonlocal device_free
+    def _degrade(self, batch, start: float) -> None:
         fp = batch.fingerprint
-        with obs.span("fallback",
-                      attrs={"matrix": fp[:8]} if tracing else None) as sp:
-            t, pre_s = fallback.modeled_cost(fp, csr_by_fp[fp], batch.k)
+        with self.obs.span("fallback", attrs={"matrix": fp[:8]}
+                           if self.tracing else None) as sp:
+            t, pre_s = self.fallback.modeled_cost(fp, self.csr_by_fp[fp],
+                                                  batch.k)
             sp.set_device_time(t)
             if pre_s:
-                stats.observe_preprocess(pre_s)
+                self.stats.observe_preprocess(pre_s)
                 start += pre_s
-                if tracing:
+                if self.tracing:
                     sp.child("preprocess", device_s=pre_s)
-        finish(batch, start + t, t, 0.0, 0.0, degraded=True)
+        self._finish(batch, start + t, t, 0.0, 0.0, degraded=True)
 
-    def run_kernel_attempt(fp: str, plan, batch, attempt: int):
+    def _run_kernel_attempt(self, fp: str, plan, batch, attempt: int):
         """One modeled kernel attempt inside a ``kernel`` span."""
-        with obs.span("kernel",
-                      attrs={"attempt": attempt} if tracing else None) as sp:
-            t, useful, issued = modeled.batch_cost(fp, plan, batch.k)
+        cfg, device, dtype = self.cfg, self.device, self.dtype
+        with self.obs.span("kernel", attrs={"attempt": attempt}
+                           if self.tracing else None) as sp:
+            t, useful, issued = self.modeled.batch_cost(fp, plan, batch.k)
             fault: Exception | None = None
             extra_s = 0.0
-            if injector is not None:
+            if self.injector is not None:
                 try:
-                    decision = injector.check_kernel(fp)
+                    decision = self.injector.check_kernel(fp)
                     extra_s = decision.latency_s
                     if decision.corrupt:
                         fault = NumericFault("injected NaN output")
                 except KernelFault as exc:
                     fault = exc
-            if tracing:
+            if self.tracing:
                 if fault is not None:
                     sp.status = "error"
                     sp.set_attr("fault", type(fault).__name__)
@@ -454,129 +511,206 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
                             ssp.child("irregular_csr",
                                       device_s=t_i * scale * (1.0 - frac_i))
                     else:
-                        frac = modeled.phase_fraction(fp, plan)
+                        frac = self.modeled.phase_fraction(fp, plan)
                         sp.child("regular_mma", device_s=total * frac)
                         sp.child("irregular_csr",
                                  device_s=total * (1.0 - frac))
-                    ev = modeled.events(fp, plan, batch.k)
+                    ev = self.modeled.events(fp, plan, batch.k)
                     for key, value in ev.as_attrs().items():
                         sp.set_attr(key, value)
         return t, useful, issued, extra_s, fault
 
-    def run_one(batch) -> None:
+    def _run_one(self, batch) -> None:
         """Execute one batch on the modeled device, chaos included."""
-        nonlocal device_free
         fp = batch.fingerprint
-        with obs.span("batch", attrs={"matrix": fp[:8], "k": batch.k}
-                      if tracing else None):
-            run_one_inner(batch, fp)
+        with self.obs.span("batch", attrs={"matrix": fp[:8], "k": batch.k}
+                           if self.tracing else None):
+            self._run_one_inner(batch, fp)
 
-    def run_one_inner(batch, fp: str) -> None:
-        nonlocal device_free
-        start = max(device_free, batch.formed_s)
+    def _run_one_inner(self, batch, fp: str) -> None:
+        cfg = self.cfg
+        start = max(self.device_free, batch.formed_s)
         if cfg.deadline_s is not None:
             expired = batch.split_expired(start)
             if expired:
-                stats.observe_deadline_exceeded(len(expired))
+                self.stats.observe_deadline_exceeded(len(expired))
             if not batch.requests:
                 return
-        if injector is not None and not breaker.allow(fp, start):
+        if self.injector is not None and not self.breaker.allow(fp, start):
             if cfg.fallback:
-                degrade(batch, start)
+                self._degrade(batch, start)
             else:
-                stats.observe_failed(batch.k)
+                self.stats.observe_failed(batch.k)
             return
         try:
-            plan = plan_for(fp, csr_by_fp[fp])
+            plan = self.plan_for(fp, self.csr_by_fp[fp])
         except ReproError:
-            if injector is not None:
-                breaker.record_failure(fp, start)
+            if self.injector is not None:
+                self.breaker.record_failure(fp, start)
             if cfg.fallback:
-                degrade(batch, max(device_free, start))
+                self._degrade(batch, max(self.device_free, start))
             else:
-                stats.observe_failed(batch.k)
+                self.stats.observe_failed(batch.k)
             return
         for attempt in range(cfg.retry.max_retries + 1):
-            t, useful, issued, extra_s, fault = run_kernel_attempt(
+            t, useful, issued, extra_s, fault = self._run_kernel_attempt(
                 fp, plan, batch, attempt)
-            start = max(device_free, batch.formed_s)
+            start = max(self.device_free, batch.formed_s)
             if fault is None:
-                if injector is not None:
-                    breaker.record_success(fp, start + t + extra_s)
-                finish(batch, start + t + extra_s, t + extra_s,
-                       useful, issued, degraded=False)
+                if self.injector is not None:
+                    self.breaker.record_success(fp, start + t + extra_s)
+                self._finish(batch, start + t + extra_s, t + extra_s,
+                             useful, issued, degraded=False)
                 return
             # failed attempt: the wasted kernel time is still burned
-            device_free = start + t + extra_s
-            breaker.record_failure(fp, device_free)
+            self.device_free = start + t + extra_s
+            self.breaker.record_failure(fp, self.device_free)
             if attempt < cfg.retry.max_retries:
-                stats.observe_retry()
-                device_free += cfg.retry.backoff_s(attempt + 1, retry_rng)
+                self.stats.observe_retry()
+                self.device_free += cfg.retry.backoff_s(attempt + 1,
+                                                        self.retry_rng)
                 continue
             if cfg.fallback:
-                degrade(batch, device_free)
+                self._degrade(batch, self.device_free)
             else:
-                stats.observe_failed(batch.k)
+                self.stats.observe_failed(batch.k)
             return
 
-    def start_batches(now: float) -> None:
+    # ------------------------------------------------------------------
+    # virtual-time event loop hooks
+    # ------------------------------------------------------------------
+    def start_batches(self, now: float) -> None:
         """Run every backlog batch whose start time has been reached."""
-        while backlog and device_free <= now:
-            run_one(backlog.popleft())
+        while self.backlog and self.device_free <= now:
+            self._run_one(self.backlog.popleft())
 
-    def enqueue(batches) -> None:
+    def enqueue(self, batches) -> None:
         for b in batches:
-            backlog.append(b)
+            self.backlog.append(b)
+
+    def advance_to(self, now: float) -> None:
+        """Process every timeout flush and device start due before *now*."""
+        while True:
+            deadline = self.batcher.next_deadline()
+            if deadline >= now:
+                break
+            # nextafter guards against (arrival + timeout) - arrival
+            # rounding below the timeout and stalling the flush
+            batches = self.batcher.due(np.nextafter(deadline, np.inf))
+            if not batches:
+                break
+            self.enqueue(batches)
+            self.start_batches(deadline)
+        self.start_batches(now)
+
+    def offer(self, req: SpMVRequest, now: float) -> bool:
+        """Admit one request (False = rejected under backpressure)."""
+        self.stats.observe_request()
+        if len(self.backlog) >= self.cfg.queue_depth:
+            self.stats.observe_rejected()
+            return False
+        full = self.batcher.add(req, now)
+        if full is not None:
+            self.enqueue([full])
+        return True
+
+    def drain(self, last_arrival: float) -> float:
+        """End of arrivals: flush stragglers and let the device empty.
+
+        Returns the virtual end time (last arrival or last flush
+        deadline, whichever is later) and leaves ``stats.duration_s``
+        set to the final completion time."""
+        end = float(last_arrival)
+        while True:
+            deadline = self.batcher.next_deadline()
+            if deadline == float("inf"):
+                break
+            batches = self.batcher.due(np.nextafter(deadline, np.inf))
+            if not batches:
+                break
+            self.enqueue(batches)
+            end = max(end, deadline)
+        self.enqueue(self.batcher.flush_all(end))
+        self.device_free = max(self.device_free, end)
+        self.start_batches(float("inf"))
+        self.stats.duration_s = max(
+            (r.completion_s for r in self.completed), default=end)
+        # Cache, breaker and fault counters already live in the shared
+        # registry (one source of truth); only the non-counter breaker
+        # state map is copied for the report.
+        self.stats.breaker_state = self.breaker.snapshot()
+        return end
+
+
+def auto_rate(pool, modeled: _ModeledDevice, *, replicas: int = 1) -> float:
+    """Saturating default offered rate: 4x the unbatched modeled
+    capacity of the most popular matrix per replica (open-loop overload
+    is the regime where batching pays; an idle server degenerates to
+    singletons).  Built directly — going through a registry would
+    pollute the cache/store counters the run reports, and the probe
+    must give the same rate (hence the same traffic trace) whether or
+    not a warm-start already populated the cache."""
+    plan0 = DASPMatrix.from_csr(pool[0][2])
+    t1, _, _ = modeled.batch_cost(pool[0][1], plan0, 1)
+    return 4.0 * replicas / t1
+
+
+def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
+    """Simulate *cfg* and return the populated :class:`ServerStats`.
+
+    ``obs`` is the run's observability handle (fresh private one by
+    default); the plan registry, breaker, injector and stats facade all
+    share it.  Pass one carrying a :class:`repro.obs.Tracer` to record
+    ``batch -> preprocess / kernel / fallback`` span trees in *virtual*
+    clock coordinates — the simulation itself stays bit-identical, as
+    instrumentation never touches the RNG streams or modeled times.
+    """
+    check(cfg.n_requests >= 1, "n_requests must be >= 1")
+    if obs is None or not obs.enabled:
+        obs = Obs()
+    device = get_device(cfg.device)
+    dtype = np.dtype(cfg.dtype)
+    rng = default_rng(cfg.seed)
+    pool = _matrix_pool(cfg)
+    weights = zipf_weights(len(pool), cfg.zipf_s)
+    injector = _build_injector(cfg, pool)
+    modeled = _ModeledDevice(device, dtype.itemsize * 8,
+                             workers=cfg.shard_workers)
+    replica = ReplicaSim(cfg, device=device, dtype=dtype, pool=pool, obs=obs,
+                         injector=injector, modeled=modeled, store=cfg.store)
+    stats = replica.stats
+
+    if cfg.warm_start and replica.registry.store is not None:
+        # Startup preload (a server restart reading its previous run's
+        # artifacts): charged to preprocess_s but off the virtual
+        # device clock — it happens before traffic exists.
+        replica.warm([fp for _, fp, _csr in pool])
+
+    rate = cfg.rate_rps
+    if rate is None:
+        rate = auto_rate(pool, modeled)
+
+    # Pre-draw arrivals and matrix choices (deterministic given seed).
+    gaps = rng.exponential(1.0 / rate, cfg.n_requests)
+    arrivals = np.cumsum(gaps)
+    choices = rng.choice(len(pool), size=cfg.n_requests, p=weights)
+    # Requests reuse a tiny per-matrix pool of x vectors: the driver
+    # models traffic, the numeric path is covered by the server tests.
+    xs = {fp: rng.uniform(-1, 1, csr.shape[1]).astype(dtype)
+          for _, fp, csr in pool}
 
     deadline_for = (lambda now: now + cfg.deadline_s) \
         if cfg.deadline_s is not None else (lambda now: float("inf"))
 
     for i in range(cfg.n_requests):
         now = float(arrivals[i])
-        # timeout flushes due before this arrival
-        while True:
-            deadline = batcher.next_deadline()
-            if deadline >= now:
-                break
-            # nextafter guards against (arrival + timeout) - arrival
-            # rounding below the timeout and stalling the flush
-            batches = batcher.due(np.nextafter(deadline, np.inf))
-            if not batches:
-                break
-            enqueue(batches)
-            start_batches(deadline)
-        start_batches(now)
-        stats.observe_request()
-        if len(backlog) >= cfg.queue_depth:
-            stats.observe_rejected()
-            continue
+        replica.advance_to(now)
         _, fp, csr = pool[choices[i]]
         req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now,
                           deadline_s=deadline_for(now))
-        full = batcher.add(req, now)
-        if full is not None:
-            enqueue([full])
+        replica.offer(req, now)
 
-    # End of arrivals: flush stragglers and let the device drain.
-    end = float(arrivals[-1])
-    while True:
-        deadline = batcher.next_deadline()
-        if deadline == float("inf"):
-            break
-        batches = batcher.due(np.nextafter(deadline, np.inf))
-        if not batches:
-            break
-        enqueue(batches)
-        end = max(end, deadline)
-    enqueue(batcher.flush_all(end))
-    device_free = max(device_free, end)
-    start_batches(float("inf"))
-
-    stats.duration_s = max((r.completion_s for r in completed), default=end)
-    # Cache, breaker and fault counters already live in the shared
-    # registry (one source of truth); only the non-counter breaker
-    # state map is copied for the report.
-    stats.breaker_state = breaker.snapshot()
+    replica.drain(float(arrivals[-1]))
     return stats
 
 

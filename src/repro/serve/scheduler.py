@@ -50,11 +50,14 @@ class Scheduler:
         ``None`` (or an empty batch) skips execution entirely; the
         batch still counts as handled for drain purposes.
     obs:
-        Optional :class:`repro.obs.Obs` handle.  The scheduler keeps a
-        ``serve.scheduler.queue_depth`` gauge current and counts
-        executed / rejected / shed batches under
-        ``serve.scheduler.*_total``.  Defaults to a fresh private
-        handle (per-run-object convention).
+        Optional :class:`repro.obs.Obs` handle.  The scheduler keeps
+        ``serve.scheduler.queue_depth`` (waiting batches — updated on
+        enqueue, dequeue, shed and close, so health monitors and
+        Prometheus scrapes see real-time depth that returns to 0 on
+        drain) and ``serve.scheduler.inflight`` (executing batches)
+        gauges current, and counts executed / rejected / shed batches
+        under ``serve.scheduler.*_total``.  Defaults to a fresh
+        private handle (per-run-object convention).
     """
 
     def __init__(self, execute, *, workers: int = 2, queue_depth: int = 64,
@@ -77,6 +80,7 @@ class Scheduler:
             obs = Obs()
         self.obs = obs
         self._depth_gauge = obs.gauge("serve.scheduler.queue_depth")
+        self._inflight_gauge = obs.gauge("serve.scheduler.inflight")
         self._executed = obs.counter("serve.scheduler.executed_total")
         self._pruned = obs.counter("serve.scheduler.pruned_total")
         self._rejected = obs.counter("serve.scheduler.rejected_total")
@@ -219,6 +223,7 @@ class Scheduler:
                 self._queued -= 1
                 self._depth_gauge.set(self._queued)
                 self._inflight.add(fp)
+                self._inflight_gauge.set(len(self._inflight))
                 return batch
         return None
 
@@ -258,6 +263,7 @@ class Scheduler:
             finally:
                 with self._cond:
                     self._inflight.discard(batch.fingerprint)
+                    self._inflight_gauge.set(len(self._inflight))
                     # pruned-empty batches are handled, not executed —
                     # count them separately so dashboards don't overstate
                     # executed work.

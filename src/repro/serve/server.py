@@ -256,6 +256,21 @@ class SpMVServer:
             raise
         return future
 
+    def signals(self) -> dict:
+        """Raw health signals for cluster routing (:mod:`repro.cluster`).
+
+        ``queue_depth`` and ``open_circuits`` are instantaneous;
+        ``deadline_exceeded`` / ``requests`` are cumulative so the
+        router can compute a miss *rate* between its own probes.
+        """
+        return {
+            "queue_depth": self.scheduler.backlog(),
+            "open_circuits": (self.breaker.open_count()
+                              if self.breaker is not None else 0),
+            "deadline_exceeded": self.stats.n_deadline_exceeded,
+            "requests": self.stats.n_requests,
+        }
+
     def flush(self) -> None:
         """Force-flush all pending partial batches to the workers."""
         for batch in self.batcher.flush_all(self._now()):

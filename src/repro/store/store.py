@@ -23,11 +23,20 @@ cheaper than reading the artifact back (:mod:`repro.store.tier`).
 Counters flow through :mod:`repro.obs` (``store.*``), so a store bound
 to a server's handle reports in the same ``ServerStats`` facade as the
 plan cache it backs.
+
+The store is safe under **concurrent multi-instance use** of one root
+directory — the cluster's replicas each open their own ``PlanStore``
+over the shared store and warm-start in parallel.  All instances on a
+root share one process-wide advisory lock, so an artifact read can
+never race another instance's gc/quarantine unlink; removals by a
+*different process* surface as plain misses (the caller rebuilds), and
+byte accounting tolerates files vanishing mid-scan.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import threading
 import time
@@ -45,6 +54,28 @@ from .artifact import (
     verify_artifact,
 )
 from .tier import load_beats_rebuild, modeled_load_time
+
+# One advisory lock per store root, shared by every PlanStore instance
+# opened on that directory in this process: N replicas warm-starting
+# from one shared store must not race an artifact read against another
+# instance's gc/quarantine unlink.  (An RLock because quarantine runs
+# under load's lock.)  Cross-process races are handled by tolerance
+# instead: a vanished file reads as a miss, never an exception.
+_ROOT_LOCKS: dict[str, threading.RLock] = {}
+_ROOT_LOCKS_GUARD = threading.Lock()
+
+# process-wide tmp-file sequence: two instances over one root must not
+# collide on in-flight write names (the pid alone no longer suffices)
+_TMP_SEQ = itertools.count(1)
+
+
+def _root_lock(root: Path) -> threading.RLock:
+    key = str(root.resolve())
+    with _ROOT_LOCKS_GUARD:
+        lock = _ROOT_LOCKS.get(key)
+        if lock is None:
+            lock = _ROOT_LOCKS[key] = threading.RLock()
+        return lock
 
 
 def fingerprint_csr(csr) -> str:
@@ -96,8 +127,7 @@ class PlanStore:
             check(capacity_bytes >= 0, "capacity_bytes must be non-negative")
         self.capacity_bytes = capacity_bytes
         self.device = device
-        self._lock = threading.Lock()
-        self._seq = 0
+        self._lock = _root_lock(self.root)
         self.bind(obs)
 
     def bind(self, obs) -> None:
@@ -137,9 +167,15 @@ class PlanStore:
         return len(self.fingerprints())
 
     def nbytes(self) -> int:
-        """Total published artifact bytes."""
-        return sum(p.stat().st_size
-                   for p in self.plans_dir.glob(f"*{EXTENSION}"))
+        """Total published artifact bytes (tolerant of concurrent
+        removal — a file another instance unlinks mid-scan counts 0)."""
+        total = 0
+        for p in self.plans_dir.glob(f"*{EXTENSION}"):
+            try:
+                total += p.stat().st_size
+            except OSError:
+                continue
+        return total
 
     # ------------------------------------------------------------------
     # write path
@@ -155,16 +191,13 @@ class PlanStore:
         final = self.path_for(fingerprint)
         if not overwrite and final.exists():
             return final
-        with self._lock:
-            self._seq += 1
-            tmp = self.tmp_dir / (f"{fingerprint}.{os.getpid()}"
-                                  f".{self._seq}.part")
+        tmp = self.tmp_dir / (f"{fingerprint}.{os.getpid()}"
+                              f".{next(_TMP_SEQ)}.part")
         try:
             save_artifact(tmp, plan, fingerprint=fingerprint)
             os.replace(tmp, final)
         finally:
-            if tmp.exists():  # failed before the rename
-                tmp.unlink()
+            tmp.unlink(missing_ok=True)  # failed before the rename
         self._writes.inc()
         self._bytes.set(self.nbytes())
         if self.capacity_bytes is not None:
@@ -181,15 +214,18 @@ class PlanStore:
         ``None``) just like a failed load.
         """
         path = self.path_for(fingerprint)
-        if not path.exists():
-            return None
-        try:
-            header, _ = read_header(path)
-            return header
-        except ArtifactError as exc:
-            self._load_failures.inc()
-            self.quarantine(fingerprint, str(exc))
-            return None
+        with self._lock:  # a gc/quarantine unlink cannot race the read
+            if not path.exists():
+                return None
+            try:
+                header, _ = read_header(path)
+                return header
+            except FileNotFoundError:
+                return None  # cross-process removal: plain absence
+            except ArtifactError as exc:
+                self._load_failures.inc()
+                self.quarantine(fingerprint, str(exc))
+                return None
 
     def load(self, fingerprint: str, *, mmap: bool = True,
              gate: bool = True):
@@ -203,28 +239,34 @@ class PlanStore:
         file for LRU garbage collection.
         """
         path = self.path_for(fingerprint)
-        if not path.exists():
-            self._misses.inc()
-            return None
         t0 = time.perf_counter()
-        try:
-            if gate:
-                header, _ = read_header(path)
-                if not load_beats_rebuild(header, self.device):
-                    self._load_skipped.inc()
-                    return None
-            plan, header = load_artifact(path, mmap=mmap, verify=True,
-                                         fingerprint=fingerprint)
-        except ArtifactError as exc:
-            self._load_failures.inc()
-            self.quarantine(fingerprint, str(exc))
-            return None
+        with self._lock:  # a gc/quarantine unlink cannot race the read
+            if not path.exists():
+                self._misses.inc()
+                return None
+            try:
+                if gate:
+                    header, _ = read_header(path)
+                    if not load_beats_rebuild(header, self.device):
+                        self._load_skipped.inc()
+                        return None
+                plan, header = load_artifact(path, mmap=mmap, verify=True,
+                                             fingerprint=fingerprint)
+            except FileNotFoundError:
+                # removed by another *process* (in-process removers hold
+                # this lock): absence, not corruption — rebuild from CSR
+                self._misses.inc()
+                return None
+            except ArtifactError as exc:
+                self._load_failures.inc()
+                self.quarantine(fingerprint, str(exc))
+                return None
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover — racing another process
+                pass
         self._hits.inc()
         self._load_seconds.inc(time.perf_counter() - t0)
-        try:
-            os.utime(path)
-        except OSError:  # pragma: no cover — racing GC/quarantine
-            pass
         return plan, modeled_load_time(header, self.device)
 
     def verify(self, fingerprint: str) -> dict:
@@ -241,7 +283,10 @@ class PlanStore:
             if not path.exists():
                 return
             dest = self.quarantine_dir / path.name
-            os.replace(path, dest)
+            try:
+                os.replace(path, dest)
+            except FileNotFoundError:  # pragma: no cover — other process
+                return
             (self.quarantine_dir / f"{fingerprint}.reason").write_text(
                 (reason or "unspecified") + "\n")
         self._quarantined.inc()
@@ -271,14 +316,21 @@ class PlanStore:
         with self._lock:
             entries = []
             for p in self.plans_dir.glob(f"*{EXTENSION}"):
-                st = p.stat()
-                entries.append((max(st.st_atime, st.st_mtime), p))
-            total = sum(p.stat().st_size for _, p in entries)
-            for _, p in sorted(entries):
+                try:
+                    st = p.stat()
+                except OSError:  # removed by another process mid-scan
+                    continue
+                entries.append((max(st.st_atime, st.st_mtime),
+                                st.st_size, p))
+            total = sum(size for _, size, _ in entries)
+            for _, size, p in sorted(entries, key=lambda e: (e[0], e[2])):
                 if total <= cap:
                     break
-                total -= p.stat().st_size
-                p.unlink()
+                total -= size
+                try:
+                    p.unlink()
+                except OSError:  # pragma: no cover — already gone
+                    continue
                 removed.append(p.stem)
         if removed:
             self._gc_removed.inc(len(removed))

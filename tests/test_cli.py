@@ -292,3 +292,52 @@ class TestPlanCommand:
                      "--store", str(store), "--warm-start"]) == 0
         out = capsys.readouterr().out
         assert "| store load / write / spill | 2 / 0 / 0 |" in out
+
+
+class TestClusterSim:
+    def test_prints_cluster_and_replica_tables(self, capsys):
+        assert main(["cluster-sim", "--replicas", "2", "--requests", "600",
+                     "--synthetic", "3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "| replicas | 2 |" in out
+        assert "failovers" in out
+        assert "| r0 |" in out and "| r1 |" in out
+
+    def test_single_replica_matches_serve_driver(self, capsys):
+        """N=1 cluster-sim reports the single driver's numbers."""
+        from repro.cluster import ClusterConfig, run_cluster_workload
+        from repro.matrices import synthetic_collection
+        from repro.serve import WorkloadConfig, run_workload
+
+        kw = dict(n_requests=600, seed=3,
+                  entries=synthetic_collection(3, seed=3))
+        single = run_workload(WorkloadConfig(**kw))
+        assert main(["cluster-sim", "--replicas", "1", "--requests", "600",
+                     "--synthetic", "3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert f"| completed | {single.n_completed:,} |" in out
+        assert f"| makespan | {single.duration_s:.4f} s |" in out
+
+    def test_fail_replica_and_trace(self, capsys):
+        assert main(["cluster-sim", "--replicas", "3", "--requests", "900",
+                     "--synthetic", "3", "--seed", "3", "--fail-replica",
+                     "1", "--deadline-us", "20000", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "attributed device ms" in out
+
+    def test_bench_json_trajectory(self, tmp_path, capsys):
+        for _ in range(2):
+            assert main(["cluster-sim", "--replicas", "2", "--requests",
+                         "400", "--synthetic", "3", "--seed", "3",
+                         "--bench-json", "--bench-dir",
+                         str(tmp_path)]) == 0
+        import json
+
+        records = json.loads((tmp_path / "BENCH_cluster.json").read_text())
+        assert len(records) == 2
+        for rec in records:
+            assert rec["replicas"] == 2
+            assert rec["throughput_rps"] > 0
+            assert 0.0 <= rec["in_deadline_fraction"] <= 1.0
+            assert rec["p50_latency_s"] <= rec["p99_latency_s"]
+            assert "wall_s" in rec and "recorded_unix" in rec

@@ -1,0 +1,182 @@
+"""Virtual-time cluster driver tests (repro.cluster.driver)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ElasticConfig,
+    HealthConfig,
+    run_cluster_workload,
+)
+from repro.matrices import synthetic_collection
+from repro.obs import Obs, Tracer
+from repro.serve import WorkloadConfig, run_workload
+
+
+def entries(n=4, seed=5):
+    return synthetic_collection(n, seed=seed)
+
+
+def cluster_cfg(**overrides) -> ClusterConfig:
+    base = dict(n_requests=1500, seed=11, entries=entries(),
+                n_replicas=2)
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+class TestSingleReplicaParity:
+    def test_bit_identical_to_run_workload(self):
+        """The N=1 cluster IS the single-replica driver: every stat,
+        including the full latency list, matches bit for bit."""
+        kw = dict(n_requests=1500, seed=11, entries=entries())
+        single = run_workload(WorkloadConfig(**kw))
+        cluster = run_cluster_workload(ClusterConfig(n_replicas=1, **kw))
+        (replica,) = cluster.replicas.values()
+        for attr in ("n_requests", "n_completed", "n_rejected", "n_failed",
+                     "n_deadline_exceeded", "n_batches", "cache_hits",
+                     "cache_misses", "device_busy_s", "preprocess_s",
+                     "duration_s", "useful_mma_flops", "issued_mma_flops"):
+            assert getattr(single, attr) == getattr(replica, attr), attr
+        assert single.latencies_s == replica.latencies_s
+
+    def test_parity_with_chaos_and_deadline(self):
+        from repro.serve import ChaosConfig
+
+        kw = dict(n_requests=1000, seed=3, entries=entries(),
+                  deadline_s=0.005, chaos=ChaosConfig(fault_rate=0.08))
+        single = run_workload(WorkloadConfig(**kw))
+        cluster = run_cluster_workload(ClusterConfig(n_replicas=1, **kw))
+        (replica,) = cluster.replicas.values()
+        assert single.n_completed == replica.n_completed
+        assert single.n_failed == replica.n_failed
+        assert single.retries == replica.retries
+        assert single.latencies_s == replica.latencies_s
+
+
+class TestDeterminism:
+    def test_same_config_same_stats(self):
+        a = run_cluster_workload(cluster_cfg(n_replicas=3))
+        b = run_cluster_workload(cluster_cfg(n_replicas=3))
+        assert a.n_completed == b.n_completed
+        assert a.routed == b.routed
+        assert a.n_failover == b.n_failover
+        assert a.duration_s == b.duration_s
+        assert a.latency_percentiles() == b.latency_percentiles()
+
+    def test_all_requests_accounted(self):
+        stats = run_cluster_workload(cluster_cfg(n_replicas=3))
+        cfg_requests = 1500
+        assert stats.n_requests == cfg_requests
+        assert (stats.n_completed + stats.n_rejected + stats.n_failed
+                + stats.n_deadline_exceeded) >= stats.n_completed
+        assert stats.n_completed > 0
+        assert sum(stats.routed.values()) == cfg_requests
+
+
+class TestPlacement:
+    def test_traffic_spreads_across_replicas(self):
+        stats = run_cluster_workload(cluster_cfg(
+            n_replicas=4, n_requests=3000, entries=entries(8)))
+        served = [rid for rid, n in stats.routed.items() if n > 0]
+        assert len(served) >= 3  # Zipf skew may starve one replica
+
+    def test_ring_seed_changes_placement(self):
+        a = run_cluster_workload(cluster_cfg(ring_seed=0))
+        b = run_cluster_workload(cluster_cfg(ring_seed=9))
+        assert a.routed != b.routed
+
+
+class TestFailover:
+    def test_fault_injected_replica_loses_traffic(self):
+        """With one replica erroring on every kernel, health marks it
+        down and the ring reroutes — nothing is lost."""
+        bad = run_cluster_workload(cluster_cfg(
+            n_replicas=3, n_requests=4000, fail_replica=2,
+            deadline_s=0.02))
+        good = run_cluster_workload(cluster_cfg(
+            n_replicas=3, n_requests=4000, deadline_s=0.02))
+        assert bad.n_failover > 0
+        assert bad.n_transitions_down >= 1
+        # the sick replica serves (strictly) less than its fair share
+        assert bad.routed["r2"] < good.routed["r2"]
+        # no lost futures: offered = completed + explicit failures
+        assert (bad.n_completed + bad.n_rejected + bad.n_failed
+                + bad.n_deadline_exceeded) == bad.n_requests
+        # rerouted traffic still completes within deadline
+        assert bad.in_deadline_fraction > 0.95
+
+    def test_fail_replica_must_be_in_range(self):
+        with pytest.raises(Exception):
+            run_cluster_workload(cluster_cfg(n_replicas=2, fail_replica=5))
+
+
+class TestElastic:
+    def test_scales_up_under_burst_and_back_down(self):
+        stats = run_cluster_workload(cluster_cfg(
+            n_replicas=1, n_requests=8000, entries=entries(6),
+            elastic=ElasticConfig(max_replicas=6)))
+        assert stats.n_scale_up >= 1
+        assert stats.n_moved_fingerprints >= 1
+        assert stats.n_completed == stats.n_requests
+        # spawned replicas actually served traffic
+        assert sum(1 for n in stats.routed.values() if n > 0) >= 2
+
+    def test_respects_max_replicas(self):
+        stats = run_cluster_workload(cluster_cfg(
+            n_replicas=1, n_requests=6000,
+            elastic=ElasticConfig(max_replicas=2)))
+        assert stats.n_replicas <= 2
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ElasticConfig(min_replicas=0)
+        with pytest.raises(Exception):
+            ElasticConfig(scale_up_depth=1.0, scale_down_depth=2.0)
+
+
+class TestObservability:
+    def test_shared_tracer_attributes_per_replica(self):
+        obs = Obs(tracer=Tracer())
+        stats = run_cluster_workload(cluster_cfg(n_replicas=2), obs=obs)
+        by_replica = obs.tracer.device_time_by_attr("replica")
+        assert set(by_replica) <= {"r0", "r1"}
+        assert len(by_replica) >= 2
+        for rid, sec in by_replica.items():
+            assert sec > 0.0
+        # phase attribution covers the cluster's device time exactly
+        total = stats.device_busy_s + sum(
+            s.preprocess_s for s in stats.replicas.values())
+        att = obs.tracer.attribution(total)
+        assert att["coverage"] == pytest.approx(1.0, rel=1e-9)
+
+    def test_summary_table_renders(self):
+        stats = run_cluster_workload(cluster_cfg())
+        table = stats.summary_table()
+        assert "replicas" in table and "failovers" in table
+
+    def test_health_snapshot_in_stats(self):
+        stats = run_cluster_workload(cluster_cfg(
+            n_replicas=2, fail_replica=1, n_requests=3000,
+            deadline_s=0.02))
+        assert "r1" in stats.health
+        assert stats.n_probes > 0
+
+
+class TestWarmStart:
+    def test_ring_scoped_warm_start(self, tmp_path):
+        """Each replica preloads only its ring-assigned fingerprints
+        from the shared store; first-touch rebuilds disappear."""
+        store_dir = tmp_path / "plans"
+        cold = run_cluster_workload(cluster_cfg(
+            n_replicas=2, store=store_dir))
+        warm = run_cluster_workload(cluster_cfg(
+            n_replicas=2, store=store_dir, warm_start=True))
+        cold_loads = sum(s.store_loads for s in cold.replicas.values())
+        warm_loads = sum(s.store_loads for s in warm.replicas.values())
+        assert warm_loads >= cold_loads
+        assert warm.n_completed == warm.n_requests
+        # warm replicas preprocess strictly less than cold ones
+        warm_pre = sum(s.preprocess_s for s in warm.replicas.values())
+        cold_pre = sum(s.preprocess_s for s in cold.replicas.values())
+        assert warm_pre < cold_pre

@@ -1,0 +1,101 @@
+"""Hysteresis health monitor tests (repro.cluster.health)."""
+
+import pytest
+
+from repro.cluster import HealthConfig, ReplicaHealth, ReplicaSignals
+from repro.obs import Obs
+
+
+def bad(depth=999):
+    return ReplicaSignals(queue_depth=depth)
+
+
+def good():
+    return ReplicaSignals()
+
+
+class TestThresholds:
+    def test_defaults_are_validated(self):
+        with pytest.raises(Exception):
+            HealthConfig(down_after=0)
+        with pytest.raises(Exception):
+            HealthConfig(max_miss_rate=1.5)
+
+    def test_each_signal_trips(self):
+        h = ReplicaHealth(HealthConfig(max_queue_depth=10,
+                                       max_open_circuits=0,
+                                       max_miss_rate=0.5))
+        assert not h.is_bad(ReplicaSignals())
+        assert h.is_bad(ReplicaSignals(queue_depth=10))
+        assert not h.is_bad(ReplicaSignals(queue_depth=9))
+        assert h.is_bad(ReplicaSignals(open_circuits=1))
+        assert h.is_bad(ReplicaSignals(miss_rate=0.6))
+        assert not h.is_bad(ReplicaSignals(miss_rate=0.5))
+
+    def test_none_disables_a_threshold(self):
+        h = ReplicaHealth(HealthConfig(max_queue_depth=None,
+                                       max_open_circuits=None,
+                                       max_miss_rate=None))
+        assert not h.is_bad(ReplicaSignals(queue_depth=10**6,
+                                           open_circuits=50, miss_rate=1.0))
+
+
+class TestHysteresis:
+    def test_down_needs_consecutive_bad(self):
+        h = ReplicaHealth(HealthConfig(down_after=2, up_after=3))
+        assert h.observe("r0", bad())       # streak 1: still healthy
+        assert h.is_healthy("r0")
+        assert h.observe("r0", good())      # streak broken
+        assert h.observe("r0", bad())
+        assert not h.observe("r0", bad())   # two consecutive: down
+        assert not h.is_healthy("r0")
+
+    def test_up_needs_consecutive_good(self):
+        h = ReplicaHealth(HealthConfig(down_after=1, up_after=3))
+        h.observe("r0", bad())
+        assert not h.is_healthy("r0")
+        h.observe("r0", good())
+        h.observe("r0", good())
+        assert not h.is_healthy("r0")       # only 2 good so far
+        h.observe("r0", bad())              # relapse resets the streak
+        h.observe("r0", good())
+        h.observe("r0", good())
+        assert h.observe("r0", good())      # third consecutive: back up
+        assert h.is_healthy("r0")
+
+    def test_unknown_replica_is_healthy(self):
+        h = ReplicaHealth()
+        assert h.is_healthy("never-seen")
+        assert h.unhealthy_count() == 0
+
+    def test_forget_drops_state(self):
+        h = ReplicaHealth(HealthConfig(down_after=1))
+        h.observe("r0", bad())
+        assert h.unhealthy_count() == 1
+        h.forget("r0")
+        assert h.is_healthy("r0")
+        assert h.unhealthy_count() == 0
+
+
+class TestTelemetry:
+    def test_counters_and_gauge(self):
+        obs = Obs()
+        h = ReplicaHealth(HealthConfig(down_after=1, up_after=1), obs=obs)
+        h.observe("r0", bad())
+        h.observe("r1", good())
+        h.observe("r0", good())
+        reg = obs.registry
+        assert reg.counter("cluster.health.probes_total").value == 3
+        assert reg.counter("cluster.health.transitions_total",
+                           {"to": "down"}).value == 1
+        assert reg.counter("cluster.health.transitions_total",
+                           {"to": "up"}).value == 1
+        assert reg.gauge("cluster.health.unhealthy").value == 0
+
+    def test_snapshot_shape(self):
+        h = ReplicaHealth(HealthConfig(down_after=1))
+        h.observe("r1", ReplicaSignals(queue_depth=70, miss_rate=0.1))
+        snap = h.snapshot()
+        assert snap["r1"]["healthy"] is False
+        assert snap["r1"]["queue_depth"] == 70
+        assert snap["r1"]["miss_rate"] == 0.1

@@ -1,0 +1,140 @@
+"""Properties of the consistent-hash ring (repro.cluster.ring)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import DEFAULT_VNODES, HashRing, stable_hash
+
+
+def keys(n, tag="key"):
+    return [f"{tag}-{i}" for i in range(n)]
+
+
+class TestStableHash:
+    def test_deterministic_and_seeded(self):
+        assert stable_hash(b"abc") == stable_hash(b"abc")
+        assert stable_hash("abc") == stable_hash(b"abc")
+        assert stable_hash(b"abc") != stable_hash(b"abd")
+        assert stable_hash(b"abc", seed=1) != stable_hash(b"abc", seed=2)
+
+    def test_64_bit_range(self):
+        for k in keys(200):
+            assert 0 <= stable_hash(k) < 2**64
+
+    def test_cross_process_determinism(self):
+        """The ring must NOT depend on Python's per-process randomized
+        ``hash()`` — a fresh interpreter maps keys identically."""
+        ks = keys(32)
+        ring = HashRing(["r0", "r1", "r2"], seed=7)
+        expect = [ring.lookup(k) for k in ks]
+        code = (
+            "from repro.cluster import HashRing\n"
+            "ring = HashRing(['r0', 'r1', 'r2'], seed=7)\n"
+            f"print([ring.lookup(k) for k in {ks!r}])\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            check=True)
+        assert out.stdout.strip() == repr(expect)
+
+
+class TestLookup:
+    def test_membership_api(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.members() == ["a", "b"]
+        ring.add("c")
+        ring.add("c")  # idempotent
+        assert len(ring) == 3
+        ring.remove("c")
+        ring.remove("c")
+        assert len(ring) == 2
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(Exception):
+            HashRing().lookup("k")
+
+    def test_single_member_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert all(ring.lookup(k) == "solo" for k in keys(50))
+
+    def test_preference_distinct_and_ordered(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for k in keys(40):
+            prefs = ring.preference(k)
+            assert prefs[0] == ring.lookup(k)
+            assert sorted(prefs) == sorted(ring.members())
+            assert len(set(prefs)) == len(prefs)
+
+    def test_assignments_partition(self):
+        ring = HashRing(["a", "b", "c"])
+        ks = keys(90)
+        groups = ring.assignments(ks)
+        flat = [k for ks_ in groups.values() for k in ks_]
+        assert sorted(flat) == sorted(ks)
+        assert set(groups) == {"a", "b", "c"}
+
+
+class TestUniformity:
+    def test_balanced_within_15_percent(self):
+        """At the default 128 vnodes, each of 4 replicas owns its fair
+        share of a large key population to within +-15%."""
+        n_keys, members = 20_000, ["r0", "r1", "r2", "r3"]
+        assert DEFAULT_VNODES == 128
+        ring = HashRing(members, seed=0)
+        groups = ring.assignments(keys(n_keys))
+        fair = n_keys / len(members)
+        for rid in members:
+            share = len(groups[rid])
+            assert abs(share - fair) / fair < 0.15, \
+                f"{rid} owns {share} of {n_keys} (fair {fair:.0f})"
+
+    def test_more_vnodes_balance_better(self):
+        ks = keys(20_000)
+
+        def spread(vnodes):
+            ring = HashRing(["r0", "r1", "r2", "r3"], vnodes=vnodes)
+            sizes = [len(v) for v in ring.assignments(ks).values()]
+            return (max(sizes) - min(sizes)) / (len(ks) / 4)
+
+        assert spread(128) < spread(4)
+
+
+class TestMinimalDisruption:
+    def test_add_moves_about_one_nth(self):
+        """Growing N -> N+1 moves ~K/(N+1) keys, all onto the newcomer."""
+        ks = keys(10_000)
+        ring = HashRing(["r0", "r1", "r2"], seed=3)
+        before = {k: ring.lookup(k) for k in ks}
+        ring.add("r3")
+        moved = [k for k in ks if ring.lookup(k) != before[k]]
+        # every moved key lands on the new member, never between old ones
+        assert all(ring.lookup(k) == "r3" for k in moved)
+        expected = len(ks) / 4
+        assert 0.5 * expected < len(moved) < 1.5 * expected
+
+    def test_remove_moves_only_the_leavers_keys(self):
+        ks = keys(10_000)
+        ring = HashRing(["r0", "r1", "r2", "r3"], seed=3)
+        before = {k: ring.lookup(k) for k in ks}
+        owned = [k for k in ks if before[k] == "r3"]
+        ring.remove("r3")
+        moved = [k for k in ks if ring.lookup(k) != before[k]]
+        assert sorted(moved) == sorted(owned)
+
+    def test_add_then_remove_restores_mapping(self):
+        ks = keys(2_000)
+        ring = HashRing(["r0", "r1"], seed=5)
+        before = {k: ring.lookup(k) for k in ks}
+        ring.add("r2")
+        ring.remove("r2")
+        assert {k: ring.lookup(k) for k in ks} == before
+
+    def test_seed_changes_placement(self):
+        ks = keys(500)
+        a = HashRing(["r0", "r1", "r2"], seed=0).assignments(ks)
+        b = HashRing(["r0", "r1", "r2"], seed=99).assignments(ks)
+        assert a != b

@@ -1,0 +1,147 @@
+"""Router tests over real SpMVServer replicas (repro.cluster.router)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    HealthConfig,
+    NoHealthyReplicaError,
+    Router,
+)
+from repro.obs import Obs
+from repro.store import PlanStore
+from tests.conftest import random_csr
+
+
+def make_matrices(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [random_csr(48 + 16 * i, 48 + 16 * i, rng) for i in range(n)]
+
+
+def make_router(n_servers=3, *, obs=None, health=None, **server_kw):
+    from repro.serve import SpMVServer
+
+    kw = dict(workers=1, queue_depth=16)
+    kw.update(server_kw)
+    servers = [SpMVServer(**kw) for _ in range(n_servers)]
+    return Router(servers, seed=1, obs=obs, health=health)
+
+
+class TestRouting:
+    def test_register_returns_fingerprint_on_all(self):
+        with make_router() as router:
+            csr = make_matrices(1)[0]
+            fp = router.register(csr)
+            for server in router.servers.values():
+                assert csr is not None
+                assert server.submit(fp, np.zeros(csr.shape[1])) is not None
+
+    def test_affinity_routes_to_ring_home(self):
+        obs = Obs()
+        rng = np.random.default_rng(0)
+        with make_router(obs=obs) as router:
+            fps = [router.register(c) for c in make_matrices(4)]
+            shapes = {fp: c.shape[1]
+                      for fp, c in zip(fps, make_matrices(4))}
+            futs = [router.submit(fp, rng.uniform(-1, 1, shapes[fp]))
+                    for fp in fps for _ in range(5)]
+            for f in futs:
+                assert f.result(timeout=30) is not None
+            # with everything healthy, every request went to its home
+            assert obs.registry.counter(
+                "cluster.router.failover_total").value == 0
+            for fp in fps:
+                home = router.home(fp)
+                assert obs.registry.counter(
+                    "cluster.router.replica_routed_total",
+                    {"replica": home}).value > 0
+
+    def test_select_moves_sick_replicas_back(self):
+        health = HealthConfig(down_after=1, max_queue_depth=1)
+        with make_router(health=health) as router:
+            fp = router.register(make_matrices(1)[0])
+            home = router.home(fp)
+            from repro.cluster import ReplicaSignals
+
+            router.health.observe(home, ReplicaSignals(queue_depth=99))
+            order = router.select(fp)
+            assert order[-1] == home
+            assert not router.health.is_healthy(home)
+
+    def test_failover_when_home_marked_down(self):
+        obs = Obs()
+        health = HealthConfig(down_after=1)
+        rng = np.random.default_rng(1)
+        with make_router(obs=obs, health=health) as router:
+            csr = make_matrices(1)[0]
+            fp = router.register(csr)
+            from repro.cluster import ReplicaSignals
+
+            router.health.observe(router.home(fp),
+                                  ReplicaSignals(queue_depth=10**6))
+            fut = router.submit(fp, rng.uniform(-1, 1, csr.shape[1]))
+            assert fut.result(timeout=30) is not None
+            assert obs.registry.counter(
+                "cluster.router.failover_total").value == 1
+
+    def test_all_queues_full_raises(self):
+        """Every replica refusing with backpressure surfaces as
+        NoHealthyReplicaError, not a silent drop."""
+        import threading
+
+        from repro.serve import SpMVServer
+
+        gate = threading.Event()
+        # max_batch=1: every submit flushes a one-request batch, so the
+        # depth-1 queues fill after one accepted request each
+        servers = [SpMVServer(workers=1, queue_depth=1, max_batch=1)
+                   for _ in range(2)]
+        router = Router(servers, seed=1)
+        try:
+            csr = make_matrices(1)[0]
+            fp = router.register(csr)
+            x = np.zeros(csr.shape[1])
+            # saturate both replicas' bounded queues
+            blocked = []
+            for server in servers:
+                server.scheduler.submit_task(gate.wait)
+            with pytest.raises(NoHealthyReplicaError):
+                for _ in range(64):
+                    blocked.append(router.submit(fp, x))
+        finally:
+            gate.set()
+            router.close()
+
+    def test_probe_reports_health_map(self):
+        with make_router(2) as router:
+            router.register(make_matrices(1)[0])
+            out = router.probe()
+            assert out == {"r0": True, "r1": True}
+
+
+class TestWarm:
+    def test_concurrent_ring_scoped_warm(self, tmp_path):
+        """All replicas warm their assigned fingerprints from one shared
+        store directory, concurrently."""
+        from repro.core import DASPMatrix
+        from repro.serve import SpMVServer
+        from repro.store import fingerprint_csr
+
+        matrices = make_matrices(4, seed=7)
+        store_dir = tmp_path / "plans"
+        seed_store = PlanStore(store_dir)
+        fps = []
+        for csr in matrices:
+            fp = fingerprint_csr(csr.astype(np.float64))
+            seed_store.put(fp, DASPMatrix.from_csr(csr.astype(np.float64)))
+            fps.append(fp)
+
+        servers = [SpMVServer(workers=1, store=store_dir) for _ in range(3)]
+        with Router(servers, seed=1) as router:
+            for csr in matrices:
+                router.register(csr.astype(np.float64))
+            warmed = router.warm(fps)
+        assigned = router.assignments(fps)
+        assert sum(warmed.values()) == len(fps)
+        for rid, n in warmed.items():
+            assert n == len(assigned[rid])

@@ -203,6 +203,54 @@ class TestPrunedCounter:
         assert sched.obs.counter("serve.scheduler.pruned_total").value == 3
 
 
+class TestGauges:
+    def test_queue_depth_gauge_returns_to_zero_after_drain(self):
+        """The gauge tracks dequeues (and pruning), not just enqueues —
+        a drained scheduler must read 0, not its high-water mark."""
+        from repro.obs import Obs
+
+        obs = Obs()
+        gate = threading.Event()
+        with Scheduler(lambda b: gate.wait(5.0),
+                       workers=1, queue_depth=8, obs=obs) as sched:
+            depth = obs.registry.gauge("serve.scheduler.queue_depth")
+            for i in range(6):
+                sched.submit(batch(f"m{i}", i))
+            assert depth.value > 0  # backlog while the worker is gated
+            gate.set()
+            assert sched.drain(timeout=5.0)
+            assert depth.value == 0
+            assert sched.backlog() == 0
+            assert obs.registry.gauge(
+                "serve.scheduler.inflight").value == 0
+
+    def test_queue_depth_gauge_accounts_pruned_batches(self):
+        from repro.obs import Obs
+
+        obs = Obs()
+        with Scheduler(lambda b: None, workers=1, prune=lambda b: None,
+                       obs=obs) as sched:
+            for i in range(5):
+                sched.submit(batch("drop", i))
+            assert sched.drain(timeout=5.0)
+            assert obs.registry.gauge(
+                "serve.scheduler.queue_depth").value == 0
+
+    def test_gauge_zero_after_close_without_drain(self):
+        from repro.obs import Obs
+
+        obs = Obs()
+        gate = threading.Event()
+        sched = Scheduler(lambda b: gate.wait(5.0), workers=1,
+                          queue_depth=8, obs=obs)
+        for i in range(4):
+            sched.submit(batch(f"m{i}", i))
+        gate.set()
+        sched.close(drain=False)
+        assert obs.registry.gauge(
+            "serve.scheduler.queue_depth").value == 0
+
+
 class TestSubmitTask:
     def test_task_runs_on_worker(self):
         ran = threading.Event()

@@ -1,0 +1,150 @@
+"""Concurrency regression tests for the shared plan store.
+
+The cluster layer warms N replicas from one store directory on N
+threads while gc/quarantine may rewrite it — the advisory per-root
+lock (shared by every PlanStore opened on the same directory) must
+keep concurrent readers consistent, and a vanished artifact must read
+as a miss, never a crash.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DASPMatrix
+from repro.serve import PlanRegistry
+from repro.store import PlanStore, fingerprint_csr
+from tests.conftest import random_csr
+
+
+def populate(store_dir, n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    store = PlanStore(store_dir)
+    fps = []
+    for i in range(n):
+        csr = random_csr(40 + 8 * i, 40 + 8 * i, rng)
+        fp = fingerprint_csr(csr)
+        store.put(fp, DASPMatrix.from_csr(csr))
+        fps.append(fp)
+    return fps
+
+
+def test_shared_root_lock_is_one_object(tmp_path):
+    a = PlanStore(tmp_path / "s")
+    b = PlanStore(tmp_path / "s")
+    c = PlanStore(tmp_path / "other")
+    assert a._lock is b._lock
+    assert a._lock is not c._lock
+
+
+def test_two_threads_warm_same_fingerprints(tmp_path):
+    """Two replicas warming the SAME fingerprint set concurrently from
+    one directory: every warm succeeds, no artifact read tears."""
+    store_dir = tmp_path / "plans"
+    fps = populate(store_dir)
+    registries = [PlanRegistry(store=store_dir) for _ in range(2)]
+    errors: list[BaseException] = []
+    warmed = [[], []]
+    barrier = threading.Barrier(2)
+
+    def work(i):
+        try:
+            barrier.wait(timeout=10)
+            for _ in range(5):  # re-warm to stretch the race window
+                for fp in fps:
+                    load_s = registries[i].warm(fp)
+                    warmed[i].append((fp, load_s))
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    for i in range(2):
+        assert len(warmed[i]) == 5 * len(fps)
+        # first pass loads every artifact from disk (later passes hit
+        # the memory tier, where warm() reports None by contract)
+        assert all(load_s is not None
+                   for _, load_s in warmed[i][:len(fps)])
+        snap = registries[i].store.snapshot()
+        assert snap["load_failures"] == 0
+
+
+def test_warm_races_gc(tmp_path):
+    """Readers warming while gc shrinks the store never crash: an
+    artifact gc removed mid-iteration is a miss, not an error."""
+    store_dir = tmp_path / "plans"
+    fps = populate(store_dir, n=8)
+    reader_store = PlanStore(store_dir)
+    # capacity that keeps ~half the artifacts
+    total = reader_store.nbytes()
+    gc_store = PlanStore(store_dir, capacity_bytes=total // 2)
+    errors: list[BaseException] = []
+    loaded = []
+
+    def read_loop():
+        try:
+            for _ in range(10):
+                for fp in fps:
+                    plan = reader_store.load(fp)
+                    loaded.append(plan is not None)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    def gc_loop():
+        try:
+            for _ in range(10):
+                gc_store.gc()
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=read_loop),
+               threading.Thread(target=gc_loop)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    # some loads hit, and misses (gc'd artifacts) were clean Nones
+    assert any(loaded)
+
+
+def test_vanished_artifact_is_a_miss(tmp_path):
+    store_dir = tmp_path / "plans"
+    fps = populate(store_dir, n=1)
+    store = PlanStore(store_dir)
+    assert store.load(fps[0]) is not None
+    store.path_for(fps[0]).unlink()
+    assert store.load(fps[0]) is None
+    assert store.peek_header(fps[0]) is None
+
+
+def test_concurrent_put_same_fingerprint(tmp_path):
+    """Two writers publishing the same fingerprint: last replace wins,
+    the artifact stays readable throughout."""
+    rng = np.random.default_rng(1)
+    csr = random_csr(64, 64, rng)
+    fp = fingerprint_csr(csr)
+    plan = DASPMatrix.from_csr(csr)
+    stores = [PlanStore(tmp_path / "s") for _ in range(2)]
+    errors: list[BaseException] = []
+
+    def put_loop(store):
+        try:
+            for _ in range(10):
+                store.put(fp, plan, overwrite=True)
+                assert store.load(fp) is not None
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=put_loop, args=(s,)) for s in stores]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    assert stores[0].verify(fp)
