@@ -23,11 +23,13 @@ from . import (
     analysis,
     baselines,
     bench,
+    cluster,
     core,
     formats,
     gpu,
     matrices,
     obs,
+    overload,
     precision,
     resilience,
     serve,
@@ -38,7 +40,15 @@ from ._util import ReproError, ValidationError, geomean
 from .core import DASPMatrix, DASPMethod, dasp_spmm, dasp_spmv
 from .formats import BSRMatrix, COOMatrix, CSRMatrix, ELLMatrix, to_csr
 from .formats.mmio import MatrixMarketError
+from .cluster import NoHealthyReplicaError, RouterClosedError
 from .gpu import A100, H800, DeviceSpec, get_device
+from .overload import (
+    AdmissionConfig,
+    AdmissionRejectedError,
+    HedgeConfig,
+    OverloadConfig,
+    RetryBudgetConfig,
+)
 from .resilience import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -57,6 +67,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "A100",
+    "AdmissionConfig",
+    "AdmissionRejectedError",
     "ArtifactError",
     "BSRMatrix",
     "COOMatrix",
@@ -68,10 +80,13 @@ __all__ = [
     "DeviceSpec",
     "ELLMatrix",
     "H800",
+    "HedgeConfig",
     "InjectedFault",
     "KernelFault",
     "MatrixMarketError",
+    "NoHealthyReplicaError",
     "NumericFault",
+    "OverloadConfig",
     "PlanStore",
     "PlanTooLargeError",
     "PreprocessFault",
@@ -79,12 +94,15 @@ __all__ = [
     "ReproError",
     "RequestShedError",
     "ResilienceError",
+    "RetryBudgetConfig",
+    "RouterClosedError",
     "ServerClosedError",
     "ValidationError",
     "__version__",
     "analysis",
     "baselines",
     "bench",
+    "cluster",
     "core",
     "dasp_spmm",
     "dasp_spmv",
@@ -95,6 +113,7 @@ __all__ = [
     "gpu",
     "matrices",
     "obs",
+    "overload",
     "precision",
     "resilience",
     "serve",

@@ -242,7 +242,12 @@ def cmd_serve_sim(args) -> int:
 
 
 def cmd_cluster_sim(args) -> int:
-    from .cluster import ClusterConfig, ElasticConfig, run_cluster_workload
+    from .cluster import (
+        ClusterConfig,
+        ElasticConfig,
+        HealthConfig,
+        run_cluster_workload,
+    )
     from .obs import Obs, Tracer
     from .serve import ChaosConfig
 
@@ -255,6 +260,23 @@ def cmd_cluster_sim(args) -> int:
     if args.elastic:
         elastic = ElasticConfig(min_replicas=args.min_replicas,
                                 max_replicas=args.max_replicas)
+    overload = None
+    if args.overload:
+        from .overload import (
+            AdmissionConfig,
+            HedgeConfig,
+            OverloadConfig,
+            RetryBudgetConfig,
+        )
+
+        overload = OverloadConfig(
+            admission=AdmissionConfig(rate_rps=args.admission_rate),
+            retry_budget=RetryBudgetConfig(),
+            hedge=HedgeConfig(factor=args.hedge_factor),
+            batch_fraction=args.batch_fraction,
+        )
+    health = HealthConfig(straggler_factor=args.straggler_factor) \
+        if args.straggler_factor is not None else HealthConfig()
     cfg = ClusterConfig(
         n_requests=args.requests,
         rate_rps=args.rate,
@@ -279,6 +301,12 @@ def cmd_cluster_sim(args) -> int:
         fail_replica=args.fail_replica,
         fail_rate=args.fail_rate,
         elastic=elastic,
+        health=health,
+        overload=overload,
+        slow_replica=args.slow_replica,
+        slow_factor=args.slow_factor,
+        partition_replica=args.partition_replica,
+        partition_window=tuple(args.partition_window),
     )
     obs = Obs(tracer=Tracer()) if args.trace else Obs()
     import time as _time
@@ -288,13 +316,16 @@ def cmd_cluster_sim(args) -> int:
     wall_s = _time.perf_counter() - t0
     print(stats.summary_table())
     rows = [(rid, f"{s.n_requests:,}", f"{s.n_completed:,}",
+             f"{s.retries:,}",
              f"{s.throughput_rps:,.0f}", f"{s.cache_hit_rate:.1%}",
+             "yes" if stats.health.get(rid, {}).get("straggler") else "no",
              "no" if stats.health.get(rid, {}).get("healthy", True)
              else "DOWN")
             for rid, s in stats.replicas.items()]
     print()
-    print(markdown_table(("replica", "requests", "completed", "req/s",
-                          "cache hits", "unhealthy"), rows))
+    print(markdown_table(("replica", "requests", "completed", "retries",
+                          "req/s", "cache hits", "straggler", "unhealthy"),
+                         rows))
     if args.trace:
         by_replica = obs.tracer.device_time_by_attr("replica")
         if by_replica:
@@ -308,7 +339,7 @@ def cmd_cluster_sim(args) -> int:
         from .bench import record_bench
 
         pct = stats.latency_percentiles((50.0, 99.0))
-        path = record_bench("cluster", {
+        record = {
             "replicas": stats.n_replicas,
             "seed": cfg.seed,
             "requests": stats.n_requests,
@@ -319,7 +350,21 @@ def cmd_cluster_sim(args) -> int:
             "p99_latency_s": pct[99.0],
             "failovers": stats.n_failover,
             "wall_s": round(wall_s, 3),
-        }, results_dir=args.bench_dir)
+        }
+        if stats.overload_enabled:
+            record.update({
+                "offered": stats.n_offered,
+                "shed": stats.n_shed,
+                "link_failed": stats.n_link_failed,
+                "hedges_issued": stats.n_hedges_issued,
+                "hedges_won": stats.n_hedges_won,
+                "hedges_wasted": stats.n_hedges_wasted,
+                "retry_budget_granted": stats.retry_budget_granted,
+                "retry_budget_denied": stats.retry_budget_denied,
+                "lost_requests": stats.lost_requests,
+                "priorities": stats.priorities,
+            })
+        path = record_bench("cluster", record, results_dir=args.bench_dir)
         print(f"\ntrajectory record appended to {path}")
     return 0
 
@@ -639,6 +684,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable queue-depth-driven elastic scaling")
     p.add_argument("--min-replicas", type=int, default=1)
     p.add_argument("--max-replicas", type=int, default=8)
+    p.add_argument("--overload", action="store_true",
+                   help="enable the overload layer: admission control, "
+                        "cluster-wide retry budget, hedged requests "
+                        "(repro.overload)")
+    p.add_argument("--admission-rate", type=float, default=None,
+                   metavar="RPS",
+                   help="admission token-bucket rate (default: unlimited "
+                        "bucket, i.e. admission counts but never sheds)")
+    p.add_argument("--batch-fraction", type=float, default=0.3,
+                   help="share of traffic tagged batch priority "
+                        "(shed first under --overload)")
+    p.add_argument("--hedge-factor", type=float, default=3.0,
+                   help="hedge/demote a replica whose latency EWMA "
+                        "exceeds this multiple of the peer median")
+    p.add_argument("--straggler-factor", type=float, default=None,
+                   metavar="F",
+                   help="demote (soft-drain) healthy replicas whose "
+                        "latency EWMA exceeds F x the peer median")
+    p.add_argument("--slow-replica", type=int, default=None, metavar="I",
+                   help="chaos: multiply replica I's modeled device time "
+                        "by --slow-factor (a live straggler)")
+    p.add_argument("--slow-factor", type=float, default=4.0)
+    p.add_argument("--partition", type=int, default=None, metavar="I",
+                   dest="partition_replica",
+                   help="chaos: drop the router link to replica I for "
+                        "--partition-window of the run")
+    p.add_argument("--partition-window", type=float, nargs=2,
+                   default=(0.25, 0.75), metavar=("START", "END"),
+                   help="partition window as fractions of the arrival span")
     p.add_argument("--store", metavar="DIR", default=None,
                    help="shared plan store for ring-scoped warm-up")
     p.add_argument("--warm-start", action="store_true",

@@ -24,7 +24,7 @@ from .driver import (
 )
 from .health import HealthConfig, ReplicaHealth, ReplicaSignals
 from .ring import DEFAULT_VNODES, HashRing, stable_hash
-from .router import NoHealthyReplicaError, Router
+from .router import NoHealthyReplicaError, Router, RouterClosedError
 
 __all__ = [
     "ClusterConfig",
@@ -37,6 +37,7 @@ __all__ = [
     "ReplicaHealth",
     "ReplicaSignals",
     "Router",
+    "RouterClosedError",
     "run_cluster_workload",
     "stable_hash",
 ]

@@ -38,6 +38,13 @@ import numpy as np
 from .._util import check, default_rng
 from ..gpu.device import get_device
 from ..obs import Obs
+from ..overload import (
+    PRIORITIES,
+    HedgePair,
+    LatencyTracker,
+    OverloadConfig,
+    OverloadContext,
+)
 from ..resilience import FaultInjector, FaultPlan, FaultRule
 from ..serve.batcher import SpMVRequest
 from ..serve.driver import (
@@ -105,6 +112,24 @@ class ClusterConfig(WorkloadConfig):
     elastic:
         Optional :class:`ElasticConfig`; ``None`` keeps membership
         fixed.
+    overload:
+        Optional :class:`repro.overload.OverloadConfig` activating
+        admission control (shed at the router before any replica sees
+        the request, batch priority first), a cluster-wide retry
+        budget shared by every replica, and hedged requests (a shadow
+        copy to the next preference replica when the primary's latency
+        EWMA marks it a straggler; first completion wins).  ``None``
+        keeps the run bit-identical to a pre-overload driver.
+    slow_replica / slow_factor:
+        Chaos scenario: multiply replica ``slow_replica``'s modeled
+        device time by ``slow_factor`` — a straggler that stays alive
+        and correct while dominating the tail.
+    partition_replica / partition_window:
+        Chaos scenario: drop the router↔replica link to
+        ``partition_replica`` for the virtual-time window given as
+        fractions of the total arrival span — no new traffic reaches
+        it and its probes come back unreachable (tripping every health
+        threshold) until the window closes and recovery begins.
     """
 
     n_replicas: int = 4
@@ -115,6 +140,11 @@ class ClusterConfig(WorkloadConfig):
     fail_replica: int | None = None
     fail_rate: float = 1.0
     elastic: ElasticConfig | None = None
+    overload: OverloadConfig | None = None
+    slow_replica: int | None = None
+    slow_factor: float = 4.0
+    partition_replica: int | None = None
+    partition_window: tuple = (0.25, 0.75)
 
 
 @dataclass
@@ -141,6 +171,25 @@ class ClusterStats:
     n_moved_fingerprints: int = 0
     health: dict = field(default_factory=dict)
     duration_s: float = 0.0
+    #: Logical (per-request, hedge-shadow-free) accounting added with
+    #: the overload layer.  ``n_offered`` is the request count the
+    #: workload generated; ``n_shed`` were turned away by admission
+    #: control, ``n_rejected_logical`` by primary-replica backpressure,
+    #: ``n_link_failed`` by a full partition.  Zero-valued and unused
+    #: on pre-overload runs.
+    overload_enabled: bool = False
+    n_offered: int = 0
+    n_shed: int = 0
+    n_rejected_logical: int = 0
+    n_link_failed: int = 0
+    n_hedges_issued: int = 0
+    n_hedges_won: int = 0
+    n_hedges_wasted: int = 0
+    retry_budget_granted: int = 0
+    retry_budget_denied: int = 0
+    n_retries: int = 0
+    #: priority -> {"offered", "shed", "completed"} (overload runs only)
+    priorities: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def _sum(self, attr: str):
@@ -191,6 +240,34 @@ class ClusterStats:
         offered = self.n_requests
         return (self.n_completed / offered) if offered > 0 else 1.0
 
+    @property
+    def lost_requests(self) -> int:
+        """Logically offered requests with no terminal outcome.
+
+        Every generated request must end exactly one way — completed,
+        admission-shed, backpressure-rejected, expired, failed, or
+        unroutable behind a partition; anything else is a lost future.
+        Only meaningful (and gated to zero) on overload runs, where
+        hedge shadows make the per-replica sums non-logical."""
+        if not self.overload_enabled:
+            return 0
+        accounted = (self.n_shed + self.n_rejected_logical
+                     + self.n_link_failed + self.n_completed
+                     + self.n_deadline_exceeded + self.n_failed)
+        return self.n_offered - accounted
+
+    def in_deadline_by_priority(self, priority: str) -> float:
+        """Completed / offered for one admission class (overload runs).
+
+        Admission-shed requests are *excluded* from the denominator:
+        shedding is the controller doing its job, and the question this
+        metric answers is how the traffic the cluster accepted fared."""
+        p = self.priorities.get(priority)
+        if not p:
+            return float("nan")
+        accepted = p["offered"] - p["shed"]
+        return (p["completed"] / accepted) if accepted > 0 else 1.0
+
     def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> dict[float, float]:
         """Percentiles over every completed request, all replicas."""
         merged = [lat for s in self.replicas.values()
@@ -226,6 +303,23 @@ class ClusterStats:
              f"{self.n_moved_fingerprints}"),
             ("makespan", f"{self.duration_s:.4f} s"),
         ]
+        if self.overload_enabled:
+            prio = " ".join(
+                f"{p}:{self.in_deadline_by_priority(p):.4f}"
+                for p in sorted(self.priorities))
+            rows += [
+                ("offered / shed / link-failed",
+                 f"{self.n_offered:,} / {self.n_shed:,} / "
+                 f"{self.n_link_failed:,}"),
+                ("hedges issued / won / wasted",
+                 f"{self.n_hedges_issued:,} / {self.n_hedges_won:,} / "
+                 f"{self.n_hedges_wasted:,}"),
+                ("retry budget granted / denied",
+                 f"{self.retry_budget_granted:,} / "
+                 f"{self.retry_budget_denied:,}"),
+                ("in-deadline by priority", prio or "-"),
+                ("lost requests", f"{self.lost_requests:,}"),
+            ]
         return markdown_table(("cluster metric", "value"), rows)
 
 
@@ -258,6 +352,9 @@ class _Cluster:
         self.obs = obs
         self.ring = HashRing(vnodes=cfg.vnodes, seed=cfg.ring_seed)
         self.health = ReplicaHealth(cfg.health, obs=obs)
+        self.overload = (OverloadContext(cfg.overload, obs=obs)
+                         if cfg.overload is not None else None)
+        self.partitioned: set[str] = set()
         self.replicas: dict[str, ReplicaSim] = {}
         self._spawned = 0
         self._routed = obs.counter("cluster.driver.routed_total")
@@ -266,8 +363,23 @@ class _Cluster:
         self._scale_up = obs.counter("cluster.driver.scale_up_total")
         self._scale_down = obs.counter("cluster.driver.scale_down_total")
         self._moved = obs.counter("cluster.driver.moved_fingerprints_total")
-        # deadline-miss deltas between probes, per replica
+        self._rejected = obs.counter("cluster.overload.rejected_total")
+        self._link_failed = obs.counter("cluster.overload.link_failed_total")
+        # The latency EWMA doubles as hedge trigger and health signal;
+        # only fold samples when something downstream reads them, so a
+        # plain run does zero extra work per probe.
+        self._track_latency = (
+            (self.overload is not None and self.overload.hedge is not None)
+            or cfg.health.straggler_factor is not None
+            or cfg.slow_replica is not None)
+        self.latency = (self.overload.latency
+                        if (self.overload is not None
+                            and self.overload.latency is not None)
+                        else LatencyTracker())
+        # deadline-miss deltas between probes, per replica; plus the
+        # already-folded latency sample count for the EWMA feed
         self._prev: dict[str, tuple[int, int]] = {}
+        self._lat_seen: dict[str, int] = {}
         for _ in range(cfg.n_replicas):
             self.spawn(warm=False)
 
@@ -284,14 +396,19 @@ class _Cluster:
             if (warm and len(self.ring)) else {}
         replica_obs = Obs(tracer=self.obs.tracer.bound(replica=rid)
                           if self.obs.tracing else None)
+        time_scale = (cfg.slow_factor
+                      if (cfg.slow_replica is not None
+                          and index == cfg.slow_replica) else 1.0)
         replica = ReplicaSim(
             cfg, device=self.device, dtype=self.dtype, pool=self.pool,
             obs=replica_obs, injector=_replica_injector(cfg, self.pool, index),
             retry_rng=self.retry_rng, modeled=self.modeled, store=cfg.store,
-            replica_id=rid, materialize_results=False)
+            replica_id=rid, materialize_results=False,
+            time_scale=time_scale, overload=self.overload)
         self.replicas[rid] = replica
         self.ring.add(rid)
         self._prev[rid] = (0, 0)
+        self._lat_seen[rid] = 0
         if before:
             moved = [fp for fp in fps if self.ring.lookup(fp) != before[fp]]
             self._moved.inc(len(moved))
@@ -322,16 +439,29 @@ class _Cluster:
         for replica in self.replicas.values():
             replica.advance_to(now)
 
-    def route(self, fp: str) -> str:
-        """Healthy-first preference walk (ring order breaks ties)."""
+    def route(self, fp: str) -> str | None:
+        """Healthy-first preference walk (ring order breaks ties).
+
+        Partitioned replicas are unreachable and skipped outright;
+        among the healthy, stragglers are demoted behind fast peers
+        (soft drain) before any sick replica is considered.  Returns
+        ``None`` only when every preference sits behind the partition.
+        """
         prefs = self.ring.preference(fp)
-        target = None
-        for rid in prefs:
+        reachable = [rid for rid in prefs if rid not in self.partitioned]
+        if not reachable:
+            return None
+        fast = []
+        slow = []
+        for rid in reachable:
             if self.health.is_healthy(rid):
-                target = rid
-                break
-        if target is None:
-            target = prefs[0]  # every replica down: home beats dropping
+                (slow if self.health.is_straggler(rid) else fast).append(rid)
+        if fast:
+            target = fast[0]
+        elif slow:
+            target = slow[0]
+        else:
+            target = reachable[0]  # every replica down: home beats dropping
             self._unroutable.inc()
         self._routed.inc()
         if target != prefs[0]:
@@ -339,14 +469,86 @@ class _Cluster:
         return target
 
     def offer(self, req: SpMVRequest, now: float, fp: str) -> bool:
-        return self.replicas[self.route(fp)].offer(req, now)
+        target = self.route(fp)
+        return target is not None and self.replicas[target].offer(req, now)
+
+    def _hedge_target(self, fp: str, primary: str) -> str | None:
+        """Next reachable healthy replica after *primary*, or None."""
+        for rid in self.ring.preference(fp):
+            if rid == primary or rid in self.partitioned:
+                continue
+            if self.health.is_healthy(rid):
+                return rid
+        return None
+
+    def submit(self, req: SpMVRequest, now: float, fp: str) -> str:
+        """Offer one logical request; returns its immediate outcome.
+
+        One of ``"shed"`` (admission control turned it away),
+        ``"link_failed"`` (every preference replica is partitioned),
+        ``"rejected"`` (primary replica backpressure), or ``"routed"``
+        (accepted — possibly alongside a hedge shadow on a second
+        replica when the primary's latency EWMA marks it a straggler).
+        """
+        ctx = self.overload
+        if (ctx is not None and ctx.admission is not None
+                and not ctx.admission.try_admit(req.priority, now)):
+            return "shed"
+        target = self.route(fp)
+        if target is None:
+            self._link_failed.inc()
+            return "link_failed"
+        hedge_rid = None
+        if (ctx is not None and ctx.hedge is not None
+                and self.latency.is_straggler(target,
+                                              factor=ctx.hedge.factor)):
+            hedge_rid = self._hedge_target(fp, target)
+        if hedge_rid is None:
+            if self.replicas[target].offer(req, now):
+                return "routed"
+            self._rejected.inc()
+            return "rejected"
+        pair = HedgePair(primary_rid=target, hedge_rid=hedge_rid)
+        req.pair = pair
+        if not self.replicas[target].offer(req, now):
+            req.pair = None
+            self._rejected.inc()
+            return "rejected"
+        shadow = SpMVRequest(
+            req_id=req.req_id, fingerprint=req.fingerprint, x=req.x,
+            arrival_s=req.arrival_s, deadline_s=req.deadline_s,
+            priority=req.priority, pair=pair, shadow=True)
+        if self.replicas[hedge_rid].offer(shadow, now):
+            ctx.hedges_issued.inc()
+        else:
+            req.pair = None  # hedge rejected: back to a plain request
+        return "routed"
 
     # ------------------------------------------------------------------
     def probe(self) -> None:
-        """Read every active replica's signals into the health monitor."""
+        """Read every active replica's signals into the health monitor.
+
+        A partitioned replica's probe fails like its traffic does: the
+        monitor sees worst-case unreachable signals until the window
+        closes, so every threshold trips and recovery runs through the
+        normal hysteresis.  For the rest, newly completed requests are
+        folded into the per-replica latency EWMA (mean of the fresh
+        slice per probe) that drives straggler demotion and hedging.
+        """
         for rid in self.active():
             replica = self.replicas[rid]
+            if rid in self.partitioned:
+                self.health.observe_unreachable(rid)
+                continue
             stats = replica.stats
+            ewma = 0.0
+            if self._track_latency:
+                seen = self._lat_seen[rid]
+                fresh = stats.latencies_s[seen:]
+                if fresh:
+                    self._lat_seen[rid] = seen + len(fresh)
+                    self.latency.observe(rid, sum(fresh) / len(fresh))
+                ewma = self.latency.ewma(rid)
             prev_miss, prev_req = self._prev[rid]
             d_req = stats.n_requests - prev_req
             d_miss = stats.n_deadline_exceeded - prev_miss
@@ -354,7 +556,8 @@ class _Cluster:
             self.health.observe(rid, ReplicaSignals(
                 queue_depth=replica.backlog_depth,
                 open_circuits=replica.open_circuits(),
-                miss_rate=(d_miss / d_req) if d_req > 0 else 0.0))
+                miss_rate=(d_miss / d_req) if d_req > 0 else 0.0,
+                latency_ewma_s=ewma))
 
     def autoscale(self, now: float, last_action: float) -> float:
         """Apply the elastic policy at one probe; returns the new
@@ -394,6 +597,16 @@ def run_cluster_workload(cfg: ClusterConfig, *,
     if cfg.fail_replica is not None:
         check(0 <= cfg.fail_replica < cfg.n_replicas,
               "fail_replica outside the initial replica set")
+    check(cfg.slow_factor > 0.0, "slow_factor must be > 0")
+    if cfg.slow_replica is not None:
+        check(0 <= cfg.slow_replica < cfg.n_replicas,
+              "slow_replica outside the initial replica set")
+    if cfg.partition_replica is not None:
+        check(0 <= cfg.partition_replica < cfg.n_replicas,
+              "partition_replica outside the initial replica set")
+        p0, p1 = cfg.partition_window
+        check(0.0 <= p0 < p1 <= 1.0,
+              "partition_window must satisfy 0 <= start < end <= 1")
     if obs is None or not obs.enabled:
         obs = Obs()
     device = get_device(cfg.device)
@@ -428,6 +641,30 @@ def run_cluster_workload(cfg: ClusterConfig, *,
     xs = {fp: rng.uniform(-1, 1, csr.shape[1]).astype(dtype)
           for _, fp, csr in pool}
 
+    # Priority tags come from a *dedicated* stream (seed+7) drawn only
+    # when overload is on, so a disabled run consumes exactly the RNG
+    # values of a pre-overload driver — the bit-parity gate.
+    overload_on = cfg.overload is not None
+    if overload_on:
+        prio_rng = default_rng(cfg.seed + 7)
+        batch_mask = (prio_rng.random(cfg.n_requests)
+                      < cfg.overload.batch_fraction)
+
+    span = float(arrivals[-1])
+    p_rid = (f"r{cfg.partition_replica}"
+             if cfg.partition_replica is not None else None)
+    if p_rid is not None:
+        p_start = cfg.partition_window[0] * span
+        p_end = cfg.partition_window[1] * span
+
+    def sync_partition(t: float) -> None:
+        if p_rid is None:
+            return
+        if p_start <= t < p_end:
+            cluster.partitioned.add(p_rid)
+        else:
+            cluster.partitioned.discard(p_rid)
+
     probe_interval = cfg.probe_interval_s
     if probe_interval is None:
         probe_interval = max(float(arrivals[-1]) / 200.0, 1e-6)
@@ -437,22 +674,44 @@ def run_cluster_workload(cfg: ClusterConfig, *,
 
     next_probe = probe_interval
     last_scale = float("-inf")  # cooldown gates between actions only
+    outcomes = {"shed": 0, "rejected": 0, "link_failed": 0, "routed": 0}
+    prio_offer = {p: 0 for p in PRIORITIES}
+    prio_shed = {p: 0 for p in PRIORITIES}
     for i in range(cfg.n_requests):
         now = float(arrivals[i])
         while next_probe <= now:
+            sync_partition(next_probe)
             cluster.advance_all(next_probe)
             cluster.probe()
             last_scale = cluster.autoscale(next_probe, last_scale)
             next_probe += probe_interval
+        sync_partition(now)
         cluster.advance_all(now)
         _, fp, _csr = pool[choices[i]]
+        priority = ("batch" if overload_on and batch_mask[i]
+                    else "interactive")
         req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now,
-                          deadline_s=deadline_for(now))
-        cluster.offer(req, now, fp)
+                          deadline_s=deadline_for(now), priority=priority)
+        outcome = cluster.submit(req, now, fp)
+        outcomes[outcome] += 1
+        if overload_on:
+            prio_offer[priority] += 1
+            if outcome == "shed":
+                prio_shed[priority] += 1
 
     end = float(arrivals[-1])
     for replica in cluster.replicas.values():
         replica.drain(end)
+
+    priorities: dict[str, dict] = {}
+    if overload_on:
+        prio_completed = {p: 0 for p in PRIORITIES}
+        for replica in cluster.replicas.values():
+            for req in replica.completed:
+                prio_completed[req.priority] += 1
+        priorities = {p: {"offered": prio_offer[p], "shed": prio_shed[p],
+                          "completed": prio_completed[p]}
+                      for p in PRIORITIES}
 
     reg = obs.registry
     stats = ClusterStats(
@@ -477,5 +736,24 @@ def run_cluster_workload(cfg: ClusterConfig, *,
         health=cluster.health.snapshot(),
         duration_s=max((r.stats.duration_s
                         for r in cluster.replicas.values()), default=end),
+        # Logical accounting is meaningful whenever the submit path can
+        # shed/hedge/drop — overload on, or a chaos scenario active.
+        overload_enabled=(overload_on or cfg.slow_replica is not None
+                          or p_rid is not None),
+        n_offered=cfg.n_requests,
+        n_shed=outcomes["shed"],
+        n_rejected_logical=outcomes["rejected"],
+        n_link_failed=outcomes["link_failed"],
+        n_hedges_issued=int(reg.counter(
+            "overload.hedge.issued_total").value),
+        n_hedges_won=int(reg.counter("overload.hedge.won_total").value),
+        n_hedges_wasted=int(reg.counter(
+            "overload.hedge.wasted_total").value),
+        retry_budget_granted=int(reg.counter(
+            "overload.retry_budget.granted_total").value),
+        retry_budget_denied=int(reg.counter(
+            "overload.retry_budget.denied_total").value),
+        n_retries=sum(r.stats.retries for r in cluster.replicas.values()),
+        priorities=priorities,
     )
     return stats

@@ -8,15 +8,30 @@ marked down only after ``down_after`` consecutive bad probes and
 marked up again only after ``up_after`` consecutive good ones, so a
 single queue spike or one half-open breaker probe cannot flap routing.
 
+Between "healthy" and "down" there is a third, softer state:
+**straggler**.  A replica whose latency EWMA (fed by the router or the
+cluster driver via :attr:`ReplicaSignals.latency_ewma_s`) exceeds
+``straggler_factor`` times the median of its peers' is still alive and
+still correct — it is just slow, which is exactly the replica that
+dominates the cluster's tail latency.  Stragglers stay *routable* but
+are demoted to the back of the healthy portion of every preference
+walk (a soft drain): affinity traffic moves off them gradually without
+the cliff of marking them down, and they rejoin automatically once
+their EWMA recovers.  ``straggler_factor=None`` (the default) disables
+the mechanism entirely.
+
 The monitor never contacts replicas itself — callers sample signals
 (:meth:`repro.serve.SpMVServer.signals` on the real server, replica
 state directly in the virtual-time cluster driver) and feed them to
 :meth:`ReplicaHealth.observe`.  That keeps it clock-free and equally
-usable under wall time and virtual time.
+usable under wall time and virtual time.  All state mutation is
+guarded by one lock: ``observe`` runs on probe threads while the
+driver calls ``snapshot``/``forget`` concurrently.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from .._util import check
@@ -31,6 +46,11 @@ class HealthConfig:
     (or half-open) breaker circuits, or a deadline-miss rate above
     ``max_miss_rate`` over the probe interval.  ``None`` disables a
     threshold.
+
+    ``straggler_factor`` enables the soft-drain straggler state: a
+    replica whose ``latency_ewma_s`` exceeds this multiple of the
+    median of its peers' positive EWMAs is demoted (not downed) in the
+    preference walk.  ``None`` (default) keeps pre-overload behaviour.
     """
 
     max_queue_depth: int | None = 64
@@ -38,6 +58,7 @@ class HealthConfig:
     max_miss_rate: float | None = 0.5
     down_after: int = 2
     up_after: int = 3
+    straggler_factor: float | None = None
 
     def __post_init__(self) -> None:
         check(self.down_after >= 1, "down_after must be >= 1")
@@ -50,6 +71,9 @@ class HealthConfig:
         if self.max_miss_rate is not None:
             check(0.0 <= self.max_miss_rate <= 1.0,
                   "max_miss_rate must be in [0, 1]")
+        if self.straggler_factor is not None:
+            check(self.straggler_factor > 1.0,
+                  "straggler_factor must be > 1")
 
 
 @dataclass(frozen=True)
@@ -60,12 +84,15 @@ class ReplicaSignals:
     on the real server, flushed-batch backlog in the virtual driver);
     ``open_circuits`` counts fingerprints whose breaker is not closed;
     ``miss_rate`` is deadline misses / requests since the last probe
-    (0.0 when idle).
+    (0.0 when idle); ``latency_ewma_s`` is the smoothed request
+    latency observed *at the router* (0.0 = no data yet), the signal
+    behind straggler demotion.
     """
 
     queue_depth: int = 0
     open_circuits: int = 0
     miss_rate: float = 0.0
+    latency_ewma_s: float = 0.0
 
 
 class _ReplicaState:
@@ -78,6 +105,12 @@ class _ReplicaState:
         self.last = ReplicaSignals()
 
 
+#: Signals fed for a probe that could not reach the replica at all
+#: (partition): trips every enabled threshold at once.
+UNREACHABLE_SIGNALS = ReplicaSignals(queue_depth=1 << 30,
+                                     open_circuits=1 << 30, miss_rate=1.0)
+
+
 class ReplicaHealth:
     """Hysteresis-filtered health state per replica id.
 
@@ -85,6 +118,10 @@ class ReplicaHealth:
     ``cluster.health.transitions_total{to=up|down}`` and a
     ``cluster.health.unhealthy`` gauge; it defaults to a fresh private
     handle (per-run-object convention).
+
+    Thread-safe: ``observe``/``observe_unreachable`` may run on probe
+    threads while the router reads ``is_healthy``/``is_straggler`` and
+    the driver calls ``snapshot``/``forget``.
     """
 
     def __init__(self, config: HealthConfig | None = None, *,
@@ -93,6 +130,7 @@ class ReplicaHealth:
 
         self.config = config if config is not None else HealthConfig()
         self._states: dict[str, _ReplicaState] = {}
+        self._lock = threading.RLock()
         if obs is None or not obs.enabled:
             obs = Obs()
         self.obs = obs
@@ -101,6 +139,7 @@ class ReplicaHealth:
 
     # ------------------------------------------------------------------
     def _state(self, replica_id: str) -> _ReplicaState:
+        # caller holds the lock
         s = self._states.get(replica_id)
         if s is None:
             s = self._states[replica_id] = _ReplicaState()
@@ -122,52 +161,100 @@ class ReplicaHealth:
 
     def observe(self, replica_id: str, signals: ReplicaSignals) -> bool:
         """Fold one probe in; returns the (possibly updated) health."""
-        s = self._state(replica_id)
-        s.last = signals
-        self._probes.inc()
-        if self.is_bad(signals):
-            s.bad_streak += 1
-            s.good_streak = 0
-            if s.healthy and s.bad_streak >= self.config.down_after:
-                s.healthy = False
-                self._transition("down")
-        else:
-            s.good_streak += 1
-            s.bad_streak = 0
-            if not s.healthy and s.good_streak >= self.config.up_after:
-                s.healthy = True
-                self._transition("up")
-        return s.healthy
+        bad = self.is_bad(signals)
+        with self._lock:
+            s = self._state(replica_id)
+            s.last = signals
+            self._probes.inc()
+            if bad:
+                s.bad_streak += 1
+                s.good_streak = 0
+                if s.healthy and s.bad_streak >= self.config.down_after:
+                    s.healthy = False
+                    self._transition("down")
+            else:
+                s.good_streak += 1
+                s.bad_streak = 0
+                if not s.healthy and s.good_streak >= self.config.up_after:
+                    s.healthy = True
+                    self._transition("up")
+            return s.healthy
+
+    def observe_unreachable(self, replica_id: str) -> bool:
+        """Fold in a probe that never got an answer (link partition)."""
+        return self.observe(replica_id, UNREACHABLE_SIGNALS)
 
     def _transition(self, to: str) -> None:
+        # caller holds the lock
         self.obs.counter("cluster.health.transitions_total",
                          {"to": to}).inc()
-        self._unhealthy_gauge.set(self.unhealthy_count())
+        self._unhealthy_gauge.set(self._unhealthy_count_locked())
 
     # ------------------------------------------------------------------
     def is_healthy(self, replica_id: str) -> bool:
         """Unknown replicas are healthy (no probe = no evidence)."""
-        s = self._states.get(replica_id)
-        return s.healthy if s is not None else True
+        with self._lock:
+            s = self._states.get(replica_id)
+            return s.healthy if s is not None else True
+
+    def is_straggler(self, replica_id: str) -> bool:
+        """Healthy but slow relative to its peers (soft-drain state).
+
+        Compares the replica's ``latency_ewma_s`` against
+        ``straggler_factor`` x the median of the *other* replicas'
+        positive EWMAs; needs at least two such peers (no population,
+        no outlier).  Always False when the factor is disabled or the
+        replica is already unhealthy (down dominates demoted).
+        """
+        factor = self.config.straggler_factor
+        if factor is None:
+            return False
+        with self._lock:
+            s = self._states.get(replica_id)
+            if s is None or not s.healthy:
+                return False
+            mine = s.last.latency_ewma_s
+            peers = sorted(t.last.latency_ewma_s
+                           for rid, t in self._states.items()
+                           if rid != replica_id and t.last.latency_ewma_s > 0.0)
+        if mine <= 0.0 or len(peers) < 2:
+            return False
+        mid = len(peers) // 2
+        median = (peers[mid] if len(peers) % 2
+                  else 0.5 * (peers[mid - 1] + peers[mid]))
+        return mine > factor * median
+
+    def stragglers(self) -> list[str]:
+        with self._lock:
+            rids = list(self._states)
+        return [rid for rid in rids if self.is_straggler(rid)]
+
+    def _unhealthy_count_locked(self) -> int:
+        return sum(1 for s in self._states.values() if not s.healthy)
 
     def unhealthy_count(self) -> int:
-        return sum(1 for s in self._states.values() if not s.healthy)
+        with self._lock:
+            return self._unhealthy_count_locked()
 
     def forget(self, replica_id: str) -> None:
         """Drop a drained replica's state (elastic scale-down)."""
-        self._states.pop(replica_id, None)
-        self._unhealthy_gauge.set(self.unhealthy_count())
+        with self._lock:
+            self._states.pop(replica_id, None)
+            self._unhealthy_gauge.set(self._unhealthy_count_locked())
 
     def snapshot(self) -> dict[str, dict]:
         """replica id -> {healthy, streaks, last signals} for reports."""
-        return {
-            rid: {
-                "healthy": s.healthy,
-                "bad_streak": s.bad_streak,
-                "good_streak": s.good_streak,
-                "queue_depth": s.last.queue_depth,
-                "open_circuits": s.last.open_circuits,
-                "miss_rate": s.last.miss_rate,
+        with self._lock:
+            return {
+                rid: {
+                    "healthy": s.healthy,
+                    "bad_streak": s.bad_streak,
+                    "good_streak": s.good_streak,
+                    "queue_depth": s.last.queue_depth,
+                    "open_circuits": s.last.open_circuits,
+                    "miss_rate": s.last.miss_rate,
+                    "latency_ewma_s": s.last.latency_ewma_s,
+                    "straggler": self.is_straggler(rid),
+                }
+                for rid, s in sorted(self._states.items())
             }
-            for rid, s in sorted(self._states.items())
-        }

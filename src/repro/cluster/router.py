@@ -10,6 +10,17 @@ placement policy the cluster driver simulates at scale:
   replicas the :class:`~repro.cluster.health.ReplicaHealth` monitor has
   marked down (and past ones answering with queue-full backpressure),
   so requests reroute instead of failing while a replica is sick;
+* **straggler demotion** — healthy replicas whose router-observed
+  latency EWMA makes them stragglers are moved behind their healthy
+  peers in every preference walk (soft drain) without being downed;
+* **overload control** — with an :class:`~repro.overload.OverloadConfig`
+  installed, ``submit`` admission-checks each request first (shedding
+  batch-priority traffic with a typed
+  :class:`~repro.overload.AdmissionRejectedError` before any replica
+  sees it) and **hedges** slow requests: a wall-clock timer scaled by
+  the serving replica's latency EWMA re-issues the request to the next
+  replica on the preference walk, first result wins, the loser is
+  discarded and counted under ``overload.hedge.wasted_total``;
 * **ring-scoped warm-up** — :meth:`warm` preloads each replica's
   assigned fingerprints from the shared
   :class:`~repro.store.PlanStore`, concurrently across replicas (the
@@ -18,14 +29,23 @@ placement policy the cluster driver simulates at scale:
 Matrices are registered on *every* replica (the CSR is cheap to hold;
 plans are built lazily), so any failover target can serve any
 fingerprint — at worst it rebuilds the plan its cache never saw.
+
+After :meth:`close`, ``submit``/``warm`` raise
+:class:`RouterClosedError` — callers get a typed signal instead of
+whichever replica error the close race happened to surface, and no
+future is ever handed out that nobody will complete.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from concurrent.futures import Future
 
 from .._util import ReproError, check
 from ..obs import Obs
+from ..overload import HedgePair, OverloadConfig, OverloadContext
+from ..resilience.errors import ServerClosedError
 from ..serve.plan_cache import matrix_fingerprint
 from ..serve.scheduler import QueueFullError
 from .health import HealthConfig, ReplicaHealth, ReplicaSignals
@@ -34,6 +54,10 @@ from .ring import DEFAULT_VNODES, HashRing
 
 class NoHealthyReplicaError(ReproError):
     """Every preference-list replica refused the request."""
+
+
+class RouterClosedError(ReproError):
+    """``submit``/``warm`` called on a router after ``close()``."""
 
 
 class Router:
@@ -49,6 +73,10 @@ class Router:
     health:
         :class:`HealthConfig` thresholds for the probe-driven monitor
         (pass ``None`` for defaults).
+    overload:
+        :class:`~repro.overload.OverloadConfig` enabling admission
+        control and/or hedged requests at the router; ``None`` (the
+        default) keeps the pre-overload behaviour exactly.
     obs:
         Shared handle for the ``cluster.router.*`` counters and the
         health monitor's instruments; fresh private one by default.
@@ -56,6 +84,7 @@ class Router:
 
     def __init__(self, servers, *, vnodes: int = DEFAULT_VNODES,
                  seed: int = 0, health: HealthConfig | None = None,
+                 overload: OverloadConfig | None = None,
                  obs: Obs | None = None) -> None:
         if not isinstance(servers, dict):
             servers = {f"r{i}": s for i, s in enumerate(servers)}
@@ -66,10 +95,14 @@ class Router:
             obs = Obs()
         self.obs = obs
         self.health = ReplicaHealth(health, obs=obs)
+        self.overload = (OverloadContext(overload, obs=obs)
+                         if overload is not None else None)
         self._routed = obs.counter("cluster.router.routed_total")
         self._failover = obs.counter("cluster.router.failover_total")
         self._no_replica = obs.counter("cluster.router.unroutable_total")
         self._lock = threading.Lock()
+        self._closed = False
+        self._timers: set[threading.Timer] = set()
         # previous (deadline_exceeded, requests) per replica, for
         # miss-rate deltas between probes
         self._prev: dict[str, tuple[int, int]] = {
@@ -92,45 +125,185 @@ class Router:
         return self.ring.lookup(fingerprint)
 
     def select(self, fingerprint: str) -> list[str]:
-        """Preference order with unhealthy replicas moved to the back.
+        """Preference order: healthy, then stragglers, then sick.
 
-        Unhealthy replicas are kept (at the end, in ring order) as a
-        last resort: when *every* replica is down, routing to the home
-        beats dropping the request.
+        Healthy-but-straggling replicas (latency EWMA far above their
+        peers') are demoted behind the fast healthy ones — a soft
+        drain that moves affinity traffic off a slow replica without
+        the down/up cliff.  Unhealthy replicas are kept (at the end,
+        in ring order) as a last resort: when *every* replica is down,
+        routing to the home beats dropping the request.
         """
         prefs = self.ring.preference(fingerprint)
         healthy = [r for r in prefs if self.health.is_healthy(r)]
         sick = [r for r in prefs if not self.health.is_healthy(r)]
+        if self.health.config.straggler_factor is not None:
+            fast = [r for r in healthy if not self.health.is_straggler(r)]
+            slow = [r for r in healthy if self.health.is_straggler(r)]
+            healthy = fast + slow
         return healthy + sick
 
-    def submit(self, fingerprint: str, x, deadline_s: float | None = None):
-        """Route one request; returns the serving replica's Future.
-
-        Walks :meth:`select`, skipping replicas that refuse with
-        queue-full backpressure; counts a failover whenever the serving
-        replica is not the ring home.  Raises
-        :class:`NoHealthyReplicaError` when every replica refused.
-        """
-        prefs = self.select(fingerprint)
-        home = self.ring.lookup(fingerprint)
+    # ------------------------------------------------------------------
+    def _try_submit(self, candidates, fingerprint: str, x,
+                    deadline_s: float | None):
+        """Walk *candidates*; return ``(rid, future)`` from the first
+        replica that accepts.  Skips queue-full and individually
+        closed replicas; raises :class:`RouterClosedError` when the
+        race was the router's own close, or
+        :class:`NoHealthyReplicaError` when everyone refused."""
         last: Exception | None = None
-        for rid in prefs:
+        for rid in candidates:
             try:
                 future = self.servers[rid].submit(fingerprint, x,
                                                   deadline_s=deadline_s)
             except QueueFullError as exc:
                 last = exc
                 continue
-            self._routed.inc()
-            self.obs.counter("cluster.router.replica_routed_total",
-                             {"replica": rid}).inc()
-            if rid != home:
-                self._failover.inc()
-            return future
+            except ServerClosedError as exc:
+                if self._closed:
+                    raise RouterClosedError("router is closed") from exc
+                last = exc
+                continue
+            return rid, future
         self._no_replica.inc()
         raise NoHealthyReplicaError(
             f"no replica accepted matrix {fingerprint[:8]}… "
-            f"(tried {len(prefs)})") from last
+            f"(tried {len(candidates)})") from last
+
+    def _watch_latency(self, rid: str, future) -> None:
+        """Feed the per-replica latency EWMA when *future* settles."""
+        ctx = self.overload
+        if ctx is None or ctx.latency is None:
+            return
+        start = time.monotonic()
+        future.add_done_callback(
+            lambda _f: ctx.latency.observe(rid, time.monotonic() - start))
+
+    def submit(self, fingerprint: str, x, deadline_s: float | None = None,
+               priority: str = "interactive"):
+        """Route one request; returns a Future for its result.
+
+        Walks :meth:`select`, skipping replicas that refuse with
+        queue-full backpressure; counts a failover whenever the serving
+        replica is not the ring home.  Raises
+        :class:`NoHealthyReplicaError` when every replica refused,
+        :class:`~repro.overload.AdmissionRejectedError` when admission
+        control sheds the request, and :class:`RouterClosedError`
+        after :meth:`close`.
+
+        With hedging enabled the returned Future is a router-owned
+        wrapper resolved by whichever replica answers first.
+        """
+        if self._closed:
+            raise RouterClosedError("router is closed")
+        ctx = self.overload
+        if ctx is not None and ctx.admission is not None:
+            ctx.admission.admit(priority, time.monotonic())
+        prefs = self.select(fingerprint)
+        home = self.ring.lookup(fingerprint)
+        rid, future = self._try_submit(prefs, fingerprint, x, deadline_s)
+        self._routed.inc()
+        self.obs.counter("cluster.router.replica_routed_total",
+                         {"replica": rid}).inc()
+        if rid != home:
+            self._failover.inc()
+        self._watch_latency(rid, future)
+        if ctx is None or ctx.hedge is None or len(prefs) < 2:
+            return future
+        return self._hedge(ctx, rid, future, prefs, fingerprint, x,
+                           deadline_s)
+
+    # ------------------------------------------------------------------
+    def _hedge(self, ctx: OverloadContext, primary_rid: str, primary,
+               prefs, fingerprint: str, x, deadline_s: float | None):
+        """Wrap *primary* in a first-wins Future with a hedge timer.
+
+        The timer fires after ``max(min_delay_s, delay_factor x EWMA)``
+        without a primary result and re-issues the request to the next
+        replica on the preference walk; whichever side completes first
+        resolves the wrapper, the loser is counted as wasted.  A
+        primary *failure* before the timer fires issues the hedge
+        immediately (failover); the wrapper fails only when both
+        avenues are exhausted.
+        """
+        cfg = ctx.hedge
+        outer: Future = Future()
+        outer.set_running_or_notify_cancel()
+        pair = HedgePair(primary_rid=primary_rid)
+        state = {"hedge_issued": False, "hedge_unroutable": False,
+                 "primary_error": None, "hedge_error": None,
+                 "failed": False}
+        lock = threading.Lock()
+        ewma = ctx.latency.ewma(primary_rid)
+        delay = max(cfg.min_delay_s, cfg.delay_factor * ewma)
+        timer = threading.Timer(delay, lambda: issue_hedge())
+        timer.daemon = True
+
+        def maybe_fail_locked(err) -> bool:
+            # caller holds `lock`; True when this call must fail outer
+            exhausted = (state["primary_error"] is not None
+                         and (state["hedge_error"] is not None
+                              or state["hedge_unroutable"]))
+            if exhausted and not state["failed"]:
+                state["failed"] = True
+                return True
+            return False
+
+        def issue_hedge() -> None:
+            self._timers.discard(timer)
+            with lock:
+                if state["hedge_issued"] or pair.resolved:
+                    return
+                state["hedge_issued"] = True
+            rest = [r for r in prefs if r != primary_rid]
+            try:
+                if self._closed:
+                    raise RouterClosedError("router is closed")
+                hrid, hfut = self._try_submit(rest, fingerprint, x,
+                                              deadline_s)
+            except (NoHealthyReplicaError, RouterClosedError) as exc:
+                with lock:
+                    state["hedge_unroutable"] = True
+                    fail = maybe_fail_locked(exc)
+                if fail:
+                    outer.set_exception(state["primary_error"])
+                return
+            pair.hedge_rid = hrid
+            ctx.hedges_issued.inc()
+            self._watch_latency(hrid, hfut)
+            hfut.add_done_callback(lambda f: on_done("hedge", f))
+
+        def on_done(side: str, fut) -> None:
+            err = fut.exception()
+            if err is None:
+                if pair.resolve(side):
+                    if side == "primary":
+                        timer.cancel()
+                        self._timers.discard(timer)
+                    else:
+                        ctx.hedges_won.inc()
+                    outer.set_result(fut.result())
+                else:
+                    ctx.hedges_wasted.inc()
+                return
+            with lock:
+                state[f"{side}_error"] = err
+                spawn = (side == "primary" and not state["hedge_issued"])
+                fail = False if spawn else maybe_fail_locked(err)
+            if spawn:
+                timer.cancel()
+                issue_hedge()
+                # the hedge may have been unroutable -> re-check
+                with lock:
+                    fail = maybe_fail_locked(err)
+            if fail:
+                outer.set_exception(err)
+
+        primary.add_done_callback(lambda f: on_done("primary", f))
+        if not pair.resolved:
+            self._timers.add(timer)
+            timer.start()
+        return outer
 
     # ------------------------------------------------------------------
     def probe(self) -> dict[str, bool]:
@@ -138,8 +311,10 @@ class Router:
 
         Returns ``{replica_id: healthy}`` after hysteresis.  Call
         periodically (the real deployment's probe loop); the monitor
-        itself is clock-free.
+        itself is clock-free.  With overload enabled, the router's
+        latency EWMA rides along as the straggler signal.
         """
+        ctx = self.overload
         out: dict[str, bool] = {}
         with self._lock:
             for rid, server in self.servers.items():
@@ -149,10 +324,14 @@ class Router:
                 d_miss = raw["deadline_exceeded"] - prev_miss
                 miss_rate = (d_miss / d_req) if d_req > 0 else 0.0
                 self._prev[rid] = (raw["deadline_exceeded"], raw["requests"])
+                ewma = (ctx.latency.ewma(rid)
+                        if ctx is not None and ctx.latency is not None
+                        else 0.0)
                 out[rid] = self.health.observe(rid, ReplicaSignals(
                     queue_depth=raw["queue_depth"],
                     open_circuits=raw["open_circuits"],
-                    miss_rate=miss_rate))
+                    miss_rate=miss_rate,
+                    latency_ewma_s=ewma))
         return out
 
     # ------------------------------------------------------------------
@@ -168,6 +347,8 @@ class Router:
         of a whole cluster restarting against one shared store
         directory.  Returns ``{replica_id: plans_warmed}``.
         """
+        if self._closed:
+            raise RouterClosedError("router is closed")
         assigned = self.assignments(fingerprints)
         warmed: dict[str, int] = {rid: 0 for rid in self.servers}
 
@@ -197,7 +378,20 @@ class Router:
 
     # ------------------------------------------------------------------
     def close(self, timeout: float | None = None) -> None:
-        """Close every replica (drains by default; never leaks futures)."""
+        """Close every replica (drains by default; never leaks futures).
+
+        Subsequent ``submit``/``warm`` raise :class:`RouterClosedError`;
+        pending hedge timers are cancelled (their wrapper futures are
+        resolved by the replicas' own close-time future fail-out).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            timers = list(self._timers)
+            self._timers.clear()
+        for t in timers:
+            t.cancel()
         for server in self.servers.values():
             server.close(timeout)
 

@@ -1,0 +1,165 @@
+"""Token-bucket admission control with two priority classes.
+
+The admission controller sits at the very front door of a server or
+router — *before* batching, queueing, or planning sees the request —
+and answers one question: given the recent arrival rate, should this
+request be taken on at all?  Under overload the answer becomes "no"
+for **batch** traffic first: the bucket keeps a reserve of tokens that
+only **interactive** requests may draw from, so shedding starts with
+the work whose latency nobody is waiting on.
+
+Rejection is a *typed, immediate* failure
+(:class:`AdmissionRejectedError`), deliberately distinct from
+queue-full backpressure (:class:`~repro.serve.scheduler.QueueFullError`):
+backpressure means "the system is momentarily behind", admission
+rejection means "the system is refusing new load to protect what it
+already accepted".  Callers that want to retry the former should back
+off a long time before retrying the latter.
+
+Time is always passed in by the caller, so the same controller runs
+under the real-threaded server (wall clock) and the virtual-time
+drivers (simulated clock) — the convention every clocked component of
+this package follows.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .._util import check
+from ..resilience.errors import ResilienceError
+
+#: The two admission classes, in shed order (batch is shed first).
+PRIORITIES = ("interactive", "batch")
+
+
+class AdmissionRejectedError(ResilienceError):
+    """The admission controller refused the request (overload shed).
+
+    Distinct from queue-full backpressure: the request was never
+    queued, batched, or planned — it was turned away at the door.
+    """
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Token-bucket shape of the admission controller.
+
+    Attributes
+    ----------
+    rate_rps:
+        Sustained admission rate (tokens refilled per second).
+        ``None`` disables rate limiting entirely — the controller
+        admits everything (the inert default, which keeps existing
+        behaviour bit-identical).
+    burst:
+        Bucket capacity: how many requests above the sustained rate a
+        short burst may land before shedding starts.
+    batch_reserve:
+        Fraction of ``burst`` reserved for interactive traffic.  A
+        batch-priority request is admitted only while the bucket would
+        stay above this floor; interactive requests may drain the
+        bucket to zero.  ``0.0`` makes the classes equivalent.
+    """
+
+    rate_rps: float | None = None
+    burst: float = 32.0
+    batch_reserve: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rate_rps is not None:
+            check(self.rate_rps > 0.0, "rate_rps must be > 0")
+        check(self.burst >= 1.0, "burst must be >= 1")
+        check(0.0 <= self.batch_reserve < 1.0,
+              "batch_reserve must be in [0, 1)")
+
+
+class TokenBucket:
+    """A minimal caller-clocked token bucket (not thread-safe itself)."""
+
+    __slots__ = ("rate", "burst", "tokens", "_t")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._t: float | None = None
+
+    def refill(self, now: float) -> None:
+        if self._t is None:
+            self._t = now
+        elif now > self._t:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._t) * self.rate)
+            self._t = now
+
+    def try_take(self, now: float, *, floor: float = 0.0) -> bool:
+        """Take one token if the bucket stays at or above *floor*."""
+        self.refill(now)
+        if self.tokens - 1.0 >= floor - 1e-12:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Priority-aware front-door admission (see module docstring).
+
+    ``obs`` backs the ``overload.admission.{admitted,rejected}_total``
+    counter families (labelled by priority); defaults to a fresh
+    private handle per the per-run-object convention.  Thread-safe:
+    the server calls :meth:`admit` from arbitrary submitter threads.
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None, *,
+                 obs=None) -> None:
+        from ..obs import Obs
+
+        self.config = config if config is not None else AdmissionConfig()
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._bucket = (TokenBucket(self.config.rate_rps, self.config.burst)
+                        if self.config.rate_rps is not None else None)
+        self._lock = threading.Lock()
+        self._admitted = {
+            p: obs.counter("overload.admission.admitted_total",
+                           {"priority": p}) for p in PRIORITIES}
+        self._rejected = {
+            p: obs.counter("overload.admission.rejected_total",
+                           {"priority": p}) for p in PRIORITIES}
+
+    # ------------------------------------------------------------------
+    def try_admit(self, priority: str, now: float) -> bool:
+        """Admit or shed one request; counts either way."""
+        check(priority in PRIORITIES,
+              f"unknown priority {priority!r} (use one of {PRIORITIES})")
+        if self._bucket is None:
+            self._admitted[priority].inc()
+            return True
+        floor = (self.config.batch_reserve * self.config.burst
+                 if priority == "batch" else 0.0)
+        with self._lock:
+            ok = self._bucket.try_take(now, floor=floor)
+        (self._admitted if ok else self._rejected)[priority].inc()
+        return ok
+
+    def admit(self, priority: str, now: float) -> None:
+        """:meth:`try_admit` that raises :class:`AdmissionRejectedError`."""
+        if not self.try_admit(priority, now):
+            raise AdmissionRejectedError(
+                f"{priority} request shed by admission control "
+                f"(sustained rate {self.config.rate_rps:g} req/s)")
+
+    # ------------------------------------------------------------------
+    @property
+    def tokens(self) -> float:
+        """Current bucket level (burst when rate limiting is off)."""
+        if self._bucket is None:
+            return self.config.burst
+        with self._lock:
+            return self._bucket.tokens
+
+    def rejected_total(self) -> int:
+        return int(sum(c.value for c in self._rejected.values()))

@@ -1,0 +1,113 @@
+"""Global retry budget: a shared cap on cluster-wide retry volume.
+
+Per-request retry policies are locally sensible and globally
+dangerous: if every request is allowed ``max_retries`` attempts, a
+cluster-wide transient fault multiplies offered load by up to
+``1 + max_retries`` exactly when the system can least afford it.  The
+retry *budget* bounds the aggregate: every accepted request deposits a
+small fraction of a token (``ratio``), every retry anywhere in the
+process spends a whole one.  In steady state retries may consume at
+most ``ratio`` of recent traffic; during a retry storm the pool runs
+dry and callers skip straight to their degraded path (merge-CSR
+fallback) instead of hammering the device again.
+
+The pool is a plain token count, not a sliding window: deposits are
+capped at ``cap`` so quiet hours cannot bank an unbounded burst of
+retries.  Over any run, ``retries_granted <= initial + ratio *
+requests`` — the invariant the overload benchmark gates on.
+
+One budget instance is meant to be *shared*: across all shards of one
+server, or across every replica of a cluster.  It is thread-safe and
+caller-clocked-free (no clock at all — the bound is volume-based, so
+it holds under wall and virtual time alike).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .._util import check
+
+
+@dataclass(frozen=True)
+class RetryBudgetConfig:
+    """Shape of the shared retry-token pool.
+
+    Attributes
+    ----------
+    ratio:
+        Tokens deposited per accepted request — the steady-state
+        retry fraction (0.2 = retries may be at most 20% of traffic).
+    initial:
+        Tokens pre-funded at startup, so the first few requests can
+        still retry before deposits accumulate.
+    cap:
+        Maximum pool size; bounds how large a retry burst an idle
+        period can bank.
+    """
+
+    ratio: float = 0.2
+    initial: float = 10.0
+    cap: float = 100.0
+
+    def __post_init__(self) -> None:
+        check(0.0 <= self.ratio <= 1.0, "ratio must be in [0, 1]")
+        check(self.initial >= 0.0, "initial must be >= 0")
+        check(self.cap >= self.initial, "cap must be >= initial")
+
+
+class RetryBudget:
+    """Thread-safe shared token pool (see module docstring).
+
+    Counters: ``overload.retry_budget.{granted,denied}_total``; gauge
+    ``overload.retry_budget.tokens`` tracks the pool level.
+    """
+
+    def __init__(self, config: RetryBudgetConfig | None = None, *,
+                 obs=None) -> None:
+        from ..obs import Obs
+
+        self.config = config if config is not None else RetryBudgetConfig()
+        if obs is None or not obs.enabled:
+            obs = Obs()
+        self.obs = obs
+        self._tokens = float(self.config.initial)
+        self._lock = threading.Lock()
+        self._granted = obs.counter("overload.retry_budget.granted_total")
+        self._denied = obs.counter("overload.retry_budget.denied_total")
+        self._gauge = obs.gauge("overload.retry_budget.tokens")
+        self._gauge.set(self._tokens)
+
+    def on_request(self, n: int = 1) -> None:
+        """Deposit tokens for *n* newly accepted requests."""
+        check(n >= 0, "n must be >= 0")
+        with self._lock:
+            self._tokens = min(self.config.cap,
+                               self._tokens + self.config.ratio * n)
+            self._gauge.set(self._tokens)
+
+    def try_spend(self) -> bool:
+        """Spend one token for a retry attempt; deny when dry."""
+        with self._lock:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self._gauge.set(self._tokens)
+                granted = True
+            else:
+                granted = False
+        (self._granted if granted else self._denied).inc()
+        return granted
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    @property
+    def granted_total(self) -> int:
+        return int(self._granted.value)
+
+    @property
+    def denied_total(self) -> int:
+        return int(self._denied.value)

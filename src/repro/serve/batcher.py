@@ -43,6 +43,16 @@ class SpMVRequest:
     deadline_s: float = float("inf")
     result: np.ndarray | None = None
     completion_s: float = float("nan")
+    #: Admission class ("interactive" | "batch") — only consulted when
+    #: an admission controller is installed.
+    priority: str = "interactive"
+    #: First-wins pair state when this request is hedged
+    #: (:class:`repro.overload.HedgePair`); ``None`` for plain requests.
+    pair: object | None = None
+    #: True for the hedge *copy* of a request (the shadow issued to a
+    #: second replica); its completion never counts as a user-visible
+    #: outcome unless it wins the pair.
+    shadow: bool = False
 
     @property
     def latency_s(self) -> float:

@@ -313,13 +313,25 @@ class ReplicaSim:
         ``False`` skips allocating per-request result vectors (the
         virtual driver scatters zeros anyway) — the memory lever that
         lets the cluster driver replay millions of requests.
+    time_scale:
+        Multiplier on every modeled device second this replica charges
+        (kernels, preprocessing, fallback) — the ``slow_replica`` chaos
+        scenario: a straggler that is alive and correct, just slow.
+        The default 1.0 skips the multiply entirely, keeping bit-exact
+        parity with pre-overload runs.
+    overload:
+        Shared :class:`repro.overload.OverloadContext` of the run
+        (cluster-wide retry budget, hedge counters and pair
+        accounting); ``None`` keeps all overload machinery inert.
     """
 
     def __init__(self, cfg: WorkloadConfig, *, device, dtype, pool,
                  obs: Obs | None = None, injector=None, retry_rng=None,
                  modeled: _ModeledDevice | None = None, store=None,
                  replica_id: str = "r0",
-                 materialize_results: bool = True) -> None:
+                 materialize_results: bool = True,
+                 time_scale: float = 1.0,
+                 overload=None) -> None:
         if obs is None or not obs.enabled:
             obs = Obs()
         self.cfg = cfg
@@ -344,10 +356,20 @@ class ReplicaSim:
         self.retry_rng = retry_rng if retry_rng is not None \
             else default_rng(cfg.seed + 1)
         self.csr_by_fp = {fp: csr for _, fp, csr in pool}
+        check(time_scale > 0.0, "time_scale must be > 0")
+        self.time_scale = float(time_scale)
+        self.overload = overload
         self.device_free = 0.0      # when the modeled device next idles
         self.backlog: deque = deque()  # flushed batches awaiting the device
         self.completed: list[SpMVRequest] = []
         self._shard_choice: dict[str, int] = {}
+
+    def _scaled(self, seconds: float) -> float:
+        """Apply the slow-replica time multiplier (identity at 1.0 —
+        not even a float multiply, so default runs stay bit-exact)."""
+        if self.time_scale == 1.0:
+            return seconds
+        return seconds * self.time_scale
 
     # ------------------------------------------------------------------
     # signals (consumed by the cluster health monitor)
@@ -420,17 +442,19 @@ class ReplicaSim:
             plan, source, load_s = self.registry.get_ex(csr, fingerprint=fp,
                                                         builder=build)
             if source == "built":
-                pre = pre_cell.get("s", 0.0)
+                pre = self._scaled(pre_cell.get("s", 0.0))
                 self.stats.observe_preprocess(pre)
                 self.device_free += pre
             elif source == "store":
                 # an in-band disk load occupies the serving timeline
                 # just like the rebuild it replaces — at modeled cost
+                load_s = self._scaled(load_s)
                 self.stats.observe_preprocess(load_s)
                 self.device_free += load_s
             return plan
         # no-cache baseline: rebuild (and pay for) the plan every batch
         plan, pre = self._build_plan(fp, csr)
+        pre = self._scaled(pre)
         self.stats.observe_preprocess(pre)
         self.device_free += pre
         return plan
@@ -438,6 +462,29 @@ class ReplicaSim:
     # ------------------------------------------------------------------
     # batch execution on the modeled device
     # ------------------------------------------------------------------
+    @staticmethod
+    def _side(req: SpMVRequest) -> str:
+        return "hedge" if req.shadow else "primary"
+
+    def _terminal_count(self, reqs) -> int:
+        """How many of *reqs* are terminal *logical* failures.
+
+        Pair-less requests always are; a hedged copy only when its
+        failure is the pair's second (both copies dead, neither won) —
+        so each logical request gets exactly one counted outcome no
+        matter how its two copies fare."""
+        if self.overload is None:
+            return len(reqs)
+        return sum(1 for r in reqs
+                   if r.pair is None or r.pair.mark_failed(self._side(r)))
+
+    def _allow_retry(self) -> bool:
+        """Spend a global retry token (always allowed with no budget)."""
+        ctx = self.overload
+        if ctx is None or ctx.retry_budget is None:
+            return True
+        return ctx.retry_budget.try_spend()
+
     def _finish(self, batch, done: float, t: float, useful: float,
                 issued: float, degraded: bool) -> None:
         self.device_free = done
@@ -447,11 +494,26 @@ class ReplicaSim:
         else:
             for req in batch.requests:
                 req.completion_s = done
+        ctx = self.overload
+        if ctx is None:
+            winners = batch.requests
+        else:
+            # first processed completion wins a hedge pair; the loser's
+            # work is burned (device time above) but produces no
+            # user-visible outcome
+            winners = []
+            for req in batch.requests:
+                if req.pair is None or req.pair.resolve(self._side(req)):
+                    if req.pair is not None and req.shadow:
+                        ctx.hedges_won.inc()
+                    winners.append(req)
+                else:
+                    ctx.hedges_wasted.inc()
         if degraded:
-            self.stats.observe_degraded(batch.k)
+            self.stats.observe_degraded(len(winners))
         self.stats.observe_batch(batch.k, t, useful_mma=useful,
-                                 issued_mma=issued)
-        for req in batch.requests:
+                                 issued_mma=issued, completed=len(winners))
+        for req in winners:
             self.stats.observe_latency(req.latency_s)
             self.completed.append(req)
 
@@ -461,6 +523,7 @@ class ReplicaSim:
                            if self.tracing else None) as sp:
             t, pre_s = self.fallback.modeled_cost(fp, self.csr_by_fp[fp],
                                                   batch.k)
+            t, pre_s = self._scaled(t), self._scaled(pre_s)
             sp.set_device_time(t)
             if pre_s:
                 self.stats.observe_preprocess(pre_s)
@@ -475,12 +538,13 @@ class ReplicaSim:
         with self.obs.span("kernel", attrs={"attempt": attempt}
                            if self.tracing else None) as sp:
             t, useful, issued = self.modeled.batch_cost(fp, plan, batch.k)
+            t = self._scaled(t)
             fault: Exception | None = None
             extra_s = 0.0
             if self.injector is not None:
                 try:
                     decision = self.injector.check_kernel(fp)
-                    extra_s = decision.latency_s
+                    extra_s = self._scaled(decision.latency_s)
                     if decision.corrupt:
                         fault = NumericFault("injected NaN output")
                 except KernelFault as exc:
@@ -530,17 +594,32 @@ class ReplicaSim:
     def _run_one_inner(self, batch, fp: str) -> None:
         cfg = self.cfg
         start = max(self.device_free, batch.formed_s)
+        if self.overload is not None:
+            # drop copies whose hedge pair the other replica already
+            # won — first-wins cancellation before any work or expiry
+            # accounting happens here
+            live = []
+            for r in batch.requests:
+                if r.pair is not None and r.pair.cancelled(self._side(r)):
+                    self.overload.hedges_wasted.inc()
+                else:
+                    live.append(r)
+            batch.requests = live
+            if not batch.requests:
+                return
         if cfg.deadline_s is not None:
             expired = batch.split_expired(start)
             if expired:
-                self.stats.observe_deadline_exceeded(len(expired))
+                self.stats.observe_deadline_exceeded(
+                    self._terminal_count(expired))
             if not batch.requests:
                 return
         if self.injector is not None and not self.breaker.allow(fp, start):
             if cfg.fallback:
                 self._degrade(batch, start)
             else:
-                self.stats.observe_failed(batch.k)
+                self.stats.observe_failed(
+                    self._terminal_count(batch.requests))
             return
         try:
             plan = self.plan_for(fp, self.csr_by_fp[fp])
@@ -550,7 +629,8 @@ class ReplicaSim:
             if cfg.fallback:
                 self._degrade(batch, max(self.device_free, start))
             else:
-                self.stats.observe_failed(batch.k)
+                self.stats.observe_failed(
+                    self._terminal_count(batch.requests))
             return
         for attempt in range(cfg.retry.max_retries + 1):
             t, useful, issued, extra_s, fault = self._run_kernel_attempt(
@@ -565,15 +645,19 @@ class ReplicaSim:
             # failed attempt: the wasted kernel time is still burned
             self.device_free = start + t + extra_s
             self.breaker.record_failure(fp, self.device_free)
-            if attempt < cfg.retry.max_retries:
+            if attempt < cfg.retry.max_retries and self._allow_retry():
                 self.stats.observe_retry()
                 self.device_free += cfg.retry.backoff_s(attempt + 1,
                                                         self.retry_rng)
                 continue
+            # out of attempts — or the global retry budget is dry, in
+            # which case remaining attempts are skipped and the batch
+            # goes straight to the merge-CSR fallback
             if cfg.fallback:
                 self._degrade(batch, self.device_free)
             else:
-                self.stats.observe_failed(batch.k)
+                self.stats.observe_failed(
+                    self._terminal_count(batch.requests))
             return
 
     # ------------------------------------------------------------------
@@ -612,6 +696,9 @@ class ReplicaSim:
         full = self.batcher.add(req, now)
         if full is not None:
             self.enqueue([full])
+        ctx = self.overload
+        if ctx is not None and ctx.retry_budget is not None and not req.shadow:
+            ctx.retry_budget.on_request()
         return True
 
     def drain(self, last_arrival: float) -> float:

@@ -46,6 +46,12 @@ from ..core.spmv import dasp_spmv
 from ..gpu.cost_model import estimate_time
 from ..gpu.device import get_device
 from ..obs import Obs
+from ..overload import (
+    AdmissionConfig,
+    AdmissionController,
+    RetryBudget,
+    RetryBudgetConfig,
+)
 from ..resilience import (
     BreakerConfig,
     CircuitBreaker,
@@ -94,6 +100,22 @@ class SpMVServer:
     fallback:
         Serve un-servable batches from the merge-CSR path (default).
         When ``False`` they fail with the causing exception instead.
+    admission:
+        Optional :class:`repro.overload.AdmissionConfig` (or a shared
+        :class:`~repro.overload.AdmissionController`) installing
+        token-bucket admission control at :meth:`submit`: shed
+        requests fail immediately with a typed
+        :class:`~repro.overload.AdmissionRejectedError` — distinct
+        from queue-full backpressure — and batch-priority traffic is
+        shed first.
+    retry_budget:
+        Optional :class:`repro.overload.RetryBudgetConfig` (or a
+        shared :class:`~repro.overload.RetryBudget` instance, e.g. one
+        pool spanning every replica of a cluster) bounding aggregate
+        retries: when the pool is dry, a transiently-failed batch
+        skips its remaining attempts and degrades straight to the
+        merge-CSR fallback instead of amplifying a cluster-wide fault
+        into a retry storm.
     shards:
         ``None`` (default) serves each batch with one kernel chain.
         An integer ``S >= 2`` partitions every registered matrix into
@@ -141,6 +163,8 @@ class SpMVServer:
                  breaker: BreakerConfig | None = BreakerConfig(),
                  fault_injector=None,
                  fallback: bool = True,
+                 admission: AdmissionConfig | AdmissionController | None = None,
+                 retry_budget: RetryBudgetConfig | RetryBudget | None = None,
                  shards: int | str | None = None,
                  store=None,
                  warm_start: bool = False,
@@ -172,6 +196,14 @@ class SpMVServer:
         self.breaker = (CircuitBreaker(breaker, obs=obs)
                         if breaker is not None else None)
         self.fallback_enabled = bool(fallback)
+        if admission is None or isinstance(admission, AdmissionController):
+            self.admission = admission
+        else:
+            self.admission = AdmissionController(admission, obs=obs)
+        if retry_budget is None or isinstance(retry_budget, RetryBudget):
+            self.retry_budget = retry_budget
+        else:
+            self.retry_budget = RetryBudget(retry_budget, obs=obs)
         self._fallback = FallbackExecutor(self.device)
         self._retry_rng = default_rng(seed)
         self._rng_lock = threading.Lock()
@@ -210,7 +242,8 @@ class SpMVServer:
         return fp
 
     def submit(self, fingerprint: str, x,
-               deadline_s: float | None = None) -> Future:
+               deadline_s: float | None = None,
+               priority: str = "interactive") -> Future:
         """Queue ``y = A @ x``; the future resolves to the result vector.
 
         Invalid inputs fail immediately on the caller thread: an
@@ -219,7 +252,10 @@ class SpMVServer:
         a relative budget from now (falling back to the server-wide
         default); once it passes, the future fails with
         :class:`DeadlineExceededError` instead of occupying a slot.
-        Raises :class:`~repro.serve.scheduler.QueueFullError` under
+        With admission control installed, an over-rate request fails
+        here with :class:`~repro.overload.AdmissionRejectedError`
+        (``priority="batch"`` traffic is shed first).  Raises
+        :class:`~repro.serve.scheduler.QueueFullError` under
         ``"reject"`` backpressure; under ``"shed"`` the displaced
         batch's futures fail with :class:`RequestShedError`.
         """
@@ -233,6 +269,8 @@ class SpMVServer:
         check(x.shape == (csr.shape[1],),
               f"x must have shape ({csr.shape[1]},)")
         check(bool(np.isfinite(x).all()), "x must be finite (no NaN/Inf)")
+        if self.admission is not None:
+            self.admission.admit(priority, self._now())  # may raise
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         now = self._now()
@@ -243,7 +281,8 @@ class SpMVServer:
             self._next_id += 1
             self._futures[req_id] = future
         req = SpMVRequest(req_id=req_id, fingerprint=fingerprint, x=x,
-                          arrival_s=now, deadline_s=deadline)
+                          arrival_s=now, deadline_s=deadline,
+                          priority=priority)
         self.stats.observe_request()
         try:
             full = self.batcher.add(req, self._now())
@@ -254,6 +293,8 @@ class SpMVServer:
                 self._futures.pop(req_id, None)
             self.stats.observe_rejected()
             raise
+        if self.retry_budget is not None:
+            self.retry_budget.on_request()
         return future
 
     def signals(self) -> dict:
@@ -400,7 +441,8 @@ class SpMVServer:
                 if self.breaker is not None:
                     self.breaker.record_failure(fp, self._now())
                 transient = getattr(exc, "transient", False)
-                if transient and attempt < self.retry.max_retries:
+                if (transient and attempt < self.retry.max_retries
+                        and self._allow_retry()):
                     self.stats.observe_retry()
                     with self._rng_lock:
                         backoff = self.retry.backoff_s(attempt + 1,
@@ -415,6 +457,15 @@ class SpMVServer:
         if self.breaker is not None:
             self.breaker.record_success(fp, self._now())
         self._complete(batch, Y, device_s, useful, issued)
+
+    def _allow_retry(self) -> bool:
+        """Spend one global retry token (always allowed with no budget).
+
+        A denial sends the batch straight to the merge-CSR fallback —
+        under a cluster-wide fault that is strictly better than N
+        replicas independently hammering the device with retries.
+        """
+        return self.retry_budget is None or self.retry_budget.try_spend()
 
     def _shards_for(self, fp: str, csr) -> int:
         """Resolve the shard count for one matrix (memoized for auto)."""
@@ -631,7 +682,8 @@ class SpMVServer:
                         mma_phase_fraction(shard.dasp))
             except Exception as exc:  # noqa: BLE001
                 if (getattr(exc, "transient", False)
-                        and attempt < self.retry.max_retries):
+                        and attempt < self.retry.max_retries
+                        and self._allow_retry()):
                     self.stats.observe_retry()
                     with self._rng_lock:
                         backoff = self.retry.backoff_s(attempt + 1,

@@ -52,6 +52,11 @@ _COUNTER_METRICS = {
     "store_oversized": ("serve.plan_cache.oversized_total", True),
     "store_load_modeled_s": ("serve.plan_cache.load_modeled_seconds_total",
                              False),
+    "hedges_issued": ("overload.hedge.issued_total", True),
+    "hedges_won": ("overload.hedge.won_total", True),
+    "hedges_wasted": ("overload.hedge.wasted_total", True),
+    "retry_budget_granted": ("overload.retry_budget.granted_total", True),
+    "retry_budget_denied": ("overload.retry_budget.denied_total", True),
 }
 
 
@@ -135,6 +140,18 @@ class ServerStats:
                 if c.value}
 
     @property
+    def admission_rejected(self) -> int:
+        """Requests shed by admission control (sum of the labeled
+        ``overload.admission.rejected_total`` family)."""
+        return int(self._registry.family_total(
+            "overload.admission.rejected_total"))
+
+    @property
+    def admission_admitted(self) -> int:
+        return int(self._registry.family_total(
+            "overload.admission.admitted_total"))
+
+    @property
     def faults_injected(self) -> int:
         """Total fault-injector rule firings (sum of the labeled
         ``resilience.faults_total`` family)."""
@@ -159,11 +176,19 @@ class ServerStats:
         self._registry.counter("serve.shed_total").inc(n)
 
     def observe_batch(self, k: int, device_s: float, *,
-                      useful_mma: float = 0.0, issued_mma: float = 0.0) -> None:
-        """Record one executed batch of ``k`` requests."""
+                      useful_mma: float = 0.0, issued_mma: float = 0.0,
+                      completed: int | None = None) -> None:
+        """Record one executed batch of ``k`` requests.
+
+        ``completed`` overrides the completion increment when it
+        differs from the batch size — hedge shadows that lost their
+        pair do real device work (counted in ``k`` and the device
+        seconds) without producing a user-visible completion.
+        """
         reg = self._registry
         reg.counter("serve.batches_total").inc()
-        reg.counter("serve.completed_total").inc(k)
+        reg.counter("serve.completed_total").inc(
+            k if completed is None else completed)
         reg.counter("serve.batch_size_total", {"k": k}).inc()
         reg.counter("serve.device_busy_seconds_total").inc(device_s)
         reg.counter("serve.mma_useful_flops_total").inc(useful_mma)
@@ -294,5 +319,17 @@ class ServerStats:
                  f"/ {self.n_failed:,}"),
                 ("breaker transitions (open circuits)",
                  f"{self.breaker_transitions:,} ({breaker or 'none'})"),
+            ]
+        if (self.admission_admitted or self.admission_rejected
+                or self.hedges_issued or self.retry_budget_granted
+                or self.retry_budget_denied):
+            rows += [
+                ("admission admitted / rejected",
+                 f"{self.admission_admitted:,} / {self.admission_rejected:,}"),
+                ("hedges issued / won / wasted",
+                 f"{self.hedges_issued:,} / {self.hedges_won:,} "
+                 f"/ {self.hedges_wasted:,}"),
+                ("retry budget granted / denied",
+                 f"{self.retry_budget_granted:,} / {self.retry_budget_denied:,}"),
             ]
         return markdown_table(("metric", "value"), rows)

@@ -180,3 +180,129 @@ class TestWarmStart:
         warm_pre = sum(s.preprocess_s for s in warm.replicas.values())
         cold_pre = sum(s.preprocess_s for s in cold.replicas.values())
         assert warm_pre < cold_pre
+
+
+def merged_latencies(stats):
+    return [lat for rid in sorted(stats.replicas)
+            for lat in stats.replicas[rid].latencies_s]
+
+
+class TestChaosScenarios:
+    def test_slow_replica_is_deterministic(self):
+        cfg = dict(n_replicas=4, slow_replica=1, deadline_s=0.004)
+        a = run_cluster_workload(cluster_cfg(**cfg))
+        b = run_cluster_workload(cluster_cfg(**cfg))
+        assert merged_latencies(a) == merged_latencies(b)
+        assert a.routed == b.routed
+
+    def test_slow_replica_inflates_its_latency(self):
+        base = run_cluster_workload(cluster_cfg(n_replicas=4))
+        slow = run_cluster_workload(cluster_cfg(n_replicas=4,
+                                                slow_replica=1,
+                                                slow_factor=8.0))
+        # same placement, so compare the slowed replica against itself
+        assert np.mean(slow.replicas["r1"].latencies_s) > \
+            2.0 * np.mean(base.replicas["r1"].latencies_s)
+
+    def test_straggler_demotion_soft_drains(self):
+        """With straggler_factor set, the slow-but-alive replica loses
+        most of its traffic without ever being marked down.  Uses the
+        representative-suite pool: its modeled times are large enough
+        that device slowness, not queueing noise, drives the EWMA."""
+        base = dict(n_requests=1500, n_replicas=4, seed=3,
+                    deadline_s=0.004, slow_replica=1)
+        plain = run_cluster_workload(ClusterConfig(**base))
+        demoted = run_cluster_workload(ClusterConfig(
+            **base, health=HealthConfig(straggler_factor=2.0)))
+        assert demoted.routed["r1"] < plain.routed["r1"] / 2
+        assert demoted.health["r1"]["straggler"]
+        assert demoted.health["r1"]["healthy"]
+
+    def test_partition_drops_link_then_recovers(self):
+        cfg = cluster_cfg(n_requests=3000, n_replicas=4,
+                          partition_replica=0, deadline_s=0.004)
+        stats = run_cluster_workload(cfg)
+        # health saw the partition and the recovery
+        assert stats.n_transitions_down >= 1
+        assert stats.n_transitions_up >= 1
+        assert stats.n_failover > 0
+        # logical accounting holds: nothing silently vanished
+        assert stats.overload_enabled
+        assert stats.lost_requests == 0
+        again = run_cluster_workload(cfg)
+        assert merged_latencies(stats) == merged_latencies(again)
+
+    def test_chaos_knobs_validated(self):
+        with pytest.raises(Exception):
+            run_cluster_workload(cluster_cfg(slow_replica=9))
+        with pytest.raises(Exception):
+            run_cluster_workload(cluster_cfg(partition_replica=-1))
+        with pytest.raises(Exception):
+            run_cluster_workload(cluster_cfg(
+                partition_replica=0, partition_window=(0.8, 0.2)))
+
+
+class TestOverloadIntegration:
+    def test_disabled_features_keep_bit_parity(self):
+        """An OverloadConfig with every mechanism off must not change a
+        single latency vs no config at all (RNG-stream parity)."""
+        from repro.overload import OverloadConfig
+
+        plain = run_cluster_workload(cluster_cfg(n_replicas=3))
+        noop = run_cluster_workload(cluster_cfg(
+            n_replicas=3, overload=OverloadConfig()))
+        assert merged_latencies(plain) == merged_latencies(noop)
+        assert plain.n_completed == noop.n_completed
+
+    def test_hedging_accounts_every_request(self):
+        from repro.overload import HedgeConfig, OverloadConfig
+
+        stats = run_cluster_workload(cluster_cfg(
+            n_requests=2000, n_replicas=4, slow_replica=1,
+            deadline_s=0.004,
+            overload=OverloadConfig(hedge=HedgeConfig())))
+        assert stats.overload_enabled
+        assert stats.n_offered == 2000
+        assert stats.lost_requests == 0
+        assert stats.n_hedges_won <= stats.n_hedges_issued
+        # every resolved pair burns exactly one loser (either side)
+        assert stats.n_hedges_wasted <= 2 * stats.n_hedges_issued
+        assert stats.n_hedges_issued > 0
+
+    def test_admission_sheds_batch_first(self):
+        from repro.overload import AdmissionConfig, OverloadConfig
+
+        stats = run_cluster_workload(cluster_cfg(
+            n_requests=2000, n_replicas=2, deadline_s=0.004,
+            overload=OverloadConfig(
+                admission=AdmissionConfig(rate_rps=1e5, burst=16.0),
+                batch_fraction=0.4)))
+        assert stats.n_shed > 0
+        assert stats.lost_requests == 0
+        p = stats.priorities
+        shed_rate = {k: p[k]["shed"] / p[k]["offered"] for k in p}
+        assert shed_rate["batch"] > shed_rate["interactive"]
+
+    def test_retry_budget_bounds_cluster_retries(self):
+        from repro.overload import OverloadConfig, RetryBudgetConfig
+        from repro.serve import ChaosConfig
+
+        rb = RetryBudgetConfig(ratio=0.1, initial=5.0, cap=50.0)
+        stats = run_cluster_workload(cluster_cfg(
+            n_requests=2000, n_replicas=2, deadline_s=0.004,
+            chaos=ChaosConfig(fault_rate=0.2, seed=7),
+            overload=OverloadConfig(retry_budget=rb)))
+        assert stats.retry_budget_granted <= \
+            rb.initial + rb.ratio * stats.n_offered
+        assert stats.n_retries <= stats.retry_budget_granted
+        assert stats.lost_requests == 0
+
+    def test_overload_summary_table_renders(self):
+        from repro.overload import HedgeConfig, OverloadConfig
+
+        stats = run_cluster_workload(cluster_cfg(
+            n_replicas=3, slow_replica=0, deadline_s=0.004,
+            overload=OverloadConfig(hedge=HedgeConfig())))
+        table = stats.summary_table()
+        assert "hedges issued / won / wasted" in table
+        assert "lost requests" in table

@@ -99,3 +99,100 @@ class TestTelemetry:
         assert snap["r1"]["healthy"] is False
         assert snap["r1"]["queue_depth"] == 70
         assert snap["r1"]["miss_rate"] == 0.1
+
+
+class TestLocking:
+    def test_concurrent_observe_snapshot_forget(self):
+        """Regression: observe() mutating replica state while another
+        thread snapshots/forgets must not corrupt the dict or raise
+        (pre-lock, dict iteration during mutation blew up)."""
+        import threading
+
+        h = ReplicaHealth(HealthConfig(down_after=2, up_after=2))
+        stop = threading.Event()
+        errors = []
+
+        def worker(fn):
+            try:
+                while not stop.is_set():
+                    fn()
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        i = [0]
+
+        def observe():
+            rid = f"r{i[0] % 8}"
+            i[0] += 1
+            h.observe(rid, bad() if i[0] % 3 else good())
+
+        def read():
+            h.snapshot()
+            h.stragglers()
+            h.is_healthy("r0")
+
+        def churn():
+            h.forget(f"r{i[0] % 8}")
+            h.observe_unreachable("r9")
+
+        threads = [threading.Thread(target=worker, args=(fn,))
+                   for fn in (observe, observe, read, churn)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestStraggler:
+    def tracked(self, factor=2.0):
+        h = ReplicaHealth(HealthConfig(straggler_factor=factor))
+        for rid, lat in (("r0", 0.001), ("r1", 0.001), ("r2", 0.010)):
+            h.observe(rid, ReplicaSignals(latency_ewma_s=lat))
+        return h
+
+    def test_detects_far_above_peer_median(self):
+        h = self.tracked()
+        assert h.is_straggler("r2")
+        assert not h.is_straggler("r0")
+        assert h.stragglers() == ["r2"]
+        assert h.snapshot()["r2"]["straggler"]
+
+    def test_disabled_without_factor(self):
+        h = ReplicaHealth(HealthConfig())
+        for rid, lat in (("r0", 0.001), ("r1", 0.001), ("r2", 0.010)):
+            h.observe(rid, ReplicaSignals(latency_ewma_s=lat))
+        assert not h.is_straggler("r2")
+        assert h.stragglers() == []
+
+    def test_needs_two_positive_peers(self):
+        h = ReplicaHealth(HealthConfig(straggler_factor=2.0))
+        h.observe("r0", ReplicaSignals(latency_ewma_s=0.010))
+        h.observe("r1", ReplicaSignals(latency_ewma_s=0.001))
+        assert not h.is_straggler("r0")
+
+    def test_unhealthy_replica_is_not_a_straggler(self):
+        """Down replicas are already out of the preference walk; the
+        straggler list is only for healthy-but-slow soft drains."""
+        h = ReplicaHealth(HealthConfig(straggler_factor=2.0,
+                                       down_after=1))
+        for rid, lat in (("r0", 0.001), ("r1", 0.001)):
+            h.observe(rid, ReplicaSignals(latency_ewma_s=lat))
+        h.observe("r2", ReplicaSignals(queue_depth=10**6,
+                                       latency_ewma_s=0.010))
+        assert not h.is_healthy("r2")
+        assert not h.is_straggler("r2")
+
+
+class TestUnreachable:
+    def test_observe_unreachable_trips_every_threshold(self):
+        h = ReplicaHealth(HealthConfig(down_after=2, up_after=1))
+        assert h.observe_unreachable("r0")   # streak 1: still up
+        assert not h.observe_unreachable("r0")
+        assert not h.is_healthy("r0")
+        assert h.observe("r0", good())       # link back: recovers
+        assert h.is_healthy("r0")

@@ -145,3 +145,114 @@ class TestWarm:
         assert sum(warmed.values()) == len(fps)
         for rid, n in warmed.items():
             assert n == len(assigned[rid])
+
+
+class TestClosed:
+    def test_submit_and_warm_after_close_raise_typed(self):
+        from repro import ReproError
+        from repro.cluster import RouterClosedError
+
+        router = make_router(2)
+        csr = make_matrices(1)[0]
+        fp = router.register(csr)
+        router.close()
+        with pytest.raises(RouterClosedError):
+            router.submit(fp, np.zeros(csr.shape[1]))
+        with pytest.raises(RouterClosedError):
+            router.warm([fp])
+        assert issubclass(RouterClosedError, ReproError)
+
+    def test_close_is_idempotent(self):
+        router = make_router(1)
+        router.close()
+        router.close()
+
+    def test_close_submit_race_never_leaks_futures(self):
+        """Submitters racing a concurrent close() either get a future
+        that settles or a typed error — never a future nobody resolves
+        and never an untyped crash."""
+        import threading
+
+        from repro.cluster import RouterClosedError
+        from repro.resilience import ServerClosedError
+
+        router = make_router(2, queue_depth=64)
+        csr = make_matrices(1)[0]
+        fp = router.register(csr)
+        x = np.zeros(csr.shape[1])
+        futures, unexpected = [], []
+        start = threading.Barrier(5)
+
+        def submitter():
+            start.wait()
+            for _ in range(50):
+                try:
+                    futures.append(router.submit(fp, x))
+                except (RouterClosedError, NoHealthyReplicaError):
+                    pass
+                except Exception as exc:  # pragma: no cover - regression
+                    unexpected.append(exc)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        start.wait()
+        router.close()
+        for t in threads:
+            t.join()
+        assert not unexpected
+        for fut in futures:
+            try:
+                assert fut.result(timeout=30) is not None
+            except ServerClosedError:
+                pass  # accepted then failed-out by close: still settled
+
+
+class TestAllUnhealthy:
+    def test_sick_replicas_still_serve_as_last_resort(self):
+        """Health-down everywhere must not black-hole traffic: the
+        preference walk keeps sick replicas at the end."""
+        health = HealthConfig(down_after=1, up_after=1)
+        rng = np.random.default_rng(3)
+        with make_router(2, health=health) as router:
+            from repro.cluster import ReplicaSignals
+
+            csr = make_matrices(1)[0]
+            fp = router.register(csr)
+            for rid in router.servers:
+                router.health.observe(rid,
+                                      ReplicaSignals(queue_depth=10**6))
+            assert not any(router.health.is_healthy(r)
+                           for r in router.servers)
+            fut = router.submit(fp, rng.uniform(-1, 1, csr.shape[1]))
+            assert fut.result(timeout=30) is not None
+
+    def test_all_refusing_raises_then_recovers_without_lost_futures(self):
+        """Every replica refusing -> NoHealthyReplicaError; once they
+        drain, the accepted backlog completes (zero lost futures) and
+        new submits route normally again."""
+        import threading
+
+        from repro.serve import SpMVServer
+
+        gate = threading.Event()
+        servers = [SpMVServer(workers=1, queue_depth=1, max_batch=1)
+                   for _ in range(2)]
+        router = Router(servers, seed=1)
+        try:
+            csr = make_matrices(1)[0]
+            fp = router.register(csr)
+            x = np.zeros(csr.shape[1])
+            for server in servers:
+                server.scheduler.submit_task(gate.wait)
+            accepted = []
+            with pytest.raises(NoHealthyReplicaError):
+                for _ in range(64):
+                    accepted.append(router.submit(fp, x))
+            gate.set()  # recovery: replicas drain their queues
+            for fut in accepted:
+                assert fut.result(timeout=30) is not None
+            assert router.submit(fp, x).result(timeout=30) is not None
+        finally:
+            gate.set()
+            router.close()

@@ -1,0 +1,226 @@
+"""Overload-control primitive tests (repro.overload)."""
+
+import threading
+
+import pytest
+
+from repro.obs import Obs
+from repro.overload import (
+    PRIORITIES,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionRejectedError,
+    HedgeConfig,
+    HedgePair,
+    LatencyTracker,
+    OverloadConfig,
+    OverloadContext,
+    RetryBudget,
+    RetryBudgetConfig,
+    TokenBucket,
+)
+from repro.resilience import ResilienceError
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        b = TokenBucket(rate=10.0, burst=2.0)
+        assert b.try_take(0.0)
+        assert b.try_take(0.0)
+        assert not b.try_take(0.0)           # burst exhausted
+        assert b.try_take(0.1)               # 1 token refilled
+        assert not b.try_take(0.1)
+
+    def test_tokens_cap_at_burst(self):
+        b = TokenBucket(rate=100.0, burst=4.0)
+        b.refill(0.0)
+        b.refill(1e9)
+        assert b.tokens == pytest.approx(4.0)
+
+    def test_floor_reserves_capacity(self):
+        b = TokenBucket(rate=1.0, burst=4.0)
+        assert b.try_take(0.0, floor=3.0)    # 4 -> 3
+        assert not b.try_take(0.0, floor=3.0)  # would dip below floor
+        assert b.try_take(0.0)               # unfloored caller still can
+
+
+class TestAdmissionController:
+    def test_inert_without_rate(self):
+        ctl = AdmissionController(AdmissionConfig(rate_rps=None))
+        for i in range(10_000):
+            assert ctl.try_admit("batch", float(i) * 1e-9)
+        assert ctl.rejected_total() == 0
+
+    def test_batch_sheds_first(self):
+        """The batch_reserve floor means batch traffic runs out of
+        tokens while interactive traffic still admits."""
+        cfg = AdmissionConfig(rate_rps=1.0, burst=8.0, batch_reserve=0.5)
+        ctl = AdmissionController(cfg)
+        batch_ok = interactive_ok = 0
+        for _ in range(8):
+            batch_ok += ctl.try_admit("batch", 0.0)
+        for _ in range(8):
+            interactive_ok += ctl.try_admit("interactive", 0.0)
+        assert batch_ok == 4          # stops at the 50% reserve floor
+        assert interactive_ok == 4    # takes the bucket to zero
+
+    def test_admit_raises_typed_error(self):
+        ctl = AdmissionController(AdmissionConfig(rate_rps=1.0, burst=1.0))
+        ctl.admit("interactive", 0.0)
+        with pytest.raises(AdmissionRejectedError) as exc_info:
+            ctl.admit("interactive", 0.0)
+        assert isinstance(exc_info.value, ResilienceError)
+
+    def test_priority_validated(self):
+        ctl = AdmissionController(AdmissionConfig(rate_rps=1.0))
+        with pytest.raises(Exception):
+            ctl.try_admit("bogus", 0.0)
+
+    def test_counters(self):
+        obs = Obs()
+        ctl = AdmissionController(AdmissionConfig(rate_rps=1.0, burst=1.0),
+                                  obs=obs)
+        ctl.try_admit("interactive", 0.0)
+        ctl.try_admit("interactive", 0.0)
+        reg = obs.registry
+        assert reg.counter("overload.admission.admitted_total",
+                           {"priority": "interactive"}).value == 1
+        assert reg.counter("overload.admission.rejected_total",
+                           {"priority": "interactive"}).value == 1
+
+
+class TestRetryBudget:
+    def test_bounded_by_deposits(self):
+        cfg = RetryBudgetConfig(ratio=0.2, initial=2.0, cap=100.0)
+        budget = RetryBudget(cfg)
+        n_requests = 50
+        for _ in range(n_requests):
+            budget.on_request()
+        granted = sum(budget.try_spend() for _ in range(1000))
+        assert granted <= cfg.initial + cfg.ratio * n_requests
+        assert budget.denied_total > 0
+
+    def test_cap_limits_hoarding(self):
+        budget = RetryBudget(RetryBudgetConfig(ratio=1.0, initial=0.0,
+                                               cap=5.0))
+        for _ in range(1000):
+            budget.on_request()
+        assert budget.tokens == pytest.approx(5.0)
+
+    def test_thread_safety_invariant(self):
+        cfg = RetryBudgetConfig(ratio=0.1, initial=0.0, cap=1e9)
+        budget = RetryBudget(cfg)
+        grants = []
+
+        def work():
+            local = 0
+            for _ in range(500):
+                budget.on_request()
+                if budget.try_spend():
+                    local += 1
+            grants.append(local)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(grants) <= cfg.ratio * 8 * 500 + 1e-9
+
+
+class TestLatencyTracker:
+    def test_ewma_converges(self):
+        tr = LatencyTracker(alpha=0.5)
+        tr.observe("r0", 1.0)
+        tr.observe("r0", 2.0)
+        assert tr.ewma("r0") == pytest.approx(1.5)
+        assert tr.ewma("unknown") == 0.0
+
+    def test_straggler_needs_two_peers(self):
+        tr = LatencyTracker()
+        tr.observe("r0", 10.0)
+        assert not tr.is_straggler("r0", factor=2.0)
+        tr.observe("r1", 1.0)
+        assert not tr.is_straggler("r0", factor=2.0)  # one peer: no pop.
+        tr.observe("r2", 1.0)
+        assert tr.is_straggler("r0", factor=2.0)
+        assert not tr.is_straggler("r1", factor=2.0)
+
+    def test_forget_and_snapshot(self):
+        tr = LatencyTracker()
+        tr.observe("r0", 1.0)
+        assert tr.snapshot() == {"r0": 1.0}
+        tr.forget("r0")
+        assert tr.ewma("r0") == 0.0
+
+
+class TestHedgePair:
+    def test_first_resolve_wins_once(self):
+        pair = HedgePair()
+        assert pair.resolve("hedge")
+        assert not pair.resolve("primary")
+        assert pair.resolved
+        assert pair.cancelled("primary")
+        assert not pair.cancelled("hedge")
+
+    def test_mark_failed_fires_once_when_both_dead(self):
+        pair = HedgePair()
+        assert not pair.mark_failed("primary")   # hedge still alive
+        assert pair.mark_failed("hedge")         # both dead: count once
+        assert not pair.mark_failed("hedge")     # never twice
+
+    def test_mark_failed_never_after_win(self):
+        pair = HedgePair()
+        assert pair.resolve("primary")
+        assert not pair.mark_failed("primary")
+        assert not pair.mark_failed("hedge")
+
+    def test_concurrent_resolution_single_winner(self):
+        pair = HedgePair()
+        wins = []
+        barrier = threading.Barrier(2)
+
+        def race(side):
+            barrier.wait()
+            if pair.resolve(side):
+                wins.append(side)
+
+        threads = [threading.Thread(target=race, args=(s,))
+                   for s in ("primary", "hedge")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+
+
+class TestOverloadConfig:
+    def test_disabled_by_default(self):
+        cfg = OverloadConfig()
+        assert not cfg.enabled
+        assert OverloadConfig(hedge=HedgeConfig()).enabled
+
+    def test_batch_fraction_validated(self):
+        with pytest.raises(Exception):
+            OverloadConfig(batch_fraction=1.5)
+
+    def test_priorities_constant(self):
+        assert PRIORITIES == ("interactive", "batch")
+
+
+class TestOverloadContext:
+    def test_builds_only_configured_pieces(self):
+        ctx = OverloadContext(OverloadConfig(hedge=HedgeConfig()))
+        assert ctx.admission is None
+        assert ctx.retry_budget is None
+        assert ctx.latency is not None
+
+    def test_counters_shared_on_one_obs(self):
+        obs = Obs()
+        ctx = OverloadContext(
+            OverloadConfig(admission=AdmissionConfig(rate_rps=1.0),
+                           retry_budget=RetryBudgetConfig()),
+            obs=obs)
+        ctx.hedges_issued.inc()
+        assert obs.registry.counter(
+            "overload.hedge.issued_total").value == 1
