@@ -9,6 +9,13 @@ Commands
     all-methods comparison for a named matrix or a ``.mtx`` file.
 ``spmv MATRIX``
     Run a DASP SpMV (functionally) and report the modeled device time.
+``spmm MATRIX``
+    Sweep the large-k SpMM tuner (:mod:`repro.core.spmm_block`) over a
+    list of right-hand-side widths, print the per-k strategy table
+    (looped vs tiled vs reordered, modeled speedups, tile padding) and
+    verify the chosen execution bitwise against column-wise SpMV;
+    ``--store DIR`` publishes the plan with the winning reorder
+    permutation as artifact aux records.
 ``bench``
     Sweep a small synthetic collection and print DASP-vs-baseline
     speedup summaries (a miniature Figure 10).
@@ -121,6 +128,87 @@ def cmd_spmv(args) -> int:
     print(f"modeled {args.device} time: {meas.time_s * 1e6:.1f} us "
           f"({meas.gflops:.1f} GFlops)")
     return 0 if err < 1e-2 else 1
+
+
+def cmd_spmm(args) -> int:
+    """Large-k SpMM strategy table (and optional artifact publish)."""
+    from .core import choose_spmm_strategy, dasp_spmm_large
+
+    csr = load_matrix(args.matrix).astype(np.dtype(args.dtype))
+    plan = DASPMatrix.from_csr(csr)
+    rng = np.random.default_rng(args.seed)
+    ks = sorted(set(args.k))
+    reorder = not args.no_reorder
+    print(f"{args.matrix}: {csr.shape[0]}x{csr.shape[1]}, nnz={csr.nnz:,}, "
+          f"{args.dtype} on {args.device}")
+    rows = []
+    strategies = {}
+    for k in ks:
+        strat = choose_spmm_strategy(plan, k, args.device, reorder=reorder)
+        strategies[k] = strat
+        stats = strat.stats
+        rows.append((k, strat.name, strat.tile_k,
+                     f"{strat.modeled_s * 1e6:.1f}",
+                     f"{strat.looped_s * 1e6:.1f}",
+                     f"{strat.speedup:.2f}x",
+                     f"{strat.modeled_gflops:.1f}",
+                     f"{stats.padding_waste:.1%}" if stats else "-"))
+    print(markdown_table(
+        ("k", "strategy", "tile_k", "modeled us", "looped us",
+         "speedup", "GFlops", "tile padding"), rows))
+    reordered = [s for s in strategies.values() if s.name == "reordered"]
+    if reordered:
+        ro = reordered[0].block_plan.reorder
+        print(f"row reorder ({ro.candidate}): tile padding "
+              f"{ro.natural_stats.padding_waste:.1%} -> "
+              f"{ro.stats.padding_waste:.1%} "
+              f"({ro.padding_reduction:.1%} fewer padding slots)")
+    # Numerical check at the smallest k: the chosen strategy must be
+    # bitwise the column-wise dasp_spmv reference.
+    k0 = ks[0]
+    X = rng.uniform(-1, 1, (csr.shape[1], k0)).astype(csr.data.dtype)
+    Y = dasp_spmm_large(plan, X, strategies[k0])
+    ref = np.stack([dasp_spmv(plan, X[:, j]) for j in range(k0)], axis=1)
+    exact = bool(np.array_equal(Y, ref))
+    print(f"k={k0} output vs column-wise dasp_spmv: "
+          f"{'bitwise identical' if exact else 'MISMATCH'}")
+    if args.store:
+        from .store import fingerprint_csr
+
+        store = _open_store(args)
+        fp = fingerprint_csr(csr)
+        aux = {}
+        if reordered:
+            ro = reordered[0].block_plan.reorder
+            aux["spmm.reorder_perm"] = ro.perm
+            aux["spmm.reorder_inv"] = ro.inv
+        path = store.put(fp, plan, aux=aux or None)
+        note = " (+ reorder permutation)" if aux else ""
+        print(f"published {fp[:16]}… -> {path}{note}")
+    if args.bench_json:
+        from .bench import record_bench
+
+        record = {
+            "matrix": args.matrix,
+            "device": args.device,
+            "dtype": args.dtype,
+            "seed": args.seed,
+            "reorder": reorder,
+            "sweep": [{
+                "k": k,
+                "strategy": s.name,
+                "tile_k": s.tile_k,
+                "modeled_s": s.modeled_s,
+                "looped_s": s.looped_s,
+                "speedup": s.speedup,
+                "modeled_gflops": s.modeled_gflops,
+                "padding_waste": (s.stats.padding_waste
+                                  if s.stats else None),
+            } for k, s in strategies.items()],
+        }
+        path = record_bench("spmm", record, results_dir=args.bench_dir)
+        print(f"trajectory record appended to {path}")
+    return 0 if exact else 1
 
 
 def cmd_convert(args) -> int:
@@ -577,6 +665,27 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("float64", "float32", "float16"))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_spmv)
+
+    p = sub.add_parser(
+        "spmm", help="large-k SpMM strategy sweep for one matrix")
+    p.add_argument("matrix")
+    p.add_argument("--k", type=int, nargs="+", default=[8, 32, 128, 512],
+                   help="right-hand-side widths to sweep")
+    p.add_argument("--device", default="A100", choices=("A100", "H800"))
+    p.add_argument("--dtype", default="float64",
+                   choices=("float64", "float32", "float16"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-reorder", action="store_true",
+                   help="disable the row-reordering candidate")
+    p.add_argument("--store", default=None,
+                   help="publish the plan (+ winning reorder permutation) "
+                        "to this plan-store directory")
+    p.add_argument("--bench-json", action="store_true",
+                   help="append the sweep to results/BENCH_spmm.json")
+    p.add_argument("--bench-dir", default=None,
+                   help="directory for --bench-json output "
+                        "(default: ./results)")
+    p.set_defaults(fn=cmd_spmm)
 
     p = sub.add_parser("convert", help="convert .mtx <-> .npz")
     p.add_argument("source")

@@ -40,13 +40,17 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import Future
+
+import numpy as np
 
 from .._util import ReproError, check
 from ..obs import Obs
 from ..overload import HedgePair, OverloadConfig, OverloadContext
 from ..resilience.errors import ServerClosedError
 from ..serve.plan_cache import matrix_fingerprint
+from ..serve.request import SpMMRequest, SpMVRequest
 from ..serve.scheduler import QueueFullError
 from .health import HealthConfig, ReplicaHealth, ReplicaSignals
 from .ring import DEFAULT_VNODES, HashRing
@@ -144,18 +148,18 @@ class Router:
         return healthy + sick
 
     # ------------------------------------------------------------------
-    def _try_submit(self, candidates, fingerprint: str, x,
-                    deadline_s: float | None):
+    def _try_submit(self, candidates, request):
         """Walk *candidates*; return ``(rid, future)`` from the first
-        replica that accepts.  Skips queue-full and individually
-        closed replicas; raises :class:`RouterClosedError` when the
-        race was the router's own close, or
-        :class:`NoHealthyReplicaError` when everyone refused."""
+        replica that accepts *request*.  Skips queue-full and
+        individually closed replicas; raises
+        :class:`RouterClosedError` when the race was the router's own
+        close, or :class:`NoHealthyReplicaError` when everyone
+        refused.  Replicas never mutate the submitted object, so the
+        hedging path re-issues the same request safely."""
         last: Exception | None = None
         for rid in candidates:
             try:
-                future = self.servers[rid].submit(fingerprint, x,
-                                                  deadline_s=deadline_s)
+                future = self.servers[rid].submit(request)
             except QueueFullError as exc:
                 last = exc
                 continue
@@ -167,7 +171,7 @@ class Router:
             return rid, future
         self._no_replica.inc()
         raise NoHealthyReplicaError(
-            f"no replica accepted matrix {fingerprint[:8]}… "
+            f"no replica accepted matrix {request.fingerprint[:8]}… "
             f"(tried {len(candidates)})") from last
 
     def _watch_latency(self, rid: str, future) -> None:
@@ -179,9 +183,17 @@ class Router:
         future.add_done_callback(
             lambda _f: ctx.latency.observe(rid, time.monotonic() - start))
 
-    def submit(self, fingerprint: str, x, deadline_s: float | None = None,
+    def submit(self, request, x=None, deadline_s: float | None = None,
                priority: str = "interactive"):
-        """Route one request; returns a Future for its result.
+        """Route one typed request; returns a Future for its result.
+
+        Takes the same :class:`~repro.serve.SpMVRequest` /
+        :class:`~repro.serve.SpMMRequest` objects as
+        :meth:`repro.serve.SpMVServer.submit` — one request vocabulary
+        across the stack, with ``deadline_us`` / ``priority`` /
+        ``shards`` keyword-only on the request.  The old positional
+        ``submit(fingerprint, x, deadline_s=...)`` form routes
+        identically for one release behind a ``DeprecationWarning``.
 
         Walks :meth:`select`, skipping replicas that refuse with
         queue-full backpressure; counts a failover whenever the serving
@@ -194,14 +206,29 @@ class Router:
         With hedging enabled the returned Future is a router-owned
         wrapper resolved by whichever replica answers first.
         """
+        if not isinstance(request, (SpMVRequest, SpMMRequest)):
+            warnings.warn(
+                "Router.submit(fingerprint, x, ...) is deprecated; pass "
+                "a repro.serve.SpMVRequest (or SpMMRequest) instead — "
+                "the positional form will be removed next release",
+                DeprecationWarning, stacklevel=2)
+            deadline_us = None if deadline_s is None else deadline_s * 1e6
+            request = SpMVRequest(request, np.asarray(x),
+                                  deadline_us=deadline_us,
+                                  priority=priority)
+        else:
+            check(x is None and deadline_s is None
+                  and priority == "interactive",
+                  "pass deadline/priority on the request object, not "
+                  "as submit() arguments")
         if self._closed:
             raise RouterClosedError("router is closed")
         ctx = self.overload
         if ctx is not None and ctx.admission is not None:
-            ctx.admission.admit(priority, time.monotonic())
-        prefs = self.select(fingerprint)
-        home = self.ring.lookup(fingerprint)
-        rid, future = self._try_submit(prefs, fingerprint, x, deadline_s)
+            ctx.admission.admit(request.priority, time.monotonic())
+        prefs = self.select(request.fingerprint)
+        home = self.ring.lookup(request.fingerprint)
+        rid, future = self._try_submit(prefs, request)
         self._routed.inc()
         self.obs.counter("cluster.router.replica_routed_total",
                          {"replica": rid}).inc()
@@ -210,12 +237,11 @@ class Router:
         self._watch_latency(rid, future)
         if ctx is None or ctx.hedge is None or len(prefs) < 2:
             return future
-        return self._hedge(ctx, rid, future, prefs, fingerprint, x,
-                           deadline_s)
+        return self._hedge(ctx, rid, future, prefs, request)
 
     # ------------------------------------------------------------------
     def _hedge(self, ctx: OverloadContext, primary_rid: str, primary,
-               prefs, fingerprint: str, x, deadline_s: float | None):
+               prefs, request):
         """Wrap *primary* in a first-wins Future with a hedge timer.
 
         The timer fires after ``max(min_delay_s, delay_factor x EWMA)``
@@ -259,8 +285,7 @@ class Router:
             try:
                 if self._closed:
                     raise RouterClosedError("router is closed")
-                hrid, hfut = self._try_submit(rest, fingerprint, x,
-                                              deadline_s)
+                hrid, hfut = self._try_submit(rest, request)
             except (NoHealthyReplicaError, RouterClosedError) as exc:
                 with lock:
                     state["hedge_unroutable"] = True

@@ -35,37 +35,69 @@ from .preprocess import (
     timed_preprocess,
 )
 from .short_rows import ShortRowsPlan, build_short_rows, run_short_rows
-from .spmm import dasp_spmm, mma_utilization, spmm_events
+from .spmm import (
+    dasp_spmm,
+    dasp_spmm_on_plan,
+    mma_utilization,
+    spmm_events,
+)
+from .spmm_block import (
+    BlockPlan,
+    DEFAULT_TILE_K,
+    ReorderResult,
+    SpmmStrategy,
+    TILE_K_CANDIDATES,
+    build_block_plan,
+    choose_spmm_strategy,
+    dasp_spmm_large,
+    dasp_spmm_tiled,
+    reorder_rows,
+    spmm_block_events,
+    spmm_looped_cost,
+)
 from .spmv import dasp_spmv
 
 __all__ = [
+    "BlockPlan",
     "DASPMatrix",
     "DASPMethod",
     "DEFAULT_MAX_LEN",
     "DEFAULT_THRESHOLD",
+    "DEFAULT_TILE_K",
     "LongRowsPlan",
     "MAX_LEN_CANDIDATES",
     "MediumRowsPlan",
+    "ReorderResult",
     "RowClassification",
     "SHORT_LEN",
     "ShortRowsPlan",
+    "SpmmStrategy",
     "THRESHOLD_CANDIDATES",
+    "TILE_K_CANDIDATES",
     "TuneResult",
+    "build_block_plan",
     "build_long_rows",
     "build_medium_rows",
     "build_short_rows",
     "choose_shards",
+    "choose_spmm_strategy",
     "classify_rows",
     "dasp_preprocess",
     "dasp_preprocess_events",
     "dasp_spmm",
+    "dasp_spmm_large",
+    "dasp_spmm_on_plan",
+    "dasp_spmm_tiled",
     "dasp_spmv",
     "loop_num_for",
     "mma_utilization",
+    "reorder_rows",
     "run_long_rows",
     "run_medium_rows",
     "run_short_rows",
+    "spmm_block_events",
     "spmm_events",
+    "spmm_looped_cost",
     "timed_preprocess",
     "tune_max_len",
     "tune_threshold",

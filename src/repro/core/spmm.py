@@ -60,11 +60,21 @@ def dasp_spmm(matrix, X: np.ndarray, *, engine: str = "vectorized",
     obs.counter("core.spmm_calls_total", {"engine": engine}).inc()
     with obs.span("spmm", attrs={"engine": engine, "k": X.shape[1]}
                   if obs.tracing else None):
-        return _dasp_spmm(dasp, X, engine=engine, cast_output=cast_output)
+        return dasp_spmm_on_plan(dasp, X, engine=engine, cast_output=cast_output)
 
 
-def _dasp_spmm(dasp: DASPMatrix, X: np.ndarray, *, engine: str,
-               cast_output: bool) -> np.ndarray:
+def dasp_spmm_on_plan(dasp: DASPMatrix, X: np.ndarray, *,
+                      engine: str = "vectorized",
+                      cast_output: bool = False) -> np.ndarray:
+    """SpMM on an already-built :class:`DASPMatrix` plan.
+
+    The plan-typed entry point: no CSR re-dispatch, no observability
+    span — callers that already hold a plan (the serving layer, shard
+    execution, the large-k engine) use this directly.  Column ``j`` of
+    the result is bitwise-identical to ``dasp_spmv(dasp, X[:, j])``:
+    every reduction below folds in exactly the same order as the 1-D
+    category kernels.
+    """
     if engine == "warp":
         from .spmv import dasp_spmv
 
@@ -94,12 +104,24 @@ def _dasp_spmm(dasp: DASPMatrix, X: np.ndarray, *, engine: str,
     return Y
 
 
+#: Kept for one release: ``dasp_spmm_on_plan`` is the public name.
+_dasp_spmm = dasp_spmm_on_plan
+
+#: RHS columns processed per chunk inside the 2-D helpers — bounds the
+#: transient ``(nblocks, m, K, chunk)`` product at large k.  Chunking is
+#: invisible in the results: every output column is an independent fold.
+_COL_CHUNK = 16
+
+
 def _block_dots_2d(unit: MmaUnit, val: np.ndarray, cid: np.ndarray,
                    X: np.ndarray, cols=slice(None)) -> np.ndarray:
     """Per-(block, row, rhs) dot products with MMA precision semantics.
 
     Returns ``(nblocks, MMA_M, k)``.  One MMA instruction per block per
-    ceil(k / MMA_N) — the unit's issue counter tracks that.
+    ceil(k / MMA_N) — the unit's issue counter tracks that.  Each output
+    column uses the same product, cast chain, and sequential K-fold as
+    :meth:`MmaUnit.block_row_dots`, so column ``j`` is bitwise what the
+    SpMV kernel computes for ``X[:, j]``.
     """
     s = unit.shape
     k = X.shape[1]
@@ -108,25 +130,48 @@ def _block_dots_2d(unit: MmaUnit, val: np.ndarray, cid: np.ndarray,
     nb = val.size // s.a_elements
     a = (val.reshape(nb, s.m, s.k)
          .astype(s.in_dtype, copy=False).astype(s.acc_dtype))
-    xg = X[cid.astype(np.int64)].reshape(nb, s.m, s.k, k)
-    xg = xg.astype(s.in_dtype, copy=False).astype(s.acc_dtype)
-    if cols != slice(None):
-        masked = np.zeros_like(xg)
-        masked[:, :, cols, :] = xg[:, :, cols, :]
-        xg = masked
     unit.issue_count += nb * (-(-k // s.n))
-    return np.einsum("bmj,bmjk->bmk", a, xg)
+    safe_cid = cid.astype(np.int64)
+    out = np.empty((nb, s.m, k), dtype=s.acc_dtype)
+    for j0 in range(0, k, _COL_CHUNK):
+        xg = (X[:, j0:j0 + _COL_CHUNK][safe_cid]
+              .reshape(nb, s.m, s.k, -1)
+              .astype(s.in_dtype, copy=False).astype(s.acc_dtype))
+        if cols != slice(None):
+            masked = np.zeros_like(xg)
+            masked[:, :, cols, :] = xg[:, :, cols, :]
+            xg = masked
+        out[:, :, j0:j0 + _COL_CHUNK] = (a[:, :, :, None] * xg).sum(
+            axis=2, dtype=s.acc_dtype)
+    return out
 
 
 def _long_spmm(plan, X, unit) -> np.ndarray:
+    from .long_rows import BLOCKS_PER_GROUP
+
     s = unit.shape
     k = X.shape[1]
     d = _block_dots_2d(unit, plan.val, plan.cid, X)          # (nb, m, k)
-    per_group = d.reshape(-1, 2 * s.m, k).sum(axis=1, dtype=s.acc_dtype)
+    # fragY accumulation across the group's blocks + shuffle tree: the
+    # 1-D kernel reduces a contiguous last axis of 2m values, whose
+    # basecase association differs from a strided middle-axis sum —
+    # transpose so each column reduces the same contiguous 2m run.
+    g = np.ascontiguousarray(
+        d.reshape(-1, BLOCKS_PER_GROUP * s.m, k).transpose(0, 2, 1))
+    per_group = g.sum(axis=2, dtype=s.acc_dtype)             # (ng, k)
     out = np.zeros((plan.n_rows, k), dtype=s.acc_dtype)
-    groups = np.diff(plan.group_ptr)
-    owner = np.repeat(np.arange(plan.n_rows, dtype=np.int64), groups)
-    np.add.at(out, owner, per_group)
+    if per_group.size == 0:
+        return out
+    # Second kernel, column by column, exactly as run_long_rows: reduceat
+    # over that column's contiguous group partials (see the no-trailing-
+    # pad note there).
+    starts = np.minimum(plan.group_ptr[:-1], per_group.shape[0] - 1)
+    empty = np.diff(plan.group_ptr) == 0
+    for j in range(k):
+        col = np.ascontiguousarray(per_group[:, j])
+        yj = np.add.reduceat(col, starts).astype(s.acc_dtype, copy=False)
+        yj[empty] = 0
+        out[:, j] = yj
     return out
 
 
@@ -142,11 +187,12 @@ def _medium_spmm(plan, X, unit) -> np.ndarray:
         np.add.at(acc, owner, d)
     out = acc.reshape(-1, k)[:plan.n_rows].copy()
     if plan.irreg_nnz:
-        # Chunk-invariant tail (see run_medium_rows): zero-padded
-        # K-element chunks summed with the same einsum association as
-        # the regular ``_block_dots_2d`` blocks, accumulated per row in
-        # chunk order — row values do not depend on where the
-        # regular/irregular boundary fell for this row-block.
+        # Chunk-invariant tail (see run_medium_rows): per column, the
+        # flat products are scattered into zero-padded K-element chunks
+        # and summed with the same sequential K-fold as the 1-D kernel,
+        # accumulated per row in chunk order — row values do not depend
+        # on where the regular/irregular boundary fell for this
+        # row-block, and column ``j`` is bitwise the SpMV tail.
         K = s.k
         tails = np.diff(plan.irreg_ptr)
         nchunks = -(-tails // K)
@@ -155,14 +201,20 @@ def _medium_spmm(plan, X, unit) -> np.ndarray:
         slot = np.arange(plan.irreg_nnz, dtype=np.int64) - plan.irreg_ptr[owner]
         gchunk = chunk_ptr[owner] + slot // K
         lane = slot % K
-        a = np.zeros((int(chunk_ptr[-1]), K), dtype=s.acc_dtype)
-        xg = np.zeros((int(chunk_ptr[-1]), K, k), dtype=s.acc_dtype)
-        a[gchunk, lane] = (plan.irreg_val.astype(s.in_dtype, copy=False)
-                           .astype(s.acc_dtype))
-        xg[gchunk, lane, :] = (X[plan.irreg_cid.astype(np.int64)]
-                               .astype(s.in_dtype, copy=False)
-                               .astype(s.acc_dtype))
-        chunk_sums = np.einsum("cj,cjk->ck", a, xg)
+        nchunks_total = int(chunk_ptr[-1])
+        val_cast = (plan.irreg_val.astype(s.in_dtype, copy=False)
+                    .astype(s.acc_dtype))
+        safe_cid = plan.irreg_cid.astype(np.int64)
+        chunk_sums = np.empty((nchunks_total, k), dtype=s.acc_dtype)
+        for j0 in range(0, k, _COL_CHUNK):
+            xg = (X[:, j0:j0 + _COL_CHUNK][safe_cid]
+                  .astype(s.in_dtype, copy=False).astype(s.acc_dtype))
+            prod = val_cast[:, None] * xg
+            padded = np.zeros((nchunks_total, K, prod.shape[1]),
+                              dtype=s.acc_dtype)
+            padded[gchunk, lane, :] = prod
+            chunk_sums[:, j0:j0 + _COL_CHUNK] = padded.sum(
+                axis=1, dtype=s.acc_dtype)
         chunk_owner = np.repeat(np.arange(plan.n_rows, dtype=np.int64),
                                 nchunks)
         np.add.at(out, chunk_owner, chunk_sums)

@@ -45,6 +45,7 @@ from .mma import (
     mma_m8n8k4,
     shape_for_dtype,
 )
+from .tiles import TileStats, mma_tile_stats, tile_gather_bytes
 from .warp import FULL_MASK, Warp
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "MmaUnit",
     "PreprocessEvents",
     "SpMVMethod",
+    "TileStats",
     "TimeParts",
     "WARP_SIZE",
     "Warp",
@@ -84,9 +86,11 @@ __all__ = [
     "matrix_from_frag_c16",
     "mma_m16n8k8",
     "mma_m8n8k4",
+    "mma_tile_stats",
     "rhs_block_traffic_factor",
     "sector_counts",
     "shape_for_dtype",
     "spmv_gflops",
+    "tile_gather_bytes",
     "x_traffic_bytes",
 ]

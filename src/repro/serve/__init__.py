@@ -42,8 +42,8 @@ from .batcher import (
     MMA_N,
     Batch,
     RequestBatcher,
-    SpMVRequest,
 )
+from .request import SpMMRequest, SpMVRequest
 from .driver import (
     ChaosConfig,
     WorkloadConfig,
@@ -87,6 +87,7 @@ __all__ = [
     "Scheduler",
     "ServerClosedError",
     "ServerStats",
+    "SpMMRequest",
     "SpMVRequest",
     "SpMVServer",
     "WorkloadConfig",

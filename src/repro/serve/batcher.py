@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import check
+from .request import SpMMRequest, SpMVRequest
 
 #: MMA B-operand width — the batch size that saturates the MMA units.
 MMA_N = 8
@@ -31,52 +32,32 @@ DEFAULT_FLUSH_TIMEOUT_S = 200e-6
 
 
 @dataclass
-class SpMVRequest:
-    """One ``y = A @ x`` request addressed by matrix fingerprint."""
-
-    req_id: int
-    fingerprint: str
-    x: np.ndarray
-    arrival_s: float
-    #: Absolute deadline; once passed the request fails fast with
-    #: ``DeadlineExceededError`` instead of occupying a batch slot.
-    deadline_s: float = float("inf")
-    result: np.ndarray | None = None
-    completion_s: float = float("nan")
-    #: Admission class ("interactive" | "batch") — only consulted when
-    #: an admission controller is installed.
-    priority: str = "interactive"
-    #: First-wins pair state when this request is hedged
-    #: (:class:`repro.overload.HedgePair`); ``None`` for plain requests.
-    pair: object | None = None
-    #: True for the hedge *copy* of a request (the shadow issued to a
-    #: second replica); its completion never counts as a user-visible
-    #: outcome unless it wins the pair.
-    shadow: bool = False
-
-    @property
-    def latency_s(self) -> float:
-        return self.completion_s - self.arrival_s
-
-    def expired(self, now: float) -> bool:
-        return now >= self.deadline_s
-
-
-@dataclass
 class Batch:
-    """A group of requests for the same matrix, executed as one SpMM."""
+    """A group of requests for the same matrix, executed as one SpMM.
+
+    ``requests`` is either coalesced :class:`SpMVRequest` singles (the
+    batcher's output) or one :class:`SpMMRequest` block — the server
+    submits SpMM blocks as pre-formed singleton batches, bypassing the
+    coalescer.  ``k`` is the total RHS width either way.
+    """
 
     fingerprint: str
-    requests: list[SpMVRequest]
+    requests: list[SpMVRequest | SpMMRequest]
     formed_s: float
 
     @property
     def k(self) -> int:
-        return len(self.requests)
+        return sum(r.width for r in self.requests)
 
     def assemble_x(self) -> np.ndarray:
-        """Stack the request vectors into the ``(n, k)`` RHS block."""
-        return np.stack([r.x for r in self.requests], axis=1)
+        """Stack the request payloads into the ``(n, k)`` RHS block."""
+        if all(isinstance(r, SpMVRequest) for r in self.requests):
+            return np.stack([r.x for r in self.requests], axis=1)
+        blocks = [r.x if isinstance(r, SpMMRequest) else r.x[:, None]
+                  for r in self.requests]
+        if len(blocks) == 1:
+            return np.ascontiguousarray(blocks[0])
+        return np.ascontiguousarray(np.concatenate(blocks, axis=1))
 
     def scatter(self, Y: np.ndarray, completion_s: float) -> None:
         """Distribute the SpMM output columns back to the requests.
@@ -85,14 +66,20 @@ class Batch:
         column *view* would pin the whole ``(n, k)`` SpMM output alive
         for as long as any one request's result is retained.
         """
-        for j, req in enumerate(self.requests):
-            req.result = np.ascontiguousarray(Y[:, j])
+        j = 0
+        for req in self.requests:
+            w = req.width
+            if isinstance(req, SpMMRequest):
+                req.result = np.ascontiguousarray(Y[:, j:j + w])
+            else:
+                req.result = np.ascontiguousarray(Y[:, j])
             req.completion_s = completion_s
+            j += w
 
-    def split_expired(self, now: float) -> list[SpMVRequest]:
+    def split_expired(self, now: float) -> list[SpMVRequest | SpMMRequest]:
         """Remove and return the requests whose deadline has passed."""
-        expired: list[SpMVRequest] = []
-        survivors: list[SpMVRequest] = []
+        expired: list[SpMVRequest | SpMMRequest] = []
+        survivors: list[SpMVRequest | SpMMRequest] = []
         for r in self.requests:
             (expired if r.expired(now) else survivors).append(r)
         if expired:

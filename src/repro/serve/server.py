@@ -1,13 +1,18 @@
 """`SpMVServer` — the real-threaded SpMV inference service.
 
-Wires the serving components together: requests submitted with
-:meth:`SpMVServer.submit` are coalesced per matrix by the
-:class:`~repro.serve.batcher.RequestBatcher`, executed as
-:func:`~repro.core.spmm.dasp_spmm` batches (``dasp_spmv`` for
-singletons) on the :class:`~repro.serve.scheduler.Scheduler` worker
-pool, against plans cached in the
-:class:`~repro.serve.plan_cache.PlanRegistry`.  Each submit returns a
-``concurrent.futures.Future`` resolving to the result vector.
+Wires the serving components together: :class:`SpMVRequest` s
+submitted with :meth:`SpMVServer.submit` are coalesced per matrix by
+the :class:`~repro.serve.batcher.RequestBatcher` and executed as
+:func:`~repro.core.spmm.dasp_spmm` batches (singletons included —
+``dasp_spmm`` column folds are bitwise ``dasp_spmv``) on the
+:class:`~repro.serve.scheduler.Scheduler` worker pool, against plans
+cached in the :class:`~repro.serve.plan_cache.PlanRegistry`.
+:class:`SpMMRequest` blocks skip the coalescer (the ``(n, k)`` block
+already is a batch); widths beyond ``MMA_N`` execute through the
+tuner-chosen large-k strategy
+(:func:`~repro.core.spmm_block.choose_spmm_strategy` — looped /
+column-tiled / reordered+tiled, all bitwise-identical).  Each submit
+returns a ``concurrent.futures.Future`` resolving to the result.
 
 Alongside the numeric result, every batch is charged its *modeled*
 device time (A100/H800 cost model over the measured SpMM events), so
@@ -35,14 +40,16 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import Future
+from dataclasses import replace
 
 import numpy as np
 
 from .._util import ReproError, check, default_rng
 from ..core.preprocess import traced_preprocess
 from ..core.spmm import dasp_spmm, mma_phase_fraction, mma_utilization, spmm_events
-from ..core.spmv import dasp_spmv
+from ..core.spmm_block import choose_spmm_strategy, dasp_spmm_large
 from ..gpu.cost_model import estimate_time
 from ..gpu.device import get_device
 from ..obs import Obs
@@ -62,8 +69,9 @@ from ..resilience import (
     RetryPolicy,
     ServerClosedError,
 )
-from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, Batch, RequestBatcher, SpMVRequest
+from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, Batch, RequestBatcher
 from .plan_cache import DEFAULT_BUDGET_BYTES, PlanRegistry, matrix_fingerprint
+from .request import SpMMRequest, SpMVRequest
 from .scheduler import QueueFullError, Scheduler
 from .stats import ServerStats
 
@@ -212,6 +220,12 @@ class SpMVServer:
             policy=policy, on_shed=self._shed_batch,
             on_error=self._fail_batch, prune=self._prune_batch, obs=obs)
         self._matrices: dict[str, object] = {}
+        # (fingerprint, k) -> tuner-chosen large-k SpMM strategy; the
+        # reorder pass and permuted-plan build run once per width.
+        self._spmm_strategies: dict[tuple[str, int], object] = {}
+        # fingerprint -> per-request shard hint (SpMVRequest.shards),
+        # consulted only before the matrix's plan is first built.
+        self._shard_hints: dict[str, int | str] = {}
         self._futures: dict[int, Future] = {}
         self._lock = threading.Lock()
         self._next_id = 0
@@ -241,16 +255,30 @@ class SpMVServer:
                 self.stats.observe_preprocess(load_s)
         return fp
 
-    def submit(self, fingerprint: str, x,
-               deadline_s: float | None = None,
+    def submit(self, request, x=None, deadline_s: float | None = None,
                priority: str = "interactive") -> Future:
-        """Queue ``y = A @ x``; the future resolves to the result vector.
+        """Queue one request; the future resolves to its result.
+
+        The unified entry point takes a typed request object —
+        :class:`~repro.serve.SpMVRequest` for ``y = A @ x`` (future
+        resolves to the ``(m,)`` vector) or
+        :class:`~repro.serve.SpMMRequest` for ``Y = A @ X`` (future
+        resolves to the ``(m, k)`` block) — carrying its keyword-only
+        ``deadline_us`` / ``priority`` / ``shards``.  The submitted
+        object is never mutated; bookkeeping happens on a private
+        copy, so the same request may be re-issued (e.g. by the
+        router's hedging path).
+
+        .. deprecated::
+            The positional form ``submit(fingerprint, x, deadline_s=...,
+            priority=...)`` still routes identically for one release,
+            emitting a :class:`DeprecationWarning`.
 
         Invalid inputs fail immediately on the caller thread: an
-        unknown *fingerprint*, a wrong-length or non-finite *x*, or a
-        closed server (:class:`ServerClosedError`).  ``deadline_s`` is
-        a relative budget from now (falling back to the server-wide
-        default); once it passes, the future fails with
+        unknown fingerprint, a wrong-shape or non-finite payload, or a
+        closed server (:class:`ServerClosedError`).  Deadlines are
+        relative budgets from now (falling back to the server-wide
+        default); once passed, the future fails with
         :class:`DeadlineExceededError` instead of occupying a slot.
         With admission control installed, an over-rate request fails
         here with :class:`~repro.overload.AdmissionRejectedError`
@@ -259,35 +287,71 @@ class SpMVServer:
         ``"reject"`` backpressure; under ``"shed"`` the displaced
         batch's futures fail with :class:`RequestShedError`.
         """
+        if isinstance(request, (SpMVRequest, SpMMRequest)):
+            check(x is None and deadline_s is None
+                  and priority == "interactive",
+                  "pass deadline/priority on the request object, not "
+                  "as submit() arguments")
+            return self._submit_request(request)
+        warnings.warn(
+            "submit(fingerprint, x, ...) is deprecated; pass a "
+            "repro.serve.SpMVRequest (or SpMMRequest) instead — the "
+            "positional form will be removed next release",
+            DeprecationWarning, stacklevel=2)
+        deadline_us = None if deadline_s is None else deadline_s * 1e6
+        return self._submit_request(SpMVRequest(
+            request, np.asarray(x), deadline_us=deadline_us,
+            priority=priority))
+
+    def _submit_request(self, request) -> Future:
+        """Validate, admit, and route one typed request."""
+        fingerprint = request.fingerprint
         with self._lock:
             if self._closed:
                 raise ServerClosedError("server is closed")
             csr = self._matrices.get(fingerprint)
         if csr is None:
             raise ReproError(f"unknown matrix fingerprint {fingerprint!r}")
-        x = np.asarray(x)
-        check(x.shape == (csr.shape[1],),
-              f"x must have shape ({csr.shape[1]},)")
+        x = np.asarray(request.x)
+        if isinstance(request, SpMMRequest):
+            check(x.ndim == 2 and x.shape[0] == csr.shape[1]
+                  and x.shape[1] >= 1,
+                  f"X must have shape ({csr.shape[1]}, k) with k >= 1")
+        else:
+            check(x.shape == (csr.shape[1],),
+                  f"x must have shape ({csr.shape[1]},)")
         check(bool(np.isfinite(x).all()), "x must be finite (no NaN/Inf)")
         if self.admission is not None:
-            self.admission.admit(priority, self._now())  # may raise
-        if deadline_s is None:
-            deadline_s = self.default_deadline_s
+            self.admission.admit(request.priority, self._now())  # may raise
+        if request.shards is not None:
+            with self._lock:
+                self._shard_hints.setdefault(fingerprint, request.shards)
+        deadline_rel = (request.deadline_us * 1e-6
+                        if request.deadline_us is not None
+                        else self.default_deadline_s)
         now = self._now()
-        deadline = float("inf") if deadline_s is None else now + deadline_s
+        deadline = (float("inf") if deadline_rel is None
+                    else now + deadline_rel)
         future: Future = Future()
         with self._lock:
             req_id = self._next_id
             self._next_id += 1
             self._futures[req_id] = future
-        req = SpMVRequest(req_id=req_id, fingerprint=fingerprint, x=x,
-                          arrival_s=now, deadline_s=deadline,
-                          priority=priority)
+        # Private bookkeeping copy: the caller's object stays pristine.
+        req = replace(request, x=x, req_id=req_id, arrival_s=now,
+                      deadline_s=deadline, result=None,
+                      completion_s=float("nan"), pair=None, shadow=False)
         self.stats.observe_request()
         try:
-            full = self.batcher.add(req, self._now())
-            if full is not None:
-                self.scheduler.submit(full)
+            if isinstance(req, SpMMRequest):
+                # A block is already a batch — skip the coalescer.
+                self.scheduler.submit(Batch(
+                    fingerprint=fingerprint, requests=[req],
+                    formed_s=self._now()))
+            else:
+                full = self.batcher.add(req, self._now())
+                if full is not None:
+                    self.scheduler.submit(full)
         except QueueFullError:
             with self._lock:
                 self._futures.pop(req_id, None)
@@ -467,9 +531,34 @@ class SpMVServer:
         """
         return self.retry_budget is None or self.retry_budget.try_spend()
 
+    def _spmm_strategy(self, fp: str, plan, k: int):
+        """Tuner-chosen large-k strategy, memoized per (matrix, k).
+
+        The tuner's reorder pass and permuted-plan build are paid once;
+        concurrent workers racing the first build keep the first-stored
+        strategy so every batch of a given width executes identically.
+        """
+        key = (fp, int(k))
+        with self._lock:
+            strat = self._spmm_strategies.get(key)
+        if strat is None:
+            built = choose_spmm_strategy(plan, k, self.device)
+            with self._lock:
+                strat = self._spmm_strategies.setdefault(key, built)
+        return strat
+
     def _shards_for(self, fp: str, csr) -> int:
-        """Resolve the shard count for one matrix (memoized for auto)."""
-        if self.shards == "auto":
+        """Resolve the shard count for one matrix (memoized for auto).
+
+        A per-request shard hint (``SpMVRequest.shards`` /
+        ``SpMMRequest.shards``) recorded before the plan was first
+        built overrides the server-wide policy for that matrix.
+        """
+        with self._lock:
+            policy = self._shard_hints.get(fp, self.shards)
+        if policy is None:
+            return 1
+        if policy == "auto":
             S = self._shard_choice.get(fp)
             if S is None:
                 from ..shard import choose_shards
@@ -482,7 +571,7 @@ class SpMVServer:
                                       k=self.batcher.max_batch).best_value)
                 self._shard_choice[fp] = S
             return S
-        return int(self.shards)
+        return int(policy)
 
     def _get_plan(self, fp: str, csr):
         """Fetch or build the (possibly sharded) plan, charging modeled
@@ -491,7 +580,7 @@ class SpMVServer:
         pre_cell: dict[str, float] = {}
 
         def build(matrix):
-            S = self._shards_for(fp, matrix) if self.shards is not None else 1
+            S = self._shards_for(fp, matrix)
             if S > 1:
                 from ..shard import traced_preprocess_sharded
 
@@ -536,12 +625,26 @@ class SpMVServer:
             k = batch.k
             ev = spmm_events(plan, self.device, k)
             bits = plan.dtype.itemsize * 8
-            device_s = (estimate_time(ev, self.device, dtype_bits=bits).total
-                        + extra_s)
             util = mma_utilization(plan, k)
-            if k == 1:
-                Y = dasp_spmv(plan, batch.requests[0].x, obs=self.obs)[:, None]
+            if k > MMA_N:
+                # Large-k tier: tuner-chosen strategy (looped / tiled /
+                # reordered), memoized per (matrix, k).  All strategies
+                # are bitwise-identical to column-wise dasp_spmv; the
+                # batch is charged the chosen strategy's modeled time.
+                strat = self._spmm_strategy(fp, plan, k)
+                device_s = strat.modeled_s + extra_s
+                Y = dasp_spmm_large(plan, batch.assemble_x(), strat)
+                self.obs.counter("serve.spmm_large_total",
+                                 {"strategy": strat.name}).inc()
+                if self.obs.tracing:
+                    sp.set_attr("spmm_strategy", strat.name)
+                    sp.set_attr("tile_k", strat.tile_k)
             else:
+                # k == 1 routes through the same SpMM path as 2..8 —
+                # dasp_spmm's column folds are bitwise dasp_spmv, and
+                # scale_rhs(k=1) preserves every event field.
+                device_s = (estimate_time(ev, self.device,
+                                          dtype_bits=bits).total + extra_s)
                 Y = dasp_spmm(plan, batch.assemble_x(), obs=self.obs)
             if corrupt:
                 Y = self.fault_injector.corrupt_output(Y)
@@ -578,8 +681,7 @@ class SpMVServer:
             if self.obs.tracing else None
         with self.obs.span("kernel", attrs=attrs) as sp:
             k = batch.k
-            X = (batch.requests[0].x[:, None] if k == 1
-                 else batch.assemble_x())
+            X = batch.assemble_x()
             S = plan.n_shards
             results: list = [None] * S
             errors: list[Exception] = []
@@ -650,8 +752,8 @@ class SpMVServer:
         sees anything.  Returns ``(Y_band, modeled_s, events,
         utilization, phase_fraction)``.
         """
-        from ..core.spmm import _dasp_spmm
-        from ..core.spmv import _dasp_spmv_vectorized
+        from ..core.spmm import dasp_spmm_on_plan
+        from ..core.spmm_block import DEFAULT_TILE_K, dasp_spmm_tiled
 
         self.obs.counter("core.shard_executions_total").inc()
         for attempt in range(self.retry.max_retries + 1):
@@ -665,13 +767,15 @@ class SpMVServer:
                 bits = shard.dasp.dtype.itemsize * 8
                 t = (estimate_time(ev, self.device, dtype_bits=bits).total
                      + self.device.launch_overhead_s + extra_s)
-                # The un-spanned kernel entry points: helper threads must
+                # The un-spanned kernel entry point: helper threads must
                 # not open root spans in the thread-local tracer.
-                if k == 1:
-                    Yi = _dasp_spmv_vectorized(shard.dasp, X[:, 0])[:, None]
+                # Column-tile wide blocks; both calls are bitwise the
+                # column-wise dasp_spmv (k == 1 included).
+                if k > MMA_N:
+                    Yi = dasp_spmm_tiled(shard.dasp, X,
+                                         tile_k=DEFAULT_TILE_K)
                 else:
-                    Yi = _dasp_spmm(shard.dasp, X, engine="vectorized",
-                                    cast_output=False)
+                    Yi = dasp_spmm_on_plan(shard.dasp, X)
                 if corrupt:
                     Yi = self.fault_injector.corrupt_output(Yi)
                 if not np.isfinite(Yi).all():
@@ -696,7 +800,7 @@ class SpMVServer:
     def _degrade(self, batch: Batch, csr, cause: Exception) -> None:
         """Serve the batch from the merge-CSR path (or fail it)."""
         if not self.fallback_enabled:
-            self.stats.observe_failed(batch.k)
+            self.stats.observe_failed(len(batch.requests))
             self._fail_batch(batch, cause)
             return
         attrs = None
@@ -711,7 +815,7 @@ class SpMVServer:
             except Exception as exc:  # noqa: BLE001 — fallback itself broke
                 if self.obs.tracing:
                     sp.status = "error"
-                self.stats.observe_failed(batch.k)
+                self.stats.observe_failed(len(batch.requests))
                 self._fail_batch(batch, exc)
                 return
             sp.set_device_time(device_s)
@@ -719,7 +823,7 @@ class SpMVServer:
                 self.stats.observe_preprocess(pre_s)
                 if self.obs.tracing:
                     sp.child("preprocess", device_s=pre_s)
-        self.stats.observe_degraded(batch.k)
+        self.stats.observe_degraded(len(batch.requests))
         # degraded batches issue no MMA work — utilization stays honest
         self._complete(batch, Y, device_s, 0.0, 0.0)
 
@@ -728,7 +832,8 @@ class SpMVServer:
         now = self._now()
         batch.scatter(Y, now)
         self.stats.observe_batch(batch.k, device_s,
-                                 useful_mma=useful, issued_mma=issued)
+                                 useful_mma=useful, issued_mma=issued,
+                                 completed=len(batch.requests))
         for req in batch.requests:
             self.stats.observe_latency(req.latency_s)
             fut = self._pop_future(req.req_id)
@@ -736,7 +841,7 @@ class SpMVServer:
                 fut.set_result(req.result)
 
     def _shed_batch(self, batch: Batch) -> None:
-        self.stats.observe_shed(batch.k)
+        self.stats.observe_shed(len(batch.requests))
         for req in batch.requests:
             fut = self._pop_future(req.req_id)
             if fut is not None:

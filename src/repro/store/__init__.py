@@ -30,11 +30,13 @@ matrices' plans at registration time.
 
 from .artifact import (
     ALIGN,
+    AUX_PREFIX,
     EXTENSION,
     FORMAT_VERSION,
     MAGIC,
     ArtifactError,
     load_artifact,
+    read_aux,
     read_header,
     save_artifact,
     verify_artifact,
@@ -50,6 +52,7 @@ from .tier import (
 
 __all__ = [
     "ALIGN",
+    "AUX_PREFIX",
     "ArtifactError",
     "DISK_BW",
     "EXTENSION",
@@ -62,6 +65,7 @@ __all__ = [
     "load_beats_rebuild",
     "modeled_load_time",
     "modeled_rebuild_time",
+    "read_aux",
     "read_header",
     "save_artifact",
     "verify_artifact",

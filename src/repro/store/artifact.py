@@ -15,7 +15,10 @@ section (scalar inputs of the load-vs-rebuild cost comparison,
 see :mod:`repro.store.tier`) and one record per array: name, dtype,
 shape, payload-relative offset, byte length and CRC32.  Offsets are
 relative to the payload section, so the header can be grown without a
-fixpoint computation.
+fixpoint computation.  ``aux.``-prefixed records carry auxiliary
+arrays (e.g. the large-k SpMM row-reorder permutation) that plan
+reconstruction never touches — see :func:`save_artifact` /
+:func:`read_aux`.
 
 Payloads are loadable through ``np.memmap`` (the default): a warm start
 maps the file and the plan's arrays are read-only views into the page
@@ -94,14 +97,33 @@ def _modeled_scalars(plan) -> dict:
     }
 
 
-def save_artifact(path, plan, *, fingerprint: str | None = None) -> dict:
+#: Record-name prefix for auxiliary (non-plan) arrays.  Plan
+#: reconstructors fetch their arrays by explicit name, so ``aux.*``
+#: records ride along without a format-version bump and old readers
+#: simply never look at them.
+AUX_PREFIX = "aux."
+
+
+def save_artifact(path, plan, *, fingerprint: str | None = None,
+                  aux: dict | None = None) -> dict:
     """Write *plan* (a ``DASPMatrix`` or ``ShardedPlan``) to *path*.
+
+    ``aux`` maps names to extra arrays stored alongside the plan —
+    e.g. the large-k SpMM row-reorder permutation — under
+    ``aux.``-prefixed records (CRC-checked like plan arrays, listed in
+    the header's ``aux`` key, invisible to plan reconstruction and to
+    the load-vs-rebuild cost model's ``packed_bytes``).
 
     Returns the header dict that was written.  The write is plain (not
     atomic) — :meth:`repro.store.PlanStore.put` layers write-then-rename
     publishing on top.
     """
     meta, arrays = plan.to_arrays()
+    for name in aux or ():
+        key = AUX_PREFIX + name
+        if key in arrays:  # pragma: no cover — plan arrays never use aux.
+            raise ArtifactError(f"aux name collides with plan array {key!r}")
+        arrays[key] = np.asarray((aux or {})[name])
     records = []
     offset = 0
     packed_bytes = 0
@@ -119,7 +141,8 @@ def save_artifact(path, plan, *, fingerprint: str | None = None) -> dict:
         })
         offset += arr.nbytes
         if not name.endswith(("csr.indptr", "csr.indices", "csr.data")) \
-                and name != "row_starts":
+                and name != "row_starts" \
+                and not name.startswith(AUX_PREFIX):
             packed_bytes += arr.nbytes
     header = {
         "magic": MAGIC.decode(),
@@ -128,6 +151,7 @@ def save_artifact(path, plan, *, fingerprint: str | None = None) -> dict:
         "fingerprint": fingerprint,
         "dtype": meta["dtype"],
         "meta": meta,
+        "aux": sorted(aux) if aux else [],
         "modeled": dict(_modeled_scalars(plan),
                         payload_bytes=int(offset),
                         packed_bytes=int(packed_bytes)),
@@ -257,6 +281,24 @@ def load_artifact(path, *, mmap: bool = True, verify: bool = True,
         raise ArtifactError(
             f"{path}: cannot reconstruct {kind!r} plan: {exc}") from exc
     raise ArtifactError(f"{path}: unknown plan kind {kind!r}")
+
+
+def read_aux(path, *, mmap: bool = True, verify: bool = True) -> dict:
+    """Read an artifact's auxiliary arrays (``aux.*`` records).
+
+    Returns ``{name: array}`` with the ``aux.`` prefix stripped —
+    empty when the artifact carries none (including artifacts written
+    before aux support existed).  Raises :class:`ArtifactError` on the
+    same framing/corruption conditions as :func:`load_artifact`.
+    """
+    header, payload_start = read_header(path)
+    sub = dict(header,
+               arrays=[r for r in header["arrays"]
+                       if r["name"].startswith(AUX_PREFIX)])
+    if not sub["arrays"]:
+        return {}
+    arrays = _read_arrays(path, sub, payload_start, mmap=mmap, verify=verify)
+    return {name[len(AUX_PREFIX):]: arr for name, arr in arrays.items()}
 
 
 def verify_artifact(path) -> dict:

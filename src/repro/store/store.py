@@ -49,6 +49,7 @@ from .artifact import (
     EXTENSION,
     ArtifactError,
     load_artifact,
+    read_aux,
     read_header,
     save_artifact,
     verify_artifact,
@@ -180,13 +181,17 @@ class PlanStore:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def put(self, fingerprint: str, plan, *, overwrite: bool = True) -> Path:
+    def put(self, fingerprint: str, plan, *, overwrite: bool = True,
+            aux: dict | None = None) -> Path:
         """Atomically publish *plan* under *fingerprint*.
 
         Serializes to ``tmp/`` then renames into place; a reader never
         sees a partial file.  With ``overwrite=False`` an existing
         artifact is kept (content addressing makes the bytes identical
-        anyway).  Returns the published path.
+        anyway).  ``aux`` arrays (e.g. a tuned row-reorder permutation)
+        ride along in the artifact — see
+        :func:`repro.store.artifact.save_artifact`.  Returns the
+        published path.
         """
         final = self.path_for(fingerprint)
         if not overwrite and final.exists():
@@ -194,7 +199,7 @@ class PlanStore:
         tmp = self.tmp_dir / (f"{fingerprint}.{os.getpid()}"
                               f".{next(_TMP_SEQ)}.part")
         try:
-            save_artifact(tmp, plan, fingerprint=fingerprint)
+            save_artifact(tmp, plan, fingerprint=fingerprint, aux=aux)
             os.replace(tmp, final)
         finally:
             tmp.unlink(missing_ok=True)  # failed before the rename
@@ -268,6 +273,26 @@ class PlanStore:
         self._hits.inc()
         self._load_seconds.inc(time.perf_counter() - t0)
         return plan, modeled_load_time(header, self.device)
+
+    def load_aux(self, fingerprint: str) -> dict | None:
+        """Auxiliary arrays of a published artifact, or ``None``.
+
+        ``None`` means absent; an empty dict means the artifact exists
+        but carries no aux records (e.g. written before aux support).
+        Corruption quarantines the artifact like a failed load.
+        """
+        path = self.path_for(fingerprint)
+        with self._lock:  # a gc/quarantine unlink cannot race the read
+            if not path.exists():
+                return None
+            try:
+                return read_aux(path)
+            except FileNotFoundError:
+                return None  # cross-process removal: plain absence
+            except ArtifactError as exc:
+                self._load_failures.inc()
+                self.quarantine(fingerprint, str(exc))
+                return None
 
     def verify(self, fingerprint: str) -> dict:
         """Full CRC verification of one artifact (raises on failure)."""

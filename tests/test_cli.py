@@ -78,6 +78,50 @@ class TestSpmv:
         assert out1.splitlines()[0] != out2.splitlines()[0]
 
 
+class TestSpmm:
+    def test_strategy_table_and_bitwise_check(self, capsys):
+        assert main(["spmm", "scircuit", "--k", "8", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "| strategy |" in out
+        assert "looped" in out
+        assert "bitwise identical" in out
+
+    def test_store_publishes_reorder_aux(self, tmp_path, capsys):
+        from repro.store import PlanStore, fingerprint_csr
+
+        assert main(["spmm", "mac_econ_fwd500", "--k", "8", "128",
+                     "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "published" in out
+        from repro.matrices import load as load_matrix
+
+        fp = fingerprint_csr(load_matrix("mac_econ_fwd500"))
+        aux = PlanStore(tmp_path).load_aux(fp)
+        if "reorder permutation" in out:
+            perm = aux["spmm.reorder_perm"]
+            assert np.array_equal(np.sort(perm), np.arange(perm.size))
+            inv = aux["spmm.reorder_inv"]
+            assert np.array_equal(perm[inv], np.arange(perm.size))
+        else:  # tuner kept natural order: plan published without aux
+            assert aux == {}
+
+    def test_bench_json(self, tmp_path, capsys):
+        assert main(["spmm", "scircuit", "--k", "8", "32", "--bench-json",
+                     "--bench-dir", str(tmp_path)]) == 0
+        import json
+
+        records = json.loads((tmp_path / "BENCH_spmm.json").read_text())
+        assert len(records) == 1
+        sweep = records[0]["sweep"]
+        assert [row["k"] for row in sweep] == [8, 32]
+        assert all(row["speedup"] >= 1.0 for row in sweep)
+
+    def test_no_reorder_flag(self, capsys):
+        assert main(["spmm", "mac_econ_fwd500", "--k", "8", "32",
+                     "--no-reorder"]) == 0
+        assert "reordered" not in capsys.readouterr().out
+
+
 class TestBench:
     def test_mini_sweep(self, capsys):
         assert main(["bench", "--count", "4"]) == 0

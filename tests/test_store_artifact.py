@@ -325,3 +325,80 @@ def test_fingerprint_csr_matches_serve_alias(rng):
 
     csr = random_csr(32, 100, rng)
     assert fingerprint_csr(csr) == matrix_fingerprint(csr)
+
+
+# ----------------------------------------------------------------------
+# aux records (e.g. the SpMM row-reorder permutation)
+# ----------------------------------------------------------------------
+class TestAuxRecords:
+    def test_roundtrip_bitwise(self, tmp_path, rng):
+        from repro.store import read_aux
+
+        csr = random_csr(48, 300, rng)
+        plan = DASPMatrix.from_csr(csr)
+        perm = rng.permutation(48).astype(np.int64)
+        path = tmp_path / "p.daspz"
+        save_artifact(path, plan, aux={"spmm.reorder_perm": perm,
+                                       "weights": rng.uniform(size=7)})
+        aux = read_aux(path)
+        assert sorted(aux) == ["spmm.reorder_perm", "weights"]
+        assert np.array_equal(aux["spmm.reorder_perm"], perm)
+        assert aux["spmm.reorder_perm"].dtype == np.int64
+        # the plan itself loads back unaffected by the extra records
+        loaded, _ = load_artifact(path)
+        x = rng.uniform(-1, 1, 300)
+        assert np.array_equal(dasp_spmv(loaded, x), dasp_spmv(plan, x))
+
+    def test_no_aux_gives_empty_dict(self, saved):
+        from repro.store import read_aux
+
+        path, header, _, _, _ = saved
+        assert read_aux(path) == {}
+        assert header["aux"] == []
+
+    def test_aux_listed_in_header_not_packed_bytes(self, tmp_path, rng):
+        csr = random_csr(32, 200, rng)
+        plan = DASPMatrix.from_csr(csr)
+        bare = save_artifact(tmp_path / "a.daspz", plan)
+        big = rng.uniform(size=4096)
+        with_aux = save_artifact(tmp_path / "b.daspz", plan,
+                                 aux={"blob": big})
+        assert with_aux["aux"] == ["blob"]
+        # aux rides along but is not part of the load-vs-rebuild model
+        assert (with_aux["modeled"]["packed_bytes"]
+                == bare["modeled"]["packed_bytes"])
+
+    def test_aux_covered_by_verify(self, tmp_path, rng):
+        csr = random_csr(32, 200, rng)
+        plan = DASPMatrix.from_csr(csr)
+        path = tmp_path / "p.daspz"
+        save_artifact(path, plan, aux={"perm": np.arange(32)})
+        verify_artifact(path)  # fine
+        _flip_payload_byte(path)
+        with pytest.raises(ArtifactError):
+            verify_artifact(path)
+
+    def test_read_aux_without_mmap(self, tmp_path, rng):
+        from repro.store import read_aux
+
+        csr = random_csr(16, 80, rng)
+        plan = DASPMatrix.from_csr(csr)
+        path = tmp_path / "p.daspz"
+        save_artifact(path, plan, aux={"perm": np.arange(16)})
+        aux = read_aux(path, mmap=False)
+        assert np.array_equal(aux["perm"], np.arange(16))
+
+    def test_store_put_and_load_aux(self, tmp_path, rng):
+        csr = random_csr(40, 250, rng)
+        plan = DASPMatrix.from_csr(csr)
+        fp = fingerprint_csr(csr)
+        store = PlanStore(tmp_path / "store")
+        perm = rng.permutation(40).astype(np.int64)
+        store.put(fp, plan, aux={"spmm.reorder_perm": perm})
+        aux = store.load_aux(fp)
+        assert np.array_equal(aux["spmm.reorder_perm"], perm)
+        # absent fingerprint -> None, artifact without aux -> {}
+        assert store.load_aux("0" * 32) is None
+        fp2 = fingerprint_csr(random_csr(8, 40, rng))
+        store.put(fp2, DASPMatrix.from_csr(random_csr(8, 40, rng)))
+        assert store.load_aux(fp2) == {}
