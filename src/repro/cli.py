@@ -305,6 +305,10 @@ def cmd_serve_sim(args) -> int:
         shard_workers=args.shard_workers,
         store=args.store,
         warm_start=bool(args.warm_start),
+        pipeline=bool(args.pipeline),
+        warmer=bool(args.warmer),
+        spmm_mix=args.spmm_mix,
+        spmm_ks=tuple(args.spmm_ks),
     )
     trace = bool(args.trace or args.trace_json or args.trace_prom)
     obs = Obs(tracer=Tracer()) if trace else None
@@ -381,6 +385,8 @@ def cmd_cluster_sim(args) -> int:
         chaos=chaos,
         store=args.store,
         warm_start=bool(args.warm_start),
+        pipeline=bool(args.pipeline),
+        warmer=bool(args.warmer),
         n_replicas=args.replicas,
         vnodes=args.vnodes,
         ring_seed=args.ring_seed,
@@ -738,6 +744,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm-start", action="store_true",
                    help="preload every pool matrix's plan from --store "
                         "before traffic starts")
+    p.add_argument("--pipeline", action="store_true",
+                   help="async pipelined execution: plan loads/builds run "
+                        "on a modeled prefetch lane overlapping the device "
+                        "(results stay bitwise identical)")
+    p.add_argument("--warmer", action="store_true",
+                   help="speculative plan warmer: prebuild/preload popular "
+                        "matrices before their first request (Zipf "
+                        "estimate over observed traffic; implies a "
+                        "prefetch lane)")
+    p.add_argument("--spmm-mix", type=float, default=0.0, metavar="P",
+                   help="fraction of requests issued as SpMM blocks "
+                        "(dedicated seed+13 stream; 0 disables)")
+    p.add_argument("--spmm-ks", type=int, nargs="+", default=[16, 32, 64],
+                   metavar="K",
+                   help="RHS widths sampled for SpMM block requests")
     p.add_argument("--trace", action="store_true",
                    help="record spans (repro.obs) and print the "
                         "device-time attribution report")
@@ -827,6 +848,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm-start", action="store_true",
                    help="each replica preloads its ring-assigned "
                         "fingerprints from --store")
+    p.add_argument("--pipeline", action="store_true",
+                   help="async pipelined execution on every replica "
+                        "(modeled prefetch lane beside each device)")
+    p.add_argument("--warmer", action="store_true",
+                   help="per-replica speculative plan warmer; ring "
+                        "warm-ups and rebalance re-warms ride it")
     p.add_argument("--trace", action="store_true",
                    help="shared tracer with per-replica device-time "
                         "attribution")

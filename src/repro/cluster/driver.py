@@ -52,7 +52,7 @@ from ..serve.driver import (
     WorkloadConfig,
     _build_injector,
     _matrix_pool,
-    _ModeledDevice,
+    _modeled_for,
     auto_rate,
     zipf_weights,
 )
@@ -413,7 +413,7 @@ class _Cluster:
             moved = [fp for fp in fps if self.ring.lookup(fp) != before[fp]]
             self._moved.inc(len(moved))
             if moved and replica.registry.store is not None:
-                replica.warm(moved)
+                replica.warm_many(moved)
         return rid
 
     def drain_replica(self, rid: str, now: float) -> None:
@@ -614,8 +614,7 @@ def run_cluster_workload(cfg: ClusterConfig, *,
     rng = default_rng(cfg.seed)
     pool = _matrix_pool(cfg)
     weights = zipf_weights(len(pool), cfg.zipf_s)
-    modeled = _ModeledDevice(device, dtype.itemsize * 8,
-                             workers=cfg.shard_workers)
+    modeled = _modeled_for(cfg, device, dtype)
     retry_rng = default_rng(cfg.seed + 1)  # shared jitter stream
     cluster = _Cluster(cfg, device=device, dtype=dtype, pool=pool,
                        modeled=modeled, retry_rng=retry_rng, obs=obs)
@@ -623,10 +622,12 @@ def run_cluster_workload(cfg: ClusterConfig, *,
     if cfg.warm_start:
         # Ring-scoped warm-up: each replica preloads only its assigned
         # fingerprints from the shared store (off the virtual clock).
+        # With the speculative warmer on, the ring-scoped warm-up rides
+        # the warmer (load-vs-rebuild gate + persisted reorder perms).
         fps = [fp for _, fp, _ in pool]
         assigned = cluster.ring.assignments(fps)
         for rid in cluster.active():
-            cluster.replicas[rid].warm(
+            cluster.replicas[rid].warm_many(
                 [fp for fp in fps if fp in set(assigned[rid])])
 
     rate = cfg.rate_rps

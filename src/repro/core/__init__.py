@@ -51,9 +51,12 @@ from .spmm_block import (
     choose_spmm_strategy,
     dasp_spmm_large,
     dasp_spmm_tiled,
+    overlap_schedule,
+    reorder_from_perm,
     reorder_rows,
     spmm_block_events,
     spmm_looped_cost,
+    spmm_tiled_overlap_cost,
 )
 from .spmv import dasp_spmv
 
@@ -91,6 +94,8 @@ __all__ = [
     "dasp_spmv",
     "loop_num_for",
     "mma_utilization",
+    "overlap_schedule",
+    "reorder_from_perm",
     "reorder_rows",
     "run_long_rows",
     "run_medium_rows",
@@ -98,6 +103,7 @@ __all__ = [
     "spmm_block_events",
     "spmm_events",
     "spmm_looped_cost",
+    "spmm_tiled_overlap_cost",
     "timed_preprocess",
     "tune_max_len",
     "tune_threshold",

@@ -58,9 +58,12 @@ __all__ = [
     "choose_spmm_strategy",
     "dasp_spmm_large",
     "dasp_spmm_tiled",
+    "overlap_schedule",
+    "reorder_from_perm",
     "reorder_rows",
     "spmm_block_events",
     "spmm_looped_cost",
+    "spmm_tiled_overlap_cost",
 ]
 
 #: Default column-tile width (4 MMA passes per tile).
@@ -153,6 +156,35 @@ def reorder_rows(csr, *, mma_shape=None) -> ReorderResult:
                          stats=stats, natural_stats=natural_stats)
 
 
+def reorder_from_perm(csr, perm: np.ndarray, *,
+                      mma_shape=None) -> ReorderResult:
+    """Rebuild a :class:`ReorderResult` from a *stored* permutation.
+
+    The ``spmm`` CLI persists the winning permutation as a ``.daspz``
+    ``aux.`` record (``spmm.reorder_perm``); a server warm-starting
+    from that artifact should not re-run the candidate sweep of
+    :func:`reorder_rows` just to recover a decision already made.  The
+    tile counters are recomputed for *perm* (they are derived data, not
+    part of the stored decision), so the result prices and executes
+    exactly like the originally derived one.  An identity permutation
+    maps back to the ``natural`` candidate, keeping
+    :attr:`ReorderResult.is_identity` faithful.
+    """
+    perm = np.ascontiguousarray(np.asarray(perm, dtype=np.int64))
+    m = csr.shape[0]
+    check(perm.shape == (m,), f"perm must have shape ({m},)")
+    natural_stats = mma_tile_stats(csr, mma_shape=mma_shape)
+    if np.array_equal(perm, np.arange(m, dtype=np.int64)):
+        return ReorderResult(perm=perm, inv=perm.copy(),
+                             candidate="natural", stats=natural_stats,
+                             natural_stats=natural_stats)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(m, dtype=np.int64)
+    stats = mma_tile_stats(csr, mma_shape=mma_shape, perm=perm)
+    return ReorderResult(perm=perm, inv=inv, candidate="stored",
+                         stats=stats, natural_stats=natural_stats)
+
+
 @dataclass(frozen=True)
 class BlockPlan:
     """A DASP plan prepared for reordered large-k execution.
@@ -203,7 +235,8 @@ def build_block_plan(plan: DASPMatrix, *,
 
 
 def dasp_spmm_tiled(plan: DASPMatrix, X: np.ndarray, *,
-                    tile_k: int = DEFAULT_TILE_K) -> np.ndarray:
+                    tile_k: int = DEFAULT_TILE_K,
+                    double_buffer: bool = False, obs=None) -> np.ndarray:
     """Column-tiled large-k SpMM on a DASP plan.
 
     Splits ``X`` into column tiles of width ``tile_k`` (a multiple of
@@ -211,6 +244,12 @@ def dasp_spmm_tiled(plan: DASPMatrix, X: np.ndarray, *,
     engine analogue of the double loop over column tiles × row blocks.
     Output columns are independent folds, so the result is bitwise the
     untiled ``dasp_spmm`` (and hence the column-wise ``dasp_spmv``).
+
+    ``double_buffer`` marks the tiles as double-buffered for
+    accounting: the modeled clock (:func:`spmm_tiled_overlap_cost`)
+    overlaps the next tile's RHS gather with the current tile's
+    compute.  Results are bitwise-identical either way — the flag only
+    feeds the ``core.pipeline.*`` counters.
     """
     X = np.asarray(X)
     check(X.ndim == 2 and X.shape[0] == plan.shape[1],
@@ -219,6 +258,11 @@ def dasp_spmm_tiled(plan: DASPMatrix, X: np.ndarray, *,
     check(k >= 1, "X must have at least one column")
     check(tile_k >= 1 and tile_k % plan.mma_shape.n == 0,
           f"tile_k must be a positive multiple of MMA_N={plan.mma_shape.n}")
+    if double_buffer:
+        from ..obs import get_obs
+
+        (obs if obs is not None else get_obs()).counter(
+            "core.pipeline.double_buffered_tiles_total").inc(-(-k // tile_k))
     Y = np.empty((plan.shape[0], k), dtype=plan.mma_shape.acc_dtype)
     for j0 in range(0, k, tile_k):
         j1 = min(j0 + tile_k, k)
@@ -301,6 +345,57 @@ def spmm_block_events(plan: DASPMatrix, device, k: int, *,
     return replace(ev, serial_iters=ev.serial_iters * col_tiles)
 
 
+def overlap_schedule(loads, computes) -> float:
+    """Makespan of a two-stage double-buffered pipeline.
+
+    ``loads[i]`` is the transfer time of segment ``i`` (an RHS column
+    tile, a shard band's packed arrays), ``computes[i]`` its kernel
+    time.  With two buffers the transfer of segment ``i+1`` overlaps
+    the compute of segment ``i``, so the schedule is::
+
+        loads[0] + sum(max(computes[i], loads[i+1])) + computes[-1]
+
+    which degenerates to the serial sum for a single segment and never
+    exceeds it.
+    """
+    check(len(loads) == len(computes) and len(loads) >= 1,
+          "loads and computes must be equal-length and non-empty")
+    t = float(loads[0])
+    for i in range(len(computes) - 1):
+        t += max(float(computes[i]), float(loads[i + 1]))
+    return t + float(computes[-1])
+
+
+def spmm_tiled_overlap_cost(plan: DASPMatrix, device, k: int, *,
+                            tile_k: int = DEFAULT_TILE_K,
+                            stats: TileStats | None = None,
+                            dtype_bits: int | None = None,
+                            ) -> tuple[float, float]:
+    """``(serial_s, overlapped_s)`` for one column-tiled large-k sweep.
+
+    Splits the modeled sweep into its RHS-gather component (the
+    per-tile ``X`` traffic — the part a second buffer can stage while
+    the previous tile computes) and everything else, smears both evenly
+    over the ``ceil(k / tile_k)`` column tiles, and prices the
+    double-buffered schedule with :func:`overlap_schedule`.  The
+    numerics of :func:`dasp_spmm_tiled` are untouched — only the
+    modeled clock changes when the pipeline runs with double buffering
+    on.
+    """
+    check(k >= 1, "k must be positive")
+    if dtype_bits is None:
+        dtype_bits = plan.dtype.itemsize * 8
+    ev = spmm_block_events(plan, device, k, tile_k=tile_k, stats=stats)
+    serial = estimate_time(ev, device, dtype_bits=dtype_bits).total
+    compute = estimate_time(replace(ev, bytes_x=0.0), device,
+                            dtype_bits=dtype_bits).total
+    load = max(serial - compute, 0.0)
+    tiles = -(-k // tile_k)
+    loads = [load / tiles] * tiles
+    computes = [compute / tiles] * tiles
+    return serial, overlap_schedule(loads, computes)
+
+
 @dataclass(frozen=True)
 class SpmmStrategy:
     """A tuner decision for one ``(matrix, k)`` pair.
@@ -332,7 +427,9 @@ class SpmmStrategy:
 
 def choose_spmm_strategy(plan: DASPMatrix, k: int, device="A100", *,
                          tile_ks=TILE_K_CANDIDATES,
-                         reorder: bool = True) -> SpmmStrategy:
+                         reorder: bool = True,
+                         reorder_hint: ReorderResult | None = None,
+                         ) -> SpmmStrategy:
     """Pick the cheapest modeled strategy for ``k`` right-hand sides.
 
     ``k <= MMA_N`` is a single batch — the looped baseline *is* the
@@ -342,6 +439,12 @@ def choose_spmm_strategy(plan: DASPMatrix, k: int, device="A100", *,
     order, the reordered+tiled variant (charging the permuted tile
     unions).  Building the permuted plan is the expensive part, so it
     happens only if a non-natural order won the counters.
+
+    ``reorder_hint`` supplies a previously derived
+    :class:`ReorderResult` (typically rebuilt from a persisted ``aux.``
+    permutation via :func:`reorder_from_perm`) and skips the candidate
+    sweep of :func:`reorder_rows`; the pricing and execution are
+    otherwise identical, so a hinted choice is bitwise the derived one.
     """
     check(k >= 1, "k must be positive")
     bits = plan.dtype.itemsize * 8
@@ -371,7 +474,8 @@ def choose_spmm_strategy(plan: DASPMatrix, k: int, device="A100", *,
                             modeled_s=choice[1], looped_s=looped_s,
                             stats=natural)
     if reorder:
-        ro = reorder_rows(plan.csr, mma_shape=plan.mma_shape)
+        ro = (reorder_hint if reorder_hint is not None
+              else reorder_rows(plan.csr, mma_shape=plan.mma_shape))
         if not ro.is_identity:
             choice = tiled_cost(ro.stats)
             if choice is not None and choice[1] < best.modeled_s:

@@ -148,9 +148,18 @@ DEVICES = {"A100": A100, "H800": H800}
 
 
 def get_device(name_or_spec) -> DeviceSpec:
-    """Resolve ``"A100"`` / ``"H800"`` / a :class:`DeviceSpec` instance."""
+    """Resolve ``"A100"`` / ``"H800"`` / a :class:`DeviceSpec` instance.
+
+    A preset's full marketing name (``spec.name``, e.g.
+    ``"A100-PCIe-40GB"``) resolves too: components that persist or
+    re-plumb ``device.name`` round-trip back to the preset.
+    """
     if isinstance(name_or_spec, DeviceSpec):
         return name_or_spec
     key = str(name_or_spec).upper()
+    if key not in DEVICES:
+        for spec in DEVICES.values():
+            if spec.name.upper() == key:
+                return spec
     check(key in DEVICES, f"unknown device {name_or_spec!r}; have {sorted(DEVICES)}")
     return DEVICES[key]

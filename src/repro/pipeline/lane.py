@@ -1,0 +1,82 @@
+"""The modeled prefetch lane — a second clock beside the device.
+
+Real accelerators overlap host→device copies and plan construction
+with kernel execution through independent copy/DMA engines.  The
+virtual-time driver models that as a :class:`PrefetchLane`: plan
+loads/builds are charged to the lane's clock, batches waiting on them
+park until the lane finishes, and the device clock keeps running
+batches whose plans are already resident.  The lane never touches an
+RNG stream and is only consulted when the pipeline is enabled, so
+pipeline-off runs are bit-identical to the pre-pipeline driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check
+
+__all__ = ["PipelineConfig", "PrefetchLane"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the async execution layer.
+
+    Attributes
+    ----------
+    lanes:
+        Concurrent prefetch engines (modeled copy/build lanes).  One
+        lane already overlaps a cold plan with warm traffic; more lanes
+        let several cold matrices load concurrently.
+    double_buffer:
+        Price shard bands and SpMM column tiles with the
+        double-buffered overlap schedule
+        (:func:`repro.core.overlap_schedule`) instead of the serial
+        sum.  Execution numerics are identical either way.
+    """
+
+    lanes: int = 1
+    double_buffer: bool = True
+
+    def __post_init__(self) -> None:
+        check(self.lanes >= 1, "lanes must be >= 1")
+
+
+class PrefetchLane:
+    """Modeled asynchronous plan-acquisition engine (virtual time).
+
+    ``schedule(now, cost_s)`` books *cost_s* modeled seconds on the
+    least-loaded lane starting no earlier than *now* and returns the
+    completion time.  The caller performs the actual Python-side
+    load/build immediately (the simulation is single-threaded); the
+    lane only decides *when* the plan becomes usable on the virtual
+    clock.
+    """
+
+    def __init__(self, *, obs=None, lanes: int = 1) -> None:
+        from ..obs import get_obs
+
+        check(lanes >= 1, "lanes must be >= 1")
+        self.obs = obs if obs is not None else get_obs()
+        self._free = [0.0] * int(lanes)
+        self._prefetches = self.obs.counter("pipeline.prefetch_total")
+        self._seconds = self.obs.counter("pipeline.prefetch_seconds_total")
+
+    @property
+    def busy_until(self) -> float:
+        """When the last lane goes idle (drain/report hook)."""
+        return max(self._free)
+
+    def schedule(self, now: float, cost_s: float, *,
+                 kind: str = "load") -> float:
+        """Book one acquisition; returns its modeled completion time."""
+        i = min(range(len(self._free)), key=self._free.__getitem__)
+        start = max(self._free[i], float(now))
+        ready = start + float(cost_s)
+        self._free[i] = ready
+        self._prefetches.inc()
+        self._seconds.inc(float(cost_s))
+        self.obs.counter("pipeline.prefetch_kind_total",
+                         {"kind": kind}).inc()
+        return ready

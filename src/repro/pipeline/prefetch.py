@@ -1,0 +1,113 @@
+"""Threaded plan prefetcher — the real server's async acquisition path.
+
+A small background executor feeding :class:`repro.serve.PlanRegistry`.
+Correctness rides entirely on the registry's per-fingerprint
+single-flight: a prefetch racing a demand miss (or another prefetch)
+on the same fingerprint does one load/build, not two, and ``load_only``
+lookups report an in-flight acquisition as *pending* instead of
+blocking behind it — so the prefetcher can sweep a whole catalog
+without ever stalling on the one matrix a request thread is already
+building.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from .._util import ReproError, check
+
+__all__ = ["PlanPrefetcher"]
+
+
+class PlanPrefetcher:
+    """Background plan warming for the threaded :class:`SpMVServer`.
+
+    Parameters
+    ----------
+    registry:
+        The server's :class:`~repro.serve.PlanRegistry` (prefetches go
+        through its single-flight, exactly like demand misses).
+    workers:
+        Prefetch threads.  One is usually right: prefetching competes
+        with demand builds for the GIL and the disk.
+    obs:
+        Metrics handle; defaults to the registry's.
+    """
+
+    def __init__(self, registry, *, workers: int = 1, obs=None) -> None:
+        check(workers >= 1, "workers must be >= 1")
+        self.registry = registry
+        self.obs = obs if obs is not None else registry.obs
+        self._pool = ThreadPoolExecutor(
+            max_workers=int(workers), thread_name_prefix="plan-prefetch")
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._closed = False
+        self._prefetches = self.obs.counter("pipeline.prefetch_total")
+        self._seconds = self.obs.counter("pipeline.prefetch_seconds_total")
+        self._loads = self.obs.counter("pipeline.warm_load_total")
+        self._builds = self.obs.counter("pipeline.warm_build_total")
+        self._failed = self.obs.counter("pipeline.warm_failed_total")
+
+    # ------------------------------------------------------------------
+    def prefetch(self, fingerprint: str, csr=None, *,
+                 builder=None) -> Future:
+        """Warm *fingerprint* in the background; returns a future.
+
+        Tries the disk tier first (non-blocking against any in-flight
+        acquisition); with *csr* given, a store miss falls through to a
+        background build.  The future resolves to ``"ram"`` /
+        ``"store"`` / ``"built"`` / ``"pending"`` / ``"absent"``;
+        failures resolve (not raise) to ``"failed"`` — a speculative
+        warm must never take the server down.
+        """
+        with self._lock:
+            if self._closed:
+                f: Future = Future()
+                f.set_result("absent")
+                return f
+            got = self._inflight.get(fingerprint)
+            if got is not None and not got.done():
+                return got
+            fut = self._pool.submit(self._run, fingerprint, csr, builder)
+            self._inflight[fingerprint] = fut
+            return fut
+
+    def _run(self, fingerprint: str, csr, builder) -> str:
+        self._prefetches.inc()
+        try:
+            plan, source, load_s = self.registry.get_ex(
+                None, fingerprint=fingerprint, load_only=True)
+            if source == "store":
+                self._loads.inc()
+                self._seconds.inc(float(load_s))
+            if source in ("ram", "store", "pending") or csr is None:
+                return source
+            # absent from RAM and store: speculative build (through the
+            # same single-flight as a demand miss).
+            plan, source, _ = self.registry.get_ex(
+                csr, fingerprint=fingerprint, builder=builder)
+            if source == "built":
+                self._builds.inc()
+            return source
+        except ReproError:
+            self._failed.inc()
+            return "failed"
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted prefetch has finished."""
+        with self._lock:
+            futures = list(self._inflight.values())
+        for f in futures:
+            try:
+                f.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 — drain never raises
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True)

@@ -65,8 +65,21 @@ from ..shard import (
     sharded_spmm_events,
     traced_preprocess_sharded,
 )
-from .batcher import DEFAULT_FLUSH_TIMEOUT_S, MMA_N, RequestBatcher, SpMVRequest
+from ..core.spmm_block import (
+    choose_spmm_strategy,
+    reorder_from_perm,
+    spmm_tiled_overlap_cost,
+)
+from ..pipeline import (
+    PipelineConfig,
+    PrefetchLane,
+    SpeculativeWarmer,
+    WarmerConfig,
+    warm_action,
+)
+from .batcher import Batch, DEFAULT_FLUSH_TIMEOUT_S, MMA_N, RequestBatcher
 from .plan_cache import DEFAULT_BUDGET_BYTES, PlanRegistry, matrix_fingerprint
+from .request import SpMMRequest, SpMVRequest
 from .stats import ServerStats
 
 
@@ -145,6 +158,32 @@ class WorkloadConfig:
         additionally preloads every pool matrix's artifact before
         traffic starts — off the virtual clock, like a server
         restarting from its previous run's store.
+    pipeline:
+        Async pipelined execution (:mod:`repro.pipeline`): ``True`` or
+        a :class:`~repro.pipeline.PipelineConfig` charges cold-matrix
+        plan loads/builds to a modeled prefetch lane instead of the
+        device clock — the batch parks until the lane finishes while
+        the device keeps executing resident matrices — and prices
+        shard bands / SpMM column tiles with the double-buffered
+        overlap schedule.  Results are bitwise-identical to
+        pipeline-off; only the timeline changes.  ``False`` (default)
+        keeps the pre-pipeline driver bit-exactly.
+    warmer:
+        Speculative plan warmer (``True`` or a
+        :class:`~repro.pipeline.WarmerConfig`): watches the Zipf
+        popularity estimate from the run's obs counters and
+        preloads/prebuilds not-yet-requested pool matrices on the
+        prefetch lane, choosing load vs rebuild with the store's
+        modeled gate.  Implies the prefetch lane even when
+        ``pipeline`` is off.
+    spmm_mix / spmm_ks:
+        Large-k SpMM traffic: ``spmm_mix`` is the fraction of requests
+        issued as :class:`~repro.serve.SpMMRequest` blocks (bypassing
+        the coalescing batcher, exactly like the real server), with
+        ``k`` drawn uniformly from ``spmm_ks``.  The mix uses a
+        dedicated RNG stream (``seed + 13``), drawn only when the mix
+        is nonzero — an SpMV-only workload stays bit-identical to the
+        pre-mix driver.
     """
 
     n_requests: int = 2000
@@ -169,6 +208,10 @@ class WorkloadConfig:
     shard_workers: int = 4
     store: object = None
     warm_start: bool = False
+    pipeline: PipelineConfig | bool = False
+    warmer: WarmerConfig | bool = False
+    spmm_mix: float = 0.0
+    spmm_ks: tuple = (16, 32, 64)
 
 
 def zipf_weights(n: int, s: float) -> np.ndarray:
@@ -176,6 +219,31 @@ def zipf_weights(n: int, s: float) -> np.ndarray:
     check(n >= 1, "need at least one item")
     w = np.arange(1, n + 1, dtype=np.float64) ** -float(s)
     return w / w.sum()
+
+
+def _resolve_pipeline(cfg: WorkloadConfig) -> PipelineConfig | None:
+    """Normalize the ``pipeline`` field (bool shorthand) to a config."""
+    if isinstance(cfg.pipeline, PipelineConfig):
+        return cfg.pipeline
+    return PipelineConfig() if cfg.pipeline else None
+
+
+def _resolve_warmer(cfg: WorkloadConfig) -> WarmerConfig | None:
+    """Normalize the ``warmer`` field (bool shorthand) to a config."""
+    if isinstance(cfg.warmer, WarmerConfig):
+        return cfg.warmer
+    return WarmerConfig() if cfg.warmer else None
+
+
+def _modeled_for(cfg: WorkloadConfig, device, dtype) -> "_ModeledDevice":
+    """The run's memoized device model, with pipeline pricing switched
+    on only when the workload can exercise it (strategy-priced large-k
+    batches change modeled times, so pre-mix runs must not see them)."""
+    pcfg = _resolve_pipeline(cfg)
+    return _ModeledDevice(
+        device, np.dtype(dtype).itemsize * 8, workers=cfg.shard_workers,
+        double_buffer=pcfg.double_buffer if pcfg is not None else False,
+        strategy_large_k=pcfg is not None or cfg.spmm_mix > 0.0)
 
 
 def _matrix_pool(cfg: WorkloadConfig):
@@ -216,14 +284,42 @@ class _ModeledDevice:
     A :class:`~repro.shard.ShardedPlan` entry is charged the LPT
     makespan of its per-shard times over ``workers`` lanes (the fan-out
     the real-threaded server performs), with the shards' events combined
-    for span attributes."""
+    for span attributes.
 
-    def __init__(self, device, dtype_bits: int, *, workers: int = 1) -> None:
+    ``double_buffer`` prices shard bands (and large-k column tiles)
+    with the overlapped schedule of :func:`repro.core.overlap_schedule`
+    — the pipeline mode's clock.  ``strategy_large_k`` prices
+    ``k > MMA_N`` unsharded batches with the tuner-chosen large-k
+    strategy (what the real server executes) instead of the flat
+    ``spmm_events`` pass; it is enabled only when the workload
+    actually produces large-k traffic so pre-mix runs stay bit-exact.
+    """
+
+    def __init__(self, device, dtype_bits: int, *, workers: int = 1,
+                 double_buffer: bool = False,
+                 strategy_large_k: bool = False) -> None:
         self.device = device
         self.dtype_bits = dtype_bits
         self.workers = int(workers)
+        self.double_buffer = bool(double_buffer)
+        self.strategy_large_k = bool(strategy_large_k)
+        #: fingerprint -> ReorderResult rebuilt from a stored ``aux.``
+        #: permutation (fed by the warmer; consulted by the tuner).
+        self.reorder_hints: dict[str, object] = {}
         self._times: dict[tuple[str, int], tuple] = {}
         self._frac: dict[str, float] = {}
+        self._strategies: dict[tuple[str, int], object] = {}
+
+    def strategy(self, fingerprint: str, plan, k: int):
+        """Memoized tuner choice for one unsharded (matrix, k) pair."""
+        key = (fingerprint, k)
+        strat = self._strategies.get(key)
+        if strat is None:
+            hint = self.reorder_hints.get(fingerprint)
+            strat = choose_spmm_strategy(plan, k, self.device,
+                                         reorder_hint=hint)
+            self._strategies[key] = strat
+        return strat
 
     def _entry(self, fingerprint: str, plan, k: int) -> tuple:
         key = (fingerprint, k)
@@ -232,13 +328,24 @@ class _ModeledDevice:
             if isinstance(plan, ShardedPlan):
                 cost = sharded_batch_cost(plan, self.device, k,
                                           workers=self.workers,
-                                          dtype_bits=self.dtype_bits)
+                                          dtype_bits=self.dtype_bits,
+                                          double_buffer=self.double_buffer)
                 evs = sharded_spmm_events(plan, self.device, k)
                 combined = evs[0]
                 for e in evs[1:]:
                     combined = combined.combine(e)
                 got = (cost.makespan, cost.useful_mma, cost.issued_mma,
                        combined)
+            elif self.strategy_large_k and k > plan.mma_shape.n:
+                strat = self.strategy(fingerprint, plan, k)
+                t = strat.modeled_s
+                if self.double_buffer and strat.name != "looped":
+                    _, t = spmm_tiled_overlap_cost(
+                        plan, self.device, k, tile_k=strat.tile_k,
+                        stats=strat.stats, dtype_bits=self.dtype_bits)
+                ev = spmm_events(plan, self.device, k)
+                util = mma_utilization(plan, k)
+                got = (t, util * ev.flops_mma, ev.flops_mma, ev)
             else:
                 ev = spmm_events(plan, self.device, k)
                 t = estimate_time(ev, self.device,
@@ -346,10 +453,10 @@ class ReplicaSim:
             injector.bind(obs)
         self.registry = PlanRegistry(cfg.cache_budget_bytes,
                                      fault_injector=injector, obs=obs,
-                                     store=store, device=device.name)
+                                     store=store, device=device)
         self.batcher = RequestBatcher(cfg.max_batch, cfg.flush_timeout_s)
-        self.modeled = modeled if modeled is not None else _ModeledDevice(
-            device, dtype.itemsize * 8, workers=cfg.shard_workers)
+        self.modeled = modeled if modeled is not None \
+            else _modeled_for(cfg, device, dtype)
         self.stats = ServerStats(device=device.name, dtype=str(dtype), obs=obs)
         self.breaker = CircuitBreaker(cfg.breaker, obs=obs)
         self.fallback = FallbackExecutor(device)
@@ -363,6 +470,30 @@ class ReplicaSim:
         self.backlog: deque = deque()  # flushed batches awaiting the device
         self.completed: list[SpMVRequest] = []
         self._shard_choice: dict[str, int] = {}
+        # --- async pipeline / speculative warming state ---------------
+        self.pipeline_cfg = _resolve_pipeline(cfg)
+        warmer_cfg = _resolve_warmer(cfg)
+        # the warmer needs a lane to charge speculative loads to, even
+        # with the request pipeline itself off
+        if self.pipeline_cfg is not None or warmer_cfg is not None:
+            lanes = self.pipeline_cfg.lanes if self.pipeline_cfg else 1
+            self._lane = PrefetchLane(obs=obs, lanes=lanes)
+            self._parked_total = obs.counter("pipeline.parked_total")
+        else:
+            self._lane = None
+        if warmer_cfg is not None:
+            self._warmer = SpeculativeWarmer(warmer_cfg, obs=obs)
+            for _, fp, _csr in pool:
+                self._warmer.register(fp)
+        else:
+            self._warmer = None
+        #: fingerprint -> modeled completion time of an in-flight plan
+        #: acquisition on the lane.  The plan is already resident on
+        #: the Python side (the sim is single-threaded); batches must
+        #: still park until the lane clock says the load finished.
+        self._prefetching: dict[str, float] = {}
+        self._parked: list[tuple[float, int, Batch]] = []
+        self._park_seq = 0
 
     def _scaled(self, seconds: float) -> float:
         """Apply the slow-replica time multiplier (identity at 1.0 —
@@ -400,6 +531,124 @@ class ReplicaSim:
                 self.stats.observe_preprocess(load_s)
                 total += load_s
         return total
+
+    def warm_many(self, fingerprints, now: float = 0.0) -> None:
+        """Warm-start entry point (startup preload, router warm-up,
+        post-rebalance re-warm).  With the speculative warmer enabled
+        the warm rides its machinery — the modeled load-vs-rebuild
+        gate, lane-charged acquisition, persisted ``aux.`` reorder
+        permutations; otherwise it is the legacy store-only preload."""
+        if self._warmer is None or self._lane is None:
+            self.warm(fingerprints)
+            return
+        for fp in fingerprints:
+            self._warmer.register(fp)
+            if fp in self._prefetching or self.registry.peek(fp) is not None:
+                continue
+            self._speculative_warm(fp, now)
+
+    def _load_reorder_hint(self, fp: str, plan) -> None:
+        """Stash a stored ``spmm.reorder_perm`` as the tuner's hint so
+        the large-k tier never re-derives a persisted decision."""
+        if isinstance(plan, ShardedPlan) or fp in self.modeled.reorder_hints:
+            return
+        aux = self.registry.load_aux(fp)
+        if not aux or "spmm.reorder_perm" not in aux:
+            return
+        perm = np.asarray(aux["spmm.reorder_perm"])
+        self.modeled.reorder_hints[fp] = reorder_from_perm(
+            plan.csr, perm, mma_shape=plan.mma_shape)
+        self.obs.counter("spmm.reorder.loaded_total").inc()
+
+    def _start_prefetch(self, fp: str, now: float) -> None:
+        """Acquire *fp*'s plan off the device clock (pipeline mode).
+
+        The load/build happens immediately on the Python side through
+        the registry's single-flight; its modeled cost is booked on the
+        prefetch lane, and batches needing the plan park until the
+        lane's completion time."""
+        pre_cell: dict[str, float] = {}
+
+        def build(matrix):
+            plan, pre = self._build_plan(fp, matrix)
+            pre_cell["s"] = pre
+            return plan
+
+        try:
+            plan, source, load_s = self.registry.get_ex(
+                self.csr_by_fp[fp], fingerprint=fp, builder=build)
+        except ReproError:
+            # a failed speculative acquisition must not take traffic
+            # down; the demand path retries (and pays) later
+            self.obs.counter("pipeline.warm_failed_total").inc()
+            return
+        if source == "built":
+            cost, kind = self._scaled(pre_cell.get("s", 0.0)), "build"
+        elif source == "store":
+            cost, kind = self._scaled(load_s), "load"
+            self._load_reorder_hint(fp, plan)
+        else:                       # already resident (or pending)
+            return
+        if cost:
+            self.stats.observe_preprocess(cost)
+        self._prefetching[fp] = self._lane.schedule(now, cost, kind=kind)
+
+    def _speculative_warm(self, fp: str, now: float) -> None:
+        """One warmer nomination: load vs rebuild by the store's
+        modeled gate, charged to the prefetch lane."""
+        action = warm_action(self.registry.store, fp, self.device)
+        self.obs.counter("pipeline.warm_total", {"action": action}).inc()
+        if action == "load":
+            load_s = self.registry.warm(fp)
+            if load_s is None:      # quarantined/corrupt: rebuild
+                self._start_prefetch(fp, now)
+                return
+            cost = self._scaled(load_s)
+            if cost:
+                self.stats.observe_preprocess(cost)
+            self._load_reorder_hint(fp, self.registry.peek(fp))
+            self.obs.counter("pipeline.warm_load_total").inc()
+            self._prefetching[fp] = self._lane.schedule(now, cost,
+                                                        kind="warm.load")
+        else:
+            self.obs.counter("pipeline.warm_build_total").inc()
+            self._start_prefetch(fp, now)
+
+    def _warm_tick(self, now: float) -> None:
+        """Let the warmer nominate and dispatch speculative warms."""
+        due = self._warmer.due(resident=lambda f: (
+            f in self._prefetching or self.registry.peek(f) is not None))
+        for fp in due:
+            self._speculative_warm(fp, now)
+
+    def _park_if_pending(self, batch, fp: str) -> bool:
+        """Park *batch* while its plan is still in flight on the lane.
+
+        Returns True when parked; the device stays free for batches of
+        resident matrices — the pipelining win."""
+        ready = self._prefetching.get(fp)
+        if ready is None:
+            return False
+        if ready > max(self.device_free, batch.formed_s):
+            self._parked.append((ready, self._park_seq, batch))
+            self._park_seq += 1
+            self._parked_total.inc()
+            return True
+        self._prefetching.pop(fp, None)
+        return False
+
+    def _release_parked(self, now: float) -> None:
+        """Re-enqueue parked batches whose plan acquisition finished."""
+        due = [e for e in self._parked if e[0] <= now]
+        if not due:
+            return
+        due.sort()
+        self._parked = [e for e in self._parked if e[0] > now]
+        for ready, _seq, batch in due:
+            self._prefetching.pop(batch.fingerprint, None)
+            # the batch cannot start before its plan is usable
+            batch.formed_s = max(batch.formed_s, ready)
+            self.backlog.append(batch)
 
     def _shards_for(self, fp: str, csr) -> int:
         """Resolve the shard count for one matrix (memoized for auto)."""
@@ -587,6 +836,8 @@ class ReplicaSim:
     def _run_one(self, batch) -> None:
         """Execute one batch on the modeled device, chaos included."""
         fp = batch.fingerprint
+        if self._lane is not None and self._park_if_pending(batch, fp):
+            return
         with self.obs.span("batch", attrs={"matrix": fp[:8], "k": batch.k}
                            if self.tracing else None):
             self._run_one_inner(batch, fp)
@@ -632,6 +883,10 @@ class ReplicaSim:
                 self.stats.observe_failed(
                     self._terminal_count(batch.requests))
             return
+        if self.modeled.strategy_large_k and not isinstance(plan, ShardedPlan) \
+                and batch.k > plan.mma_shape.n:
+            strat = self.modeled.strategy(fp, plan, batch.k)
+            self.stats.observe_spmm_large(strat.name)
         for attempt in range(cfg.retry.max_retries + 1):
             t, useful, issued, extra_s, fault = self._run_kernel_attempt(
                 fp, plan, batch, attempt)
@@ -665,7 +920,11 @@ class ReplicaSim:
     # ------------------------------------------------------------------
     def start_batches(self, now: float) -> None:
         """Run every backlog batch whose start time has been reached."""
-        while self.backlog and self.device_free <= now:
+        while True:
+            if self._parked:
+                self._release_parked(now)
+            if not self.backlog or self.device_free > now:
+                return
             self._run_one(self.backlog.popleft())
 
     def enqueue(self, batches) -> None:
@@ -693,9 +952,20 @@ class ReplicaSim:
         if len(self.backlog) >= self.cfg.queue_depth:
             self.stats.observe_rejected()
             return False
-        full = self.batcher.add(req, now)
-        if full is not None:
-            self.enqueue([full])
+        if self._warmer is not None:
+            self._warmer.observe(req.fingerprint)
+            self._warm_tick(now)
+        if self.pipeline_cfg is not None and self.cfg.plan_cache \
+                and req.fingerprint not in self._prefetching \
+                and self.registry.peek(req.fingerprint) is None:
+            self._start_prefetch(req.fingerprint, now)
+        if isinstance(req, SpMMRequest):
+            # an SpMM block already is a batch; bypass the coalescer
+            self.enqueue([Batch(req.fingerprint, [req], now)])
+        else:
+            full = self.batcher.add(req, now)
+            if full is not None:
+                self.enqueue([full])
         ctx = self.overload
         if ctx is not None and ctx.retry_budget is not None and not req.shadow:
             ctx.retry_budget.on_request()
@@ -753,6 +1023,7 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
     instrumentation never touches the RNG streams or modeled times.
     """
     check(cfg.n_requests >= 1, "n_requests must be >= 1")
+    check(0.0 <= cfg.spmm_mix <= 1.0, "spmm_mix must be in [0, 1]")
     if obs is None or not obs.enabled:
         obs = Obs()
     device = get_device(cfg.device)
@@ -761,8 +1032,7 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
     pool = _matrix_pool(cfg)
     weights = zipf_weights(len(pool), cfg.zipf_s)
     injector = _build_injector(cfg, pool)
-    modeled = _ModeledDevice(device, dtype.itemsize * 8,
-                             workers=cfg.shard_workers)
+    modeled = _modeled_for(cfg, device, dtype)
     replica = ReplicaSim(cfg, device=device, dtype=dtype, pool=pool, obs=obs,
                          injector=injector, modeled=modeled, store=cfg.store)
     stats = replica.stats
@@ -770,8 +1040,10 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
     if cfg.warm_start and replica.registry.store is not None:
         # Startup preload (a server restart reading its previous run's
         # artifacts): charged to preprocess_s but off the virtual
-        # device clock — it happens before traffic exists.
-        replica.warm([fp for _, fp, _csr in pool])
+        # device clock — it happens before traffic exists.  With the
+        # speculative warmer enabled it rides the warmer machinery
+        # (load-vs-rebuild gate, persisted reorder permutations).
+        replica.warm_many([fp for _, fp, _csr in pool])
 
     rate = cfg.rate_rps
     if rate is None:
@@ -786,6 +1058,16 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
     xs = {fp: rng.uniform(-1, 1, csr.shape[1]).astype(dtype)
           for _, fp, csr in pool}
 
+    # SpMM block traffic draws from its own stream (seed+13), touched
+    # only when the mix is on — spmm_mix=0 runs stay bit-identical.
+    is_spmm = k_idx = None
+    xblocks: dict[tuple[str, int], np.ndarray] = {}
+    if cfg.spmm_mix > 0.0:
+        check(len(cfg.spmm_ks) >= 1, "spmm_ks must be non-empty")
+        spmm_rng = default_rng(cfg.seed + 13)
+        is_spmm = spmm_rng.random(cfg.n_requests) < cfg.spmm_mix
+        k_idx = spmm_rng.integers(0, len(cfg.spmm_ks), size=cfg.n_requests)
+
     deadline_for = (lambda now: now + cfg.deadline_s) \
         if cfg.deadline_s is not None else (lambda now: float("inf"))
 
@@ -793,8 +1075,17 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
         now = float(arrivals[i])
         replica.advance_to(now)
         _, fp, csr = pool[choices[i]]
-        req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now,
-                          deadline_s=deadline_for(now))
+        if is_spmm is not None and is_spmm[i]:
+            k = int(cfg.spmm_ks[k_idx[i]])
+            X = xblocks.get((fp, k))
+            if X is None:
+                X = spmm_rng.uniform(-1, 1, (csr.shape[1], k)).astype(dtype)
+                xblocks[(fp, k)] = X
+            req = SpMMRequest(req_id=i, fingerprint=fp, x=X, arrival_s=now,
+                              deadline_s=deadline_for(now))
+        else:
+            req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp],
+                              arrival_s=now, deadline_s=deadline_for(now))
         replica.offer(req, now)
 
     replica.drain(float(arrivals[-1]))

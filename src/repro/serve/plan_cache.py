@@ -89,7 +89,7 @@ class PlanRegistry:
 
     def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES, *,
                  fault_injector=None, obs=None, store=None,
-                 device: str = "A100") -> None:
+                 device="A100") -> None:
         from ..obs import Obs
 
         check(budget_bytes >= 0, "budget_bytes must be non-negative")
@@ -116,6 +116,14 @@ class PlanRegistry:
         self._oversized = obs.counter("serve.plan_cache.oversized_total")
         self._bytes = obs.gauge("serve.plan_cache.bytes")
         self._plans: OrderedDict[str, tuple[DASPMatrix, int]] = OrderedDict()
+        # Bytes resident in *this* registry.  The gauge above is only a
+        # mirror: several registries may share one Obs handle (the
+        # cluster driver's replicas do), which makes the gauge the sum
+        # across all of them — an eviction loop keyed on it would
+        # thrash-evict one registry's working set chasing another's
+        # bytes and never converge.  All budget decisions read this
+        # local figure; the gauge is maintained by deltas.
+        self._resident_bytes = 0
         self._lock = threading.RLock()
         # single-flight: fingerprints whose plan is being built right now;
         # concurrent misses on the same key wait on the condition instead
@@ -153,11 +161,24 @@ class PlanRegistry:
 
     @property
     def bytes_cached(self) -> int:
-        return int(self._bytes.value)
+        """Bytes resident in this registry (the figure the budget
+        governs).  With a private Obs handle it equals the
+        ``serve.plan_cache.bytes`` gauge; with a shared handle the
+        gauge is the sum across registries instead."""
+        with self._lock:
+            return self._resident_bytes
 
     @bytes_cached.setter
     def bytes_cached(self, value) -> None:
+        with self._lock:
+            self._resident_bytes = int(value)
         self._bytes.set(value)
+
+    def _account(self, delta: int) -> None:
+        """Adjust resident bytes (caller holds the lock) and mirror the
+        change into the shared gauge."""
+        self._resident_bytes += delta
+        self._bytes.inc(delta)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -198,14 +219,20 @@ class PlanRegistry:
         the disk tier; ``load_s`` is the *modeled* load seconds the
         caller should charge in place of a rebuild), ``"built"`` (the
         builder ran), or — only with ``load_only=True`` — ``"absent"``
-        with ``plan=None`` when nothing was cached or stored.
-        ``load_only`` never builds and never counts a miss: it is the
-        warm-start preload path.
+        with ``plan=None`` when nothing was cached or stored, or
+        ``"pending"`` when another thread is already loading/building
+        this fingerprint.  ``load_only`` never builds, never counts a
+        miss, and never blocks: it is the warm-start / speculative
+        prefetch path, and stalling it behind an in-flight build would
+        serialize the warmer on the very cold matrix it is trying to
+        hide (the in-flight owner lands the plan either way).
 
         Store loads happen inside the same single-flight section as
         builds, so concurrent misses on one fingerprint do one disk
-        read, not N.  A corrupt artifact is quarantined by the store
-        and falls through to a fresh build.
+        read, not N — including a `warm` racing a `get`, which must not
+        double-load the artifact or double-count ``store.*`` counters.
+        A corrupt artifact is quarantined by the store and falls
+        through to a fresh build.
         """
         key = fingerprint if fingerprint is not None else matrix_fingerprint(csr)
         with self._lock:
@@ -217,6 +244,8 @@ class PlanRegistry:
                     return entry[0], "ram", 0.0
                 if key not in self._building:
                     break
+                if load_only:
+                    return None, "pending", 0.0
                 self._build_cond.wait()
             if load_only and (self.store is None
                               or not self.store.contains(key)):
@@ -256,6 +285,18 @@ class PlanRegistry:
         plan, source, load_s = self.get_ex(None, fingerprint=fingerprint,
                                            load_only=True)
         return load_s if source == "store" else None
+
+    def load_aux(self, fingerprint: str) -> dict | None:
+        """Auxiliary arrays published with *fingerprint*'s artifact.
+
+        Passthrough to :meth:`repro.store.PlanStore.load_aux` — e.g.
+        the tuned ``spmm.reorder_perm`` permutation the ``spmm`` CLI
+        persists.  ``None`` without a store or when the artifact is
+        absent/corrupt; an empty dict when it carries no aux records.
+        """
+        if self.store is None:
+            return None
+        return self.store.load_aux(fingerprint)
 
     def _load_from_store(self, key: str, *, gate: bool = True):
         """One traced disk-tier load attempt (inside single-flight)."""
@@ -328,12 +369,16 @@ class PlanRegistry:
         with self._lock:
             old = self._plans.pop(fingerprint, None)
             if old is not None:
-                self.bytes_cached -= old[1]
+                self._account(-old[1])
             self._plans[fingerprint] = (plan, nbytes)
-            self.bytes_cached += nbytes
-            while self.bytes_cached > budget and len(self._plans) > 1:
+            self._account(nbytes)
+            # Evict down to (at worst) the just-inserted plan, judged by
+            # *this* registry's resident bytes — never the shared gauge,
+            # which may also count plans held by sibling registries and
+            # would leave this loop spinning over budget forever.
+            while self._resident_bytes > budget and len(self._plans) > 1:
                 fp, (ev_plan, evicted_bytes) = self._plans.popitem(last=False)
-                self.bytes_cached -= evicted_bytes
+                self._account(-evicted_bytes)
                 self.evictions += 1
                 evicted.append((fp, ev_plan))
         # Spill outside the lock: serialization is the slow part.  The
@@ -350,7 +395,7 @@ class PlanRegistry:
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()
-            self.bytes_cached = 0
+            self._account(-self._resident_bytes)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, int]:

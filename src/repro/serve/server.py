@@ -49,7 +49,7 @@ import numpy as np
 from .._util import ReproError, check, default_rng
 from ..core.preprocess import traced_preprocess
 from ..core.spmm import dasp_spmm, mma_phase_fraction, mma_utilization, spmm_events
-from ..core.spmm_block import choose_spmm_strategy, dasp_spmm_large
+from ..core.spmm_block import choose_spmm_strategy, dasp_spmm_large, reorder_from_perm
 from ..gpu.cost_model import estimate_time
 from ..gpu.device import get_device
 from ..obs import Obs
@@ -59,6 +59,7 @@ from ..overload import (
     RetryBudget,
     RetryBudgetConfig,
 )
+from ..pipeline import PlanPrefetcher, SpeculativeWarmer, WarmerConfig
 from ..resilience import (
     BreakerConfig,
     CircuitBreaker,
@@ -149,6 +150,23 @@ class SpMVServer:
         skips preprocessing entirely.  The modeled load time is
         charged to ``preprocess_s`` like any other plan-acquisition
         cost.
+    pipeline:
+        Install a :class:`repro.pipeline.PlanPrefetcher` — a small
+        background executor feeding the plan registry through the same
+        per-fingerprint single-flight as demand misses.  ``warm_start``
+        registration preloads become non-blocking, and the speculative
+        warmer (below) gets an execution vehicle.  Results are bitwise
+        identical with the pipeline on or off; only *where* plan
+        acquisition runs changes.
+    warmer:
+        Enable the speculative plan warmer
+        (:class:`repro.pipeline.SpeculativeWarmer`; pass a
+        :class:`~repro.pipeline.WarmerConfig` for custom thresholds,
+        or ``True`` for defaults).  The warmer watches the Zipf
+        popularity estimate over per-matrix request counters and
+        prefetches registered-but-cold matrices before their first
+        request.  Implies the background prefetcher even when
+        ``pipeline`` is off.
     obs:
         :class:`repro.obs.Obs` handle shared by every component of this
         server — the plan registry, scheduler, breaker, fault injector
@@ -176,6 +194,8 @@ class SpMVServer:
                  shards: int | str | None = None,
                  store=None,
                  warm_start: bool = False,
+                 pipeline: bool = False,
+                 warmer: WarmerConfig | bool = False,
                  seed: int = 0,
                  obs: Obs | None = None) -> None:
         self.device = get_device(device)
@@ -194,7 +214,7 @@ class SpMVServer:
             fault_injector.bind(obs)
         self.registry = PlanRegistry(cache_budget_bytes,
                                      fault_injector=fault_injector, obs=obs,
-                                     store=store, device=self.device.name)
+                                     store=store, device=self.device)
         self.warm_start = bool(warm_start)
         self.batcher = RequestBatcher(max_batch, flush_timeout_s)
         self.stats = ServerStats(device=self.device.name, obs=obs)
@@ -219,10 +239,20 @@ class SpMVServer:
             self._execute_batch, workers=workers, queue_depth=queue_depth,
             policy=policy, on_shed=self._shed_batch,
             on_error=self._fail_batch, prune=self._prune_batch, obs=obs)
+        if warmer:
+            self._warmer = SpeculativeWarmer(
+                warmer if isinstance(warmer, WarmerConfig) else None, obs=obs)
+        else:
+            self._warmer = None
+        self.prefetcher = (PlanPrefetcher(self.registry, obs=obs)
+                           if (pipeline or self._warmer is not None) else None)
         self._matrices: dict[str, object] = {}
         # (fingerprint, k) -> tuner-chosen large-k SpMM strategy; the
         # reorder pass and permuted-plan build run once per width.
         self._spmm_strategies: dict[tuple[str, int], object] = {}
+        # fingerprint -> ReorderResult from a persisted aux permutation
+        # (or None once the lookup came back empty).
+        self._reorder_hints: dict[str, object] = {}
         # fingerprint -> per-request shard hint (SpMVRequest.shards),
         # consulted only before the matrix's plan is first built.
         self._shard_hints: dict[str, int | str] = {}
@@ -249,10 +279,17 @@ class SpMVServer:
             if self._closed:
                 raise ServerClosedError("server is closed")
             self._matrices[fp] = csr
+        if self._warmer is not None:
+            self._warmer.register(fp)
         if self.warm_start and self.registry.store is not None:
-            load_s = self.registry.warm(fp)
-            if load_s:
-                self.stats.observe_preprocess(load_s)
+            if self.prefetcher is not None:
+                # async pipeline: the preload happens off the caller's
+                # thread (single-flight shared with any demand miss)
+                self.prefetcher.prefetch(fp)
+            else:
+                load_s = self.registry.warm(fp)
+                if load_s:
+                    self.stats.observe_preprocess(load_s)
         return fp
 
     def submit(self, request, x=None, deadline_s: float | None = None,
@@ -342,6 +379,9 @@ class SpMVServer:
                       deadline_s=deadline, result=None,
                       completion_s=float("nan"), pair=None, shadow=False)
         self.stats.observe_request()
+        if self._warmer is not None:
+            self._warmer.observe(fingerprint)
+            self._warm_tick()
         try:
             if isinstance(req, SpMMRequest):
                 # A block is already a batch — skip the coalescer.
@@ -400,6 +440,8 @@ class SpMVServer:
                 return
             self._closed = True
         self._stop.set()
+        if self.prefetcher is not None:
+            self.prefetcher.close()
         if drain:
             try:
                 self.drain(timeout)
@@ -531,18 +573,59 @@ class SpMVServer:
         """
         return self.retry_budget is None or self.retry_budget.try_spend()
 
+    def _warm_tick(self) -> None:
+        """Dispatch the warmer's nominations to the prefetcher."""
+        due = self._warmer.due(
+            resident=lambda f: self.registry.peek(f) is not None)
+        for fp in due:
+            self.obs.counter("pipeline.warm_total",
+                             {"action": "prefetch"}).inc()
+            with self._lock:
+                csr = self._matrices.get(fp)
+            self.prefetcher.prefetch(fp, csr)
+
+    def _reorder_hint(self, fp: str, plan):
+        """Persisted ``spmm.reorder_perm`` as a tuner hint, or ``None``.
+
+        Consulting the store *before* re-deriving the permutation is
+        what makes a tuned-offline matrix serve its first large-k batch
+        without paying the reorder sweep again; the outcome is counted
+        (``spmm.reorder.{loaded,derived}``) once per matrix.
+        """
+        with self._lock:
+            if fp in self._reorder_hints:
+                return self._reorder_hints[fp]
+        aux = self.registry.load_aux(fp)
+        hint = None
+        if aux and "spmm.reorder_perm" in aux:
+            hint = reorder_from_perm(plan.csr,
+                                     np.asarray(aux["spmm.reorder_perm"]),
+                                     mma_shape=plan.mma_shape)
+            self.obs.counter("spmm.reorder.loaded_total").inc()
+        else:
+            self.obs.counter("spmm.reorder.derived_total").inc()
+        with self._lock:
+            if fp not in self._reorder_hints:
+                self._reorder_hints[fp] = hint
+            return self._reorder_hints[fp]
+
     def _spmm_strategy(self, fp: str, plan, k: int):
         """Tuner-chosen large-k strategy, memoized per (matrix, k).
 
         The tuner's reorder pass and permuted-plan build are paid once;
         concurrent workers racing the first build keep the first-stored
         strategy so every batch of a given width executes identically.
+        A reorder permutation persisted alongside the plan artifact
+        (the ``spmm.reorder_perm`` aux record) is loaded instead of
+        re-derived.
         """
         key = (fp, int(k))
         with self._lock:
             strat = self._spmm_strategies.get(key)
         if strat is None:
-            built = choose_spmm_strategy(plan, k, self.device)
+            hint = self._reorder_hint(fp, plan)
+            built = choose_spmm_strategy(plan, k, self.device,
+                                         reorder_hint=hint)
             with self._lock:
                 strat = self._spmm_strategies.setdefault(key, built)
         return strat

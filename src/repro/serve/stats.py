@@ -57,6 +57,14 @@ _COUNTER_METRICS = {
     "hedges_wasted": ("overload.hedge.wasted_total", True),
     "retry_budget_granted": ("overload.retry_budget.granted_total", True),
     "retry_budget_denied": ("overload.retry_budget.denied_total", True),
+    "prefetches": ("pipeline.prefetch_total", True),
+    "prefetch_modeled_s": ("pipeline.prefetch_seconds_total", False),
+    "parked_batches": ("pipeline.parked_total", True),
+    "warm_loads": ("pipeline.warm_load_total", True),
+    "warm_builds": ("pipeline.warm_build_total", True),
+    "warm_failed": ("pipeline.warm_failed_total", True),
+    "reorder_loaded": ("spmm.reorder.loaded_total", True),
+    "reorder_derived": ("spmm.reorder.derived_total", True),
 }
 
 
@@ -152,6 +160,19 @@ class ServerStats:
             "overload.admission.admitted_total"))
 
     @property
+    def warms(self) -> int:
+        """Speculative warms dispatched (sum of the labeled
+        ``pipeline.warm_total`` family)."""
+        return int(self._registry.family_total("pipeline.warm_total"))
+
+    @property
+    def spmm_large_by_strategy(self) -> dict[str, int]:
+        """strategy name -> large-k batches executed through it."""
+        return {c.labels["strategy"]: int(c.value)
+                for c in self._registry.family("serve.spmm_large_total")
+                if c.value}
+
+    @property
     def faults_injected(self) -> int:
         """Total fault-injector rule firings (sum of the labeled
         ``resilience.faults_total`` family)."""
@@ -212,6 +233,11 @@ class ServerStats:
 
     def observe_closed(self, n: int = 1) -> None:
         self._registry.counter("serve.closed_total").inc(n)
+
+    def observe_spmm_large(self, strategy: str, n: int = 1) -> None:
+        """Record *n* large-k batches executed with *strategy*."""
+        self._registry.counter("serve.spmm_large_total",
+                               {"strategy": strategy}).inc(n)
 
     def observe_latency(self, seconds: float) -> None:
         s = float(seconds)
@@ -320,6 +346,25 @@ class ServerStats:
                 ("breaker transitions (open circuits)",
                  f"{self.breaker_transitions:,} ({breaker or 'none'})"),
             ]
+        if self.prefetches or self.warms or self.parked_batches:
+            spmm_large = self.spmm_large_by_strategy
+            rows += [
+                ("prefetches (modeled lane time)",
+                 f"{self.prefetches:,} "
+                 f"({self.prefetch_modeled_s * 1e3:.3f} ms)"),
+                ("parked batches", f"{self.parked_batches:,}"),
+                ("speculative warms load / build / failed",
+                 f"{self.warm_loads:,} / {self.warm_builds:,} "
+                 f"/ {self.warm_failed:,}"),
+            ]
+            if spmm_large:
+                rows.append(("large-k batches by strategy",
+                             " ".join(f"{name}:{spmm_large[name]}"
+                                      for name in sorted(spmm_large))))
+            if self.reorder_loaded or self.reorder_derived:
+                rows.append(("reorder perm loaded / derived",
+                             f"{self.reorder_loaded:,} "
+                             f"/ {self.reorder_derived:,}"))
         if (self.admission_admitted or self.admission_rejected
                 or self.hedges_issued or self.retry_budget_granted
                 or self.retry_budget_denied):

@@ -24,6 +24,7 @@ from .execute import (
     choose_shards,
     dasp_spmm_sharded,
     dasp_spmv_sharded,
+    lpt_assign,
     lpt_makespan,
     shard_candidates,
     sharded_batch_cost,
@@ -46,6 +47,7 @@ __all__ = [
     "choose_shards",
     "dasp_spmm_sharded",
     "dasp_spmv_sharded",
+    "lpt_assign",
     "lpt_makespan",
     "shard_candidates",
     "shard_csr",

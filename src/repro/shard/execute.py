@@ -47,7 +47,8 @@ def _as_sharded(matrix, shards, *, mma_shape=None) -> ShardedPlan:
 
 
 def dasp_spmv_sharded(matrix, x: np.ndarray, *, shards: int = 2,
-                      pool=None, obs=None) -> np.ndarray:
+                      pool=None, obs=None,
+                      double_buffer: bool = False) -> np.ndarray:
     """``y = A @ x`` over row shards; bit-identical to ``dasp_spmv``.
 
     Parameters
@@ -60,6 +61,12 @@ def dasp_spmv_sharded(matrix, x: np.ndarray, *, shards: int = 2,
         ``concurrent.futures.ThreadPoolExecutor``); shards run serially
         without one.  The gather is a concatenation either way, so the
         result does not depend on completion order.
+    double_buffer:
+        Marks the bands as double-buffered for accounting: the modeled
+        clock (``sharded_batch_cost(double_buffer=True)``) overlaps the
+        next band's packed-array stream with the current band's
+        compute.  The numerics are identical either way — the flag only
+        feeds the ``core.pipeline.*`` counters.
     """
     from ..core.spmv import dasp_spmv
     from ..obs import get_obs
@@ -72,6 +79,9 @@ def dasp_spmv_sharded(matrix, x: np.ndarray, *, shards: int = 2,
           f"x must have shape ({plan.shape[1]},)")
     obs.counter("core.shard_spmv_calls_total").inc()
     obs.counter("core.shard_executions_total").inc(plan.n_shards)
+    if double_buffer:
+        obs.counter("core.pipeline.double_buffered_bands_total").inc(
+            plan.n_shards)
 
     def run(shard):
         return dasp_spmv(shard.dasp, x, obs=obs)
@@ -142,6 +152,20 @@ def lpt_makespan(times, workers: int) -> float:
     return max(lanes) if lanes else 0.0
 
 
+def lpt_assign(times, workers: int) -> list:
+    """LPT lane assignment: a list of per-lane index lists, in the
+    order each lane executes its shards.  ``lpt_makespan`` is the max
+    over lanes of the per-lane sums of the same assignment."""
+    lanes = [0.0] * max(1, int(workers))
+    assign = [[] for _ in lanes]
+    order = sorted(range(len(times)), key=lambda i: -times[i])
+    for idx in order:
+        i = min(range(len(lanes)), key=lanes.__getitem__)
+        lanes[i] += times[idx]
+        assign[i].append(idx)
+    return assign
+
+
 def sharded_spmm_events(plan: ShardedPlan, device, k: int = 1) -> list:
     """Per-shard :class:`~repro.gpu.events.KernelEvents` for a k-RHS
     product."""
@@ -151,7 +175,8 @@ def sharded_spmm_events(plan: ShardedPlan, device, k: int = 1) -> list:
 
 def sharded_batch_cost(plan: ShardedPlan, device, k: int = 1, *,
                        workers: int = 1,
-                       dtype_bits: int | None = None) -> ShardCost:
+                       dtype_bits: int | None = None,
+                       double_buffer: bool = False) -> ShardCost:
     """Modeled cost of running one k-RHS batch over *plan*'s shards.
 
     Each shard is charged its own cost-model time plus one
@@ -159,22 +184,49 @@ def sharded_batch_cost(plan: ShardedPlan, device, k: int = 1, *,
     coordination a single-kernel launch does not pay; ``S = 1`` is the
     plain path and pays none), then the shards are LPT-scheduled on
     ``workers`` lanes.
+
+    With ``double_buffer=True`` each lane overlaps the *next* band's
+    packed-array stream (values / column ids / pointers) with the
+    current band's compute under
+    :func:`repro.core.overlap_schedule` — the pipeline mode's modeled
+    clock; ``serial`` and ``per_shard`` still report the unoverlapped
+    figures, so the makespan never exceeds the plain schedule's.
     """
+    from dataclasses import replace as _replace
+
     device = get_device(device)
     if dtype_bits is None:
         dtype_bits = np.dtype(plan.dtype).itemsize * 8
     dispatch = device.launch_overhead_s if plan.n_shards > 1 else 0.0
     per_shard = []
+    loads = []
+    computes = []
     useful = 0.0
     issued = 0.0
     for shard, ev in zip(plan.shards, sharded_spmm_events(plan, device, k)):
         t = estimate_time(ev, device, dtype_bits=dtype_bits).total + dispatch
         per_shard.append(t)
+        if double_buffer:
+            c = estimate_time(
+                _replace(ev, bytes_val=0.0, bytes_idx=0.0, bytes_ptr=0.0),
+                device, dtype_bits=dtype_bits).total + dispatch
+            computes.append(c)
+            loads.append(max(t - c, 0.0))
         useful += mma_utilization(shard.dasp, k) * ev.flops_mma
         issued += ev.flops_mma
+    if double_buffer:
+        from ..core.spmm_block import overlap_schedule
+
+        makespan = 0.0
+        for lane in lpt_assign(per_shard, workers):
+            if lane:
+                makespan = max(makespan, overlap_schedule(
+                    [loads[i] for i in lane], [computes[i] for i in lane]))
+    else:
+        makespan = lpt_makespan(per_shard, workers)
     return ShardCost(
         per_shard=tuple(per_shard),
-        makespan=lpt_makespan(per_shard, workers),
+        makespan=makespan,
         serial=float(sum(per_shard)),
         useful_mma=useful,
         issued_mma=issued,
