@@ -42,7 +42,11 @@ def _report_rows(name, stats):
 
 
 def test_batched_serving_throughput(benchmark):
+    import time
+
+    t0 = time.perf_counter()
     batched = run_workload(_cfg())
+    wall_s = time.perf_counter() - t0
     unbatched = run_workload(_cfg(max_batch=1, queue_depth=10**9))
 
     speedup = batched.throughput_rps / unbatched.throughput_rps
@@ -58,9 +62,11 @@ def test_batched_serving_throughput(benchmark):
     pct = batched.latency_percentiles()
     record_bench("serve", {
         "throughput_rps": batched.throughput_rps,
+        "goodput_rps": batched.goodput_rps,
         "batching_speedup": speedup,
         "p50_latency_s": pct[50], "p99_latency_s": pct[99],
         "mma_utilization": batched.mma_utilization,
+        "wall_s": round(wall_s, 3),
     })
 
     # the tentpole claim: batching to k = MMA_N multiplies modeled

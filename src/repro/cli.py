@@ -309,6 +309,9 @@ def cmd_serve_sim(args) -> int:
         warmer=bool(args.warmer),
         spmm_mix=args.spmm_mix,
         spmm_ks=tuple(args.spmm_ks),
+        update_mix=args.update_mix,
+        structural_frac=args.structural_frac,
+        update_entries=args.update_entries,
     )
     trace = bool(args.trace or args.trace_json or args.trace_prom)
     obs = Obs(tracer=Tracer()) if trace else None
@@ -401,6 +404,9 @@ def cmd_cluster_sim(args) -> int:
         slow_factor=args.slow_factor,
         partition_replica=args.partition_replica,
         partition_window=tuple(args.partition_window),
+        update_mix=args.update_mix,
+        structural_frac=args.structural_frac,
+        update_entries=args.update_entries,
     )
     obs = Obs(tracer=Tracer()) if args.trace else Obs()
     import time as _time
@@ -445,6 +451,8 @@ def cmd_cluster_sim(args) -> int:
             "failovers": stats.n_failover,
             "wall_s": round(wall_s, 3),
         }
+        if stats.n_updates:
+            record["updates"] = stats.n_updates
         if stats.overload_enabled:
             record.update({
                 "offered": stats.n_offered,
@@ -759,6 +767,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spmm-ks", type=int, nargs="+", default=[16, 32, 64],
                    metavar="K",
                    help="RHS widths sampled for SpMM block requests")
+    p.add_argument("--update-mix", type=float, default=0.0, metavar="P",
+                   help="fraction of arrival slots carrying a matrix delta "
+                        "instead of a read (plans are patched in place, "
+                        "version chain advances; dedicated seed+17 stream; "
+                        "0 disables)")
+    p.add_argument("--structural-frac", type=float, default=0.3,
+                   help="share of deltas that change the sparsity pattern "
+                        "(the rest touch values only)")
+    p.add_argument("--update-entries", type=int, default=8,
+                   help="coordinates touched per delta")
     p.add_argument("--trace", action="store_true",
                    help="record spans (repro.obs) and print the "
                         "device-time attribution report")
@@ -854,6 +872,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmer", action="store_true",
                    help="per-replica speculative plan warmer; ring "
                         "warm-ups and rebalance re-warms ride it")
+    p.add_argument("--update-mix", type=float, default=0.0, metavar="P",
+                   help="fraction of arrival slots carrying a matrix delta "
+                        "(broadcast to every replica; the home replica "
+                        "persists it to --store)")
+    p.add_argument("--structural-frac", type=float, default=0.3,
+                   help="share of deltas that change the sparsity pattern")
+    p.add_argument("--update-entries", type=int, default=8,
+                   help="coordinates touched per delta")
     p.add_argument("--trace", action="store_true",
                    help="shared tracer with per-replica device-time "
                         "attribution")

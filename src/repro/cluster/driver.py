@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._util import check, default_rng
+from ..core.delta import random_delta
 from ..gpu.device import get_device
 from ..obs import Obs
 from ..overload import (
@@ -179,6 +180,9 @@ class ClusterStats:
     #: on pre-overload runs.
     overload_enabled: bool = False
     n_offered: int = 0
+    #: Arrival slots that carried a matrix delta instead of a read
+    #: (broadcast to every replica; never part of ``n_offered``).
+    n_updates: int = 0
     n_shed: int = 0
     n_rejected_logical: int = 0
     n_link_failed: int = 0
@@ -303,6 +307,8 @@ class ClusterStats:
              f"{self.n_moved_fingerprints}"),
             ("makespan", f"{self.duration_s:.4f} s"),
         ]
+        if self.n_updates:
+            rows.append(("matrix updates (broadcast)", f"{self.n_updates:,}"))
         if self.overload_enabled:
             prio = " ".join(
                 f"{p}:{self.in_deadline_by_priority(p):.4f}"
@@ -405,6 +411,13 @@ class _Cluster:
             retry_rng=self.retry_rng, modeled=self.modeled, store=cfg.store,
             replica_id=rid, materialize_results=False,
             time_scale=time_scale, overload=self.overload)
+        if self.replicas:
+            # A replica spawned mid-run must see the *current* matrix
+            # state, not the pristine pool: under an update stream the
+            # deltas are drawn against the evolved CSRs, and replaying
+            # e.g. a delete of a never-inserted entry would fault.
+            src = next(iter(self.replicas.values()))
+            replica.csr_by_fp = dict(src.csr_by_fp)
         self.replicas[rid] = replica
         self.ring.add(rid)
         self._prev[rid] = (0, 0)
@@ -471,6 +484,23 @@ class _Cluster:
     def offer(self, req: SpMVRequest, now: float, fp: str) -> bool:
         target = self.route(fp)
         return target is not None and self.replicas[target].offer(req, now)
+
+    def apply_update(self, fp: str, delta, now: float) -> None:
+        """Broadcast one matrix delta to every replica.
+
+        Updates are control-plane traffic: they reach *all* replicas —
+        including partitioned and draining ones, whose data-plane link
+        is what the chaos window cuts — so every version chain stays in
+        lockstep and a delta stream drawn against one shared CSR
+        history is valid everywhere.  Only the matrix's *home* replica
+        (first ring preference) persists the delta to the shared store:
+        concurrent writers would trip the store's version-contiguity
+        invariant.
+        """
+        prefs = self.ring.preference(fp)
+        home = prefs[0] if prefs else None
+        for rid, replica in self.replicas.items():
+            replica.apply_update(fp, delta, now, persist=(rid == home))
 
     def _hedge_target(self, fp: str, primary: str) -> str | None:
         """Next reachable healthy replica after *primary*, or None."""
@@ -651,6 +681,13 @@ def run_cluster_workload(cfg: ClusterConfig, *,
         batch_mask = (prio_rng.random(cfg.n_requests)
                       < cfg.overload.batch_fraction)
 
+    # Delta traffic mirrors the single driver exactly: same dedicated
+    # stream (seed+17), same draw order — update_mix=0 stays bit-exact.
+    is_update = delta_rng = None
+    if cfg.update_mix > 0.0:
+        delta_rng = default_rng(cfg.seed + 17)
+        is_update = delta_rng.random(cfg.n_requests) < cfg.update_mix
+
     span = float(arrivals[-1])
     p_rid = (f"r{cfg.partition_replica}"
              if cfg.partition_replica is not None else None)
@@ -675,7 +712,8 @@ def run_cluster_workload(cfg: ClusterConfig, *,
 
     next_probe = probe_interval
     last_scale = float("-inf")  # cooldown gates between actions only
-    outcomes = {"shed": 0, "rejected": 0, "link_failed": 0, "routed": 0}
+    outcomes = {"shed": 0, "rejected": 0, "link_failed": 0, "routed": 0,
+                "update": 0}
     prio_offer = {p: 0 for p in PRIORITIES}
     prio_shed = {p: 0 for p in PRIORITIES}
     for i in range(cfg.n_requests):
@@ -689,6 +727,17 @@ def run_cluster_workload(cfg: ClusterConfig, *,
         sync_partition(now)
         cluster.advance_all(now)
         _, fp, _csr = pool[choices[i]]
+        if is_update is not None and is_update[i]:
+            # this arrival slot carries a delta; any replica's CSR can
+            # seed the draw — chains advance in lockstep
+            structural = bool(delta_rng.random() < cfg.structural_frac)
+            ref = next(iter(cluster.replicas.values()))
+            d = random_delta(ref.csr_by_fp[fp], delta_rng,
+                             structural=structural,
+                             n_entries=cfg.update_entries)
+            cluster.apply_update(fp, d, now)
+            outcomes["update"] += 1
+            continue
         priority = ("batch" if overload_on and batch_mask[i]
                     else "interactive")
         req = SpMVRequest(req_id=i, fingerprint=fp, x=xs[fp], arrival_s=now,
@@ -741,7 +790,8 @@ def run_cluster_workload(cfg: ClusterConfig, *,
         # shed/hedge/drop — overload on, or a chaos scenario active.
         overload_enabled=(overload_on or cfg.slow_replica is not None
                           or p_rid is not None),
-        n_offered=cfg.n_requests,
+        n_offered=cfg.n_requests - outcomes["update"],
+        n_updates=outcomes["update"],
         n_shed=outcomes["shed"],
         n_rejected_logical=outcomes["rejected"],
         n_link_failed=outcomes["link_failed"],

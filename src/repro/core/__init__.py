@@ -18,7 +18,34 @@ from .autotune import (
     tune_max_len,
     tune_threshold,
 )
-from .classify import DEFAULT_MAX_LEN, SHORT_LEN, RowClassification, classify_rows
+from .classify import (
+    DEFAULT_MAX_LEN,
+    SHORT_LEN,
+    RowClassification,
+    categorize_lengths,
+    classify_rows,
+)
+from .delta import (
+    DEFAULT_COMPACT_THRESHOLD,
+    DeltaError,
+    PatchInfo,
+    StructuralUpdate,
+    ValueUpdate,
+    apply_delta_to_csr,
+    apply_structural_to_csr,
+    apply_structural_update,
+    apply_update,
+    apply_value_update,
+    build_value_scatter,
+    clone_for_patch,
+    compact_plan,
+    consolidate_plan,
+    delta_from_arrays,
+    delta_to_arrays,
+    random_delta,
+    rebuild_debt,
+    rebuild_events,
+)
 from .format import DASPMatrix
 from .long_rows import LongRowsPlan, build_long_rows, run_long_rows
 from .medium_rows import (
@@ -64,27 +91,44 @@ __all__ = [
     "BlockPlan",
     "DASPMatrix",
     "DASPMethod",
+    "DEFAULT_COMPACT_THRESHOLD",
     "DEFAULT_MAX_LEN",
     "DEFAULT_THRESHOLD",
     "DEFAULT_TILE_K",
+    "DeltaError",
     "LongRowsPlan",
     "MAX_LEN_CANDIDATES",
     "MediumRowsPlan",
+    "PatchInfo",
     "ReorderResult",
     "RowClassification",
     "SHORT_LEN",
     "ShortRowsPlan",
     "SpmmStrategy",
+    "StructuralUpdate",
     "THRESHOLD_CANDIDATES",
     "TILE_K_CANDIDATES",
     "TuneResult",
+    "ValueUpdate",
+    "apply_delta_to_csr",
+    "apply_structural_to_csr",
+    "apply_structural_update",
+    "apply_update",
+    "apply_value_update",
     "build_block_plan",
     "build_long_rows",
     "build_medium_rows",
     "build_short_rows",
+    "build_value_scatter",
+    "categorize_lengths",
     "choose_shards",
     "choose_spmm_strategy",
     "classify_rows",
+    "clone_for_patch",
+    "compact_plan",
+    "consolidate_plan",
+    "delta_from_arrays",
+    "delta_to_arrays",
     "dasp_preprocess",
     "dasp_preprocess_events",
     "dasp_spmm",
@@ -95,6 +139,9 @@ __all__ = [
     "loop_num_for",
     "mma_utilization",
     "overlap_schedule",
+    "random_delta",
+    "rebuild_debt",
+    "rebuild_events",
     "reorder_from_perm",
     "reorder_rows",
     "run_long_rows",

@@ -69,6 +69,23 @@ class RowClassification:
         }
 
 
+#: Per-row category codes returned by :func:`categorize_lengths` — used
+#: by ``repro.core.delta`` to detect category migrations without paying
+#: for a full :func:`classify_rows` pass on every structural patch.
+CAT_EMPTY, CAT_SHORT, CAT_MEDIUM, CAT_LONG = 0, 1, 2, 3
+
+
+def categorize_lengths(lens: np.ndarray,
+                       *, max_len: int = DEFAULT_MAX_LEN) -> np.ndarray:
+    """Vectorized per-row category codes for an array of row lengths."""
+    lens = np.asarray(lens)
+    cat = np.full(lens.shape, CAT_SHORT, dtype=np.int8)
+    cat[lens == 0] = CAT_EMPTY
+    cat[lens > SHORT_LEN] = CAT_MEDIUM
+    cat[lens > max_len] = CAT_LONG
+    return cat
+
+
 def classify_rows(csr, *, max_len: int = DEFAULT_MAX_LEN) -> RowClassification:
     """Classify every row of *csr* per the paper's three categories."""
     check(max_len > SHORT_LEN, "max_len must exceed the short-row bound (4)")

@@ -1,0 +1,837 @@
+"""repro.delta — incremental plan maintenance for evolving sparsity.
+
+Every layer built so far assumed an immutable matrix: one fingerprint,
+one DASP plan, forever.  This module makes plans *mutable* without
+giving up the bitwise contract:
+
+``ValueUpdate``
+    Same sparsity pattern, new values.  :func:`apply_value_update`
+    patches the packed payload slabs (long ``val``, medium
+    ``reg_val``/``irreg_val``, the four short slabs) **in place** — no
+    reclassification, no repacking — and the patched plan is
+    bitwise-identical to a fresh ``dasp_preprocess`` of the updated
+    CSR.  The slab slot of every nonzero is recovered with a
+    *position matrix*: the three builders are re-run once over the same
+    structure with ``data = arange(1, nnz + 1)`` (float64 — exact up to
+    2**53), so every filled slot ends up holding ``source_index + 1``
+    and inverting that gives an O(1) nnz → (slab, offset) scatter map.
+
+``StructuralUpdate``
+    Insert/delete entries as COO triples.  :func:`apply_structural_update`
+    splices the CSR and reclassifies **only touched rows**: untouched
+    rows keep their packed slots (the base slabs are left alone — the
+    per-row floating-point association of the category kernels makes
+    their results independent of co-packed rows, the same invariance
+    ``repro.shard`` relies on for arbitrary band splits), while dirty
+    rows are staged into a patchable *overlay* — a mini DASP plan over
+    just those rows whose results overwrite the stale base values at
+    execution time (see the hooks in ``spmv.dasp_spmv`` /
+    ``spmm.dasp_spmm_on_plan``).
+
+``rebuild_debt``
+    The overlay grows with every structural patch; once its stored
+    elements exceed ``compact_threshold`` × the base plan's, the cost
+    model says patching has gotten slower than rebuilding and
+    :func:`apply_update` compacts — a full ``from_csr`` rebuild for a
+    single plan, or *per-band* rebuilds for a :class:`~repro.shard.plan.
+    ShardedPlan` (only bands over threshold are rebuilt).
+
+All patch paths report modeled work as :class:`~repro.gpu.events.
+PreprocessEvents`, so patch-vs-rebuild time flows through the same
+``estimate_preprocess_time`` cost model the serving layer charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .._util import check
+from ..gpu.events import PreprocessEvents
+from .classify import categorize_lengths
+from .format import DASPMatrix
+from .long_rows import build_long_rows
+from .medium_rows import build_medium_rows
+from .short_rows import build_short_rows
+
+__all__ = [
+    "DEFAULT_COMPACT_THRESHOLD",
+    "DeltaError",
+    "DeltaOverlay",
+    "DeltaState",
+    "PatchInfo",
+    "StructuralUpdate",
+    "ValueScatter",
+    "ValueUpdate",
+    "apply_overlay_spmm",
+    "apply_overlay_spmv",
+    "apply_structural_to_csr",
+    "apply_structural_update",
+    "apply_update",
+    "apply_value_update",
+    "build_value_scatter",
+    "clone_for_patch",
+    "compact_plan",
+    "consolidate_plan",
+    "delta_from_arrays",
+    "delta_to_arrays",
+    "random_delta",
+    "rebuild_debt",
+    "rebuild_events",
+]
+
+#: Compact when the overlay holds more than this fraction of the base
+#: plan's stored elements: past that point every SpMV pays >25% extra
+#: kernel work re-computing dirty rows, and the accumulated mini-plan
+#: rebuild cost of the *next* patch rivals a from-scratch build.
+DEFAULT_COMPACT_THRESHOLD = 0.25
+
+
+class DeltaError(ValueError):
+    """A delta referenced an entry that does not exist (value update or
+    delete of an absent position), or was otherwise malformed."""
+
+
+# ----------------------------------------------------------------------
+# Typed delta API
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ValueUpdate:
+    """New values for entries that already exist in the pattern.
+
+    Duplicate ``(row, col)`` triples are allowed; the last one wins.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    vals: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(self, "rows", np.asarray(self.rows, dtype=np.int64))
+        object.__setattr__(self, "cols", np.asarray(self.cols, dtype=np.int64))
+        object.__setattr__(self, "vals", np.asarray(self.vals))
+        check(self.rows.shape == self.cols.shape == self.vals.shape,
+              "ValueUpdate triples must be parallel 1-D arrays")
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.rows.size)
+
+    def touched_rows(self) -> np.ndarray:
+        return np.unique(self.rows)
+
+
+@dataclass(frozen=True)
+class StructuralUpdate:
+    """Insert/delete entries as COO triples.
+
+    Deletes are applied first, then inserts — so delete+insert of the
+    same position is a re-insert.  An insert at an existing position is
+    an upsert (the entry keeps its slot, the value changes).  Deltas
+    never change the matrix *shape*.
+    """
+
+    insert_rows: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    insert_cols: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    insert_vals: np.ndarray = field(default_factory=lambda: np.zeros(0, np.float64))
+    delete_rows: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    delete_cols: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    def __post_init__(self):
+        for name in ("insert_rows", "insert_cols", "delete_rows", "delete_cols"):
+            object.__setattr__(self, name, np.asarray(getattr(self, name),
+                                                      dtype=np.int64))
+        object.__setattr__(self, "insert_vals", np.asarray(self.insert_vals))
+        check(self.insert_rows.shape == self.insert_cols.shape
+              == self.insert_vals.shape,
+              "insert triples must be parallel 1-D arrays")
+        check(self.delete_rows.shape == self.delete_cols.shape,
+              "delete pairs must be parallel 1-D arrays")
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.insert_rows.size + self.delete_rows.size)
+
+    def touched_rows(self) -> np.ndarray:
+        return np.unique(np.concatenate([self.insert_rows, self.delete_rows]))
+
+
+# ----------------------------------------------------------------------
+# Patch bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PatchInfo:
+    """What one patch did, plus its modeled cost (for the obs layer and
+    the patch-vs-rebuild benchmark gate)."""
+
+    kind: str                      # "value" | "structural" | "compaction"
+    touched_rows: int
+    nnz_touched: int
+    migrations: int                # touched rows whose category changed
+    compacted: bool
+    events: PreprocessEvents
+
+    def seconds(self, device) -> float:
+        from ..gpu.cost_model import estimate_preprocess_time
+
+        return estimate_preprocess_time(self.events, device)
+
+
+def _zero_events() -> PreprocessEvents:
+    return PreprocessEvents()
+
+
+def _sum_events(*evs: PreprocessEvents) -> PreprocessEvents:
+    return PreprocessEvents(
+        device_bytes=sum(e.device_bytes for e in evs),
+        host_bytes=sum(e.host_bytes for e in evs),
+        sort_keys=sum(e.sort_keys for e in evs),
+        kernel_launches=sum(e.kernel_launches for e in evs),
+        allocations=sum(e.allocations for e in evs),
+    )
+
+
+def rebuild_events(plan) -> PreprocessEvents:
+    """Modeled cost of a from-scratch rebuild of *plan* (the baseline
+    the ≥3× patch-advantage gate compares against)."""
+    from .preprocess import dasp_preprocess_events
+
+    if hasattr(plan, "shards"):           # ShardedPlan duck-type
+        return _sum_events(*[dasp_preprocess_events(s.dasp)
+                             for s in plan.shards])
+    return dasp_preprocess_events(plan)
+
+
+# ----------------------------------------------------------------------
+# Position-matrix value scatter
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ValueScatter:
+    """O(1) map from a CSR nonzero index to its packed slab slot.
+
+    ``slab_of[i]`` indexes :meth:`DASPMatrix.value_slabs` order;
+    ``pos_of[i]`` is the flat offset inside that slab.
+    """
+
+    slab_of: np.ndarray            # int8 (nnz,)
+    pos_of: np.ndarray             # int64 (nnz,)
+
+
+def build_value_scatter(plan: DASPMatrix, base_csr=None) -> ValueScatter:
+    """Invert the slab layout of *plan* into a nonzero → slot map.
+
+    Re-runs the three builders over the plan's (base) structure with
+    ``data = arange(1, nnz + 1)`` as float64: layout depends only on
+    structure, so every filled slot of the fake slabs holds its source
+    index + 1 and padding holds 0.
+    """
+    from ..formats.csr import CSRMatrix
+
+    csr = base_csr if base_csr is not None else plan.csr
+    nnz = int(csr.indptr[-1])
+    fake = CSRMatrix(csr.shape, csr.indptr, csr.indices,
+                     np.arange(1, nnz + 1, dtype=np.float64))
+    cls = plan.classification
+    shape = plan.mma_shape
+    fakes = DASPMatrix(
+        shape=csr.shape, dtype=np.dtype(np.float64), csr=fake,
+        mma_shape=shape, max_len=plan.max_len, threshold=plan.threshold,
+        classification=cls,
+        long_plan=build_long_rows(fake, cls.long, shape),
+        medium_plan=build_medium_rows(fake, cls.medium, shape,
+                                      threshold=plan.threshold),
+        short_plan=build_short_rows(fake, cls.short, shape),
+    )
+    slab_of = np.full(nnz, -1, dtype=np.int8)
+    pos_of = np.zeros(nnz, dtype=np.int64)
+    for sid, (_, arr) in enumerate(fakes.value_slabs()):
+        flat = _flat(arr)
+        filled = np.flatnonzero(flat)
+        src = flat[filled].astype(np.int64) - 1
+        slab_of[src] = sid
+        pos_of[src] = filled
+    check(bool(np.all(slab_of >= 0)),
+          "value scatter failed to place every nonzero")
+    return ValueScatter(slab_of=slab_of, pos_of=pos_of)
+
+
+def _flat(arr: np.ndarray) -> np.ndarray:
+    check(arr.flags["C_CONTIGUOUS"], "slab must be C-contiguous")
+    return arr.reshape(-1)
+
+
+def _csr_keys(csr) -> np.ndarray:
+    """Row-major ``row * ncols + col`` keys; strictly increasing for a
+    duplicate-free CSR with sorted column indices."""
+    lens = csr.row_lengths()
+    rows = np.repeat(np.arange(csr.shape[0], dtype=np.int64), lens)
+    return rows * np.int64(csr.shape[1]) + csr.indices.astype(np.int64)
+
+
+def _lookup(keys: np.ndarray, wanted: np.ndarray, what: str) -> np.ndarray:
+    if keys.size == 0:
+        if wanted.size:
+            raise DeltaError(f"{what}: entry not present in sparsity pattern")
+        return np.zeros(0, dtype=np.int64)
+    pos = np.searchsorted(keys, wanted)
+    bad = pos >= keys.size
+    bad |= keys[np.minimum(pos, keys.size - 1)] != wanted
+    if np.any(bad):
+        raise DeltaError(f"{what}: entry not present in sparsity pattern")
+    return pos
+
+
+# ----------------------------------------------------------------------
+# Delta state attached to a plan
+# ----------------------------------------------------------------------
+@dataclass
+class DeltaOverlay:
+    """Mini DASP plan over the dirty rows; its results overwrite the
+    base plan's stale values at execution time."""
+
+    rows: np.ndarray               # dirty rows with >= 1 nonzero, ascending
+    empty_rows: np.ndarray         # dirty rows that are now empty
+    mini: DASPMatrix
+
+
+@dataclass
+class DeltaState:
+    """Mutable patch bookkeeping attached to ``DASPMatrix.delta``.
+
+    ``base_csr`` is the structure the slabs were packed from (identical
+    to ``plan.csr`` until the first structural patch, then frozen until
+    compaction); ``dirty`` rows have stale slab slots and are served
+    from ``overlay`` instead.
+    """
+
+    base_csr: object
+    dirty: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    overlay: DeltaOverlay | None = None
+    patches: int = 0
+    _scatter: ValueScatter | None = None
+    _base_key: np.ndarray | None = None
+    _cur_key: np.ndarray | None = None
+
+    def base_key(self) -> np.ndarray:
+        if self._base_key is None:
+            self._base_key = _csr_keys(self.base_csr)
+        return self._base_key
+
+    def cur_key(self, csr) -> np.ndarray:
+        if self._cur_key is None:
+            self._cur_key = (self.base_key() if csr is self.base_csr
+                             else _csr_keys(csr))
+        return self._cur_key
+
+    def scatter(self, plan) -> ValueScatter:
+        if self._scatter is None:
+            self._scatter = build_value_scatter(plan, self.base_csr)
+        return self._scatter
+
+
+def ensure_state(plan: DASPMatrix) -> DeltaState:
+    if plan.delta is None:
+        plan.delta = DeltaState(base_csr=plan.csr)
+    return plan.delta
+
+
+def clone_for_patch(plan):
+    """Shallow-copy *plan* so in-place value patches cannot corrupt the
+    original: value slabs and ``csr.data`` are copied, structure arrays
+    and the scatter map are shared.  The registry uses this so in-flight
+    requests drain against the pre-update version."""
+    from ..formats.csr import CSRMatrix
+
+    if hasattr(plan, "shards"):            # ShardedPlan duck-type
+        shards = [replace(s, dasp=clone_for_patch(s.dasp))
+                  for s in plan.shards]
+        csr = CSRMatrix(plan.csr.shape, plan.csr.indptr, plan.csr.indices,
+                        plan.csr.data.copy())
+        return replace(plan, csr=csr, shards=shards)
+    csr = CSRMatrix(plan.csr.shape, plan.csr.indptr, plan.csr.indices,
+                    plan.csr.data.copy())
+    st = plan.delta
+    new_st = None
+    if st is not None:
+        new_st = DeltaState(base_csr=st.base_csr, dirty=st.dirty,
+                            overlay=st.overlay, patches=st.patches,
+                            _scatter=st._scatter, _base_key=st._base_key,
+                            _cur_key=st._cur_key)
+    return replace(
+        plan, csr=csr, delta=new_st,
+        long_plan=replace(plan.long_plan, val=plan.long_plan.val.copy()),
+        medium_plan=replace(plan.medium_plan,
+                            reg_val=plan.medium_plan.reg_val.copy(),
+                            irreg_val=plan.medium_plan.irreg_val.copy()),
+        short_plan=replace(plan.short_plan,
+                           val13=plan.short_plan.val13.copy(),
+                           val22=plan.short_plan.val22.copy(),
+                           val4=plan.short_plan.val4.copy(),
+                           val1=plan.short_plan.val1.copy()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Value updates — in-place slab patch
+# ----------------------------------------------------------------------
+def _dedupe_last(k: np.ndarray) -> np.ndarray:
+    """Indices selecting the *last* occurrence of each key, key-sorted."""
+    order = np.argsort(k, kind="stable")
+    ks = k[order]
+    last = np.ones(ks.size, dtype=bool)
+    if ks.size > 1:
+        last[:-1] = ks[:-1] != ks[1:]
+    return order[last]
+
+
+def apply_value_update(plan: DASPMatrix, delta: ValueUpdate) -> PatchInfo:
+    """Patch new values into *plan* in place; bitwise-identical to a
+    fresh build of the updated CSR.
+
+    The canonical value of an entry is ``csr.data``'s — the new values
+    are cast to the matrix dtype once and the *cast* result is written
+    to both ``csr.data`` and the slab slot, exactly what a fresh
+    ``from_csr`` would store.
+    """
+    if delta.n_entries == 0:
+        return PatchInfo("value", 0, 0, 0, False, _zero_events())
+    m, n = plan.shape
+    check(bool(np.all((delta.rows >= 0) & (delta.rows < m))), "row out of range")
+    check(bool(np.all((delta.cols >= 0) & (delta.cols < n))), "col out of range")
+    state = ensure_state(plan)
+    k = delta.rows * np.int64(n) + delta.cols
+    sel = _dedupe_last(k)
+    rows, k = delta.rows[sel], k[sel]
+    vals = delta.vals[sel]
+
+    cur = state.cur_key(plan.csr)
+    pos_cur = _lookup(cur, k, "value update")
+    plan.csr.data[pos_cur] = np.asarray(vals).astype(plan.csr.data.dtype)
+    cast = plan.csr.data[pos_cur]
+
+    if state.dirty.size:
+        j = np.searchsorted(state.dirty, rows)
+        j = np.minimum(j, state.dirty.size - 1)
+        is_dirty = state.dirty[j] == rows
+    else:
+        is_dirty = np.zeros(rows.size, dtype=bool)
+
+    clean = ~is_dirty
+    if clean.any():
+        sc = state.scatter(plan)
+        # Clean rows have identical (row, col) membership in the base
+        # structure, so their slab slots are found via the base keys.
+        pos_base = _lookup(state.base_key(), k[clean], "value update (base)")
+        sid, off, cv = sc.slab_of[pos_base], sc.pos_of[pos_base], cast[clean]
+        slabs = [arr for _, arr in plan.value_slabs()]
+        for s in np.unique(sid):
+            msk = sid == s
+            _flat(slabs[s])[off[msk]] = cv[msk]
+    if is_dirty.any() and state.overlay is not None:
+        # Dirty rows are served from the overlay, which holds value
+        # copies — rebuild it from the (already patched) current CSR.
+        state.overlay = _build_overlay(plan, state.dirty)
+
+    vb = plan.csr.data.dtype.itemsize
+    ev = PreprocessEvents(host_bytes=float(k.size) * (2 * vb + 16))
+    if is_dirty.any() and state.overlay is not None:
+        from .preprocess import dasp_preprocess_events
+
+        ev = _sum_events(ev, dasp_preprocess_events(state.overlay.mini))
+    state.patches += 1
+    return PatchInfo("value", int(np.unique(rows).size), int(k.size),
+                     0, False, ev)
+
+
+# ----------------------------------------------------------------------
+# Structural updates — CSR splice + dirty-row overlay
+# ----------------------------------------------------------------------
+def apply_structural_to_csr(csr, delta: StructuralUpdate):
+    """Apply *delta* to a CSR matrix; returns ``(new_csr, touched_rows)``.
+
+    Pure array splice — the result keeps sorted, duplicate-free column
+    indices.  Raises :class:`DeltaError` on a delete of an absent entry
+    or an out-of-range coordinate.
+    """
+    from ..formats.csr import CSRMatrix
+
+    m, n = csr.shape
+    for r, c in ((delta.insert_rows, delta.insert_cols),
+                 (delta.delete_rows, delta.delete_cols)):
+        check(bool(np.all((r >= 0) & (r < m))), "row out of range")
+        check(bool(np.all((c >= 0) & (c < n))), "col out of range")
+    keys = _csr_keys(csr)
+    data = csr.data.copy()
+    keep = np.ones(keys.size, dtype=bool)
+
+    if delta.delete_rows.size:
+        dk = np.unique(delta.delete_rows * np.int64(n) + delta.delete_cols)
+        pos = _lookup(keys, dk, "delete")
+        keep[pos] = False
+
+    ins_k = delta.insert_rows * np.int64(n) + delta.insert_cols
+    if ins_k.size:
+        sel = _dedupe_last(ins_k)
+        ins_k = ins_k[sel]
+        ins_v = np.asarray(delta.insert_vals)[sel].astype(data.dtype)
+        pos = np.searchsorted(keys, ins_k)
+        safe = np.minimum(pos, keys.size - 1)
+        exists = (pos < keys.size) & (keys[safe] == ins_k) & keep[safe] \
+            if keys.size else np.zeros(ins_k.size, dtype=bool)
+        data[safe[exists]] = ins_v[exists]       # upsert in place
+        new_k, new_v = ins_k[~exists], ins_v[~exists]
+    else:
+        new_k = np.zeros(0, dtype=np.int64)
+        new_v = np.zeros(0, dtype=data.dtype)
+
+    merged_k = np.concatenate([keys[keep], new_k])
+    merged_v = np.concatenate([data[keep], new_v])
+    order = np.argsort(merged_k, kind="stable")
+    merged_k, merged_v = merged_k[order], merged_v[order]
+
+    rows_of = merged_k // np.int64(n)
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows_of, minlength=m), out=indptr[1:])
+    out = CSRMatrix((m, n), indptr,
+                    (merged_k % np.int64(n)).astype(np.int32), merged_v)
+    return out, delta.touched_rows()
+
+
+def _build_overlay(plan: DASPMatrix, dirty: np.ndarray) -> DeltaOverlay | None:
+    if dirty.size == 0:
+        return None
+    lens = plan.csr.row_lengths()[dirty]
+    rows = dirty[lens > 0]
+    empty = dirty[lens == 0]
+    mini = None
+    if rows.size:
+        mini = DASPMatrix.from_csr(plan.csr.row_slice(rows),
+                                   max_len=plan.max_len,
+                                   threshold=plan.threshold,
+                                   mma_shape=plan.mma_shape)
+    return DeltaOverlay(rows=rows, empty_rows=empty, mini=mini)
+
+
+def _count_migrations(plan: DASPMatrix, state: DeltaState,
+                      touched: np.ndarray) -> int:
+    base_cat = categorize_lengths(state.base_csr.row_lengths()[touched],
+                                  max_len=plan.max_len)
+    new_cat = categorize_lengths(plan.csr.row_lengths()[touched],
+                                 max_len=plan.max_len)
+    return int(np.count_nonzero(base_cat != new_cat))
+
+
+def apply_structural_update(plan: DASPMatrix, delta: StructuralUpdate, *,
+                            auto_compact: bool = True,
+                            compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+                            ):
+    """Insert/delete entries; returns ``(new_plan, PatchInfo)``.
+
+    The returned plan *shares* the packed slabs with the input (only the
+    CSR and delta state are new) — callers that must keep serving the
+    old version (the registry) clone before any later value patch via
+    :func:`clone_for_patch`.
+    """
+    if delta.n_entries == 0:
+        return plan, PatchInfo("structural", 0, 0, 0, False, _zero_events())
+    state = ensure_state(plan)
+    new_csr, touched = apply_structural_to_csr(plan.csr, delta)
+    dirty = np.union1d(state.dirty, touched)
+    new_state = DeltaState(base_csr=state.base_csr, dirty=dirty,
+                           patches=state.patches + 1,
+                           _scatter=state._scatter,
+                           _base_key=state._base_key)
+    new_plan = replace(plan, csr=new_csr, delta=new_state)
+    new_state.overlay = _build_overlay(new_plan, dirty)
+
+    migrations = _count_migrations(new_plan, new_state, touched)
+    vb = new_csr.data.dtype.itemsize
+    ev = PreprocessEvents(host_bytes=float(delta.n_entries) * (vb + 12) * 2)
+    if new_state.overlay is not None and new_state.overlay.mini is not None:
+        from .preprocess import dasp_preprocess_events
+
+        ev = _sum_events(ev, dasp_preprocess_events(new_state.overlay.mini))
+
+    compacted = False
+    if auto_compact and rebuild_debt(new_plan) > compact_threshold:
+        new_plan, cinfo = compact_plan(new_plan)
+        ev = _sum_events(ev, cinfo.events)
+        compacted = True
+    return new_plan, PatchInfo("structural", int(touched.size),
+                               int(delta.n_entries), migrations,
+                               compacted, ev)
+
+
+def rebuild_debt(plan) -> float:
+    """Fraction of the base plan's stored elements duplicated in the
+    overlay — the extra kernel work every SpMV pays for dirty rows.
+    Sharded plans report the worst band."""
+    if hasattr(plan, "shards"):
+        return max((rebuild_debt(s.dasp) for s in plan.shards), default=0.0)
+    state = getattr(plan, "delta", None)
+    if state is None or state.overlay is None or state.overlay.mini is None:
+        return 0.0
+    return state.overlay.mini.stored_elements / max(1, plan.stored_elements)
+
+
+def compact_plan(plan: DASPMatrix):
+    """Full rebuild from the current CSR; resets all delta state."""
+    from .preprocess import dasp_preprocess_events
+
+    fresh = DASPMatrix.from_csr(plan.csr, max_len=plan.max_len,
+                                threshold=plan.threshold,
+                                mma_shape=plan.mma_shape)
+    ev = dasp_preprocess_events(fresh)
+    return fresh, PatchInfo("compaction", plan.shape[0], plan.nnz,
+                            0, True, ev)
+
+
+def consolidate_plan(plan):
+    """Return a self-contained plan safe to serialize.
+
+    The artifact format stores only the packed slabs and the CSR — an
+    overlay would be silently dropped, leaving stale slab values for
+    dirty rows on reload.  Any plan (or band of a sharded plan) with an
+    overlay is therefore compacted first; overlay-free plans are
+    returned unchanged."""
+    if hasattr(plan, "shards"):
+        shards = list(plan.shards)
+        changed = False
+        for i, s in enumerate(shards):
+            fresh = consolidate_plan(s.dasp)
+            if fresh is not s.dasp:
+                shards[i] = replace(s, dasp=fresh)
+                changed = True
+        return replace(plan, shards=shards) if changed else plan
+    state = getattr(plan, "delta", None)
+    if state is not None and state.overlay is not None:
+        return compact_plan(plan)[0]
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Unified entry — plain or sharded plans, either delta type
+# ----------------------------------------------------------------------
+def apply_update(plan, delta, *, auto_compact: bool = True,
+                 compact_threshold: float = DEFAULT_COMPACT_THRESHOLD):
+    """Apply *delta* (value or structural) to a plain or sharded plan.
+
+    Returns ``(new_plan, PatchInfo)``.  Value updates mutate in place
+    (the returned plan is the input); structural updates return a new
+    top-level object.  Sharded plans are patched band-by-band —
+    compaction happens per band, so the blast radius of a hot band's
+    churn never exceeds that band's rebuild.
+    """
+    if hasattr(plan, "shards"):
+        return _apply_sharded(plan, delta, auto_compact=auto_compact,
+                              compact_threshold=compact_threshold)
+    if isinstance(delta, ValueUpdate):
+        return plan, apply_value_update(plan, delta)
+    if isinstance(delta, StructuralUpdate):
+        return apply_structural_update(plan, delta, auto_compact=auto_compact,
+                                       compact_threshold=compact_threshold)
+    raise TypeError(f"unknown delta type {type(delta).__name__}")
+
+
+def apply_delta_to_csr(csr, delta):
+    """Apply *delta* to a bare CSR matrix (no plan); returns a new CSR.
+
+    The plan-free mirror of :func:`apply_update` — drivers running with
+    the plan cache disabled evolve their reference matrix through this,
+    so update streams stay meaningful on the rebuild-per-request
+    baseline too.
+    """
+    if isinstance(delta, StructuralUpdate):
+        return apply_structural_to_csr(csr, delta)[0]
+    if isinstance(delta, ValueUpdate):
+        if delta.n_entries == 0:
+            return csr
+        from ..formats.csr import CSRMatrix
+
+        out = CSRMatrix(csr.shape, csr.indptr, csr.indices, csr.data.copy())
+        k = delta.rows * np.int64(csr.shape[1]) + delta.cols
+        sel = _dedupe_last(k)
+        _patch_csr_values(out, k[sel], delta.vals[sel])
+        return out
+    raise TypeError(f"unknown delta type {type(delta).__name__}")
+
+
+def _band_split(row_starts: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    return np.searchsorted(row_starts, rows, side="right").astype(np.int64) - 1
+
+
+def _patch_csr_values(csr, k: np.ndarray, vals: np.ndarray) -> None:
+    pos = _lookup(_csr_keys(csr), k, "value update (top-level)")
+    csr.data[pos] = np.asarray(vals).astype(csr.data.dtype)
+
+
+def _apply_sharded(sp, delta, *, auto_compact: bool,
+                   compact_threshold: float):
+    row_starts = np.asarray(sp.row_starts, dtype=np.int64)
+    infos: list[PatchInfo] = []
+    if isinstance(delta, ValueUpdate):
+        if delta.n_entries == 0:
+            return sp, PatchInfo("value", 0, 0, 0, False, _zero_events())
+        band = _band_split(row_starts, delta.rows)
+        for b in np.unique(band):
+            msk = band == b
+            sub = ValueUpdate(rows=delta.rows[msk] - row_starts[b],
+                              cols=delta.cols[msk], vals=delta.vals[msk])
+            infos.append(apply_value_update(sp.shards[b].dasp, sub))
+        # Keep the top-level CSR (fingerprints, fallback path) in sync.
+        k = delta.rows * np.int64(sp.shape[1]) + delta.cols
+        sel = _dedupe_last(k)
+        _patch_csr_values(sp.csr, k[sel], delta.vals[sel])
+        return sp, _merge_infos("value", infos, compacted=False)
+
+    if isinstance(delta, StructuralUpdate):
+        if delta.n_entries == 0:
+            return sp, PatchInfo("structural", 0, 0, 0, False, _zero_events())
+        ib = _band_split(row_starts, delta.insert_rows)
+        db = _band_split(row_starts, delta.delete_rows)
+        shards = list(sp.shards)
+        compacted = False
+        for b in np.unique(np.concatenate([ib, db])):
+            im, dm = ib == b, db == b
+            sub = StructuralUpdate(
+                insert_rows=delta.insert_rows[im] - row_starts[b],
+                insert_cols=delta.insert_cols[im],
+                insert_vals=delta.insert_vals[im],
+                delete_rows=delta.delete_rows[dm] - row_starts[b],
+                delete_cols=delta.delete_cols[dm])
+            new_dasp, info = apply_structural_update(
+                shards[b].dasp, sub, auto_compact=auto_compact,
+                compact_threshold=compact_threshold)
+            shards[b] = replace(shards[b], dasp=new_dasp)
+            compacted = compacted or info.compacted
+            infos.append(info)
+        new_top, _ = apply_structural_to_csr(sp.csr, delta)
+        new_sp = replace(sp, csr=new_top, shards=shards)
+        return new_sp, _merge_infos("structural", infos, compacted=compacted)
+
+    raise TypeError(f"unknown delta type {type(delta).__name__}")
+
+
+def _merge_infos(kind: str, infos: list, *, compacted: bool) -> PatchInfo:
+    return PatchInfo(
+        kind=kind,
+        touched_rows=sum(i.touched_rows for i in infos),
+        nnz_touched=sum(i.nnz_touched for i in infos),
+        migrations=sum(i.migrations for i in infos),
+        compacted=compacted,
+        events=_sum_events(*[i.events for i in infos]) if infos
+        else _zero_events(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution hooks — overlay application
+# ----------------------------------------------------------------------
+def apply_overlay_spmv(plan, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Overwrite dirty rows of *y* with the overlay mini-plan's results
+    (called by ``dasp_spmv`` after the base kernels ran)."""
+    from .spmv import _dasp_spmv_vectorized
+
+    ov = plan.delta.overlay
+    if ov.empty_rows.size:
+        y[ov.empty_rows] = 0
+    if ov.mini is not None:
+        y[ov.rows] = _dasp_spmv_vectorized(ov.mini, x)
+    return y
+
+
+def apply_overlay_spmm(plan, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """2-D form of :func:`apply_overlay_spmv` (called by
+    ``dasp_spmm_on_plan``)."""
+    from .spmm import dasp_spmm_on_plan
+
+    ov = plan.delta.overlay
+    if ov.empty_rows.size:
+        Y[ov.empty_rows] = 0
+    if ov.mini is not None:
+        Y[ov.rows] = dasp_spmm_on_plan(ov.mini, X)
+    return Y
+
+
+def has_overlay(plan) -> bool:
+    state = getattr(plan, "delta", None)
+    return state is not None and state.overlay is not None
+
+
+# ----------------------------------------------------------------------
+# Seeded delta generator (driver update streams, property tests)
+# ----------------------------------------------------------------------
+def random_delta(csr, rng: np.random.Generator, *, structural: bool = False,
+                 n_entries: int = 8, insert_frac: float = 0.5,
+                 scale: float = 1.0):
+    """Draw a seeded delta against *csr*'s current pattern.
+
+    Value deltas pick existing entries; structural deltas mix deletes of
+    existing entries with inserts at random coordinates (an insert may
+    collide with an existing entry — that is a legal upsert).  Values
+    are drawn away from zero so sign-of-zero artifacts never enter the
+    bitwise gates.
+    """
+    m, n = csr.shape
+    nnz = int(csr.indptr[-1])
+
+    def _vals(size):
+        v = rng.standard_normal(size) * scale
+        return np.where(v == 0.0, scale, v)
+
+    def _existing(size):
+        if nnz == 0 or size == 0:
+            e = np.zeros(0, dtype=np.int64)
+        else:
+            e = rng.choice(nnz, size=min(size, nnz), replace=False)
+        rows = np.searchsorted(csr.indptr, e, side="right").astype(np.int64) - 1
+        cols = csr.indices[e].astype(np.int64)
+        return rows, cols
+
+    if not structural:
+        rows, cols = _existing(n_entries)
+        return ValueUpdate(rows=rows, cols=cols, vals=_vals(rows.size))
+
+    n_ins = int(round(n_entries * insert_frac))
+    n_del = max(0, n_entries - n_ins)
+    drows, dcols = _existing(n_del)
+    irows = rng.integers(0, m, size=n_ins).astype(np.int64)
+    icols = rng.integers(0, n, size=n_ins).astype(np.int64)
+    return StructuralUpdate(insert_rows=irows, insert_cols=icols,
+                            insert_vals=_vals(n_ins),
+                            delete_rows=drows, delete_cols=dcols)
+
+
+# ----------------------------------------------------------------------
+# Serialization — CRC-checked aux records in the plan store
+# ----------------------------------------------------------------------
+_KIND_VALUE, _KIND_STRUCTURAL = 0, 1
+
+
+def delta_to_arrays(delta) -> dict:
+    """Flatten a delta into named arrays (the store prefixes these as
+    ``aux.delta.{version}.*`` records inside the ``.daspz`` artifact)."""
+    if isinstance(delta, ValueUpdate):
+        return {"kind": np.array([_KIND_VALUE], dtype=np.int64),
+                "rows": delta.rows, "cols": delta.cols, "vals": delta.vals}
+    if isinstance(delta, StructuralUpdate):
+        return {"kind": np.array([_KIND_STRUCTURAL], dtype=np.int64),
+                "ins_rows": delta.insert_rows, "ins_cols": delta.insert_cols,
+                "ins_vals": delta.insert_vals,
+                "del_rows": delta.delete_rows, "del_cols": delta.delete_cols}
+    raise TypeError(f"unknown delta type {type(delta).__name__}")
+
+
+def delta_from_arrays(arrays: dict):
+    """Inverse of :func:`delta_to_arrays`."""
+    kind = int(np.asarray(arrays["kind"])[0])
+    if kind == _KIND_VALUE:
+        return ValueUpdate(rows=arrays["rows"], cols=arrays["cols"],
+                           vals=np.asarray(arrays["vals"]))
+    if kind == _KIND_STRUCTURAL:
+        return StructuralUpdate(
+            insert_rows=arrays["ins_rows"], insert_cols=arrays["ins_cols"],
+            insert_vals=np.asarray(arrays["ins_vals"]),
+            delete_rows=arrays["del_rows"], delete_cols=arrays["del_cols"])
+    raise DeltaError(f"unknown delta kind {kind}")

@@ -48,6 +48,10 @@ class DASPMatrix:
     long_plan: LongRowsPlan
     medium_plan: MediumRowsPlan
     short_plan: ShortRowsPlan
+    #: ``repro.core.delta.DeltaState`` once the plan has been patched —
+    #: never serialized (``array_inventory`` walks only the three
+    #: category plans) and ``None`` for a freshly built plan.
+    delta: object = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -99,6 +103,23 @@ class DASPMatrix:
             "medium": self.medium_plan.orig_nnz,
             "short": self.short_plan.orig_nnz,
         }
+
+    def value_slabs(self) -> list:
+        """Ordered ``(name, array)`` list of every payload slab holding
+        matrix *values* (as opposed to column ids / pointers) — the
+        arrays a :class:`~repro.core.delta.ValueUpdate` patches in
+        place.  Order is load-bearing: ``repro.core.delta`` indexes it
+        from the scatter map's slab ids."""
+        from .long_rows import VALUE_SLAB_FIELDS as _LONG
+        from .medium_rows import VALUE_SLAB_FIELDS as _MEDIUM
+        from .short_rows import VALUE_SLAB_FIELDS as _SHORT
+
+        out = []
+        for prefix, plan, names in (("long.", self.long_plan, _LONG),
+                                    ("medium.", self.medium_plan, _MEDIUM),
+                                    ("short.", self.short_plan, _SHORT)):
+            out.extend((prefix + n, getattr(plan, n)) for n in names)
+        return out
 
     # ------------------------------------------------------------------
     # serialization inventory (repro.store)

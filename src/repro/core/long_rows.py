@@ -76,6 +76,11 @@ class LongRowsPlan:
         return self.padded_nnz / self.orig_nnz if self.orig_nnz else 1.0
 
 
+#: Payload slabs holding matrix *values* — patched in place by
+#: ``repro.core.delta.apply_value_update``.
+VALUE_SLAB_FIELDS = ("val",)
+
+
 def build_long_rows(csr, rows: np.ndarray, shape: MmaShape) -> LongRowsPlan:
     """Pack the given long rows of *csr* into a :class:`LongRowsPlan`."""
     rows = np.asarray(rows, dtype=np.int64)

@@ -95,6 +95,11 @@ class MediumRowsPlan:
         return stored / self.orig_nnz if self.orig_nnz else 1.0
 
 
+#: Payload slabs holding matrix *values* — patched in place by
+#: ``repro.core.delta.apply_value_update``.
+VALUE_SLAB_FIELDS = ("reg_val", "irreg_val")
+
+
 def build_medium_rows(csr, rows_sorted: np.ndarray, shape: MmaShape, *,
                       threshold: float = DEFAULT_THRESHOLD) -> MediumRowsPlan:
     """Pack medium rows (already sorted by descending length)."""

@@ -89,6 +89,11 @@ class ShortRowsPlan:
         return self.val4.size // (self.shape.a_elements)
 
 
+#: Payload slabs holding matrix *values* — patched in place by
+#: ``repro.core.delta.apply_value_update``.
+VALUE_SLAB_FIELDS = ("val13", "val22", "val4", "val1")
+
+
 def _pad_to_blocks(arr2d: np.ndarray, rows_per_block: int) -> np.ndarray:
     """Zero-pad a (rows, 4) table so rows divide ``rows_per_block``."""
     pad = (-arr2d.shape[0]) % rows_per_block

@@ -99,6 +99,13 @@ def dasp_spmm_on_plan(dasp: DASPMatrix, X: np.ndarray, *,
     if sp.n_rows:
         rows, vals = _short_spmm(sp, X, unit)
         Y[rows] = vals
+    if dasp.delta is not None and dasp.delta.overlay is not None:
+        # Patched plan: overwrite dirty rows from the delta overlay
+        # (repro.core.delta) — the warp branch above already applied it
+        # per column inside dasp_spmv.
+        from .delta import apply_overlay_spmm
+
+        Y = apply_overlay_spmm(dasp, X, Y)
     if cast_output:
         return Y.astype(dasp.dtype)
     return Y

@@ -57,6 +57,13 @@ def dasp_spmv(matrix, x: np.ndarray, *, engine: str = "vectorized",
         else:
             raise ValueError(f"unknown engine {engine!r}")
 
+        if dasp.delta is not None and dasp.delta.overlay is not None:
+            # Patched plan: dirty rows were computed from stale slabs —
+            # overwrite them from the delta overlay (repro.core.delta).
+            from .delta import apply_overlay_spmv
+
+            y = apply_overlay_spmv(dasp, x, y)
+
     if cast_output:
         return y.astype(dasp.dtype)
     return y

@@ -15,6 +15,7 @@ driver (simulated clock) without modification.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass
@@ -107,9 +108,15 @@ class RequestBatcher:
         check(flush_timeout_s >= 0.0, "flush_timeout_s must be >= 0")
         self.max_batch = int(max_batch)
         self.flush_timeout_s = float(flush_timeout_s)
-        # fingerprint -> deque of pending requests; insertion order of
-        # the dict gives oldest-deadline-first iteration for due().
         self._pending: OrderedDict[str, deque[SpMVRequest]] = OrderedDict()
+        # Lazy min-heap over group heads: (oldest arrival, seq, fp).
+        # next_deadline() and due() are called once per arrival event by
+        # the virtual-time driver; scanning every pending group there is
+        # O(matrices) per event.  The heap answers the min query in
+        # O(log n) with entries invalidated lazily — an entry is stale
+        # when its group is gone or its head request has changed.
+        self._heap: list[tuple[float, int, str]] = []
+        self._seq = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -120,43 +127,62 @@ class RequestBatcher:
             return sum(len(q) for q in self._pending.values())
 
     def add(self, request: SpMVRequest, now: float) -> Batch | None:
-        """Queue *request*; return a full batch if the size trigger fired."""
+        """Queue *request*; return a full batch if the size trigger fired.
+
+        Version fence: a batch must be homogeneous in matrix version —
+        the ``(n, k)`` SpMM runs against exactly one plan.  When the
+        incoming request was admitted against a newer version than the
+        group's pending requests, the old group is flushed immediately
+        (returned as if the size trigger had fired) and the new request
+        starts a fresh group.
+        """
         with self._lock:
             q = self._pending.get(request.fingerprint)
+            fence = None
+            if q and q[0].version != request.version:
+                # pending groups are always < max_batch, so one _form
+                # drains the whole stale-version group
+                fence = self._form(request.fingerprint, now)
+                q = None
             if q is None:
                 q = deque()
                 self._pending[request.fingerprint] = q
-            q.append(request)
+                q.append(request)
+                self._push_head(request.fingerprint, q)
+            else:
+                q.append(request)
             if len(q) >= self.max_batch:
-                return self._form(request.fingerprint, now)
-            return None
+                full = self._form(request.fingerprint, now)
+                check(fence is None, "fence and size trigger cannot both fire")
+                return full
+            return fence
 
     def due(self, now: float) -> list[Batch]:
         """Flush every group whose oldest request has timed out.
 
-        A group larger than ``max_batch`` yields several batches in one
-        pass: after each ``_form`` the remainder's new oldest request is
-        re-checked immediately, so an overflow remainder whose deadline
-        already passed is not deferred to the next poll.
+        Groups flush oldest-head-first.  A group larger than
+        ``max_batch`` yields several batches in one pass: ``_form``
+        re-queues the remainder's new oldest request on the heap, so an
+        overflow remainder whose deadline already passed is re-examined
+        in the same loop rather than deferred to the next poll.
         """
         batches = []
         with self._lock:
-            for fp in list(self._pending):
-                while True:
-                    q = self._pending.get(fp)
-                    if not q or now - q[0].arrival_s < self.flush_timeout_s:
-                        break
-                    batches.append(self._form(fp, now))
+            while True:
+                head = self._live_head()
+                if head is None or now - head[0] < self.flush_timeout_s:
+                    break
+                batches.append(self._form(head[2], now))
             return batches
 
     def next_deadline(self) -> float:
         """Earliest virtual time at which a timeout flush is due
         (``inf`` when nothing is pending)."""
         with self._lock:
-            arrivals = [q[0].arrival_s for q in self._pending.values() if q]
-            if not arrivals:
+            head = self._live_head()
+            if head is None:
                 return float("inf")
-            return min(arrivals) + self.flush_timeout_s
+            return head[0] + self.flush_timeout_s
 
     def flush(self, fingerprint: str, now: float) -> Batch | None:
         """Force-flush one matrix's pending requests."""
@@ -175,10 +201,32 @@ class RequestBatcher:
             return batches
 
     # ------------------------------------------------------------------
+    def _push_head(self, fingerprint: str, q: deque) -> None:
+        # caller holds the lock; q must be non-empty
+        self._seq += 1
+        heapq.heappush(self._heap, (q[0].arrival_s, self._seq, fingerprint))
+
+    def _live_head(self) -> tuple[float, int, str] | None:
+        """Discard stale heap entries; return the live top (or None).
+
+        An entry is live when its group still exists and its recorded
+        arrival matches the group's current head — any pop or re-form
+        since the push leaves the old entry behind as garbage.
+        """
+        # caller holds the lock
+        while self._heap:
+            arrival, _, fp = self._heap[0]
+            q = self._pending.get(fp)
+            if q and q[0].arrival_s == arrival:
+                return self._heap[0]
+            heapq.heappop(self._heap)
+        return None
+
     def _form(self, fingerprint: str, now: float) -> Batch:
         # caller holds the lock
         q = self._pending.pop(fingerprint)
         take = [q.popleft() for _ in range(min(self.max_batch, len(q)))]
         if q:  # overflow beyond max_batch stays pending
             self._pending[fingerprint] = q
+            self._push_head(fingerprint, q)
         return Batch(fingerprint=fingerprint, requests=take, formed_s=now)

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from .._util import ReproError, check, default_rng
+from ..core.delta import apply_delta_to_csr, random_delta
 from ..core.format import DASPMatrix
 from ..core.preprocess import traced_preprocess
 from ..core.spmm import mma_phase_fraction, mma_utilization, spmm_events
@@ -184,6 +185,18 @@ class WorkloadConfig:
         dedicated RNG stream (``seed + 13``), drawn only when the mix
         is nonzero — an SpMV-only workload stays bit-identical to the
         pre-mix driver.
+    update_mix / structural_frac / update_entries:
+        Dynamic-matrix traffic: ``update_mix`` is the fraction of
+        arrival slots that carry a matrix *delta* instead of a read —
+        the replica patches the resident plan through
+        :meth:`repro.serve.PlanRegistry.update` (advancing the version
+        chain; queued reads drain against their pinned version) rather
+        than rebuilding it.  ``structural_frac`` of the updates change
+        the sparsity pattern (:class:`repro.core.StructuralUpdate`);
+        the rest touch values only.  Deltas draw ``update_entries``
+        coordinates each from a dedicated RNG stream (``seed + 17``),
+        touched only when the mix is nonzero — a static workload stays
+        bit-identical to the pre-delta driver.
     """
 
     n_requests: int = 2000
@@ -212,6 +225,9 @@ class WorkloadConfig:
     warmer: WarmerConfig | bool = False
     spmm_mix: float = 0.0
     spmm_ks: tuple = (16, 32, 64)
+    update_mix: float = 0.0
+    structural_frac: float = 0.3
+    update_entries: int = 8
 
 
 def zipf_weights(n: int, s: float) -> np.ndarray:
@@ -676,10 +692,24 @@ class ReplicaSim:
         return traced_preprocess(csr, self.device, obs=self.obs,
                                  injector=self.injector, fingerprint=fp)
 
-    def plan_for(self, fp: str, csr):
+    def _batch_key(self, fp: str, batch) -> str:
+        """Registry/cost key for *batch*: the version its requests were
+        admitted against.  Static runs (version 0, no chain) keep the
+        bare fingerprint so every pre-delta code path — and its memo
+        keys — stays bit-identical."""
+        v = batch.requests[0].version if batch.requests else 0
+        if v == 0 and self.registry.version_of(fp) == 0:
+            return fp
+        return self.registry.versioned_key(fp, v)
+
+    def plan_for(self, fp: str, csr, *, key: str | None = None):
         """Fetch/build a plan, charging (and possibly failing) the
         preprocessing pass.  Raises on injected preprocess faults and
-        on plans over the cache budget."""
+        on plans over the cache budget.
+
+        ``key`` is the (possibly versioned) registry key; the bare
+        *fp* still names the matrix for the injector and traced spans.
+        """
         pre_cell: dict[str, float] = {}
 
         def build(matrix):
@@ -688,8 +718,9 @@ class ReplicaSim:
             return plan
 
         if self.cfg.plan_cache:
-            plan, source, load_s = self.registry.get_ex(csr, fingerprint=fp,
-                                                        builder=build)
+            plan, source, load_s = self.registry.get_ex(
+                csr, fingerprint=key if key is not None else fp,
+                builder=build)
             if source == "built":
                 pre = self._scaled(pre_cell.get("s", 0.0))
                 self.stats.observe_preprocess(pre)
@@ -707,6 +738,52 @@ class ReplicaSim:
         self.stats.observe_preprocess(pre)
         self.device_free += pre
         return plan
+
+    # ------------------------------------------------------------------
+    # dynamic matrices — delta application
+    # ------------------------------------------------------------------
+    def apply_update(self, fp: str, delta, now: float, *,
+                     persist: bool = True) -> int:
+        """Apply one matrix *delta* at virtual time *now*.
+
+        Pending reads for the matrix are fenced out of the batcher
+        first (they were admitted against the old version and must
+        execute against it), then the registry patches the resident
+        plan and advances the version chain; the modeled patch time
+        occupies the device timeline exactly like the rebuild it
+        replaces would.  ``persist=False`` suppresses the store delta
+        write — cluster replicas other than the matrix's home replica.
+
+        With the plan cache off there is no plan to patch: the
+        reference CSR evolves through
+        :func:`repro.core.apply_delta_to_csr` and the next batch's
+        rebuild pays the full preprocessing cost, which is exactly the
+        rebuild-per-update baseline the patch path is gated against.
+        Returns the new version (0 on the no-cache path).
+        """
+        fence = self.batcher.flush(fp, now)
+        if fence is not None:
+            self.enqueue([fence])
+        if not self.cfg.plan_cache:
+            self.csr_by_fp[fp] = apply_delta_to_csr(self.csr_by_fp[fp], delta)
+            kind = "structural" if hasattr(delta, "insert_rows") else "value"
+            self.obs.counter(f"delta.{kind}_total").inc()
+            return 0
+        with self.obs.span("plan.patch", attrs={"matrix": fp[:8]}
+                           if self.tracing else None) as sp:
+            version, info, plan = self.registry.update(
+                fp, delta, csr=self.csr_by_fp[fp], persist=persist)
+            patch_s = self._scaled(info.seconds(self.device))
+            sp.set_device_time(patch_s)
+            if self.tracing:
+                sp.set_attr("version", version)
+                sp.set_attr("kind", info.kind)
+        self.stats.observe_preprocess(patch_s)
+        self.device_free += patch_s
+        # keep the reference CSR at the head of the chain — the next
+        # delta is drawn against (and the fallback partitions) this
+        self.csr_by_fp[fp] = plan.csr
+        return version
 
     # ------------------------------------------------------------------
     # batch execution on the modeled device
@@ -770,7 +847,10 @@ class ReplicaSim:
         fp = batch.fingerprint
         with self.obs.span("fallback", attrs={"matrix": fp[:8]}
                            if self.tracing else None) as sp:
-            t, pre_s = self.fallback.modeled_cost(fp, self.csr_by_fp[fp],
+            # memoized per version key: the merge-CSR cost of an
+            # updated matrix must not reuse the pre-update partition
+            t, pre_s = self.fallback.modeled_cost(self._batch_key(fp, batch),
+                                                  self.csr_by_fp[fp],
                                                   batch.k)
             t, pre_s = self._scaled(t), self._scaled(pre_s)
             sp.set_device_time(t)
@@ -781,12 +861,21 @@ class ReplicaSim:
                     sp.child("preprocess", device_s=pre_s)
         self._finish(batch, start + t, t, 0.0, 0.0, degraded=True)
 
-    def _run_kernel_attempt(self, fp: str, plan, batch, attempt: int):
-        """One modeled kernel attempt inside a ``kernel`` span."""
+    def _run_kernel_attempt(self, fp: str, plan, batch, attempt: int,
+                            cost_key: str | None = None):
+        """One modeled kernel attempt inside a ``kernel`` span.
+
+        ``cost_key`` keys the memoized device model (a versioned key
+        once the matrix has a delta chain — patched plans must not
+        reuse pre-update modeled times); the bare *fp* still names the
+        matrix for the chaos injector, whose poison rules match bare
+        fingerprints.
+        """
         cfg, device, dtype = self.cfg, self.device, self.dtype
+        ck = cost_key if cost_key is not None else fp
         with self.obs.span("kernel", attrs={"attempt": attempt}
                            if self.tracing else None) as sp:
-            t, useful, issued = self.modeled.batch_cost(fp, plan, batch.k)
+            t, useful, issued = self.modeled.batch_cost(ck, plan, batch.k)
             t = self._scaled(t)
             fault: Exception | None = None
             extra_s = 0.0
@@ -824,11 +913,11 @@ class ReplicaSim:
                             ssp.child("irregular_csr",
                                       device_s=t_i * scale * (1.0 - frac_i))
                     else:
-                        frac = self.modeled.phase_fraction(fp, plan)
+                        frac = self.modeled.phase_fraction(ck, plan)
                         sp.child("regular_mma", device_s=total * frac)
                         sp.child("irregular_csr",
                                  device_s=total * (1.0 - frac))
-                    ev = self.modeled.events(fp, plan, batch.k)
+                    ev = self.modeled.events(ck, plan, batch.k)
                     for key, value in ev.as_attrs().items():
                         sp.set_attr(key, value)
         return t, useful, issued, extra_s, fault
@@ -872,8 +961,9 @@ class ReplicaSim:
                 self.stats.observe_failed(
                     self._terminal_count(batch.requests))
             return
+        key = self._batch_key(fp, batch)
         try:
-            plan = self.plan_for(fp, self.csr_by_fp[fp])
+            plan = self.plan_for(fp, self.csr_by_fp[fp], key=key)
         except ReproError:
             if self.injector is not None:
                 self.breaker.record_failure(fp, start)
@@ -885,11 +975,11 @@ class ReplicaSim:
             return
         if self.modeled.strategy_large_k and not isinstance(plan, ShardedPlan) \
                 and batch.k > plan.mma_shape.n:
-            strat = self.modeled.strategy(fp, plan, batch.k)
+            strat = self.modeled.strategy(key, plan, batch.k)
             self.stats.observe_spmm_large(strat.name)
         for attempt in range(cfg.retry.max_retries + 1):
             t, useful, issued, extra_s, fault = self._run_kernel_attempt(
-                fp, plan, batch, attempt)
+                fp, plan, batch, attempt, cost_key=key)
             start = max(self.device_free, batch.formed_s)
             if fault is None:
                 if self.injector is not None:
@@ -952,6 +1042,9 @@ class ReplicaSim:
         if len(self.backlog) >= self.cfg.queue_depth:
             self.stats.observe_rejected()
             return False
+        # pin the request to the matrix version current at admission;
+        # updates landing while it queues must not change its answer
+        req.version = self.registry.version_of(req.fingerprint)
         if self._warmer is not None:
             self._warmer.observe(req.fingerprint)
             self._warm_tick(now)
@@ -1024,6 +1117,7 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
     """
     check(cfg.n_requests >= 1, "n_requests must be >= 1")
     check(0.0 <= cfg.spmm_mix <= 1.0, "spmm_mix must be in [0, 1]")
+    check(0.0 <= cfg.update_mix < 1.0, "update_mix must be in [0, 1)")
     if obs is None or not obs.enabled:
         obs = Obs()
     device = get_device(cfg.device)
@@ -1068,6 +1162,13 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
         is_spmm = spmm_rng.random(cfg.n_requests) < cfg.spmm_mix
         k_idx = spmm_rng.integers(0, len(cfg.spmm_ks), size=cfg.n_requests)
 
+    # Delta traffic draws from its own stream (seed+17), touched only
+    # when the mix is on — update_mix=0 runs stay bit-identical.
+    is_update = delta_rng = None
+    if cfg.update_mix > 0.0:
+        delta_rng = default_rng(cfg.seed + 17)
+        is_update = delta_rng.random(cfg.n_requests) < cfg.update_mix
+
     deadline_for = (lambda now: now + cfg.deadline_s) \
         if cfg.deadline_s is not None else (lambda now: float("inf"))
 
@@ -1075,6 +1176,14 @@ def run_workload(cfg: WorkloadConfig, *, obs: Obs | None = None) -> ServerStats:
         now = float(arrivals[i])
         replica.advance_to(now)
         _, fp, csr = pool[choices[i]]
+        if is_update is not None and is_update[i]:
+            # this arrival slot carries a delta, not a read
+            structural = bool(delta_rng.random() < cfg.structural_frac)
+            d = random_delta(replica.csr_by_fp[fp], delta_rng,
+                             structural=structural,
+                             n_entries=cfg.update_entries)
+            replica.apply_update(fp, d, now)
+            continue
         if is_spmm is not None and is_spmm[i]:
             k = int(cfg.spmm_ks[k_idx[i]])
             X = xblocks.get((fp, k))

@@ -94,6 +94,7 @@ class PlanRegistry:
 
         check(budget_bytes >= 0, "budget_bytes must be non-negative")
         self.budget_bytes = int(budget_bytes)
+        self.device = device
         self.fault_injector = fault_injector
         if obs is None or not obs.enabled:
             obs = Obs()
@@ -114,6 +115,12 @@ class PlanRegistry:
         self._load_modeled = obs.counter(
             "serve.plan_cache.load_modeled_seconds_total")
         self._oversized = obs.counter("serve.plan_cache.oversized_total")
+        self._delta_value = obs.counter("delta.value_total")
+        self._delta_structural = obs.counter("delta.structural_total")
+        self._delta_compaction = obs.counter("delta.compaction_total")
+        self._patch_modeled = obs.counter("delta.patch_modeled_seconds_total")
+        self._rebuild_modeled = obs.counter(
+            "delta.rebuild_modeled_seconds_total")
         self._bytes = obs.gauge("serve.plan_cache.bytes")
         self._plans: OrderedDict[str, tuple[DASPMatrix, int]] = OrderedDict()
         # Bytes resident in *this* registry.  The gauge above is only a
@@ -130,6 +137,9 @@ class PlanRegistry:
         # of each running the expensive conversion (dogpile).
         self._building: set[str] = set()
         self._build_cond = threading.Condition(self._lock)
+        # MatrixVersion chain: base fingerprint -> current version (0 =
+        # the original build; version v lives under key "fp@v{v}").
+        self._versions: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # counter facades (assignable for compatibility, e.g. rate probes
@@ -181,13 +191,50 @@ class PlanRegistry:
         self._bytes.inc(delta)
 
     # ------------------------------------------------------------------
+    # MatrixVersion chain (repro.core.delta)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def split_version(key: str) -> tuple[str, int | None]:
+        """``"fp@v3" -> ("fp", 3)``; a bare key returns ``(key, None)``.
+
+        ``None`` (no suffix) means *current* — distinct from an explicit
+        ``"fp@v0"``, which pins the original pre-update version for a
+        drain even after the chain has advanced."""
+        base, sep, v = key.partition("@v")
+        return (base, int(v)) if sep else (key, None)
+
+    @staticmethod
+    def versioned_key(base: str, version: int) -> str:
+        return base if version == 0 else f"{base}@v{int(version)}"
+
+    def version_of(self, fingerprint: str) -> int:
+        """Current version of a base fingerprint (0 until updated) —
+        the figure the serving layer stamps onto requests at submit
+        time (the version fence)."""
+        base, _ = self.split_version(fingerprint)
+        with self._lock:
+            return self._versions.get(base, 0)
+
+    def _resolve(self, base: str, req_version: int | None) -> str:
+        """Map a requested key to a cache key (caller holds the lock).
+
+        An unversioned request (``None``) means *current* — after an
+        update, a pre-update plan can never satisfy it; an explicitly
+        versioned request (a drain against a retained old version,
+        including ``@v0``) resolves to exactly that key."""
+        if req_version is not None:
+            return self.versioned_key(base, req_version)
+        return self.versioned_key(base, self._versions.get(base, 0))
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:
             return len(self._plans)
 
     def __contains__(self, fingerprint: str) -> bool:
+        base, req_v = self.split_version(fingerprint)
         with self._lock:
-            return fingerprint in self._plans
+            return self._resolve(base, req_v) in self._plans
 
     def get(self, csr, *, fingerprint: str | None = None,
             builder=None) -> tuple[DASPMatrix, bool]:
@@ -234,9 +281,11 @@ class PlanRegistry:
         A corrupt artifact is quarantined by the store and falls
         through to a fresh build.
         """
-        key = fingerprint if fingerprint is not None else matrix_fingerprint(csr)
+        req = fingerprint if fingerprint is not None else matrix_fingerprint(csr)
+        base, req_v = self.split_version(req)
         with self._lock:
             while True:
+                key = self._resolve(base, req_v)
                 entry = self._plans.get(key)
                 if entry is not None:
                     self._plans.move_to_end(key)
@@ -248,7 +297,7 @@ class PlanRegistry:
                     return None, "pending", 0.0
                 self._build_cond.wait()
             if load_only and (self.store is None
-                              or not self.store.contains(key)):
+                              or not self.store.contains(base)):
                 return None, "absent", 0.0
             self._building.add(key)
             if not load_only:
@@ -257,10 +306,22 @@ class PlanRegistry:
         # must not serialize concurrent misses on other matrices.
         try:
             if self.store is not None:
-                loaded = self._load_from_store(key, gate=not load_only)
+                # Pin the load to the version the request resolved to;
+                # a bare base key (no local chain yet) loads whatever
+                # the store reconstructs and adopts its version below.
+                want = (req_v if req_v is not None
+                        else self.split_version(key)[1])
+                loaded = self._load_from_store(
+                    base, want_version=want, gate=not load_only)
                 if loaded is not None:
-                    plan, load_s = loaded
-                    self._insert(key, plan)
+                    plan, load_s, stored_v = loaded
+                    actual = self.versioned_key(base, stored_v)
+                    with self._lock:
+                        # Version-aware warm-up: a fresh registry over a
+                        # shared store adopts the store's current chain.
+                        if stored_v > self._versions.get(base, 0):
+                            self._versions[base] = stored_v
+                    self._insert(actual, plan)
                     return plan, "store", load_s
             if load_only:
                 return None, "absent", 0.0
@@ -298,11 +359,39 @@ class PlanRegistry:
             return None
         return self.store.load_aux(fingerprint)
 
-    def _load_from_store(self, key: str, *, gate: bool = True):
-        """One traced disk-tier load attempt (inside single-flight)."""
-        attrs = {"matrix": key[:8]} if self.obs.tracing else None
+    def _store_version(self, base: str) -> int | None:
+        """Version the store would reconstruct for *base* (header-only
+        peek — no payload read), or ``None`` when absent/corrupt."""
+        header = self.store.peek_header(base)
+        if header is None:
+            return None
+        names = header.get("aux") or []
+        deltas = [int(n.split(".")[1]) for n in names
+                  if n.startswith("delta.") and n != "delta.base"]
+        if deltas:
+            return max(deltas)
+        if "delta.base" in names:
+            state = self.store.delta_state(base)
+            return state[0] if state is not None else None
+        return 0
+
+    def _load_from_store(self, base: str, *, want_version: int | None = None,
+                         gate: bool = True):
+        """One traced disk-tier load attempt (inside single-flight).
+
+        Returns ``(plan, load_s, stored_version)`` or ``None``.  A
+        pinned request (``want_version`` not ``None``) only succeeds
+        when the store reconstructs exactly that version — a divergent
+        chain (deltas not yet persisted here) falls through to a
+        rebuild from the caller's current CSR."""
+        attrs = {"matrix": base[:8]} if self.obs.tracing else None
         with self.obs.span("plan.load", attrs=attrs) as sp:
-            got = self.store.load(key, gate=gate)
+            stored_v = self._store_version(base)
+            if stored_v is None:
+                return None
+            if want_version is not None and stored_v != want_version:
+                return None
+            got = self.store.load(base, gate=gate)
             if got is None:
                 return None
             plan, load_s = got
@@ -311,12 +400,152 @@ class PlanRegistry:
             sp.set_device_time(load_s)
             if self.obs.tracing:
                 sp.set_attr("modeled_s", load_s)
-        return plan, load_s
+        return plan, load_s, stored_v
+
+    def update(self, fingerprint: str, delta, *, csr=None,
+               persist: bool = True):
+        """Advance *fingerprint*'s version chain by applying *delta*.
+
+        Patches the current plan instead of rebuilding: value updates
+        patch a **clone** of the resident plan (in-flight requests
+        pinned to the old version drain against unmodified slabs),
+        structural updates reclassify only the touched rows into the
+        patch overlay.  The new plan lands under ``fp@v{n+1}``; the
+        immediately preceding version is retained in RAM for drains and
+        anything older is retired.  With a store configured the delta is
+        persisted as a CRC-checked ``aux.delta.*`` record *before* the
+        version becomes visible, so a crash between the two leaves
+        readers on the old, fully consistent version.
+
+        ``csr`` (the **pre**-update CSR) is the rebuild fallback when
+        the current plan is neither cached nor loadable.
+        ``persist=False`` skips the store write — cluster replicas that
+        share one store directory designate a single *home* replica as
+        the delta writer, since concurrent ``put_delta`` calls would
+        trip the version-contiguity check.  Returns
+        ``(new_version, PatchInfo, new_plan)``.
+
+        Rides the single-flight machinery on the *new* key: concurrent
+        readers of the old key proceed untouched, while readers that
+        already resolved to the new version block until it lands.
+        """
+        from ..core.delta import (ValueUpdate, apply_update, clone_for_patch,
+                                  rebuild_events)
+        from ..gpu.cost_model import estimate_preprocess_time
+
+        base, req_v = self.split_version(fingerprint)
+        check(not req_v,
+              "update() takes a base fingerprint, not a versioned key")
+        with self._lock:
+            while True:
+                cur_v = self._versions.get(base, 0)
+                cur_key = self.versioned_key(base, cur_v)
+                new_key = self.versioned_key(base, cur_v + 1)
+                if (cur_key not in self._building
+                        and new_key not in self._building):
+                    break
+                self._build_cond.wait()
+            self._building.add(new_key)
+            entry = self._plans.get(cur_key)
+            plan = entry[0] if entry is not None else None
+        try:
+            if plan is None and self.store is not None:
+                loaded = self._load_from_store(base, want_version=cur_v,
+                                               gate=False)
+                if loaded is not None:
+                    plan = loaded[0]
+            if plan is None:
+                if csr is None:
+                    raise KeyError(
+                        f"no current plan for {base[:8]}… and no csr= "
+                        f"fallback to rebuild from")
+                plan = DASPMatrix.from_csr(csr)
+            work = (clone_for_patch(plan) if isinstance(delta, ValueUpdate)
+                    else plan)
+            new_plan, info = apply_update(work, delta)
+            new_v = cur_v + 1
+            if self.store is not None and persist:
+                self.store.put_delta(base, new_v, delta, seed_plan=plan)
+            with self._lock:
+                self._versions[base] = new_v
+            self._insert(new_key, new_plan)
+            if isinstance(delta, ValueUpdate):
+                self._delta_value.inc()
+            else:
+                self._delta_structural.inc()
+            if info.compacted:
+                self._delta_compaction.inc()
+            self._patch_modeled.inc(info.seconds(self.device))
+            self._rebuild_modeled.inc(estimate_preprocess_time(
+                rebuild_events(new_plan), self.device))
+            self._retire_versions(base, keep_min=new_v - 1)
+            return new_v, info, new_plan
+        finally:
+            with self._lock:
+                self._building.discard(new_key)
+                self._build_cond.notify_all()
+
+    def _retire_versions(self, base: str, *, keep_min: int) -> None:
+        """Drop RAM entries of *base*'s chain older than *keep_min*.
+
+        Retirement is version lifecycle, not cache pressure: it counts
+        as neither an eviction nor a spill (versioned entries are
+        reconstructable from the base artifact's delta chain).
+        """
+        with self._lock:
+            stale = [k for k in self._plans
+                     if self.split_version(k)[0] == base
+                     and (self.split_version(k)[1] or 0) < keep_min]
+            for k in stale:
+                _, nbytes = self._plans.pop(k)
+                self._account(-nbytes)
+
+    def rollback(self, fingerprint: str, version: int):
+        """Roll *fingerprint*'s chain back to *version* (cheap undo).
+
+        The store is the source of truth for retained deltas, so a
+        store is required; it truncates its ``aux.delta.*`` records
+        first (while the payload is pristine) and replays the survivors.
+        Newer RAM entries are dropped so no lookup can resolve past the
+        rollback point.  Returns the plan at *version*, or ``None`` when
+        the store cannot reach it (outside the retained window).
+        """
+        check(self.store is not None,
+              "rollback requires a store (deltas are not retained in RAM)")
+        base, _ = self.split_version(fingerprint)
+        target = self.versioned_key(base, version)
+        with self._lock:
+            while target in self._building:
+                self._build_cond.wait()
+            self._building.add(target)
+        try:
+            got = self.store.rollback(base, version)
+            if got is None:
+                return None
+            plan = got[0]
+            with self._lock:
+                self._versions[base] = version
+                stale = [k for k in self._plans
+                         if self.split_version(k)[0] == base
+                         and (self.split_version(k)[1] or 0) > version]
+                for k in stale:
+                    _, nbytes = self._plans.pop(k)
+                    self._account(-nbytes)
+            self._insert(target, plan)
+            return plan
+        finally:
+            with self._lock:
+                self._building.discard(target)
+                self._build_cond.notify_all()
 
     def peek(self, fingerprint: str) -> DASPMatrix | None:
-        """Return a cached plan without touching LRU order or counters."""
+        """Return a cached plan without touching LRU order or counters.
+
+        Version-resolved like every lookup: an unversioned fingerprint
+        peeks at the *current* version of its chain."""
+        base, req_v = self.split_version(fingerprint)
         with self._lock:
-            entry = self._plans.get(fingerprint)
+            entry = self._plans.get(self._resolve(base, req_v))
             return entry[0] if entry is not None else None
 
     def effective_budget(self) -> int:
@@ -339,16 +568,23 @@ class PlanRegistry:
         """
         nbytes = plan_nbytes(plan)
         budget = self.effective_budget()
+        # Versioned plans never write through as standalone artifacts:
+        # update() persists the chain as aux.delta.* records on the base
+        # fingerprint (via PlanStore.put_delta), and the store replays
+        # them on load — a "fp@v3" artifact would shadow that channel.
+        versioned = "@v" in fingerprint
         if nbytes > budget:
             if self.store is not None:
                 self._oversized.inc()
-                self.store.put(fingerprint, plan, overwrite=False)
+                if not versioned:
+                    self.store.put(fingerprint, plan, overwrite=False)
                 return
             raise PlanTooLargeError(
                 f"plan {fingerprint[:8]}… needs {nbytes:,} bytes, over the "
                 f"{budget:,}-byte cache budget")
         self._insert(fingerprint, plan, nbytes=nbytes, budget=budget)
-        if self.store is not None and fingerprint not in self.store:
+        if (self.store is not None and not versioned
+                and fingerprint not in self.store):
             self.store.put(fingerprint, plan, overwrite=False)
 
     def _insert(self, fingerprint: str, plan, *, nbytes: int | None = None,
@@ -388,7 +624,10 @@ class PlanRegistry:
         # atomic.
         if self.store is not None:
             for fp, ev_plan in evicted:
-                if fp not in self.store:
+                # Versioned entries are reconstructable from the base
+                # artifact's delta chain — spilling them would create
+                # shadow artifacts the store never garbage-collects.
+                if "@v" not in fp and fp not in self.store:
                     self.store.put(fp, ev_plan, overwrite=False)
                     self._spills.inc()
 

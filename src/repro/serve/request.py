@@ -72,6 +72,11 @@ class SpMVRequest:
     #: second replica); its completion never counts as a user-visible
     #: outcome unless it wins the pair.
     shadow: bool = False
+    #: Matrix version this request was admitted against (stamped from
+    #: the plan registry's version chain).  Requests already queued when
+    #: an update lands keep draining against their pinned version; 0 is
+    #: the original build, so static workloads never see the field.
+    version: int = 0
 
     @property
     def width(self) -> int:
@@ -112,6 +117,8 @@ class SpMMRequest:
     completion_s: float = float("nan")
     pair: object | None = None
     shadow: bool = False
+    #: Matrix version at admission (see :class:`SpMVRequest.version`).
+    version: int = 0
 
     @property
     def width(self) -> int:

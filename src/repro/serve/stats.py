@@ -65,6 +65,11 @@ _COUNTER_METRICS = {
     "warm_failed": ("pipeline.warm_failed_total", True),
     "reorder_loaded": ("spmm.reorder.loaded_total", True),
     "reorder_derived": ("spmm.reorder.derived_total", True),
+    "delta_value_updates": ("delta.value_total", True),
+    "delta_structural_updates": ("delta.structural_total", True),
+    "delta_compactions": ("delta.compaction_total", True),
+    "delta_patch_modeled_s": ("delta.patch_modeled_seconds_total", False),
+    "delta_rebuild_modeled_s": ("delta.rebuild_modeled_seconds_total", False),
 }
 
 
@@ -365,6 +370,16 @@ class ServerStats:
                 rows.append(("reorder perm loaded / derived",
                              f"{self.reorder_loaded:,} "
                              f"/ {self.reorder_derived:,}"))
+        if self.delta_value_updates or self.delta_structural_updates:
+            rows += [
+                ("matrix updates value / structural / compactions",
+                 f"{self.delta_value_updates:,} "
+                 f"/ {self.delta_structural_updates:,} "
+                 f"/ {self.delta_compactions:,}"),
+                ("modeled patch vs rebuild-per-update",
+                 f"{self.delta_patch_modeled_s * 1e3:.3f} ms vs "
+                 f"{self.delta_rebuild_modeled_s * 1e3:.3f} ms"),
+            ]
         if (self.admission_admitted or self.admission_rejected
                 or self.hedges_issued or self.retry_budget_granted
                 or self.retry_budget_denied):

@@ -41,7 +41,7 @@ from .artifact import (
     save_artifact,
     verify_artifact,
 )
-from .store import PlanStore, fingerprint_csr
+from .store import DELTA_RETAIN, PlanStore, fingerprint_csr
 from .tier import (
     DISK_BW,
     OPEN_OVERHEAD_S,
@@ -54,6 +54,7 @@ __all__ = [
     "ALIGN",
     "AUX_PREFIX",
     "ArtifactError",
+    "DELTA_RETAIN",
     "DISK_BW",
     "EXTENSION",
     "FORMAT_VERSION",

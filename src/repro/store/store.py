@@ -69,6 +69,11 @@ _ROOT_LOCKS_GUARD = threading.Lock()
 # collide on in-flight write names (the pid alone no longer suffices)
 _TMP_SEQ = itertools.count(1)
 
+#: How many ``aux.delta.*`` records an artifact retains before the
+#: oldest deltas are folded forward into the plan payload (gc of
+#: superseded versions).  Retained deltas are the rollback window.
+DELTA_RETAIN = 8
+
 
 def _root_lock(root: Path) -> threading.RLock:
     key = str(root.resolve())
@@ -146,6 +151,10 @@ class PlanStore:
         self._quarantined = obs.counter("store.quarantined_total")
         self._gc_removed = obs.counter("store.gc_removed_total")
         self._load_seconds = obs.counter("store.load_seconds_total")
+        self._delta_writes = obs.counter("store.delta_writes_total")
+        self._delta_replayed = obs.counter("store.delta_replayed_total")
+        self._delta_folded = obs.counter("store.delta_folded_total")
+        self._rollbacks = obs.counter("store.rollbacks_total")
         self._bytes = obs.gauge("store.bytes")
         self._bytes.set(self.nbytes())
 
@@ -257,6 +266,19 @@ class PlanStore:
                         return None
                 plan, header = load_artifact(path, mmap=mmap, verify=True,
                                              fingerprint=fingerprint)
+                if any(n.startswith("delta.") for n in header.get("aux") or ()):
+                    # Versioned artifact: the payload is the *base*
+                    # version — replay the retained aux.delta.* records
+                    # to reach the current one.  Patching mutates value
+                    # slabs, so a memmapped (read-only) payload is
+                    # re-read as private copies first.
+                    if mmap:
+                        plan, header = load_artifact(path, mmap=False,
+                                                     verify=True,
+                                                     fingerprint=fingerprint)
+                    plan, replay_s = self._replay_deltas(plan, read_aux(path))
+                else:
+                    replay_s = 0.0
             except FileNotFoundError:
                 # removed by another *process* (in-process removers hold
                 # this lock): absence, not corruption — rebuild from CSR
@@ -272,7 +294,7 @@ class PlanStore:
                 pass
         self._hits.inc()
         self._load_seconds.inc(time.perf_counter() - t0)
-        return plan, modeled_load_time(header, self.device)
+        return plan, modeled_load_time(header, self.device) + replay_s
 
     def load_aux(self, fingerprint: str) -> dict | None:
         """Auxiliary arrays of a published artifact, or ``None``.
@@ -297,6 +319,150 @@ class PlanStore:
     def verify(self, fingerprint: str) -> dict:
         """Full CRC verification of one artifact (raises on failure)."""
         return verify_artifact(self.path_for(fingerprint))
+
+    # ------------------------------------------------------------------
+    # delta records (repro.core.delta) — versioned artifacts
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_delta_aux(aux: dict) -> tuple[int, list[int]]:
+        """``(base_version, sorted retained delta versions)``."""
+        base = (int(np.asarray(aux["delta.base"])[0])
+                if "delta.base" in aux else 0)
+        versions = sorted({int(n.split(".")[1]) for n in aux
+                           if n.startswith("delta.") and n != "delta.base"})
+        return base, versions
+
+    @staticmethod
+    def _delta_arrays(aux: dict, version: int) -> dict:
+        prefix = f"delta.{version}."
+        return {n[len(prefix):]: arr for n, arr in aux.items()
+                if n.startswith(prefix)}
+
+    def delta_state(self, fingerprint: str) -> tuple[int, list[int]] | None:
+        """``(base_version, retained delta versions)`` of a published
+        artifact, or ``None`` when absent/corrupt."""
+        aux = self.load_aux(fingerprint)
+        if aux is None:
+            return None
+        return self._parse_delta_aux(aux)
+
+    def current_version(self, fingerprint: str) -> int | None:
+        """Version :meth:`load` reconstructs — the newest retained
+        delta, or the payload's base version."""
+        state = self.delta_state(fingerprint)
+        if state is None:
+            return None
+        base, versions = state
+        return versions[-1] if versions else base
+
+    def _replay_deltas(self, plan, aux: dict, *,
+                       upto: int | None = None):
+        """Apply retained delta records to a freshly loaded payload.
+
+        Returns ``(plan_at_version, modeled_patch_seconds)``.
+        """
+        from ..core.delta import apply_update, delta_from_arrays
+        from ..gpu.device import get_device
+
+        base, versions = self._parse_delta_aux(aux)
+        dev = get_device(self.device)
+        patch_s = 0.0
+        for v in versions:
+            if upto is not None and v > upto:
+                break
+            delta = delta_from_arrays(self._delta_arrays(aux, v))
+            plan, info = apply_update(plan, delta)
+            patch_s += info.seconds(dev)
+            self._delta_replayed.inc()
+        return plan, patch_s
+
+    def put_delta(self, fingerprint: str, version: int, delta, *,
+                  seed_plan=None, retain: int = DELTA_RETAIN) -> Path | None:
+        """Append a CRC-checked ``aux.delta.{version}.*`` record to
+        *fingerprint*'s artifact.
+
+        The plan payload stays at its base version; :meth:`load`
+        replays the retained deltas to reconstruct the current one.
+        When more than *retain* deltas accumulate, the oldest are
+        folded forward into the payload and their records dropped (gc
+        of superseded versions — the remaining window is what
+        :meth:`rollback` can reach).  With ``seed_plan`` an absent
+        artifact is first published at ``version - 1``.  Returns the
+        artifact path, or ``None`` when absent and no seed was given.
+        """
+        from ..core.delta import (apply_update, consolidate_plan,
+                                  delta_from_arrays, delta_to_arrays)
+
+        record = {f"delta.{version}.{n}": np.asarray(a)
+                  for n, a in delta_to_arrays(delta).items()}
+        with self._lock:
+            path = self.path_for(fingerprint)
+            if not path.exists():
+                if seed_plan is None:
+                    return None
+                aux = {"delta.base": np.array([version - 1], dtype=np.int64)}
+                aux.update(record)
+                self._delta_writes.inc()
+                return self.put(fingerprint, consolidate_plan(seed_plan),
+                                aux=aux)
+            try:
+                plan, _ = load_artifact(path, mmap=False, verify=True,
+                                        fingerprint=fingerprint)
+                aux = read_aux(path)
+            except ArtifactError as exc:
+                self._load_failures.inc()
+                self.quarantine(fingerprint, str(exc))
+                return None
+            base, versions = self._parse_delta_aux(aux)
+            current = versions[-1] if versions else base
+            check(version == current + 1,
+                  f"non-contiguous delta version {version} (current {current})")
+            aux.update(record)
+            versions.append(version)
+            while len(versions) > max(0, int(retain)):
+                v0 = versions.pop(0)
+                folded = delta_from_arrays(self._delta_arrays(aux, v0))
+                plan, _ = apply_update(plan, folded)
+                for n in list(aux):
+                    if n.startswith(f"delta.{v0}."):
+                        del aux[n]
+                base = v0
+                self._delta_folded.inc()
+            aux["delta.base"] = np.array([base], dtype=np.int64)
+            self._delta_writes.inc()
+            return self.put(fingerprint, consolidate_plan(plan), aux=aux)
+
+    def rollback(self, fingerprint: str, version: int):
+        """Truncate the artifact back to *version* and return
+        ``(plan_at_version, modeled_seconds)``, or ``None`` when the
+        artifact is absent or *version* is outside the retained window
+        (older than the folded base or newer than the last delta)."""
+        with self._lock:
+            path = self.path_for(fingerprint)
+            if not path.exists():
+                return None
+            try:
+                plan, header = load_artifact(path, mmap=False, verify=True,
+                                             fingerprint=fingerprint)
+                aux = read_aux(path)
+            except ArtifactError as exc:
+                self._load_failures.inc()
+                self.quarantine(fingerprint, str(exc))
+                return None
+            base, versions = self._parse_delta_aux(aux)
+            if not (base <= version <= (versions[-1] if versions else base)):
+                return None
+            kept = {n: a for n, a in aux.items()
+                    if not n.startswith("delta.")
+                    or n == "delta.base"
+                    or int(n.split(".")[1]) <= version}
+            if len(kept) != len(aux):
+                # Rewrite first, while the payload is still pristine —
+                # replay below mutates it in place.
+                self.put(fingerprint, plan, aux=kept)
+            plan, patch_s = self._replay_deltas(plan, kept, upto=version)
+        self._rollbacks.inc()
+        return plan, patch_s
 
     # ------------------------------------------------------------------
     # hygiene
@@ -376,4 +542,8 @@ class PlanStore:
             "quarantined": int(self._quarantined.value),
             "gc_removed": int(self._gc_removed.value),
             "load_seconds": float(self._load_seconds.value),
+            "delta_writes": int(self._delta_writes.value),
+            "delta_replayed": int(self._delta_replayed.value),
+            "delta_folded": int(self._delta_folded.value),
+            "rollbacks": int(self._rollbacks.value),
         }

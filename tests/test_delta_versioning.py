@@ -1,0 +1,257 @@
+"""MatrixVersion chain: registry updates, delta persistence, rollback.
+
+The serving-side contract for dynamic matrices:
+
+* ``PlanRegistry.update`` advances ``fp -> fp@v{n}`` by *patching*, and
+  an unversioned lookup can never again observe a pre-update plan (the
+  stale-version regression test);
+* in-flight requests pinned to an old version keep draining against it
+  untouched;
+* ``PlanStore`` persists deltas as CRC-checked ``aux.delta.*`` records,
+  replays them on load (including after a process restart), folds old
+  records past the retention window, and rolls back cheaply;
+* all of it is *bitwise* equivalent to rebuilding from the updated CSR
+  — including sharded plans and stored/reloaded plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DASPMatrix,
+    StructuralUpdate,
+    ValueUpdate,
+    apply_structural_to_csr,
+    apply_update,
+    clone_for_patch,
+    dasp_spmv,
+    random_delta,
+)
+from repro.serve.plan_cache import PlanRegistry, matrix_fingerprint
+from repro.shard import build_sharded_plan
+from repro.store import DELTA_RETAIN, PlanStore
+
+from .conftest import ROW_PROFILES, random_csr
+from .test_delta import apply_to_dense, from_dense, to_dense
+
+
+@pytest.fixture
+def matrix(rng):
+    return random_csr(80, 400, rng, row_len_sampler=ROW_PROFILES["mixed"])
+
+
+def evolve(csr, delta):
+    """Reference CSR after *delta* (canonical sorted construction)."""
+    dense = to_dense(csr)
+    apply_to_dense(dense, delta)
+    return from_dense(dense)
+
+
+class TestRegistryVersionChain:
+    def test_update_advances_and_matches_rebuild(self, matrix, rng, tmp_path):
+        reg = PlanRegistry(store=PlanStore(tmp_path))
+        fp = matrix_fingerprint(matrix)
+        reg.get(matrix, fingerprint=fp)
+        x = rng.standard_normal(matrix.shape[1])
+        csr = matrix
+        for i in range(1, 6):
+            d = random_delta(csr, rng, structural=i % 2 == 0, n_entries=9)
+            v, info, plan = reg.update(fp, d)
+            assert v == i == reg.version_of(fp)
+            csr = evolve(csr, d)
+            assert np.array_equal(dasp_spmv(plan, x),
+                                  dasp_spmv(DASPMatrix.from_csr(csr), x))
+
+    def test_stale_version_never_served(self, matrix, rng):
+        """Regression: after a StructuralUpdate advances the chain, an
+        unversioned (current) read must never get the pre-update plan —
+        not from RAM, not via peek, not via ``in``."""
+        reg = PlanRegistry()  # RAM-only: the pre-update plan stays cached
+        fp = matrix_fingerprint(matrix)
+        old_plan, _ = reg.get(matrix, fingerprint=fp)
+        d = random_delta(matrix, rng, structural=True, n_entries=10)
+        v, _, new_plan = reg.update(fp, d)
+        assert v == 1
+        got, source, _ = reg.get_ex(None, fingerprint=fp)
+        assert got is new_plan and source == "ram"
+        assert reg.peek(fp) is new_plan
+        # the old version is still addressable — but only explicitly
+        assert reg.peek(fp + "@v0") is old_plan
+        x = rng.standard_normal(matrix.shape[1])
+        csr1 = evolve(matrix, d)
+        assert np.array_equal(dasp_spmv(got, x),
+                              dasp_spmv(DASPMatrix.from_csr(csr1), x))
+
+    def test_old_version_drains_unmodified(self, matrix, rng):
+        reg = PlanRegistry()
+        fp = matrix_fingerprint(matrix)
+        old_plan, _ = reg.get(matrix, fingerprint=fp)
+        x = rng.standard_normal(matrix.shape[1])
+        y0 = dasp_spmv(old_plan, x)
+        reg.update(fp, random_delta(matrix, rng, n_entries=25))
+        drained, source, _ = reg.get_ex(None, fingerprint=fp + "@v0")
+        assert source == "ram"
+        assert np.array_equal(dasp_spmv(drained, x), y0), \
+            "value update leaked into the drained pre-update plan"
+
+    def test_only_previous_version_retained(self, matrix, rng):
+        reg = PlanRegistry()
+        fp = matrix_fingerprint(matrix)
+        reg.get(matrix, fingerprint=fp)
+        csr = matrix
+        for _ in range(3):
+            d = random_delta(csr, rng, n_entries=5)
+            reg.update(fp, d)
+            csr = evolve(csr, d)
+        assert reg.peek(fp + "@v3") is not None
+        assert reg.peek(fp + "@v2") is not None   # drain window
+        assert reg.peek(fp + "@v1") is None       # retired
+        assert reg.peek(fp + "@v0") is None
+
+    def test_update_requires_plan_or_csr(self, matrix, rng):
+        reg = PlanRegistry()  # nothing cached, no store
+        fp = matrix_fingerprint(matrix)
+        d = random_delta(matrix, rng, n_entries=3)
+        with pytest.raises(KeyError):
+            reg.update(fp, d)
+        v, info, plan = reg.update(fp, d, csr=matrix)  # rebuild fallback
+        assert v == 1 and plan is not None
+
+    def test_counters(self, matrix, rng):
+        reg = PlanRegistry()
+        fp = matrix_fingerprint(matrix)
+        reg.get(matrix, fingerprint=fp)
+        csr = matrix
+        for structural in (False, True, False):
+            d = random_delta(csr, rng, structural=structural, n_entries=6)
+            reg.update(fp, d)
+            csr = evolve(csr, d)
+        assert reg.obs.counter("delta.value_total").value == 2
+        assert reg.obs.counter("delta.structural_total").value == 1
+        patch = reg.obs.counter("delta.patch_modeled_seconds_total").value
+        rebuild = reg.obs.counter("delta.rebuild_modeled_seconds_total").value
+        assert 0 < patch < rebuild
+
+
+class TestStoreDeltaPersistence:
+    def test_replay_on_load_after_restart(self, matrix, rng, tmp_path):
+        reg = PlanRegistry(store=PlanStore(tmp_path))
+        fp = matrix_fingerprint(matrix)
+        reg.get(matrix, fingerprint=fp)
+        x = rng.standard_normal(matrix.shape[1])
+        csr = matrix
+        for i in range(4):
+            d = random_delta(csr, rng, structural=i % 2 == 1, n_entries=8)
+            reg.update(fp, d)
+            csr = evolve(csr, d)
+        # "restart": a fresh registry over the same store directory
+        reg2 = PlanRegistry(store=PlanStore(tmp_path))
+        plan, source, load_s = reg2.get_ex(None, fingerprint=fp,
+                                           load_only=True)
+        assert source == "store" and load_s > 0
+        assert reg2.version_of(fp) == 4, "store version not adopted"
+        assert np.array_equal(dasp_spmv(plan, x),
+                              dasp_spmv(DASPMatrix.from_csr(csr), x)), \
+            "replayed plan != rebuild of updated CSR"
+
+    def test_retention_folds_old_deltas(self, matrix, rng, tmp_path):
+        store = PlanStore(tmp_path)
+        reg = PlanRegistry(store=store)
+        fp = matrix_fingerprint(matrix)
+        reg.get(matrix, fingerprint=fp)
+        csr = matrix
+        n_updates = DELTA_RETAIN + 4
+        for _ in range(n_updates):
+            d = random_delta(csr, rng, n_entries=5)
+            reg.update(fp, d)
+            csr = evolve(csr, d)
+        base, versions = store.delta_state(fp)
+        assert len(versions) == DELTA_RETAIN
+        assert base == n_updates - DELTA_RETAIN
+        assert store.current_version(fp) == n_updates
+        assert store.snapshot()["delta_folded"] == n_updates - DELTA_RETAIN
+
+    def test_rollback_window(self, matrix, rng, tmp_path):
+        store = PlanStore(tmp_path)
+        reg = PlanRegistry(store=store)
+        fp = matrix_fingerprint(matrix)
+        reg.get(matrix, fingerprint=fp)
+        x = rng.standard_normal(matrix.shape[1])
+        csr = matrix
+        history = [csr]
+        for i in range(5):
+            d = random_delta(csr, rng, structural=i == 2, n_entries=6)
+            reg.update(fp, d)
+            csr = evolve(csr, d)
+            history.append(csr)
+        plan = reg.rollback(fp, 3)
+        assert plan is not None and reg.version_of(fp) == 3
+        assert np.array_equal(dasp_spmv(plan, x),
+                              dasp_spmv(DASPMatrix.from_csr(history[3]), x))
+        # chain continues contiguously after the rollback
+        d = random_delta(history[3], rng, n_entries=4)
+        v, _, plan4 = reg.update(fp, d)
+        assert v == 4
+        ref = DASPMatrix.from_csr(evolve(history[3], d))
+        assert np.array_equal(dasp_spmv(plan4, x), dasp_spmv(ref, x))
+        # outside the retained window -> refused, chain unchanged
+        assert reg.rollback(fp, 99) is None
+        assert reg.version_of(fp) == 4
+
+    def test_seed_plan_with_overlay_consolidated(self, matrix, rng,
+                                                 tmp_path):
+        """A seed plan carrying an overlay must not be persisted as-is:
+        the artifact keeps only slabs+CSR, so the overlay is compacted
+        into them first."""
+        store = PlanStore(tmp_path)
+        plan = DASPMatrix.from_csr(matrix)
+        d1 = random_delta(matrix, rng, structural=True, n_entries=10)
+        plan, _ = apply_update(plan, d1, auto_compact=False)
+        csr1 = evolve(matrix, d1)
+        fp = matrix_fingerprint(matrix)
+        d2 = random_delta(csr1, rng, n_entries=5)
+        store.put_delta(fp, 2, d2, seed_plan=plan)
+        got = store.load(fp, gate=False)
+        assert got is not None
+        x = rng.standard_normal(matrix.shape[1])
+        ref = DASPMatrix.from_csr(evolve(csr1, d2))
+        assert np.array_equal(dasp_spmv(got[0], x), dasp_spmv(ref, x))
+
+    def test_non_contiguous_version_rejected(self, matrix, rng, tmp_path):
+        from repro._util import ValidationError
+
+        store = PlanStore(tmp_path)
+        fp = matrix_fingerprint(matrix)
+        plan = DASPMatrix.from_csr(matrix)
+        d = random_delta(matrix, rng, n_entries=3)
+        store.put_delta(fp, 1, d, seed_plan=plan)
+        with pytest.raises(ValidationError):
+            store.put_delta(fp, 5, random_delta(evolve(matrix, d), rng,
+                                                n_entries=3))
+
+    def test_sharded_plan_delta_roundtrip(self, rng, tmp_path):
+        """Acceptance: bitwise equivalence holds for sharded plans that
+        go through the store's persist/replay cycle."""
+        csr = random_csr(120, 500, rng, row_len_sampler=ROW_PROFILES["skewed"])
+        store = PlanStore(tmp_path)
+        plan = build_sharded_plan(csr, 3)
+        fp = matrix_fingerprint(csr)
+        cur = csr
+        for i in range(1, 4):
+            d = random_delta(cur, rng, structural=i % 2 == 0, n_entries=8)
+            seed = plan if i == 1 else None  # the *pre*-update plan seeds v0
+            work = (clone_for_patch(plan) if isinstance(d, ValueUpdate)
+                    else plan)
+            plan, _ = apply_update(work, d, auto_compact=False)
+            store.put_delta(fp, i, d, seed_plan=seed)
+            cur = evolve(cur, d)
+        # seed published at v0 then deltas replayed on load
+        got = store.load(fp, gate=False)
+        assert got is not None
+        loaded = got[0]
+        assert hasattr(loaded, "shards")
+        x = rng.standard_normal(500)
+        ref = build_sharded_plan(cur, 3)
+        y_ref = np.concatenate([dasp_spmv(s.dasp, x) for s in ref.shards])
+        y_got = np.concatenate([dasp_spmv(s.dasp, x) for s in loaded.shards])
+        assert np.array_equal(y_got, y_ref)
